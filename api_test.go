@@ -1,0 +1,89 @@
+package promising_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"promising"
+	"promising/internal/explore"
+)
+
+const sb = `
+arch arm
+name SB
+locs x y
+thread 0 { store [x] 1; r0 = load [y]; }
+thread 1 { store [y] 1; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	test, err := promising.ParseTest(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []promising.Backend{
+		promising.BackendPromising, promising.BackendNaive,
+		promising.BackendAxiomatic, promising.BackendFlat,
+	} {
+		v, err := promising.Run(test, b, promising.Options())
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if !v.Allowed {
+			t.Errorf("%s: SB must be allowed", b)
+		}
+		if len(v.Result.Outcomes) != 4 {
+			t.Errorf("%s: outcomes = %d, want 4", b, len(v.Result.Outcomes))
+		}
+	}
+}
+
+func TestPublicAPIUnknownBackend(t *testing.T) {
+	test, err := promising.ParseTest(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := promising.Run(test, promising.Backend("bogus"), promising.Options()); err == nil {
+		t.Error("expected an error for an unknown backend")
+	}
+}
+
+func TestPublicAPIInteractive(t *testing.T) {
+	test, err := promising.ParseTest(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := promising.Interactive(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Enabled()) == 0 {
+		t.Fatal("no transitions at the initial state")
+	}
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Undo() {
+		t.Error("undo failed")
+	}
+}
+
+func TestPublicAPICatalogAndFormat(t *testing.T) {
+	cat := promising.Catalog()
+	if len(cat) < 50 {
+		t.Fatalf("catalog has %d tests", len(cat))
+	}
+	test, _ := promising.ParseTest(sb)
+	v, err := promising.Run(test, promising.BackendPromising, promising.OptionsWithTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := promising.FormatOutcomes(v)
+	if !strings.Contains(out, "0:r0=0 1:r1=0") {
+		t.Errorf("formatted outcomes missing the relaxed line:\n%s", out)
+	}
+	_ = explore.Options{}
+}

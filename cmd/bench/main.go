@@ -1,0 +1,262 @@
+// Command bench regenerates the paper's evaluation artifacts:
+//
+//	bench -table 1      Table 1  (workload inventory: LOC and thread counts)
+//	bench -table 2      Table 2  (run times, Promising vs Flat, selected rows)
+//	bench -table 3      Table 3  (§E full results)
+//	bench -table herd   the §8 herd comparison (axiomatic backend rows)
+//
+// Default rows use scaled-down parameters that complete on a laptop; -full
+// switches to the paper's parameters with a per-row timeout (rows that
+// exceed it print "ooT", as in the paper). Each timing row also prints the
+// paper's reported numbers for shape comparison: absolute values differ
+// (different machine, substrate and ISA), but the ordering (Promising ≪
+// Flat, growth with unrolling) is the reproduced claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"promising"
+	"promising/internal/lang"
+	"promising/internal/workloads"
+)
+
+// paperRow holds the paper's reported seconds (Promising / Flat), as
+// strings because of "ooT".
+type paperRow struct{ promising, flat string }
+
+// Table 3 (§E) reference numbers, which subsume Table 2.
+var paper = map[string]paperRow{
+	"SLA-1": {"0.27", "0.41"}, "SLA-2": {"0.30", "3.38"}, "SLA-3": {"0.33", "21.57"},
+	"SLA-4": {"0.39", "110.18"}, "SLA-5": {"0.44", "526.76"}, "SLA-6": {"0.52", "2277.72"},
+	"SLA-7": {"0.61", "9108.53"}, "SLA-8": {"0.73", "ooT"}, "SLA-9": {"0.86", "ooT"}, "SLA-10": {"1.01", "ooT"},
+	"SLC-1": {"3.21", "8.63"}, "SLC-2": {"4.69", "121.98"}, "SLC-3": {"6.58", "1472.74"},
+	"SLR-1": {"2.47", "3.70"}, "SLR-2": {"3.50", "17.51"}, "SLR-3": {"4.88", "52.52"},
+	"PCS-1-1": {"0.26", "0.33"}, "PCS-2-2": {"0.40", "10.33"}, "PCS-3-3": {"1.36", "249.26"},
+	"PCM-1-1-1": {"0.30", "23.58"}, "PCM-2-2-2": {"1.70", "ooT"}, "PCM-3-3-3": {"71.12", "ooT"},
+	"TL-1": {"10.16", "456.12"}, "TL-2": {"13.72", "2202.12"}, "TL-3": {"18.08", "ooT"},
+	"TL/opt-1": {"10.28", "1180.33"}, "TL/opt-2": {"14.54", "7115.31"}, "TL/opt-3": {"20.13", "ooT"},
+	"STC-100-010-000": {"0.36", "35.26"}, "STC-100-010-010": {"0.42", "2144.52"},
+	"STC-100-100-010": {"8.70", "ooT"}, "STC-110-011-000": {"7.64", "ooT"},
+	"STC-110-100-010": {"21.84", "ooT"}, "STC-200-020-000": {"7.16", "ooT"},
+	"STC-210-011-000":     {"615.41", "ooT"},
+	"STC/opt-100-010-000": {"0.36", "104.57"}, "STC/opt-100-010-010": {"0.42", "5943.50"},
+	"STR-100-010-000": {"0.35", "4.61"}, "STR-100-010-010": {"0.39", "77.21"},
+	"STR-100-100-010": {"7.30", "8940.03"}, "STR-110-011-000": {"6.55", "ooT"},
+	"STR-110-100-010": {"18.09", "ooT"}, "STR-200-020-000": {"5.80", "11325.87"},
+	"STR-210-011-000": {"522.19", "ooT"},
+	"DQ-100-1-0":      {"0.30", "2.93"}, "DQ-110-1-0": {"0.44", "1042.88"},
+	"DQ-110-1-1": {"0.66", "ooT"}, "DQ-111-1-1": {"1.76", "ooT"},
+	"DQ-211-1-1": {"9.51", "ooT"}, "DQ-211-2-1": {"28.55", "ooT"},
+	"DQ/opt-100-1-0": {"0.30", "2.97"}, "DQ/opt-110-1-0": {"0.44", "1114.39"},
+	"QU-100-000-000": {"1.34", "2983.11"}, "QU-100-010-000": {"2.55", "ooT"},
+	"QU-100-010-010": {"4.53", "ooT"}, "QU-100-100-010": {"712.57", "ooT"},
+	"QU-110-011-000": {"589.50", "ooT"}, "QU-110-100-010": {"2108.12", "ooT"},
+	"QU-200-010-010": {"531.41", "ooT"}, "QU-200-020-000": {"286.99", "ooT"},
+	"QU/opt-100-000-000": {"2.95", "ooT"}, "QU/opt-100-010-000": {"5.66", "ooT"},
+}
+
+// quickRows are the default (laptop-scale) parameterisations.
+var quickRows = []string{
+	"SLA-1", "SLA-2", "SLA-3", "SLA-4",
+	"SLC-1", "SLC-2",
+	"SLR-1", "SLR-2",
+	"PCS-1-1", "PCS-2-2",
+	"PCM-1-1-1",
+	"TL-1", "TL/opt-1",
+	"STC-100-010-000", "STC-100-010-010", "STC/opt-100-010-000",
+	"STR-100-010-000", "STR-100-010-010",
+	"DQ-100-1-0", "DQ-110-1-0", "DQ/opt-100-1-0",
+	"QU-100-000-000", "QU-100-010-000",
+}
+
+// fullRows are every Table 3 row.
+var fullRows = func() []string {
+	rows := []string{
+		"SLA-1", "SLA-2", "SLA-3", "SLA-4", "SLA-5", "SLA-6", "SLA-7", "SLA-8", "SLA-9", "SLA-10",
+		"SLC-1", "SLC-2", "SLC-3", "SLR-1", "SLR-2", "SLR-3",
+		"PCS-1-1", "PCS-2-2", "PCS-3-3", "PCM-1-1-1", "PCM-2-2-2", "PCM-3-3-3",
+		"TL-1", "TL-2", "TL-3", "TL/opt-1", "TL/opt-2", "TL/opt-3",
+		"STC-100-010-000", "STC-100-010-010", "STC-100-100-010", "STC-110-011-000",
+		"STC-110-100-010", "STC-200-020-000", "STC-210-011-000",
+		"STC/opt-100-010-000", "STC/opt-100-010-010",
+		"STR-100-010-000", "STR-100-010-010", "STR-100-100-010", "STR-110-011-000",
+		"STR-110-100-010", "STR-200-020-000", "STR-210-011-000",
+		"DQ-100-1-0", "DQ-110-1-0", "DQ-110-1-1", "DQ-111-1-1", "DQ-211-1-1", "DQ-211-2-1",
+		"DQ/opt-100-1-0", "DQ/opt-110-1-0",
+		"QU-100-000-000", "QU-100-010-000", "QU-100-010-010", "QU-100-100-010",
+		"QU-110-011-000", "QU-110-100-010", "QU-200-010-010", "QU-200-020-000",
+		"QU/opt-100-000-000", "QU/opt-100-010-000",
+	}
+	return rows
+}()
+
+// table2Rows is the paper's selected subset.
+var table2Rows = []string{
+	"SLA-7", "SLC-3", "SLR-3", "PCS-3-3", "PCM-3-3-3", "TL-3", "TL/opt-3",
+	"STC-100-010-010", "STC/opt-100-010-010", "STC-100-100-010", "STC-210-011-000",
+	"STR-100-010-010", "STR-100-100-010", "STR-210-011-000",
+	"DQ-100-1-0", "DQ-110-1-0", "DQ-211-2-1", "DQ/opt-100-1-0",
+	"QU-100-000-000", "QU-100-010-000", "QU-110-100-010",
+}
+
+func main() {
+	var (
+		table   = flag.String("table", "2", "which artifact: 1, 2, 3, herd")
+		full    = flag.Bool("full", false, "use the paper's parameters (rows may time out)")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-row, per-model budget (ooT when exceeded)")
+		noFlat  = flag.Bool("no-flat", false, "skip the flat baseline column")
+		rows    = flag.String("rows", "", "comma-separated row ids overriding the default set")
+	)
+	flag.Parse()
+	if err := run(*table, *full, *timeout, *noFlat, *rows); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, full bool, timeout time.Duration, noFlat bool, rowsFlag string) error {
+	switch table {
+	case "1":
+		return table1()
+	case "2", "3":
+		rows := quickRows
+		if full || table == "3" && full {
+			rows = fullRows
+		}
+		if table == "2" && full {
+			rows = table2Rows
+		}
+		if rowsFlag != "" {
+			rows = splitRows(rowsFlag)
+		}
+		return timeTable(rows, timeout, noFlat)
+	case "herd":
+		return herdTable(timeout)
+	default:
+		return fmt.Errorf("unknown table %q", table)
+	}
+}
+
+func splitRows(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// table1 prints the workload inventory (Table 1).
+func table1() error {
+	fmt.Printf("%-6s %-10s %4s %3s   (paper: LOC of compiled AArch64 asm)\n", "Test", "Dialect", "LOC", "Ts")
+	type row struct {
+		id, dialect string
+		in          *workloads.Instance
+	}
+	rows := []row{
+		{"SLA", "asm", mustParse("SLA-2")},
+		{"SLC", "C++", mustParse("SLC-2")},
+		{"SLR", "Rust", mustParse("SLR-2")},
+		{"PCS", "C++", mustParse("PCS-2-2")},
+		{"PCM", "C++", mustParse("PCM-2-2-2")},
+		{"TL", "C++", mustParse("TL-2")},
+		{"STC", "C++", mustParse("STC-110-011-000")},
+		{"STR", "Rust", mustParse("STR-110-011-000")},
+		{"DQ", "C++", mustParse("DQ-111-1-1")},
+		{"QU", "C++", mustParse("QU-110-011-000")},
+	}
+	paperLOC := map[string]string{
+		"SLA": "44/2", "SLC": "51/3", "SLR": "84/3", "PCS": "69/2", "PCM": "130/3",
+		"TL": "120/3", "STC": "366/3", "STR": "393/3", "DQ": "247/3", "QU": "473/3",
+	}
+	for _, r := range rows {
+		loc, ts := r.in.LOC()
+		fmt.Printf("%-6s %-10s %4d %3d   paper: %s\n", r.id, r.dialect, loc, ts, paperLOC[r.id])
+	}
+	return nil
+}
+
+func mustParse(id string) *workloads.Instance {
+	in, err := workloads.ParseID(lang.ARM, id)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// timeOne runs one instance under a backend with a budget; it returns the
+// formatted seconds or "ooT".
+func timeOne(in *workloads.Instance, backend promising.Backend, timeout time.Duration) string {
+	opts := promising.OptionsWithTimeout(timeout)
+	v, err := promising.Run(in.Test, backend, opts)
+	if err != nil {
+		return "err"
+	}
+	if v.Result.Aborted {
+		return "ooT"
+	}
+	tag := ""
+	if !v.OK() {
+		tag = "!"
+	}
+	return fmt.Sprintf("%.2f%s", v.Elapsed.Seconds(), tag)
+}
+
+// timeTable prints Table 2/3 style rows.
+func timeTable(rows []string, timeout time.Duration, noFlat bool) error {
+	fmt.Printf("%-22s %12s %12s      %12s %12s\n", "Test", "Promising", "Flat", "paper:Prom", "paper:Flat")
+	for _, id := range rows {
+		in, err := workloads.ParseID(lang.ARM, id)
+		if err != nil {
+			return err
+		}
+		p := timeOne(in, promising.BackendPromising, timeout)
+		f := "-"
+		if !noFlat {
+			f = timeOne(in, promising.BackendFlat, timeout)
+		}
+		ref := paper[id]
+		fmt.Printf("%-22s %12s %12s      %12s %12s\n", id, p, f, ref.promising, ref.flat)
+	}
+	fmt.Println("\nooT = over the per-row budget. Absolute times are not comparable to the")
+	fmt.Println("paper's (different machine and substrate); the reproduced claims are the")
+	fmt.Println("ordering (Promising well below Flat) and the growth with the parameters.")
+	return nil
+}
+
+// herdTable reproduces the §8 herd comparison: SLC and TL under the
+// axiomatic backend vs Promising.
+func herdTable(timeout time.Duration) error {
+	fmt.Printf("%-8s %12s %12s      %12s %12s\n", "Test", "Axiomatic", "Promising", "paper:herd", "paper:Prom")
+	refs := map[string]paperRow{
+		"SLC-1": {"14.72", "3.21"},
+		"SLC-2": {"stack ovfl", "4.69"},
+		"TL-1":  {"31.04", "10.16"},
+		"TL-2":  {"2370.23", "13.72"},
+	}
+	for _, id := range []string{"SLC-1", "SLC-2", "TL-1", "TL-2"} {
+		in, err := workloads.ParseID(lang.ARM, id)
+		if err != nil {
+			return err
+		}
+		a := timeOne(in, promising.BackendAxiomatic, timeout)
+		p := timeOne(in, promising.BackendPromising, timeout)
+		ref := refs[id]
+		fmt.Printf("%-8s %12s %12s      %12s %12s\n", id, a, p, ref.promising, ref.flat)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command litmus runs litmus-test suites across the model backends: the
+// canonical catalog with architecturally known verdicts, and seeded random
+// differential suites (the stand-in for the paper's 6,500/7,000-test
+// validation, §7). With -diff it cross-checks the Promising model against
+// the axiomatic oracle (Theorem 6.1, tested) and optionally the flat
+// baseline, reporting any disagreement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"promising"
+	"promising/internal/explore"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+func main() {
+	var (
+		diff    = flag.Bool("diff", false, "differentially test promising vs axiomatic (and flat with -flat)")
+		useFlat = flag.Bool("flat", false, "include the flat baseline in -diff")
+		random  = flag.Int("random", 0, "also run N seeded random tests per architecture")
+		seed    = flag.Int64("seed", 0, "base seed for random tests")
+		verbose = flag.Bool("v", false, "print every test, not only failures")
+		timeout = flag.Duration("timeout", 60*time.Second, "per-test budget")
+	)
+	flag.Parse()
+	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "litmus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration) error {
+	fail := 0
+	total := 0
+
+	check := func(t *promising.Test) error {
+		total++
+		opts := promising.OptionsWithTimeout(timeout)
+		vp, err := promising.Run(t, promising.BackendPromising, opts)
+		if err != nil {
+			return err
+		}
+		ok := vp.OK() && !vp.Result.Aborted
+		detail := ""
+		if diff {
+			va, err := promising.Run(t, promising.BackendAxiomatic, promising.OptionsWithTimeout(timeout))
+			if err != nil {
+				return err
+			}
+			if !explore.SameOutcomes(vp.Result, va.Result) {
+				ok = false
+				detail += " [axiomatic disagrees]"
+			}
+			if useFlat {
+				vf, err := promising.Run(t, promising.BackendFlat, promising.OptionsWithTimeout(timeout))
+				if err != nil {
+					return err
+				}
+				if !explore.SameOutcomes(vp.Result, vf.Result) {
+					ok = false
+					detail += " [flat disagrees]"
+				}
+			}
+		}
+		if !ok {
+			fail++
+		}
+		if verbose || !ok {
+			status := "ok"
+			if !ok {
+				status = "FAIL"
+			}
+			fmt.Printf("%-4s %s%s\n", status, vp.String(), detail)
+		}
+		return nil
+	}
+
+	for _, t := range promising.Catalog() {
+		if err := check(t); err != nil {
+			return err
+		}
+	}
+	if random > 0 {
+		for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
+			for i := 0; i < random; i++ {
+				if err := check(litmus.Generate(litmus.DefaultGenConfig(seed+int64(i), arch))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fmt.Printf("%d tests, %d failures\n", total, fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+	return nil
+}

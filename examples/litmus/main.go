@@ -1,0 +1,61 @@
+// Litmus-suite example: run every built-in canonical test under all four
+// backends and print an agreement matrix — the in-repo counterpart of the
+// paper's validation against 6,500/7,000 litmus tests (§7).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"promising"
+	"promising/internal/explore"
+)
+
+func main() {
+	backends := []promising.Backend{
+		promising.BackendPromising,
+		promising.BackendNaive,
+		promising.BackendAxiomatic,
+		promising.BackendFlat,
+	}
+	fmt.Printf("%-24s %-6s %-9s", "test", "arch", "verdict")
+	for _, b := range backends[1:] {
+		fmt.Printf(" %-10s", b)
+	}
+	fmt.Println()
+
+	mismatches := 0
+	for _, t := range promising.Catalog() {
+		ref, err := promising.Run(t, promising.BackendPromising, promising.OptionsWithTimeout(30*time.Second))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "forbidden"
+		if ref.Allowed {
+			verdict = "allowed"
+		}
+		if !ref.OK() {
+			verdict += " (MISMATCH)"
+			mismatches++
+		}
+		fmt.Printf("%-24s %-6s %-9s", t.Name(), t.Prog.Arch, verdict)
+		for _, b := range backends[1:] {
+			v, err := promising.Run(t, b, promising.OptionsWithTimeout(30*time.Second))
+			if err != nil {
+				log.Fatal(err)
+			}
+			cell := "agree"
+			if !explore.SameOutcomes(ref.Result, v.Result) {
+				cell = "DISAGREE"
+				mismatches++
+			}
+			fmt.Printf(" %-10s", cell)
+		}
+		fmt.Println()
+	}
+	if mismatches > 0 {
+		log.Fatalf("%d mismatches", mismatches)
+	}
+	fmt.Println("\nall backends agree on the full catalog")
+}

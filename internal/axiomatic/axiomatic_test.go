@@ -1,0 +1,210 @@
+package axiomatic
+
+import (
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+func compile(t *testing.T, p *lang.Program) *lang.CompiledProgram {
+	t.Helper()
+	cp, err := lang.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestTaintUnion(t *testing.T) {
+	a := taint{1, 3, 5}
+	b := taint{2, 3, 6}
+	u := a.union(b)
+	want := taint{1, 2, 3, 5, 6}
+	if len(u) != len(want) {
+		t.Fatalf("union = %v", u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("union = %v, want %v", u, want)
+		}
+	}
+	if got := taint(nil).union(a); len(got) != 3 {
+		t.Errorf("nil union = %v", got)
+	}
+	if got := a.add(0); got[0] != 0 || len(got) != 4 {
+		t.Errorf("add = %v", got)
+	}
+}
+
+func TestGraphAcyclic(t *testing.T) {
+	g := newGraph(4)
+	g.edge(0, 1)
+	g.edge(1, 2)
+	g.edge(2, 3)
+	if !g.acyclic() {
+		t.Error("chain must be acyclic")
+	}
+	g.edge(3, 0)
+	if g.acyclic() {
+		t.Error("cycle undetected")
+	}
+	// Self loop.
+	g2 := newGraph(1)
+	g2.edge(0, 0)
+	if g2.acyclic() {
+		t.Error("self loop undetected")
+	}
+	if !newGraph(0).acyclic() {
+		t.Error("empty graph is acyclic")
+	}
+}
+
+// TestTraceEnumerationCounts: a single thread with one load over a domain
+// of two writable values yields three traces (initial + two values).
+func TestTraceEnumerationCounts(t *testing.T) {
+	const x = lang.Loc(8)
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(lang.Load{Dst: 0, Addr: lang.C(x)}),
+			lang.Block(
+				lang.Store{Succ: 1, Addr: lang.C(x), Data: lang.C(1)},
+				lang.Store{Succ: 1, Addr: lang.C(x), Data: lang.C(2)},
+			),
+		},
+	})
+	traces, trunc := enumerateTraces(cp, 0)
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if len(traces[0]) != 3 {
+		t.Errorf("reader traces = %d, want 3 (values 0, 1, 2)", len(traces[0]))
+	}
+	if len(traces[1]) != 1 {
+		t.Errorf("writer traces = %d, want 1", len(traces[1]))
+	}
+}
+
+// TestDependencyTaints: address and control dependencies are recorded on
+// the right events.
+func TestDependencyTaints(t *testing.T) {
+	const x, y, z = lang.Loc(8), lang.Loc(16), lang.Loc(24)
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.Load{Dst: 0, Addr: lang.C(x)},                // e0
+				lang.Load{Dst: 1, Addr: lang.DepOn(lang.C(y), 0)}, // e1: addr dep on e0
+				lang.If{Cond: lang.R(1), Then: lang.Store{Succ: 2, Addr: lang.C(z), Data: lang.C(1)}, Else: lang.Skip{}},
+			),
+			lang.Block(lang.Store{Succ: 0, Addr: lang.C(y), Data: lang.C(1)}),
+		},
+	})
+	traces, _ := enumerateTraces(cp, 0)
+	// Find a reader trace where the branch was taken (store event exists).
+	for _, tr := range traces[0] {
+		if len(tr.Events) != 3 {
+			continue
+		}
+		e1 := tr.Events[1]
+		if len(e1.AddrDep) != 1 || e1.AddrDep[0] != 0 {
+			t.Errorf("e1.AddrDep = %v, want [0]", e1.AddrDep)
+		}
+		w := tr.Events[2]
+		if !w.IsW() {
+			t.Fatalf("third event is not a write")
+		}
+		if len(w.CtrlDep) != 1 || w.CtrlDep[0] != 1 {
+			t.Errorf("w.CtrlDep = %v, want [1]", w.CtrlDep)
+		}
+		if len(w.AddrPO) != 1 || w.AddrPO[0] != 0 {
+			t.Errorf("w.AddrPO = %v, want [0] (e0 fed e1's address)", w.AddrPO)
+		}
+		return
+	}
+	t.Fatal("no taken-branch trace found")
+}
+
+// TestExploreSimpleCoherence: the axiomatic explorer alone on a coherence
+// shape (no promising cross-check; the differential tests cover that).
+func TestExploreSimpleCoherence(t *testing.T) {
+	const x = lang.Loc(8)
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(lang.Store{Succ: 0, Addr: lang.C(x), Data: lang.C(1)},
+				lang.Store{Succ: 0, Addr: lang.C(x), Data: lang.C(2)}),
+		},
+	})
+	spec := &explore.ObsSpec{Locs: []lang.Loc{x}}
+	res := Explore(cp, spec, explore.DefaultOptions())
+	if len(res.Outcomes) != 1 {
+		t.Fatalf("CoWW: want exactly the final x=2, got %d outcomes", len(res.Outcomes))
+	}
+	if !res.Has(explore.Outcome{Mem: []lang.Val{2}}) {
+		t.Error("final x must be 2")
+	}
+}
+
+// TestExclusivePairingInTraces: a store exclusive pairs with the most
+// recent load exclusive; without one it can only fail.
+func TestExclusivePairingInTraces(t *testing.T) {
+	const x = lang.Loc(8)
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(lang.Store{Succ: 0, Addr: lang.C(x), Data: lang.C(1), Xcl: true}),
+		},
+	})
+	traces, _ := enumerateTraces(cp, 0)
+	for _, tr := range traces[0] {
+		for _, e := range tr.Events {
+			if e.IsW() {
+				t.Error("an unpaired store exclusive must not produce a write event")
+			}
+		}
+		if tr.Regs[0] != lang.VFail {
+			t.Errorf("success register = %d, want failure", tr.Regs[0])
+		}
+	}
+}
+
+// TestMaxStatesAborts: the candidate cap marks the result aborted.
+func TestMaxStatesAborts(t *testing.T) {
+	const x, y = lang.Loc(8), lang.Loc(16)
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(lang.Load{Dst: 0, Addr: lang.C(x)}, lang.Load{Dst: 1, Addr: lang.C(y)}),
+			lang.Block(lang.Store{Succ: 0, Addr: lang.C(x), Data: lang.C(1)},
+				lang.Store{Succ: 0, Addr: lang.C(y), Data: lang.C(1)}),
+		},
+	})
+	spec := &explore.ObsSpec{Regs: []explore.RegObs{{TID: 0, Reg: 0}, {TID: 0, Reg: 1}}}
+	opts := explore.DefaultOptions()
+	opts.MaxStates = 1
+	res := Explore(cp, spec, opts)
+	if !res.Aborted {
+		t.Error("MaxStates must abort the axiomatic enumeration")
+	}
+}
+
+func TestPermCoversAll(t *testing.T) {
+	count := map[string]bool{}
+	perm([]int{1, 2, 3}, func(p []int) {
+		k := ""
+		for _, v := range p {
+			k += string(rune('0' + v))
+		}
+		count[k] = true
+	})
+	if len(count) != 6 {
+		t.Errorf("perm produced %d distinct orders, want 6", len(count))
+	}
+	ran := false
+	perm(nil, func([]int) { ran = true })
+	if !ran {
+		t.Error("perm of empty slice must still call back once")
+	}
+}

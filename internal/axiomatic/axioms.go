@@ -1,0 +1,326 @@
+package axiomatic
+
+import (
+	"promising/internal/lang"
+)
+
+// The three axioms of the unified model (Fig. 6):
+//
+//	acyclic po-loc | fr | co | rf   as internal
+//	acyclic ob                      as external
+//	empty rmw & (fre; coe)          as atomic
+//
+// with ob = obs | dob | aob | bob.
+
+// graph is an adjacency list over candidate events.
+type graph [][]int
+
+func newGraph(n int) graph { return make(graph, n) }
+
+func (g graph) edge(a, b int) { g[a] = append(g[a], b) }
+
+// acyclic reports whether the graph has no directed cycle.
+func (g graph) acyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]byte, len(g))
+	type frame struct {
+		node int
+		next int
+	}
+	for start := range g {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g[f.node]) {
+				n := g[f.node][f.next]
+				f.next++
+				switch color[n] {
+				case grey:
+					return false
+				case white:
+					color[n] = grey
+					stack = append(stack, frame{node: n})
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return true
+}
+
+// coSucc returns the immediate coherence successor of write wid at its
+// location, or -1. For wid == -1 (the initial write) it returns the
+// co-first write at loc.
+func (c *cand) coSucc(loc lang.Loc, wid int) int {
+	best := -1
+	for _, w := range c.writesOf[loc] {
+		if wid >= 0 && c.co[w] <= c.co[wid] {
+			continue
+		}
+		if best < 0 || c.co[w] < c.co[best] {
+			best = w
+		}
+	}
+	return best
+}
+
+// internal checks acyclic(po-loc | fr | co | rf).
+func (e *enumerator) internal(c *cand) bool {
+	g := newGraph(len(c.events))
+	// po-loc cover: consecutive same-location accesses per thread.
+	for _, ids := range c.po {
+		last := map[lang.Loc]int{}
+		for _, id := range ids {
+			ev := c.events[id]
+			if !ev.IsR() && !ev.IsW() {
+				continue
+			}
+			if prev, ok := last[ev.Loc]; ok {
+				g.edge(prev, id)
+			}
+			last[ev.Loc] = id
+		}
+	}
+	e.addCommunication(c, g, true)
+	return g.acyclic()
+}
+
+// addCommunication adds rf (optional), co-cover and fr-cover edges.
+func (e *enumerator) addCommunication(c *cand, g graph, withRF bool) {
+	// co cover: consecutive in coherence order per location.
+	for loc, ws := range c.writesOf {
+		prev := c.coSucc(loc, -1)
+		for prev >= 0 {
+			next := c.coSucc(loc, prev)
+			if next >= 0 {
+				g.edge(prev, next)
+			}
+			prev = next
+		}
+		_ = ws
+	}
+	for _, ev := range c.events {
+		if !ev.IsR() {
+			continue
+		}
+		w := c.rf[ev.ID]
+		if withRF && w >= 0 {
+			g.edge(w, ev.ID)
+		}
+		// fr cover: read before the immediate co-successor of its source.
+		if s := c.coSucc(ev.Loc, w); s >= 0 {
+			g.edge(ev.ID, s)
+		}
+	}
+}
+
+// atomic checks empty(rmw & (fre; coe)).
+func (e *enumerator) atomic(c *cand) bool {
+	for _, w := range c.events {
+		if !w.IsW() || w.RMW < 0 {
+			continue
+		}
+		r := c.events[w.RMW]
+		src := c.rf[r.ID] // -1 = initial
+		for _, mid := range c.writesOf[w.Loc] {
+			if mid == w.ID || mid == src {
+				continue
+			}
+			m := c.events[mid]
+			if src >= 0 && c.co[mid] <= c.co[src] {
+				continue // not co-after the source
+			}
+			if c.co[mid] >= c.co[w.ID] {
+				continue // not co-before the store exclusive
+			}
+			// r -fr-> m requires externality (m by another thread than r),
+			// m -co-> w requires externality (m by another thread than w).
+			if m.TID != r.TID && m.TID != w.TID {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// external checks acyclic(ob).
+func (e *enumerator) external(c *cand) bool {
+	g := newGraph(len(c.events))
+	e.addOBS(c, g)
+	e.addDOB(c, g)
+	e.addAOB(c, g)
+	e.addBOB(c, g)
+	return g.acyclic()
+}
+
+// addOBS adds obs = rfe | fr | co (Fig. 6 uses full fr and co; the internal
+// axiom makes this equivalent to the fre/coe formulation).
+func (e *enumerator) addOBS(c *cand, g graph) {
+	for _, ev := range c.events {
+		if !ev.IsR() {
+			continue
+		}
+		if w := c.rf[ev.ID]; w >= 0 && c.events[w].TID != ev.TID {
+			g.edge(w, ev.ID) // rfe
+		}
+		if s := c.coSucc(ev.Loc, c.rf[ev.ID]); s >= 0 {
+			g.edge(ev.ID, s) // fr cover
+		}
+	}
+	for loc := range c.writesOf {
+		prev := c.coSucc(loc, -1)
+		for prev >= 0 {
+			next := c.coSucc(loc, prev)
+			if next >= 0 {
+				g.edge(prev, next) // co cover
+			}
+			prev = next
+		}
+	}
+}
+
+// addDOB adds dob = addr | data | (addr|data);rfi
+// | (ctrl|(addr;po));[W] | (ctrl|(addr;po));[isb];po;[R].
+func (e *enumerator) addDOB(c *cand, g graph) {
+	// rfi targets per write.
+	rfi := map[int][]int{}
+	for _, ev := range c.events {
+		if ev.IsR() {
+			if w := c.rf[ev.ID]; w >= 0 && c.events[w].TID == ev.TID {
+				rfi[w] = append(rfi[w], ev.ID)
+			}
+		}
+	}
+	for _, ev := range c.events {
+		switch {
+		case ev.IsR() || ev.IsW():
+			for _, d := range ev.AddrDep {
+				g.edge(d, ev.ID) // addr
+			}
+			for _, d := range ev.DataDep {
+				g.edge(d, ev.ID) // data
+			}
+			if ev.IsW() {
+				// (addr|data);rfi
+				for _, r := range rfi[ev.ID] {
+					for _, d := range ev.AddrDep {
+						g.edge(d, r)
+					}
+					for _, d := range ev.DataDep {
+						g.edge(d, r)
+					}
+				}
+				// (ctrl|(addr;po));[W]
+				for _, d := range ev.CtrlDep {
+					g.edge(d, ev.ID)
+				}
+				for _, d := range ev.AddrPO {
+					g.edge(d, ev.ID)
+				}
+			}
+		case ev.Kind == EvISB:
+			// (ctrl|(addr;po));[isb];po;[R]
+			for _, rid := range c.po[ev.TID] {
+				r := c.events[rid]
+				if r.PO <= ev.PO || !r.IsR() {
+					continue
+				}
+				for _, d := range ev.CtrlDep {
+					g.edge(d, rid)
+				}
+				for _, d := range ev.AddrPO {
+					g.edge(d, rid)
+				}
+			}
+		}
+	}
+}
+
+// addAOB adds aob = [range(rmw)]; rfi; ([R] for RISC-V, [AQ|AQpc] for ARM).
+func (e *enumerator) addAOB(c *cand, g graph) {
+	for _, ev := range c.events {
+		if !ev.IsR() {
+			continue
+		}
+		w := c.rf[ev.ID]
+		if w < 0 || c.events[w].TID != ev.TID || c.events[w].RMW < 0 {
+			continue
+		}
+		if e.cp.Arch == lang.RISCV || ev.RK.AtLeast(lang.ReadWeakAcq) {
+			g.edge(w, ev.ID)
+		}
+	}
+}
+
+// addBOB adds the barrier-ordered-before edges, generalised over
+// fence(K1,K2) (which subsumes the dmb.rr/rw/wr/ww decomposition of §D):
+//
+//	[K1-class]; po; [fence K1,K2]; po; [K2-class]
+//	[RL]; po; [AQ]
+//	[AQ|AQpc]; po
+//	po; [RL|RLpc]
+//	rmw (RISC-V only)
+func (e *enumerator) addBOB(c *cand, g graph) {
+	for _, ids := range c.po {
+		for fi, fid := range ids {
+			f := c.events[fid]
+			if f.Kind != EvFence {
+				continue
+			}
+			for _, aid := range ids[:fi] {
+				a := c.events[aid]
+				if !(a.IsR() && f.K1.IncludesR() || a.IsW() && f.K1.IncludesW()) {
+					continue
+				}
+				for _, bid := range ids[fi+1:] {
+					b := c.events[bid]
+					if b.IsR() && f.K2.IncludesR() || b.IsW() && f.K2.IncludesW() {
+						g.edge(aid, bid)
+					}
+				}
+			}
+		}
+		// Release/acquire half-barriers.
+		for i, aid := range ids {
+			a := c.events[aid]
+			switch {
+			case a.IsR() && a.RK.AtLeast(lang.ReadWeakAcq):
+				for _, bid := range ids[i+1:] {
+					if b := c.events[bid]; b.IsR() || b.IsW() {
+						g.edge(aid, bid)
+					}
+				}
+			case a.IsW() && a.WK.AtLeast(lang.WriteWeakRel):
+				for _, bid := range ids[:i] {
+					if b := c.events[bid]; b.IsR() || b.IsW() {
+						g.edge(bid, aid)
+					}
+				}
+			}
+			if a.IsW() && a.WK.AtLeast(lang.WriteRel) {
+				for _, bid := range ids[i+1:] {
+					if b := c.events[bid]; b.IsR() && b.RK.AtLeast(lang.ReadAcq) {
+						g.edge(aid, bid)
+					}
+				}
+			}
+		}
+	}
+	if e.cp.Arch == lang.RISCV {
+		for _, ev := range c.events {
+			if ev.IsW() && ev.RMW >= 0 {
+				g.edge(ev.RMW, ev.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package axiomatic implements the unified ARMv8/RISC-V axiomatic memory
+// model of the paper's Fig. 6 (§D), in the herd style: it enumerates
+// candidate executions — program-order unfoldings with read values drawn
+// from a write-value domain, a reads-from relation and per-location
+// coherence orders — and keeps those satisfying the internal, external (ob)
+// and atomic axioms. It is both the differential-testing oracle for the
+// Promising model (Theorem 6.1) and the stand-in for the herd baseline in
+// the §8 comparison.
+package axiomatic
+
+import (
+	"promising/internal/lang"
+)
+
+// EventKind discriminates candidate-execution events.
+type EventKind int
+
+// Event kinds. Branches do not generate events; their dependencies are
+// tracked as control taints on later events.
+const (
+	EvRead EventKind = iota
+	EvWrite
+	EvFence
+	EvISB
+)
+
+// Event is one memory event of a candidate execution.
+type Event struct {
+	// ID indexes the event in the candidate's event list.
+	ID int
+	// TID and PO locate the event: thread and program-order index.
+	TID int
+	PO  int
+
+	Kind EventKind
+	Loc  lang.Loc
+	Val  lang.Val
+	RK   lang.ReadKind
+	WK   lang.WriteKind
+	Xcl  bool
+
+	// RMW is the ID of the paired load exclusive for a successful store
+	// exclusive (-1 otherwise), i.e. this write is in range(rmw).
+	RMW int
+
+	// AddrDep, DataDep and CtrlDep are the events (reads, or RISC-V
+	// store-exclusive writes via the success register) this event's
+	// address, data and control respectively depend on, syntactically.
+	AddrDep []int
+	DataDep []int
+	CtrlDep []int
+	// AddrPO is the set of events feeding the address of any strictly
+	// program-order-earlier memory access ("addr; po").
+	AddrPO []int
+
+	// K1, K2 are the fence classes for EvFence.
+	K1, K2 lang.FenceKind
+}
+
+// IsR reports whether the event is a memory read.
+func (e *Event) IsR() bool { return e.Kind == EvRead }
+
+// IsW reports whether the event is a memory write.
+func (e *Event) IsW() bool { return e.Kind == EvWrite }
+
+// taint is a small set of event IDs ordered ascending, used for register
+// dependency tracking during trace generation.
+type taint []int
+
+func (t taint) union(u taint) taint {
+	if len(u) == 0 {
+		return t
+	}
+	if len(t) == 0 {
+		return u
+	}
+	out := make(taint, 0, len(t)+len(u))
+	i, j := 0, 0
+	for i < len(t) && j < len(u) {
+		switch {
+		case t[i] < u[j]:
+			out = append(out, t[i])
+			i++
+		case t[i] > u[j]:
+			out = append(out, u[j])
+			j++
+		default:
+			out = append(out, t[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, t[i:]...)
+	return append(out, u[j:]...)
+}
+
+func (t taint) add(id int) taint { return t.union(taint{id}) }
+
+func (t taint) clone() taint { return append(taint(nil), t...) }
+
+// Trace is one complete program-order unfolding of a single thread: its
+// events (PO-ordered) and final register file.
+type Trace struct {
+	Events []*Event
+	Regs   []lang.Val
+	// BoundExceeded marks traces that ran past the loop bound.
+	BoundExceeded bool
+}

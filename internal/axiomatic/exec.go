@@ -1,0 +1,253 @@
+package axiomatic
+
+import (
+	"promising/internal/core"
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// Candidate-execution enumeration (the first herd phase): for every joint
+// choice of per-thread traces, every reads-from assignment and every
+// per-location coherence order, check the Fig. 6 axioms and record the
+// final state of the survivors.
+
+// DefaultMaxTraces caps per-thread trace enumeration to keep pathological
+// inputs from exhausting memory; hitting the cap marks the result Aborted.
+const DefaultMaxTraces = 200000
+
+// Explore runs the axiomatic model exhaustively. It satisfies the
+// litmus.Runner signature. Options: Deadline and MaxStates are honoured
+// (MaxStates bounds the number of checked candidates); Certify and
+// CollectWitnesses are ignored (the axiomatic model has no notion of
+// either).
+func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
+	res := &explore.Result{Outcomes: make(map[string]explore.Outcome), Witnesses: map[string]explore.Witness{}}
+	traces, truncated := enumerateTraces(cp, DefaultMaxTraces)
+	if truncated {
+		res.Aborted = true
+	}
+	e := &enumerator{cp: cp, spec: spec, opts: &opts, res: res, mem: core.NewMemory(cp.Init)}
+	e.joint(traces, nil)
+	return res
+}
+
+type enumerator struct {
+	cp   *lang.CompiledProgram
+	spec *explore.ObsSpec
+	opts *explore.Options
+	res  *explore.Result
+	mem  *core.Memory // for initial values only
+}
+
+// joint picks one trace per thread, then checks the candidate.
+func (e *enumerator) joint(traces [][]*Trace, picked []*Trace) {
+	if e.res.Aborted {
+		return
+	}
+	if len(picked) == len(traces) {
+		e.candidate(picked)
+		return
+	}
+	for _, tr := range traces[len(picked)] {
+		if tr.BoundExceeded {
+			e.res.BoundExceeded = true
+			continue
+		}
+		e.joint(traces, append(picked, tr))
+	}
+}
+
+// cand is one assembled candidate execution under construction.
+type cand struct {
+	events []*Event // globally renumbered copies
+	po     [][]int  // per thread, event IDs in program order
+	// reads and writes per location.
+	readsOf  map[lang.Loc][]int
+	writesOf map[lang.Loc][]int
+	// rf maps read ID to write ID (-1 = initial write).
+	rf []int
+	// co maps write ID to its coherence position within its location
+	// (dense from 0); initial writes precede everything.
+	co []int
+}
+
+func (e *enumerator) candidate(picked []*Trace) {
+	if e.opts.Expired() {
+		e.res.Aborted = true
+		return
+	}
+	c := &cand{
+		readsOf:  map[lang.Loc][]int{},
+		writesOf: map[lang.Loc][]int{},
+	}
+	// Renumber events globally (copying, since traces are shared across
+	// candidates).
+	for tid, tr := range picked {
+		off := len(c.events)
+		var ids []int
+		for _, ev := range tr.Events {
+			cp := *ev
+			cp.ID = ev.ID + off
+			cp.AddrDep = offsetAll(ev.AddrDep, off)
+			cp.DataDep = offsetAll(ev.DataDep, off)
+			cp.CtrlDep = offsetAll(ev.CtrlDep, off)
+			cp.AddrPO = offsetAll(ev.AddrPO, off)
+			if ev.RMW >= 0 {
+				cp.RMW = ev.RMW + off
+			}
+			c.events = append(c.events, &cp)
+			ids = append(ids, cp.ID)
+			switch {
+			case cp.IsR():
+				c.readsOf[cp.Loc] = append(c.readsOf[cp.Loc], cp.ID)
+			case cp.IsW():
+				c.writesOf[cp.Loc] = append(c.writesOf[cp.Loc], cp.ID)
+			}
+		}
+		c.po = append(c.po, ids)
+		_ = tid
+	}
+	c.rf = make([]int, len(c.events))
+	c.co = make([]int, len(c.events))
+	e.enumRF(c, picked, 0)
+}
+
+func offsetAll(ids []int, off int) []int {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = id + off
+	}
+	return out
+}
+
+// enumRF assigns a source write (or the initial write, -1) to each read.
+func (e *enumerator) enumRF(c *cand, picked []*Trace, from int) {
+	if e.res.Aborted {
+		return
+	}
+	// Find next read.
+	i := from
+	for i < len(c.events) && !c.events[i].IsR() {
+		i++
+	}
+	if i == len(c.events) {
+		e.enumCO(c, picked, 0)
+		return
+	}
+	r := c.events[i]
+	found := false
+	if r.Val == e.mem.InitVal(r.Loc) {
+		c.rf[r.ID] = -1
+		found = true
+		e.enumRF(c, picked, i+1)
+	}
+	for _, wid := range c.writesOf[r.Loc] {
+		if c.events[wid].Val == r.Val {
+			c.rf[r.ID] = wid
+			found = true
+			e.enumRF(c, picked, i+1)
+		}
+	}
+	if !found {
+		return // the assumed read value is not producible: prune
+	}
+}
+
+// enumCO linearises the writes of each location (location index li).
+func (e *enumerator) enumCO(c *cand, picked []*Trace, li int) {
+	if e.res.Aborted {
+		return
+	}
+	locs := sortedLocs(c.writesOf)
+	if li == len(locs) {
+		e.check(c, picked)
+		return
+	}
+	ws := c.writesOf[locs[li]]
+	perm(ws, func(order []int) {
+		for pos, wid := range order {
+			c.co[wid] = pos
+		}
+		e.enumCO(c, picked, li+1)
+	})
+}
+
+// check validates the axioms and records the outcome.
+func (e *enumerator) check(c *cand, picked []*Trace) {
+	e.res.States++
+	if e.opts.MaxStates > 0 && e.res.States > e.opts.MaxStates {
+		e.res.Aborted = true
+		return
+	}
+	if !e.internal(c) || !e.atomic(c) || !e.external(c) {
+		return
+	}
+	// Legal: project the final state.
+	var o explore.Outcome
+	for _, ro := range e.spec.Regs {
+		o.Regs = append(o.Regs, picked[ro.TID].Regs[ro.Reg])
+	}
+	for _, l := range e.spec.Locs {
+		o.Mem = append(o.Mem, e.finalVal(c, l))
+	}
+	k := o.Key()
+	if _, ok := e.res.Outcomes[k]; !ok {
+		e.res.Outcomes[k] = o
+	}
+}
+
+// finalVal returns the co-maximal write's value at l (or the initial value).
+func (e *enumerator) finalVal(c *cand, l lang.Loc) lang.Val {
+	best := -1
+	for _, wid := range c.writesOf[l] {
+		if best < 0 || c.co[wid] > c.co[best] {
+			best = wid
+		}
+	}
+	if best < 0 {
+		return e.mem.InitVal(l)
+	}
+	return c.events[best].Val
+}
+
+func sortedLocs(m map[lang.Loc][]int) []lang.Loc {
+	out := make([]lang.Loc, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// perm enumerates permutations of ids in place (Heap's algorithm).
+func perm(ids []int, f func([]int)) {
+	n := len(ids)
+	if n == 0 {
+		f(ids)
+		return
+	}
+	work := append([]int(nil), ids...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			f(work)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				work[i], work[k-1] = work[k-1], work[i]
+			} else {
+				work[0], work[k-1] = work[k-1], work[0]
+			}
+		}
+	}
+	rec(n)
+}

@@ -1,0 +1,311 @@
+package axiomatic
+
+import (
+	"fmt"
+
+	"promising/internal/core"
+	"promising/internal/lang"
+)
+
+// Per-thread trace enumeration: symbolic execution of the compiled code
+// where every load nondeterministically returns any value from the current
+// write-value domain (plus the initial value), in the herd style. Register
+// dependencies are tracked as taints so that addr/data/ctrl relations come
+// out syntactically, as the architecture requires.
+
+// domain is the set of values potentially writable per location.
+type domain map[lang.Loc]map[lang.Val]bool
+
+func (d domain) add(l lang.Loc, v lang.Val) bool {
+	m, ok := d[l]
+	if !ok {
+		m = make(map[lang.Val]bool)
+		d[l] = m
+	}
+	if m[v] {
+		return false
+	}
+	m[v] = true
+	return true
+}
+
+// regState is a register's symbolic value: concrete value plus taint.
+type regState struct {
+	val lang.Val
+	tnt taint
+}
+
+// tracer enumerates the traces of one thread.
+type tracer struct {
+	arch   lang.Arch
+	code   *lang.Code
+	tid    int
+	shared func(lang.Loc) bool
+	init   func(lang.Loc) lang.Val
+	dom    domain
+	// maxTraces caps the enumeration (0 = unlimited).
+	maxTraces int
+	out       []*Trace
+	truncated bool
+}
+
+// traceState is the mutable exploration state.
+type traceState struct {
+	cont   []int32
+	regs   []regState
+	ctrl   taint
+	addrPO taint
+	events []*Event
+	// xclb is the PO-most-recent load exclusive's event ID, or -1 when
+	// none or when a store exclusive intervened.
+	xclb int
+	// local models non-shared locations as thread-private storage.
+	local map[lang.Loc]regState
+	bound bool
+}
+
+func (s *traceState) clone() *traceState {
+	out := &traceState{
+		cont:   append([]int32(nil), s.cont...),
+		regs:   append([]regState(nil), s.regs...),
+		ctrl:   s.ctrl.clone(),
+		addrPO: s.addrPO.clone(),
+		xclb:   s.xclb,
+		bound:  s.bound,
+	}
+	out.events = make([]*Event, len(s.events))
+	copy(out.events, s.events)
+	if s.local != nil {
+		out.local = make(map[lang.Loc]regState, len(s.local))
+		for l, v := range s.local {
+			out.local[l] = v
+		}
+	}
+	return out
+}
+
+func (t *tracer) eval(s *traceState, e lang.Expr) (lang.Val, taint) {
+	switch e := e.(type) {
+	case lang.Const:
+		return e.V, nil
+	case lang.RegRef:
+		r := s.regs[e.R]
+		return r.val, r.tnt
+	case lang.BinOp:
+		lv, lt := t.eval(s, e.L)
+		rv, rt := t.eval(s, e.R)
+		return e.Op.Apply(lv, rv), lt.union(rt)
+	default:
+		panic(fmt.Sprintf("axiomatic: unknown expression %T", e))
+	}
+}
+
+// run enumerates all traces from the initial state.
+func (t *tracer) run() {
+	s := &traceState{
+		cont: []int32{t.code.Root},
+		regs: make([]regState, t.code.NumRegs),
+		xclb: -1,
+	}
+	t.step(s)
+}
+
+func (t *tracer) emit(s *traceState) {
+	if t.maxTraces > 0 && len(t.out) >= t.maxTraces {
+		t.truncated = true
+		return
+	}
+	regs := make([]lang.Val, len(s.regs))
+	for i, r := range s.regs {
+		regs[i] = r.val
+	}
+	t.out = append(t.out, &Trace{Events: s.events, Regs: regs, BoundExceeded: s.bound})
+}
+
+// step consumes continuation nodes until a branching point, then recurses.
+func (t *tracer) step(s *traceState) {
+	if t.truncated {
+		return
+	}
+	for len(s.cont) > 0 {
+		id := s.cont[len(s.cont)-1]
+		s.cont = s.cont[:len(s.cont)-1]
+		n := &t.code.Nodes[id]
+		switch n.Kind {
+		case lang.NSkip:
+		case lang.NSeq:
+			s.cont = append(s.cont, n.S2, n.S1)
+		case lang.NAssign:
+			v, tnt := t.eval(s, n.E)
+			s.regs[n.Dst] = regState{val: v, tnt: tnt}
+		case lang.NIf:
+			v, tnt := t.eval(s, n.Cond)
+			s.ctrl = s.ctrl.union(tnt)
+			if v != 0 {
+				s.cont = append(s.cont, n.Then)
+			} else {
+				s.cont = append(s.cont, n.Else)
+			}
+		case lang.NBoundFail:
+			s.bound = true
+			s.cont = s.cont[:0]
+		case lang.NFence:
+			t.pushEvent(s, &Event{Kind: EvFence, K1: n.K1, K2: n.K2})
+		case lang.NISB:
+			t.pushEvent(s, &Event{Kind: EvISB})
+		case lang.NLoad:
+			t.load(s, n)
+			return
+		case lang.NStore:
+			t.store(s, n)
+			return
+		default:
+			panic(fmt.Sprintf("axiomatic: unknown node kind %d", n.Kind))
+		}
+	}
+	t.emit(s)
+}
+
+// pushEvent appends an event, filling in identity and dependency fields.
+// IDs are thread-local PO indices here; candidate assembly renumbers them
+// globally.
+func (t *tracer) pushEvent(s *traceState, e *Event) *Event {
+	e.TID = t.tid
+	e.PO = len(s.events)
+	e.ID = e.PO
+	e.CtrlDep = s.ctrl.clone()
+	e.AddrPO = s.addrPO.clone()
+	s.events = append(s.events, e)
+	return e
+}
+
+func (t *tracer) load(s *traceState, n *lang.Node) {
+	l, at := t.eval(s, n.Addr)
+	if !t.shared(l) && !n.Xcl {
+		// Thread-private location: a register read.
+		rv := regState{val: t.init(l)}
+		if s.local != nil {
+			if v, ok := s.local[l]; ok {
+				rv = v
+			}
+		}
+		s.regs[n.Dst] = regState{val: rv.val, tnt: rv.tnt.union(at)}
+		s.addrPO = s.addrPO.union(at)
+		t.step(s)
+		return
+	}
+	// Candidate values: the initial value plus everything writable here.
+	vals := []lang.Val{t.init(l)}
+	for v := range t.dom[l] {
+		if v != t.init(l) {
+			vals = append(vals, v)
+		}
+	}
+	for _, v := range vals {
+		c := s.clone()
+		ev := t.pushEvent(c, &Event{Kind: EvRead, Loc: l, Val: v, RK: n.RK, Xcl: n.Xcl, RMW: -1})
+		ev.AddrDep = at.clone()
+		c.regs[n.Dst] = regState{val: v, tnt: taint{ev.ID}}
+		c.addrPO = c.addrPO.union(at)
+		if n.Xcl {
+			c.xclb = ev.ID
+		}
+		t.step(c)
+	}
+}
+
+func (t *tracer) store(s *traceState, n *lang.Node) {
+	l, at := t.eval(s, n.Addr)
+	v, dt := t.eval(s, n.Data)
+	if !t.shared(l) && !n.Xcl {
+		if s.local == nil {
+			s.local = make(map[lang.Loc]regState)
+		}
+		s.local[l] = regState{val: v, tnt: at.union(dt)}
+		s.addrPO = s.addrPO.union(at)
+		t.step(s)
+		return
+	}
+	if !n.Xcl {
+		c := s.clone()
+		ev := t.pushEvent(c, &Event{Kind: EvWrite, Loc: l, Val: v, WK: n.WK, RMW: -1})
+		ev.AddrDep = at.clone()
+		ev.DataDep = dt.clone()
+		c.addrPO = c.addrPO.union(at)
+		t.step(c)
+		return
+	}
+	// Store exclusive: success (when paired) and failure branches.
+	if s.xclb >= 0 {
+		c := s.clone()
+		ev := t.pushEvent(c, &Event{Kind: EvWrite, Loc: l, Val: v, WK: n.WK, Xcl: true, RMW: s.xclb})
+		ev.AddrDep = at.clone()
+		ev.DataDep = dt.clone()
+		c.addrPO = c.addrPO.union(at)
+		c.xclb = -1
+		succTaint := taint(nil)
+		if t.arch == lang.RISCV {
+			// ρ12: the RISC-V success register carries the write's view,
+			// so later dependencies order after the exclusive write.
+			succTaint = taint{ev.ID}
+		}
+		c.regs[n.Dst] = regState{val: lang.VSucc, tnt: succTaint}
+		t.step(c)
+	}
+	{
+		c := s.clone()
+		c.regs[n.Dst] = regState{val: lang.VFail}
+		c.xclb = -1
+		c.addrPO = c.addrPO.union(at)
+		t.step(c)
+	}
+}
+
+// enumerateTraces runs the write-value-domain fixpoint and returns the
+// trace sets of all threads. truncated reports that a cap was hit.
+//
+// The fixpoint is capped at (total instructions + 2) iterations: programs
+// like "r = load x; store x (r+1)" make the naive domain diverge, but in a
+// legal candidate execution every read value is justified by an acyclic
+// write→read chain (the internal axiom forbids reading one's own po-later
+// write), whose length is bounded by the instruction count. Values beyond
+// the cap can only occur in candidates that the axioms reject anyway.
+func enumerateTraces(cp *lang.CompiledProgram, maxTraces int) (traces [][]*Trace, truncated bool) {
+	mem := core.NewMemory(cp.Init)
+	initOf := func(l lang.Loc) lang.Val { return mem.InitVal(l) }
+	dom := domain{}
+	maxIter := 2
+	for _, th := range cp.Threads {
+		maxIter += th.NumInstrs
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		traces = traces[:0]
+		grew := false
+		truncated = false
+		for tid := range cp.Threads {
+			tr := &tracer{
+				arch:      cp.Arch,
+				code:      &cp.Threads[tid],
+				tid:       tid,
+				shared:    cp.IsShared,
+				init:      initOf,
+				dom:       dom,
+				maxTraces: maxTraces,
+			}
+			tr.run()
+			truncated = truncated || tr.truncated
+			traces = append(traces, tr.out)
+			for _, trc := range tr.out {
+				for _, e := range trc.Events {
+					if e.IsW() && dom.add(e.Loc, e.Val) {
+						grew = true
+					}
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	return traces, truncated
+}

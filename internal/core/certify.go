@@ -1,0 +1,159 @@
+package core
+
+import (
+	"promising/internal/lang"
+)
+
+// Certification (§4.3, §B).
+//
+// A thread configuration ⟨T, M⟩ is certified (r24) when the thread,
+// executing alone and performing every new write as a normal write (promise
+// immediately followed by fulfilment), can reach a state with no outstanding
+// promises. find_and_certify additionally enumerates which fresh writes are
+// legal promise steps: the writes performed on certifying traces whose
+// pre-view ⊔ coherence view does not exceed the maximal timestamp of the
+// pre-certification memory (§B, proved correct as Theorem 6.4).
+
+// CertResult is the outcome of a certification search.
+type CertResult struct {
+	// Certified reports whether a sequential execution fulfils all promises.
+	Certified bool
+	// Promises lists the distinct messages that are legal promise steps.
+	Promises []Msg
+}
+
+// Certify runs the certification search for thread th under mem. The inputs
+// are not mutated. When collectPromises is false the search stops as soon as
+// a certifying trace is found.
+func Certify(env *Env, th *Thread, mem *Memory, collectPromises bool) CertResult {
+	c := &certifier{
+		env:     env,
+		baseTS:  mem.MaxTS(),
+		collect: collectPromises,
+		memo:    make(map[string]certMemo),
+	}
+	res := c.search(th.Clone(), mem.Clone())
+	out := CertResult{Certified: res.reach}
+	if collectPromises {
+		for w := range res.writes {
+			out.Promises = append(out.Promises, w)
+		}
+	}
+	return out
+}
+
+// Certified reports the declarative predicate only.
+func Certified(env *Env, th *Thread, mem *Memory) bool {
+	if len(th.TS.Prom) == 0 {
+		return true
+	}
+	return Certify(env, th, mem, false).Certified
+}
+
+// FindAndCertify returns the legal promise steps of th under mem (§B).
+// The configuration is assumed certified.
+func FindAndCertify(env *Env, th *Thread, mem *Memory) []Msg {
+	return Certify(env, th, mem, true).Promises
+}
+
+type certMemo struct {
+	reach bool
+	// writes are the candidate promises performable on certifying suffixes
+	// from this state (only tracked when collecting).
+	writes map[Msg]bool
+}
+
+type certifier struct {
+	env     *Env
+	baseTS  Time
+	collect bool
+	memo    map[string]certMemo
+}
+
+// search explores the sequential executions of th (alone) under mem. It
+// owns and mutates both arguments. It returns whether a prom = {} state is
+// reachable and, when collecting, the candidate writes on such suffixes.
+func (c *certifier) search(th *Thread, mem *Memory) certMemo {
+	id := Advance(c.env, th)
+	if th.TS.BoundExceeded {
+		// Ran past the loop bound: cannot use this trace as a certificate.
+		return certMemo{}
+	}
+	done := len(th.TS.Prom) == 0
+	if done && !c.collect {
+		return certMemo{reach: true}
+	}
+	if id < 0 {
+		// Program finished.
+		return certMemo{reach: done}
+	}
+
+	key := string(EncodeMemory(EncodeThread(nil, th), mem, c.baseTS))
+	if m, ok := c.memo[key]; ok {
+		return m
+	}
+	// Mark in-progress to cut cycles (none exist: programs are finite and
+	// every step strictly consumes continuation nodes, but the guard is
+	// cheap and protects against future extensions).
+	c.memo[key] = certMemo{}
+
+	res := certMemo{reach: done}
+	if c.collect {
+		res.writes = make(map[Msg]bool)
+	}
+	n := &c.env.Code.Nodes[id]
+	switch n.Kind {
+	case lang.NLoad:
+		for _, rc := range ReadChoices(c.env, th, id, mem) {
+			child := th.Clone()
+			ApplyRead(c.env, child, id, mem, rc.TS)
+			c.merge(&res, c.search(child, mem), Msg{}, false)
+		}
+	case lang.NStore:
+		// Fulfil an outstanding promise.
+		for _, t := range FulfilChoices(c.env, th, id, mem) {
+			child := th.Clone()
+			ApplyFulfil(c.env, child, id, mem, t)
+			c.merge(&res, c.search(child, mem), Msg{}, false)
+		}
+		// Perform a fresh (normal) write.
+		{
+			child := th.Clone()
+			childMem := mem.Clone()
+			if t, preCoh, ok := NormalWrite(c.env, child, id, childMem); ok {
+				w := childMem.At(t)
+				candidate := preCoh <= c.baseTS
+				c.merge(&res, c.search(child, childMem), w, candidate)
+			}
+		}
+		// An exclusive store may fail.
+		if n.Xcl {
+			child := th.Clone()
+			ApplyXclFail(c.env, child, id)
+			c.merge(&res, c.search(child, mem), Msg{}, false)
+		}
+	default:
+		panic("core: Advance stopped on a non-memory node")
+	}
+	c.memo[key] = res
+	return res
+}
+
+// merge folds a child result into res; when the edge into the child
+// performed write w that met the §B view condition, w becomes a candidate
+// promise provided the child certifies.
+func (c *certifier) merge(res *certMemo, child certMemo, w Msg, candidate bool) {
+	if !child.reach {
+		return
+	}
+	res.reach = true
+	if !c.collect {
+		return
+	}
+	if candidate {
+		res.writes[w] = true
+	}
+	for cw := range child.writes {
+		res.writes[cw] = true
+	}
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"promising/internal/lang"
+)
+
+func TestJoin(t *testing.T) {
+	if Join(2, 5) != 5 || Join(5, 2) != 5 || Join(3, 3) != 3 {
+		t.Error("Join is not max")
+	}
+	if JoinIf(false, 7) != 0 || JoinIf(true, 7) != 7 {
+		t.Error("JoinIf broken")
+	}
+}
+
+func TestMemoryBasics(t *testing.T) {
+	m := NewMemory(map[lang.Loc]lang.Val{8: 9})
+	if v, ok := m.Read(8, 0); !ok || v != 9 {
+		t.Errorf("initial read = %d, %v", v, ok)
+	}
+	if v, ok := m.Read(16, 0); !ok || v != 0 {
+		t.Errorf("default initial read = %d, %v", v, ok)
+	}
+	t1 := m.Append(Msg{Loc: 8, Val: 1, TID: 0})
+	t2 := m.Append(Msg{Loc: 16, Val: 2, TID: 1})
+	if t1 != 1 || t2 != 2 || m.MaxTS() != 2 {
+		t.Fatalf("timestamps %d %d maxTS %d", t1, t2, m.MaxTS())
+	}
+	if v, ok := m.Read(8, 1); !ok || v != 1 {
+		t.Errorf("read(8,1) = %d, %v", v, ok)
+	}
+	if _, ok := m.Read(8, 2); ok {
+		t.Error("read of mismatched location must fail")
+	}
+	if _, ok := m.Read(8, 3); ok {
+		t.Error("read past end must fail")
+	}
+	if m.LastWriteTo(8) != 1 || m.LastWriteTo(16) != 2 || m.LastWriteTo(24) != 0 {
+		t.Error("LastWriteTo broken")
+	}
+	if !m.NoWriteTo(8, 1, 2) {
+		t.Error("no write to 8 in (1,2]")
+	}
+	if m.NoWriteTo(16, 1, 2) {
+		t.Error("write to 16 at 2 is in (1,2]")
+	}
+	c := m.Clone()
+	c.Append(Msg{Loc: 8, Val: 3, TID: 0})
+	if m.MaxTS() != 2 {
+		t.Error("clone must not share message storage")
+	}
+	c.Truncate(2)
+	if c.MaxTS() != 2 {
+		t.Error("truncate broken")
+	}
+}
+
+func TestMemoryAtomic(t *testing.T) {
+	m := NewMemory(nil)
+	m.Append(Msg{Loc: 8, Val: 1, TID: 1})  // 1
+	m.Append(Msg{Loc: 8, Val: 2, TID: 0})  // 2
+	m.Append(Msg{Loc: 16, Val: 3, TID: 1}) // 3
+	// Exclusive pair on loc 8 by thread 0 reading from ts 0: thread 1's
+	// write at 1 intervenes before tw=4.
+	if m.Atomic(8, 0, 0, 4) {
+		t.Error("intervening foreign write must break atomicity")
+	}
+	// Reading from ts 2 (own-thread write is the last to 8): fine.
+	if !m.Atomic(8, 0, 2, 4) {
+		t.Error("no intervening foreign write after ts 2")
+	}
+	// Same-thread intervening writes are permitted: the ts-2 write to loc 8
+	// is by thread 0, so a thread-0 exclusive pair over (1,3) is atomic.
+	if !m.Atomic(8, 0, 1, 3) {
+		t.Error("own intervening write must not break atomicity")
+	}
+	// ... but it does break a thread-1 pair over the same window.
+	if m.Atomic(8, 1, 1, 3) {
+		t.Error("foreign intervening write must break atomicity")
+	}
+	// Different-location pairing imposes no constraint.
+	if !m.Atomic(8, 0, 3, 4) {
+		t.Error("load exclusive at different location never constrains")
+	}
+}
+
+func TestMemoryAtomicSameThread(t *testing.T) {
+	m := NewMemory(nil)
+	m.Append(Msg{Loc: 8, Val: 1, TID: 0}) // 1 by tid 0
+	if !m.Atomic(8, 0, 0, 2) {
+		t.Error("own write between load and store exclusive is allowed")
+	}
+	m.Append(Msg{Loc: 8, Val: 2, TID: 1}) // 2 by tid 1
+	if m.Atomic(8, 0, 0, 3) {
+		t.Error("foreign write breaks atomicity")
+	}
+}
+
+func TestPromSet(t *testing.T) {
+	var p PromSet
+	p = p.Add(3).Add(1).Add(2).Add(2)
+	if len(p) != 3 || p[0] != 1 || p[1] != 2 || p[2] != 3 {
+		t.Fatalf("PromSet = %v", p)
+	}
+	if !p.Has(2) || p.Has(4) {
+		t.Error("Has broken")
+	}
+	p = p.Remove(2)
+	if p.Has(2) || len(p) != 2 {
+		t.Error("Remove broken")
+	}
+	p2 := p.Remove(99)
+	if len(p2) != len(p) {
+		t.Error("Remove of absent element must be a no-op")
+	}
+	// Property: Add then Remove restores the set.
+	f := func(xs []uint8, y uint8) bool {
+		var s PromSet
+		for _, x := range xs {
+			s = s.Add(int(x))
+		}
+		if s.Has(int(y)) {
+			return true
+		}
+		s2 := s.Add(int(y)).Remove(int(y))
+		if len(s2) != len(s) {
+			return false
+		}
+		for i := range s {
+			if s[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalViews(t *testing.T) {
+	ts := NewTState(3)
+	ts.Regs[0] = RegVal{Val: 5, View: 2}
+	ts.Regs[1] = RegVal{Val: 7, View: 4}
+	v, view := ts.Eval(lang.Add(lang.R(0), lang.R(1)))
+	if v != 12 || view != 4 {
+		t.Errorf("eval = %d@%d, want 12@4", v, view)
+	}
+	v, view = ts.Eval(lang.C(9))
+	if v != 9 || view != 0 {
+		t.Errorf("const = %d@%d", v, view)
+	}
+}
+
+func TestReadViewForwarding(t *testing.T) {
+	// readView matrix (r16, ρ13): forwarding yields the small view except
+	// for exclusive-write forwards on RISC-V or to acquiring loads on ARM.
+	f := FwdItem{Time: 3, View: 1, Xcl: false}
+	if readView(lang.ARM, lang.ReadPlain, f, 3) != 1 {
+		t.Error("plain forward must use forward view")
+	}
+	if readView(lang.ARM, lang.ReadPlain, f, 2) != 2 {
+		t.Error("non-forward read uses its timestamp")
+	}
+	fx := FwdItem{Time: 3, View: 1, Xcl: true}
+	if readView(lang.ARM, lang.ReadPlain, fx, 3) != 1 {
+		t.Error("ARM plain read may forward from exclusive")
+	}
+	if readView(lang.ARM, lang.ReadAcq, fx, 3) != 3 {
+		t.Error("ARM acquire must not forward from exclusive")
+	}
+	if readView(lang.ARM, lang.ReadWeakAcq, fx, 3) != 3 {
+		t.Error("ARM weak acquire must not forward from exclusive")
+	}
+	if readView(lang.RISCV, lang.ReadPlain, fx, 3) != 3 {
+		t.Error("RISC-V must not forward from exclusive")
+	}
+	if readView(lang.RISCV, lang.ReadPlain, f, 3) != 1 {
+		t.Error("RISC-V non-exclusive forward is fine")
+	}
+}
+
+// buildThread compiles a single-thread program and returns execution pieces.
+func buildThread(t *testing.T, arch lang.Arch, body lang.Stmt) (*Env, *Thread) {
+	t.Helper()
+	cp, err := lang.Compile(&lang.Program{Arch: arch, Threads: []lang.Stmt{body}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{Arch: arch, Code: &cp.Threads[0], TID: 0, Shared: AllShared}
+	return env, NewThread(env.Code)
+}
+
+func TestFenceRule(t *testing.T) {
+	// dmb.sy merges vrOld⊔vwOld into both vrNew and vwNew (r7).
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.DmbSY()))
+	th.TS.VROld, th.TS.VWOld = 3, 5
+	Advance(env, th)
+	if th.TS.VRNew != 5 || th.TS.VWNew != 5 {
+		t.Errorf("after dmb.sy: vrNew=%d vwNew=%d, want 5,5", th.TS.VRNew, th.TS.VWNew)
+	}
+
+	// dmb.ld (fence r,rw) merges only vrOld, into both (ρ6).
+	env, th = buildThread(t, lang.ARM, lang.Block(lang.DmbLD()))
+	th.TS.VROld, th.TS.VWOld = 3, 5
+	Advance(env, th)
+	if th.TS.VRNew != 3 || th.TS.VWNew != 3 {
+		t.Errorf("after dmb.ld: vrNew=%d vwNew=%d, want 3,3", th.TS.VRNew, th.TS.VWNew)
+	}
+
+	// dmb.st (fence w,w) merges vwOld into vwNew only (ρ5).
+	env, th = buildThread(t, lang.ARM, lang.Block(lang.DmbST()))
+	th.TS.VROld, th.TS.VWOld = 3, 5
+	Advance(env, th)
+	if th.TS.VRNew != 0 || th.TS.VWNew != 5 {
+		t.Errorf("after dmb.st: vrNew=%d vwNew=%d, want 0,5", th.TS.VRNew, th.TS.VWNew)
+	}
+}
+
+func TestISBRule(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.ISB{}))
+	th.TS.VCAP = 4
+	Advance(env, th)
+	if th.TS.VRNew != 4 {
+		t.Errorf("isb must merge vCAP into vrNew, got %d", th.TS.VRNew)
+	}
+	if th.TS.VWNew != 0 {
+		t.Errorf("isb must not touch vwNew, got %d", th.TS.VWNew)
+	}
+}
+
+func TestBranchMergesVCAP(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.If{Cond: lang.R(0), Then: lang.Skip{}, Else: lang.Skip{}},
+	))
+	th.TS.Regs[0] = RegVal{Val: 1, View: 6}
+	Advance(env, th)
+	if th.TS.VCAP != 6 {
+		t.Errorf("branch must merge condition view into vCAP, got %d", th.TS.VCAP)
+	}
+}
+
+func TestReadChoicesCoherence(t *testing.T) {
+	// Memory: x@1, y@2, x@3. A fresh thread can read x at 0, 1 or 3.
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.Load{Dst: 0, Addr: lang.C(8)}))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 1, TID: 1})
+	mem.Append(Msg{Loc: 16, Val: 1, TID: 1})
+	mem.Append(Msg{Loc: 8, Val: 2, TID: 1})
+	id := Advance(env, th)
+	cs := ReadChoices(env, th, id, mem)
+	if len(cs) != 3 || cs[0].TS != 0 || cs[1].TS != 1 || cs[2].TS != 3 {
+		t.Fatalf("choices = %+v", cs)
+	}
+	// With coh(x)=1 the initial write is superseded.
+	th.TS.Coh[8] = 1
+	cs = ReadChoices(env, th, id, mem)
+	if len(cs) != 2 || cs[0].TS != 1 || cs[1].TS != 3 {
+		t.Fatalf("choices with coh = %+v", cs)
+	}
+	// With vrNew=3 only the newest write remains.
+	th.TS.VRNew = 3
+	cs = ReadChoices(env, th, id, mem)
+	if len(cs) != 1 || cs[0].TS != 3 {
+		t.Fatalf("choices with vrNew = %+v", cs)
+	}
+}
+
+func TestApplyReadUpdatesState(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.Load{Dst: 0, Addr: lang.C(8)}))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 42, TID: 1})
+	id := Advance(env, th)
+	lab := ApplyRead(env, th, id, mem, 1)
+	if lab.Kind != StepRead || lab.Val != 42 || lab.TS != 1 {
+		t.Errorf("label = %+v", lab)
+	}
+	if th.TS.Regs[0] != (RegVal{Val: 42, View: 1}) {
+		t.Errorf("reg = %+v", th.TS.Regs[0])
+	}
+	if th.TS.Coh[8] != 1 || th.TS.VROld != 1 {
+		t.Errorf("coh=%d vrOld=%d", th.TS.Coh[8], th.TS.VROld)
+	}
+	if th.TS.VRNew != 0 || th.TS.VWNew != 0 {
+		t.Error("plain read must not touch vrNew/vwNew")
+	}
+	if !th.Done() {
+		t.Error("thread should be done")
+	}
+}
+
+func TestAcquireReadUpdatesNewViews(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.Load{Dst: 0, Addr: lang.C(8), Kind: lang.ReadAcq}))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 1, TID: 1})
+	id := Advance(env, th)
+	ApplyRead(env, th, id, mem, 1)
+	if th.TS.VRNew != 1 || th.TS.VWNew != 1 {
+		t.Errorf("acquire read must bump vrNew/vwNew: %d %d", th.TS.VRNew, th.TS.VWNew)
+	}
+}
+
+func TestAcquireReadConstrainedByVRel(t *testing.T) {
+	// ρ4: a strong acquire's pre-view includes vRel.
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.Load{Dst: 0, Addr: lang.C(8), Kind: lang.ReadAcq}))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 1, TID: 1}) // ts 1
+	th.TS.VRel = 1
+	id := Advance(env, th)
+	cs := ReadChoices(env, th, id, mem)
+	if len(cs) != 1 || cs[0].TS != 1 {
+		t.Fatalf("acquire after release must not read the stale initial: %+v", cs)
+	}
+}
+
+func TestNormalWriteAndFulfil(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7)},
+	))
+	mem := NewMemory(nil)
+	id := Advance(env, th)
+	ts, preCoh, ok := NormalWrite(env, th, id, mem)
+	if !ok || ts != 1 || preCoh != 0 {
+		t.Fatalf("NormalWrite = %d, %d, %v", ts, preCoh, ok)
+	}
+	if mem.MaxTS() != 1 || mem.At(1) != (Msg{Loc: 8, Val: 7, TID: 0}) {
+		t.Errorf("memory = %s", mem)
+	}
+	if len(th.TS.Prom) != 0 {
+		t.Error("normal write must leave no promise")
+	}
+	if th.TS.Coh[8] != 1 || th.TS.VWOld != 1 {
+		t.Errorf("coh=%d vwOld=%d", th.TS.Coh[8], th.TS.VWOld)
+	}
+	if th.TS.Fwdb[8] != (FwdItem{Time: 1, View: 0, Xcl: false}) {
+		t.Errorf("fwdb = %+v", th.TS.Fwdb[8])
+	}
+}
+
+func TestFulfilRequiresMatchingPromise(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7)},
+	))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 7, TID: 0}) // matches
+	mem.Append(Msg{Loc: 8, Val: 9, TID: 0}) // wrong value
+	mem.Append(Msg{Loc: 8, Val: 7, TID: 1}) // wrong thread
+	th.TS.Prom = PromSet{1, 2, 3}
+	id := Advance(env, th)
+	if got := FulfilChoices(env, th, id, mem); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FulfilChoices = %v, want [1]", got)
+	}
+	lab := ApplyFulfil(env, th, id, mem, 1)
+	if lab.Kind != StepFulfil || lab.TS != 1 {
+		t.Errorf("label = %+v", lab)
+	}
+	if th.TS.Prom.Has(1) {
+		t.Error("fulfil must remove the promise")
+	}
+}
+
+func TestFulfilViewCondition(t *testing.T) {
+	// The promise timestamp must exceed pre-view ⊔ coh (r19).
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7)},
+	))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 7, TID: 0}) // ts 1
+	th.TS.Prom = PromSet{1}
+	th.TS.VWNew = 1 // pre-view 1 is not < 1
+	id := Advance(env, th)
+	if got := FulfilChoices(env, th, id, mem); len(got) != 0 {
+		t.Fatalf("FulfilChoices = %v, want none", got)
+	}
+}
+
+func TestReleaseStorePreView(t *testing.T) {
+	// ρ1: release stores include vrOld ⊔ vwOld in the pre-view.
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7), Kind: lang.WriteRel},
+	))
+	mem := NewMemory(nil)
+	mem.Append(Msg{Loc: 8, Val: 7, TID: 0}) // ts 1
+	th.TS.Prom = PromSet{1}
+	th.TS.VROld = 1
+	id := Advance(env, th)
+	if got := FulfilChoices(env, th, id, mem); len(got) != 0 {
+		t.Fatalf("release store with vrOld=1 cannot fulfil at 1: %v", got)
+	}
+	// A plain store in the same state can.
+	env2, th2 := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7)},
+	))
+	th2.TS.Prom = PromSet{1}
+	th2.TS.VROld = 1
+	id2 := Advance(env2, th2)
+	if got := FulfilChoices(env2, th2, id2, mem); len(got) != 1 {
+		t.Fatalf("plain store should fulfil: %v", got)
+	}
+}
+
+func TestReleaseUpdatesVRel(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7), Kind: lang.WriteRel},
+	))
+	mem := NewMemory(nil)
+	id := Advance(env, th)
+	if _, _, ok := NormalWrite(env, th, id, mem); !ok {
+		t.Fatal("write failed")
+	}
+	if th.TS.VRel != 1 {
+		t.Errorf("vRel = %d, want 1", th.TS.VRel)
+	}
+}
+
+func TestExclusiveFailure(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7), Xcl: true},
+	))
+	th.TS.Xclb = &XclItem{Time: 0, View: 0}
+	id := Advance(env, th)
+	lab := ApplyXclFail(env, th, id)
+	if lab.Kind != StepXclFail {
+		t.Errorf("label = %+v", lab)
+	}
+	if th.TS.Regs[0] != (RegVal{Val: lang.VFail, View: 0}) {
+		t.Errorf("success register = %+v", th.TS.Regs[0])
+	}
+	if th.TS.Xclb != nil {
+		t.Error("exclusive failure must clear xclb")
+	}
+}
+
+func TestExclusiveStoreNeedsPairing(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(
+		lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7), Xcl: true},
+	))
+	mem := NewMemory(nil)
+	id := Advance(env, th)
+	if _, _, ok := NormalWrite(env, th, id, mem); ok {
+		t.Error("unpaired store exclusive must not succeed")
+	}
+}
+
+func TestExclusiveSuccessRegisterView(t *testing.T) {
+	// ρ12: the success view is the post-view on RISC-V, 0 on ARM.
+	for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
+		env, th := buildThread(t, arch, lang.Block(
+			lang.Load{Dst: 1, Addr: lang.C(8), Xcl: true},
+			lang.Store{Succ: 0, Addr: lang.C(8), Data: lang.C(7), Xcl: true},
+		))
+		mem := NewMemory(nil)
+		id := Advance(env, th)
+		ApplyRead(env, th, id, mem, 0)
+		id = Advance(env, th)
+		if _, _, ok := NormalWrite(env, th, id, mem); !ok {
+			t.Fatalf("%v: exclusive write failed", arch)
+		}
+		want := View(0)
+		if arch == lang.RISCV {
+			want = 1
+		}
+		if th.TS.Regs[0] != (RegVal{Val: lang.VSucc, View: want}) {
+			t.Errorf("%v: success register = %+v, want view %d", arch, th.TS.Regs[0], want)
+		}
+		if th.TS.Xclb != nil {
+			t.Errorf("%v: successful exclusive must clear xclb", arch)
+		}
+		if !th.TS.Fwdb[8].Xcl {
+			t.Errorf("%v: forward bank must record exclusivity", arch)
+		}
+	}
+}
+
+func TestLocalAccesses(t *testing.T) {
+	// Accesses to non-shared locations behave like registers and preserve
+	// dataflow views.
+	cp, err := lang.Compile(&lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{lang.Block(
+			lang.Store{Succ: 2, Addr: lang.C(64), Data: lang.R(0)},
+			lang.Load{Dst: 1, Addr: lang.C(64)},
+		)},
+		Shared: map[lang.Loc]bool{8: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &Env{Arch: lang.ARM, Code: &cp.Threads[0], TID: 0, Shared: cp.IsShared}
+	th := NewThread(env.Code)
+	th.TS.Regs[0] = RegVal{Val: 5, View: 3}
+	if id := Advance(env, th); id != -1 {
+		t.Fatalf("local accesses must fold away, got node %d", id)
+	}
+	if th.TS.Regs[1].Val != 5 || th.TS.Regs[1].View != 3 {
+		t.Errorf("local round-trip = %+v", th.TS.Regs[1])
+	}
+}
+
+func TestBoundFail(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.While{Cond: lang.C(1), Body: lang.Skip{}})
+	Advance(env, th)
+	if !th.TS.BoundExceeded {
+		t.Error("infinite loop must trip the bound")
+	}
+	if !th.Done() {
+		t.Error("bound failure must stop the thread")
+	}
+}
+
+func TestEncodeThreadDistinguishesStates(t *testing.T) {
+	env, th := buildThread(t, lang.ARM, lang.Block(lang.Load{Dst: 0, Addr: lang.C(8)}))
+	_ = env
+	a := string(EncodeThread(nil, th))
+	th2 := th.Clone()
+	if string(EncodeThread(nil, th2)) != a {
+		t.Error("clone must encode identically")
+	}
+	th2.TS.VCAP = 1
+	if string(EncodeThread(nil, th2)) == a {
+		t.Error("vCAP must be part of the encoding")
+	}
+	th3 := th.Clone()
+	th3.TS.Prom = th3.TS.Prom.Add(1)
+	if string(EncodeThread(nil, th3)) == a {
+		t.Error("prom must be part of the encoding")
+	}
+	th4 := th.Clone()
+	th4.TS.Xclb = &XclItem{Time: 1, View: 1}
+	if string(EncodeThread(nil, th4)) == a {
+		t.Error("xclb must be part of the encoding")
+	}
+}
+
+// TestViewMonotonicity: applying any read never decreases any view
+// component (a structural invariant of the view semantics).
+func TestViewMonotonicity(t *testing.T) {
+	f := func(initVal uint8, readOld bool) bool {
+		env, th := buildThread(t, lang.ARM, lang.Block(lang.Load{Dst: 0, Addr: lang.C(8), Kind: lang.ReadAcq}))
+		mem := NewMemory(nil)
+		mem.Append(Msg{Loc: 8, Val: lang.Val(initVal), TID: 1})
+		id := Advance(env, th)
+		before := *th.TS
+		ts := 1
+		if readOld {
+			ts = 0
+		}
+		ApplyRead(env, th, id, mem, ts)
+		after := th.TS
+		return after.VROld >= before.VROld && after.VRNew >= before.VRNew &&
+			after.VWNew >= before.VWNew && after.VCAP >= before.VCAP &&
+			after.Coh[8] >= before.Coh[8]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"promising/internal/lang"
+)
+
+// Canonical state encodings. Exploration deduplicates on these byte strings;
+// everything observable about a state must be included, in a deterministic
+// order (maps are sorted by key).
+
+func appendInt(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// EncodeThread appends a canonical encoding of th to b.
+func EncodeThread(b []byte, th *Thread) []byte {
+	b = appendInt(b, int64(len(th.Cont)))
+	for _, n := range th.Cont {
+		b = appendInt(b, int64(n))
+	}
+	ts := th.TS
+	b = appendInt(b, int64(len(ts.Prom)))
+	for _, t := range ts.Prom {
+		b = appendInt(b, int64(t))
+	}
+	b = appendInt(b, int64(len(ts.Regs)))
+	for _, rv := range ts.Regs {
+		b = appendInt(b, rv.Val)
+		b = appendInt(b, int64(rv.View))
+	}
+	b = appendLocViews(b, ts.Coh)
+	b = appendInt(b, int64(ts.VROld))
+	b = appendInt(b, int64(ts.VWOld))
+	b = appendInt(b, int64(ts.VRNew))
+	b = appendInt(b, int64(ts.VWNew))
+	b = appendInt(b, int64(ts.VCAP))
+	b = appendInt(b, int64(ts.VRel))
+	b = appendFwdb(b, ts.Fwdb)
+	if ts.Xclb != nil {
+		b = appendInt(b, 1)
+		b = appendInt(b, int64(ts.Xclb.Time))
+		b = appendInt(b, int64(ts.Xclb.View))
+	} else {
+		b = appendInt(b, 0)
+	}
+	b = appendLocals(b, ts.Local)
+	if ts.BoundExceeded {
+		b = appendInt(b, 1)
+	} else {
+		b = appendInt(b, 0)
+	}
+	return b
+}
+
+func appendLocViews(b []byte, m map[lang.Loc]View) []byte {
+	locs := make([]lang.Loc, 0, len(m))
+	for l, v := range m {
+		if v != 0 {
+			locs = append(locs, l)
+		}
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	b = appendInt(b, int64(len(locs)))
+	for _, l := range locs {
+		b = appendInt(b, l)
+		b = appendInt(b, int64(m[l]))
+	}
+	return b
+}
+
+func appendFwdb(b []byte, m map[lang.Loc]FwdItem) []byte {
+	locs := make([]lang.Loc, 0, len(m))
+	for l, f := range m {
+		if f != (FwdItem{}) {
+			locs = append(locs, l)
+		}
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	b = appendInt(b, int64(len(locs)))
+	for _, l := range locs {
+		f := m[l]
+		b = appendInt(b, l)
+		b = appendInt(b, int64(f.Time))
+		b = appendInt(b, int64(f.View))
+		if f.Xcl {
+			b = appendInt(b, 1)
+		} else {
+			b = appendInt(b, 0)
+		}
+	}
+	return b
+}
+
+func appendLocals(b []byte, m map[lang.Loc]RegVal) []byte {
+	locs := make([]lang.Loc, 0, len(m))
+	for l := range m {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	b = appendInt(b, int64(len(locs)))
+	for _, l := range locs {
+		rv := m[l]
+		b = appendInt(b, l)
+		b = appendInt(b, rv.Val)
+		b = appendInt(b, int64(rv.View))
+	}
+	return b
+}
+
+// EncodeMemory appends the messages with timestamp > from.
+func EncodeMemory(b []byte, mem *Memory, from Time) []byte {
+	msgs := mem.Msgs()
+	b = appendInt(b, int64(len(msgs)-from))
+	for _, w := range msgs[from:] {
+		b = appendInt(b, w.Loc)
+		b = appendInt(b, w.Val)
+		b = appendInt(b, int64(w.TID))
+	}
+	return b
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"promising/internal/lang"
+)
+
+// Machine is a whole-system state ⟨T⃗, M⟩: the thread pool and the memory.
+type Machine struct {
+	Prog    *lang.CompiledProgram
+	Threads []*Thread
+	Mem     *Memory
+}
+
+// NewMachine returns the initial machine for a compiled program, with all
+// threads advanced past their leading silent steps.
+func NewMachine(cp *lang.CompiledProgram) *Machine {
+	m := &Machine{
+		Prog: cp,
+		Mem:  NewMemory(cp.Init),
+	}
+	for tid := range cp.Threads {
+		th := NewThread(&cp.Threads[tid])
+		Advance(m.Env(tid), th)
+		m.Threads = append(m.Threads, th)
+	}
+	return m
+}
+
+// Env returns the step environment for thread tid.
+func (m *Machine) Env(tid int) *Env {
+	return &Env{
+		Arch:   m.Prog.Arch,
+		Code:   &m.Prog.Threads[tid],
+		TID:    tid,
+		Shared: m.Prog.IsShared,
+	}
+}
+
+// Clone deep-copies the machine (memory and all threads).
+func (m *Machine) Clone() *Machine {
+	out := &Machine{Prog: m.Prog, Mem: m.Mem.Clone()}
+	out.Threads = make([]*Thread, len(m.Threads))
+	for i, th := range m.Threads {
+		out.Threads[i] = th.Clone()
+	}
+	return out
+}
+
+// cloneWith returns a copy sharing memory (for non-promise steps) with
+// thread tid replaced.
+func (m *Machine) cloneWith(tid int, th *Thread, mem *Memory) *Machine {
+	out := &Machine{Prog: m.Prog, Mem: mem}
+	out.Threads = make([]*Thread, len(m.Threads))
+	copy(out.Threads, m.Threads)
+	out.Threads[tid] = th
+	return out
+}
+
+// Final reports whether every thread has terminated with an empty promise
+// set (a valid final state, §D).
+func (m *Machine) Final() bool {
+	for _, th := range m.Threads {
+		if !th.Done() || len(th.TS.Prom) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundExceeded reports whether any thread ran past its loop bound.
+func (m *Machine) BoundExceeded() bool {
+	for _, th := range m.Threads {
+		if th.TS.BoundExceeded {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical encoding of the machine state for deduplication.
+func (m *Machine) Key() string {
+	var b []byte
+	b = EncodeMemory(b, m.Mem, 0)
+	for _, th := range m.Threads {
+		b = EncodeThread(b, th)
+	}
+	return string(b)
+}
+
+// Succ is one enabled machine transition.
+type Succ struct {
+	M     *Machine
+	Label Label
+}
+
+// Successors enumerates the machine steps enabled in m. When certify is
+// true (the Promising machine of Fig. 5) each successor's stepping-thread
+// configuration is certified; promise steps are enumerated with
+// find_and_certify either way. With certify false the caller gets the
+// Global-Promising machine of §D (unconstrained non-promise steps), used to
+// test Theorem 6.2.
+func (m *Machine) Successors(certify bool) []Succ {
+	var out []Succ
+	for tid := range m.Threads {
+		out = append(out, m.ThreadSuccessors(tid, certify)...)
+	}
+	return out
+}
+
+// ThreadSuccessors enumerates the machine steps of thread tid.
+func (m *Machine) ThreadSuccessors(tid int, certify bool) []Succ {
+	th := m.Threads[tid]
+	env := m.Env(tid)
+	var out []Succ
+
+	keep := func(nth *Thread, mem *Memory, lab Label) {
+		if certify && !Certified(env, nth, mem) {
+			return
+		}
+		out = append(out, Succ{M: m.cloneWith(tid, nth, mem), Label: lab})
+	}
+
+	if !th.Done() {
+		id := th.Cont[len(th.Cont)-1]
+		n := &env.Code.Nodes[id]
+		switch n.Kind {
+		case lang.NLoad:
+			for _, rc := range ReadChoices(env, th, id, m.Mem) {
+				nth := th.Clone()
+				lab := ApplyRead(env, nth, id, m.Mem, rc.TS)
+				Advance(env, nth)
+				keep(nth, m.Mem, lab)
+			}
+		case lang.NStore:
+			for _, t := range FulfilChoices(env, th, id, m.Mem) {
+				nth := th.Clone()
+				lab := ApplyFulfil(env, nth, id, m.Mem, t)
+				Advance(env, nth)
+				keep(nth, m.Mem, lab)
+			}
+			if n.Xcl {
+				nth := th.Clone()
+				lab := ApplyXclFail(env, nth, id)
+				Advance(env, nth)
+				keep(nth, m.Mem, lab)
+			}
+		default:
+			panic("core: machine thread stopped on a non-memory node")
+		}
+	}
+
+	// Promise steps (always guarded by find_and_certify, which is the
+	// machine's way of enumerating feasible promises).
+	if !th.Done() || len(th.TS.Prom) > 0 {
+		for _, w := range FindAndCertify(env, th, m.Mem) {
+			mem := m.Mem.Clone()
+			nth := th.Clone()
+			t := Promise(env, nth, mem, w.Loc, w.Val)
+			out = append(out, Succ{
+				M:     m.cloneWith(tid, nth, mem),
+				Label: Label{Kind: StepPromise, TID: tid, Loc: w.Loc, Val: w.Val, TS: t},
+			})
+		}
+	}
+	return out
+}
+
+// String renders the machine state for the interactive UI.
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "memory: %s\n", m.Mem.String())
+	for tid, th := range m.Threads {
+		status := "running"
+		if th.Done() {
+			status = "done"
+		}
+		if th.TS.BoundExceeded {
+			status = "loop bound exceeded"
+		}
+		fmt.Fprintf(&b, "thread %d (%s): %s\n", tid, status, th.TS.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"promising/internal/lang"
+)
+
+// TState is the thread state of Fig. 2/4: promise set, register file,
+// per-location coherence views, the six ordering views, the forward bank and
+// the exclusives bank. Local additionally holds thread-private storage for
+// locations declared non-shared (the §7 optimisation), and BoundExceeded
+// flags executions that ran past the loop-unrolling bound.
+type TState struct {
+	Prom PromSet
+	Regs []RegVal
+
+	Coh map[lang.Loc]View
+
+	VROld View // maximal post-view of loads executed so far (r5)
+	VWOld View // maximal post-view of stores executed so far (r5)
+	VRNew View // lower bound on future load pre-views (r6)
+	VWNew View // lower bound on future store pre-views (r6)
+	VCAP  View // control/address capture view (r21)
+	VRel  View // maximal post-view of strong releases (ρ3)
+
+	Fwdb map[lang.Loc]FwdItem
+	Xclb *XclItem
+
+	Local map[lang.Loc]RegVal
+
+	BoundExceeded bool
+}
+
+// NewTState returns the initial thread state for a register file of n
+// registers (all views 0, empty promise set, empty banks).
+func NewTState(n int) *TState {
+	return &TState{
+		Regs: make([]RegVal, n),
+		Coh:  make(map[lang.Loc]View),
+		Fwdb: make(map[lang.Loc]FwdItem),
+	}
+}
+
+// Clone deep-copies the state.
+func (ts *TState) Clone() *TState {
+	out := &TState{
+		Prom:          ts.Prom.Clone(),
+		Regs:          append([]RegVal(nil), ts.Regs...),
+		Coh:           make(map[lang.Loc]View, len(ts.Coh)),
+		VROld:         ts.VROld,
+		VWOld:         ts.VWOld,
+		VRNew:         ts.VRNew,
+		VWNew:         ts.VWNew,
+		VCAP:          ts.VCAP,
+		VRel:          ts.VRel,
+		Fwdb:          make(map[lang.Loc]FwdItem, len(ts.Fwdb)),
+		BoundExceeded: ts.BoundExceeded,
+	}
+	for l, v := range ts.Coh {
+		out.Coh[l] = v
+	}
+	for l, f := range ts.Fwdb {
+		out.Fwdb[l] = f
+	}
+	if ts.Xclb != nil {
+		x := *ts.Xclb
+		out.Xclb = &x
+	}
+	if ts.Local != nil {
+		out.Local = make(map[lang.Loc]RegVal, len(ts.Local))
+		for l, v := range ts.Local {
+			out.Local[l] = v
+		}
+	}
+	return out
+}
+
+// CohView returns coh(l) (0 when untouched).
+func (ts *TState) CohView(l lang.Loc) View { return ts.Coh[l] }
+
+// Fwd returns fwdb(l) (zero item when untouched, per r15).
+func (ts *TState) Fwd(l lang.Loc) FwdItem { return ts.Fwdb[l] }
+
+// Eval interprets a pure expression over the register file, returning the
+// value and the join of the views of the registers read (Fig. 5, ⟦e⟧m).
+func (ts *TState) Eval(e lang.Expr) (lang.Val, View) {
+	switch e := e.(type) {
+	case lang.Const:
+		return e.V, 0
+	case lang.RegRef:
+		rv := ts.Regs[e.R]
+		return rv.Val, rv.View
+	case lang.BinOp:
+		lv, lview := ts.Eval(e.L)
+		rv, rview := ts.Eval(e.R)
+		return e.Op.Apply(lv, rv), Join(lview, rview)
+	default:
+		panic(fmt.Sprintf("core: unknown expression %T", e))
+	}
+}
+
+// String renders the state compactly for the interactive UI and debugging.
+func (ts *TState) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prom=%v vrOld=%d vwOld=%d vrNew=%d vwNew=%d vCAP=%d vRel=%d",
+		[]Time(ts.Prom), ts.VROld, ts.VWOld, ts.VRNew, ts.VWNew, ts.VCAP, ts.VRel)
+	if ts.Xclb != nil {
+		fmt.Fprintf(&b, " xclb=<t=%d,v=%d>", ts.Xclb.Time, ts.Xclb.View)
+	}
+	if len(ts.Coh) > 0 {
+		locs := make([]lang.Loc, 0, len(ts.Coh))
+		for l := range ts.Coh {
+			locs = append(locs, l)
+		}
+		sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+		b.WriteString(" coh={")
+		for i, l := range locs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%d:%d", l, ts.Coh[l])
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// Thread is a statement-continuation plus a thread state (Fig. 2:
+// Thread = St × TState). The continuation is a stack of node indices into
+// the thread's compiled Code; the top of the stack is the next node.
+type Thread struct {
+	Cont []int32
+	TS   *TState
+}
+
+// NewThread returns a thread at the start of code.
+func NewThread(code *lang.Code) *Thread {
+	return &Thread{Cont: []int32{code.Root}, TS: NewTState(code.NumRegs)}
+}
+
+// Done reports whether the program has terminated (possibly with
+// outstanding promises).
+func (th *Thread) Done() bool { return len(th.Cont) == 0 }
+
+// Clone deep-copies the thread.
+func (th *Thread) Clone() *Thread {
+	return &Thread{Cont: append([]int32(nil), th.Cont...), TS: th.TS.Clone()}
+}
+
+// push pushes a node onto the continuation stack.
+func (th *Thread) push(n int32) { th.Cont = append(th.Cont, n) }
+
+// pop removes and returns the top node.
+func (th *Thread) pop() int32 {
+	n := th.Cont[len(th.Cont)-1]
+	th.Cont = th.Cont[:len(th.Cont)-1]
+	return n
+}

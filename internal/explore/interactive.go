@@ -1,0 +1,117 @@
+package explore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"promising/internal/core"
+	"promising/internal/lang"
+)
+
+// Session is an interactive exploration of one program: the user (or a
+// script) picks among the enabled transitions, stepping the Promising
+// machine, with undo. This is the model-level counterpart of rmem's
+// interactive mode (§7).
+type Session struct {
+	prog    *lang.CompiledProgram
+	history []*core.Machine
+	trace   []core.Label
+}
+
+// NewSession starts an interactive session at the initial machine state.
+func NewSession(cp *lang.CompiledProgram) *Session {
+	return &Session{prog: cp, history: []*core.Machine{core.NewMachine(cp)}}
+}
+
+// Current returns the current machine state.
+func (s *Session) Current() *core.Machine { return s.history[len(s.history)-1] }
+
+// Trace returns the labels of the steps taken so far.
+func (s *Session) Trace() []core.Label { return append([]core.Label(nil), s.trace...) }
+
+// Enabled lists the currently enabled (certified) transitions.
+func (s *Session) Enabled() []core.Succ { return s.Current().Successors(true) }
+
+// Step takes the i'th enabled transition.
+func (s *Session) Step(i int) error {
+	succs := s.Enabled()
+	if i < 0 || i >= len(succs) {
+		return fmt.Errorf("explore: transition %d out of range (have %d)", i, len(succs))
+	}
+	s.history = append(s.history, succs[i].M)
+	s.trace = append(s.trace, succs[i].Label)
+	return nil
+}
+
+// Undo reverts the last step; it reports whether there was one.
+func (s *Session) Undo() bool {
+	if len(s.history) <= 1 {
+		return false
+	}
+	s.history = s.history[:len(s.history)-1]
+	s.trace = s.trace[:len(s.trace)-1]
+	return true
+}
+
+// Run drives the session as a line-oriented REPL: commands are a transition
+// number, "u" (undo), "s" (show state), "t" (show trace), "q" (quit).
+// It is used both by cmd/promising -interactive and by scripted tests.
+func (s *Session) Run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	s.show(out)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "s":
+			s.show(out)
+		case line == "q":
+			return nil
+		case line == "t":
+			for i, l := range s.trace {
+				fmt.Fprintf(out, "%3d. %s\n", i+1, l.String())
+			}
+		case line == "u":
+			if s.Undo() {
+				s.show(out)
+			} else {
+				fmt.Fprintln(out, "nothing to undo")
+			}
+		default:
+			i, err := strconv.Atoi(line)
+			if err != nil {
+				fmt.Fprintf(out, "unknown command %q (number, u, s, t, q)\n", line)
+				continue
+			}
+			if err := s.Step(i); err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			s.show(out)
+		}
+	}
+}
+
+func (s *Session) show(out io.Writer) {
+	m := s.Current()
+	fmt.Fprint(out, m.String())
+	succs := m.Successors(true)
+	if len(succs) == 0 {
+		if m.Final() {
+			fmt.Fprintln(out, "final state (all threads done, all promises fulfilled)")
+		} else {
+			fmt.Fprintln(out, "stuck state (no certified transitions)")
+		}
+		return
+	}
+	fmt.Fprintln(out, "enabled transitions:")
+	for i, sc := range succs {
+		fmt.Fprintf(out, "  %d: %s\n", i, sc.Label.String())
+	}
+}

@@ -1,0 +1,73 @@
+package explore
+
+import (
+	"promising/internal/core"
+	"promising/internal/lang"
+)
+
+// Naive explores all interleavings of all machine transitions (reads,
+// fulfils, exclusive failures and promises), deduplicating states. It is the
+// reference explorer: slower than promise-first (the ablation Table 2-style
+// benchmarks quantify by how much) but a direct transcription of the
+// machine-step relation, which makes it the oracle for Theorems 6.2 and 7.1.
+func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
+	res := newResult()
+	m0 := core.NewMachine(cp)
+
+	type entry struct {
+		m     *core.Machine
+		trace []core.Label
+	}
+	seen := map[string]bool{m0.Key(): true}
+	stack := []entry{{m: m0}}
+
+	for len(stack) > 0 {
+		if opts.MaxStates > 0 && res.States >= opts.MaxStates || opts.expired() {
+			res.Aborted = true
+			return res
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+
+		if e.m.BoundExceeded() {
+			res.BoundExceeded = true
+			continue
+		}
+		succs := e.m.Successors(opts.Certify)
+		if len(succs) == 0 {
+			if e.m.Final() {
+				var w *Witness
+				if opts.CollectWitnesses {
+					w = &Witness{Labels: e.trace}
+				}
+				res.add(observe(spec, e.m), w)
+			} else {
+				res.DeadEnds++
+			}
+			continue
+		}
+		// A final state may still have successors (e.g. further promises);
+		// record it as an outcome regardless.
+		if e.m.Final() {
+			var w *Witness
+			if opts.CollectWitnesses {
+				w = &Witness{Labels: e.trace}
+			}
+			res.add(observe(spec, e.m), w)
+		}
+		for _, s := range succs {
+			k := s.M.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			var trace []core.Label
+			if opts.CollectWitnesses {
+				trace = append(append([]core.Label(nil), e.trace...), s.Label)
+			}
+			stack = append(stack, entry{m: s.M, trace: trace})
+		}
+	}
+	return res
+}

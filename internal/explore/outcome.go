@@ -1,0 +1,152 @@
+// Package explore implements the exhaustive and interactive exploration
+// tools of §7: the promise-first explorer (built on Theorem 7.1: enumerate
+// final memories by interleaving only promise transitions, then run each
+// thread independently), a naive full-interleaving explorer used for
+// validation and ablation benchmarks, and an interactive stepper.
+package explore
+
+import (
+	"encoding/binary"
+	"time"
+
+	"promising/internal/core"
+	"promising/internal/lang"
+)
+
+// RegObs names one observed register.
+type RegObs struct {
+	TID  int
+	Reg  lang.Reg
+	Name string // display name, e.g. "1:r0"
+}
+
+// ObsSpec selects what a final state is projected to: registers of threads
+// and final values of memory locations. Restricting observations keeps
+// outcome sets small, mirroring litmus conditions.
+type ObsSpec struct {
+	Regs []RegObs
+	Locs []lang.Loc
+}
+
+// Outcome is one observed final state; Regs and Mem are parallel to the
+// spec's Regs and Locs.
+type Outcome struct {
+	Regs []lang.Val
+	Mem  []lang.Val
+}
+
+// Key returns a canonical encoding for use as a map key.
+func (o Outcome) Key() string {
+	var b []byte
+	for _, v := range o.Regs {
+		b = binary.AppendVarint(b, v)
+	}
+	b = binary.AppendVarint(b, int64(len(o.Regs)))
+	for _, v := range o.Mem {
+		b = binary.AppendVarint(b, v)
+	}
+	return string(b)
+}
+
+// RegVal returns the observed value of the i'th observed register.
+func (o Outcome) RegVal(i int) lang.Val { return o.Regs[i] }
+
+// observe projects a final machine state.
+func observe(spec *ObsSpec, m *core.Machine) Outcome {
+	var o Outcome
+	for _, ro := range spec.Regs {
+		o.Regs = append(o.Regs, m.Threads[ro.TID].TS.Regs[ro.Reg].Val)
+	}
+	for _, l := range spec.Locs {
+		o.Mem = append(o.Mem, m.Mem.LastWriteTo(l))
+	}
+	return o
+}
+
+// Witness is a transition sequence leading to an outcome.
+type Witness struct {
+	Labels []core.Label
+}
+
+// Options tunes exploration.
+type Options struct {
+	// Certify enables per-step certification in the naive explorer
+	// (the Promising machine). Disabling it yields the Global-Promising
+	// machine of §D, with invalid executions discarded at the end; used to
+	// test Theorem 6.2. The promise-first explorer ignores this flag (its
+	// phase structure bakes certification in).
+	Certify bool
+	// CollectWitnesses records one witness trace per outcome.
+	CollectWitnesses bool
+	// MaxStates aborts exploration after this many distinct states
+	// (0 = unlimited).
+	MaxStates int
+	// Deadline aborts exploration at the given time (zero = none).
+	Deadline time.Time
+}
+
+// DefaultOptions returns the standard configuration (certification on).
+func DefaultOptions() Options { return Options{Certify: true} }
+
+func (o *Options) expired() bool {
+	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
+}
+
+// Expired reports whether the configured deadline has passed; exported for
+// backends living outside this package (axiomatic, flat).
+func (o *Options) Expired() bool { return o.expired() }
+
+// Result is the outcome of exhaustive exploration.
+type Result struct {
+	// Outcomes maps Outcome.Key to the outcome.
+	Outcomes map[string]Outcome
+	// Witnesses maps outcome keys to a witness trace (when collected).
+	Witnesses map[string]Witness
+	// States counts distinct explored states (machine states for the naive
+	// explorer; memories plus per-thread states for promise-first).
+	States int
+	// DeadEnds counts non-final states with no enabled transitions (ARM
+	// store-exclusive deadlocks, §4.3) or, for promise-first, final
+	// memories some thread cannot complete under.
+	DeadEnds int
+	// BoundExceeded reports that some execution ran past the loop bound,
+	// so the outcome set may be incomplete.
+	BoundExceeded bool
+	// Aborted reports that MaxStates or Deadline stopped the search early.
+	Aborted bool
+}
+
+func newResult() *Result {
+	return &Result{Outcomes: make(map[string]Outcome), Witnesses: make(map[string]Witness)}
+}
+
+// Has reports whether the result contains the given observed values.
+func (r *Result) Has(o Outcome) bool {
+	_, ok := r.Outcomes[o.Key()]
+	return ok
+}
+
+// add records an outcome with an optional witness.
+func (r *Result) add(o Outcome, w *Witness) {
+	k := o.Key()
+	if _, ok := r.Outcomes[k]; !ok {
+		r.Outcomes[k] = o
+		if w != nil {
+			r.Witnesses[k] = *w
+		}
+	}
+}
+
+// SameOutcomes reports whether two results contain exactly the same
+// outcome set (used by the differential tests).
+func SameOutcomes(a, b *Result) bool {
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return false
+	}
+	for k := range a.Outcomes {
+		if _, ok := b.Outcomes[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

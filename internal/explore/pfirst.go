@@ -1,0 +1,285 @@
+package explore
+
+import (
+	"promising/internal/core"
+	"promising/internal/lang"
+)
+
+// PromiseFirst is the optimised exhaustive explorer of §7, justified by
+// Theorem 7.1: every trace can be reordered into a prefix of promise
+// transitions followed by non-promise transitions only.
+//
+// Phase 1 enumerates the reachable "final memories" by interleaving only
+// promise transitions. In promise-only states no thread has executed any
+// instruction, so a state is fully determined by the memory contents
+// (each message is an outstanding promise of its originating thread), and
+// deduplication is on memories.
+//
+// Phase 2 fixes a memory and runs each thread to completion independently
+// (threads no longer interact: non-promise transitions never change the
+// memory). The outcome set under that memory is the cross product of the
+// per-thread observations.
+func PromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
+	e := &pfExplorer{cp: cp, spec: spec, opts: opts, res: newResult()}
+	e.run()
+	return e.res
+}
+
+type pfExplorer struct {
+	cp   *lang.CompiledProgram
+	spec *ObsSpec
+	opts Options
+	res  *Result
+}
+
+// memState is a phase-1 state: a memory reachable by promises only.
+type memState struct {
+	mem     *core.Memory
+	promise []core.Label // phase-1 trace, kept only when collecting witnesses
+}
+
+func (e *pfExplorer) run() {
+	m0 := core.NewMemory(e.cp.Init)
+	seen := map[string]bool{string(core.EncodeMemory(nil, m0, 0)): true}
+	stack := []memState{{mem: m0}}
+
+	for len(stack) > 0 {
+		if e.opts.MaxStates > 0 && e.res.States >= e.opts.MaxStates || e.opts.expired() {
+			e.res.Aborted = true
+			return
+		}
+		ms := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.res.States++
+
+		// Phase 2: try to complete every thread under this memory.
+		e.complete(ms)
+
+		// Expand phase 1: certified promises of each thread.
+		for tid := range e.cp.Threads {
+			th := e.initialThread(tid, ms.mem)
+			env := e.env(tid)
+			for _, w := range core.FindAndCertify(env, th, ms.mem) {
+				mem := ms.mem.Clone()
+				t := mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
+				k := string(core.EncodeMemory(nil, mem, 0))
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				next := memState{mem: mem}
+				if e.opts.CollectWitnesses {
+					next.promise = append(append([]core.Label(nil), ms.promise...),
+						core.Label{Kind: core.StepPromise, TID: tid, Loc: w.Loc, Val: w.Val, TS: t})
+				}
+				stack = append(stack, next)
+			}
+		}
+	}
+}
+
+// env returns the stepping environment for thread tid.
+func (e *pfExplorer) env(tid int) *core.Env {
+	return &core.Env{
+		Arch:   e.cp.Arch,
+		Code:   &e.cp.Threads[tid],
+		TID:    tid,
+		Shared: e.cp.IsShared,
+	}
+}
+
+// initialThread builds thread tid's state at the start of phase 2 under
+// mem: fresh registers, promise set = all of its messages in mem.
+func (e *pfExplorer) initialThread(tid int, mem *core.Memory) *core.Thread {
+	th := core.NewThread(&e.cp.Threads[tid])
+	for i, w := range mem.Msgs() {
+		if w.TID == tid {
+			th.TS.Prom = th.TS.Prom.Add(i + 1)
+		}
+	}
+	core.Advance(e.env(tid), th)
+	return th
+}
+
+// threadFinal is one complete execution of a thread: the observed register
+// values and (optionally) the trace.
+type threadFinal struct {
+	vals  []lang.Val
+	trace []core.Label
+}
+
+// complete runs phase 2 for every thread under ms.mem and records the cross
+// product of observations.
+func (e *pfExplorer) complete(ms memState) {
+	perThread := make([][]threadFinal, len(e.cp.Threads))
+	for tid := range e.cp.Threads {
+		c := &completer{
+			e:    e,
+			env:  e.env(tid),
+			mem:  ms.mem,
+			obs:  regsOf(e.spec, tid),
+			memo: make(map[string][]threadFinal),
+		}
+		finals := c.search(e.initialThread(tid, ms.mem))
+		if len(finals) == 0 {
+			// Some thread cannot run to completion under this memory. This
+			// is normal for intermediate phase-1 memories (writes not yet
+			// promised live in some extension); such memories simply
+			// contribute no outcomes. DeadEnds is a naive-machine notion
+			// and is not counted here.
+			return
+		}
+		perThread[tid] = dedupFinals(finals)
+	}
+
+	memVals := make([]lang.Val, len(e.spec.Locs))
+	for i, l := range e.spec.Locs {
+		memVals[i] = ms.mem.LastWriteTo(l)
+	}
+	e.product(ms, perThread, memVals)
+}
+
+// product enumerates the cross product of per-thread final observations.
+func (e *pfExplorer) product(ms memState, perThread [][]threadFinal, memVals []lang.Val) {
+	pick := make([]int, len(perThread))
+	for {
+		o := Outcome{Mem: memVals}
+		var labels []core.Label
+		if e.opts.CollectWitnesses {
+			labels = append(labels, ms.promise...)
+		}
+		// Assemble observed registers in spec order.
+		o.Regs = make([]lang.Val, len(e.spec.Regs))
+		idx := make([]int, len(perThread))
+		for i, ro := range e.spec.Regs {
+			tf := perThread[ro.TID][pick[ro.TID]]
+			o.Regs[i] = tf.vals[idx[ro.TID]]
+			idx[ro.TID]++
+		}
+		if e.opts.CollectWitnesses {
+			for tid := range perThread {
+				labels = append(labels, perThread[tid][pick[tid]].trace...)
+			}
+			e.res.add(o, &Witness{Labels: labels})
+		} else {
+			e.res.add(o, nil)
+		}
+		// Next combination.
+		i := 0
+		for ; i < len(pick); i++ {
+			pick[i]++
+			if pick[i] < len(perThread[i]) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i == len(pick) {
+			return
+		}
+	}
+}
+
+// regsOf lists the spec's observed registers belonging to thread tid, in
+// spec order.
+func regsOf(spec *ObsSpec, tid int) []lang.Reg {
+	var out []lang.Reg
+	for _, ro := range spec.Regs {
+		if ro.TID == tid {
+			out = append(out, ro.Reg)
+		}
+	}
+	return out
+}
+
+func dedupFinals(fs []threadFinal) []threadFinal {
+	seen := make(map[string]bool, len(fs))
+	out := fs[:0]
+	for _, f := range fs {
+		k := Outcome{Regs: f.vals}.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// completer runs the per-thread phase-2 search: all complete executions of
+// one thread alone under a fixed memory, with no new promises (every write
+// must fulfil a phase-1 promise).
+type completer struct {
+	e    *pfExplorer
+	env  *core.Env
+	mem  *core.Memory
+	obs  []lang.Reg
+	memo map[string][]threadFinal
+}
+
+func (c *completer) search(th *core.Thread) []threadFinal {
+	if c.e.opts.expired() {
+		c.e.res.Aborted = true
+		return nil
+	}
+	if th.TS.BoundExceeded {
+		c.e.res.BoundExceeded = true
+		return nil
+	}
+	if th.Done() {
+		if len(th.TS.Prom) > 0 {
+			return nil
+		}
+		vals := make([]lang.Val, len(c.obs))
+		for i, r := range c.obs {
+			vals[i] = th.TS.Regs[r].Val
+		}
+		return []threadFinal{{vals: vals}}
+	}
+	witness := c.e.opts.CollectWitnesses
+	var key string
+	if !witness {
+		key = string(core.EncodeThread(nil, th))
+		if fs, ok := c.memo[key]; ok {
+			return fs
+		}
+	}
+	c.e.res.States++
+
+	id := th.Cont[len(th.Cont)-1]
+	n := &c.env.Code.Nodes[id]
+	var out []threadFinal
+	emit := func(child *core.Thread, lab core.Label) {
+		core.Advance(c.env, child)
+		for _, f := range c.search(child) {
+			if witness {
+				f.trace = append([]core.Label{lab}, f.trace...)
+			}
+			out = append(out, f)
+		}
+	}
+	switch n.Kind {
+	case lang.NLoad:
+		for _, rc := range core.ReadChoices(c.env, th, id, c.mem) {
+			child := th.Clone()
+			lab := core.ApplyRead(c.env, child, id, c.mem, rc.TS)
+			emit(child, lab)
+		}
+	case lang.NStore:
+		for _, t := range core.FulfilChoices(c.env, th, id, c.mem) {
+			child := th.Clone()
+			lab := core.ApplyFulfil(c.env, child, id, c.mem, t)
+			emit(child, lab)
+		}
+		if n.Xcl {
+			child := th.Clone()
+			lab := core.ApplyXclFail(c.env, child, id)
+			emit(child, lab)
+		}
+	default:
+		panic("explore: thread stopped on a non-memory node")
+	}
+	if !witness {
+		c.memo[key] = out
+	}
+	return out
+}

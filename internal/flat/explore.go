@@ -1,0 +1,77 @@
+package flat
+
+import (
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// Explore runs the flat model exhaustively over all micro-step
+// interleavings, deduplicating states. It satisfies the litmus.Runner
+// signature; Options.Certify and CollectWitnesses are ignored (the flat
+// model has no certification, and witnesses are not implemented for the
+// baseline).
+func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
+	res := &explore.Result{Outcomes: make(map[string]explore.Outcome), Witnesses: map[string]explore.Witness{}}
+	m0 := newMachine(cp)
+	seen := map[string]bool{m0.key(): true}
+	stack := []*machine{m0}
+
+	for len(stack) > 0 {
+		if opts.MaxStates > 0 && res.States >= opts.MaxStates || opts.Expired() {
+			res.Aborted = true
+			return res
+		}
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+
+		bounded := false
+		for _, t := range m.threads {
+			if t.bound {
+				bounded = true
+			}
+		}
+		if bounded {
+			res.BoundExceeded = true
+			continue
+		}
+		any := false
+		m.successors(func(s *machine) {
+			any = true
+			k := s.key()
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			stack = append(stack, s)
+		})
+		if !any {
+			if m.done() {
+				res.Outcomes[observe(cp, spec, m).Key()] = observe(cp, spec, m)
+			} else {
+				// Stuck: mis-speculation residue, lost reservations, or a
+				// genuine exclusive deadlock.
+				res.DeadEnds++
+			}
+		}
+	}
+	return res
+}
+
+// observe projects a completed machine onto the observation spec.
+func observe(cp *lang.CompiledProgram, spec *explore.ObsSpec, m *machine) explore.Outcome {
+	var o explore.Outcome
+	for _, ro := range spec.Regs {
+		t := m.threads[ro.TID]
+		w := t.lastWriter[ro.Reg]
+		if w < 0 {
+			o.Regs = append(o.Regs, 0)
+		} else {
+			o.Regs = append(o.Regs, t.provValue(w))
+		}
+	}
+	for _, l := range spec.Locs {
+		o.Mem = append(o.Mem, m.mem.current(l))
+	}
+	return o
+}

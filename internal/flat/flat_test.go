@@ -1,0 +1,222 @@
+package flat
+
+import (
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+func compile(t *testing.T, p *lang.Program) *lang.CompiledProgram {
+	t.Helper()
+	cp, err := lang.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+const x, y = lang.Loc(8), lang.Loc(16)
+
+func mpProgram(t *testing.T, withDmb bool) *lang.CompiledProgram {
+	writer := []lang.Stmt{
+		lang.Store{Succ: 9, Addr: lang.C(x), Data: lang.C(1)},
+	}
+	if withDmb {
+		writer = append(writer, lang.DmbSY())
+	}
+	writer = append(writer, lang.Store{Succ: 9, Addr: lang.C(y), Data: lang.C(1)})
+	return compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(writer...),
+			lang.Block(
+				lang.Load{Dst: 0, Addr: lang.C(y)},
+				lang.Load{Dst: 1, Addr: lang.C(x)},
+			),
+		},
+	})
+}
+
+func mpSpec() *explore.ObsSpec {
+	return &explore.ObsSpec{Regs: []explore.RegObs{{TID: 1, Reg: 0}, {TID: 1, Reg: 1}}}
+}
+
+// TestOutOfOrderReads: plain MP allows the stale read because loads
+// satisfy out of order.
+func TestOutOfOrderReads(t *testing.T) {
+	res := Explore(mpProgram(t, false), mpSpec(), explore.DefaultOptions())
+	if !res.Has(explore.Outcome{Regs: []lang.Val{1, 0}}) {
+		t.Error("MP relaxed outcome missing")
+	}
+	// With the writer's dmb the loads still reorder: (1,0) stays allowed.
+	res = Explore(mpProgram(t, true), mpSpec(), explore.DefaultOptions())
+	if !res.Has(explore.Outcome{Regs: []lang.Val{1, 0}}) {
+		t.Error("MP+dmb+po relaxed outcome missing (reader loads reorder)")
+	}
+}
+
+// TestFetchEager: straight-line code is fully fetched without transitions.
+func TestFetchEager(t *testing.T) {
+	m := newMachine(mpProgram(t, true))
+	if len(m.threads[0].insts) != 3 || len(m.threads[1].insts) != 2 {
+		t.Fatalf("fetched %d/%d instructions", len(m.threads[0].insts), len(m.threads[1].insts))
+	}
+	if len(m.threads[0].cont) != 0 {
+		t.Error("straight-line fetch must drain the continuation")
+	}
+}
+
+// TestSpeculativeFetch: an unresolved branch stops fetch; speculation
+// transitions explore both arms and mis-speculation is pruned.
+func TestSpeculativeFetch(t *testing.T) {
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.Load{Dst: 0, Addr: lang.C(x)},
+				lang.If{Cond: lang.R(0),
+					Then: lang.Store{Succ: 9, Addr: lang.C(y), Data: lang.C(1)},
+					Else: lang.Store{Succ: 9, Addr: lang.C(y), Data: lang.C(2)}},
+			),
+		},
+	})
+	m := newMachine(cp)
+	th := m.threads[0]
+	if len(th.insts) != 2 {
+		t.Fatalf("fetch stopped with %d instructions, want 2 (load + branch)", len(th.insts))
+	}
+	br := &th.insts[1]
+	if br.kind != lang.NIf || br.fetchedKids {
+		t.Fatal("branch must be pending speculation")
+	}
+	// Two speculative fetch transitions plus the load's micro-steps.
+	spec := 0
+	m.successors(func(s *machine) {
+		nth := s.threads[0]
+		if len(nth.insts) > 2 && nth.insts[1].fetchedKids && nth.insts[1].state != iPerformed {
+			spec++
+		}
+	})
+	if spec != 2 {
+		t.Errorf("speculative fetch options = %d, want 2", spec)
+	}
+	// Exhaustively: only x=0 is readable, so the else arm commits; final
+	// y must be 2 in every completed execution.
+	res := Explore(cp, &explore.ObsSpec{Locs: []lang.Loc{y}}, explore.DefaultOptions())
+	if len(res.Outcomes) != 1 || !res.Has(explore.Outcome{Mem: []lang.Val{2}}) {
+		t.Errorf("outcomes = %+v, want only [y]=2", res.Outcomes)
+	}
+}
+
+// TestForwardingFromUnpropagatedStore: a load can forward from its own
+// thread's store before propagation (the PPOCA mechanism).
+func TestForwardingFromUnpropagatedStore(t *testing.T) {
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.Store{Succ: 9, Addr: lang.C(x), Data: lang.C(7)},
+				lang.Load{Dst: 0, Addr: lang.C(x)},
+			),
+		},
+	})
+	m := newMachine(cp)
+	// Resolve the store's address and data.
+	m = stepWhere(t, m, func(s *machine) bool { return s.threads[0].insts[0].addrKnown })
+	m = stepWhere(t, m, func(s *machine) bool { return s.threads[0].insts[0].dataKnown })
+	// Resolve the load's address.
+	m = stepWhere(t, m, func(s *machine) bool { return s.threads[0].insts[1].addrKnown })
+	// Forward: load performed while the store is not.
+	m = stepWhere(t, m, func(s *machine) bool {
+		in := &s.threads[0].insts[1]
+		return in.state == iPerformed && in.fwdFrom == 0 && s.threads[0].insts[0].state != iPerformed
+	})
+	if m.threads[0].insts[1].val != 7 {
+		t.Errorf("forwarded value = %d", m.threads[0].insts[1].val)
+	}
+}
+
+// stepWhere takes the first successor satisfying pred.
+func stepWhere(t *testing.T, m *machine, pred func(*machine) bool) *machine {
+	t.Helper()
+	var out *machine
+	m.successors(func(s *machine) {
+		if out == nil && pred(s) {
+			out = s
+		}
+	})
+	if out == nil {
+		t.Fatal("no successor satisfies the predicate")
+	}
+	return out
+}
+
+// TestKeyDistinguishesStates: encoding changes when state does.
+func TestKeyDistinguishesStates(t *testing.T) {
+	m := newMachine(mpProgram(t, false))
+	k0 := m.key()
+	seen := map[string]bool{k0: true}
+	m.successors(func(s *machine) {
+		k := s.key()
+		if seen[k] {
+			t.Error("distinct successors encode identically")
+		}
+		seen[k] = true
+	})
+	if len(seen) < 3 {
+		t.Errorf("expected several distinct successors, got %d", len(seen)-1)
+	}
+}
+
+// TestBoundExceededFlag: an infinite loop flags the result.
+func TestBoundExceededFlag(t *testing.T) {
+	cp := compile(t, &lang.Program{
+		Arch:      lang.ARM,
+		LoopBound: 2,
+		Threads: []lang.Stmt{
+			lang.While{Cond: lang.C(1), Body: lang.Store{Succ: 9, Addr: lang.C(x), Data: lang.C(1)}},
+		},
+	})
+	res := Explore(cp, &explore.ObsSpec{}, explore.DefaultOptions())
+	if !res.BoundExceeded {
+		t.Error("loop bound overrun must be flagged")
+	}
+	if len(res.Outcomes) != 0 {
+		t.Error("no completed executions exist")
+	}
+}
+
+// TestExclusiveReservationLoss: a foreign write between the exclusive pair
+// forces failure (the success path dead-ends).
+func TestExclusiveReservationLoss(t *testing.T) {
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.Load{Dst: 0, Addr: lang.C(x), Xcl: true},
+				lang.Store{Succ: 1, Addr: lang.C(x), Data: lang.C(1), Xcl: true},
+			),
+			lang.Block(lang.Store{Succ: 9, Addr: lang.C(x), Data: lang.C(2)}),
+		},
+	})
+	spec := &explore.ObsSpec{
+		Regs: []explore.RegObs{{TID: 0, Reg: 0}, {TID: 0, Reg: 1}},
+		Locs: []lang.Loc{x},
+	}
+	res := Explore(cp, spec, explore.DefaultOptions())
+	// If the load exclusive read the initial 0 and the store exclusive
+	// succeeded, no foreign write may sit between them: final x=1 (i.e.
+	// x=2 coherence-between initial and x=1) is the atomicity violation.
+	if res.Has(explore.Outcome{Regs: []lang.Val{0, lang.VSucc}, Mem: []lang.Val{1}}) {
+		t.Error("atomicity violated: foreign write between the exclusive pair")
+	}
+	// The legal successful outcomes: x=2 co-after x=1 (final 2), or the
+	// pair reading x=2 and writing last (final 1).
+	if !res.Has(explore.Outcome{Regs: []lang.Val{0, lang.VSucc}, Mem: []lang.Val{2}}) {
+		t.Error("missing legal success outcome (0, succ, [x]=2)")
+	}
+	if !res.Has(explore.Outcome{Regs: []lang.Val{2, lang.VSucc}, Mem: []lang.Val{1}}) {
+		t.Error("missing legal success outcome (2, succ, [x]=1)")
+	}
+}

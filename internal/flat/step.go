@@ -1,0 +1,507 @@
+package flat
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+)
+
+// autoFetch advances thread tid's fetch frontier deterministically: straight-
+// line instructions are fetched eagerly (fetch itself is not a visible
+// step), and fetching stops at a conditional whose condition is not yet
+// available — continuing requires an explicit speculation or resolution
+// transition.
+func (m *machine) autoFetch(tid int) {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	for len(t.cont) > 0 {
+		id := t.cont[len(t.cont)-1]
+		t.cont = t.cont[:len(t.cont)-1]
+		n := &code.Nodes[id]
+		switch n.Kind {
+		case lang.NSkip:
+		case lang.NSeq:
+			t.cont = append(t.cont, n.S2, n.S1)
+		case lang.NBoundFail:
+			t.bound = true
+			t.cont = t.cont[:0]
+			return
+		case lang.NAssign:
+			t.insts = append(t.insts, inst{
+				node: id, kind: n.Kind, dst: n.Dst,
+				dataProv: t.exprProviders(n.E),
+				fwdFrom:  -1, resIdx: -1, propIdx: -1, pair: -1,
+			})
+			t.lastWriter[n.Dst] = len(t.insts) - 1
+		case lang.NFence, lang.NISB:
+			t.insts = append(t.insts, inst{node: id, kind: n.Kind, dst: -1, fwdFrom: -1, resIdx: -1, propIdx: -1, pair: -1})
+		case lang.NLoad:
+			t.insts = append(t.insts, inst{
+				node: id, kind: n.Kind, dst: n.Dst,
+				addrProv: t.exprProviders(n.Addr),
+				fwdFrom:  -1, resIdx: -1, propIdx: -1, pair: -1,
+			})
+			idx := len(t.insts) - 1
+			t.lastWriter[n.Dst] = idx
+			if n.Xcl {
+				t.lastXcl = idx
+			}
+		case lang.NStore:
+			in := inst{
+				node: id, kind: n.Kind, dst: -1,
+				addrProv: t.exprProviders(n.Addr),
+				dataProv: t.exprProviders(n.Data),
+				fwdFrom:  -1, resIdx: -1, propIdx: -1, pair: -1,
+			}
+			if n.Xcl {
+				in.dst = n.Dst
+				in.pair = t.lastXcl
+				t.lastXcl = -1
+			}
+			t.insts = append(t.insts, in)
+			if n.Xcl {
+				t.lastWriter[n.Dst] = len(t.insts) - 1
+			}
+		case lang.NIf:
+			in := inst{
+				node: id, kind: n.Kind, dst: -1,
+				condProv: t.exprProviders(n.Cond),
+				fwdFrom:  -1, resIdx: -1, propIdx: -1, pair: -1,
+				pendThen: n.Then,
+				pendElse: n.Else,
+			}
+			if m.ready(t, in.condProv) {
+				// Condition available: resolve and fetch deterministically.
+				in.state = iPerformed
+				in.fetchedKids = true
+				taken := t.eval(n.Cond, in.condProv) != 0
+				in.specTaken = taken
+				t.insts = append(t.insts, in)
+				if taken {
+					t.cont = append(t.cont, n.Then)
+				} else {
+					t.cont = append(t.cont, n.Else)
+				}
+				continue
+			}
+			t.insts = append(t.insts, in)
+			return // fetch blocked: speculation is an explicit transition
+		default:
+			panic(fmt.Sprintf("flat: unknown node kind %d", n.Kind))
+		}
+	}
+}
+
+// succFn receives each successor machine state.
+type succFn func(*machine)
+
+// successors enumerates every enabled micro-transition.
+func (m *machine) successors(emit succFn) {
+	for tid := range m.threads {
+		m.threadSuccessors(tid, emit)
+	}
+}
+
+func (m *machine) threadSuccessors(tid int, emit succFn) {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	for i := range t.insts {
+		in := &t.insts[i]
+		n := &code.Nodes[in.node]
+		switch in.kind {
+		case lang.NAssign:
+			if in.state != iPerformed && m.ready(t, in.dataProv) {
+				nm := m.cloneThread(tid, false)
+				ni := &nm.threads[tid].insts[i]
+				ni.val = t.eval(n.E, in.dataProv)
+				ni.state = iPerformed
+				emit(nm)
+			}
+		case lang.NIf:
+			m.branchSuccessors(tid, i, emit)
+		case lang.NFence:
+			if in.state != iPerformed && m.fenceReady(tid, i) {
+				nm := m.cloneThread(tid, false)
+				nm.threads[tid].insts[i].state = iPerformed
+				emit(nm)
+			}
+		case lang.NISB:
+			if in.state != iPerformed && m.isbReady(tid, i) {
+				nm := m.cloneThread(tid, false)
+				nm.threads[tid].insts[i].state = iPerformed
+				emit(nm)
+			}
+		case lang.NLoad:
+			m.loadSuccessors(tid, i, emit)
+		case lang.NStore:
+			m.storeSuccessors(tid, i, emit)
+		}
+	}
+}
+
+func (m *machine) branchSuccessors(tid, i int, emit succFn) {
+	t := m.threads[tid]
+	in := &t.insts[i]
+	code := &m.cp.Threads[tid]
+	n := &code.Nodes[in.node]
+	if !in.fetchedKids && in.state != iPerformed {
+		// Speculative fetch: explore both directions.
+		for _, taken := range []bool{true, false} {
+			nm := m.cloneThread(tid, false)
+			nt := nm.threads[tid]
+			ni := &nt.insts[i]
+			ni.fetchedKids = true
+			ni.specTaken = taken
+			if taken {
+				nt.cont = append(nt.cont, in.pendThen)
+			} else {
+				nt.cont = append(nt.cont, in.pendElse)
+			}
+			nm.autoFetch(tid)
+			emit(nm)
+		}
+	}
+	if in.state != iPerformed && m.ready(t, in.condProv) {
+		actual := t.eval(n.Cond, in.condProv) != 0
+		if in.fetchedKids {
+			if actual != in.specTaken {
+				return // mis-speculation: prune this path
+			}
+			nm := m.cloneThread(tid, false)
+			nm.threads[tid].insts[i].state = iPerformed
+			emit(nm)
+			return
+		}
+		nm := m.cloneThread(tid, false)
+		nt := nm.threads[tid]
+		ni := &nt.insts[i]
+		ni.state = iPerformed
+		ni.fetchedKids = true
+		ni.specTaken = actual
+		if actual {
+			nt.cont = append(nt.cont, in.pendThen)
+		} else {
+			nt.cont = append(nt.cont, in.pendElse)
+		}
+		nm.autoFetch(tid)
+		emit(nm)
+	}
+}
+
+// failedSX reports whether instruction j is a store exclusive that decided
+// to fail (it will never access memory).
+func (t *thread) failedSX(code *lang.Code, j int) bool {
+	in := &t.insts[j]
+	return in.kind == lang.NStore && code.Nodes[in.node].Xcl && in.decided && !in.succ
+}
+
+// fenceReady: every po-earlier access in the fence's K1 class has performed.
+func (m *machine) fenceReady(tid, i int) bool {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	n := &code.Nodes[t.insts[i].node]
+	for j := 0; j < i; j++ {
+		jn := &t.insts[j]
+		switch jn.kind {
+		case lang.NLoad:
+			if n.K1.IncludesR() && jn.state != iPerformed {
+				return false
+			}
+		case lang.NStore:
+			if n.K1.IncludesW() && jn.state != iPerformed && !t.failedSX(code, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isbReady: all po-earlier branches resolved and all po-earlier access
+// addresses known ((ctrl|addr;po);[isb]).
+func (m *machine) isbReady(tid, i int) bool {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	for j := 0; j < i; j++ {
+		jn := &t.insts[j]
+		switch jn.kind {
+		case lang.NIf:
+			if jn.state != iPerformed {
+				return false
+			}
+		case lang.NLoad, lang.NStore:
+			if !jn.addrKnown && !t.failedSX(code, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *machine) loadSuccessors(tid, i int, emit succFn) {
+	t := m.threads[tid]
+	in := &t.insts[i]
+	code := &m.cp.Threads[tid]
+	n := &code.Nodes[in.node]
+
+	if !in.addrKnown {
+		if m.ready(t, in.addrProv) {
+			nm := m.cloneThread(tid, false)
+			ni := &nm.threads[tid].insts[i]
+			ni.addr = t.eval(n.Addr, in.addrProv)
+			ni.addrKnown = true
+			emit(nm)
+		}
+		return
+	}
+	if in.state == iPerformed {
+		return
+	}
+	fwd, loadsInOrder, ok := m.loadBlocked(tid, i)
+	if !ok {
+		return
+	}
+	if fwd >= 0 {
+		// Forward from the (possibly unpropagated) latest same-address
+		// store, if its data is known and forwarding is permitted. This is
+		// legal even while program-order-earlier same-address loads are
+		// unsatisfied: the source store cannot propagate until they
+		// perform, so their reads stay coherence-before it. Loads between
+		// the source store and this one must themselves have forwarded
+		// from the same store.
+		fs := &t.insts[fwd]
+		fn := &code.Nodes[fs.node]
+		canForward := fs.dataKnown &&
+			!(fn.Xcl && (m.cp.Arch == lang.RISCV || n.RK.AtLeast(lang.ReadWeakAcq))) &&
+			(!fn.Xcl || fs.decided && fs.succ)
+		if canForward {
+			for j := fwd + 1; j < i; j++ {
+				jn := &t.insts[j]
+				if jn.kind == lang.NLoad && jn.addrKnown && jn.addr == in.addr &&
+					!(jn.state == iPerformed && jn.fwdFrom == fwd) {
+					canForward = false
+					break
+				}
+			}
+		}
+		if canForward {
+			nm := m.cloneThread(tid, false)
+			ni := &nm.threads[tid].insts[i]
+			ni.val = fs.data
+			ni.fwdFrom = fwd
+			ni.state = iPerformed
+			emit(nm)
+		}
+		if fs.state != iPerformed {
+			return // cannot read memory past an unpropagated same-address store
+		}
+	}
+	if !loadsInOrder {
+		return // reading memory must wait for earlier same-address loads
+	}
+	// Satisfy from memory.
+	nm := m.cloneThread(tid, false)
+	ni := &nm.threads[tid].insts[i]
+	ni.val = m.mem.current(in.addr)
+	ni.fwdFrom = -1
+	ni.state = iPerformed
+	if n.Xcl {
+		ni.resIdx = len(m.mem.hist[in.addr]) - 1
+	}
+	emit(nm)
+}
+
+// loadBlocked checks the ordering conditions for satisfying load i. It
+// returns the po-index of the latest same-address store (or -1), whether
+// all earlier same-address loads have performed (required for reading from
+// memory, not for forwarding), and whether satisfaction is possible at all.
+func (m *machine) loadBlocked(tid, i int) (fwd int, loadsInOrder, ok bool) {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	in := &t.insts[i]
+	n := &code.Nodes[in.node]
+	l := in.addr
+	fwd = -1
+	loadsInOrder = true
+	for j := 0; j < i; j++ {
+		jn := &t.insts[j]
+		jnode := &code.Nodes[jn.node]
+		switch jn.kind {
+		case lang.NLoad:
+			if !jn.addrKnown {
+				return -1, false, false // restart-free: wait for earlier addresses
+			}
+			if jn.addr == l && jn.state != iPerformed {
+				loadsInOrder = false
+			}
+			if jnode.RK.AtLeast(lang.ReadWeakAcq) && jn.state != iPerformed {
+				return -1, false, false // acquires order later accesses
+			}
+		case lang.NStore:
+			if t.failedSX(code, j) {
+				continue
+			}
+			if !jn.addrKnown {
+				return -1, false, false
+			}
+			if jn.addr == l {
+				fwd = j
+			}
+			if n.RK.AtLeast(lang.ReadAcq) && jnode.WK.AtLeast(lang.WriteRel) && jn.state != iPerformed {
+				return -1, false, false // strong release before strong acquire
+			}
+		case lang.NFence:
+			if jnode.K2.IncludesR() && jn.state != iPerformed {
+				return -1, false, false
+			}
+		case lang.NISB:
+			if jn.state != iPerformed {
+				return -1, false, false
+			}
+		}
+	}
+	return fwd, loadsInOrder, true
+}
+
+func (m *machine) storeSuccessors(tid, i int, emit succFn) {
+	t := m.threads[tid]
+	in := &t.insts[i]
+	code := &m.cp.Threads[tid]
+	n := &code.Nodes[in.node]
+
+	if !in.addrKnown && m.ready(t, in.addrProv) {
+		nm := m.cloneThread(tid, false)
+		ni := &nm.threads[tid].insts[i]
+		ni.addr = t.eval(n.Addr, in.addrProv)
+		ni.addrKnown = true
+		emit(nm)
+	}
+	if !in.dataKnown && m.ready(t, in.dataProv) {
+		nm := m.cloneThread(tid, false)
+		ni := &nm.threads[tid].insts[i]
+		ni.data = t.eval(n.Data, in.dataProv)
+		ni.dataKnown = true
+		emit(nm)
+	}
+	if n.Xcl && !in.decided {
+		// Failing is always possible; the instruction is then done.
+		nm := m.cloneThread(tid, false)
+		ni := &nm.threads[tid].insts[i]
+		ni.decided = true
+		ni.succ = false
+		ni.state = iPerformed
+		emit(nm)
+		// Success requires a paired, performed load exclusive.
+		if in.pair >= 0 && t.insts[in.pair].state == iPerformed {
+			nm := m.cloneThread(tid, false)
+			ni := &nm.threads[tid].insts[i]
+			ni.decided = true
+			ni.succ = true
+			emit(nm)
+		}
+		return
+	}
+	if in.state == iPerformed || (n.Xcl && !in.succ) {
+		return
+	}
+	if !in.addrKnown || !in.dataKnown || !m.storeReady(tid, i) {
+		return
+	}
+	if n.Xcl {
+		// Atomicity check against the paired reservation (atomic() of
+		// §A.3). Cases: the load exclusive forwarded from an own store
+		// (reservation anchored after that store's propagation); it read
+		// memory at resIdx; or it read the initial write (resIdx < 0),
+		// which is a write to every location, so even a different-location
+		// pairing reserves this store's location.
+		lx := &t.insts[in.pair]
+		sameLoc := lx.addr == in.addr
+		from := -1
+		switch {
+		case lx.fwdFrom >= 0:
+			if sameLoc {
+				from = t.insts[lx.fwdFrom].propIdx + 1
+			}
+		case sameLoc:
+			from = lx.resIdx + 1
+		case lx.resIdx < 0:
+			from = 0
+		}
+		if from >= 0 {
+			for _, w := range m.mem.hist[in.addr][from:] {
+				if w.tid != tid {
+					return // reservation lost: this path cannot complete
+				}
+			}
+		}
+	}
+	nm := m.cloneThread(tid, true)
+	nm.mem.push(in.addr, in.data, tid)
+	ni := &nm.threads[tid].insts[i]
+	ni.state = iPerformed
+	ni.propIdx = len(nm.mem.hist[in.addr]) - 1
+	emit(nm)
+}
+
+// storeReady checks the propagation conditions for store i.
+func (m *machine) storeReady(tid, i int) bool {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	in := &t.insts[i]
+	n := &code.Nodes[in.node]
+	l := in.addr
+	rel := n.WK.AtLeast(lang.WriteWeakRel)
+	for j := 0; j < i; j++ {
+		jn := &t.insts[j]
+		jnode := &code.Nodes[jn.node]
+		switch jn.kind {
+		case lang.NIf:
+			if jn.state != iPerformed {
+				return false // control dependency: no speculative writes
+			}
+		case lang.NLoad:
+			if !jn.addrKnown {
+				return false // address-po
+			}
+			if jn.state != iPerformed &&
+				(jn.addr == l || rel || jnode.RK.AtLeast(lang.ReadWeakAcq)) {
+				return false
+			}
+		case lang.NStore:
+			if t.failedSX(code, j) {
+				continue
+			}
+			if !jn.addrKnown {
+				return false
+			}
+			if jn.state != iPerformed && (jn.addr == l || rel) {
+				return false
+			}
+		case lang.NFence:
+			if jnode.K2.IncludesW() && jn.state != iPerformed {
+				return false
+			}
+		}
+	}
+	if n.Xcl && m.cp.Arch == lang.RISCV {
+		// bob includes rmw: the paired load exclusive propagates first.
+		if in.pair < 0 || t.insts[in.pair].state != iPerformed {
+			return false
+		}
+	}
+	return true
+}
+
+// done reports whether the machine is a completed final state.
+func (m *machine) done() bool {
+	for _, t := range m.threads {
+		if t.bound || len(t.cont) > 0 {
+			return false
+		}
+		for i := range t.insts {
+			if t.insts[i].state != iPerformed {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a pure expression over constants and registers (Fig. 1).
+// The closed set of implementations is Const, RegRef and BinOp.
+type Expr interface {
+	isExpr()
+	// String renders the expression in surface syntax.
+	String() string
+}
+
+// Const is a literal value.
+type Const struct{ V Val }
+
+// RegRef reads a register.
+type RegRef struct{ R Reg }
+
+// Op is a binary arithmetic/comparison operator.
+type Op int
+
+// Binary operators. Comparisons evaluate to 1 (true) or 0 (false), as usual
+// for an assembly-level calculus without booleans.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the operator's surface syntax.
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpAnd:
+		return "&"
+	case OpOr:
+		return "|"
+	case OpXor:
+		return "^"
+	case OpEq:
+		return "=="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// BinOp applies Op to two subexpressions.
+type BinOp struct {
+	Op   Op
+	L, R Expr
+}
+
+func (Const) isExpr()  {}
+func (RegRef) isExpr() {}
+func (BinOp) isExpr()  {}
+
+func (e Const) String() string  { return fmt.Sprintf("%d", e.V) }
+func (e RegRef) String() string { return fmt.Sprintf("r%d", e.R) }
+
+func (e BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.String(), e.Op.String(), e.R.String())
+}
+
+// Apply evaluates the operator on concrete values.
+func (op Op) Apply(a, b Val) Val {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpEq:
+		return b2v(a == b)
+	case OpNe:
+		return b2v(a != b)
+	case OpLt:
+		return b2v(a < b)
+	case OpLe:
+		return b2v(a <= b)
+	case OpGt:
+		return b2v(a > b)
+	case OpGe:
+		return b2v(a >= b)
+	default:
+		panic(fmt.Sprintf("lang: unknown operator %d", int(op)))
+	}
+}
+
+func b2v(b bool) Val {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExprRegs appends the registers read by e to dst and returns it.
+// The order is left-to-right, possibly with duplicates.
+func ExprRegs(e Expr, dst []Reg) []Reg {
+	switch e := e.(type) {
+	case Const:
+		return dst
+	case RegRef:
+		return append(dst, e.R)
+	case BinOp:
+		return ExprRegs(e.R, ExprRegs(e.L, dst))
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+// MaxReg returns the largest register index mentioned anywhere in e, or -1.
+func MaxReg(e Expr) Reg {
+	max := -1
+	for _, r := range ExprRegs(e, nil) {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Convenience constructors used by the workload builders; they keep the
+// builder code close to the paper's surface syntax.
+
+// C builds a constant expression.
+func C(v Val) Expr { return Const{V: v} }
+
+// R builds a register reference.
+func R(r Reg) Expr { return RegRef{R: r} }
+
+// Add builds l + r.
+func Add(l, r Expr) Expr { return BinOp{Op: OpAdd, L: l, R: r} }
+
+// Sub builds l - r.
+func Sub(l, r Expr) Expr { return BinOp{Op: OpSub, L: l, R: r} }
+
+// Mul builds l * r.
+func Mul(l, r Expr) Expr { return BinOp{Op: OpMul, L: l, R: r} }
+
+// Eq builds l == r (1/0 valued).
+func Eq(l, r Expr) Expr { return BinOp{Op: OpEq, L: l, R: r} }
+
+// Ne builds l != r (1/0 valued).
+func Ne(l, r Expr) Expr { return BinOp{Op: OpNe, L: l, R: r} }
+
+// DepOn builds e + (r - r): the classic litmus idiom for introducing a
+// syntactic (address or data) dependency on register r without changing the
+// value of e.
+func DepOn(e Expr, r Reg) Expr {
+	return Add(e, Sub(R(r), R(r)))
+}
+
+// FormatExprList renders a comma-separated expression list (for printing).
+func FormatExprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,162 @@
+// Package lang defines the small imperative concurrent language of the
+// paper's Figure 1: statements (loads, stores, fences, assignments,
+// conditionals, bounded loops), pure expressions over registers, and the
+// access/fence kind lattices shared by the operational and axiomatic models.
+//
+// A Program is a parallel composition of per-thread statements together with
+// declarations (initial values, shared locations, loop bounds). Programs are
+// preprocessed (loop unrolling, register numbering, node indexing) before
+// execution; see Preprocess.
+package lang
+
+import "fmt"
+
+// Val is the value domain; following §5 values and addresses are
+// mathematical integers (here 64-bit).
+type Val = int64
+
+// Loc is a memory location. Locations are values so that address arithmetic
+// (pointers into arrays/structs built in the calculus) works.
+type Loc = Val
+
+// Reg names a register. Registers are dense small integers after
+// preprocessing; the parser maps textual names (r0, r1, tmp, ...) to indices.
+type Reg = int
+
+// Arch selects ARMv8 or RISC-V behaviour. The two differ only in the
+// treatment of exclusives (forwarding, success-register views, the extra
+// RISC-V pre-view component) and available fences; see Fig. 5.
+type Arch int
+
+const (
+	// ARM selects ARMv8 semantics.
+	ARM Arch = iota
+	// RISCV selects RISC-V semantics.
+	RISCV
+)
+
+// String returns the conventional lowercase architecture name.
+func (a Arch) String() string {
+	switch a {
+	case ARM:
+		return "arm"
+	case RISCV:
+		return "riscv"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// ParseArch converts a textual architecture name to an Arch.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "arm", "ARM", "armv8", "ARMv8", "AArch64", "aarch64":
+		return ARM, nil
+	case "riscv", "RISCV", "RISC-V", "risc-v", "rv64":
+		return RISCV, nil
+	default:
+		return ARM, fmt.Errorf("lang: unknown architecture %q", s)
+	}
+}
+
+// ReadKind is the ordering kind of a load: plain ⊑ weak-acquire ⊑ acquire.
+type ReadKind int
+
+const (
+	// ReadPlain is an ordinary load with no acquire ordering.
+	ReadPlain ReadKind = iota
+	// ReadWeakAcq is a weak acquire (ARMv8 LDAPR-style, RCpc): program-order
+	// later accesses are ordered after it, but it is not ordered after
+	// earlier strong releases.
+	ReadWeakAcq
+	// ReadAcq is a strong acquire: additionally ordered after program-order
+	// earlier strong releases (rule ρ4).
+	ReadAcq
+)
+
+// AtLeast reports rk ⊒ k in the read-kind lattice.
+func (rk ReadKind) AtLeast(k ReadKind) bool { return rk >= k }
+
+// String returns the surface syntax of the kind ("", "wacq", "acq").
+func (rk ReadKind) String() string {
+	switch rk {
+	case ReadPlain:
+		return "pln"
+	case ReadWeakAcq:
+		return "wacq"
+	case ReadAcq:
+		return "acq"
+	default:
+		return fmt.Sprintf("ReadKind(%d)", int(rk))
+	}
+}
+
+// WriteKind is the ordering kind of a store: plain ⊑ weak-release ⊑ release.
+type WriteKind int
+
+const (
+	// WritePlain is an ordinary store.
+	WritePlain WriteKind = iota
+	// WriteWeakRel is a weak release (RISC-V only in the architectures, but
+	// accepted for both here, matching the executable model).
+	WriteWeakRel
+	// WriteRel is a strong release: ordered after all program-order earlier
+	// accesses (ρ1) and before later strong acquires (ρ3/ρ4).
+	WriteRel
+)
+
+// AtLeast reports wk ⊒ k in the write-kind lattice.
+func (wk WriteKind) AtLeast(k WriteKind) bool { return wk >= k }
+
+// String returns the surface syntax of the kind ("pln", "wrel", "rel").
+func (wk WriteKind) String() string {
+	switch wk {
+	case WritePlain:
+		return "pln"
+	case WriteWeakRel:
+		return "wrel"
+	case WriteRel:
+		return "rel"
+	default:
+		return fmt.Sprintf("WriteKind(%d)", int(wk))
+	}
+}
+
+// FenceKind is one of the R/W/RW classes of a RISC-V style fence argument.
+type FenceKind int
+
+const (
+	// FenceR covers reads only.
+	FenceR FenceKind = iota + 1
+	// FenceW covers writes only.
+	FenceW
+	// FenceRW covers both reads and writes.
+	FenceRW
+)
+
+// IncludesR reports R ⊑ k.
+func (k FenceKind) IncludesR() bool { return k == FenceR || k == FenceRW }
+
+// IncludesW reports W ⊑ k.
+func (k FenceKind) IncludesW() bool { return k == FenceW || k == FenceRW }
+
+// String returns "r", "w" or "rw".
+func (k FenceKind) String() string {
+	switch k {
+	case FenceR:
+		return "r"
+	case FenceW:
+		return "w"
+	case FenceRW:
+		return "rw"
+	default:
+		return fmt.Sprintf("FenceKind(%d)", int(k))
+	}
+}
+
+// Success and failure values written by store instructions to their success
+// register (§3: following the ARM ISA, 0 is success, 1 is failure).
+const (
+	VSucc Val = 0
+	VFail Val = 1
+)

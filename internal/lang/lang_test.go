@@ -1,0 +1,293 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindLattices(t *testing.T) {
+	if !ReadAcq.AtLeast(ReadWeakAcq) || !ReadWeakAcq.AtLeast(ReadPlain) {
+		t.Error("read kind lattice broken")
+	}
+	if ReadPlain.AtLeast(ReadWeakAcq) {
+		t.Error("pln should not be ⊒ wacq")
+	}
+	if !WriteRel.AtLeast(WriteWeakRel) || !WriteWeakRel.AtLeast(WritePlain) {
+		t.Error("write kind lattice broken")
+	}
+	if !FenceRW.IncludesR() || !FenceRW.IncludesW() {
+		t.Error("rw fence must include both classes")
+	}
+	if FenceR.IncludesW() || FenceW.IncludesR() {
+		t.Error("r/w fences must be one-sided")
+	}
+}
+
+func TestOpApply(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b Val
+		want Val
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, -1},
+		{OpMul, 4, 3, 12},
+		{OpAnd, 6, 3, 2},
+		{OpOr, 6, 3, 7},
+		{OpXor, 6, 3, 5},
+		{OpEq, 3, 3, 1},
+		{OpEq, 3, 4, 0},
+		{OpNe, 3, 4, 1},
+		{OpLt, 3, 4, 1},
+		{OpLe, 4, 4, 1},
+		{OpGt, 5, 4, 1},
+		{OpGe, 3, 4, 0},
+	}
+	for _, c := range cases {
+		if got := c.op.Apply(c.a, c.b); got != c.want {
+			t.Errorf("%v.Apply(%d,%d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExprEvalAndRegs(t *testing.T) {
+	e := Add(Mul(R(0), C(2)), Sub(R(1), R(1)))
+	regs := ExprRegs(e, nil)
+	if len(regs) != 3 || regs[0] != 0 || regs[1] != 1 || regs[2] != 1 {
+		t.Errorf("ExprRegs = %v", regs)
+	}
+	if MaxReg(e) != 1 {
+		t.Errorf("MaxReg = %d", MaxReg(e))
+	}
+	if MaxReg(C(7)) != -1 {
+		t.Errorf("MaxReg(const) = %d", MaxReg(C(7)))
+	}
+}
+
+func TestDepOnPreservesValue(t *testing.T) {
+	// DepOn(e, r) must evaluate to e's value regardless of r's value.
+	f := func(v, rv int64) bool {
+		e := DepOn(C(v), 0)
+		if _, ok := e.(BinOp); !ok {
+			return false
+		}
+		// Simple interpreter over the expression with r0 = rv.
+		var ev func(Expr) Val
+		ev = func(x Expr) Val {
+			switch x := x.(type) {
+			case Const:
+				return x.V
+			case RegRef:
+				return rv
+			case BinOp:
+				return x.Op.Apply(ev(x.L), ev(x.R))
+			}
+			return 0
+		}
+		return ev(e) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockAndCount(t *testing.T) {
+	s := Block(
+		Assign{Dst: 0, E: C(1)},
+		Load{Dst: 1, Addr: C(8)},
+		Store{Succ: 2, Addr: C(8), Data: R(1)},
+		DmbSY(),
+		ISB{},
+	)
+	if got := CountStmts(s); got != 5 {
+		t.Errorf("CountStmts = %d, want 5", got)
+	}
+	if got := MaxRegOfStmt(s); got != 2 {
+		t.Errorf("MaxRegOfStmt = %d, want 2", got)
+	}
+	if _, ok := Block().(Skip); !ok {
+		t.Error("empty Block should be Skip")
+	}
+}
+
+func TestUnrollBounds(t *testing.T) {
+	// while (1) skip unrolled to bound 3 must contain exactly 4 Ifs (three
+	// iterations plus the residual re-check) and one bound-fail marker.
+	s := Unroll(While{Cond: C(1), Body: Skip{}}, 3)
+	ifs, fails := 0, 0
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch s := s.(type) {
+		case If:
+			ifs++
+			walk(s.Then)
+			walk(s.Else)
+		case Seq:
+			walk(s.S1)
+			walk(s.S2)
+		case boundFail:
+			fails++
+		}
+	}
+	walk(s)
+	if ifs != 4 || fails != 1 {
+		t.Errorf("unroll: ifs=%d fails=%d, want 4 and 1", ifs, fails)
+	}
+}
+
+func TestCompileSimpleProgram(t *testing.T) {
+	p := &Program{
+		Name: "t",
+		Threads: []Stmt{
+			Block(Store{Succ: 0, Addr: C(8), Data: C(1)}, DmbSY(), Store{Succ: 0, Addr: C(16), Data: C(1)}),
+			Block(Load{Dst: 0, Addr: C(16)}, Load{Dst: 1, Addr: C(8)}),
+		},
+	}
+	cp, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Threads) != 2 {
+		t.Fatalf("threads = %d", len(cp.Threads))
+	}
+	if cp.Threads[0].NumInstrs != 3 || cp.Threads[1].NumInstrs != 2 {
+		t.Errorf("instr counts = %d, %d", cp.Threads[0].NumInstrs, cp.Threads[1].NumInstrs)
+	}
+	if cp.Threads[1].NumRegs != 2 {
+		t.Errorf("numregs = %d", cp.Threads[1].NumRegs)
+	}
+	if !cp.IsShared(8) {
+		t.Error("default must be all-shared")
+	}
+}
+
+func TestCompileRejectsEmpty(t *testing.T) {
+	if _, err := Compile(&Program{}); err == nil {
+		t.Error("expected error for empty program")
+	}
+}
+
+func TestParseThreadBodyRoundTrip(t *testing.T) {
+	src := `
+r0 = load [x];
+r1 = load.acq [y + (r0 - r0)];
+r2 = store.rel [x] (r1 + 1);
+r3 = store.x [y] 2;
+r4 = load.x [x];
+dmb sy;
+dmb ld;
+dmb st;
+isb;
+fence r,rw;
+fence tso;
+skip;
+r5 = 1 + 2 * 3;
+if r5 == 7 { store [x] 1; } else { store [x] 2; }
+while r0 < 3 { r0 = r0 + 1; }
+`
+	sy := NewSymbols(map[string]Loc{"x": 8, "y": 16})
+	s, err := ParseThreadBody(src, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-print and re-parse: must succeed and produce the same print.
+	printed := FormatStmt(s)
+	sy2 := NewSymbols(map[string]Loc{"x": 8, "y": 16})
+	s2, err := ParseThreadBody(printed, sy2)
+	if err != nil {
+		t.Fatalf("reparse: %v\nprinted:\n%s", err, printed)
+	}
+	if FormatStmt(s2) != printed {
+		t.Errorf("print/parse not stable:\n%s\nvs\n%s", printed, FormatStmt(s2))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sy := NewSymbols(nil)
+	e, err := ParseExprString("1 + 2 * 3", sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := e.(BinOp)
+	if !ok || b.Op != OpAdd {
+		t.Fatalf("top op = %v", e)
+	}
+	if _, ok := b.R.(BinOp); !ok {
+		t.Error("2*3 should bind tighter")
+	}
+	if _, err := ParseExprString("1 +", sy); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"load [x];",             // load without destination
+		"r0 = load x;",          // missing brackets
+		"dmb zz;",               // bad dmb kind
+		"fence q,rw;",           // bad fence kind
+		"r0 = store.acq [x] 1;", // acq is not a store kind
+		"if r0 { store [x] 1;",  // unterminated block
+		"r0 = load.x.x [x];",    // duplicate modifier is fine; kind twice is not
+	}
+	for _, src := range cases[:6] {
+		sy := NewSymbols(map[string]Loc{"x": 8})
+		if _, err := ParseThreadBody(src, sy); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex("r0 = 0x10 + 2; // comment\n/* block */ isb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	if !strings.Contains(joined, "number 16") {
+		t.Errorf("hex literal not lexed: %s", joined)
+	}
+	if _, err := lex("store [x] $"); err == nil {
+		t.Error("expected lex error for $")
+	}
+	if _, err := lex("/* unterminated"); err == nil {
+		t.Error("expected lex error for unterminated comment")
+	}
+}
+
+func TestSymbolsAllocation(t *testing.T) {
+	sy := NewSymbols(nil)
+	a := sy.Reg("a")
+	b := sy.Reg("b")
+	if a == b {
+		t.Error("distinct names must get distinct registers")
+	}
+	if sy.Reg("a") != a {
+		t.Error("register lookup must be stable")
+	}
+	f := sy.Fresh()
+	if f == a || f == b {
+		t.Error("fresh register collided")
+	}
+}
+
+func TestArchParse(t *testing.T) {
+	for _, s := range []string{"arm", "ARMv8", "aarch64"} {
+		if a, err := ParseArch(s); err != nil || a != ARM {
+			t.Errorf("ParseArch(%q) = %v, %v", s, a, err)
+		}
+	}
+	for _, s := range []string{"riscv", "RISC-V", "rv64"} {
+		if a, err := ParseArch(s); err != nil || a != RISCV {
+			t.Errorf("ParseArch(%q) = %v, %v", s, a, err)
+		}
+	}
+	if _, err := ParseArch("ppc"); err == nil {
+		t.Error("expected error for unknown arch")
+	}
+}

@@ -1,0 +1,137 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens of the litmus surface syntax.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // one of the punctuation strings below, stored in text
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  Val // for tokNumber
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenises src. Comments run from "//" or "#" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i+k] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '#' || (c == '/' && i+1 < len(src) && src[i+1] == '/'):
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			advance(2)
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				advance(1)
+			}
+			if i+1 >= len(src) {
+				return nil, fmt.Errorf("line %d: unterminated block comment", line)
+			}
+			advance(2)
+		case unicode.IsDigit(rune(c)):
+			start := i
+			base := 10
+			if c == '0' && i+1 < len(src) && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				advance(2)
+			}
+			for i < len(src) && isNumChar(src[i], base) {
+				advance(1)
+			}
+			text := src[start:i]
+			v, err := strconv.ParseInt(text, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad number %q: %v", line, text, err)
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, val: v, line: line, col: col})
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[start:i], line: line, col: col})
+		default:
+			// Multi-character punctuation first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=", "&&", "||", "->", ":=":
+				toks = append(toks, token{kind: tokPunct, text: two, line: line, col: col})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '&', '|', '^', '(', ')', '[', ']', '{', '}', ';', ',', ':', '.', '~', '!', '@', '"':
+				toks = append(toks, token{kind: tokPunct, text: string(c), line: line, col: col})
+				advance(1)
+			default:
+				return nil, fmt.Errorf("line %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line, col: col})
+	return toks, nil
+}
+
+func isNumChar(c byte, base int) bool {
+	if unicode.IsDigit(rune(c)) {
+		return true
+	}
+	if base == 16 {
+		return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || unicode.IsDigit(rune(c))
+}

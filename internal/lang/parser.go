@@ -1,0 +1,525 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Symbols resolves identifiers while parsing thread bodies. Location names
+// are provided up front (litmus headers declare them); register names are
+// allocated on first use, per thread.
+type Symbols struct {
+	Locs    map[string]Loc
+	Regs    map[string]Reg
+	nextReg int
+}
+
+// NewSymbols returns a symbol table over the given location names.
+func NewSymbols(locs map[string]Loc) *Symbols {
+	return &Symbols{Locs: locs, Regs: make(map[string]Reg)}
+}
+
+// Reg returns the register index for name, allocating it if new.
+func (sy *Symbols) Reg(name string) Reg {
+	if r, ok := sy.Regs[name]; ok {
+		return r
+	}
+	r := sy.nextReg
+	sy.nextReg++
+	sy.Regs[name] = r
+	return r
+}
+
+// Fresh allocates an anonymous register (used for implicit success bits).
+func (sy *Symbols) Fresh() Reg {
+	return sy.Reg(fmt.Sprintf("_t%d", sy.nextReg))
+}
+
+// ParseThreadBody parses a sequence of statements (the body of one thread)
+// using and extending the given symbol table.
+func ParseThreadBody(src string, sy *Symbols) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sy: sy}
+	s, err := p.stmtsUntil(func(t token) bool { return t.kind == tokEOF })
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %s", p.peek())
+	}
+	return s, nil
+}
+
+// ParseExprString parses a single expression (used by the condition parser
+// in the litmus package and by tests).
+func ParseExprString(src string, sy *Symbols) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sy: sy}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %s", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	sy   *Symbols
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(tokPunct, text) || (p.at(tokIdent, text) && isKeyword(text)) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	return p.errf("expected %q, found %s", text, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func isKeyword(s string) bool {
+	switch s {
+	case "skip", "load", "store", "fence", "dmb", "isb", "if", "else", "while", "tso":
+		return true
+	}
+	return false
+}
+
+// stmtsUntil parses statements until stop holds on the lookahead.
+func (p *parser) stmtsUntil(stop func(token) bool) (Stmt, error) {
+	var ss []Stmt
+	for !stop(p.peek()) {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		ss = append(ss, s)
+	}
+	return Block(ss...), nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind == tokIdent {
+		switch t.text {
+		case "skip":
+			p.next()
+			return Skip{}, p.expect(";")
+		case "isb":
+			p.next()
+			return ISB{}, p.expect(";")
+		case "dmb":
+			p.next()
+			return p.dmbStmt()
+		case "fence":
+			p.next()
+			return p.fenceStmt()
+		case "if":
+			p.next()
+			return p.ifStmt()
+		case "while":
+			p.next()
+			return p.whileStmt()
+		case "store":
+			p.next()
+			return p.storeStmt(p.sy.Fresh())
+		case "load":
+			return nil, p.errf("load must assign to a register: r = load [addr];")
+		}
+		// Assignment: reg = expr | load... | store...
+		name := p.next().text
+		if err := p.expectAssign(); err != nil {
+			return nil, err
+		}
+		dst := p.sy.Reg(name)
+		if p.at(tokIdent, "load") {
+			p.next()
+			return p.loadStmt(dst)
+		}
+		if p.at(tokIdent, "store") {
+			p.next()
+			return p.storeStmt(dst)
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Assign{Dst: dst, E: e}, p.expect(";")
+	}
+	return nil, p.errf("expected a statement, found %s", t)
+}
+
+func (p *parser) expectAssign() error {
+	if p.accept("=") || p.accept(":=") {
+		return nil
+	}
+	return p.errf("expected \"=\", found %s", p.peek())
+}
+
+func (p *parser) dmbStmt() (Stmt, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected dmb kind (sy, ld, st), found %s", t)
+	}
+	var s Stmt
+	switch t.text {
+	case "sy":
+		s = DmbSY()
+	case "ld":
+		s = DmbLD()
+	case "st":
+		s = DmbST()
+	default:
+		return nil, p.errf("unknown dmb kind %q (want sy, ld or st)", t.text)
+	}
+	return s, p.expect(";")
+}
+
+func (p *parser) fenceStmt() (Stmt, error) {
+	if p.at(tokIdent, "tso") {
+		p.next()
+		return FenceTSO(), p.expect(";")
+	}
+	k1, err := p.fenceKind()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(","); err != nil {
+		return nil, err
+	}
+	k2, err := p.fenceKind()
+	if err != nil {
+		return nil, err
+	}
+	return Fence{K1: k1, K2: k2}, p.expect(";")
+}
+
+func (p *parser) fenceKind() (FenceKind, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return 0, p.errf("expected fence kind (r, w, rw), found %s", t)
+	}
+	switch t.text {
+	case "r":
+		return FenceR, nil
+	case "w":
+		return FenceW, nil
+	case "rw":
+		return FenceRW, nil
+	default:
+		return 0, p.errf("unknown fence kind %q (want r, w or rw)", t.text)
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtsUntil(func(t token) bool { return t.kind == tokPunct && t.text == "}" })
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	els := Stmt(Skip{})
+	if p.at(tokIdent, "else") {
+		p.next()
+		if p.at(tokIdent, "if") {
+			p.next()
+			els, err = p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			els, err = p.stmtsUntil(func(t token) bool { return t.kind == tokPunct && t.text == "}" })
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return If{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmtsUntil(func(t token) bool { return t.kind == tokPunct && t.text == "}" })
+	if err != nil {
+		return nil, err
+	}
+	return While{Cond: cond, Body: body}, p.expect("}")
+}
+
+// accessMods parses the optional ".kind" / ".x" suffix chain after load or
+// store keywords, e.g. load.acq.x or store.rel.
+func (p *parser) accessMods() (kind string, xcl bool, err error) {
+	for p.accept(".") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return "", false, p.errf("expected access modifier, found %s", t)
+		}
+		switch t.text {
+		case "x", "ex", "xcl":
+			xcl = true
+		case "acq", "wacq", "rel", "wrel", "pln":
+			if kind != "" {
+				return "", false, p.errf("duplicate access kind %q", t.text)
+			}
+			kind = t.text
+		default:
+			return "", false, p.errf("unknown access modifier %q", t.text)
+		}
+	}
+	return kind, xcl, nil
+}
+
+func (p *parser) loadStmt(dst Reg) (Stmt, error) {
+	kind, xcl, err := p.accessMods()
+	if err != nil {
+		return nil, err
+	}
+	rk := ReadPlain
+	switch kind {
+	case "", "pln":
+	case "acq":
+		rk = ReadAcq
+	case "wacq":
+		rk = ReadWeakAcq
+	default:
+		return nil, p.errf("%q is not a load kind", kind)
+	}
+	addr, err := p.bracketExpr()
+	if err != nil {
+		return nil, err
+	}
+	return Load{Dst: dst, Addr: addr, Xcl: xcl, Kind: rk}, p.expect(";")
+}
+
+func (p *parser) storeStmt(succ Reg) (Stmt, error) {
+	kind, xcl, err := p.accessMods()
+	if err != nil {
+		return nil, err
+	}
+	wk := WritePlain
+	switch kind {
+	case "", "pln":
+	case "rel":
+		wk = WriteRel
+	case "wrel":
+		wk = WriteWeakRel
+	default:
+		return nil, p.errf("%q is not a store kind", kind)
+	}
+	addr, err := p.bracketExpr()
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return Store{Succ: succ, Addr: addr, Data: data, Xcl: xcl, Kind: wk}, p.expect(";")
+}
+
+func (p *parser) bracketExpr() (Expr, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return e, p.expect("]")
+}
+
+// Expression grammar (loosest to tightest binding):
+//
+//	expr    := cmp
+//	cmp     := bitor (("=="|"!="|"<"|"<="|">"|">=") bitor)?
+//	bitor   := addsub (("&"|"|"|"^") addsub)*
+//	addsub  := mul (("+"|"-") mul)*
+//	mul     := unary ("*" unary)*
+//	unary   := "-" unary | primary
+//	primary := NUMBER | IDENT | "(" expr ")"
+func (p *parser) expr() (Expr, error) { return p.cmp() }
+
+func (p *parser) cmp() (Expr, error) {
+	l, err := p.bitor()
+	if err != nil {
+		return nil, err
+	}
+	var op Op
+	switch {
+	case p.accept("=="):
+		op = OpEq
+	case p.accept("!="):
+		op = OpNe
+	case p.accept("<="):
+		op = OpLe
+	case p.accept(">="):
+		op = OpGe
+	case p.accept("<"):
+		op = OpLt
+	case p.accept(">"):
+		op = OpGt
+	default:
+		return l, nil
+	}
+	r, err := p.bitor()
+	if err != nil {
+		return nil, err
+	}
+	return BinOp{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) bitor() (Expr, error) {
+	l, err := p.addsub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch {
+		case p.accept("&"):
+			op = OpAnd
+		case p.accept("|"):
+			op = OpOr
+		case p.accept("^"):
+			op = OpXor
+		default:
+			return l, nil
+		}
+		r, err := p.addsub()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) addsub() (Expr, error) {
+	l, err := p.mul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op Op
+		switch {
+		case p.accept("+"):
+			op = OpAdd
+		case p.accept("-"):
+			op = OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.mul()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) mul() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("*") {
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinOp{Op: OpMul, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept("-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return BinOp{Op: OpSub, L: Const{V: 0}, R: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return Const{V: t.val}, nil
+	case tokIdent:
+		if isKeyword(t.text) {
+			return nil, p.errf("unexpected keyword %q in expression", t.text)
+		}
+		p.next()
+		if l, ok := p.sy.Locs[t.text]; ok {
+			return Const{V: l}, nil
+		}
+		return RegRef{R: p.sy.Reg(t.text)}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, p.errf("expected an expression, found %s", t)
+}

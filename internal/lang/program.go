@@ -1,0 +1,241 @@
+package lang
+
+import "fmt"
+
+// Program is a parallel composition of threads (Fig. 1: p ::= s1 || ... || sn)
+// plus the declarations the executable tool needs: initial memory values,
+// optional shared-location information (the §7 optimisation), symbolic
+// location names, and the loop bound.
+type Program struct {
+	// Name identifies the test (litmus-style).
+	Name string
+	// Arch selects ARM or RISC-V semantics.
+	Arch Arch
+	// Threads holds one statement per thread; thread IDs are slice indices.
+	Threads []Stmt
+	// Init maps locations to initial values; locations absent from the map
+	// hold 0, matching the paper's treatment of the empty memory.
+	Init map[Loc]Val
+	// Locs maps symbolic location names to addresses (for parsing/printing).
+	Locs map[string]Loc
+	// RegNames maps, per thread, textual register names to indices.
+	RegNames []map[string]Reg
+	// Shared, when non-nil, lists the locations accessed by more than one
+	// thread; accesses to other locations may be treated thread-locally
+	// (the §7 optimisation). nil means "treat everything as shared".
+	Shared map[Loc]bool
+	// LoopBound bounds while-loop unrolling; 0 means DefaultLoopBound.
+	LoopBound int
+}
+
+// DefaultLoopBound is used when a program does not specify a loop bound.
+const DefaultLoopBound = 4
+
+// InitVal returns the initial value of location l.
+func (p *Program) InitVal(l Loc) Val { return p.Init[l] }
+
+// LocName returns the symbolic name of l, or its numeric form.
+func (p *Program) LocName(l Loc) string {
+	for n, a := range p.Locs {
+		if a == l {
+			return n
+		}
+	}
+	return fmt.Sprintf("%d", l)
+}
+
+// RegName returns the textual name of register r of thread tid, or "r<i>".
+func (p *Program) RegName(tid int, r Reg) string {
+	if tid < len(p.RegNames) {
+		for n, i := range p.RegNames[tid] {
+			if i == r {
+				return n
+			}
+		}
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// NodeKind discriminates compiled instruction nodes.
+type NodeKind uint8
+
+// Compiled node kinds. NBoundFail marks the residue of a while loop whose
+// unrolling bound was exceeded; executing it flags the trace as incomplete.
+const (
+	NSkip NodeKind = iota
+	NSeq
+	NIf
+	NAssign
+	NLoad
+	NStore
+	NFence
+	NISB
+	NBoundFail
+)
+
+// Node is one compiled statement node. It is a union-style struct: the
+// meaningful fields depend on Kind. Children are node indices into the
+// owning thread's Code slice, which makes continuations encodable as plain
+// integer stacks (needed for state deduplication).
+type Node struct {
+	Kind NodeKind
+
+	S1, S2     int32 // NSeq children
+	Then, Else int32 // NIf children
+
+	Cond Expr // NIf
+	Dst  Reg  // NAssign destination / NLoad destination / NStore success register
+	E    Expr // NAssign source
+	Addr Expr // NLoad / NStore address
+	Data Expr // NStore data
+
+	Xcl bool      // NLoad / NStore exclusivity
+	RK  ReadKind  // NLoad kind
+	WK  WriteKind // NStore kind
+
+	K1, K2 FenceKind // NFence
+}
+
+// Code is the compiled form of one thread.
+type Code struct {
+	Nodes []Node
+	Root  int32
+	// NumRegs is one more than the largest register index used.
+	NumRegs int
+	// NumInstrs counts leaf instructions after unrolling.
+	NumInstrs int
+	// SourceInstrs counts leaf instructions before unrolling (Table 1 LOC).
+	SourceInstrs int
+}
+
+// CompiledProgram is a Program after loop unrolling and node indexing,
+// ready for the operational/axiomatic backends.
+type CompiledProgram struct {
+	Name    string
+	Arch    Arch
+	Threads []Code
+	Init    map[Loc]Val
+	// Shared mirrors Program.Shared (nil = all shared).
+	Shared map[Loc]bool
+	// Source points back to the original program for name lookups.
+	Source *Program
+}
+
+// InitVal returns the initial value of location l.
+func (cp *CompiledProgram) InitVal(l Loc) Val { return cp.Init[l] }
+
+// IsShared reports whether l must be treated as shared memory.
+func (cp *CompiledProgram) IsShared(l Loc) bool {
+	if cp.Shared == nil {
+		return true
+	}
+	return cp.Shared[l]
+}
+
+// Compile preprocesses p: unrolls while loops up to the loop bound, compiles
+// each thread's statement tree into an indexed node array, and computes the
+// register-file sizes. It is the required entry point for all backends.
+func Compile(p *Program) (*CompiledProgram, error) {
+	if len(p.Threads) == 0 {
+		return nil, fmt.Errorf("lang: program %q has no threads", p.Name)
+	}
+	bound := p.LoopBound
+	if bound <= 0 {
+		bound = DefaultLoopBound
+	}
+	cp := &CompiledProgram{
+		Name:   p.Name,
+		Arch:   p.Arch,
+		Init:   p.Init,
+		Shared: p.Shared,
+		Source: p,
+	}
+	for tid, s := range p.Threads {
+		unrolled := Unroll(s, bound)
+		var c compiler
+		root := c.compile(unrolled)
+		code := Code{
+			Nodes:        c.nodes,
+			Root:         root,
+			NumRegs:      MaxRegOfStmt(unrolled) + 1,
+			NumInstrs:    CountStmts(unrolled),
+			SourceInstrs: CountStmts(s),
+		}
+		if code.NumRegs < 1 {
+			code.NumRegs = 1
+		}
+		cp.Threads = append(cp.Threads, code)
+		_ = tid
+	}
+	return cp, nil
+}
+
+// Unroll replaces every While node by bound-many nested conditionals; the
+// residual iteration becomes a boundFail marker so that executions exceeding
+// the bound are detected rather than silently truncated.
+func Unroll(s Stmt, bound int) Stmt {
+	switch s := s.(type) {
+	case Skip, Assign, Load, Store, Fence, ISB, boundFail:
+		return s
+	case Seq:
+		return Seq{S1: Unroll(s.S1, bound), S2: Unroll(s.S2, bound)}
+	case If:
+		return If{Cond: s.Cond, Then: Unroll(s.Then, bound), Else: Unroll(s.Else, bound)}
+	case While:
+		body := Unroll(s.Body, bound)
+		// The innermost residue re-checks the condition: only executions
+		// that would genuinely iterate again trip the bound marker.
+		out := Stmt(If{Cond: s.Cond, Then: boundFail{}, Else: Skip{}})
+		for i := 0; i < bound; i++ {
+			out = If{Cond: s.Cond, Then: Seq{S1: body, S2: out}, Else: Skip{}}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+// boundFail is the internal marker for exceeded loop bounds.
+type boundFail struct{}
+
+func (boundFail) isStmt() {}
+
+type compiler struct {
+	nodes []Node
+}
+
+func (c *compiler) add(n Node) int32 {
+	c.nodes = append(c.nodes, n)
+	return int32(len(c.nodes) - 1)
+}
+
+func (c *compiler) compile(s Stmt) int32 {
+	switch s := s.(type) {
+	case Skip:
+		return c.add(Node{Kind: NSkip})
+	case boundFail:
+		return c.add(Node{Kind: NBoundFail})
+	case Seq:
+		s1 := c.compile(s.S1)
+		s2 := c.compile(s.S2)
+		return c.add(Node{Kind: NSeq, S1: s1, S2: s2})
+	case If:
+		th := c.compile(s.Then)
+		el := c.compile(s.Else)
+		return c.add(Node{Kind: NIf, Cond: s.Cond, Then: th, Else: el})
+	case Assign:
+		return c.add(Node{Kind: NAssign, Dst: s.Dst, E: s.E})
+	case Load:
+		return c.add(Node{Kind: NLoad, Dst: s.Dst, Addr: s.Addr, Xcl: s.Xcl, RK: s.Kind})
+	case Store:
+		return c.add(Node{Kind: NStore, Dst: s.Succ, Addr: s.Addr, Data: s.Data, Xcl: s.Xcl, WK: s.Kind})
+	case Fence:
+		return c.add(Node{Kind: NFence, K1: s.K1, K2: s.K2})
+	case ISB:
+		return c.add(Node{Kind: NISB})
+	case While:
+		panic("lang: While must be unrolled before compilation")
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}

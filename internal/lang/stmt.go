@@ -1,0 +1,221 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is a statement of the calculus (Fig. 1). The closed set of
+// implementations is Skip, Seq, If, While, Assign, Load, Store, Fence and
+// ISB. Fence covers all ARM dmb barriers and RISC-V fences via its two
+// FenceKind arguments; fence.tso is desugared by the parser/builders into
+// fence r,r ; fence rw,w (§A.3).
+type Stmt interface {
+	isStmt()
+}
+
+// Skip does nothing.
+type Skip struct{}
+
+// Seq is sequential composition S1; S2.
+type Seq struct{ S1, S2 Stmt }
+
+// If branches on Cond (non-zero means the "then" branch). Per §3, statements
+// sequenced after the conditional are control-dependent on Cond; the
+// semantics achieves this by merging the condition's view into vCAP when the
+// branch executes, so no re-association is necessary at the AST level.
+type If struct {
+	Cond       Expr
+	Then, Else Stmt
+}
+
+// While loops on Cond. The executable model bounds loops: Preprocess unrolls
+// While up to the program's loop bound (§3).
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// Assign is the register assignment r := e.
+type Assign struct {
+	Dst Reg
+	E   Expr
+}
+
+// Load is r := load_{xcl,rk} [Addr].
+type Load struct {
+	Dst  Reg
+	Addr Expr
+	Xcl  bool
+	Kind ReadKind
+}
+
+// Store is rsucc := store_{xcl,wk} [Addr] Data. Non-exclusive stores also
+// write the success bit (always VSucc) to Succ for uniformity (§3); the
+// parser allocates an otherwise-unused register when none is named.
+type Store struct {
+	Succ Reg
+	Addr Expr
+	Data Expr
+	Xcl  bool
+	Kind WriteKind
+}
+
+// Fence is fence_{K1,K2}: program-order earlier accesses of class K1 are
+// ordered before later accesses of class K2. dmb.sy = fence rw,rw;
+// dmb.ld = fence r,rw; dmb.st = fence w,w.
+type Fence struct{ K1, K2 FenceKind }
+
+// ISB is the ARM instruction barrier: orders reads after it with respect to
+// the control/address "capture" view vCAP (ρ7).
+type ISB struct{}
+
+func (Skip) isStmt()   {}
+func (Seq) isStmt()    {}
+func (If) isStmt()     {}
+func (While) isStmt()  {}
+func (Assign) isStmt() {}
+func (Load) isStmt()   {}
+func (Store) isStmt()  {}
+func (Fence) isStmt()  {}
+func (ISB) isStmt()    {}
+
+// DmbSY returns the full barrier (ARM dmb.sy / RISC-V fence rw,rw).
+func DmbSY() Stmt { return Fence{K1: FenceRW, K2: FenceRW} }
+
+// DmbLD returns the load barrier (ARM dmb.ld / RISC-V fence r,rw).
+func DmbLD() Stmt { return Fence{K1: FenceR, K2: FenceRW} }
+
+// DmbST returns the store barrier (ARM dmb.st / RISC-V fence w,w).
+func DmbST() Stmt { return Fence{K1: FenceW, K2: FenceW} }
+
+// FenceTSO returns RISC-V fence.tso, desugared per §A.3.
+func FenceTSO() Stmt {
+	return Seq{S1: Fence{K1: FenceR, K2: FenceR}, S2: Fence{K1: FenceRW, K2: FenceW}}
+}
+
+// Block sequences the given statements, treating an empty list as Skip.
+func Block(ss ...Stmt) Stmt {
+	if len(ss) == 0 {
+		return Skip{}
+	}
+	out := ss[len(ss)-1]
+	for i := len(ss) - 2; i >= 0; i-- {
+		out = Seq{S1: ss[i], S2: out}
+	}
+	return out
+}
+
+// FormatStmt renders s in the surface syntax accepted by the parser.
+func FormatStmt(s Stmt) string {
+	var b strings.Builder
+	writeStmt(&b, s, 0)
+	return b.String()
+}
+
+func writeStmt(b *strings.Builder, s Stmt, indent int) {
+	pad := strings.Repeat("  ", indent)
+	switch s := s.(type) {
+	case Skip:
+		fmt.Fprintf(b, "%sskip;\n", pad)
+	case Seq:
+		writeStmt(b, s.S1, indent)
+		writeStmt(b, s.S2, indent)
+	case If:
+		fmt.Fprintf(b, "%sif %s {\n", pad, s.Cond.String())
+		writeStmt(b, s.Then, indent+1)
+		if _, ok := s.Else.(Skip); !ok {
+			fmt.Fprintf(b, "%s} else {\n", pad)
+			writeStmt(b, s.Else, indent+1)
+		}
+		fmt.Fprintf(b, "%s}\n", pad)
+	case While:
+		fmt.Fprintf(b, "%swhile %s {\n", pad, s.Cond.String())
+		writeStmt(b, s.Body, indent+1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case Assign:
+		fmt.Fprintf(b, "%sr%d = %s;\n", pad, s.Dst, s.E.String())
+	case Load:
+		fmt.Fprintf(b, "%sr%d = load%s [%s];\n", pad, s.Dst, accessSuffix(s.Xcl, s.Kind.String()), s.Addr.String())
+	case Store:
+		fmt.Fprintf(b, "%sr%d = store%s [%s] %s;\n", pad, s.Succ, accessSuffix(s.Xcl, s.Kind.String()), s.Addr.String(), s.Data.String())
+	case Fence:
+		fmt.Fprintf(b, "%sfence %s,%s;\n", pad, s.K1.String(), s.K2.String())
+	case ISB:
+		fmt.Fprintf(b, "%sisb;\n", pad)
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+func accessSuffix(xcl bool, kind string) string {
+	var parts []string
+	if kind != "pln" {
+		parts = append(parts, kind)
+	}
+	if xcl {
+		parts = append(parts, "x")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "." + strings.Join(parts, ".")
+}
+
+// CountStmts returns the number of leaf statements (instructions) in s,
+// counting each branch arm; used for Table 1 style LOC reporting and fuel.
+func CountStmts(s Stmt) int {
+	switch s := s.(type) {
+	case Skip:
+		return 0
+	case Seq:
+		return CountStmts(s.S1) + CountStmts(s.S2)
+	case If:
+		return 1 + CountStmts(s.Then) + CountStmts(s.Else)
+	case While:
+		return 1 + CountStmts(s.Body)
+	case Assign, Load, Store, Fence, ISB:
+		return 1
+	case boundFail:
+		return 0
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+// MaxRegOfStmt returns the largest register index used by s, or -1.
+func MaxRegOfStmt(s Stmt) Reg {
+	max := -1
+	bump := func(r Reg) {
+		if r > max {
+			max = r
+		}
+	}
+	switch s := s.(type) {
+	case Skip:
+	case Seq:
+		bump(MaxRegOfStmt(s.S1))
+		bump(MaxRegOfStmt(s.S2))
+	case If:
+		bump(MaxReg(s.Cond))
+		bump(MaxRegOfStmt(s.Then))
+		bump(MaxRegOfStmt(s.Else))
+	case While:
+		bump(MaxReg(s.Cond))
+		bump(MaxRegOfStmt(s.Body))
+	case Assign:
+		bump(s.Dst)
+		bump(MaxReg(s.E))
+	case Load:
+		bump(s.Dst)
+		bump(MaxReg(s.Addr))
+	case Store:
+		bump(s.Succ)
+		bump(MaxReg(s.Addr))
+		bump(MaxReg(s.Data))
+	case Fence, ISB, boundFail:
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+	return max
+}

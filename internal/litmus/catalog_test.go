@@ -1,0 +1,55 @@
+package litmus
+
+import (
+	"testing"
+
+	"promising/internal/explore"
+)
+
+// TestCatalogVerdicts checks every canonical test against its
+// architecturally expected verdict under the promise-first explorer.
+func TestCatalogVerdicts(t *testing.T) {
+	for _, tst := range Catalog() {
+		tst := tst
+		t.Run(tst.Name(), func(t *testing.T) {
+			v, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.Result.Aborted || v.Result.BoundExceeded {
+				t.Fatalf("exploration incomplete: %+v", v.Result)
+			}
+			if !v.OK() {
+				t.Errorf("%s: got %v, expected %s\noutcomes:\n%s",
+					tst.Name(), v.Allowed, tst.Expect, FormatOutcomes(v.Spec, v.Result, tst.Prog))
+			}
+		})
+	}
+}
+
+// TestCatalogPromiseFirstMatchesNaive cross-checks the two explorers
+// (Theorem 7.1 instantiated on the catalog).
+func TestCatalogPromiseFirstMatchesNaive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("naive exploration is slow in -short mode")
+	}
+	for _, tst := range Catalog() {
+		tst := tst
+		t.Run(tst.Name(), func(t *testing.T) {
+			t.Parallel()
+			vp, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			vn, err := Run(tst, explore.Naive, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !explore.SameOutcomes(vp.Result, vn.Result) {
+				t.Errorf("outcome sets differ\npromise-first:\n%s\nnaive:\n%s",
+					FormatOutcomes(vp.Spec, vp.Result, tst.Prog),
+					FormatOutcomes(vn.Spec, vn.Result, tst.Prog))
+			}
+		})
+	}
+}

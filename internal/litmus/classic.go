@@ -1,0 +1,807 @@
+package litmus
+
+import "fmt"
+
+// CatalogEntry is one canonical litmus test in source form. The expected
+// verdicts are the architecturally known ones for ARMv8 / RISC-V (RVWMO);
+// several are worked examples in the paper (§2, §4, §A).
+type CatalogEntry struct {
+	Name string
+	Src  string
+}
+
+// Catalog parses and returns every canonical test; it panics on parse
+// errors (the sources are compiled into the binary and covered by tests).
+func Catalog() []*Test {
+	out := make([]*Test, 0, len(catalog))
+	for _, e := range catalog {
+		t, err := Parse(e.Src)
+		if err != nil {
+			panic(fmt.Sprintf("litmus: catalog test %s: %v", e.Name, err))
+		}
+		if t.Prog.Name == "" {
+			t.Prog.Name = e.Name
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// CatalogTest returns the named catalog test.
+func CatalogTest(name string) *Test {
+	for _, e := range catalog {
+		if e.Name == name {
+			t, err := Parse(e.Src)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}
+	}
+	panic(fmt.Sprintf("litmus: no catalog test named %q", name))
+}
+
+var catalog = []CatalogEntry{
+	// ------------------------------------------------------------------
+	// Coherence.
+	{"CoRR", `
+arch arm
+name CoRR
+locs x
+thread 0 { store [x] 1; }
+thread 1 { r0 = load [x]; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"CoWW", `
+arch arm
+name CoWW
+locs x
+thread 0 { store [x] 1; store [x] 2; }
+exists [x]=1
+expect forbidden
+`},
+	{"CoRW1", `
+arch arm
+name CoRW1
+locs x
+thread 0 { r0 = load [x]; store [x] 1; }
+exists 0:r0=1
+expect forbidden
+`},
+	{"CoWR0", `
+arch arm
+name CoWR0
+locs x
+thread 0 { store [x] 1; r0 = load [x]; }
+thread 1 { store [x] 2; }
+exists 0:r0=2 && [x]=1
+expect forbidden
+`},
+	{"CoRW2", `
+arch arm
+name CoRW2
+locs x
+thread 0 { r0 = load [x]; store [x] 2; }
+thread 1 { store [x] 1; }
+exists 0:r0=2
+expect forbidden
+`},
+
+	// ------------------------------------------------------------------
+	// Message passing (MP) family. MP+dmb+ctrl and PPOCA are the paper's
+	// §2 worked examples.
+	{"MP", `
+arch arm
+name MP
+locs x y
+thread 0 { store [x] 1; store [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect allowed
+`},
+	{"MP+dmbs", `
+arch arm
+name MP+dmbs
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 { r0 = load [y]; dmb sy; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+dmb+addr", `
+arch arm
+name MP+dmb+addr
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x + (r0 - r0)]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+dmb+ctrl", `
+arch arm
+name MP+dmb+ctrl
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  if r0 == 1 { r1 = load [x]; } else { r1 = load [x]; }
+}
+exists 1:r0=1 && 1:r1=0
+expect allowed
+`},
+	{"MP+dmb+ctrlisb", `
+arch arm
+name MP+dmb+ctrlisb
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  if r0 == 1 { isb; r1 = load [x]; } else { isb; r1 = load [x]; }
+}
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+dmb+dmb.ld", `
+arch arm
+name MP+dmb+dmb.ld
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 { r0 = load [y]; dmb ld; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+dmb.st+addr", `
+arch arm
+name MP+dmb.st+addr
+locs x y
+thread 0 { store [x] 1; dmb st; store [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x + (r0 - r0)]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+rel+acq", `
+arch arm
+name MP+rel+acq
+locs x y
+thread 0 { store [x] 1; store.rel [y] 1; }
+thread 1 { r0 = load.acq [y]; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+rel+wacq", `
+arch arm
+name MP+rel+wacq
+locs x y
+thread 0 { store [x] 1; store.rel [y] 1; }
+thread 1 { r0 = load.wacq [y]; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+rel+addr", `
+arch arm
+name MP+rel+addr
+locs x y
+thread 0 { store [x] 1; store.rel [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x + (r0 - r0)]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+rel+po", `
+arch arm
+name MP+rel+po
+locs x y
+thread 0 { store [x] 1; store.rel [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect allowed
+`},
+	{"MP+po+addr", `
+arch arm
+name MP+po+addr
+locs x y
+thread 0 { store [x] 1; store [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x + (r0 - r0)]; }
+exists 1:r0=1 && 1:r1=0
+expect allowed
+`},
+	// Coherence interacting with dependencies: the §4.1 example where a
+	// later independent load must not read an older write.
+	{"MP+dmb+addr-coh", `
+arch arm
+name MP+dmb+addr-coh
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  r1 = load [x + (r0 - r0)];
+  r2 = load [x];
+}
+exists 1:r0=1 && 1:r1=1 && 1:r2=0
+expect forbidden
+`},
+	// Store forwarding past a dependency (§4.1 "store forwarding").
+	{"MP+dmb+fwd", `
+arch arm
+name MP+dmb+fwd
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  store [y] 3;
+  r1 = load [y];
+  r2 = load [x + (r1 - r1)];
+}
+exists 1:r0=1 && 1:r1=3 && 1:r2=0
+expect allowed
+`},
+	// PPOCA (§2): control-speculated store forwarded to a dependent load.
+	{"PPOCA", `
+arch arm
+name PPOCA
+locs x y z
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  if r0 == 1 {
+    store [z] 1;
+    r1 = load [z];
+    r2 = load [x + (r1 - r1)];
+  } else { r1 = 0 - 1; r2 = 0 - 1; }
+}
+exists 1:r0=1 && 1:r1=1 && 1:r2=0
+expect allowed
+`},
+	// PPOAA: like PPOCA but with an address dependency instead of the
+	// control dependency; forbidden ((addr);rfi ∈ dob).
+	{"PPOAA", `
+arch arm
+name PPOAA
+locs x y z
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  store [z + (r0 - r0)] 1;
+  r1 = load [z];
+  r2 = load [x + (r1 - r1)];
+}
+exists 1:r0=1 && 1:r1=1 && 1:r2=0
+expect forbidden
+`},
+
+	// ------------------------------------------------------------------
+	// Store buffering (SB) family.
+	{"SB", `
+arch arm
+name SB
+locs x y
+thread 0 { store [x] 1; r0 = load [y]; }
+thread 1 { store [y] 1; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`},
+	{"SB+dmbs", `
+arch arm
+name SB+dmbs
+locs x y
+thread 0 { store [x] 1; dmb sy; r0 = load [y]; }
+thread 1 { store [y] 1; dmb sy; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect forbidden
+`},
+	{"SB+rel+acq", `
+arch arm
+name SB+rel+acq
+locs x y
+thread 0 { store.rel [x] 1; r0 = load.acq [y]; }
+thread 1 { store.rel [y] 1; r1 = load.acq [x]; }
+exists 0:r0=0 && 1:r1=0
+expect forbidden
+`},
+	{"SB+rel+wacq", `
+arch arm
+name SB+rel+wacq
+locs x y
+thread 0 { store.rel [x] 1; r0 = load.wacq [y]; }
+thread 1 { store.rel [y] 1; r1 = load.wacq [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`},
+	{"SB+dmb.sts", `
+arch arm
+name SB+dmb.sts
+locs x y
+thread 0 { store [x] 1; dmb st; r0 = load [y]; }
+thread 1 { store [y] 1; dmb st; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`},
+
+	// ------------------------------------------------------------------
+	// Load buffering (LB) family (§4.2 worked examples).
+	{"LB", `
+arch arm
+name LB
+locs x y
+thread 0 { r0 = load [x]; store [y] 1; }
+thread 1 { r1 = load [y]; store [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect allowed
+`},
+	{"LB+datas", `
+arch arm
+name LB+datas
+locs x y
+thread 0 { r0 = load [x]; store [y] r0; }
+thread 1 { r1 = load [y]; store [x] r1; }
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	{"LB+data+po", `
+arch arm
+name LB+data+po
+locs x y
+thread 0 { r0 = load [x]; store [y] r0; }
+thread 1 { r1 = load [y]; store [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect allowed
+`},
+	{"LB+addrs", `
+arch arm
+name LB+addrs
+locs x y
+thread 0 { r0 = load [x]; store [y + (r0 - r0)] 1; }
+thread 1 { r1 = load [y]; store [x + (r1 - r1)] 1; }
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	{"LB+ctrls", `
+arch arm
+name LB+ctrls
+locs x y
+thread 0 { r0 = load [x]; if r0 == 1 { store [y] 1; } else { store [y] 1; } }
+thread 1 { r1 = load [y]; if r1 == 1 { store [x] 1; } else { store [x] 1; } }
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	{"LB+dmbs", `
+arch arm
+name LB+dmbs
+locs x y
+thread 0 { r0 = load [x]; dmb sy; store [y] 1; }
+thread 1 { r1 = load [y]; dmb sy; store [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	{"LB+dmb.ld+po", `
+arch arm
+name LB+dmb.ld+po
+locs x y
+thread 0 { r0 = load [x]; dmb ld; store [y] 1; }
+thread 1 { r1 = load [y]; store [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect allowed
+`},
+	{"LB+acqs", `
+arch arm
+name LB+acqs
+locs x y
+thread 0 { r0 = load.acq [x]; store [y] 1; }
+thread 1 { r1 = load.acq [y]; store [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	// Control dependency to a store on one side only (§4.2 example).
+	{"LB+ctrl+po", `
+arch arm
+name LB+ctrl+po
+locs x y
+thread 0 { r0 = load [x]; store [y] r0; }
+thread 1 {
+  r1 = load [y];
+  if (r1 - r1) == 0 { store [x] 1; }
+}
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	// Address-po dependency: the store is ordered after an access whose
+	// address depends on the load (§4.2 "address-po").
+	{"LB+addrpo+po", `
+arch arm
+name LB+addrpo+po
+locs x y z
+thread 0 { r0 = load [x]; store [y] r0; }
+thread 1 {
+  r1 = load [y];
+  store [z + (r1 - r1)] 0;
+  store [x] 1;
+}
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+
+	// ------------------------------------------------------------------
+	// S and R and 2+2W.
+	{"S+dmb+data", `
+arch arm
+name S+dmb+data
+locs x y
+thread 0 { store [x] 2; dmb sy; store [y] 1; }
+thread 1 { r0 = load [y]; store [x] (r0 - r0 + 1); }
+exists 1:r0=1 && [x]=2
+expect forbidden
+`},
+	{"S+po+data", `
+arch arm
+name S+po+data
+locs x y
+thread 0 { store [x] 2; store [y] 1; }
+thread 1 { r0 = load [y]; store [x] (r0 - r0 + 1); }
+exists 1:r0=1 && [x]=2
+expect allowed
+`},
+	{"R+dmbs", `
+arch arm
+name R+dmbs
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 { store [y] 2; dmb sy; r0 = load [x]; }
+exists [y]=2 && 1:r0=0
+expect forbidden
+`},
+	{"R", `
+arch arm
+name R
+locs x y
+thread 0 { store [x] 1; store [y] 1; }
+thread 1 { store [y] 2; r0 = load [x]; }
+exists [y]=2 && 1:r0=0
+expect allowed
+`},
+	{"2+2W", `
+arch arm
+name 2+2W
+locs x y
+thread 0 { store [x] 1; store [y] 2; }
+thread 1 { store [y] 1; store [x] 2; }
+exists [x]=1 && [y]=1
+expect allowed
+`},
+	{"2+2W+dmbs", `
+arch arm
+name 2+2W+dmbs
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 2; }
+thread 1 { store [y] 1; dmb sy; store [x] 2; }
+exists [x]=1 && [y]=1
+expect forbidden
+`},
+
+	// ------------------------------------------------------------------
+	// Multi-copy atomicity: WRC and IRIW.
+	{"WRC+data+addr", `
+arch arm
+name WRC+data+addr
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { r0 = load [x]; store [y] r0; }
+thread 2 { r1 = load [y]; r2 = load [x + (r1 - r1)]; }
+exists 1:r0=1 && 2:r1=1 && 2:r2=0
+expect forbidden
+`},
+	{"WRC+po+addr", `
+arch arm
+name WRC+po+addr
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { r0 = load [x]; store [y] 1; }
+thread 2 { r1 = load [y]; r2 = load [x + (r1 - r1)]; }
+exists 1:r0=1 && 2:r1=1 && 2:r2=0
+expect allowed
+`},
+	{"IRIW", `
+arch arm
+name IRIW
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { store [y] 1; }
+thread 2 { r0 = load [x]; r1 = load [y]; }
+thread 3 { r2 = load [y]; r3 = load [x]; }
+exists 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
+expect allowed
+`},
+	{"IRIW+addrs", `
+arch arm
+name IRIW+addrs
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { store [y] 1; }
+thread 2 { r0 = load [x]; r1 = load [y + (r0 - r0)]; }
+thread 3 { r2 = load [y]; r3 = load [x + (r2 - r2)]; }
+exists 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
+expect forbidden
+`},
+	{"IRIW+dmbs", `
+arch arm
+name IRIW+dmbs
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { store [y] 1; }
+thread 2 { r0 = load [x]; dmb sy; r1 = load [y]; }
+thread 3 { r2 = load [y]; dmb sy; r3 = load [x]; }
+exists 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
+expect forbidden
+`},
+
+	// ------------------------------------------------------------------
+	// Load/store exclusives (§A.2 worked example and basics).
+	{"XCL-atomicity", `
+arch arm
+name XCL-atomicity
+locs x
+thread 0 { r1 = load.x [x]; r2 = store.x [x] 3; }
+thread 1 { store [x] 1; store [x] 2; r3 = load [x]; }
+exists 0:r1=1 && 0:r2=0 && 1:r3=3
+expect forbidden
+`},
+	{"XCL-success", `
+arch arm
+name XCL-success
+locs x
+thread 0 { r1 = load.x [x]; r2 = store.x [x] 1; }
+exists 0:r2=0 && [x]=1
+expect allowed
+`},
+	{"XCL-may-fail", `
+arch arm
+name XCL-may-fail
+locs x
+thread 0 { r1 = load.x [x]; r2 = store.x [x] 1; }
+exists 0:r2=1
+expect allowed
+`},
+	{"XCL-unpaired-fails", `
+arch arm
+name XCL-unpaired-fails
+locs x
+thread 0 { r2 = store.x [x] 1; }
+exists 0:r2=0
+expect forbidden
+`},
+	// A store exclusive pairs only with the most recent load exclusive,
+	// even one to a different location.
+	{"XCL-repairing", `
+arch arm
+name XCL-repairing
+locs x y
+thread 0 { r0 = load.x [x]; r1 = load.x [y]; r2 = store.x [x] 1; }
+thread 1 { store [x] 2; }
+exists 0:r0=0 && 0:r2=0 && [x]=2
+expect allowed
+`},
+	// The §C.1 dependency-through-success-register example: allowed on ARM
+	// (the success register write carries no ordering), forbidden on RISC-V.
+	{"XCL+succ-dep-ARM", `
+arch arm
+name XCL+succ-dep-ARM
+locs x p
+thread 0 {
+  r1 = load.x [x];
+  r2 = store.x [x] (r1 + 1);
+  store [p] (1 - r1 - r2);
+}
+thread 1 { r3 = load [p]; dmb sy; r4 = load [x]; }
+thread 2 { store [x] 2; }
+exists 1:r3=1 && 1:r4=0
+expect allowed
+`},
+	{"XCL+succ-dep-RISCV", `
+arch riscv
+name XCL+succ-dep-RISCV
+locs x p
+thread 0 {
+  r1 = load.x [x];
+  r2 = store.x [x] (r1 + 1);
+  store [p] (1 - r1 - r2);
+}
+thread 1 { r3 = load [p]; fence rw,rw; r4 = load [x]; }
+thread 2 { store [x] 2; }
+exists 1:r3=1 && 1:r4=0
+expect forbidden
+`},
+	// Forwarding from an exclusive store: forbidden to forward early on
+	// RISC-V (any load) and for ARM acquire loads (ρ13 / aob).
+	{"XCL-fwd-acq-ARM", `
+arch arm
+name XCL-fwd-acq-ARM
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  r5 = load.x [y];
+  r6 = store.x [y] 3;
+  r1 = load.acq [y];
+  r2 = load [x + (r1 - r1)];
+}
+exists 1:r0=1 && 1:r6=0 && 1:r1=3 && 1:r2=0
+expect forbidden
+`},
+
+	// ------------------------------------------------------------------
+	// RISC-V fences.
+	{"MP+tsos", `
+arch riscv
+name MP+tsos
+locs x y
+thread 0 { store [x] 1; fence tso; store [y] 1; }
+thread 1 { r0 = load [y]; fence tso; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"SB+tsos", `
+arch riscv
+name SB+tsos
+locs x y
+thread 0 { store [x] 1; fence tso; r0 = load [y]; }
+thread 1 { store [y] 1; fence tso; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`},
+	{"SB+fence.w.r", `
+arch riscv
+name SB+fence.w.r
+locs x y
+thread 0 { store [x] 1; fence w,r; r0 = load [y]; }
+thread 1 { store [y] 1; fence w,r; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect forbidden
+`},
+	{"LB+fence.r.r+po", `
+arch riscv
+name LB+fence.r.r+po
+locs x y
+thread 0 { r0 = load [x]; fence r,r; store [y] 1; }
+thread 1 { r1 = load [y]; store [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect allowed
+`},
+	// RISC-V exclusives: paired lr/sc are ordered even across locations
+	// (bob includes rmw), unlike ARM.
+	{"RISCV-lr-sc-bob", `
+arch riscv
+name RISCV-lr-sc-bob
+locs x y
+thread 0 { r0 = load.x [x]; r1 = store.x [y] 1; }
+thread 1 { r2 = load [y]; fence rw,rw; store [x] 1; }
+exists 0:r0=1 && 0:r1=0 && 1:r2=1
+expect forbidden
+`},
+}
+
+// Additional canonical tests appended to the catalog at init time.
+var catalogExtra = []CatalogEntry{
+	{"CoRR2", `
+arch arm
+name CoRR2
+locs x
+thread 0 { store [x] 1; }
+thread 1 { store [x] 2; }
+thread 2 { r0 = load [x]; r1 = load [x]; }
+thread 3 { r2 = load [x]; r3 = load [x]; }
+exists 2:r0=1 && 2:r1=2 && 3:r2=2 && 3:r3=1
+expect forbidden
+`},
+	{"MP+dmb+wacq", `
+arch arm
+name MP+dmb+wacq
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 { r0 = load.wacq [y]; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"SB+dmb.lds", `
+arch arm
+name SB+dmb.lds
+locs x y
+thread 0 { store [x] 1; dmb ld; r0 = load [y]; }
+thread 1 { store [y] 1; dmb ld; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`},
+	{"S+rel+data", `
+arch arm
+name S+rel+data
+locs x y
+thread 0 { store [x] 2; store.rel [y] 1; }
+thread 1 { r0 = load [y]; store [x] (r0 - r0 + 1); }
+exists 1:r0=1 && [x]=2
+expect forbidden
+`},
+	{"R+dmb+po", `
+arch arm
+name R+dmb+po
+locs x y
+thread 0 { store [x] 1; dmb sy; store [y] 1; }
+thread 1 { store [y] 2; r0 = load [x]; }
+exists [y]=2 && 1:r0=0
+expect allowed
+`},
+	{"LB+rels", `
+arch arm
+name LB+rels
+locs x y
+thread 0 { r0 = load [x]; store.rel [y] 1; }
+thread 1 { r1 = load [y]; store.rel [x] 1; }
+exists 0:r0=1 && 1:r1=1
+expect forbidden
+`},
+	{"2+2W+rels", `
+arch arm
+name 2+2W+rels
+locs x y
+thread 0 { store [x] 1; store.rel [y] 2; }
+thread 1 { store [y] 1; store.rel [x] 2; }
+exists [x]=1 && [y]=1
+expect forbidden
+`},
+	{"IRIW+acqs", `
+arch arm
+name IRIW+acqs
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { store [y] 1; }
+thread 2 { r0 = load.acq [x]; r1 = load.acq [y]; }
+thread 3 { r2 = load.acq [y]; r3 = load.acq [x]; }
+exists 2:r0=1 && 2:r1=0 && 3:r2=1 && 3:r3=0
+expect forbidden
+`},
+	{"WRC+rel+addr", `
+arch arm
+name WRC+rel+addr
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { r0 = load [x]; store.rel [y] 1; }
+thread 2 { r1 = load [y]; r2 = load [x + (r1 - r1)]; }
+exists 1:r0=1 && 2:r1=1 && 2:r2=0
+expect forbidden
+`},
+	{"PPOCA-RISCV", `
+arch riscv
+name PPOCA-RISCV
+locs x y z
+thread 0 { store [x] 1; fence rw,rw; store [y] 1; }
+thread 1 {
+  r0 = load [y];
+  if r0 == 1 {
+    store [z] 1;
+    r1 = load [z];
+    r2 = load [x + (r1 - r1)];
+  } else { r1 = 0 - 1; r2 = 0 - 1; }
+}
+exists 1:r0=1 && 1:r1=1 && 1:r2=0
+expect allowed
+`},
+	{"MP+fence.w.w+addr-RISCV", `
+arch riscv
+name MP+fence.w.w+addr-RISCV
+locs x y
+thread 0 { store [x] 1; fence w,w; store [y] 1; }
+thread 1 { r0 = load [y]; r1 = load [x + (r0 - r0)]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"SB+dmbs-RISCV", `
+arch riscv
+name SB+dmbs-RISCV
+locs x y
+thread 0 { store [x] 1; fence rw,rw; r0 = load [y]; }
+thread 1 { store [y] 1; fence rw,rw; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect forbidden
+`},
+}
+
+func init() {
+	catalog = append(catalog, catalogExtra...)
+}

@@ -1,0 +1,39 @@
+package litmus
+
+import (
+	"testing"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+)
+
+// TestCatalogPromisingVsAxiomatic is the Theorem 6.1 check on the canonical
+// catalog: the Promising model and the unified Axiomatic model compute the
+// same outcome sets.
+func TestCatalogPromisingVsAxiomatic(t *testing.T) {
+	for _, tst := range Catalog() {
+		tst := tst
+		t.Run(tst.Name(), func(t *testing.T) {
+			t.Parallel()
+			vp, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			va, err := Run(tst, axiomatic.Explore, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if va.Result.Aborted {
+				t.Fatalf("axiomatic exploration aborted")
+			}
+			if !explore.SameOutcomes(vp.Result, va.Result) {
+				t.Errorf("outcome sets differ\npromising:\n%s\naxiomatic:\n%s",
+					FormatOutcomes(vp.Spec, vp.Result, tst.Prog),
+					FormatOutcomes(va.Spec, va.Result, tst.Prog))
+			}
+			if !va.OK() {
+				t.Errorf("axiomatic verdict %v, expected %s", va.Allowed, tst.Expect)
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package litmus
+
+import (
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/flat"
+)
+
+// TestCatalogFlatMatchesPromising validates the flat-style baseline against
+// the Promising model on the canonical catalog.
+func TestCatalogFlatMatchesPromising(t *testing.T) {
+	for _, tst := range Catalog() {
+		tst := tst
+		t.Run(tst.Name(), func(t *testing.T) {
+			t.Parallel()
+			vp, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			vf, err := Run(tst, flat.Explore, explore.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vf.Result.Aborted {
+				t.Fatal("flat exploration aborted")
+			}
+			if !explore.SameOutcomes(vp.Result, vf.Result) {
+				t.Errorf("outcome sets differ\npromising:\n%s\nflat:\n%s",
+					FormatOutcomes(vp.Spec, vp.Result, tst.Prog),
+					FormatOutcomes(vf.Spec, vf.Result, tst.Prog))
+			}
+		})
+	}
+}
+
+// TestRandomFlatMatchesPromising cross-checks the flat baseline on seeded
+// random programs (smaller count: the baseline is the slow model).
+func TestRandomFlatMatchesPromising(t *testing.T) {
+	n := genCount(t, 120, 25)
+	for seed := int64(5000); seed < int64(5000+n); seed++ {
+		cfg := DefaultGenConfig(seed, archForSeed(seed))
+		tst := Generate(cfg)
+		vp, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vf, err := Run(tst, flat.Explore, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !explore.SameOutcomes(vp.Result, vf.Result) {
+			t.Errorf("seed %d: outcome sets differ\nprogram:\n%s\npromising:\n%s\n\nflat:\n%s",
+				seed, formatProgram(tst.Prog),
+				FormatOutcomes(vp.Spec, vp.Result, tst.Prog),
+				FormatOutcomes(vf.Spec, vf.Result, tst.Prog))
+			return
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package litmus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// Random test generation for differential model testing (the stand-in for
+// the paper's 6,500/7,000-test validation suites, §7). Programs are small
+// enough for all backends, seeded for reproducibility, and observed on
+// every load destination and success register plus the final memory.
+
+// GenConfig tunes the random generator.
+type GenConfig struct {
+	Seed    int64
+	Arch    lang.Arch
+	Threads int // default 2
+	// MaxInstrs bounds the instructions per thread (default 4).
+	MaxInstrs int
+	// Locs is the number of distinct shared locations (default 2).
+	Locs int
+	// Feature toggles.
+	AllowRelAcq   bool
+	AllowFences   bool
+	AllowBranches bool
+	AllowXcl      bool
+	AllowDeps     bool
+}
+
+// DefaultGenConfig returns a configuration exercising every feature.
+func DefaultGenConfig(seed int64, arch lang.Arch) GenConfig {
+	return GenConfig{
+		Seed: seed, Arch: arch,
+		Threads: 2, MaxInstrs: 4, Locs: 2,
+		AllowRelAcq: true, AllowFences: true, AllowBranches: true,
+		AllowXcl: true, AllowDeps: true,
+	}
+}
+
+// Generate builds a random test. The same config always yields the same
+// test.
+func Generate(cfg GenConfig) *Test {
+	if cfg.Threads == 0 {
+		cfg.Threads = 2
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 4
+	}
+	if cfg.Locs == 0 {
+		cfg.Locs = 2
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return g.test()
+}
+
+type generator struct {
+	cfg GenConfig
+	rng *rand.Rand
+
+	// Per-thread state during generation.
+	regs     *lang.Symbols
+	loadRegs []lang.Reg // registers holding load results (dependency sources)
+	obs      []explore.RegObs
+	tid      int
+	xclOpen  bool // a load exclusive awaits its store exclusive
+}
+
+func (g *generator) test() *Test {
+	prog := &lang.Program{
+		Name: fmt.Sprintf("rand-%s-%d", g.cfg.Arch, g.cfg.Seed),
+		Arch: g.cfg.Arch,
+		Init: map[lang.Loc]lang.Val{},
+		Locs: map[string]lang.Loc{},
+	}
+	for i := 0; i < g.cfg.Locs; i++ {
+		prog.Locs[fmt.Sprintf("l%d", i)] = lang.Loc(0x1000 + 8*i)
+	}
+	spec := &explore.ObsSpec{}
+	for l := range prog.Locs {
+		spec.Locs = append(spec.Locs, prog.Locs[l])
+	}
+	sortLocs(spec.Locs)
+
+	for tid := 0; tid < g.cfg.Threads; tid++ {
+		g.tid = tid
+		g.regs = lang.NewSymbols(prog.Locs)
+		g.loadRegs = nil
+		g.xclOpen = false
+		n := 2 + g.rng.Intn(g.cfg.MaxInstrs-1)
+		var ss []lang.Stmt
+		for i := 0; i < n; i++ {
+			ss = append(ss, g.instr(i == n-1))
+		}
+		prog.Threads = append(prog.Threads, lang.Block(ss...))
+		prog.RegNames = append(prog.RegNames, g.regs.Regs)
+	}
+	spec.Regs = g.obs
+	return &Test{Prog: prog, Obs: spec}
+}
+
+func sortLocs(ls []lang.Loc) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+func (g *generator) loc() lang.Loc {
+	return lang.Loc(0x1000 + 8*g.rng.Intn(g.cfg.Locs))
+}
+
+// addr returns a location expression, possibly address-dependent on an
+// earlier load.
+func (g *generator) addr() lang.Expr {
+	l := g.loc()
+	if g.cfg.AllowDeps && len(g.loadRegs) > 0 && g.rng.Intn(100) < 30 {
+		r := g.loadRegs[g.rng.Intn(len(g.loadRegs))]
+		return lang.DepOn(lang.C(l), r)
+	}
+	return lang.C(l)
+}
+
+// data returns a store value expression: a small constant, possibly
+// data-dependent on an earlier load.
+func (g *generator) data() lang.Expr {
+	v := lang.C(lang.Val(1 + g.rng.Intn(2)))
+	if g.cfg.AllowDeps && len(g.loadRegs) > 0 && g.rng.Intn(100) < 30 {
+		r := g.loadRegs[g.rng.Intn(len(g.loadRegs))]
+		if g.rng.Intn(2) == 0 {
+			return lang.DepOn(v, r)
+		}
+		return lang.R(r)
+	}
+	return v
+}
+
+func (g *generator) newObsReg(prefix string) lang.Reg {
+	name := fmt.Sprintf("%s%d", prefix, len(g.obs))
+	r := g.regs.Reg(name)
+	if len(g.obs) < 10 {
+		g.obs = append(g.obs, explore.RegObs{TID: g.tid, Reg: r, Name: fmt.Sprintf("%d:%s", g.tid, name)})
+	}
+	return r
+}
+
+func (g *generator) instr(last bool) lang.Stmt {
+	roll := g.rng.Intn(100)
+	switch {
+	case g.xclOpen && roll < 35:
+		// Close the exclusive pair.
+		g.xclOpen = false
+		return lang.Store{
+			Succ: g.newObsReg("s"),
+			Addr: g.addr(),
+			Data: g.data(),
+			Xcl:  true,
+			Kind: g.writeKind(),
+		}
+	case roll < 35:
+		ld := lang.Load{Dst: g.newObsReg("r"), Addr: g.addr(), Kind: g.readKind()}
+		if g.cfg.AllowXcl && !g.xclOpen && !last && g.rng.Intn(100) < 25 {
+			ld.Xcl = true
+			g.xclOpen = true
+		}
+		g.loadRegs = append(g.loadRegs, ld.Dst)
+		return ld
+	case roll < 65:
+		return lang.Store{Succ: g.regs.Fresh(), Addr: g.addr(), Data: g.data(), Kind: g.writeKind()}
+	case roll < 80 && g.cfg.AllowFences:
+		return g.fence()
+	case roll < 88 && g.cfg.AllowBranches && len(g.loadRegs) > 0:
+		r := g.loadRegs[g.rng.Intn(len(g.loadRegs))]
+		cond := lang.Eq(lang.R(r), lang.C(lang.Val(g.rng.Intn(2))))
+		body := lang.Stmt(lang.Store{Succ: g.regs.Fresh(), Addr: g.addr(), Data: g.data(), Kind: lang.WritePlain})
+		other := lang.Stmt(lang.Skip{})
+		if g.rng.Intn(2) == 0 {
+			other = lang.Load{Dst: g.newObsReg("r"), Addr: g.addr(), Kind: lang.ReadPlain}
+		}
+		return lang.If{Cond: cond, Then: body, Else: other}
+	case roll < 94:
+		ld := lang.Load{Dst: g.newObsReg("r"), Addr: g.addr(), Kind: g.readKind()}
+		g.loadRegs = append(g.loadRegs, ld.Dst)
+		return ld
+	default:
+		if g.cfg.AllowFences {
+			return lang.ISB{}
+		}
+		return lang.Skip{}
+	}
+}
+
+func (g *generator) readKind() lang.ReadKind {
+	if !g.cfg.AllowRelAcq {
+		return lang.ReadPlain
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return lang.ReadAcq
+	case 1:
+		return lang.ReadWeakAcq
+	default:
+		return lang.ReadPlain
+	}
+}
+
+func (g *generator) writeKind() lang.WriteKind {
+	if !g.cfg.AllowRelAcq {
+		return lang.WritePlain
+	}
+	switch g.rng.Intn(10) {
+	case 0:
+		return lang.WriteRel
+	case 1:
+		return lang.WriteWeakRel
+	default:
+		return lang.WritePlain
+	}
+}
+
+func (g *generator) fence() lang.Stmt {
+	if g.cfg.Arch == lang.RISCV {
+		switch g.rng.Intn(5) {
+		case 0:
+			return lang.FenceTSO()
+		case 1:
+			return lang.Fence{K1: lang.FenceW, K2: lang.FenceR}
+		}
+		kinds := []lang.FenceKind{lang.FenceR, lang.FenceW, lang.FenceRW}
+		return lang.Fence{K1: kinds[g.rng.Intn(3)], K2: kinds[g.rng.Intn(3)]}
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return lang.DmbSY()
+	case 1:
+		return lang.DmbLD()
+	default:
+		return lang.DmbST()
+	}
+}

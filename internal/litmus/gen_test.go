@@ -1,0 +1,109 @@
+package litmus
+
+import (
+	"testing"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+func genCount(t *testing.T, full int, short int) int {
+	if testing.Short() {
+		return short
+	}
+	_ = t
+	return full
+}
+
+// TestRandomPromisingVsAxiomatic is the randomised Theorem 6.1 check: on
+// seeded random programs the Promising model and the Axiomatic model
+// compute identical outcome sets, for both architectures.
+func TestRandomPromisingVsAxiomatic(t *testing.T) {
+	n := genCount(t, 400, 60)
+	for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < int64(n); seed++ {
+				tst := Generate(DefaultGenConfig(seed, arch))
+				vp, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				va, err := Run(tst, axiomatic.Explore, explore.DefaultOptions())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if va.Result.Aborted || vp.Result.Aborted {
+					t.Fatalf("seed %d: aborted", seed)
+				}
+				if !explore.SameOutcomes(vp.Result, va.Result) {
+					t.Errorf("seed %d (%s): outcome sets differ\nprogram:\n%s\npromising:\n%s\n\naxiomatic:\n%s",
+						seed, arch, formatProgram(tst.Prog),
+						FormatOutcomes(vp.Spec, vp.Result, tst.Prog),
+						FormatOutcomes(va.Spec, va.Result, tst.Prog))
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestRandomPromiseFirstVsNaive is the randomised Theorem 7.1 check: the
+// promise-first explorer and the naive full-interleaving explorer agree.
+func TestRandomPromiseFirstVsNaive(t *testing.T) {
+	n := genCount(t, 150, 30)
+	for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1000); seed < int64(1000+n); seed++ {
+				tst := Generate(DefaultGenConfig(seed, arch))
+				vp, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				vn, err := Run(tst, explore.Naive, explore.DefaultOptions())
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !explore.SameOutcomes(vp.Result, vn.Result) {
+					t.Errorf("seed %d (%s): outcome sets differ\nprogram:\n%s\npromise-first:\n%s\n\nnaive:\n%s",
+						seed, arch, formatProgram(tst.Prog),
+						FormatOutcomes(vp.Spec, vp.Result, tst.Prog),
+						FormatOutcomes(vn.Spec, vn.Result, tst.Prog))
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic checks reproducibility of the generator.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenConfig(42, lang.ARM))
+	b := Generate(DefaultGenConfig(42, lang.ARM))
+	if formatProgram(a.Prog) != formatProgram(b.Prog) {
+		t.Error("generator is not deterministic")
+	}
+}
+
+func formatProgram(p *lang.Program) string {
+	out := ""
+	for tid, s := range p.Threads {
+		out += lang.FormatStmt(lang.Skip{})
+		_ = tid
+		out += lang.FormatStmt(s)
+		out += "----\n"
+	}
+	return out
+}
+
+// archForSeed alternates architectures across seeds.
+func archForSeed(seed int64) lang.Arch {
+	if seed%2 == 0 {
+		return lang.ARM
+	}
+	return lang.RISCV
+}

@@ -1,0 +1,426 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"promising/internal/lang"
+)
+
+// Parse reads the litmus text format:
+//
+//	arch arm                     // or riscv
+//	name MP+dmb+addr
+//	bound 2                      // optional loop bound
+//	locs x y z                   // or: locs x=4096 y
+//	init x=1                     // optional initial values
+//	shared x y                   // optional: everything else thread-local
+//	thread 0 {
+//	  store [x] 1;
+//	  dmb sy;
+//	  store [y] 1;
+//	}
+//	thread 1 {
+//	  r0 = load [y];
+//	  r1 = load [x + (r0 - r0)];
+//	}
+//	exists 1:r0=1 && 1:r1=0
+//	expect allowed               // optional: allowed | forbidden
+//
+// "~exists C" is shorthand for "exists C" plus "expect forbidden".
+// Comments run from "//" or "#" to end of line.
+func Parse(src string) (*Test, error) {
+	p := &fileParser{
+		prog: &lang.Program{
+			Arch: lang.ARM,
+			Init: map[lang.Loc]lang.Val{},
+			Locs: map[string]lang.Loc{},
+		},
+	}
+	if err := p.parse(src); err != nil {
+		return nil, err
+	}
+	if len(p.prog.Threads) == 0 {
+		return nil, fmt.Errorf("litmus: no threads declared")
+	}
+	t := &Test{Prog: p.prog, Expect: p.expect}
+	if p.condSrc != "" {
+		c, err := ParseCond(p.condSrc, p.prog)
+		if err != nil {
+			return nil, err
+		}
+		t.Cond = c
+	}
+	return t, nil
+}
+
+type fileParser struct {
+	prog    *lang.Program
+	nextLoc lang.Loc
+	condSrc string
+	expect  Expectation
+	threads map[int]string
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	return strings.TrimSpace(line)
+}
+
+func (p *fileParser) parse(src string) error {
+	p.threads = map[int]string{}
+	p.nextLoc = 0x1000
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := stripComment(lines[i])
+		if line == "" {
+			continue
+		}
+		word, rest := splitWord(line)
+		switch word {
+		case "arch":
+			a, err := lang.ParseArch(rest)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", i+1, err)
+			}
+			p.prog.Arch = a
+		case "name":
+			p.prog.Name = strings.Trim(rest, `"`)
+		case "bound":
+			n, err := strconv.Atoi(rest)
+			if err != nil || n < 1 {
+				return fmt.Errorf("line %d: bad loop bound %q", i+1, rest)
+			}
+			p.prog.LoopBound = n
+		case "locs", "loc":
+			if err := p.declareLocs(rest); err != nil {
+				return fmt.Errorf("line %d: %v", i+1, err)
+			}
+		case "init":
+			if err := p.declareInit(rest); err != nil {
+				return fmt.Errorf("line %d: %v", i+1, err)
+			}
+		case "shared":
+			if p.prog.Shared == nil {
+				p.prog.Shared = map[lang.Loc]bool{}
+			}
+			for _, name := range strings.Fields(rest) {
+				l, ok := p.prog.Locs[name]
+				if !ok {
+					return fmt.Errorf("line %d: shared: unknown location %q", i+1, name)
+				}
+				p.prog.Shared[l] = true
+			}
+		case "thread":
+			idStr, after := splitWord(rest)
+			id, err := strconv.Atoi(strings.TrimSuffix(idStr, "{"))
+			if err != nil {
+				return fmt.Errorf("line %d: bad thread id %q", i+1, idStr)
+			}
+			if open := strings.Index(after, "{"); open >= 0 && strings.Count(after, "{") == strings.Count(after, "}") && strings.Count(after, "{") > 0 {
+				// Single-line form: thread N { body }
+				close := strings.LastIndex(after, "}")
+				p.threads[id] = after[open+1 : close]
+				break
+			}
+			body, next, err := collectBody(lines, i)
+			if err != nil {
+				return err
+			}
+			p.threads[id] = body
+			i = next
+		case "exists":
+			p.condSrc = rest
+			if p.expect == ExpectUnknown {
+				p.expect = ExpectUnknown
+			}
+		case "~exists", "forbidden":
+			p.condSrc = rest
+			p.expect = ExpectForbidden
+		case "expect":
+			switch rest {
+			case "allowed":
+				p.expect = ExpectAllowed
+			case "forbidden":
+				p.expect = ExpectForbidden
+			default:
+				return fmt.Errorf("line %d: expect wants allowed or forbidden, got %q", i+1, rest)
+			}
+		default:
+			return fmt.Errorf("line %d: unknown directive %q", i+1, word)
+		}
+	}
+	// Assemble threads in id order.
+	ids := make([]int, 0, len(p.threads))
+	for id := range p.threads {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for want, id := range ids {
+		if id != want {
+			return fmt.Errorf("litmus: thread ids must be dense from 0; missing thread %d", want)
+		}
+		sy := lang.NewSymbols(p.prog.Locs)
+		s, err := lang.ParseThreadBody(p.threads[id], sy)
+		if err != nil {
+			return fmt.Errorf("thread %d: %v", id, err)
+		}
+		p.prog.Threads = append(p.prog.Threads, s)
+		p.prog.RegNames = append(p.prog.RegNames, sy.Regs)
+	}
+	return nil
+}
+
+func splitWord(s string) (string, string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return s, ""
+	}
+	return s[:i], strings.TrimSpace(s[i+1:])
+}
+
+func (p *fileParser) declareLocs(rest string) error {
+	for _, f := range strings.Fields(rest) {
+		name := f
+		addr := lang.Loc(0)
+		explicit := false
+		if i := strings.Index(f, "="); i >= 0 {
+			name = f[:i]
+			v, err := strconv.ParseInt(f[i+1:], 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad location address %q", f)
+			}
+			addr = v
+			explicit = true
+		}
+		if _, dup := p.prog.Locs[name]; dup {
+			return fmt.Errorf("duplicate location %q", name)
+		}
+		if !explicit {
+			addr = p.nextLoc
+			p.nextLoc += 8
+		}
+		p.prog.Locs[name] = addr
+	}
+	return nil
+}
+
+func (p *fileParser) declareInit(rest string) error {
+	for _, f := range strings.Fields(rest) {
+		i := strings.Index(f, "=")
+		if i < 0 {
+			return fmt.Errorf("init wants name=value, got %q", f)
+		}
+		l, ok := p.prog.Locs[f[:i]]
+		if !ok {
+			return fmt.Errorf("init: unknown location %q", f[:i])
+		}
+		v, err := strconv.ParseInt(f[i+1:], 0, 64)
+		if err != nil {
+			return fmt.Errorf("init: bad value in %q", f)
+		}
+		p.prog.Init[l] = v
+	}
+	return nil
+}
+
+// collectBody gathers the lines of a braced thread body starting at line i
+// (which contains "thread N {"), returning the body and the index of the
+// closing line.
+func collectBody(lines []string, i int) (string, int, error) {
+	depth := strings.Count(stripComment(lines[i]), "{") - strings.Count(stripComment(lines[i]), "}")
+	if depth <= 0 {
+		return "", 0, fmt.Errorf("line %d: thread wants an opening {", i+1)
+	}
+	var body []string
+	for j := i + 1; j < len(lines); j++ {
+		line := stripComment(lines[j])
+		depth += strings.Count(line, "{") - strings.Count(line, "}")
+		if depth <= 0 {
+			// Drop the final closing brace from the last line.
+			last := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), "}"))
+			if last != "" {
+				body = append(body, last)
+			}
+			return strings.Join(body, "\n"), j, nil
+		}
+		body = append(body, line)
+	}
+	return "", 0, fmt.Errorf("line %d: unterminated thread body", i+1)
+}
+
+// ParseCond parses a condition over a parsed program:
+//
+//	cond := or
+//	or   := and ("||" and)*
+//	and  := atom ("&&" atom)*
+//	atom := "!" atom | "(" cond ")" | TID ":" REG "=" VAL | "[" LOC "]" "=" VAL | LOC "=" VAL
+func ParseCond(src string, prog *lang.Program) (Cond, error) {
+	cp := &condParser{src: src, prog: prog}
+	c, err := cp.or()
+	if err != nil {
+		return nil, err
+	}
+	cp.skipSpace()
+	if cp.pos < len(cp.src) {
+		return nil, fmt.Errorf("litmus: trailing input in condition at %q", cp.src[cp.pos:])
+	}
+	return c, nil
+}
+
+type condParser struct {
+	src  string
+	pos  int
+	prog *lang.Program
+}
+
+func (p *condParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *condParser) accept(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *condParser) or() (Cond, error) {
+	l, err := p.and()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") || p.accept("\\/") {
+		r, err := p.and()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *condParser) and() (Cond, error) {
+	l, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") || p.accept("/\\") {
+		r, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *condParser) atom() (Cond, error) {
+	switch {
+	case p.accept("!") || p.accept("~"):
+		c, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return Not{C: c}, nil
+	case p.accept("("):
+		c, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(")") {
+			return nil, fmt.Errorf("litmus: missing ) in condition")
+		}
+		return c, nil
+	}
+	p.skipSpace()
+	// [loc]=val
+	if p.accept("[") {
+		name := p.ident()
+		if !p.accept("]") || !p.accept("=") {
+			return nil, fmt.Errorf("litmus: bad location atom near %q", p.src[p.pos:])
+		}
+		return p.locAtom(name)
+	}
+	word := p.ident()
+	if word == "" {
+		return nil, fmt.Errorf("litmus: expected condition atom near %q", p.src[p.pos:])
+	}
+	if p.accept(":") {
+		tid, err := strconv.Atoi(word)
+		if err != nil || tid < 0 || tid >= len(p.prog.Threads) {
+			return nil, fmt.Errorf("litmus: bad thread id %q in condition", word)
+		}
+		regName := p.ident()
+		r, ok := p.prog.RegNames[tid][regName]
+		if !ok {
+			return nil, fmt.Errorf("litmus: thread %d has no register %q", tid, regName)
+		}
+		if !p.accept("=") {
+			return nil, fmt.Errorf("litmus: expected = after register in condition")
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		return RegEq{TID: tid, Reg: r, Val: v, Name: regName}, nil
+	}
+	if !p.accept("=") {
+		return nil, fmt.Errorf("litmus: expected = in condition near %q", p.src[p.pos:])
+	}
+	return p.locAtom(word)
+}
+
+func (p *condParser) locAtom(name string) (Cond, error) {
+	l, ok := p.prog.Locs[name]
+	if !ok {
+		return nil, fmt.Errorf("litmus: unknown location %q in condition", name)
+	}
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	return LocEq{Loc: l, Name: name, Val: v}, nil
+}
+
+func (p *condParser) ident() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *condParser) value() (lang.Val, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && (p.src[p.pos] >= '0' && p.src[p.pos] <= '9' || p.src[p.pos] == 'x' || p.src[p.pos] >= 'a' && p.src[p.pos] <= 'f') {
+		p.pos++
+	}
+	v, err := strconv.ParseInt(p.src[start:p.pos], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("litmus: bad value %q in condition", p.src[start:p.pos])
+	}
+	return v, nil
+}

@@ -1,0 +1,173 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// explorePromiseFirst avoids importing the explorer twice in call sites.
+var explorePromiseFirst Runner = explore.PromiseFirst
+
+func TestParseFullFile(t *testing.T) {
+	src := `
+// A comment.
+arch riscv
+name "Test+name"
+bound 3
+locs x y=0x2000 z
+init x=5 z=0x10
+shared x y
+thread 0 {
+  r0 = load.acq [x];
+  if r0 == 5 {
+    store.rel [y] r0;
+  } else {
+    store [y] 0;
+  }
+}
+thread 1 { r1 = load [y]; }
+exists (0:r0=5 && 1:r1=5) || [x]=5
+expect allowed
+`
+	tst, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tst.Prog
+	if p.Arch != lang.RISCV || p.Name != "Test+name" || p.LoopBound != 3 {
+		t.Errorf("header parsed wrong: %+v", p)
+	}
+	if p.Locs["y"] != 0x2000 {
+		t.Errorf("explicit address = %#x", p.Locs["y"])
+	}
+	if p.Locs["x"] == p.Locs["z"] {
+		t.Error("auto addresses must be distinct")
+	}
+	if p.Init[p.Locs["x"]] != 5 || p.Init[p.Locs["z"]] != 0x10 {
+		t.Errorf("init = %v", p.Init)
+	}
+	if !p.Shared[p.Locs["x"]] || !p.Shared[p.Locs["y"]] || p.Shared[p.Locs["z"]] {
+		t.Errorf("shared = %v", p.Shared)
+	}
+	if len(p.Threads) != 2 {
+		t.Fatalf("threads = %d", len(p.Threads))
+	}
+	if tst.Expect != ExpectAllowed {
+		t.Errorf("expect = %v", tst.Expect)
+	}
+	if or, ok := tst.Cond.(Or); !ok {
+		t.Errorf("top condition = %T", tst.Cond)
+	} else if _, ok := or.R.(LocEq); !ok {
+		t.Errorf("right disjunct = %T", or.R)
+	}
+}
+
+func TestParseTildeExists(t *testing.T) {
+	src := `
+arch arm
+locs x
+thread 0 { store [x] 1; }
+~exists [x]=0
+`
+	tst, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tst.Expect != ExpectForbidden {
+		t.Errorf("~exists must imply forbidden, got %v", tst.Expect)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no threads":        "arch arm\nlocs x\n",
+		"bad arch":          "arch sparc\nthread 0 { skip; }\n",
+		"bad bound":         "bound zero\nlocs x\nthread 0 { skip; }\n",
+		"sparse thread ids": "locs x\nthread 0 { skip; }\nthread 2 { skip; }\n",
+		"shared unknown":    "locs x\nshared q\nthread 0 { skip; }\n",
+		"init unknown":      "locs x\ninit q=1\nthread 0 { skip; }\n",
+		"dup loc":           "locs x x\nthread 0 { skip; }\n",
+		"bad directive":     "locs x\nfrobnicate\nthread 0 { skip; }\n",
+		"unterminated":      "locs x\nthread 0 {\n skip;\n",
+		"bad cond reg":      "locs x\nthread 0 { skip; }\nexists 0:nope=1\n",
+		"bad cond tid":      "locs x\nthread 0 { r0=1; }\nexists 7:r0=1\n",
+		"bad cond loc":      "locs x\nthread 0 { skip; }\nexists qq=1\n",
+		"bad expect":        "locs x\nthread 0 { skip; }\nexpect maybe\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected a parse error", name)
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	src := `
+arch arm
+locs x
+thread 0 { r0 = load [x]; }
+thread 1 { store [x] 1; }
+exists 0:r0=1 && ![x]=0
+`
+	tst, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tst.Spec()
+	if len(spec.Regs) != 1 || len(spec.Locs) != 1 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	// Condition strings round-trip through the parser.
+	c2, err := ParseCond(tst.Cond.String(), tst.Prog)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", tst.Cond.String(), err)
+	}
+	if c2.String() != tst.Cond.String() {
+		t.Errorf("condition not stable: %q vs %q", c2.String(), tst.Cond.String())
+	}
+}
+
+func TestFormatOutcomesStable(t *testing.T) {
+	tst := CatalogTest("SB")
+	v, err := Run(tst, runnerForTest(t), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatOutcomes(v.Spec, v.Result, tst.Prog)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 4 {
+		t.Errorf("SB has 4 outcomes, formatted %d lines:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "0:r0=") || !strings.Contains(l, "1:r1=") {
+			t.Errorf("line %q missing register names", l)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	tst := CatalogTest("MP+dmbs")
+	v, err := Run(tst, runnerForTest(t), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := v.String()
+	if !strings.Contains(s, "forbidden") || !strings.Contains(s, "[ok]") {
+		t.Errorf("verdict string = %q", s)
+	}
+	if !v.OK() {
+		t.Error("MP+dmbs must be forbidden")
+	}
+}
+
+// Test helpers shared by this file.
+
+func runnerForTest(t *testing.T) Runner {
+	t.Helper()
+	return explorePromiseFirst
+}
+
+func defaultOpts() explore.Options { return explore.DefaultOptions() }

@@ -1,0 +1,75 @@
+package litmus
+
+import (
+	"fmt"
+	"time"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// Runner is an exhaustive backend: it computes the observed outcome set of
+// a compiled program. explore.PromiseFirst, explore.Naive, flat.Explore and
+// axiomatic.Explore all satisfy this signature.
+type Runner func(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result
+
+// Verdict is the result of running one test under one backend.
+type Verdict struct {
+	Test    *Test
+	Allowed bool
+	Result  *explore.Result
+	Spec    *explore.ObsSpec
+	Elapsed time.Duration
+}
+
+// OK reports whether the verdict matches the test's expectation (true when
+// the expectation is unknown).
+func (v *Verdict) OK() bool {
+	switch v.Test.Expect {
+	case ExpectAllowed:
+		return v.Allowed
+	case ExpectForbidden:
+		return !v.Allowed
+	default:
+		return true
+	}
+}
+
+// String summarises the verdict.
+func (v *Verdict) String() string {
+	status := "forbidden"
+	if v.Allowed {
+		status = "allowed"
+	}
+	tag := ""
+	if v.Test.Expect != ExpectUnknown {
+		if v.OK() {
+			tag = " [ok]"
+		} else {
+			tag = fmt.Sprintf(" [MISMATCH: expected %s]", v.Test.Expect)
+		}
+	}
+	return fmt.Sprintf("%s: %s (%d outcomes, %d states, %v)%s",
+		v.Test.Name(), status, len(v.Result.Outcomes), v.Result.States, v.Elapsed.Round(time.Millisecond), tag)
+}
+
+// Run compiles and runs the test under the given backend.
+func Run(t *Test, run Runner, opts explore.Options) (*Verdict, error) {
+	cp, err := lang.Compile(t.Prog)
+	if err != nil {
+		return nil, err
+	}
+	spec := t.Spec()
+	start := time.Now()
+	res := run(cp, spec, opts)
+	v := &Verdict{
+		Test:    t,
+		Result:  res,
+		Spec:    spec,
+		Elapsed: time.Since(start),
+	}
+	if t.Cond != nil {
+		v.Allowed = Satisfiable(t.Cond, spec, res)
+	}
+	return v, nil
+}

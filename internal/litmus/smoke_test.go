@@ -1,0 +1,48 @@
+package litmus
+
+import (
+	"testing"
+
+	"promising/internal/explore"
+)
+
+const mpSrc = `
+arch arm
+name MP+dmb+po
+locs x y
+thread 0 {
+  store [x] 37;
+  dmb sy;
+  store [y] 42;
+}
+thread 1 {
+  r0 = load [y];
+  r1 = load [x];
+}
+exists 1:r0=42 && 1:r1=0
+expect allowed
+`
+
+func TestSmokeMP(t *testing.T) {
+	tst, err := Parse(mpSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(v.String())
+	t.Log("\n" + FormatOutcomes(v.Spec, v.Result, tst.Prog))
+	if !v.OK() {
+		t.Fatalf("verdict mismatch: %s", v)
+	}
+	vn, err := Run(tst, explore.Naive, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(vn.String())
+	if !explore.SameOutcomes(v.Result, vn.Result) {
+		t.Fatalf("promise-first vs naive outcome mismatch")
+	}
+}

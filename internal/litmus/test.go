@@ -1,0 +1,223 @@
+// Package litmus provides the litmus-test infrastructure: the test and
+// condition representation, a text-format parser, a catalog of canonical
+// tests with architecturally known verdicts, a seeded random test generator
+// for differential model testing, and a multi-backend runner.
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// Expectation records the architecturally expected verdict of a test's
+// exists-condition.
+type Expectation int
+
+// Expectations. ExpectUnknown means the catalog does not pin a verdict and
+// the test is only used for cross-model agreement.
+const (
+	ExpectUnknown Expectation = iota
+	ExpectAllowed
+	ExpectForbidden
+)
+
+// String returns "allowed", "forbidden" or "unknown".
+func (e Expectation) String() string {
+	switch e {
+	case ExpectAllowed:
+		return "allowed"
+	case ExpectForbidden:
+		return "forbidden"
+	default:
+		return "unknown"
+	}
+}
+
+// Test is one litmus test: a program, an exists-condition over final
+// states, and optionally the expected verdict.
+type Test struct {
+	Prog   *lang.Program
+	Cond   Cond
+	Expect Expectation
+	// Obs, when non-nil, overrides the observation spec derived from the
+	// condition (used by the random generator, which observes everything).
+	Obs *explore.ObsSpec
+}
+
+// Name returns the test name.
+func (t *Test) Name() string { return t.Prog.Name }
+
+// Spec derives the observation spec (registers and locations mentioned by
+// the condition) used to project final states.
+func (t *Test) Spec() *explore.ObsSpec {
+	if t.Obs != nil {
+		return t.Obs
+	}
+	spec := &explore.ObsSpec{}
+	seenReg := map[[2]int]bool{}
+	seenLoc := map[lang.Loc]bool{}
+	var walk func(c Cond)
+	walk = func(c Cond) {
+		switch c := c.(type) {
+		case RegEq:
+			k := [2]int{c.TID, c.Reg}
+			if !seenReg[k] {
+				seenReg[k] = true
+				spec.Regs = append(spec.Regs, explore.RegObs{
+					TID: c.TID, Reg: c.Reg, Name: fmt.Sprintf("%d:%s", c.TID, t.Prog.RegName(c.TID, c.Reg)),
+				})
+			}
+		case LocEq:
+			if !seenLoc[c.Loc] {
+				seenLoc[c.Loc] = true
+				spec.Locs = append(spec.Locs, c.Loc)
+			}
+		case Not:
+			walk(c.C)
+		case And:
+			walk(c.L)
+			walk(c.R)
+		case Or:
+			walk(c.L)
+			walk(c.R)
+		case nil:
+		default:
+			panic(fmt.Sprintf("litmus: unknown condition %T", c))
+		}
+	}
+	walk(t.Cond)
+	sort.Slice(spec.Locs, func(i, j int) bool { return spec.Locs[i] < spec.Locs[j] })
+	return spec
+}
+
+// Cond is a condition over one observed final state. The closed set of
+// implementations is RegEq, LocEq, Not, And and Or.
+type Cond interface {
+	isCond()
+	String() string
+}
+
+// RegEq is the atom tid:reg = val.
+type RegEq struct {
+	TID int
+	Reg lang.Reg
+	Val lang.Val
+	// Name is the display name of the register.
+	Name string
+}
+
+// LocEq is the atom [loc] = val over the final memory.
+type LocEq struct {
+	Loc  lang.Loc
+	Name string
+	Val  lang.Val
+}
+
+// Not negates a condition.
+type Not struct{ C Cond }
+
+// And conjoins two conditions.
+type And struct{ L, R Cond }
+
+// Or disjoins two conditions.
+type Or struct{ L, R Cond }
+
+func (RegEq) isCond() {}
+func (LocEq) isCond() {}
+func (Not) isCond()   {}
+func (And) isCond()   {}
+func (Or) isCond()    {}
+
+func (c RegEq) String() string {
+	name := c.Name
+	if name == "" {
+		name = fmt.Sprintf("r%d", c.Reg)
+	}
+	return fmt.Sprintf("%d:%s=%d", c.TID, name, c.Val)
+}
+
+func (c LocEq) String() string {
+	name := c.Name
+	if name == "" {
+		name = fmt.Sprintf("%d", c.Loc)
+	}
+	return fmt.Sprintf("[%s]=%d", name, c.Val)
+}
+
+func (c Not) String() string { return "!" + c.C.String() }
+func (c And) String() string { return "(" + c.L.String() + " && " + c.R.String() + ")" }
+func (c Or) String() string  { return "(" + c.L.String() + " || " + c.R.String() + ")" }
+
+// Eval evaluates the condition over one outcome, given the spec that
+// produced it.
+func Eval(c Cond, spec *explore.ObsSpec, o explore.Outcome) bool {
+	switch c := c.(type) {
+	case RegEq:
+		for i, ro := range spec.Regs {
+			if ro.TID == c.TID && ro.Reg == c.Reg {
+				return o.Regs[i] == c.Val
+			}
+		}
+		panic(fmt.Sprintf("litmus: register %d:%d not observed", c.TID, c.Reg))
+	case LocEq:
+		for i, l := range spec.Locs {
+			if l == c.Loc {
+				return o.Mem[i] == c.Val
+			}
+		}
+		panic(fmt.Sprintf("litmus: location %d not observed", c.Loc))
+	case Not:
+		return !Eval(c.C, spec, o)
+	case And:
+		return Eval(c.L, spec, o) && Eval(c.R, spec, o)
+	case Or:
+		return Eval(c.L, spec, o) || Eval(c.R, spec, o)
+	default:
+		panic(fmt.Sprintf("litmus: unknown condition %T", c))
+	}
+}
+
+// Satisfiable reports whether any outcome in the result satisfies c.
+func Satisfiable(c Cond, spec *explore.ObsSpec, res *explore.Result) bool {
+	for _, o := range res.Outcomes {
+		if Eval(c, spec, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// Conj builds the conjunction of conditions (nil for empty).
+func Conj(cs ...Cond) Cond {
+	var out Cond
+	for _, c := range cs {
+		if out == nil {
+			out = c
+		} else {
+			out = And{L: out, R: c}
+		}
+	}
+	return out
+}
+
+// FormatOutcomes renders a result's outcomes sorted, one per line, in terms
+// of the spec (for tool output and golden tests).
+func FormatOutcomes(spec *explore.ObsSpec, res *explore.Result, prog *lang.Program) string {
+	lines := make([]string, 0, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		var parts []string
+		for i, ro := range spec.Regs {
+			parts = append(parts, fmt.Sprintf("%s=%d", ro.Name, o.Regs[i]))
+		}
+		for i, l := range spec.Locs {
+			parts = append(parts, fmt.Sprintf("[%s]=%d", prog.LocName(l), o.Mem[i]))
+		}
+		lines = append(lines, strings.Join(parts, " "))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Chase-Lev work-stealing deque (DQ), fixed four-slot ring, no resizing:
+// thread 0 owns the deque (pushes and pops at the bottom), threads 1 and 2
+// steal from the top with an exclusive CAS. The owner's pop publishes the
+// decremented bottom and separates it from the top read with a full fence
+// (the algorithm's seq_cst fence); the last-element race is resolved by a
+// CAS on top.
+//
+// Instance naming follows Table 2: DQ-abc-d-e means the owner pushes a,
+// pops b, pushes c; thread 1 steals d times and thread 2 steals e times.
+// The /opt variant relaxes the thieves' top load to plain (the buffer read
+// is address-dependent on it) — sound under ARMv8 but not in the source
+// model, like the paper's optimised variants.
+
+const (
+	dqTop    = lang.Loc(0x500)
+	dqBottom = lang.Loc(0x508)
+	dqBuf    = lang.Loc(0x540) // four slots
+)
+
+func dqLocs() map[string]lang.Loc {
+	return map[string]lang.Loc{"top": dqTop, "bottom": dqBottom,
+		"dq0": dqBuf, "dq1": dqBuf + 8, "dq2": dqBuf + 16, "dq3": dqBuf + 24}
+}
+
+func dqSlot(t *T, idx string) lang.Expr {
+	return lang.Add(lang.C(dqBuf), lang.Mul(lang.BinOp{Op: lang.OpAnd, L: t.Rx(idx), R: lang.C(3)}, lang.C(8)))
+}
+
+// dqPushVal is the owner's k-th pushed value (nonzero, distinct).
+func dqPushVal(k int) lang.Val { return lang.Val(100 + k + 1) }
+
+// dqOwner builds the owner thread: pushes a, pops b, pushes c; pop results
+// land in registers "own<i>" (-1 = empty).
+func dqOwner(ops [3]int) (*T, []string) {
+	t := NewT(dqLocs())
+	var outs []string
+	k := 0
+	push := func(t *T) {
+		t.Load("b", lang.C(dqBottom), lang.ReadPlain)
+		t.Store(dqSlot(t, "b"), lang.C(dqPushVal(k)), lang.WritePlain)
+		t.Store(lang.C(dqBottom), lang.Add(t.Rx("b"), lang.C(1)), lang.WriteRel)
+		k++
+	}
+	pop := func(t *T, out string) {
+		t.Load("b0", lang.C(dqBottom), lang.ReadPlain)
+		t.Assign("b1", lang.Sub(t.Rx("b0"), lang.C(1)))
+		t.Store(lang.C(dqBottom), t.Rx("b1"), lang.WritePlain)
+		t.Dmb() // the algorithm's seq_cst fence
+		t.Load("tp", lang.C(dqTop), lang.ReadPlain)
+		t.If(lang.BinOp{Op: lang.OpGt, L: t.Rx("tp"), R: t.Rx("b1")}, func(t *T) {
+			// Empty: restore bottom.
+			t.Assign(out, lang.C(0-1))
+			t.Store(lang.C(dqBottom), t.Rx("b0"), lang.WritePlain)
+		}, func(t *T) {
+			t.If(lang.Eq(t.Rx("tp"), t.Rx("b1")), func(t *T) {
+				// Last element: race thieves via CAS on top.
+				t.Load("lv", dqSlot(t, "b1"), lang.ReadPlain)
+				t.LoadX("lc", lang.C(dqTop), lang.ReadPlain)
+				t.If(lang.Eq(t.Rx("lc"), t.Rx("tp")), func(t *T) {
+					t.StoreX("ls", lang.C(dqTop), lang.Add(t.Rx("tp"), lang.C(1)), lang.WriteRel)
+					t.If(lang.Eq(t.Rx("ls"), lang.C(lang.VSucc)), func(t *T) {
+						t.Assign(out, t.Rx("lv"))
+					}, func(t *T) {
+						t.Assign(out, lang.C(0-1)) // lost the race
+					})
+				}, func(t *T) {
+					t.Assign(out, lang.C(0-1))
+				})
+				t.Store(lang.C(dqBottom), t.Rx("b0"), lang.WritePlain)
+			}, func(t *T) {
+				// Plenty left: take it without synchronisation.
+				t.Load(out, dqSlot(t, "b1"), lang.ReadPlain)
+			})
+		})
+	}
+	for i := 0; i < ops[0]; i++ {
+		push(t)
+	}
+	for i := 0; i < ops[1]; i++ {
+		out := fmt.Sprintf("own%d", i)
+		pop(t, out)
+		outs = append(outs, out)
+	}
+	for i := 0; i < ops[2]; i++ {
+		push(t)
+	}
+	return t, outs
+}
+
+// dqThief builds a thief doing n bounded steal attempts; results in
+// "st<i>" (-1 = empty, -2 = gave up).
+func dqThief(n int, opt bool) (*T, []string) {
+	t := NewT(dqLocs())
+	var outs []string
+	for i := 0; i < n; i++ {
+		out := fmt.Sprintf("st%d", i)
+		outs = append(outs, out)
+		t.Assign("stolen", lang.C(0))
+		t.Assign("tries", lang.C(0))
+		t.Assign(out, lang.C(0-2))
+		t.While(lang.BinOp{Op: lang.OpAnd,
+			L: lang.Eq(t.Rx("stolen"), lang.C(0)),
+			R: lang.BinOp{Op: lang.OpLt, L: t.Rx("tries"), R: lang.C(2)}}, func(t *T) {
+			rk := lang.ReadAcq
+			if opt {
+				rk = lang.ReadPlain // the slot read is address-dependent on tp
+			}
+			t.Load("tp", lang.C(dqTop), rk)
+			t.Load("bt", lang.C(dqBottom), lang.ReadAcq)
+			t.If(lang.BinOp{Op: lang.OpLt, L: t.Rx("tp"), R: t.Rx("bt")}, func(t *T) {
+				t.Load("sv", dqSlot(t, "tp"), lang.ReadPlain)
+				t.LoadX("sc", lang.C(dqTop), lang.ReadPlain)
+				t.If(lang.Eq(t.Rx("sc"), t.Rx("tp")), func(t *T) {
+					// Release CAS keeps the slot read before the claim.
+					t.StoreX("ss", lang.C(dqTop), lang.Add(t.Rx("tp"), lang.C(1)), lang.WriteRel)
+					t.If(lang.Eq(t.Rx("ss"), lang.C(lang.VSucc)), func(t *T) {
+						t.Assign(out, t.Rx("sv"))
+						t.Assign("stolen", lang.C(1))
+					}, nil)
+				}, nil)
+			}, func(t *T) {
+				t.Assign(out, lang.C(0-1))
+				t.Assign("stolen", lang.C(1))
+			})
+			t.Assign("tries", lang.Add(t.Rx("tries"), lang.C(1)))
+		})
+	}
+	return t, outs
+}
+
+// ChaseLevInstance builds DQ(-opt)-abc-d-e.
+func ChaseLevInstance(arch lang.Arch, opt bool, owner [3]int, steals1, steals2 int) *Instance {
+	name := "DQ"
+	if opt {
+		name += "/opt"
+	}
+	name += fmt.Sprintf("-%d%d%d-%d-%d", owner[0], owner[1], owner[2], steals1, steals2)
+	ob, oOuts := dqOwner(owner)
+	t1, t1Outs := dqThief(steals1, opt)
+	t2, t2Outs := dqThief(steals2, opt)
+	shared := []lang.Loc{dqTop, dqBottom, dqBuf, dqBuf + 8, dqBuf + 16, dqBuf + 24}
+	p := prog(name, arch, dqLocs(), 3, shared, ob, t1, t2)
+
+	// Safety: no garbage (value 0) is ever taken, and no pushed value is
+	// taken twice (by two different takers).
+	var bad []litmus.Cond
+	type taker struct {
+		tid int
+		tb  *T
+		out string
+	}
+	var takers []taker
+	for _, o := range oOuts {
+		takers = append(takers, taker{0, ob, o})
+	}
+	for _, o := range t1Outs {
+		takers = append(takers, taker{1, t1, o})
+	}
+	for _, o := range t2Outs {
+		takers = append(takers, taker{2, t2, o})
+	}
+	for _, tk := range takers {
+		bad = append(bad, regEq(tk.tid, tk.tb, tk.out, 0))
+	}
+	totalPush := owner[0] + owner[2]
+	for i := 0; i < len(takers); i++ {
+		for j := i + 1; j < len(takers); j++ {
+			for k := 0; k < totalPush; k++ {
+				v := dqPushVal(k)
+				bad = append(bad, litmus.And{
+					L: regEq(takers[i].tid, takers[i].tb, takers[i].out, v),
+					R: regEq(takers[j].tid, takers[j].tb, takers[j].out, v),
+				})
+			}
+		}
+	}
+	return &Instance{ID: name, Test: forbidAny(p, bad...)}
+}

@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Michael-Scott queue (QU), the §8 "example use case". The queue is a
+// linked list with a dummy node; head and tail point at it initially (set
+// up via initial memory, standing in for the paper's promised
+// initialisation writes). Nodes live in static per-thread arenas.
+//
+// Enqueue links a fresh node after the current tail with a CAS on
+// tail.next and then swings tail (best effort); dequeue CASes head forward
+// and reads the data of the new first node through the address dependency.
+//
+// The publication CAS on tail.next is a release store. The buggy variant
+// (MSQueueInstance with relaxedBug=true) downgrades it to a plain store
+// exclusive — exactly the §8 bug: a dequeuer can then observe the node
+// before its data write and read 0. The /opt variant relaxes the
+// dequeuer's head/tail loads from acquire to plain, which remains sound
+// under ARMv8 thanks to the dependency chains (and is checked here).
+//
+// Naming follows Table 2: QU-abc-def-ghi means thread i enqueues, dequeues
+// and enqueues that many times.
+
+const (
+	msHead  = lang.Loc(0x600)
+	msTail  = lang.Loc(0x608)
+	msDummy = lang.Loc(0x3000) // the initial dummy node
+	msNodes = lang.Loc(0x3100) // thread arenas: node k of tid at msNodes + (8*tid+k)*16
+)
+
+func msLocs() map[string]lang.Loc {
+	return map[string]lang.Loc{"qhead": msHead, "qtail": msTail, "dummy": msDummy}
+}
+
+func msNodeAddr(tid, k int) lang.Loc { return msNodes + lang.Loc((tid*8+k)*16) }
+
+func msVal(tid, k int) lang.Val { return lang.Val((tid+1)*10 + k + 1) }
+
+// msEnqueue emits one enqueue of value v with the node at addr.
+func msEnqueue(t *T, addr lang.Loc, v lang.Val, pubKind lang.WriteKind, opt bool) {
+	rk := lang.ReadAcq
+	if opt {
+		rk = lang.ReadPlain
+	}
+	t.Store(lang.C(addr), lang.C(v), lang.WritePlain)   // node.data
+	t.Store(lang.C(addr+8), lang.C(0), lang.WritePlain) // node.next
+	t.Assign("edone", lang.C(0))
+	t.While(lang.Eq(t.Rx("edone"), lang.C(0)), func(t *T) {
+		t.Load("et", lang.C(msTail), rk)
+		t.Load("enx", lang.Add(t.Rx("et"), lang.C(8)), rk)
+		t.If(lang.Eq(t.Rx("enx"), lang.C(0)), func(t *T) {
+			t.LoadX("ec", lang.Add(t.Rx("et"), lang.C(8)), lang.ReadPlain)
+			t.If(lang.Eq(t.Rx("ec"), lang.C(0)), func(t *T) {
+				// The publication CAS: release in the correct variants.
+				t.StoreX("es", lang.Add(t.Rx("et"), lang.C(8)), lang.C(addr), pubKind)
+				t.If(lang.Eq(t.Rx("es"), lang.C(lang.VSucc)), func(t *T) {
+					// Swing tail (best effort).
+					t.LoadX("ec2", lang.C(msTail), lang.ReadPlain)
+					t.If(lang.Eq(t.Rx("ec2"), t.Rx("et")), func(t *T) {
+						t.StoreX("es2", lang.C(msTail), lang.C(addr), lang.WritePlain)
+					}, nil)
+					t.Assign("edone", lang.C(1))
+				}, nil)
+			}, nil)
+		}, func(t *T) {
+			// Help swing the lagging tail.
+			t.LoadX("ec3", lang.C(msTail), lang.ReadPlain)
+			t.If(lang.Eq(t.Rx("ec3"), t.Rx("et")), func(t *T) {
+				t.StoreX("es3", lang.C(msTail), t.Rx("enx"), lang.WritePlain)
+			}, nil)
+		})
+	})
+}
+
+// msDequeue emits one dequeue into register out: -1 = empty, -2 = gave up.
+func msDequeue(t *T, out string, opt bool, retries int) {
+	rk := lang.ReadAcq
+	if opt {
+		rk = lang.ReadPlain
+	}
+	t.Assign("ddone", lang.C(0))
+	t.Assign("dtries", lang.C(0))
+	t.Assign(out, lang.C(0-2))
+	t.While(lang.BinOp{Op: lang.OpAnd,
+		L: lang.Eq(t.Rx("ddone"), lang.C(0)),
+		R: lang.BinOp{Op: lang.OpLt, L: t.Rx("dtries"), R: lang.C(lang.Val(retries))}}, func(t *T) {
+		t.Load("dh", lang.C(msHead), rk)
+		t.Load("dt", lang.C(msTail), rk)
+		t.Load("dnx", lang.Add(t.Rx("dh"), lang.C(8)), rk)
+		t.If(lang.Eq(t.Rx("dh"), t.Rx("dt")), func(t *T) {
+			t.If(lang.Eq(t.Rx("dnx"), lang.C(0)), func(t *T) {
+				t.Assign(out, lang.C(0-1)) // empty
+				t.Assign("ddone", lang.C(1))
+			}, func(t *T) {
+				// Tail is lagging: help.
+				t.LoadX("dc", lang.C(msTail), lang.ReadPlain)
+				t.If(lang.Eq(t.Rx("dc"), t.Rx("dt")), func(t *T) {
+					t.StoreX("ds", lang.C(msTail), t.Rx("dnx"), lang.WritePlain)
+				}, nil)
+			})
+		}, func(t *T) {
+			t.If(lang.Ne(t.Rx("dnx"), lang.C(0)), func(t *T) {
+				t.Load("dv", t.Rx("dnx"), lang.ReadPlain) // data via address dependency
+				t.LoadX("dc2", lang.C(msHead), lang.ReadPlain)
+				t.If(lang.Eq(t.Rx("dc2"), t.Rx("dh")), func(t *T) {
+					// Release CAS keeps the data read before the claim.
+					t.StoreX("ds2", lang.C(msHead), t.Rx("dnx"), lang.WriteRel)
+					t.If(lang.Eq(t.Rx("ds2"), lang.C(lang.VSucc)), func(t *T) {
+						t.Assign(out, t.Rx("dv"))
+						t.Assign("ddone", lang.C(1))
+					}, nil)
+				}, nil)
+			}, nil)
+		})
+		t.Assign("dtries", lang.Add(t.Rx("dtries"), lang.C(1)))
+	})
+}
+
+// MSQueueInstance builds QU(-opt)-abc-def-ghi; relaxedBug selects the §8
+// buggy publication (then the garbage condition is expected ALLOWED — the
+// tool finds the bug).
+func MSQueueInstance(arch lang.Arch, opt, relaxedBug bool, ops [3][3]int) *Instance {
+	pub := lang.WriteRel
+	name := "QU"
+	if opt {
+		name += "/opt"
+	}
+	if relaxedBug {
+		pub = lang.WritePlain
+		name += "/bug"
+	}
+	for tid := range ops {
+		name += fmt.Sprintf("-%d%d%d", ops[tid][0], ops[tid][1], ops[tid][2])
+	}
+
+	var builders []*T
+	var outs [][]string
+	for tid := 0; tid < 3; tid++ {
+		t := NewT(msLocs())
+		var os []string
+		k := 0
+		for i := 0; i < ops[tid][0]; i++ {
+			msEnqueue(t, msNodeAddr(tid, k), msVal(tid, k), pub, opt)
+			k++
+		}
+		for i := 0; i < ops[tid][1]; i++ {
+			out := fmt.Sprintf("deq%d", i)
+			msDequeue(t, out, opt, 2)
+			os = append(os, out)
+		}
+		for i := 0; i < ops[tid][2]; i++ {
+			msEnqueue(t, msNodeAddr(tid, k), msVal(tid, k), pub, opt)
+			k++
+		}
+		builders = append(builders, t)
+		outs = append(outs, os)
+	}
+
+	shared := []lang.Loc{msHead, msTail, msDummy, msDummy + 8}
+	for tid := 0; tid < 3; tid++ {
+		for k := 0; k < 8; k++ {
+			shared = append(shared, msNodeAddr(tid, k), msNodeAddr(tid, k)+8)
+		}
+	}
+	p := prog(name, arch, msLocs(), 3, shared, builders...)
+	// The queue starts with the dummy node in place.
+	p.Init[msHead] = msDummy
+	p.Init[msTail] = msDummy
+
+	// Safety: a dequeue never returns 0 (uninitialised node data). This is
+	// exactly the incorrect state of the §8 case study.
+	var bad []litmus.Cond
+	for tid, os := range outs {
+		for _, o := range os {
+			bad = append(bad, regEq(tid, builders[tid], o, 0))
+		}
+	}
+	if len(bad) == 0 {
+		bad = append(bad, locEq(p, "qhead", 0))
+	}
+	tst := forbidAny(p, bad...)
+	if relaxedBug {
+		tst.Expect = litmus.ExpectAllowed
+	}
+	return &Instance{ID: name, Test: tst}
+}

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Producer/consumer circular queues over a two-slot ring:
+//
+//   - PCS: single producer, single consumer. The producer busy-waits for
+//     space (tail - head < 2), writes the slot and release-publishes tail;
+//     the consumer busy-waits for data (tail > head), reads the slot and
+//     release-publishes head.
+//   - PCM: single producer, two consumers; consumers claim elements with a
+//     load-exclusive/store-exclusive-release CAS on head (the release is
+//     required: it keeps the slot read before the claim, which a plain
+//     store-conditional would not).
+//
+// Element i (from 1) carries value i. The safety condition checks every
+// consumed value against the claimed ring position.
+
+const (
+	pcHead = lang.Loc(0x300)
+	pcTail = lang.Loc(0x308)
+	pcBuf  = lang.Loc(0x340) // two slots, 8 bytes apart
+)
+
+func pcLocs() map[string]lang.Loc {
+	return map[string]lang.Loc{"head": pcHead, "tail": pcTail, "buf0": pcBuf, "buf1": pcBuf + 8}
+}
+
+// slotAddr computes buf + (idx & 1)*8 for a register-held index.
+func slotAddr(t *T, idx string) lang.Expr {
+	return lang.Add(lang.C(pcBuf), lang.Mul(lang.BinOp{Op: lang.OpAnd, L: t.Rx(idx), R: lang.C(1)}, lang.C(8)))
+}
+
+// pcProducer emits n items, values 1..n.
+func pcProducer(n int) *T {
+	t := NewT(pcLocs())
+	t.Assign("t", lang.C(0))
+	for i := 1; i <= n; i++ {
+		// Wait for space: tail - head < 2.
+		t.Load("h", lang.C(pcHead), lang.ReadAcq)
+		t.While(lang.BinOp{Op: lang.OpGe, L: lang.Sub(t.Rx("t"), t.Rx("h")), R: lang.C(2)}, func(t *T) {
+			t.Load("h", lang.C(pcHead), lang.ReadAcq)
+		})
+		t.Store(slotAddr(t, "t"), lang.C(lang.Val(i)), lang.WritePlain)
+		t.Store(lang.C(pcTail), lang.Add(t.Rx("t"), lang.C(1)), lang.WriteRel)
+		t.Assign("t", lang.Add(t.Rx("t"), lang.C(1)))
+	}
+	return t
+}
+
+// pcsConsumer consumes n items and checks the i-th equals i: register di
+// holds value - (position+1), which must be 0.
+func pcsConsumer(n int) *T {
+	t := NewT(pcLocs())
+	t.Assign("h", lang.C(0))
+	for i := 1; i <= n; i++ {
+		t.Load("tt", lang.C(pcTail), lang.ReadAcq)
+		t.While(lang.BinOp{Op: lang.OpLe, L: t.Rx("tt"), R: t.Rx("h")}, func(t *T) {
+			t.Load("tt", lang.C(pcTail), lang.ReadAcq)
+		})
+		t.Load(fmt.Sprintf("v%d", i), slotAddr(t, "h"), lang.ReadPlain)
+		t.Assign(fmt.Sprintf("d%d", i),
+			lang.Sub(t.Rx(fmt.Sprintf("v%d", i)), lang.Add(t.Rx("h"), lang.C(1))))
+		t.Store(lang.C(pcHead), lang.Add(t.Rx("h"), lang.C(1)), lang.WriteRel)
+		t.Assign("h", lang.Add(t.Rx("h"), lang.C(1)))
+	}
+	return t
+}
+
+// PCSInstance builds PCS-np-nc.
+func PCSInstance(arch lang.Arch, np, nc int) *Instance {
+	name := fmt.Sprintf("PCS-%d-%d", np, nc)
+	prod := pcProducer(np)
+	cons := pcsConsumer(nc)
+	p := prog(name, arch, pcLocs(), np+2, []lang.Loc{pcHead, pcTail, pcBuf, pcBuf + 8}, prod, cons)
+	var bad []litmus.Cond
+	for i := 1; i <= nc; i++ {
+		bad = append(bad, litmus.Not{C: regEq(1, cons, fmt.Sprintf("d%d", i), 0)})
+	}
+	return &Instance{ID: name, Test: forbidAny(p, bad...)}
+}
+
+// pcmConsumer attempts n claims with a bounded retry loop; each attempt
+// that claims position h with value v records d = v - (h+1) (must be 0);
+// attempts that give up record d = 0.
+func pcmConsumer(n, retries int) *T {
+	t := NewT(pcLocs())
+	for i := 1; i <= n; i++ {
+		di := fmt.Sprintf("d%d", i)
+		t.Assign("claimed", lang.C(0))
+		t.Assign("tries", lang.C(0))
+		t.Assign(di, lang.C(0))
+		t.While(lang.BinOp{Op: lang.OpAnd,
+			L: lang.Eq(t.Rx("claimed"), lang.C(0)),
+			R: lang.BinOp{Op: lang.OpLt, L: t.Rx("tries"), R: lang.C(lang.Val(retries))}}, func(t *T) {
+			t.Load("h", lang.C(pcHead), lang.ReadAcq)
+			t.Load("tt", lang.C(pcTail), lang.ReadAcq)
+			t.If(lang.BinOp{Op: lang.OpGt, L: t.Rx("tt"), R: t.Rx("h")}, func(t *T) {
+				t.Load("v", slotAddr(t, "h"), lang.ReadPlain)
+				t.LoadX("hx", lang.C(pcHead), lang.ReadPlain)
+				t.If(lang.Eq(t.Rx("hx"), t.Rx("h")), func(t *T) {
+					// Release CAS: keeps the slot read ordered before the claim.
+					t.StoreX("s", lang.C(pcHead), lang.Add(t.Rx("h"), lang.C(1)), lang.WriteRel)
+					t.If(lang.Eq(t.Rx("s"), lang.C(lang.VSucc)), func(t *T) {
+						t.Assign(di, lang.Sub(t.Rx("v"), lang.Add(t.Rx("h"), lang.C(1))))
+						t.Assign("claimed", lang.C(1))
+					}, nil)
+				}, nil)
+			}, nil)
+			t.Assign("tries", lang.Add(t.Rx("tries"), lang.C(1)))
+		})
+	}
+	return t
+}
+
+// PCMInstance builds PCM-np-nc1-nc2 (one producer, two consumers).
+func PCMInstance(arch lang.Arch, np, nc1, nc2 int) *Instance {
+	name := fmt.Sprintf("PCM-%d-%d-%d", np, nc1, nc2)
+	prod := pcProducer(np)
+	c1 := pcmConsumer(nc1, 2)
+	c2 := pcmConsumer(nc2, 2)
+	p := prog(name, arch, pcLocs(), np+2, []lang.Loc{pcHead, pcTail, pcBuf, pcBuf + 8}, prod, c1, c2)
+	var bad []litmus.Cond
+	for i := 1; i <= nc1; i++ {
+		bad = append(bad, litmus.Not{C: regEq(1, c1, fmt.Sprintf("d%d", i), 0)})
+	}
+	for i := 1; i <= nc2; i++ {
+		bad = append(bad, litmus.Not{C: regEq(2, c2, fmt.Sprintf("d%d", i), 0)})
+	}
+	return &Instance{ID: name, Test: forbidAny(p, bad...)}
+}

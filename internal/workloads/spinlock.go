@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Spinlock workloads: SLA (the Linux-kernel-style assembly spinlock), SLC
+// (the conservative shape a C++ std::atomic compile produces) and SLR (the
+// rustc compare-exchange shape). Every thread acquires the lock once,
+// increments a shared counter in the critical section, and releases; the
+// safety condition is that no increment is lost. The -n parameter bounds
+// the spin-loop unrolling, exactly as in Table 2 ("spinlock-n means n loop
+// unrollings on all threads").
+
+const (
+	slLock = lang.Loc(0x100)
+	slCtr  = lang.Loc(0x108)
+	// Per-thread spill slots for the "compiled" dialects (thread-local, so
+	// they exercise the §7 shared-locations optimisation).
+	slSpillBase = lang.Loc(0x800)
+)
+
+func spinlockLocs() map[string]lang.Loc {
+	return map[string]lang.Loc{"lock": slLock, "ctr": slCtr,
+		"spill0": slSpillBase, "spill1": slSpillBase + 8, "spill2": slSpillBase + 16}
+}
+
+// slaThread is the minimal assembly idiom: ldaxr/stxr acquire loop,
+// plain critical section, stlr release.
+func slaThread() *T {
+	t := NewT(spinlockLocs())
+	t.Assign("done", lang.C(0))
+	t.While(lang.Eq(t.Rx("done"), lang.C(0)), func(t *T) {
+		t.LoadX("l", lang.C(slLock), lang.ReadAcq)
+		t.If(lang.Eq(t.Rx("l"), lang.C(0)), func(t *T) {
+			t.StoreX("s", lang.C(slLock), lang.C(1), lang.WritePlain)
+			t.If(lang.Eq(t.Rx("s"), lang.C(lang.VSucc)), func(t *T) {
+				t.Assign("done", lang.C(1))
+			}, nil)
+		}, nil)
+	})
+	t.Load("c", lang.C(slCtr), lang.ReadPlain)
+	t.Store(lang.C(slCtr), lang.Add(t.Rx("c"), lang.C(1)), lang.WritePlain)
+	t.Store(lang.C(slLock), lang.C(0), lang.WriteRel)
+	return t
+}
+
+// slcThread mirrors a conservative -O3 C++ compile: acquire/release on the
+// critical-section accesses as well, plus a register spill to the stack.
+func slcThread(tid int) *T {
+	t := NewT(spinlockLocs())
+	spill := lang.C(slSpillBase + lang.Loc(8*tid))
+	t.Assign("done", lang.C(0))
+	t.While(lang.Eq(t.Rx("done"), lang.C(0)), func(t *T) {
+		t.LoadX("l", lang.C(slLock), lang.ReadAcq)
+		t.Store(spill, t.Rx("l"), lang.WritePlain) // spilled temporary
+		t.If(lang.Eq(t.Rx("l"), lang.C(0)), func(t *T) {
+			t.StoreX("s", lang.C(slLock), lang.C(1), lang.WritePlain)
+			t.If(lang.Eq(t.Rx("s"), lang.C(lang.VSucc)), func(t *T) {
+				t.Assign("done", lang.C(1))
+			}, nil)
+		}, nil)
+	})
+	t.Load("c", lang.C(slCtr), lang.ReadAcq)
+	t.Assign("c1", lang.Add(t.Rx("c"), lang.C(1)))
+	t.Store(spill, t.Rx("c1"), lang.WritePlain)
+	t.Load("c2", spill, lang.ReadPlain)
+	t.Store(lang.C(slCtr), t.Rx("c2"), lang.WriteRel)
+	t.Store(lang.C(slLock), lang.C(0), lang.WriteRel)
+	return t
+}
+
+// slrThread mirrors rustc's compare_exchange(0, 1, Acquire, Relaxed) loop.
+func slrThread() *T {
+	t := NewT(spinlockLocs())
+	t.Assign("done", lang.C(0))
+	t.While(lang.Eq(t.Rx("done"), lang.C(0)), func(t *T) {
+		t.LoadX("cur", lang.C(slLock), lang.ReadAcq)
+		t.If(lang.Eq(t.Rx("cur"), lang.C(0)), func(t *T) {
+			t.StoreX("s", lang.C(slLock), lang.C(1), lang.WritePlain)
+			t.If(lang.Eq(t.Rx("s"), lang.C(lang.VSucc)), func(t *T) {
+				t.Assign("done", lang.C(1))
+			}, func(t *T) {
+				t.Assign("prev", t.Rx("cur")) // rustc keeps the failed value
+			})
+		}, func(t *T) {
+			t.Assign("prev", t.Rx("cur"))
+		})
+	})
+	t.Load("c", lang.C(slCtr), lang.ReadPlain)
+	t.Store(lang.C(slCtr), lang.Add(t.Rx("c"), lang.C(1)), lang.WritePlain)
+	t.Store(lang.C(slLock), lang.C(0), lang.WriteRel)
+	return t
+}
+
+// SpinlockInstance builds SLA-n / SLC-n / SLR-n. SLA runs two threads,
+// SLC and SLR three (Table 1).
+func SpinlockInstance(arch lang.Arch, variant string, n int) *Instance {
+	var threads []*T
+	switch variant {
+	case "SLA":
+		threads = []*T{slaThread(), slaThread()}
+	case "SLC":
+		threads = []*T{slcThread(0), slcThread(1), slcThread(2)}
+	case "SLR":
+		threads = []*T{slrThread(), slrThread(), slrThread()}
+	default:
+		panic("workloads: unknown spinlock variant " + variant)
+	}
+	locs := spinlockLocs()
+	shared := []lang.Loc{slLock, slCtr}
+	name := fmt.Sprintf("%s-%d", variant, n)
+	p := prog(name, arch, locs, n, shared, threads...)
+	// Mutual exclusion: every completed execution increments the counter
+	// once per thread; any other final value is a lost update.
+	return &Instance{ID: name, Test: forbidAny(p, litmus.Not{C: locEq(p, "ctr", lang.Val(len(threads)))})}
+}

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Ticket lock (TL): three threads take a ticket with an exclusive
+// fetch-and-add loop, spin until the owner counter reaches their ticket,
+// increment the shared counter and release by bumping the owner. TL-n
+// bounds the spin loops at n iterations. The /opt variant relaxes the
+// owner-wait load to a plain load followed by a load barrier, the classic
+// ARMv8 optimisation over a C11 acquire loop.
+
+const (
+	tlNext  = lang.Loc(0x200)
+	tlOwner = lang.Loc(0x208)
+	tlCtr   = lang.Loc(0x210)
+)
+
+func ticketLockLocs() map[string]lang.Loc {
+	return map[string]lang.Loc{"next": tlNext, "owner": tlOwner, "ctr": tlCtr}
+}
+
+func tlThread(opt bool) *T {
+	t := NewT(ticketLockLocs())
+	// my := fetch_add(next, 1)
+	t.Assign("got", lang.C(0))
+	t.While(lang.Eq(t.Rx("got"), lang.C(0)), func(t *T) {
+		t.LoadX("my", lang.C(tlNext), lang.ReadPlain)
+		t.StoreX("s", lang.C(tlNext), lang.Add(t.Rx("my"), lang.C(1)), lang.WritePlain)
+		t.If(lang.Eq(t.Rx("s"), lang.C(lang.VSucc)), func(t *T) {
+			t.Assign("got", lang.C(1))
+		}, nil)
+	})
+	// Wait until owner == my.
+	if opt {
+		t.Load("o", lang.C(tlOwner), lang.ReadPlain)
+		t.While(lang.Ne(t.Rx("o"), t.Rx("my")), func(t *T) {
+			t.Load("o", lang.C(tlOwner), lang.ReadPlain)
+		})
+		t.Emit(lang.DmbLD())
+	} else {
+		t.Load("o", lang.C(tlOwner), lang.ReadAcq)
+		t.While(lang.Ne(t.Rx("o"), t.Rx("my")), func(t *T) {
+			t.Load("o", lang.C(tlOwner), lang.ReadAcq)
+		})
+	}
+	// Critical section.
+	t.Load("c", lang.C(tlCtr), lang.ReadPlain)
+	t.Store(lang.C(tlCtr), lang.Add(t.Rx("c"), lang.C(1)), lang.WritePlain)
+	// Release.
+	t.Store(lang.C(tlOwner), lang.Add(t.Rx("my"), lang.C(1)), lang.WriteRel)
+	return t
+}
+
+// TicketLockInstance builds TL-n or TL/opt-n (three threads).
+func TicketLockInstance(arch lang.Arch, opt bool, n int) *Instance {
+	name := fmt.Sprintf("TL-%d", n)
+	if opt {
+		name = fmt.Sprintf("TL/opt-%d", n)
+	}
+	threads := []*T{tlThread(opt), tlThread(opt), tlThread(opt)}
+	p := prog(name, arch, ticketLockLocs(), n, []lang.Loc{tlNext, tlOwner, tlCtr}, threads...)
+	return &Instance{ID: name, Test: forbidAny(p, litmus.Not{C: locEq(p, "ctr", 3)})}
+}

@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Treiber stack (STC in the C++ dialect, STR in the Rust dialect). Nodes
+// live in static per-thread arenas (the bump-allocator substitution for the
+// paper's naive malloc); each node is ⟨data, next⟩, 8 bytes apart. Push
+// CASes the new node onto the head with a release publication; pop CASes
+// the head to the popped node's next and reads its data through the
+// address dependency.
+//
+// The /opt variant is the paper's "aggressively relaxed but sound under
+// ARMv8" shape: the pop head load is plain instead of acquire, relying on
+// the address dependency chain head -> node -> data, which is unsound in
+// the C++ source model but sound under ARM (and checked here).
+//
+// Instance naming follows Table 2: STC-abc-def-ghi means thread 1 pushes a
+// times, pops b times and pushes c times again, and analogously for
+// threads 2 and 3 (digits def and ghi).
+
+const (
+	stHead  = lang.Loc(0x400)
+	stNodes = lang.Loc(0x2000) // node k at stNodes + 16k: data +0, next +8
+)
+
+func stLocs() map[string]lang.Loc {
+	return map[string]lang.Loc{"S": stHead}
+}
+
+// stNodeAddr returns the static address of thread tid's k-th node.
+func stNodeAddr(tid, k int) lang.Loc {
+	return stNodes + lang.Loc((tid*8+k)*16)
+}
+
+// stPushVal is the distinct nonzero value pushed by thread tid's k-th push.
+func stPushVal(tid, k int) lang.Val {
+	return lang.Val((tid+1)*10 + k + 1)
+}
+
+// stPush emits one push of value v using the node at addr. rust selects the
+// STR dialect (an acquire on the CAS load, the rustc compare-exchange
+// shape, plus an extra move).
+func stPush(t *T, addr lang.Loc, v lang.Val, rust bool) {
+	t.Store(lang.C(addr), lang.C(v), lang.WritePlain) // node.data
+	t.Assign("pushed", lang.C(0))
+	t.While(lang.Eq(t.Rx("pushed"), lang.C(0)), func(t *T) {
+		rk := lang.ReadPlain
+		if rust {
+			rk = lang.ReadAcq
+		}
+		t.LoadX("ph", lang.C(stHead), rk)
+		t.Store(lang.C(addr+8), t.Rx("ph"), lang.WritePlain) // node.next
+		if rust {
+			t.Assign("phv", t.Rx("ph"))
+		}
+		// Release CAS publishes data and next before the node is visible.
+		t.StoreX("ps", lang.C(stHead), lang.C(addr), lang.WriteRel)
+		t.If(lang.Eq(t.Rx("ps"), lang.C(lang.VSucc)), func(t *T) {
+			t.Assign("pushed", lang.C(1))
+		}, nil)
+	})
+}
+
+// stPop emits one pop recording the popped data in register out:
+// -1 = empty, -2 = gave up after the bounded retries.
+func stPop(t *T, out string, opt, rust bool, retries int) {
+	t.Assign("popped", lang.C(0))
+	t.Assign("ptries", lang.C(0))
+	t.Assign(out, lang.C(0-2))
+	t.While(lang.BinOp{Op: lang.OpAnd,
+		L: lang.Eq(t.Rx("popped"), lang.C(0)),
+		R: lang.BinOp{Op: lang.OpLt, L: t.Rx("ptries"), R: lang.C(lang.Val(retries))}}, func(t *T) {
+		rk := lang.ReadAcq
+		if opt {
+			rk = lang.ReadPlain // relaxed: the address dependency orders the reads
+		}
+		t.LoadX("h", lang.C(stHead), rk)
+		t.If(lang.Eq(t.Rx("h"), lang.C(0)), func(t *T) {
+			t.Assign(out, lang.C(0-1))
+			t.Assign("popped", lang.C(1))
+		}, func(t *T) {
+			t.Load("nx", lang.Add(t.Rx("h"), lang.C(8)), lang.ReadPlain)
+			t.StoreX("psx", lang.C(stHead), t.Rx("nx"), lang.WritePlain)
+			t.If(lang.Eq(t.Rx("psx"), lang.C(lang.VSucc)), func(t *T) {
+				t.Load(out, t.Rx("h"), lang.ReadPlain) // data via address dependency
+				t.Assign("popped", lang.C(1))
+			}, nil)
+			if rust {
+				t.Assign("hv", t.Rx("h"))
+			}
+		})
+		t.Assign("ptries", lang.Add(t.Rx("ptries"), lang.C(1)))
+	})
+}
+
+// stThread builds thread tid doing ops[0] pushes, ops[1] pops, ops[2]
+// pushes, returning the builder and its pop output register names.
+func stThread(tid int, ops [3]int, opt, rust bool) (*T, []string) {
+	t := NewT(stLocs())
+	var outs []string
+	k := 0
+	for i := 0; i < ops[0]; i++ {
+		stPush(t, stNodeAddr(tid, k), stPushVal(tid, k), rust)
+		k++
+	}
+	for i := 0; i < ops[1]; i++ {
+		out := fmt.Sprintf("pop%d", i)
+		stPop(t, out, opt, rust, 2)
+		outs = append(outs, out)
+	}
+	for i := 0; i < ops[2]; i++ {
+		stPush(t, stNodeAddr(tid, k), stPushVal(tid, k), rust)
+		k++
+	}
+	return t, outs
+}
+
+// TreiberInstance builds STC/STR(-opt)-abc-def-ghi.
+func TreiberInstance(arch lang.Arch, variant string, opt bool, ops [3][3]int) *Instance {
+	rust := variant == "STR"
+	name := variant
+	if opt {
+		name += "/opt"
+	}
+	var builders []*T
+	var outs [][]string
+	for tid := 0; tid < 3; tid++ {
+		b, o := stThread(tid, ops[tid], opt, rust)
+		builders = append(builders, b)
+		outs = append(outs, o)
+	}
+	for tid := range ops {
+		name += fmt.Sprintf("-%d%d%d", ops[tid][0], ops[tid][1], ops[tid][2])
+	}
+	shared := []lang.Loc{stHead}
+	for tid := 0; tid < 3; tid++ {
+		for k := 0; k < 8; k++ {
+			shared = append(shared, stNodeAddr(tid, k), stNodeAddr(tid, k)+8)
+		}
+	}
+	p := prog(name, arch, stLocs(), 3, shared, builders...)
+	// Safety: a pop never observes uninitialised node data (value 0): the
+	// release publication must make the data write visible before the node.
+	var bad []litmus.Cond
+	for tid, os := range outs {
+		for _, o := range os {
+			bad = append(bad, regEq(tid, builders[tid], o, 0))
+		}
+	}
+	if len(bad) == 0 {
+		// Pure-push instances: check the head is one of the pushed nodes.
+		bad = append(bad, locEq(p, "S", 0))
+	}
+	return &Instance{ID: name, Test: forbidAny(p, bad...)}
+}

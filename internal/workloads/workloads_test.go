@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"testing"
+	"time"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// checkInstance runs an instance exhaustively and asserts its safety
+// expectation. Spin-bounded executions may exceed the loop bound (that
+// only under-approximates, as in rmem), so BoundExceeded is tolerated.
+func checkInstance(t *testing.T, in *Instance) {
+	t.Helper()
+	opts := explore.DefaultOptions()
+	opts.Deadline = time.Now().Add(120 * time.Second)
+	v, err := litmus.Run(in.Test, explore.PromiseFirst, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", in.ID, err)
+	}
+	if v.Result.Aborted {
+		t.Fatalf("%s: exploration aborted (states=%d)", in.ID, v.Result.States)
+	}
+	if len(v.Result.Outcomes) == 0 {
+		t.Fatalf("%s: no completed executions", in.ID)
+	}
+	if !v.OK() {
+		t.Errorf("%s: verdict %v, expected %s\noutcomes:\n%s",
+			in.ID, v.Allowed, in.Test.Expect, litmus.FormatOutcomes(v.Spec, v.Result, in.Test.Prog))
+	}
+	t.Logf("%s: states=%d outcomes=%d elapsed=%v", in.ID, v.Result.States, len(v.Result.Outcomes), v.Elapsed)
+}
+
+func TestSpinlocks(t *testing.T) {
+	for _, variant := range []string{"SLA", "SLC", "SLR"} {
+		n := 2
+		if variant != "SLA" && testing.Short() {
+			n = 1
+		}
+		in := SpinlockInstance(lang.ARM, variant, n)
+		t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+	}
+}
+
+func TestSpinlockRISCV(t *testing.T) {
+	checkInstance(t, SpinlockInstance(lang.RISCV, "SLA", 2))
+}
+
+func TestTicketLock(t *testing.T) {
+	for _, opt := range []bool{false, true} {
+		in := TicketLockInstance(lang.ARM, opt, 1)
+		t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+	}
+}
+
+func TestPCS(t *testing.T) {
+	checkInstance(t, PCSInstance(lang.ARM, 2, 2))
+}
+
+func TestPCM(t *testing.T) {
+	checkInstance(t, PCMInstance(lang.ARM, 1, 1, 1))
+}
+
+func TestTreiber(t *testing.T) {
+	cases := [][3][3]int{
+		{{1, 0, 0}, {0, 1, 0}, {0, 0, 0}},
+		{{1, 0, 0}, {0, 1, 0}, {0, 1, 0}},
+	}
+	for _, ops := range cases {
+		for _, opt := range []bool{false, true} {
+			in := TreiberInstance(lang.ARM, "STC", opt, ops)
+			t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+		}
+	}
+	in := TreiberInstance(lang.ARM, "STR", false, cases[0])
+	t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+}
+
+func TestChaseLev(t *testing.T) {
+	in := ChaseLevInstance(lang.ARM, false, [3]int{1, 0, 0}, 1, 0)
+	t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+	in = ChaseLevInstance(lang.ARM, false, [3]int{1, 1, 0}, 1, 0)
+	t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+	in = ChaseLevInstance(lang.ARM, true, [3]int{1, 0, 0}, 1, 0)
+	t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+}
+
+func TestMSQueue(t *testing.T) {
+	in := MSQueueInstance(lang.ARM, false, false, [3][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 0}})
+	t.Run(in.ID, func(t *testing.T) { checkInstance(t, in) })
+}
+
+// TestMSQueueRelaxedBugFound is the §8 case study: with the publication
+// CAS downgraded to a plain store exclusive, the tool must find the
+// incorrect state (a dequeue observing uninitialised data).
+func TestMSQueueRelaxedBugFound(t *testing.T) {
+	in := MSQueueInstance(lang.ARM, false, true, [3][3]int{{1, 0, 0}, {0, 1, 0}, {0, 0, 0}})
+	opts := explore.DefaultOptions()
+	opts.CollectWitnesses = true
+	v, err := litmus.Run(in.Test, explore.PromiseFirst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Allowed {
+		t.Fatalf("the relaxed-publication bug was not found\noutcomes:\n%s",
+			litmus.FormatOutcomes(v.Spec, v.Result, in.Test.Prog))
+	}
+	// A witness trace must exist for the buggy outcome.
+	for k, o := range v.Result.Outcomes {
+		if litmus.Eval(in.Test.Cond, v.Spec, o) {
+			w, ok := v.Result.Witnesses[k]
+			if !ok || len(w.Labels) == 0 {
+				t.Error("no witness trace for the buggy outcome")
+			} else {
+				t.Logf("witness (%d steps), first: %s", len(w.Labels), w.Labels[0].String())
+			}
+			break
+		}
+	}
+}
+
+func TestParseID(t *testing.T) {
+	for _, id := range []string{"SLA-3", "SLC-1", "SLR-2", "TL-1", "TL/opt-2",
+		"PCS-2-2", "PCM-1-1-1", "STC-100-010-000", "STR-100-010-010",
+		"STC/opt-100-010-000", "DQ-100-1-0", "DQ/opt-110-1-1", "QU-100-010-000"} {
+		in, err := ParseID(lang.ARM, id)
+		if err != nil {
+			t.Errorf("ParseID(%q): %v", id, err)
+			continue
+		}
+		if in.ID != id {
+			t.Errorf("ParseID(%q).ID = %q", id, in.ID)
+		}
+		if loc, th := in.LOC(); loc == 0 || th == 0 {
+			t.Errorf("%s: LOC=%d threads=%d", id, loc, th)
+		}
+	}
+	if _, err := ParseID(lang.ARM, "ZZ-1"); err == nil {
+		t.Error("expected error for unknown family")
+	}
+}

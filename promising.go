@@ -1,0 +1,122 @@
+// Package promising is the public entry point of the Promising-ARM/RISC-V
+// reproduction: a simpler and faster operational concurrency model for
+// ARMv8 and RISC-V (Pulte, Pichon-Pharabod, Kang, Lee, Hur; PLDI 2019),
+// together with an exhaustive and interactive exploration tool, the unified
+// axiomatic reference model, a Flat-style microarchitectural baseline, and
+// litmus-test infrastructure.
+//
+// Quick start:
+//
+//	test, _ := promising.ParseTest(src)          // litmus text format
+//	verdict, _ := promising.Run(test, promising.BackendPromising, promising.Options())
+//	fmt.Println(verdict)
+//
+// The deeper APIs live in the internal packages and are re-exported here
+// where a library user needs them: lang (the calculus), core (the model),
+// explore (the explorers), axiomatic, flat, litmus and workloads.
+package promising
+
+import (
+	"fmt"
+	"time"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+	"promising/internal/flat"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Re-exported core types.
+type (
+	// Test is a litmus test: program + condition + expectation.
+	Test = litmus.Test
+	// Verdict is the outcome of running a test under a backend.
+	Verdict = litmus.Verdict
+	// Result is an exhaustive exploration result.
+	Result = explore.Result
+	// Session is an interactive exploration session.
+	Session = explore.Session
+	// Program is a parallel program in the paper's calculus.
+	Program = lang.Program
+	// Arch selects ARMv8 or RISC-V semantics.
+	Arch = lang.Arch
+)
+
+// Architectures.
+const (
+	ARM   = lang.ARM
+	RISCV = lang.RISCV
+)
+
+// Backend names an exhaustive exploration backend.
+type Backend string
+
+// Backends. BackendPromising is the paper's promise-first explorer (§7);
+// BackendNaive interleaves every transition of the same Promising machine;
+// BackendAxiomatic is the unified Fig. 6 model (the herd stand-in);
+// BackendFlat is the microarchitectural baseline.
+const (
+	BackendPromising Backend = "promising"
+	BackendNaive     Backend = "naive"
+	BackendAxiomatic Backend = "axiomatic"
+	BackendFlat      Backend = "flat"
+)
+
+// Runner returns the litmus.Runner for a backend.
+func (b Backend) Runner() (litmus.Runner, error) {
+	switch b {
+	case BackendPromising:
+		return explore.PromiseFirst, nil
+	case BackendNaive:
+		return explore.Naive, nil
+	case BackendAxiomatic:
+		return axiomatic.Explore, nil
+	case BackendFlat:
+		return flat.Explore, nil
+	default:
+		return nil, fmt.Errorf("promising: unknown backend %q (want promising, naive, axiomatic or flat)", b)
+	}
+}
+
+// Options returns the default exploration options (per-step certification
+// enabled, no witness collection, no limits).
+func Options() explore.Options { return explore.DefaultOptions() }
+
+// OptionsWithTimeout returns default options with a wall-clock budget.
+func OptionsWithTimeout(d time.Duration) explore.Options {
+	o := explore.DefaultOptions()
+	o.Deadline = time.Now().Add(d)
+	return o
+}
+
+// ParseTest parses the litmus text format (see internal/litmus.Parse for
+// the grammar).
+func ParseTest(src string) (*Test, error) { return litmus.Parse(src) }
+
+// Run executes a test exhaustively under the chosen backend.
+func Run(t *Test, backend Backend, opts explore.Options) (*Verdict, error) {
+	r, err := backend.Runner()
+	if err != nil {
+		return nil, err
+	}
+	return litmus.Run(t, r, opts)
+}
+
+// Interactive starts an interactive stepping session for a test's program.
+func Interactive(t *Test) (*Session, error) {
+	cp, err := lang.Compile(t.Prog)
+	if err != nil {
+		return nil, err
+	}
+	return explore.NewSession(cp), nil
+}
+
+// Catalog returns the built-in canonical litmus tests with architectural
+// verdicts.
+func Catalog() []*Test { return litmus.Catalog() }
+
+// FormatOutcomes renders a verdict's outcome set, one final state per line.
+func FormatOutcomes(v *Verdict) string {
+	return litmus.FormatOutcomes(v.Spec, v.Result, v.Test.Prog)
+}
