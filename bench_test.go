@@ -15,6 +15,7 @@ package promising_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -192,6 +193,96 @@ func BenchmarkAblationSharedOptOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := promising.Run(in.Test, promising.BackendPromising, promising.Options()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Parallel-engine variants. Options.Parallelism follows GOMAXPROCS, so
+// running with -cpu 1,4 measures the worker-pool speedup directly:
+//
+//	go test -bench 'Par|RunAll' -cpu 1,4
+//
+// The Par rows are promise-first phase-2-heavy workloads (each final
+// memory's per-thread completion is independent work), plus naive and flat
+// interleaving rows where the frontier itself is the parallel resource.
+
+// benchInstancePar is benchInstance with the engine at GOMAXPROCS workers.
+func benchInstancePar(b *testing.B, id string, backend promising.Backend) {
+	b.Helper()
+	in, err := workloads.ParseID(lang.ARM, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := promising.ParallelOptions(runtime.GOMAXPROCS(0))
+	var states int
+	for i := 0; i < b.N; i++ {
+		v, err := promising.Run(in.Test, backend, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Result.Aborted {
+			b.Fatalf("%s: aborted", id)
+		}
+		if !v.OK() {
+			b.Fatalf("%s: safety condition violated", id)
+		}
+		states = v.Result.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkParPromiseFirstSLA3(b *testing.B) {
+	benchInstancePar(b, "SLA-3", promising.BackendPromising)
+}
+func BenchmarkParPromiseFirstTL1(b *testing.B) {
+	benchInstancePar(b, "TL-1", promising.BackendPromising)
+}
+func BenchmarkParPromiseFirstPCM111(b *testing.B) {
+	benchInstancePar(b, "PCM-1-1-1", promising.BackendPromising)
+}
+func BenchmarkParPromiseFirstQU(b *testing.B) {
+	benchInstancePar(b, "QU-100-000-000", promising.BackendPromising)
+}
+
+func benchCatalogPar(b *testing.B, backend promising.Backend, names ...string) {
+	b.Helper()
+	var tests []*litmus.Test
+	for _, n := range names {
+		tests = append(tests, litmus.CatalogTest(n))
+	}
+	opts := promising.ParallelOptions(runtime.GOMAXPROCS(0))
+	for i := 0; i < b.N; i++ {
+		for _, t := range tests {
+			if _, err := promising.Run(t, backend, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkParNaiveLitmus(b *testing.B) {
+	benchCatalogPar(b, promising.BackendNaive, "MP+dmbs", "LB", "IRIW", "PPOCA", "XCL-atomicity")
+}
+
+func BenchmarkParFlatLitmus(b *testing.B) {
+	benchCatalogPar(b, promising.BackendFlat, "MP+dmbs", "LB", "IRIW", "PPOCA", "XCL-atomicity")
+}
+
+// BenchmarkRunAllCatalog times the batched runner over the whole canonical
+// catalog (cross-test concurrency at GOMAXPROCS; per-test engine
+// sequential, mirroring a validation sweep's configuration).
+func BenchmarkRunAllCatalog(b *testing.B) {
+	tests := promising.Catalog()
+	for i := 0; i < b.N; i++ {
+		reports, err := promising.RunAll(tests, []promising.Backend{promising.BackendPromising},
+			promising.RunAllOptions{Concurrency: runtime.GOMAXPROCS(0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := range reports {
+			if !reports[r].OK() {
+				b.Fatalf("%s/%s: verdict mismatch", reports[r].Test.Name(), reports[r].Backend)
+			}
 		}
 	}
 }

@@ -111,6 +111,7 @@ func main() {
 		noFlat  = flag.Bool("no-flat", false, "skip the flat baseline column")
 		rows    = flag.String("rows", "", "comma-separated row ids overriding the default set")
 	)
+	flag.IntVar(&engineWorkers, "j", 1, "exploration engine workers per row; 0/-1 = GOMAXPROCS")
 	flag.Parse()
 	if err := run(*table, *full, *timeout, *noFlat, *rows); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -198,10 +199,17 @@ func mustParse(id string) *workloads.Instance {
 	return in
 }
 
+// engineWorkers is the -j flag: Options.Parallelism for every timed row.
+var engineWorkers = 1
+
 // timeOne runs one instance under a backend with a budget; it returns the
 // formatted seconds or "ooT".
 func timeOne(in *workloads.Instance, backend promising.Backend, timeout time.Duration) string {
 	opts := promising.OptionsWithTimeout(timeout)
+	opts.Parallelism = engineWorkers
+	if engineWorkers <= 0 {
+		opts.Parallelism = -1 // 0 means GOMAXPROCS at the CLI
+	}
 	v, err := promising.Run(in.Test, backend, opts)
 	if err != nil {
 		return "err"

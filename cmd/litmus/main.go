@@ -4,12 +4,19 @@
 // validation, §7). With -diff it cross-checks the Promising model against
 // the axiomatic oracle (Theorem 6.1, tested) and optionally the flat
 // baseline, reporting any disagreement.
+//
+// The sweep runs on the batched runner (promising.RunAll): -j bounds how
+// many (test, backend) cells run concurrently, -par sets the exploration
+// engine's per-test worker count, and -backends selects which backends run
+// each test (the first is the primary whose verdict is checked against the
+// test's expectation).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"promising"
@@ -20,51 +27,82 @@ import (
 
 func main() {
 	var (
-		diff    = flag.Bool("diff", false, "differentially test promising vs axiomatic (and flat with -flat)")
-		useFlat = flag.Bool("flat", false, "include the flat baseline in -diff")
-		random  = flag.Int("random", 0, "also run N seeded random tests per architecture")
-		seed    = flag.Int64("seed", 0, "base seed for random tests")
-		verbose = flag.Bool("v", false, "print every test, not only failures")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-test budget")
+		diff     = flag.Bool("diff", false, "differentially test promising vs axiomatic (and flat with -flat)")
+		useFlat  = flag.Bool("flat", false, "include the flat baseline in -diff")
+		random   = flag.Int("random", 0, "also run N seeded random tests per architecture")
+		seed     = flag.Int64("seed", 0, "base seed for random tests")
+		verbose  = flag.Bool("v", false, "print every test, not only failures")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-test budget")
+		backends = flag.String("backends", "promising", "comma-separated backends to run (promising, naive, axiomatic, flat)")
+		jobs     = flag.Int("j", 0, "concurrent (test, backend) cells; 0 = GOMAXPROCS")
+		par      = flag.Int("par", 1, "exploration engine workers per test; 0/-1 = GOMAXPROCS")
 	)
 	flag.Parse()
-	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout); err != nil {
+	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout, *backends, *jobs, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration) error {
-	fail := 0
-	total := 0
-
-	check := func(t *promising.Test) error {
-		total++
-		opts := promising.OptionsWithTimeout(timeout)
-		vp, err := promising.Run(t, promising.BackendPromising, opts)
-		if err != nil {
-			return err
+func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration, backendList string, jobs, par int) error {
+	// Assemble the backend set: the first is the primary (checked against
+	// the expectation); -diff pulls in the comparison backends.
+	var backends []promising.Backend
+	for _, name := range strings.Split(backendList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			backends = append(backends, promising.Backend(name))
 		}
-		ok := vp.OK() && !vp.Result.Aborted
+	}
+	if len(backends) == 0 {
+		backends = []promising.Backend{promising.BackendPromising}
+	}
+	if diff {
+		backends = ensureBackend(backends, promising.BackendAxiomatic)
+		if useFlat {
+			backends = ensureBackend(backends, promising.BackendFlat)
+		}
+	}
+
+	tests := promising.Catalog()
+	if random > 0 {
+		for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
+			for i := 0; i < random; i++ {
+				tests = append(tests, litmus.Generate(litmus.DefaultGenConfig(seed+int64(i), arch)))
+			}
+		}
+	}
+
+	opts := explore.DefaultOptions()
+	opts.Parallelism = par
+	if par <= 0 {
+		opts.Parallelism = -1 // 0 means GOMAXPROCS at the CLI
+	}
+	reports, err := promising.RunAll(tests, backends, promising.RunAllOptions{
+		Concurrency: jobs,
+		Explore:     opts,
+		Timeout:     timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	fail := 0
+	nb := len(backends)
+	for i := range tests {
+		cells := reports[i*nb : (i+1)*nb]
+		primary := &cells[0]
+		if primary.Err != nil {
+			return primary.Err
+		}
+		ok := primary.OK()
 		detail := ""
-		if diff {
-			va, err := promising.Run(t, promising.BackendAxiomatic, promising.OptionsWithTimeout(timeout))
-			if err != nil {
-				return err
+		for _, cell := range cells[1:] {
+			if cell.Err != nil {
+				return cell.Err
 			}
-			if !explore.SameOutcomes(vp.Result, va.Result) {
+			if !explore.SameOutcomes(primary.Verdict.Result, cell.Verdict.Result) {
 				ok = false
-				detail += " [axiomatic disagrees]"
-			}
-			if useFlat {
-				vf, err := promising.Run(t, promising.BackendFlat, promising.OptionsWithTimeout(timeout))
-				if err != nil {
-					return err
-				}
-				if !explore.SameOutcomes(vp.Result, vf.Result) {
-					ok = false
-					detail += " [flat disagrees]"
-				}
+				detail += fmt.Sprintf(" [%s disagrees]", cell.Backend)
 			}
 		}
 		if !ok {
@@ -75,28 +113,21 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 			if !ok {
 				status = "FAIL"
 			}
-			fmt.Printf("%-4s %s%s\n", status, vp.String(), detail)
-		}
-		return nil
-	}
-
-	for _, t := range promising.Catalog() {
-		if err := check(t); err != nil {
-			return err
+			fmt.Printf("%-4s %s%s\n", status, primary.Verdict.String(), detail)
 		}
 	}
-	if random > 0 {
-		for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
-			for i := 0; i < random; i++ {
-				if err := check(litmus.Generate(litmus.DefaultGenConfig(seed+int64(i), arch))); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	fmt.Printf("%d tests, %d failures\n", total, fail)
+	fmt.Printf("%d tests x %d backends, %d failures\n", len(tests), nb, fail)
 	if fail > 0 {
 		os.Exit(1)
 	}
 	return nil
+}
+
+func ensureBackend(bs []promising.Backend, b promising.Backend) []promising.Backend {
+	for _, have := range bs {
+		if have == b {
+			return bs
+		}
+	}
+	return append(bs, b)
 }

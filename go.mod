@@ -1,0 +1,3 @@
+module promising
+
+go 1.24

@@ -16,18 +16,56 @@ import (
 const DefaultMaxTraces = 200000
 
 // Explore runs the axiomatic model exhaustively. It satisfies the
-// litmus.Runner signature. Options: Deadline and MaxStates are honoured
-// (MaxStates bounds the number of checked candidates); Certify and
+// litmus.Runner signature. Options: Deadline, MaxStates and Parallelism are
+// honoured (MaxStates bounds the number of checked candidates); Certify and
 // CollectWitnesses are ignored (the axiomatic model has no notion of
 // either).
+//
+// Parallelisation splits the joint trace choice: prefixes of per-thread
+// trace assignments are expanded breadth-first until there is enough
+// fan-out for the engine's workers, and each prefix's candidate subtree is
+// enumerated independently on a worker-local result.
 func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
-	res := &explore.Result{Outcomes: make(map[string]explore.Outcome), Witnesses: map[string]explore.Witness{}}
 	traces, truncated := enumerateTraces(cp, DefaultMaxTraces)
 	if truncated {
-		res.Aborted = true
+		// Trace enumeration blew the cap: the candidate space is unusable,
+		// so return the aborted result without enumerating (the joint
+		// product over a capped trace set would run effectively forever).
+		return &explore.Result{
+			Outcomes:  make(map[string]explore.Outcome),
+			Witnesses: map[string]explore.Witness{},
+			Aborted:   true,
+		}
 	}
-	e := &enumerator{cp: cp, spec: spec, opts: &opts, res: res, mem: core.NewMemory(cp.Init)}
-	e.joint(traces, nil)
+	mem := core.NewMemory(cp.Init)
+
+	// Expand joint-trace prefixes until there is work for every worker (or
+	// the prefixes are complete assignments). Bound-exceeded traces are
+	// pruned here exactly as the sequential recursion pruned them.
+	boundExceeded := false
+	prefixes := [][]*Trace{nil}
+	for depth := 0; depth < len(traces) && len(prefixes) < 4*opts.Workers(); depth++ {
+		next := make([][]*Trace, 0, len(prefixes)*len(traces[depth]))
+		for _, p := range prefixes {
+			for _, tr := range traces[depth] {
+				if tr.BoundExceeded {
+					boundExceeded = true
+					continue
+				}
+				np := make([]*Trace, 0, len(p)+1)
+				np = append(append(np, p...), tr)
+				next = append(next, np)
+			}
+		}
+		prefixes = next
+	}
+
+	eng := explore.Engine[[]*Trace]{Process: func(prefix []*Trace, c *explore.Ctx[[]*Trace]) {
+		e := &enumerator{cp: cp, spec: spec, opts: &opts, res: c.Res, ctx: c, mem: mem}
+		e.joint(traces, prefix)
+	}}
+	res := eng.Run(prefixes, &opts)
+	res.BoundExceeded = res.BoundExceeded || boundExceeded
 	return res
 }
 
@@ -36,12 +74,13 @@ type enumerator struct {
 	spec *explore.ObsSpec
 	opts *explore.Options
 	res  *explore.Result
+	ctx  *explore.Ctx[[]*Trace]
 	mem  *core.Memory // for initial values only
 }
 
 // joint picks one trace per thread, then checks the candidate.
 func (e *enumerator) joint(traces [][]*Trace, picked []*Trace) {
-	if e.res.Aborted {
+	if !e.ctx.Alive() {
 		return
 	}
 	if len(picked) == len(traces) {
@@ -72,8 +111,7 @@ type cand struct {
 }
 
 func (e *enumerator) candidate(picked []*Trace) {
-	if e.opts.Expired() {
-		e.res.Aborted = true
+	if !e.ctx.Alive() {
 		return
 	}
 	c := &cand{
@@ -125,7 +163,7 @@ func offsetAll(ids []int, off int) []int {
 
 // enumRF assigns a source write (or the initial write, -1) to each read.
 func (e *enumerator) enumRF(c *cand, picked []*Trace, from int) {
-	if e.res.Aborted {
+	if !e.ctx.Alive() {
 		return
 	}
 	// Find next read.
@@ -158,7 +196,7 @@ func (e *enumerator) enumRF(c *cand, picked []*Trace, from int) {
 
 // enumCO linearises the writes of each location (location index li).
 func (e *enumerator) enumCO(c *cand, picked []*Trace, li int) {
-	if e.res.Aborted {
+	if !e.ctx.Alive() {
 		return
 	}
 	locs := sortedLocs(c.writesOf)
@@ -177,9 +215,7 @@ func (e *enumerator) enumCO(c *cand, picked []*Trace, li int) {
 
 // check validates the axioms and records the outcome.
 func (e *enumerator) check(c *cand, picked []*Trace) {
-	e.res.States++
-	if e.opts.MaxStates > 0 && e.res.States > e.opts.MaxStates {
-		e.res.Aborted = true
+	if !e.ctx.Visit(1) {
 		return
 	}
 	if !e.internal(c) || !e.atomic(c) || !e.external(c) {

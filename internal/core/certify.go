@@ -88,7 +88,10 @@ func (c *certifier) search(th *Thread, mem *Memory) certMemo {
 		return certMemo{reach: done}
 	}
 
-	key := string(EncodeMemory(EncodeThread(nil, th), mem, c.baseTS))
+	buf := GetEncBuf()
+	buf = EncodeMemory(EncodeThread(buf, th), mem, c.baseTS)
+	key := string(buf)
+	PutEncBuf(buf)
 	if m, ok := c.memo[key]; ok {
 		return m
 	}

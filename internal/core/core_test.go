@@ -256,7 +256,7 @@ func TestReadChoicesCoherence(t *testing.T) {
 		t.Fatalf("choices = %+v", cs)
 	}
 	// With coh(x)=1 the initial write is superseded.
-	th.TS.Coh[8] = 1
+	th.TS.Coh.Set(8, 1)
 	cs = ReadChoices(env, th, id, mem)
 	if len(cs) != 2 || cs[0].TS != 1 || cs[1].TS != 3 {
 		t.Fatalf("choices with coh = %+v", cs)
@@ -281,8 +281,8 @@ func TestApplyReadUpdatesState(t *testing.T) {
 	if th.TS.Regs[0] != (RegVal{Val: 42, View: 1}) {
 		t.Errorf("reg = %+v", th.TS.Regs[0])
 	}
-	if th.TS.Coh[8] != 1 || th.TS.VROld != 1 {
-		t.Errorf("coh=%d vrOld=%d", th.TS.Coh[8], th.TS.VROld)
+	if th.TS.Coh.Get(8) != 1 || th.TS.VROld != 1 {
+		t.Errorf("coh=%d vrOld=%d", th.TS.Coh.Get(8), th.TS.VROld)
 	}
 	if th.TS.VRNew != 0 || th.TS.VWNew != 0 {
 		t.Error("plain read must not touch vrNew/vwNew")
@@ -332,11 +332,11 @@ func TestNormalWriteAndFulfil(t *testing.T) {
 	if len(th.TS.Prom) != 0 {
 		t.Error("normal write must leave no promise")
 	}
-	if th.TS.Coh[8] != 1 || th.TS.VWOld != 1 {
-		t.Errorf("coh=%d vwOld=%d", th.TS.Coh[8], th.TS.VWOld)
+	if th.TS.Coh.Get(8) != 1 || th.TS.VWOld != 1 {
+		t.Errorf("coh=%d vwOld=%d", th.TS.Coh.Get(8), th.TS.VWOld)
 	}
-	if th.TS.Fwdb[8] != (FwdItem{Time: 1, View: 0, Xcl: false}) {
-		t.Errorf("fwdb = %+v", th.TS.Fwdb[8])
+	if th.TS.Fwdb.Get(8) != (FwdItem{Time: 1, View: 0, Xcl: false}) {
+		t.Errorf("fwdb = %+v", th.TS.Fwdb.Get(8))
 	}
 }
 
@@ -469,7 +469,7 @@ func TestExclusiveSuccessRegisterView(t *testing.T) {
 		if th.TS.Xclb != nil {
 			t.Errorf("%v: successful exclusive must clear xclb", arch)
 		}
-		if !th.TS.Fwdb[8].Xcl {
+		if !th.TS.Fwdb.Get(8).Xcl {
 			t.Errorf("%v: forward bank must record exclusivity", arch)
 		}
 	}
@@ -552,7 +552,7 @@ func TestViewMonotonicity(t *testing.T) {
 		after := th.TS
 		return after.VROld >= before.VROld && after.VRNew >= before.VRNew &&
 			after.VWNew >= before.VWNew && after.VCAP >= before.VCAP &&
-			after.Coh[8] >= before.Coh[8]
+			after.Coh.Get(8) >= before.Coh.Get(8)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -2,14 +2,52 @@ package core
 
 import (
 	"encoding/binary"
-	"sort"
-
-	"promising/internal/lang"
+	"sync"
 )
 
 // Canonical state encodings. Exploration deduplicates on these byte strings;
 // everything observable about a state must be included, in a deterministic
 // order (maps are sorted by key).
+
+// Key is a deduplication key for a canonically encoded state: a 64-bit
+// FNV-1a hash of the encoding (cheap to shard and compare) plus the encoded
+// bytes themselves (exact; hash collisions cannot merge distinct states).
+type Key struct {
+	Hash uint64
+	Enc  string
+}
+
+// FNV-1a constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash64 returns the FNV-1a hash of b.
+func Hash64(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// KeyOf builds a Key from a canonical encoding. The bytes are copied, so
+// the caller may recycle b (see GetEncBuf/PutEncBuf).
+func KeyOf(b []byte) Key {
+	return Key{Hash: Hash64(b), Enc: string(b)}
+}
+
+// encPool recycles encode buffers: state encoding is the hottest allocation
+// site of the explorers, and the buffers are same-sized and short-lived.
+var encPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// GetEncBuf returns an empty encode buffer from the pool.
+func GetEncBuf() []byte { return (*(encPool.Get().(*[]byte)))[:0] }
+
+// PutEncBuf recycles a buffer obtained from GetEncBuf.
+func PutEncBuf(b []byte) { encPool.Put(&b) }
 
 func appendInt(b []byte, v int64) []byte {
 	return binary.AppendVarint(b, v)
@@ -55,37 +93,45 @@ func EncodeThread(b []byte, th *Thread) []byte {
 	return b
 }
 
-func appendLocViews(b []byte, m map[lang.Loc]View) []byte {
-	locs := make([]lang.Loc, 0, len(m))
-	for l, v := range m {
-		if v != 0 {
-			locs = append(locs, l)
+// The bank encoders iterate the sorted-slice banks directly (LocViews,
+// FwdBank, Locals keep themselves sorted by location), skipping zero
+// entries so a bank that was written and reset encodes like an untouched
+// one.
+
+func appendLocViews(b []byte, m LocViews) []byte {
+	n := 0
+	for _, e := range m {
+		if e.V != 0 {
+			n++
 		}
 	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
-	b = appendInt(b, int64(len(locs)))
-	for _, l := range locs {
-		b = appendInt(b, l)
-		b = appendInt(b, int64(m[l]))
+	b = appendInt(b, int64(n))
+	for _, e := range m {
+		if e.V == 0 {
+			continue
+		}
+		b = appendInt(b, e.Loc)
+		b = appendInt(b, int64(e.V))
 	}
 	return b
 }
 
-func appendFwdb(b []byte, m map[lang.Loc]FwdItem) []byte {
-	locs := make([]lang.Loc, 0, len(m))
-	for l, f := range m {
-		if f != (FwdItem{}) {
-			locs = append(locs, l)
+func appendFwdb(b []byte, m FwdBank) []byte {
+	n := 0
+	for _, e := range m {
+		if e.F != (FwdItem{}) {
+			n++
 		}
 	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
-	b = appendInt(b, int64(len(locs)))
-	for _, l := range locs {
-		f := m[l]
-		b = appendInt(b, l)
-		b = appendInt(b, int64(f.Time))
-		b = appendInt(b, int64(f.View))
-		if f.Xcl {
+	b = appendInt(b, int64(n))
+	for _, e := range m {
+		if e.F == (FwdItem{}) {
+			continue
+		}
+		b = appendInt(b, e.Loc)
+		b = appendInt(b, int64(e.F.Time))
+		b = appendInt(b, int64(e.F.View))
+		if e.F.Xcl {
 			b = appendInt(b, 1)
 		} else {
 			b = appendInt(b, 0)
@@ -94,20 +140,24 @@ func appendFwdb(b []byte, m map[lang.Loc]FwdItem) []byte {
 	return b
 }
 
-func appendLocals(b []byte, m map[lang.Loc]RegVal) []byte {
-	locs := make([]lang.Loc, 0, len(m))
-	for l := range m {
-		locs = append(locs, l)
-	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
-	b = appendInt(b, int64(len(locs)))
-	for _, l := range locs {
-		rv := m[l]
-		b = appendInt(b, l)
-		b = appendInt(b, rv.Val)
-		b = appendInt(b, int64(rv.View))
+func appendLocals(b []byte, m Locals) []byte {
+	b = appendInt(b, int64(len(m)))
+	for _, e := range m {
+		b = appendInt(b, e.Loc)
+		b = appendInt(b, e.RV.Val)
+		b = appendInt(b, int64(e.RV.View))
 	}
 	return b
+}
+
+// MemoryKey returns the dedup Key of a whole memory (used by promise-first
+// phase 1, where a state is fully determined by the memory contents).
+func MemoryKey(mem *Memory) Key {
+	b := GetEncBuf()
+	b = EncodeMemory(b, mem, 0)
+	k := KeyOf(b)
+	PutEncBuf(b)
+	return k
 }
 
 // EncodeMemory appends the messages with timestamp > from.

@@ -12,6 +12,12 @@ type Machine struct {
 	Prog    *lang.CompiledProgram
 	Threads []*Thread
 	Mem     *Memory
+
+	// envs caches the per-thread step environments. Environments are
+	// immutable and depend only on the program, so all clones of a machine
+	// share one slice; building them per step was a measurable allocation
+	// on the Successors hot path.
+	envs []Env
 }
 
 // NewMachine returns the initial machine for a compiled program, with all
@@ -20,6 +26,15 @@ func NewMachine(cp *lang.CompiledProgram) *Machine {
 	m := &Machine{
 		Prog: cp,
 		Mem:  NewMemory(cp.Init),
+		envs: make([]Env, len(cp.Threads)),
+	}
+	for tid := range cp.Threads {
+		m.envs[tid] = Env{
+			Arch:   cp.Arch,
+			Code:   &cp.Threads[tid],
+			TID:    tid,
+			Shared: cp.IsShared,
+		}
 	}
 	for tid := range cp.Threads {
 		th := NewThread(&cp.Threads[tid])
@@ -30,18 +45,11 @@ func NewMachine(cp *lang.CompiledProgram) *Machine {
 }
 
 // Env returns the step environment for thread tid.
-func (m *Machine) Env(tid int) *Env {
-	return &Env{
-		Arch:   m.Prog.Arch,
-		Code:   &m.Prog.Threads[tid],
-		TID:    tid,
-		Shared: m.Prog.IsShared,
-	}
-}
+func (m *Machine) Env(tid int) *Env { return &m.envs[tid] }
 
 // Clone deep-copies the machine (memory and all threads).
 func (m *Machine) Clone() *Machine {
-	out := &Machine{Prog: m.Prog, Mem: m.Mem.Clone()}
+	out := &Machine{Prog: m.Prog, Mem: m.Mem.Clone(), envs: m.envs}
 	out.Threads = make([]*Thread, len(m.Threads))
 	for i, th := range m.Threads {
 		out.Threads[i] = th.Clone()
@@ -52,7 +60,7 @@ func (m *Machine) Clone() *Machine {
 // cloneWith returns a copy sharing memory (for non-promise steps) with
 // thread tid replaced.
 func (m *Machine) cloneWith(tid int, th *Thread, mem *Memory) *Machine {
-	out := &Machine{Prog: m.Prog, Mem: mem}
+	out := &Machine{Prog: m.Prog, Mem: mem, envs: m.envs}
 	out.Threads = make([]*Thread, len(m.Threads))
 	copy(out.Threads, m.Threads)
 	out.Threads[tid] = th
@@ -81,13 +89,19 @@ func (m *Machine) BoundExceeded() bool {
 }
 
 // Key returns a canonical encoding of the machine state for deduplication.
-func (m *Machine) Key() string {
-	var b []byte
+func (m *Machine) Key() string { return m.StateKey().Enc }
+
+// StateKey returns the hashed dedup key of the machine state, encoding into
+// a pooled buffer.
+func (m *Machine) StateKey() Key {
+	b := GetEncBuf()
 	b = EncodeMemory(b, m.Mem, 0)
 	for _, th := range m.Threads {
 		b = EncodeThread(b, th)
 	}
-	return string(b)
+	k := KeyOf(b)
+	PutEncBuf(b)
+	return k
 }
 
 // Succ is one enabled machine transition.

@@ -2,11 +2,147 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"promising/internal/lang"
 )
+
+// LocView is one entry of a LocViews bank.
+type LocView struct {
+	Loc lang.Loc
+	V   View
+}
+
+// LocViews maps locations to views, stored as a slice sorted by location:
+// litmus-scale programs touch a handful of locations, so linear scans beat
+// hashing, clones are single memmoves, and canonical encoding needs no
+// sorting pass. The zero value is an empty bank.
+type LocViews []LocView
+
+// Get returns the view of l (0 when untouched).
+func (m LocViews) Get(l lang.Loc) View {
+	for i := range m {
+		if m[i].Loc == l {
+			return m[i].V
+		}
+	}
+	return 0
+}
+
+// Set stores v for l, keeping the slice sorted.
+func (m *LocViews) Set(l lang.Loc, v View) {
+	s := *m
+	i := 0
+	for i < len(s) && s[i].Loc < l {
+		i++
+	}
+	if i < len(s) && s[i].Loc == l {
+		s[i].V = v
+		return
+	}
+	s = append(s, LocView{})
+	copy(s[i+1:], s[i:])
+	s[i] = LocView{Loc: l, V: v}
+	*m = s
+}
+
+// Clone copies the bank.
+func (m LocViews) Clone() LocViews {
+	if len(m) == 0 {
+		return nil
+	}
+	return append(LocViews(nil), m...)
+}
+
+// FwdEntry is one entry of a FwdBank.
+type FwdEntry struct {
+	Loc lang.Loc
+	F   FwdItem
+}
+
+// FwdBank maps locations to forward-bank items (sorted slice; see
+// LocViews for the representation rationale).
+type FwdBank []FwdEntry
+
+// Get returns fwdb(l) (zero item when untouched, per r15).
+func (m FwdBank) Get(l lang.Loc) FwdItem {
+	for i := range m {
+		if m[i].Loc == l {
+			return m[i].F
+		}
+	}
+	return FwdItem{}
+}
+
+// Set stores f for l, keeping the slice sorted.
+func (m *FwdBank) Set(l lang.Loc, f FwdItem) {
+	s := *m
+	i := 0
+	for i < len(s) && s[i].Loc < l {
+		i++
+	}
+	if i < len(s) && s[i].Loc == l {
+		s[i].F = f
+		return
+	}
+	s = append(s, FwdEntry{})
+	copy(s[i+1:], s[i:])
+	s[i] = FwdEntry{Loc: l, F: f}
+	*m = s
+}
+
+// Clone copies the bank.
+func (m FwdBank) Clone() FwdBank {
+	if len(m) == 0 {
+		return nil
+	}
+	return append(FwdBank(nil), m...)
+}
+
+// LocalEntry is one entry of a Locals bank.
+type LocalEntry struct {
+	Loc lang.Loc
+	RV  RegVal
+}
+
+// Locals maps non-shared locations to thread-private storage (sorted
+// slice; see LocViews for the representation rationale).
+type Locals []LocalEntry
+
+// Get returns the stored value of l and whether it was ever written.
+func (m Locals) Get(l lang.Loc) (RegVal, bool) {
+	for i := range m {
+		if m[i].Loc == l {
+			return m[i].RV, true
+		}
+	}
+	return RegVal{}, false
+}
+
+// Set stores rv for l, keeping the slice sorted.
+func (m *Locals) Set(l lang.Loc, rv RegVal) {
+	s := *m
+	i := 0
+	for i < len(s) && s[i].Loc < l {
+		i++
+	}
+	if i < len(s) && s[i].Loc == l {
+		s[i].RV = rv
+		return
+	}
+	s = append(s, LocalEntry{})
+	copy(s[i+1:], s[i:])
+	s[i] = LocalEntry{Loc: l, RV: rv}
+	*m = s
+}
+
+// Clone copies the bank.
+func (m Locals) Clone() Locals {
+	if len(m) == 0 {
+		return nil
+	}
+	return append(Locals(nil), m...)
+}
 
 // TState is the thread state of Fig. 2/4: promise set, register file,
 // per-location coherence views, the six ordering views, the forward bank and
@@ -17,7 +153,7 @@ type TState struct {
 	Prom PromSet
 	Regs []RegVal
 
-	Coh map[lang.Loc]View
+	Coh LocViews
 
 	VROld View // maximal post-view of loads executed so far (r5)
 	VWOld View // maximal post-view of stores executed so far (r5)
@@ -26,10 +162,10 @@ type TState struct {
 	VCAP  View // control/address capture view (r21)
 	VRel  View // maximal post-view of strong releases (ρ3)
 
-	Fwdb map[lang.Loc]FwdItem
+	Fwdb FwdBank
 	Xclb *XclItem
 
-	Local map[lang.Loc]RegVal
+	Local Locals
 
 	BoundExceeded bool
 }
@@ -37,11 +173,7 @@ type TState struct {
 // NewTState returns the initial thread state for a register file of n
 // registers (all views 0, empty promise set, empty banks).
 func NewTState(n int) *TState {
-	return &TState{
-		Regs: make([]RegVal, n),
-		Coh:  make(map[lang.Loc]View),
-		Fwdb: make(map[lang.Loc]FwdItem),
-	}
+	return &TState{Regs: make([]RegVal, n)}
 }
 
 // Clone deep-copies the state.
@@ -49,40 +181,29 @@ func (ts *TState) Clone() *TState {
 	out := &TState{
 		Prom:          ts.Prom.Clone(),
 		Regs:          append([]RegVal(nil), ts.Regs...),
-		Coh:           make(map[lang.Loc]View, len(ts.Coh)),
+		Coh:           ts.Coh.Clone(),
 		VROld:         ts.VROld,
 		VWOld:         ts.VWOld,
 		VRNew:         ts.VRNew,
 		VWNew:         ts.VWNew,
 		VCAP:          ts.VCAP,
 		VRel:          ts.VRel,
-		Fwdb:          make(map[lang.Loc]FwdItem, len(ts.Fwdb)),
+		Fwdb:          ts.Fwdb.Clone(),
+		Local:         ts.Local.Clone(),
 		BoundExceeded: ts.BoundExceeded,
-	}
-	for l, v := range ts.Coh {
-		out.Coh[l] = v
-	}
-	for l, f := range ts.Fwdb {
-		out.Fwdb[l] = f
 	}
 	if ts.Xclb != nil {
 		x := *ts.Xclb
 		out.Xclb = &x
 	}
-	if ts.Local != nil {
-		out.Local = make(map[lang.Loc]RegVal, len(ts.Local))
-		for l, v := range ts.Local {
-			out.Local[l] = v
-		}
-	}
 	return out
 }
 
 // CohView returns coh(l) (0 when untouched).
-func (ts *TState) CohView(l lang.Loc) View { return ts.Coh[l] }
+func (ts *TState) CohView(l lang.Loc) View { return ts.Coh.Get(l) }
 
 // Fwd returns fwdb(l) (zero item when untouched, per r15).
-func (ts *TState) Fwd(l lang.Loc) FwdItem { return ts.Fwdb[l] }
+func (ts *TState) Fwd(l lang.Loc) FwdItem { return ts.Fwdb.Get(l) }
 
 // Eval interprets a pure expression over the register file, returning the
 // value and the join of the views of the registers read (Fig. 5, ⟦e⟧m).
@@ -111,17 +232,12 @@ func (ts *TState) String() string {
 		fmt.Fprintf(&b, " xclb=<t=%d,v=%d>", ts.Xclb.Time, ts.Xclb.View)
 	}
 	if len(ts.Coh) > 0 {
-		locs := make([]lang.Loc, 0, len(ts.Coh))
-		for l := range ts.Coh {
-			locs = append(locs, l)
-		}
-		sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
 		b.WriteString(" coh={")
-		for i, l := range locs {
+		for i, e := range ts.Coh {
 			if i > 0 {
 				b.WriteString(",")
 			}
-			fmt.Fprintf(&b, "%d:%d", l, ts.Coh[l])
+			fmt.Fprintf(&b, "%d:%d", e.Loc, e.V)
 		}
 		b.WriteString("}")
 	}

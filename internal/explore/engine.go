@@ -1,0 +1,346 @@
+package explore
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"promising/internal/core"
+)
+
+// The parallel exploration engine. Every exhaustive backend (naive,
+// promise-first, flat, axiomatic) is a Process callback over its own state
+// type, driven by the same work-stealing worker pool:
+//
+//   - Each worker runs depth-first on a private, unlocked stack and spills
+//     batches of its oldest states to the shared Frontier as the stack
+//     grows. Idle workers steal the oldest half of the richest shared
+//     stack (work nearest the root splits into the largest subtrees, the
+//     classic stealing order), so the shared lock sits off the per-state
+//     hot path.
+//   - Deduplication happens before Push via a SeenSet, a striped-lock set
+//     sharded on the 64-bit state hash (core.Key), so no state is ever
+//     processed twice and counters stay deterministic under any schedule.
+//   - Each worker accumulates into a private Result; the results are merged
+//     after the pool drains. Outcome sets, States and DeadEnds are
+//     therefore independent of the schedule; only which witness trace is
+//     recorded per outcome may vary between runs.
+//
+// Options.Parallelism picks the worker count; 1 reduces to the plain
+// sequential depth-first loop the seed explorers used.
+
+// seenShards is the shard count of SeenSet (a power of two, comfortably
+// above any plausible worker count so stripes rarely collide).
+const seenShards = 64
+
+// SeenSet is a concurrent set of canonical state keys, sharded by hash so
+// parallel workers do not contend on one lock.
+type SeenSet struct {
+	shards [seenShards]seenShard
+}
+
+type seenShard struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+// NewSeenSet returns an empty set.
+func NewSeenSet() *SeenSet {
+	s := &SeenSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]struct{})
+	}
+	return s
+}
+
+// Add inserts k and reports whether it was absent. The check-and-insert is
+// atomic: exactly one caller wins any race on the same key.
+func (s *SeenSet) Add(k core.Key) bool {
+	sh := &s.shards[k.Hash&(seenShards-1)]
+	sh.mu.Lock()
+	_, dup := sh.m[k.Enc]
+	if !dup {
+		sh.m[k.Enc] = struct{}{}
+	}
+	sh.mu.Unlock()
+	return !dup
+}
+
+// Len returns the number of keys in the set.
+func (s *SeenSet) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Frontier is the engine's shared work pool: per-worker LIFO stacks with
+// steal-half rebalancing and quiescence detection (the pool is drained when
+// every stack is empty and no worker is mid-Process). Workers mostly run on
+// private unlocked stacks and only spill batches here (see Engine.Run), so
+// the shared lock is touched once per batch, not once per state.
+type Frontier[S any] struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stacks  [][]S
+	busy    int
+	waiting int
+	stopped bool
+}
+
+// NewFrontier returns a frontier for the given worker count.
+func NewFrontier[S any](workers int) *Frontier[S] {
+	f := &Frontier[S]{stacks: make([][]S, workers)}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// Spill publishes a batch of states from worker w's private stack. The
+// batch is the oldest (root-nearest) work, which splits into the largest
+// subtrees for stealers.
+func (f *Frontier[S]) Spill(w int, batch []S) {
+	f.mu.Lock()
+	f.stacks[w] = append(f.stacks[w], batch...)
+	idle := f.waiting > 0
+	f.mu.Unlock()
+	if idle {
+		f.cond.Broadcast()
+	}
+}
+
+// Pop returns the next state for worker w, blocking while the pool is
+// neither drained nor stopped. The second result is false when the worker
+// should exit.
+func (f *Frontier[S]) Pop(w int) (S, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.stopped {
+			break
+		}
+		if s, ok := f.take(w); ok {
+			f.busy++
+			return s, true
+		}
+		if f.busy == 0 {
+			break
+		}
+		f.waiting++
+		f.cond.Wait()
+		f.waiting--
+	}
+	f.cond.Broadcast()
+	var zero S
+	return zero, false
+}
+
+// Done marks worker w's current state finished; the matching Pop
+// incremented busy.
+func (f *Frontier[S]) Done() {
+	f.mu.Lock()
+	f.busy--
+	drained := f.busy == 0
+	f.mu.Unlock()
+	if drained {
+		f.cond.Broadcast()
+	}
+}
+
+// Stop aborts the pool: pending states are dropped and workers exit.
+func (f *Frontier[S]) Stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// take pops from w's own stack, stealing half of the richest victim first
+// when it is empty. Callers hold f.mu.
+func (f *Frontier[S]) take(w int) (S, bool) {
+	if st := f.stacks[w]; len(st) > 0 {
+		s := st[len(st)-1]
+		f.stacks[w] = st[:len(st)-1]
+		return s, true
+	}
+	victim, best := -1, 0
+	for i, st := range f.stacks {
+		if len(st) > best {
+			victim, best = i, len(st)
+		}
+	}
+	if victim < 0 {
+		var zero S
+		return zero, false
+	}
+	vs := f.stacks[victim]
+	n := (len(vs) + 1) / 2
+	f.stacks[w] = append(f.stacks[w], vs[:n]...)
+	copy(vs, vs[n:])
+	f.stacks[victim] = vs[:len(vs)-n]
+	return f.take(w)
+}
+
+// Engine drives a Process callback over a frontier of states with
+// Options.Parallelism workers.
+type Engine[S any] struct {
+	// Process handles one state: record outcomes and counters on c.Res,
+	// budget-check with c.Visit, and push newly discovered (deduplicated)
+	// states with c.Push.
+	Process func(s S, c *Ctx[S])
+}
+
+// Ctx is the per-worker context handed to Process.
+type Ctx[S any] struct {
+	// Res is the worker-local result; merged deterministically after the
+	// pool drains.
+	Res *Result
+
+	run *engineRun
+	// local is the worker's private LIFO stack: pushes land here without
+	// locking, and batches of the oldest work spill to the shared frontier
+	// when the stack grows (Engine.Run's work loop).
+	local []S
+	spill bool
+}
+
+// engineRun is the state shared by all workers of one Run.
+type engineRun struct {
+	opts    *Options
+	states  atomic.Int64
+	aborted atomic.Bool
+	stop    func()
+}
+
+// Push schedules a newly discovered state on the worker's private stack.
+func (c *Ctx[S]) Push(s S) { c.local = append(c.local, s) }
+
+// Alive reports whether the run is still within budget, aborting it when
+// the deadline has passed. Process callbacks deep in recursion use it to
+// unwind promptly after an abort.
+func (c *Ctx[S]) Alive() bool {
+	if c.run.aborted.Load() {
+		return false
+	}
+	if c.run.opts.expired() {
+		c.Abort()
+		return false
+	}
+	return true
+}
+
+// Visit counts n newly explored states against the budget, returning false
+// once MaxStates or the deadline stops the run.
+func (c *Ctx[S]) Visit(n int) bool {
+	if !c.Alive() {
+		return false
+	}
+	if max := c.run.opts.MaxStates; max > 0 && int(c.run.states.Load()) >= max {
+		c.Abort()
+		return false
+	}
+	c.run.states.Add(int64(n))
+	c.Res.States += n
+	return true
+}
+
+// Abort stops the run early; the merged result is marked Aborted.
+func (c *Ctx[S]) Abort() {
+	c.run.aborted.Store(true)
+	c.run.stop()
+}
+
+// Run processes roots and everything they transitively Push, then returns
+// the merged result.
+func (e *Engine[S]) Run(roots []S, opts *Options) *Result {
+	workers := opts.Workers()
+	f := NewFrontier[S](workers)
+	for i, s := range roots {
+		f.stacks[i%workers] = append(f.stacks[i%workers], s)
+	}
+	run := &engineRun{opts: opts, stop: func() { f.Stop() }}
+
+	// spillChunk is the batch size for publishing private work to the
+	// shared frontier: large enough that the shared lock is off the per-
+	// state hot path, small enough that idle workers are fed promptly.
+	const spillChunk = 32
+
+	results := make([]*Result, workers)
+	work := func(w int) {
+		c := &Ctx[S]{Res: newResult(), run: run, spill: workers > 1}
+		results[w] = c.Res
+		for {
+			s, ok := f.Pop(w)
+			if !ok {
+				return
+			}
+			c.local = append(c.local[:0], s)
+			for len(c.local) > 0 && !run.aborted.Load() {
+				n := len(c.local) - 1
+				s := c.local[n]
+				c.local = c.local[:n]
+				e.Process(s, c)
+				if c.spill && len(c.local) > 2*spillChunk {
+					f.Spill(w, c.local[:spillChunk])
+					c.local = append(c.local[:0], c.local[spillChunk:]...)
+				}
+			}
+			f.Done()
+		}
+	}
+	if workers == 1 {
+		work(0)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				work(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	res := newResult()
+	for _, r := range results {
+		res.merge(r)
+	}
+	if run.aborted.Load() {
+		res.Aborted = true
+	}
+	return res
+}
+
+// Workers resolves Options.Parallelism to a worker count: 0 and 1 run
+// sequentially, n > 1 runs n workers, negative values use GOMAXPROCS.
+func (o *Options) Workers() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism <= 1:
+		return 1
+	default:
+		return o.Parallelism
+	}
+}
+
+// merge folds a worker-local result into r: outcome-set union (the first
+// recorded witness per outcome wins), counters add, flags or.
+func (r *Result) merge(o *Result) {
+	for k, v := range o.Outcomes {
+		if _, ok := r.Outcomes[k]; !ok {
+			r.Outcomes[k] = v
+			if w, ok := o.Witnesses[k]; ok {
+				r.Witnesses[k] = w
+			}
+		}
+	}
+	r.States += o.States
+	r.DeadEnds += o.DeadEnds
+	r.BoundExceeded = r.BoundExceeded || o.BoundExceeded
+	r.Aborted = r.Aborted || o.Aborted
+}

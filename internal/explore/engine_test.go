@@ -1,0 +1,137 @@
+package explore
+
+import (
+	"sync"
+	"testing"
+
+	"promising/internal/core"
+)
+
+// TestSeenSetAddOnce checks that concurrent Adds of the same key admit
+// exactly one winner per key.
+func TestSeenSetAddOnce(t *testing.T) {
+	s := NewSeenSet()
+	const keys = 1000
+	const workers = 8
+	wins := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := core.KeyOf([]byte{byte(i), byte(i >> 8)})
+				if s.Add(k) {
+					wins[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range wins {
+		total += n
+	}
+	if total != keys {
+		t.Fatalf("got %d wins, want %d", total, keys)
+	}
+	if s.Len() != keys {
+		t.Fatalf("Len() = %d, want %d", s.Len(), keys)
+	}
+}
+
+// synthetic tree search: states are (depth, path) pairs; every node of a
+// fixed fanout/depth tree is one state, leaves are outcomes.
+type synthState struct {
+	depth int
+	path  int64
+}
+
+func synthEngine(fanout, depth int) (*Engine[synthState], *SeenSet) {
+	seen := NewSeenSet()
+	eng := &Engine[synthState]{}
+	eng.Process = func(s synthState, c *Ctx[synthState]) {
+		if !c.Visit(1) {
+			return
+		}
+		if s.depth == depth {
+			o := Outcome{Regs: []int64{s.path}}
+			c.Res.add(o, nil)
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			child := synthState{depth: s.depth + 1, path: s.path*int64(fanout) + int64(i)}
+			b := make([]byte, 0, 16)
+			b = append(b, byte(child.depth))
+			for v := child.path; v > 0; v >>= 8 {
+				b = append(b, byte(v))
+			}
+			if seen.Add(core.KeyOf(b)) {
+				c.Push(child)
+			}
+		}
+	}
+	return eng, seen
+}
+
+// TestEngineDeterministicAcrossParallelism checks that outcome sets and
+// state counts are schedule-independent.
+func TestEngineDeterministicAcrossParallelism(t *testing.T) {
+	const fanout, depth = 3, 7
+	wantStates := 0
+	for d, n := 0, 1; d <= depth; d, n = d+1, n*fanout {
+		wantStates += n
+	}
+	wantOutcomes := 1
+	for i := 0; i < depth; i++ {
+		wantOutcomes *= fanout
+	}
+
+	for _, par := range []int{1, 2, 4, 8} {
+		opts := DefaultOptions()
+		opts.Parallelism = par
+		eng, _ := synthEngine(fanout, depth)
+		res := eng.Run([]synthState{{}}, &opts)
+		if res.States != wantStates {
+			t.Errorf("par=%d: States = %d, want %d", par, res.States, wantStates)
+		}
+		if len(res.Outcomes) != wantOutcomes {
+			t.Errorf("par=%d: %d outcomes, want %d", par, len(res.Outcomes), wantOutcomes)
+		}
+		if res.Aborted {
+			t.Errorf("par=%d: unexpectedly aborted", par)
+		}
+	}
+}
+
+// TestEngineMaxStatesAborts checks the budget cut-off fires at every
+// parallelism level.
+func TestEngineMaxStatesAborts(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Parallelism = par
+		opts.MaxStates = 10
+		eng, _ := synthEngine(4, 10)
+		res := eng.Run([]synthState{{}}, &opts)
+		if !res.Aborted {
+			t.Errorf("par=%d: want Aborted with MaxStates=10", par)
+		}
+		if res.States > 10+par {
+			t.Errorf("par=%d: States = %d, far over the bound", par, res.States)
+		}
+	}
+}
+
+// TestWorkersResolution pins the Parallelism -> worker-count mapping.
+func TestWorkersResolution(t *testing.T) {
+	for _, tc := range []struct{ par, min int }{{0, 1}, {1, 1}, {7, 7}} {
+		o := Options{Parallelism: tc.par}
+		if got := o.Workers(); got != tc.min {
+			t.Errorf("Parallelism %d: Workers() = %d, want %d", tc.par, got, tc.min)
+		}
+	}
+	o := Options{Parallelism: -1}
+	if got := o.Workers(); got < 1 {
+		t.Errorf("Parallelism -1: Workers() = %d, want >= 1", got)
+	}
+}

@@ -5,48 +5,37 @@ import (
 	"promising/internal/lang"
 )
 
+// naiveEntry is one frontier state of the naive explorer: a machine plus
+// the transition trace that reached it (traces are only materialised when
+// collecting witnesses).
+type naiveEntry struct {
+	m     *core.Machine
+	trace []core.Label
+}
+
 // Naive explores all interleavings of all machine transitions (reads,
 // fulfils, exclusive failures and promises), deduplicating states. It is the
 // reference explorer: slower than promise-first (the ablation Table 2-style
 // benchmarks quantify by how much) but a direct transcription of the
 // machine-step relation, which makes it the oracle for Theorems 6.2 and 7.1.
+//
+// The interleaving search parallelises over the engine directly: machine
+// states are independent work items, and the global SeenSet guarantees each
+// distinct state is expanded exactly once under any worker schedule.
 func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
-	res := newResult()
 	m0 := core.NewMachine(cp)
+	seen := NewSeenSet()
+	seen.Add(m0.StateKey())
 
-	type entry struct {
-		m     *core.Machine
-		trace []core.Label
-	}
-	seen := map[string]bool{m0.Key(): true}
-	stack := []entry{{m: m0}}
-
-	for len(stack) > 0 {
-		if opts.MaxStates > 0 && res.States >= opts.MaxStates || opts.expired() {
-			res.Aborted = true
-			return res
+	eng := Engine[naiveEntry]{Process: func(e naiveEntry, c *Ctx[naiveEntry]) {
+		if !c.Visit(1) {
+			return
 		}
-		e := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.States++
-
 		if e.m.BoundExceeded() {
-			res.BoundExceeded = true
-			continue
+			c.Res.BoundExceeded = true
+			return
 		}
 		succs := e.m.Successors(opts.Certify)
-		if len(succs) == 0 {
-			if e.m.Final() {
-				var w *Witness
-				if opts.CollectWitnesses {
-					w = &Witness{Labels: e.trace}
-				}
-				res.add(observe(spec, e.m), w)
-			} else {
-				res.DeadEnds++
-			}
-			continue
-		}
 		// A final state may still have successors (e.g. further promises);
 		// record it as an outcome regardless.
 		if e.m.Final() {
@@ -54,20 +43,21 @@ func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 			if opts.CollectWitnesses {
 				w = &Witness{Labels: e.trace}
 			}
-			res.add(observe(spec, e.m), w)
+			c.Res.add(observe(spec, e.m), w)
+		} else if len(succs) == 0 {
+			c.Res.DeadEnds++
+			return
 		}
 		for _, s := range succs {
-			k := s.M.Key()
-			if seen[k] {
+			if !seen.Add(s.M.StateKey()) {
 				continue
 			}
-			seen[k] = true
 			var trace []core.Label
 			if opts.CollectWitnesses {
 				trace = append(append([]core.Label(nil), e.trace...), s.Label)
 			}
-			stack = append(stack, entry{m: s.M, trace: trace})
+			c.Push(naiveEntry{m: s.M, trace: trace})
 		}
-	}
-	return res
+	}}
+	return eng.Run([]naiveEntry{{m: m0}}, &opts)
 }

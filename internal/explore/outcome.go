@@ -3,6 +3,12 @@
 // final memories by interleaving only promise transitions, then run each
 // thread independently), a naive full-interleaving explorer used for
 // validation and ablation benchmarks, and an interactive stepper.
+//
+// Both explorers (and the flat and axiomatic backends in their own
+// packages) run on the shared parallel engine in engine.go: a
+// work-stealing worker pool over a Frontier of pending states, with
+// deduplication through a hash-sharded SeenSet and deterministic merging
+// of worker-local Results. Options.Parallelism selects the worker count.
 package explore
 
 import (
@@ -79,10 +85,16 @@ type Options struct {
 	// CollectWitnesses records one witness trace per outcome.
 	CollectWitnesses bool
 	// MaxStates aborts exploration after this many distinct states
-	// (0 = unlimited).
+	// (0 = unlimited). With Parallelism > 1 the bound is enforced against
+	// the global state count, so the cut-off point is approximate.
 	MaxStates int
 	// Deadline aborts exploration at the given time (zero = none).
 	Deadline time.Time
+	// Parallelism is the engine worker count: 0 or 1 explores
+	// sequentially, n > 1 uses n workers, negative values use GOMAXPROCS.
+	// The outcome set, States and DeadEnds are identical at every setting;
+	// only witness traces (any valid trace per outcome) may differ.
+	Parallelism int
 }
 
 // DefaultOptions returns the standard configuration (certification on).

@@ -19,17 +19,34 @@ import (
 // (threads no longer interact: non-promise transitions never change the
 // memory). The outcome set under that memory is the cross product of the
 // per-thread observations.
+//
+// Both phases run on the parallel engine: phase-1 memories are the frontier
+// states (deduplicated through a shared SeenSet), and each worker runs the
+// embarrassingly parallel phase 2 of the memories it pops, so the heavy
+// per-memory completion work scales with Options.Parallelism.
 func PromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
-	e := &pfExplorer{cp: cp, spec: spec, opts: opts, res: newResult()}
-	e.run()
-	return e.res
+	e := &pfExplorer{cp: cp, spec: spec, opts: opts, seen: NewSeenSet()}
+	e.envs = make([]core.Env, len(cp.Threads))
+	for tid := range cp.Threads {
+		e.envs[tid] = core.Env{
+			Arch:   cp.Arch,
+			Code:   &cp.Threads[tid],
+			TID:    tid,
+			Shared: cp.IsShared,
+		}
+	}
+	m0 := core.NewMemory(cp.Init)
+	e.seen.Add(core.MemoryKey(m0))
+	eng := Engine[memState]{Process: e.process}
+	return eng.Run([]memState{{mem: m0}}, &opts)
 }
 
 type pfExplorer struct {
 	cp   *lang.CompiledProgram
 	spec *ObsSpec
 	opts Options
-	res  *Result
+	seen *SeenSet
+	envs []core.Env // immutable, shared by all workers
 }
 
 // memState is a phase-1 state: a memory reachable by promises only.
@@ -38,55 +55,38 @@ type memState struct {
 	promise []core.Label // phase-1 trace, kept only when collecting witnesses
 }
 
-func (e *pfExplorer) run() {
-	m0 := core.NewMemory(e.cp.Init)
-	seen := map[string]bool{string(core.EncodeMemory(nil, m0, 0)): true}
-	stack := []memState{{mem: m0}}
+// process handles one phase-1 memory: complete it (phase 2), then expand
+// its certified promise successors.
+func (e *pfExplorer) process(ms memState, c *Ctx[memState]) {
+	if !c.Visit(1) {
+		return
+	}
 
-	for len(stack) > 0 {
-		if e.opts.MaxStates > 0 && e.res.States >= e.opts.MaxStates || e.opts.expired() {
-			e.res.Aborted = true
-			return
-		}
-		ms := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		e.res.States++
+	// Phase 2: try to complete every thread under this memory.
+	e.complete(ms, c)
 
-		// Phase 2: try to complete every thread under this memory.
-		e.complete(ms)
-
-		// Expand phase 1: certified promises of each thread.
-		for tid := range e.cp.Threads {
-			th := e.initialThread(tid, ms.mem)
-			env := e.env(tid)
-			for _, w := range core.FindAndCertify(env, th, ms.mem) {
-				mem := ms.mem.Clone()
-				t := mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
-				k := string(core.EncodeMemory(nil, mem, 0))
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				next := memState{mem: mem}
-				if e.opts.CollectWitnesses {
-					next.promise = append(append([]core.Label(nil), ms.promise...),
-						core.Label{Kind: core.StepPromise, TID: tid, Loc: w.Loc, Val: w.Val, TS: t})
-				}
-				stack = append(stack, next)
+	// Expand phase 1: certified promises of each thread.
+	for tid := range e.cp.Threads {
+		th := e.initialThread(tid, ms.mem)
+		env := e.env(tid)
+		for _, w := range core.FindAndCertify(env, th, ms.mem) {
+			mem := ms.mem.Clone()
+			t := mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
+			if !e.seen.Add(core.MemoryKey(mem)) {
+				continue
 			}
+			next := memState{mem: mem}
+			if e.opts.CollectWitnesses {
+				next.promise = append(append([]core.Label(nil), ms.promise...),
+					core.Label{Kind: core.StepPromise, TID: tid, Loc: w.Loc, Val: w.Val, TS: t})
+			}
+			c.Push(next)
 		}
 	}
 }
 
 // env returns the stepping environment for thread tid.
-func (e *pfExplorer) env(tid int) *core.Env {
-	return &core.Env{
-		Arch:   e.cp.Arch,
-		Code:   &e.cp.Threads[tid],
-		TID:    tid,
-		Shared: e.cp.IsShared,
-	}
-}
+func (e *pfExplorer) env(tid int) *core.Env { return &e.envs[tid] }
 
 // initialThread builds thread tid's state at the start of phase 2 under
 // mem: fresh registers, promise set = all of its messages in mem.
@@ -109,12 +109,13 @@ type threadFinal struct {
 }
 
 // complete runs phase 2 for every thread under ms.mem and records the cross
-// product of observations.
-func (e *pfExplorer) complete(ms memState) {
+// product of observations on the worker-local result.
+func (e *pfExplorer) complete(ms memState, ctx *Ctx[memState]) {
 	perThread := make([][]threadFinal, len(e.cp.Threads))
 	for tid := range e.cp.Threads {
 		c := &completer{
 			e:    e,
+			ctx:  ctx,
 			env:  e.env(tid),
 			mem:  ms.mem,
 			obs:  regsOf(e.spec, tid),
@@ -136,11 +137,11 @@ func (e *pfExplorer) complete(ms memState) {
 	for i, l := range e.spec.Locs {
 		memVals[i] = ms.mem.LastWriteTo(l)
 	}
-	e.product(ms, perThread, memVals)
+	e.product(ms, perThread, memVals, ctx)
 }
 
 // product enumerates the cross product of per-thread final observations.
-func (e *pfExplorer) product(ms memState, perThread [][]threadFinal, memVals []lang.Val) {
+func (e *pfExplorer) product(ms memState, perThread [][]threadFinal, memVals []lang.Val, ctx *Ctx[memState]) {
 	pick := make([]int, len(perThread))
 	for {
 		o := Outcome{Mem: memVals}
@@ -160,9 +161,9 @@ func (e *pfExplorer) product(ms memState, perThread [][]threadFinal, memVals []l
 			for tid := range perThread {
 				labels = append(labels, perThread[tid][pick[tid]].trace...)
 			}
-			e.res.add(o, &Witness{Labels: labels})
+			ctx.Res.add(o, &Witness{Labels: labels})
 		} else {
-			e.res.add(o, nil)
+			ctx.Res.add(o, nil)
 		}
 		// Next combination.
 		i := 0
@@ -207,9 +208,11 @@ func dedupFinals(fs []threadFinal) []threadFinal {
 
 // completer runs the per-thread phase-2 search: all complete executions of
 // one thread alone under a fixed memory, with no new promises (every write
-// must fulfil a phase-1 promise).
+// must fulfil a phase-1 promise). The memo table is private to one
+// (memory, thread) completion, so workers never share it.
 type completer struct {
 	e    *pfExplorer
+	ctx  *Ctx[memState]
 	env  *core.Env
 	mem  *core.Memory
 	obs  []lang.Reg
@@ -217,12 +220,11 @@ type completer struct {
 }
 
 func (c *completer) search(th *core.Thread) []threadFinal {
-	if c.e.opts.expired() {
-		c.e.res.Aborted = true
+	if !c.ctx.Alive() {
 		return nil
 	}
 	if th.TS.BoundExceeded {
-		c.e.res.BoundExceeded = true
+		c.ctx.Res.BoundExceeded = true
 		return nil
 	}
 	if th.Done() {
@@ -238,12 +240,17 @@ func (c *completer) search(th *core.Thread) []threadFinal {
 	witness := c.e.opts.CollectWitnesses
 	var key string
 	if !witness {
-		key = string(core.EncodeThread(nil, th))
+		b := core.GetEncBuf()
+		b = core.EncodeThread(b, th)
+		key = string(b)
+		core.PutEncBuf(b)
 		if fs, ok := c.memo[key]; ok {
 			return fs
 		}
 	}
-	c.e.res.States++
+	if !c.ctx.Visit(1) {
+		return nil
+	}
 
 	id := th.Cont[len(th.Cont)-1]
 	n := &c.env.Code.Nodes[id]

@@ -7,55 +7,44 @@ import (
 
 // Explore runs the flat model exhaustively over all micro-step
 // interleavings, deduplicating states. It satisfies the litmus.Runner
-// signature; Options.Certify and CollectWitnesses are ignored (the flat
-// model has no certification, and witnesses are not implemented for the
-// baseline).
+// signature and runs on the shared parallel engine (machine states are
+// independent work items; Options.Parallelism selects the worker count).
+// Options.Certify and CollectWitnesses are ignored (the flat model has no
+// certification, and witnesses are not implemented for the baseline).
 func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
-	res := &explore.Result{Outcomes: make(map[string]explore.Outcome), Witnesses: map[string]explore.Witness{}}
 	m0 := newMachine(cp)
-	seen := map[string]bool{m0.key(): true}
-	stack := []*machine{m0}
+	seen := explore.NewSeenSet()
+	seen.Add(m0.stateKey())
 
-	for len(stack) > 0 {
-		if opts.MaxStates > 0 && res.States >= opts.MaxStates || opts.Expired() {
-			res.Aborted = true
-			return res
+	eng := explore.Engine[*machine]{Process: func(m *machine, c *explore.Ctx[*machine]) {
+		if !c.Visit(1) {
+			return
 		}
-		m := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		res.States++
-
-		bounded := false
 		for _, t := range m.threads {
 			if t.bound {
-				bounded = true
+				c.Res.BoundExceeded = true
+				return
 			}
-		}
-		if bounded {
-			res.BoundExceeded = true
-			continue
 		}
 		any := false
 		m.successors(func(s *machine) {
 			any = true
-			k := s.key()
-			if seen[k] {
-				return
+			if seen.Add(s.stateKey()) {
+				c.Push(s)
 			}
-			seen[k] = true
-			stack = append(stack, s)
 		})
 		if !any {
 			if m.done() {
-				res.Outcomes[observe(cp, spec, m).Key()] = observe(cp, spec, m)
+				o := observe(cp, spec, m)
+				c.Res.Outcomes[o.Key()] = o
 			} else {
 				// Stuck: mis-speculation residue, lost reservations, or a
 				// genuine exclusive deadlock.
-				res.DeadEnds++
+				c.Res.DeadEnds++
 			}
 		}
-	}
-	return res
+	}}
+	return eng.Run([]*machine{m0}, &opts)
 }
 
 // observe projects a completed machine onto the observation spec.

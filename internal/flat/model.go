@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"promising/internal/core"
 	"promising/internal/lang"
 )
 
@@ -187,8 +188,18 @@ func newMachine(cp *lang.CompiledProgram) *machine {
 }
 
 // key canonically encodes the machine state for deduplication.
-func (m *machine) key() string {
-	var b []byte
+func (m *machine) key() string { return string(m.appendKey(nil)) }
+
+// stateKey returns the hashed dedup key, encoding into a pooled buffer.
+func (m *machine) stateKey() core.Key {
+	b := core.GetEncBuf()
+	b = m.appendKey(b)
+	k := core.KeyOf(b)
+	core.PutEncBuf(b)
+	return k
+}
+
+func (m *machine) appendKey(b []byte) []byte {
 	locs := make([]lang.Loc, 0, len(m.mem.hist))
 	for l := range m.mem.hist {
 		locs = append(locs, l)
@@ -225,7 +236,7 @@ func (m *machine) key() string {
 		}
 		b = append(b, boolByte(th.bound))
 	}
-	return string(b)
+	return b
 }
 
 func boolByte(v bool) byte {

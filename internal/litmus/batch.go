@@ -1,0 +1,82 @@
+package litmus
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"promising/internal/explore"
+)
+
+// Batched runs: a catalog (or any test list) crossed with a set of named
+// backends, executed with bounded concurrency. This is the building block
+// of large validation sweeps (the paper's 6,500/7,000-test campaigns):
+// per-test parallelism comes from explore.Options.Parallelism, cross-test
+// parallelism from RunAllOptions.Concurrency.
+
+// NamedRunner pairs a backend name with its Runner for batched runs.
+type NamedRunner struct {
+	Name string
+	Run  Runner
+}
+
+// Report is one (test, backend) cell of a RunAll batch.
+type Report struct {
+	Test    *Test
+	Backend string
+	Verdict *Verdict
+	Err     error
+}
+
+// OK reports whether the cell ran to completion (no error, not aborted)
+// and matched the test's expectation.
+func (r *Report) OK() bool {
+	return r.Err == nil && r.Verdict != nil && !r.Verdict.Result.Aborted && r.Verdict.OK()
+}
+
+// RunAllOptions tunes a batched run.
+type RunAllOptions struct {
+	// Concurrency bounds how many (test, backend) cells run at once;
+	// <= 0 means GOMAXPROCS.
+	Concurrency int
+	// Explore is the per-cell exploration configuration.
+	Explore explore.Options
+	// Timeout, when positive, gives each cell its own wall-clock budget
+	// (Explore.Deadline is set when the cell starts). Use it instead of an
+	// absolute Explore.Deadline, which a long batch's later cells would
+	// inherit nearly spent.
+	Timeout time.Duration
+}
+
+// RunAll runs every test under every backend. Reports come back in
+// deterministic order — tests in input order, each crossed with the
+// backends in input order (cell (i, j) at index i*len(backends)+j) — and,
+// because every backend's outcome set is schedule-independent, the verdicts
+// are deterministic across runs regardless of Concurrency.
+func RunAll(tests []*Test, backends []NamedRunner, o RunAllOptions) []Report {
+	workers := o.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	reports := make([]Report, len(tests)*len(backends))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, t := range tests {
+		for j, b := range backends {
+			wg.Add(1)
+			go func(idx int, t *Test, b NamedRunner) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				eo := o.Explore
+				if o.Timeout > 0 {
+					eo.Deadline = time.Now().Add(o.Timeout)
+				}
+				v, err := Run(t, b.Run, eo)
+				reports[idx] = Report{Test: t, Backend: b.Name, Verdict: v, Err: err}
+			}(i*len(backends)+j, t, b)
+		}
+	}
+	wg.Wait()
+	return reports
+}

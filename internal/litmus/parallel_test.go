@@ -1,0 +1,160 @@
+package litmus
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+	"promising/internal/flat"
+)
+
+// outcomeKeys returns the sorted canonical outcome keys of a result — the
+// byte-exact representation of its outcome set.
+func outcomeKeys(r *explore.Result) []string {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelEquivalenceCatalog is the engine's equivalence suite: for
+// every catalog litmus test, the parallel explorers at Parallelism 1, 2 and
+// NumCPU produce byte-identical outcome sets (and identical state counts —
+// the SeenSet guarantees every distinct state is expanded exactly once
+// under any schedule).
+func TestParallelEquivalenceCatalog(t *testing.T) {
+	explorers := []struct {
+		name string
+		run  Runner
+	}{
+		{"naive", explore.Naive},
+		{"promise-first", explore.PromiseFirst},
+	}
+	levels := []int{1, 2, runtime.NumCPU()}
+
+	for _, tst := range Catalog() {
+		for _, ex := range explorers {
+			var refKeys []string
+			var refStates int
+			for _, par := range levels {
+				opts := explore.DefaultOptions()
+				opts.Parallelism = par
+				v, err := Run(tst, ex.run, opts)
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: %v", tst.Name(), ex.name, par, err)
+				}
+				if v.Result.Aborted {
+					t.Fatalf("%s/%s par=%d: aborted", tst.Name(), ex.name, par)
+				}
+				keys := outcomeKeys(v.Result)
+				if par == levels[0] {
+					refKeys, refStates = keys, v.Result.States
+					continue
+				}
+				if !sameKeys(keys, refKeys) {
+					t.Errorf("%s/%s: outcome set at par=%d differs from par=1 (%d vs %d outcomes)",
+						tst.Name(), ex.name, par, len(keys), len(refKeys))
+				}
+				if v.Result.States != refStates {
+					t.Errorf("%s/%s: States at par=%d is %d, want %d",
+						tst.Name(), ex.name, par, v.Result.States, refStates)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceOtherBackends extends the suite to the flat and
+// axiomatic backends on a litmus-scale subset (they are far slower than the
+// promising explorers on the full catalog).
+func TestParallelEquivalenceOtherBackends(t *testing.T) {
+	backends := []struct {
+		name string
+		run  Runner
+	}{
+		{"flat", flat.Explore},
+		{"axiomatic", axiomatic.Explore},
+	}
+	names := []string{"MP", "MP+dmbs", "SB", "LB", "IRIW"}
+	for _, name := range names {
+		tst := CatalogTest(name)
+		if tst == nil {
+			t.Fatalf("catalog test %q missing", name)
+		}
+		for _, be := range backends {
+			var refKeys []string
+			for i, par := range []int{1, runtime.NumCPU()} {
+				opts := explore.DefaultOptions()
+				opts.Parallelism = par
+				v, err := Run(tst, be.run, opts)
+				if err != nil {
+					t.Fatalf("%s/%s par=%d: %v", name, be.name, par, err)
+				}
+				keys := outcomeKeys(v.Result)
+				if i == 0 {
+					refKeys = keys
+					continue
+				}
+				if !sameKeys(keys, refKeys) {
+					t.Errorf("%s/%s: outcome set at par=%d differs from par=1", name, be.name, par)
+				}
+			}
+		}
+	}
+}
+
+// TestRunAllDeterministic checks that batched verdicts are deterministic
+// across runs and come back in input order.
+func TestRunAllDeterministic(t *testing.T) {
+	tests := Catalog()
+	backends := []NamedRunner{
+		{Name: "promise-first", Run: explore.PromiseFirst},
+		{Name: "naive", Run: explore.Naive},
+	}
+	o := RunAllOptions{Concurrency: 2 * runtime.NumCPU()}
+	o.Explore = explore.DefaultOptions()
+	o.Explore.Parallelism = 2
+
+	first := RunAll(tests, backends, o)
+	second := RunAll(tests, backends, o)
+	if len(first) != len(tests)*len(backends) || len(second) != len(first) {
+		t.Fatalf("report count %d/%d, want %d", len(first), len(second), len(tests)*len(backends))
+	}
+	for i := range first {
+		a, b := &first[i], &second[i]
+		wantTest := tests[i/len(backends)]
+		wantBackend := backends[i%len(backends)].Name
+		if a.Test != wantTest || a.Backend != wantBackend {
+			t.Fatalf("report %d is (%s, %s), want (%s, %s)",
+				i, a.Test.Name(), a.Backend, wantTest.Name(), wantBackend)
+		}
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("report %d errored: %v / %v", i, a.Err, b.Err)
+		}
+		if a.Verdict.Allowed != b.Verdict.Allowed {
+			t.Errorf("report %d (%s/%s): Allowed differs across runs", i, a.Test.Name(), a.Backend)
+		}
+		if !sameKeys(outcomeKeys(a.Verdict.Result), outcomeKeys(b.Verdict.Result)) {
+			t.Errorf("report %d (%s/%s): outcome set differs across runs", i, a.Test.Name(), a.Backend)
+		}
+		if !a.OK() {
+			t.Errorf("report %d (%s/%s): verdict mismatch", i, a.Test.Name(), a.Backend)
+		}
+	}
+}

@@ -33,6 +33,10 @@ type (
 	Test = litmus.Test
 	// Verdict is the outcome of running a test under a backend.
 	Verdict = litmus.Verdict
+	// Report is one (test, backend) cell of a RunAll batch.
+	Report = litmus.Report
+	// RunAllOptions tunes a batched RunAll sweep.
+	RunAllOptions = litmus.RunAllOptions
 	// Result is an exhaustive exploration result.
 	Result = explore.Result
 	// Session is an interactive exploration session.
@@ -90,6 +94,18 @@ func OptionsWithTimeout(d time.Duration) explore.Options {
 	return o
 }
 
+// ParallelOptions returns default options with the exploration engine's
+// worker count set to j (j <= 0 selects GOMAXPROCS). The outcome set is
+// identical at every worker count; see explore.Options.Parallelism.
+func ParallelOptions(j int) explore.Options {
+	o := explore.DefaultOptions()
+	if j <= 0 {
+		j = -1
+	}
+	o.Parallelism = j
+	return o
+}
+
 // ParseTest parses the litmus text format (see internal/litmus.Parse for
 // the grammar).
 func ParseTest(src string) (*Test, error) { return litmus.Parse(src) }
@@ -101,6 +117,22 @@ func Run(t *Test, backend Backend, opts explore.Options) (*Verdict, error) {
 		return nil, err
 	}
 	return litmus.Run(t, r, opts)
+}
+
+// RunAll runs every test under every backend with bounded concurrency
+// (litmus.RunAll): cross-test parallelism from o.Concurrency, per-test
+// parallelism from o.Explore.Parallelism. Reports come back in
+// deterministic order, tests crossed with backends.
+func RunAll(tests []*Test, backends []Backend, o RunAllOptions) ([]Report, error) {
+	named := make([]litmus.NamedRunner, len(backends))
+	for i, b := range backends {
+		r, err := b.Runner()
+		if err != nil {
+			return nil, err
+		}
+		named[i] = litmus.NamedRunner{Name: string(b), Run: r}
+	}
+	return litmus.RunAll(tests, named, o), nil
 }
 
 // Interactive starts an interactive stepping session for a test's program.
