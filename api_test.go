@@ -1,6 +1,8 @@
 package promising_test
 
 import (
+	"context"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -86,4 +88,83 @@ func TestPublicAPICatalogAndFormat(t *testing.T) {
 		t.Errorf("formatted outcomes missing the relaxed line:\n%s", out)
 	}
 	_ = explore.Options{}
+}
+
+// TestPublicAPIServer drives the model-checking service end to end
+// through the root package's surface: NewServer + Handler, NewClient,
+// check with cache hit, batch with cancellation.
+func TestPublicAPIServer(t *testing.T) {
+	s, err := promising.NewServer(promising.ServerConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	c := promising.NewClient(hs.URL)
+	ctx := context.Background()
+
+	tr, err := c.Check(ctx, promising.CheckRequest{
+		TestSpec: promising.TestSpec{Source: sb},
+		Backend:  string(promising.BackendPromising),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != "pass" || !tr.Allowed || tr.Cached {
+		t.Fatalf("check = %+v; want a fresh pass", tr)
+	}
+	tr, err = c.Check(ctx, promising.CheckRequest{
+		TestSpec: promising.TestSpec{Source: sb},
+		Backend:  string(promising.BackendPromising),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Cached {
+		t.Fatal("second identical check must hit the verdict cache")
+	}
+
+	br, err := c.Batch(ctx, promising.BatchRequest{
+		Tests:    []promising.TestSpec{{Catalog: "MP"}, {Catalog: "LB"}},
+		Backends: []string{"promising", "axiomatic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := c.Job(ctx, br.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" {
+			if st.State != "done" || st.Completed != 4 {
+				t.Fatalf("job = %+v; want done/4", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch job did not finish in a minute")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPublicAPIOptionsWithContext: cancellation through the public
+// options constructor aborts a run and marks it TimedOut.
+func TestPublicAPIOptionsWithContext(t *testing.T) {
+	test, err := promising.ParseTest(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v, err := promising.Run(test, promising.BackendPromising, promising.OptionsWithContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Result.TimedOut || !v.Result.Aborted {
+		t.Fatalf("pre-canceled run: TimedOut=%t Aborted=%t; want both", v.Result.TimedOut, v.Result.Aborted)
+	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,15 +37,16 @@ func main() {
 		backends = flag.String("backends", "promising", "comma-separated backends to run (promising, naive, axiomatic, flat)")
 		jobs     = flag.Int("j", 0, "concurrent (test, backend) cells; 0 = GOMAXPROCS")
 		par      = flag.Int("par", 1, "exploration engine workers per test; 0/-1 = GOMAXPROCS")
+		jsonOut  = flag.Bool("json", false, "emit one JSON report array (the server's TestReport shape) instead of text")
 	)
 	flag.Parse()
-	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout, *backends, *jobs, *par); err != nil {
+	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout, *backends, *jobs, *par, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration, backendList string, jobs, par int) error {
+func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration, backendList string, jobs, par int, jsonOut bool) error {
 	// Assemble the backend set: the first is the primary (checked against
 	// the expectation); -diff pulls in the comparison backends.
 	var backends []promising.Backend
@@ -86,6 +88,10 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 		return err
 	}
 
+	if jsonOut {
+		return emitJSON(tests, backends, reports)
+	}
+
 	fail := 0
 	nb := len(backends)
 	for i := range tests {
@@ -94,15 +100,16 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 		if primary.Err != nil {
 			return primary.Err
 		}
-		ok := primary.OK()
-		detail := ""
 		for _, cell := range cells[1:] {
 			if cell.Err != nil {
 				return cell.Err
 			}
-			if !explore.SameOutcomes(primary.Verdict.Result, cell.Verdict.Result) {
-				ok = false
-				detail += fmt.Sprintf(" [%s disagrees]", cell.Backend)
+		}
+		ok, notes := classifyRow(cells)
+		detail := ""
+		for j, note := range notes {
+			if note != "" {
+				detail += fmt.Sprintf(" [%s %s]", cells[j].Backend, note)
 			}
 		}
 		if !ok {
@@ -121,6 +128,64 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 		os.Exit(1)
 	}
 	return nil
+}
+
+// emitJSON writes the whole sweep as one array of the server's TestReport
+// shape. Unlike text mode, cell errors do not abort the sweep output: they
+// surface as status "error" cells. A secondary backend whose outcome set
+// disagrees with the primary's is annotated and counted as a failure, as
+// is any non-pass primary cell.
+func emitJSON(tests []*promising.Test, backends []promising.Backend, reports []promising.Report) error {
+	out := make([]promising.TestReport, len(reports))
+	fail := 0
+	nb := len(backends)
+	for i := range tests {
+		cells := reports[i*nb : (i+1)*nb]
+		ok, notes := classifyRow(cells)
+		for j := range cells {
+			tr := promising.ReportJSON(cells[j])
+			if notes[j] == "disagrees" {
+				tr.Error = "outcome set disagrees with backend " + cells[0].Backend
+			}
+			out[i*nb+j] = tr
+		}
+		if !ok {
+			fail++
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if fail > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// classifyRow is the one shared verdict policy for a test row (primary
+// cell first, secondaries after), used by both text and -json output: the
+// row is healthy iff the primary passes and every secondary both completes
+// and agrees. notes annotates each secondary with "" (fine), its
+// non-complete status (timeout/aborted/error — an incomplete outcome set
+// is a budget failure, never a disagreement), or "disagrees".
+func classifyRow(cells []promising.Report) (bool, []string) {
+	primary := &cells[0]
+	ok := primary.OK()
+	primaryComplete := primary.Status().Complete()
+	notes := make([]string, len(cells))
+	for j := 1; j < len(cells); j++ {
+		switch st := cells[j].Status(); {
+		case !st.Complete():
+			ok = false
+			notes[j] = string(st)
+		case primaryComplete && !explore.SameOutcomes(primary.Verdict.Result, cells[j].Verdict.Result):
+			ok = false
+			notes[j] = "disagrees"
+		}
+	}
+	return ok, notes
 }
 
 func ensureBackend(bs []promising.Backend, b promising.Backend) []promising.Backend {

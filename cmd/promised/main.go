@@ -1,0 +1,73 @@
+// Command promised is the model-checking daemon: a long-running HTTP
+// service that accepts litmus tests over JSON, explores them on a bounded
+// worker pool (each exploration itself parallel through the engine), and
+// serves repeated checks from a content-addressed verdict cache.
+//
+// Usage:
+//
+//	promised [-addr :8419] [-workers N] [-par N] [-cache-entries N]
+//	         [-cache-dir DIR] [-timeout D] [-max-timeout D]
+//
+// Quickstart against the built-in catalog:
+//
+//	promised &
+//	curl -s localhost:8419/healthz
+//	curl -s -X POST localhost:8419/v1/check -d '{"catalog":"MP","backend":"promising"}'
+//
+// See the README's "The model-checking service" section for the endpoint
+// reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"promising"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8419", "listen address")
+		workers    = flag.Int("workers", 0, "max concurrent explorations; 0 = GOMAXPROCS")
+		par        = flag.Int("par", 1, "default engine workers per exploration; 0/-1 = GOMAXPROCS")
+		cacheN     = flag.Int("cache-entries", 0, "in-memory verdict cache capacity; 0 = default")
+		cacheDir   = flag.String("cache-dir", "", "persist verdicts under this directory (empty = memory only)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-test budget")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied budgets")
+		quiet      = flag.Bool("q", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	cfg := promising.ServerConfig{
+		Addr:           *addr,
+		Workers:        *workers,
+		Parallelism:    *par,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheN,
+		CacheDir:       *cacheDir,
+		Logf:           logf,
+	}
+	if *par == 0 || *par < -1 {
+		cfg.Parallelism = -1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := promising.Serve(ctx, cfg); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "promised:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// Package backends is the registry of exhaustive exploration backends. It
+// maps the stable wire names ("promising", "naive", "axiomatic", "flat")
+// used by the CLIs, the HTTP service and the verdict cache onto their
+// litmus.Runner implementations, so every layer resolves names the same
+// way.
+package backends
+
+import (
+	"fmt"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+	"promising/internal/flat"
+	"promising/internal/litmus"
+)
+
+// Backend names.
+const (
+	Promising = "promising"
+	Naive     = "naive"
+	Axiomatic = "axiomatic"
+	Flat      = "flat"
+)
+
+// Names lists every backend name in canonical order (the promise-first
+// explorer, the paper's headline contribution, first).
+func Names() []string { return []string{Promising, Naive, Axiomatic, Flat} }
+
+// Resolve returns the Runner for a backend name.
+func Resolve(name string) (litmus.Runner, error) {
+	switch name {
+	case Promising:
+		return explore.PromiseFirst, nil
+	case Naive:
+		return explore.Naive, nil
+	case Axiomatic:
+		return axiomatic.Explore, nil
+	case Flat:
+		return flat.Explore, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want promising, naive, axiomatic or flat)", name)
+	}
+}
+
+// ResolveNamed returns the NamedRunner for batched runs.
+func ResolveNamed(name string) (litmus.NamedRunner, error) {
+	r, err := Resolve(name)
+	if err != nil {
+		return litmus.NamedRunner{}, err
+	}
+	return litmus.NamedRunner{Name: name, Run: r}, nil
+}

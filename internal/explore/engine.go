@@ -193,6 +193,14 @@ type Engine[S any] struct {
 	Process func(s S, c *Ctx[S])
 }
 
+// pollStride is how many Alive checks a worker skips between budget
+// polls: time.Now and context.Context.Err are not free (Err takes the
+// context's mutex, shared by every worker), so they stay off the per-state
+// hot path. The first check of each worker always polls, so a pre-expired
+// budget is detected before any state is explored; after that, detection
+// lags by at most pollStride states per worker.
+const pollStride = 64
+
 // Ctx is the per-worker context handed to Process.
 type Ctx[S any] struct {
 	// Res is the worker-local result; merged deterministically after the
@@ -200,6 +208,8 @@ type Ctx[S any] struct {
 	Res *Result
 
 	run *engineRun
+	// poll counts down Alive checks until the next budget poll.
+	poll int
 	// local is the worker's private LIFO stack: pushes land here without
 	// locking, and batches of the oldest work spill to the shared frontier
 	// when the stack grows (Engine.Run's work loop).
@@ -209,23 +219,30 @@ type Ctx[S any] struct {
 
 // engineRun is the state shared by all workers of one Run.
 type engineRun struct {
-	opts    *Options
-	states  atomic.Int64
-	aborted atomic.Bool
-	stop    func()
+	opts     *Options
+	states   atomic.Int64
+	aborted  atomic.Bool
+	timedOut atomic.Bool
+	stop     func()
 }
 
 // Push schedules a newly discovered state on the worker's private stack.
 func (c *Ctx[S]) Push(s S) { c.local = append(c.local, s) }
 
 // Alive reports whether the run is still within budget, aborting it when
-// the deadline has passed. Process callbacks deep in recursion use it to
-// unwind promptly after an abort.
+// the deadline has passed or the run's context has been cancelled. Process
+// callbacks deep in recursion use it to unwind promptly after an abort.
 func (c *Ctx[S]) Alive() bool {
 	if c.run.aborted.Load() {
 		return false
 	}
+	if c.poll > 0 {
+		c.poll--
+		return true
+	}
+	c.poll = pollStride - 1
 	if c.run.opts.expired() {
+		c.run.timedOut.Store(true)
 		c.Abort()
 		return false
 	}
@@ -312,6 +329,9 @@ func (e *Engine[S]) Run(roots []S, opts *Options) *Result {
 	if run.aborted.Load() {
 		res.Aborted = true
 	}
+	if run.timedOut.Load() {
+		res.TimedOut = true
+	}
 	return res
 }
 
@@ -343,4 +363,5 @@ func (r *Result) merge(o *Result) {
 	r.DeadEnds += o.DeadEnds
 	r.BoundExceeded = r.BoundExceeded || o.BoundExceeded
 	r.Aborted = r.Aborted || o.Aborted
+	r.TimedOut = r.TimedOut || o.TimedOut
 }

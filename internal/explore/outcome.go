@@ -12,6 +12,7 @@
 package explore
 
 import (
+	"context"
 	"encoding/binary"
 	"time"
 
@@ -90,6 +91,11 @@ type Options struct {
 	MaxStates int
 	// Deadline aborts exploration at the given time (zero = none).
 	Deadline time.Time
+	// Ctx, when non-nil, aborts exploration as soon as the context is
+	// cancelled or its deadline passes. This is the engine-wide
+	// cancellation point: every backend's workers poll it between states,
+	// so a server-side job can be deadlined or killed mid-exploration.
+	Ctx context.Context
 	// Parallelism is the engine worker count: 0 or 1 explores
 	// sequentially, n > 1 uses n workers, negative values use GOMAXPROCS.
 	// The outcome set, States and DeadEnds are identical at every setting;
@@ -101,11 +107,15 @@ type Options struct {
 func DefaultOptions() Options { return Options{Certify: true} }
 
 func (o *Options) expired() bool {
+	if o.Ctx != nil && o.Ctx.Err() != nil {
+		return true
+	}
 	return !o.Deadline.IsZero() && time.Now().After(o.Deadline)
 }
 
-// Expired reports whether the configured deadline has passed; exported for
-// backends living outside this package (axiomatic, flat).
+// Expired reports whether the configured context has been cancelled or the
+// deadline has passed; exported for backends living outside this package
+// (axiomatic, flat).
 func (o *Options) Expired() bool { return o.expired() }
 
 // Result is the outcome of exhaustive exploration.
@@ -124,8 +134,14 @@ type Result struct {
 	// BoundExceeded reports that some execution ran past the loop bound,
 	// so the outcome set may be incomplete.
 	BoundExceeded bool
-	// Aborted reports that MaxStates or Deadline stopped the search early.
+	// Aborted reports that MaxStates, Deadline or context cancellation
+	// stopped the search early.
 	Aborted bool
+	// TimedOut reports that the abort came from the wall-clock budget
+	// (Deadline) or context cancellation rather than MaxStates; it implies
+	// Aborted. Batch runners use it to distinguish a timeout from a
+	// genuinely diverging outcome set.
+	TimedOut bool
 }
 
 func newResult() *Result {

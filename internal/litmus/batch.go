@@ -28,11 +28,54 @@ type Report struct {
 	Err     error
 }
 
+// Status classifies one cell's outcome. A timed-out cell is distinct from
+// a failing one: its outcome set is merely incomplete, not wrong, so batch
+// consumers (the server, -json output) must not report it as a model
+// disagreement.
+type Status string
+
+// Cell statuses.
+const (
+	// StatusPass: ran to completion and matched the expectation (or the
+	// expectation is unknown).
+	StatusPass Status = "pass"
+	// StatusFail: ran to completion but contradicted the expectation.
+	StatusFail Status = "fail"
+	// StatusTimeout: the wall-clock budget or context cancellation stopped
+	// the exploration before the outcome set was complete.
+	StatusTimeout Status = "timeout"
+	// StatusAborted: MaxStates (or another non-time budget) stopped the
+	// exploration early.
+	StatusAborted Status = "aborted"
+	// StatusError: the cell did not run (compile error, unknown backend).
+	StatusError Status = "error"
+)
+
+// Complete reports whether the status means the exploration was
+// exhaustive, so its outcome set is comparable across backends and safe
+// to cache. Timeouts, aborts and errors are incomplete: they depend on
+// the budget (or failure) that produced them.
+func (s Status) Complete() bool { return s == StatusPass || s == StatusFail }
+
+// Status classifies the cell.
+func (r *Report) Status() Status {
+	switch {
+	case r.Err != nil || r.Verdict == nil:
+		return StatusError
+	case r.Verdict.Result.TimedOut:
+		return StatusTimeout
+	case r.Verdict.Result.Aborted:
+		return StatusAborted
+	case !r.Verdict.OK():
+		return StatusFail
+	default:
+		return StatusPass
+	}
+}
+
 // OK reports whether the cell ran to completion (no error, not aborted)
 // and matched the test's expectation.
-func (r *Report) OK() bool {
-	return r.Err == nil && r.Verdict != nil && !r.Verdict.Result.Aborted && r.Verdict.OK()
-}
+func (r *Report) OK() bool { return r.Status() == StatusPass }
 
 // RunAllOptions tunes a batched run.
 type RunAllOptions struct {

@@ -1,0 +1,98 @@
+package litmus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+	"promising/internal/flat"
+)
+
+// slowSrc explodes on every backend (minutes of exploration on one core:
+// wide interleaving space for the operational models, a huge rf×co
+// candidate space for the axiomatic one), so a prompt return below can
+// only come from cancellation, never from finishing.
+const slowSrc = `
+arch arm
+name SLOW
+locs x y z w
+thread 0 { store [x] 1; store [y] 1; r0 = load [y]; r1 = load [z]; r2 = load [x]; r3 = load [w]; }
+thread 1 { store [y] 2; store [z] 2; r0 = load [z]; r1 = load [x]; r2 = load [y]; r3 = load [w]; }
+thread 2 { store [z] 3; store [x] 3; r0 = load [x]; r1 = load [y]; r2 = load [z]; r3 = load [w]; }
+thread 3 { store [w] 4; r0 = load [w]; }
+exists 0:r0=0 && 1:r1=0 && 2:r2=0
+`
+
+// TestContextCancellationAllBackends pins the tentpole's cancellation
+// contract: a canceled explore.Options.Ctx aborts all four backends
+// mid-exploration, promptly, with the result marked TimedOut.
+func TestContextCancellationAllBackends(t *testing.T) {
+	test, err := Parse(slowSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := []NamedRunner{
+		{Name: "promising", Run: explore.PromiseFirst},
+		{Name: "naive", Run: explore.Naive},
+		{Name: "axiomatic", Run: axiomatic.Explore},
+		{Name: "flat", Run: flat.Explore},
+	}
+	for _, r := range runners {
+		t.Run(r.Name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opts := explore.DefaultOptions()
+			opts.Ctx = ctx
+
+			type res struct {
+				v   *Verdict
+				err error
+			}
+			done := make(chan res, 1)
+			go func() {
+				v, err := Run(test, r.Run, opts)
+				done <- res{v, err}
+			}()
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+			select {
+			case out := <-done:
+				if out.err != nil {
+					t.Fatal(out.err)
+				}
+				if !out.v.Result.Aborted || !out.v.Result.TimedOut {
+					t.Errorf("result after cancel: Aborted=%t TimedOut=%t; want both true",
+						out.v.Result.Aborted, out.v.Result.TimedOut)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("exploration did not unwind within 15s of cancellation")
+			}
+		})
+	}
+}
+
+// TestPreCanceledContext: a context canceled before the run starts yields
+// an immediate TimedOut result on every backend.
+func TestPreCanceledContext(t *testing.T) {
+	test := CatalogTest("MP")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := explore.DefaultOptions()
+	opts.Ctx = ctx
+	for _, r := range []NamedRunner{
+		{Name: "promising", Run: explore.PromiseFirst},
+		{Name: "naive", Run: explore.Naive},
+		{Name: "axiomatic", Run: axiomatic.Explore},
+		{Name: "flat", Run: flat.Explore},
+	} {
+		v, err := Run(test, r.Run, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if !v.Result.TimedOut {
+			t.Errorf("%s: pre-canceled context did not mark TimedOut", r.Name)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package litmus
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Content addressing for litmus tests. The model-checking service caches
+// verdicts keyed by *what a test means*, not how it was typed: two sources
+// that differ only in comments, blank lines or whitespace runs canonicalise
+// to the same string and therefore the same hash.
+
+// CanonicalSource normalises litmus source text: comments ("//" and "#" to
+// end of line) are stripped, whitespace runs collapse to single spaces,
+// blank lines disappear, and lines are joined with "\n". Parsing the
+// canonical form yields the same test as parsing the original.
+func CanonicalSource(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		line = stripComment(line)
+		if line == "" {
+			continue
+		}
+		b.WriteString(strings.Join(strings.Fields(line), " "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SourceHash returns the hex SHA-256 of the canonicalised source — the
+// content address used by verdict caches.
+func SourceHash(src string) string {
+	sum := sha256.Sum256([]byte(CanonicalSource(src)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Hash returns a stable content hash of the test. Tests that came from
+// source (Parse records it in Src) hash their canonicalised source; tests
+// built programmatically (e.g. the random generator's) hash a structural
+// encoding of the program, condition and expectation instead. Either way
+// the hash identifies the test's meaning, so it is safe as a cache key
+// component.
+func (t *Test) Hash() string {
+	if t.Src != "" {
+		return SourceHash(t.Src)
+	}
+	h := sha256.New()
+	enc := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	p := t.Prog
+	enc(fmt.Sprintf("arch=%d bound=%d threads=%d", p.Arch, p.LoopBound, len(p.Threads)))
+	for _, th := range p.Threads {
+		enc(fmt.Sprintf("%#v", th))
+	}
+	init := make([]string, 0, len(p.Init))
+	for l, v := range p.Init {
+		init = append(init, fmt.Sprintf("%d=%d", l, v))
+	}
+	sort.Strings(init)
+	enc("init " + strings.Join(init, " "))
+	shared := make([]string, 0, len(p.Shared))
+	for l := range p.Shared {
+		shared = append(shared, fmt.Sprintf("%d", l))
+	}
+	sort.Strings(shared)
+	if p.Shared != nil {
+		enc("shared " + strings.Join(shared, " "))
+	}
+	if t.Cond != nil {
+		enc("exists " + t.Cond.String())
+	}
+	enc("expect " + t.Expect.String())
+	if t.Obs != nil {
+		var parts []string
+		for _, r := range t.Obs.Regs {
+			parts = append(parts, fmt.Sprintf("%d:%d", r.TID, r.Reg))
+		}
+		for _, l := range t.Obs.Locs {
+			parts = append(parts, fmt.Sprintf("[%d]", l))
+		}
+		enc("obs " + strings.Join(parts, " "))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FindCatalog returns the named catalog test, or false when there is no
+// such test (the panicking CatalogTest is for compiled-in callers that
+// know the name is valid).
+func FindCatalog(name string) (*Test, bool) {
+	for _, e := range catalog {
+		if e.Name == name {
+			t, err := Parse(e.Src)
+			if err != nil {
+				panic(fmt.Sprintf("litmus: catalog test %s: %v", e.Name, err))
+			}
+			if t.Prog.Name == "" {
+				t.Prog.Name = e.Name
+			}
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// CatalogEntries returns the canonical tests in source form, for callers
+// (the HTTP catalog endpoint) that need the text, not the parsed test.
+func CatalogEntries() []CatalogEntry {
+	out := make([]CatalogEntry, len(catalog))
+	copy(out, catalog)
+	return out
+}

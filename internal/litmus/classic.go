@@ -27,18 +27,14 @@ func Catalog() []*Test {
 	return out
 }
 
-// CatalogTest returns the named catalog test.
+// CatalogTest returns the named catalog test, panicking when there is no
+// such test (use FindCatalog to probe).
 func CatalogTest(name string) *Test {
-	for _, e := range catalog {
-		if e.Name == name {
-			t, err := Parse(e.Src)
-			if err != nil {
-				panic(err)
-			}
-			return t
-		}
+	t, ok := FindCatalog(name)
+	if !ok {
+		panic(fmt.Sprintf("litmus: no catalog test named %q", name))
 	}
-	panic(fmt.Sprintf("litmus: no catalog test named %q", name))
+	return t
 }
 
 var catalog = []CatalogEntry{

@@ -45,7 +45,7 @@ func Parse(src string) (*Test, error) {
 	if len(p.prog.Threads) == 0 {
 		return nil, fmt.Errorf("litmus: no threads declared")
 	}
-	t := &Test{Prog: p.prog, Expect: p.expect}
+	t := &Test{Prog: p.prog, Expect: p.expect, Src: src}
 	if p.condSrc != "" {
 		c, err := ParseCond(p.condSrc, p.prog)
 		if err != nil {

@@ -46,6 +46,10 @@ type Test struct {
 	// Obs, when non-nil, overrides the observation spec derived from the
 	// condition (used by the random generator, which observes everything).
 	Obs *explore.ObsSpec
+	// Src is the litmus source text the test was parsed from ("" for tests
+	// built programmatically). Hash canonicalises it for content
+	// addressing.
+	Src string
 }
 
 // Name returns the test name.

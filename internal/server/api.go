@@ -1,0 +1,184 @@
+// Package server is the model-checking service: a long-running HTTP
+// daemon (cmd/promised) that accepts litmus tests over JSON, runs them on
+// a bounded worker pool backed by the parallel exploration engine, caches
+// verdicts content-addressed on canonicalized test source × backend ×
+// options, and exposes job control for batches — including streaming
+// per-test progress and context-cancellation of in-flight explorations.
+//
+// Endpoints (v1):
+//
+//	POST   /v1/check            one test, synchronous, cache-aware
+//	POST   /v1/batch            many tests × backends → job id
+//	GET    /v1/jobs/{id}        job status + completed cell reports
+//	DELETE /v1/jobs/{id}        cancel: aborts in-flight explorations
+//	GET    /v1/jobs/{id}/events per-cell progress as Server-Sent Events
+//	GET    /v1/catalog          the built-in canonical litmus tests
+//	GET    /healthz             liveness + uptime
+//	GET    /metrics             Prometheus-style counters
+package server
+
+import (
+	"strings"
+
+	"promising/internal/litmus"
+)
+
+// CheckOptions tunes one exploration over the wire. Zero values select the
+// server's defaults.
+type CheckOptions struct {
+	// Parallelism is the exploration engine's worker count for this test
+	// (0 = server default, negative = GOMAXPROCS).
+	Parallelism int `json:"parallelism,omitempty"`
+	// MaxStates aborts after this many distinct states (0 = unlimited).
+	MaxStates int `json:"max_states,omitempty"`
+	// TimeoutMS is the per-test wall-clock budget in milliseconds
+	// (0 = server default; clamped to the server's maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Certify disables per-step certification when set to false
+	// (default true; see explore.Options.Certify).
+	Certify *bool `json:"certify,omitempty"`
+}
+
+// TestSpec names one test: inline litmus source, or a catalog test name.
+type TestSpec struct {
+	Source  string `json:"source,omitempty"`
+	Catalog string `json:"catalog,omitempty"`
+}
+
+// CheckRequest is the body of POST /v1/check.
+type CheckRequest struct {
+	TestSpec
+	// Backend is one of promising, naive, axiomatic, flat
+	// (default promising).
+	Backend string       `json:"backend,omitempty"`
+	Options CheckOptions `json:"options,omitzero"`
+}
+
+// BatchRequest is the body of POST /v1/batch: Tests × Backends cells.
+type BatchRequest struct {
+	Tests    []TestSpec   `json:"tests"`
+	Backends []string     `json:"backends,omitempty"` // default [promising]
+	Options  CheckOptions `json:"options,omitzero"`
+}
+
+// BatchResponse acknowledges a batch job.
+type BatchResponse struct {
+	JobID string `json:"job_id"`
+	Cells int    `json:"cells"`
+}
+
+// TestReport is one (test, backend) verdict in wire form. cmd/litmus
+// -json emits the same shape, so CI pipelines parse one format whether
+// they ran the CLI or the service.
+type TestReport struct {
+	Test    string `json:"test"`
+	Arch    string `json:"arch,omitempty"`
+	Backend string `json:"backend"`
+	// Status is pass, fail, timeout, aborted, error (litmus.Status) or
+	// canceled (the cell's job was canceled before it started).
+	Status  string `json:"status"`
+	Allowed bool   `json:"allowed"`
+	Expect  string `json:"expect,omitempty"`
+	// Outcomes lists the observed final states, one formatted line each,
+	// sorted.
+	Outcomes      []string `json:"outcomes,omitempty"`
+	States        int      `json:"states"`
+	DeadEnds      int      `json:"dead_ends,omitempty"`
+	BoundExceeded bool     `json:"bound_exceeded,omitempty"`
+	// ElapsedUS is the exploration's own cost in microseconds; cached
+	// responses keep the original exploration's cost and set Cached.
+	ElapsedUS int64  `json:"elapsed_us"`
+	Cached    bool   `json:"cached,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// StatusCanceled marks a batch cell whose job was canceled before the
+// cell ever started exploring (cells canceled mid-exploration surface as
+// litmus.StatusTimeout: the context abort is indistinguishable from a
+// deadline abort at the engine level).
+const StatusCanceled = "canceled"
+
+// ReportJSON converts a batch cell into wire form.
+func ReportJSON(r litmus.Report) TestReport {
+	tr := TestReport{Backend: r.Backend, Status: string(r.Status())}
+	if r.Test != nil {
+		tr.Test = r.Test.Name()
+		tr.Arch = r.Test.Prog.Arch.String()
+		tr.Expect = r.Test.Expect.String()
+	}
+	if r.Err != nil {
+		tr.Error = r.Err.Error()
+	}
+	if v := r.Verdict; v != nil {
+		tr.Allowed = v.Allowed
+		tr.States = v.Result.States
+		tr.DeadEnds = v.Result.DeadEnds
+		tr.BoundExceeded = v.Result.BoundExceeded
+		tr.ElapsedUS = v.Elapsed.Microseconds()
+		if out := litmus.FormatOutcomes(v.Spec, v.Result, v.Test.Prog); out != "" {
+			tr.Outcomes = strings.Split(out, "\n")
+		}
+	}
+	return tr
+}
+
+// JobState is the lifecycle of a batch job.
+type JobState string
+
+// Job states.
+const (
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobCanceled JobState = "canceled"
+)
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Total     int      `json:"total"`
+	Completed int      `json:"completed"`
+	CacheHits int      `json:"cache_hits"`
+	// Reports holds one entry per cell, indexed test-major (cell
+	// i*len(backends)+j, litmus.RunAll's deterministic layout); a null
+	// entry is a cell that has not completed yet.
+	Reports   []*TestReport `json:"reports"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// JobEvent is one Server-Sent Event on GET /v1/jobs/{id}/events: a cell
+// completion, or the stream-ending summary (Cell == -1, Report == nil).
+// A final event with Dropped set means the subscriber fell behind the
+// job's completion rate and per-cell events were lost — the job may still
+// be running, and the client should fall back to polling GET
+// /v1/jobs/{id} (or re-subscribing, which replays completed cells).
+type JobEvent struct {
+	JobID     string      `json:"job_id"`
+	State     JobState    `json:"state"`
+	Cell      int         `json:"cell"`
+	Completed int         `json:"completed"`
+	Total     int         `json:"total"`
+	Report    *TestReport `json:"report,omitempty"`
+	Dropped   bool        `json:"dropped,omitempty"`
+}
+
+// CatalogInfo describes one catalog test in GET /v1/catalog.
+type CatalogInfo struct {
+	Name   string `json:"name"`
+	Arch   string `json:"arch"`
+	Expect string `json:"expect"`
+	Source string `json:"source,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status     string `json:"status"`
+	UptimeMS   int64  `json:"uptime_ms"`
+	ActiveJobs int    `json:"active_jobs"`
+	Backends   string `json:"backends"`
+}
+
+// apiError is the JSON error envelope for non-2xx responses.
+type apiError struct {
+	Error string `json:"error"`
+}

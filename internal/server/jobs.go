@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"promising/internal/litmus"
+)
+
+// A batch job: Tests × Backends cells on the shared worker pool. The job
+// owns a context derived from the server's lifetime context; canceling it
+// (DELETE /v1/jobs/{id}, or server shutdown) aborts the in-flight
+// explorations through explore.Options.Ctx and skips the cells that have
+// not started.
+type job struct {
+	id     string
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+
+	mu        sync.Mutex
+	state     JobState
+	total     int
+	completed int
+	cacheHits int
+	reports   []*TestReport
+	elapsed   time.Duration // fixed at the terminal transition
+	subs      map[chan JobEvent]*jobSub
+}
+
+// jobSub is one event subscriber's state; dropped is set when the
+// subscriber fell behind and its channel was closed with events lost.
+type jobSub struct {
+	dropped bool
+}
+
+// stateNow reads the job's state without snapshotting the reports.
+func (j *job) stateNow() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// status snapshots the job. Reports aliases the live slice's backing array
+// only for completed entries, which are immutable once set.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *job) statusLocked() JobStatus {
+	el := j.elapsed
+	if j.state == JobRunning {
+		el = time.Since(j.start)
+	}
+	reports := make([]*TestReport, len(j.reports))
+	copy(reports, j.reports)
+	return JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Total:     j.total,
+		Completed: j.completed,
+		CacheHits: j.cacheHits,
+		Reports:   reports,
+		ElapsedMS: el.Milliseconds(),
+	}
+}
+
+// subscribe atomically snapshots progress and registers a live event
+// channel, so the caller can replay the snapshot and then follow events
+// with no gap and no duplicates. The channel is closed when the job
+// reaches a terminal state, or when the subscriber falls too far behind
+// — the returned dropped func distinguishes the two after the close.
+func (j *job) subscribe() (JobStatus, <-chan JobEvent, func() bool, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.statusLocked()
+	if j.state != JobRunning {
+		ch := make(chan JobEvent)
+		close(ch)
+		return st, ch, func() bool { return false }, func() {}
+	}
+	ch := make(chan JobEvent, 256)
+	sub := &jobSub{}
+	j.subs[ch] = sub
+	dropped := func() bool {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return sub.dropped
+	}
+	return st, ch, dropped, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		delete(j.subs, ch)
+	}
+}
+
+// record stores a completed cell and notifies subscribers.
+func (j *job) record(cell int, tr TestReport) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.reports[cell] != nil {
+		return
+	}
+	j.reports[cell] = &tr
+	j.completed++
+	if tr.Cached {
+		j.cacheHits++
+	}
+	j.broadcastLocked(JobEvent{
+		JobID: j.id, State: j.state, Cell: cell,
+		Completed: j.completed, Total: j.total, Report: &tr,
+	})
+}
+
+// finish moves the job to its terminal state and closes every subscriber.
+func (j *job) finish() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobRunning {
+		return
+	}
+	if j.ctx.Err() != nil {
+		j.state = JobCanceled
+	} else {
+		j.state = JobDone
+	}
+	j.elapsed = time.Since(j.start)
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = map[chan JobEvent]*jobSub{}
+}
+
+// broadcastLocked sends without blocking; a subscriber that cannot keep up
+// is dropped (flagged, its channel closed) rather than stalling the
+// workers.
+func (j *job) broadcastLocked(ev JobEvent) {
+	for ch, sub := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			sub.dropped = true
+			close(ch)
+			delete(j.subs, ch)
+		}
+	}
+}
+
+// jobTable registers jobs by id, keeping a bounded history of finished
+// ones.
+type jobTable struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // creation order, for pruning
+	made  int64
+}
+
+// keepJobs bounds the table: beyond it, the oldest *finished* jobs are
+// forgotten.
+const keepJobs = 256
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: make(map[string]*job)}
+}
+
+func (t *jobTable) add(j *job) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+	t.made++
+	for len(t.jobs) > keepJobs {
+		pruned := false
+		for i, id := range t.order {
+			if old, ok := t.jobs[id]; ok && old.stateNow() != JobRunning {
+				delete(t.jobs, id)
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				pruned = true
+				break
+			}
+		}
+		if !pruned {
+			break // everything is still running; let the table grow
+		}
+	}
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+func (t *jobTable) active() int {
+	t.mu.Lock()
+	ids := make([]*job, 0, len(t.jobs))
+	for _, j := range t.jobs {
+		ids = append(ids, j)
+	}
+	t.mu.Unlock()
+	n := 0
+	for _, j := range ids {
+		if j.stateNow() == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *jobTable) created() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.made
+}
+
+func newJobID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// startJob launches tests × backendNames on the worker pool and returns
+// the registered job.
+func (s *Server) startJob(tests []*litmus.Test, backendNames []string, o CheckOptions) *job {
+	ctx, cancel := context.WithCancel(s.base)
+	j := &job{
+		id:     newJobID(),
+		ctx:    ctx,
+		cancel: cancel,
+		start:  time.Now(),
+		state:  JobRunning,
+		total:  len(tests) * len(backendNames),
+		subs:   map[chan JobEvent]*jobSub{},
+	}
+	j.reports = make([]*TestReport, j.total)
+	s.jobs.add(j)
+
+	var wg sync.WaitGroup
+	for i, t := range tests {
+		for bi, b := range backendNames {
+			wg.Add(1)
+			go func(cell int, t *litmus.Test, b string) {
+				defer wg.Done()
+				defer s.pending.Add(-1)
+				j.record(cell, s.runCell(ctx, t, b, o))
+			}(i*len(backendNames)+bi, t, b)
+		}
+	}
+	go func() {
+		wg.Wait()
+		j.finish()
+		st := j.status()
+		s.logf("promised: job %s %s (%d cells, %d cache hits)", j.id, st.State, j.total, st.CacheHits)
+	}()
+	return j
+}

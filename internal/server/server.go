@@ -1,0 +1,499 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"promising/internal/backends"
+	"promising/internal/cache"
+	"promising/internal/explore"
+	"promising/internal/litmus"
+)
+
+// Config tunes the model-checking service.
+type Config struct {
+	// Addr is the listen address (default ":8419").
+	Addr string
+	// Workers bounds how many explorations run at once across all
+	// requests and jobs (<= 0 means GOMAXPROCS). Each exploration may
+	// itself use Parallelism engine workers.
+	Workers int
+	// Parallelism is the default engine worker count per exploration
+	// (0 = 1, negative = GOMAXPROCS); requests may override it.
+	Parallelism int
+	// DefaultTimeout is the per-test budget when a request does not set
+	// one (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied budgets (default 5m).
+	MaxTimeout time.Duration
+	// CacheEntries is the in-memory verdict-cache capacity
+	// (<= 0 selects the cache default).
+	CacheEntries int
+	// CacheDir, when non-empty, persists verdicts to disk so a restarted
+	// daemon starts warm.
+	CacheDir string
+	// MaxBatchCells caps Tests × Backends of one batch job (default 4096).
+	MaxBatchCells int
+	// MaxPendingCells caps batch cells admitted but not yet completed
+	// across all jobs — the admission backpressure bound: each pending
+	// cell holds a parked goroutine and its parsed test, so without it a
+	// client looping POST /v1/batch could grow memory without limit.
+	// Batches beyond the cap are rejected with 503 (default
+	// 4 × MaxBatchCells).
+	MaxPendingCells int
+	// Logf, when non-nil, receives one line per request and job
+	// transition.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = ":8419"
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	if out.DefaultTimeout <= 0 {
+		out.DefaultTimeout = 30 * time.Second
+	}
+	if out.MaxTimeout <= 0 {
+		out.MaxTimeout = 5 * time.Minute
+	}
+	if out.MaxBatchCells <= 0 {
+		out.MaxBatchCells = 4096
+	}
+	if out.MaxPendingCells <= 0 {
+		out.MaxPendingCells = 4 * out.MaxBatchCells
+	}
+	return out
+}
+
+// Server is the model-checking service. Create with New, mount Handler on
+// any http.Server, or use ListenAndServe for the full daemon lifecycle.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	// sem is the worker pool: one slot per concurrently running
+	// exploration, shared by synchronous checks and batch-job cells.
+	sem  chan struct{}
+	mux  *http.ServeMux
+	jobs *jobTable
+	// base is the lifetime context batch jobs run under: canceling it
+	// (Close, or ListenAndServe's ctx) aborts every in-flight exploration.
+	base    context.Context
+	stop    context.CancelFunc
+	started time.Time
+
+	checks    atomic.Int64
+	cacheHits atomic.Int64
+	inflight  atomic.Int64
+	// pending counts batch cells admitted but not yet completed, bounded
+	// by Config.MaxPendingCells at admission.
+	pending atomic.Int64
+}
+
+// New builds a server from cfg.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	vc, err := cache.New(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   vc,
+		sem:     make(chan struct{}, cfg.Workers),
+		jobs:    newJobTable(),
+		base:    base,
+		stop:    stop,
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every running job and in-flight exploration.
+func (s *Server) Close() { s.stop() }
+
+// Cache exposes the verdict cache (metrics, tests).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// ListenAndServe runs the daemon until ctx is canceled, then shuts down
+// gracefully (canceling all jobs).
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	hs := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	s.logf("promised: listening on %s (workers=%d, parallelism=%d)", s.cfg.Addr, s.cfg.Workers, s.cfg.Parallelism)
+	select {
+	case err := <-errc:
+		s.stop()
+		return err
+	case <-ctx.Done():
+		s.stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Request plumbing.
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// resolveTest turns a TestSpec into a parsed test.
+func resolveTest(spec TestSpec) (*litmus.Test, error) {
+	switch {
+	case spec.Source != "" && spec.Catalog != "":
+		return nil, errors.New("give source or catalog, not both")
+	case spec.Source != "":
+		return litmus.Parse(spec.Source)
+	case spec.Catalog != "":
+		t, ok := litmus.FindCatalog(spec.Catalog)
+		if !ok {
+			return nil, fmt.Errorf("no catalog test named %q", spec.Catalog)
+		}
+		return t, nil
+	default:
+		return nil, errors.New("empty test spec: give source or catalog")
+	}
+}
+
+// exploreOptions maps wire options onto engine options. The context is the
+// cancellation point: the engine polls it between states, so server-side
+// deadlines and job cancellation abort mid-exploration.
+func (s *Server) exploreOptions(ctx context.Context, o CheckOptions) (explore.Options, time.Duration) {
+	eo := explore.DefaultOptions()
+	eo.Ctx = ctx
+	eo.MaxStates = o.MaxStates
+	if o.Certify != nil {
+		eo.Certify = *o.Certify
+	}
+	eo.Parallelism = o.Parallelism
+	if eo.Parallelism == 0 {
+		eo.Parallelism = s.cfg.Parallelism
+	}
+	// Clamp: the engine spawns one goroutine and one work stack per
+	// worker, so an unchecked wire value would let a single request
+	// exhaust the process. Beyond GOMAXPROCS extra workers add nothing
+	// (exploration is CPU-bound).
+	if max := runtime.GOMAXPROCS(0); eo.Parallelism > max || eo.Parallelism < -1 {
+		eo.Parallelism = max
+	}
+	timeout := s.cfg.DefaultTimeout
+	if o.TimeoutMS > 0 {
+		timeout = time.Duration(o.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return eo, timeout
+}
+
+// ---------------------------------------------------------------------
+// The verdict cache.
+
+// cacheKey addresses a verdict: canonical test content × backend × the
+// options that can change a *completed* verdict. Parallelism is excluded
+// (the engine's outcome sets are identical at every worker count), and so
+// are the budgets (MaxStates, timeouts): runs they cut short are never
+// cached, and runs they did not cut short are exhaustive, hence identical
+// to the unbudgeted result.
+func cacheKey(t *litmus.Test, backend string, o CheckOptions) string {
+	certify := o.Certify == nil || *o.Certify
+	sum := sha256.Sum256([]byte(t.Hash() + "\x00" + backend + "\x00" + fmt.Sprintf("certify=%t", certify)))
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheable reports whether a cell may be stored: only complete
+// explorations (litmus.Status.Complete — pass/fail) are reusable;
+// timeouts, aborts and errors depend on the budget that produced them.
+func cacheable(status string) bool { return litmus.Status(status).Complete() }
+
+// runCell checks one (test, backend) cell: cache lookup, then a
+// worker-pool slot, then the exploration itself.
+func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o CheckOptions) TestReport {
+	s.checks.Add(1)
+	key := cacheKey(t, backend, o)
+	if raw, ok := s.cache.Get(key); ok {
+		var tr TestReport
+		if err := json.Unmarshal(raw, &tr); err == nil {
+			s.cacheHits.Add(1)
+			tr.Cached = true
+			return tr
+		}
+	}
+
+	named, err := backends.ResolveNamed(backend)
+	if err != nil {
+		return ReportJSON(litmus.Report{Test: t, Backend: backend, Err: err})
+	}
+
+	// One worker-pool slot per exploration; waiting respects cancellation.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return TestReport{Test: t.Name(), Arch: t.Prog.Arch.String(), Expect: t.Expect.String(),
+			Backend: backend, Status: StatusCanceled, Error: ctx.Err().Error()}
+	}
+	s.inflight.Add(1)
+	defer func() { s.inflight.Add(-1); <-s.sem }()
+
+	eo, timeout := s.exploreOptions(ctx, o)
+	eo.Deadline = time.Now().Add(timeout)
+	v, rerr := litmus.Run(t, named.Run, eo)
+	tr := ReportJSON(litmus.Report{Test: t, Backend: backend, Verdict: v, Err: rerr})
+	if cacheable(tr.Status) {
+		if raw, err := json.Marshal(tr); err == nil {
+			s.cache.Put(key, raw)
+		}
+	}
+	return tr
+}
+
+// ---------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:     "ok",
+		UptimeMS:   time.Since(s.started).Milliseconds(),
+		ActiveJobs: s.jobs.active(),
+		Backends:   strings.Join(backends.Names(), " "),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# TYPE promised_checks_total counter\npromised_checks_total %d\n", s.checks.Load())
+	fmt.Fprintf(w, "# TYPE promised_cache_hits_total counter\npromised_cache_hits_total %d\n", s.cacheHits.Load())
+	fmt.Fprintf(w, "# TYPE promised_cache_misses_total counter\npromised_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# TYPE promised_cache_entries gauge\npromised_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# TYPE promised_cache_evicted_total counter\npromised_cache_evicted_total %d\n", cs.Evicted)
+	fmt.Fprintf(w, "# TYPE promised_explorations_inflight gauge\npromised_explorations_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# TYPE promised_cells_pending gauge\npromised_cells_pending %d\n", s.pending.Load())
+	fmt.Fprintf(w, "# TYPE promised_jobs_active gauge\npromised_jobs_active %d\n", s.jobs.active())
+	fmt.Fprintf(w, "# TYPE promised_jobs_total counter\npromised_jobs_total %d\n", s.jobs.created())
+	fmt.Fprintf(w, "# TYPE promised_uptime_seconds gauge\npromised_uptime_seconds %d\n", int64(time.Since(s.started).Seconds()))
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	withSrc := r.URL.Query().Get("source") == "1"
+	entries := litmus.CatalogEntries()
+	out := make([]CatalogInfo, 0, len(entries))
+	for _, e := range entries {
+		t, ok := litmus.FindCatalog(e.Name)
+		if !ok {
+			continue
+		}
+		ci := CatalogInfo{Name: e.Name, Arch: t.Prog.Arch.String(), Expect: t.Expect.String()}
+		if withSrc {
+			ci.Source = e.Src
+		}
+		out = append(out, ci)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req CheckRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Backend == "" {
+		req.Backend = backends.Promising
+	}
+	if _, err := backends.Resolve(req.Backend); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t, err := resolveTest(req.TestSpec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The exploration stops when either the request goes away or the
+	// server shuts down (Close cancels s.base).
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.base, cancel)()
+	tr := s.runCell(ctx, t, req.Backend, req.Options)
+	s.logf("promised: check %s backend=%s status=%s cached=%t", tr.Test, tr.Backend, tr.Status, tr.Cached)
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Backends) == 0 {
+		req.Backends = []string{backends.Promising}
+	}
+	for _, b := range req.Backends {
+		if _, err := backends.Resolve(b); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if len(req.Tests) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch: give at least one test")
+		return
+	}
+	cells := len(req.Tests) * len(req.Backends)
+	if cells > s.cfg.MaxBatchCells {
+		writeErr(w, http.StatusBadRequest, "batch too large: %d cells > limit %d", cells, s.cfg.MaxBatchCells)
+		return
+	}
+	tests := make([]*litmus.Test, len(req.Tests))
+	for i, spec := range req.Tests {
+		t, err := resolveTest(spec)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "test %d: %v", i, err)
+			return
+		}
+		tests[i] = t
+	}
+	// Admission backpressure, last so no error path leaks budget: each
+	// admitted cell parks a goroutine on the worker pool, so outstanding
+	// cells are bounded, not just running ones. startJob's cell goroutines
+	// return the budget as they complete.
+	if n := s.pending.Add(int64(cells)); n > int64(s.cfg.MaxPendingCells) {
+		s.pending.Add(-int64(cells))
+		writeErr(w, http.StatusServiceUnavailable,
+			"server busy: %d cells already queued (limit %d); retry later", n-int64(cells), s.cfg.MaxPendingCells)
+		return
+	}
+	j := s.startJob(tests, req.Backends, req.Options)
+	s.logf("promised: job %s started (%d cells)", j.id, j.total)
+	writeJSON(w, http.StatusAccepted, BatchResponse{JobID: j.id, Cells: j.total})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	s.logf("promised: job %s canceled", j.id)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	st, events, dropped, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	enc := func(ev JobEvent) bool {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	// Replay the cells completed before we subscribed (the snapshot and
+	// the subscription are atomic, so the live stream continues with no
+	// gap and no duplicates), then follow until the job's terminal state.
+	for i, tr := range st.Reports {
+		if tr != nil {
+			if !enc(JobEvent{JobID: j.id, State: st.State, Cell: i, Completed: st.Completed, Total: st.Total, Report: tr}) {
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// The job reached a terminal state — or we fell behind and
+				// were dropped, which the summary flags so the client
+				// knows to poll or re-subscribe instead of trusting the
+				// stream as complete.
+				fin := j.status()
+				enc(JobEvent{JobID: j.id, State: fin.State, Cell: -1, Completed: fin.Completed,
+					Total: fin.Total, Dropped: dropped()})
+				return
+			}
+			if !enc(ev) {
+				return
+			}
+		}
+	}
+}

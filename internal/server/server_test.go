@@ -1,0 +1,325 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sbSrc = `
+arch arm
+name SB
+locs x y
+thread 0 { store [x] 1; r0 = load [y]; }
+thread 1 { store [y] 1; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`
+
+// sbNoisy is sbSrc with different whitespace and comments; it must share
+// sbSrc's cache entry.
+const sbNoisy = `
+// the classic store-buffering shape
+arch   arm
+name	SB
+locs x y        # two locations
+thread 0 { store [x] 1;   r0 = load [y]; }
+
+thread 1 { store [y] 1; r1 = load [x]; }
+exists 0:r0=0 && 1:r1=0
+expect allowed
+`
+
+// slowSrc takes minutes to explore on any backend (see the litmus
+// package's cancellation test); batch-cancellation tests rely on it never
+// finishing on its own.
+const slowSrc = `
+arch arm
+name SLOW
+locs x y z w
+thread 0 { store [x] 1; store [y] 1; r0 = load [y]; r1 = load [z]; r2 = load [x]; r3 = load [w]; }
+thread 1 { store [y] 2; store [z] 2; r0 = load [z]; r1 = load [x]; r2 = load [y]; r3 = load [w]; }
+thread 2 { store [z] 3; store [x] 3; r0 = load [x]; r1 = load [y]; r2 = load [z]; r3 = load [w]; }
+thread 3 { store [w] 4; r0 = load [w]; }
+exists 0:r0=0 && 1:r1=0 && 2:r2=0
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { hs.Close(); s.Close() })
+	return s, NewClient(hs.URL, hs.Client())
+}
+
+func TestCheckAndCacheHit(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	req := CheckRequest{TestSpec: TestSpec{Source: sbSrc}, Backend: "promising"}
+	tr, err := c.Check(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Status != "pass" || !tr.Allowed || tr.Cached {
+		t.Fatalf("first check = %+v; want pass, allowed, uncached", tr)
+	}
+	if len(tr.Outcomes) != 4 {
+		t.Fatalf("SB outcomes = %d; want 4", len(tr.Outcomes))
+	}
+
+	// The acceptance criterion: the same test+backend+options again is a
+	// cache hit.
+	tr2, err := c.Check(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr2.Cached {
+		t.Fatal("second identical check must be served from the verdict cache")
+	}
+	if tr2.Status != tr.Status || tr2.States != tr.States || len(tr2.Outcomes) != len(tr.Outcomes) {
+		t.Fatalf("cached report differs: %+v vs %+v", tr2, tr)
+	}
+
+	// Whitespace/comment-only changes canonicalise to the same key.
+	tr3, err := c.Check(ctx, CheckRequest{TestSpec: TestSpec{Source: sbNoisy}, Backend: "promising"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr3.Cached {
+		t.Fatal("whitespace/comment variant must hit the same cache entry")
+	}
+
+	// A different backend is a different key...
+	tr4, err := c.Check(ctx, CheckRequest{TestSpec: TestSpec{Source: sbSrc}, Backend: "naive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr4.Cached {
+		t.Fatal("different backend must not hit the promising entry")
+	}
+	// ...but parallelism is outcome-invariant and shares the entry.
+	tr5, err := c.Check(ctx, CheckRequest{TestSpec: TestSpec{Source: sbSrc}, Backend: "promising",
+		Options: CheckOptions{Parallelism: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr5.Cached {
+		t.Fatal("parallelism must not split the cache key")
+	}
+
+	if st := s.Cache().Stats(); st.Hits < 3 {
+		t.Fatalf("cache hits = %d; want >= 3", st.Hits)
+	}
+}
+
+func TestCheckCatalogByName(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	tr, err := c.Check(context.Background(), CheckRequest{TestSpec: TestSpec{Catalog: "MP"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Test != "MP" || tr.Status != "pass" {
+		t.Fatalf("MP check = %+v; want pass", tr)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	cases := []CheckRequest{
+		{}, // empty spec
+		{TestSpec: TestSpec{Source: "arch arm\n"}},                 // no threads
+		{TestSpec: TestSpec{Catalog: "nope"}},                      // unknown catalog test
+		{TestSpec: TestSpec{Source: sbSrc, Catalog: "MP"}},         // both
+		{TestSpec: TestSpec{Source: sbSrc}, Backend: "warp-speed"}, // unknown backend
+	}
+	for i, req := range cases {
+		if _, err := c.Check(ctx, req); err == nil {
+			t.Errorf("case %d: expected an error", i)
+		} else if !strings.Contains(err.Error(), "HTTP 400") {
+			t.Errorf("case %d: want HTTP 400, got %v", i, err)
+		}
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	infos, err := c.Catalog(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("empty catalog")
+	}
+	foundMP := false
+	for _, ci := range infos {
+		if ci.Name == "MP" {
+			foundMP = true
+			if ci.Expect != "allowed" || ci.Source == "" {
+				t.Fatalf("MP entry = %+v", ci)
+			}
+		}
+	}
+	if !foundMP {
+		t.Fatal("catalog endpoint is missing MP")
+	}
+}
+
+func TestBatchJobCompletes(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	br, err := c.Batch(ctx, BatchRequest{
+		Tests:    []TestSpec{{Catalog: "MP"}, {Catalog: "SB"}, {Source: sbSrc}},
+		Backends: []string{"promising", "axiomatic"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Cells != 6 {
+		t.Fatalf("cells = %d; want 6", br.Cells)
+	}
+	st := waitJob(t, c, br.JobID, 60*time.Second)
+	if st.State != JobDone || st.Completed != 6 {
+		t.Fatalf("job = %+v; want done with 6 cells", st)
+	}
+	for i, tr := range st.Reports {
+		if tr == nil || tr.Status != "pass" {
+			t.Fatalf("cell %d = %+v; want pass", i, tr)
+		}
+	}
+}
+
+func TestBatchCancelAbortsInFlight(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, MaxTimeout: time.Hour, DefaultTimeout: time.Hour})
+	ctx := context.Background()
+	br, err := c.Batch(ctx, BatchRequest{
+		Tests:    []TestSpec{{Source: slowSrc}, {Catalog: "MP"}},
+		Backends: []string{"naive"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the slow exploration actually start.
+	time.Sleep(100 * time.Millisecond)
+	if _, err := c.CancelJob(ctx, br.JobID); err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance criterion: cancellation reaches the in-flight
+	// exploration through context plumbing, so the job reaches its
+	// terminal state promptly instead of after minutes.
+	st := waitJob(t, c, br.JobID, 15*time.Second)
+	if st.State != JobCanceled {
+		t.Fatalf("state = %s; want %s", st.State, JobCanceled)
+	}
+	for i, tr := range st.Reports {
+		if tr == nil {
+			t.Fatalf("cell %d never recorded", i)
+		}
+		// In-flight cells abort as timeout; never-started ones as
+		// canceled; the fast MP cell may legitimately have passed first.
+		switch tr.Status {
+		case "timeout", StatusCanceled, "pass":
+		default:
+			t.Fatalf("cell %d status = %s", i, tr.Status)
+		}
+	}
+	// The slow cell specifically must not have passed.
+	if st.Reports[0].Status == "pass" {
+		t.Fatal("the multi-minute exploration cannot have completed")
+	}
+}
+
+// TestBatchBackpressure: batches beyond the outstanding-cell cap are
+// rejected with 503 instead of parking goroutines without bound.
+func TestBatchBackpressure(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxPendingCells: 1, DefaultTimeout: time.Hour, MaxTimeout: time.Hour})
+	ctx := context.Background()
+	br, err := c.Batch(ctx, BatchRequest{Tests: []TestSpec{{Source: slowSrc}}, Backends: []string{"naive"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Batch(ctx, BatchRequest{Tests: []TestSpec{{Catalog: "MP"}}}); err == nil || !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("want HTTP 503 while a cell is outstanding, got %v", err)
+	}
+	if _, err := c.CancelJob(ctx, br.JobID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseAbortsSyncCheck: Server.Close cancels synchronous /v1/check
+// explorations too, not only batch jobs.
+func TestCloseAbortsSyncCheck(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1, DefaultTimeout: time.Hour, MaxTimeout: time.Hour})
+	done := make(chan *TestReport, 1)
+	go func() {
+		tr, _ := c.Check(context.Background(), CheckRequest{TestSpec: TestSpec{Source: slowSrc}, Backend: "naive"})
+		done <- tr
+	}()
+	time.Sleep(100 * time.Millisecond)
+	s.Close()
+	select {
+	case tr := <-done:
+		if tr != nil && tr.Status == "pass" {
+			t.Fatal("the multi-minute exploration cannot have completed")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("sync check kept exploring after Server.Close")
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	if _, err := c.Job(context.Background(), "job-missing"); err == nil || !strings.Contains(err.Error(), "HTTP 404") {
+		t.Fatalf("want HTTP 404, got %v", err)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	// Metrics is plain text; fetch through the underlying transport.
+	hc := c.hc
+	resp, err := hc.Get(c.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{"promised_checks_total", "promised_cache_hits_total", "promised_jobs_active"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output is missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func waitJob(t *testing.T, c *Client, id string, limit time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for {
+		st, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running after %v: %+v", id, limit, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -17,14 +17,15 @@
 package promising
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"promising/internal/axiomatic"
+	"promising/internal/backends"
 	"promising/internal/explore"
-	"promising/internal/flat"
 	"promising/internal/lang"
 	"promising/internal/litmus"
+	"promising/internal/server"
 )
 
 // Re-exported core types.
@@ -67,20 +68,15 @@ const (
 	BackendFlat      Backend = "flat"
 )
 
-// Runner returns the litmus.Runner for a backend.
+// Runner returns the litmus.Runner for a backend (the shared registry in
+// internal/backends, which the model-checking service resolves through
+// too).
 func (b Backend) Runner() (litmus.Runner, error) {
-	switch b {
-	case BackendPromising:
-		return explore.PromiseFirst, nil
-	case BackendNaive:
-		return explore.Naive, nil
-	case BackendAxiomatic:
-		return axiomatic.Explore, nil
-	case BackendFlat:
-		return flat.Explore, nil
-	default:
-		return nil, fmt.Errorf("promising: unknown backend %q (want promising, naive, axiomatic or flat)", b)
+	r, err := backends.Resolve(string(b))
+	if err != nil {
+		return nil, fmt.Errorf("promising: %v", err)
 	}
+	return r, nil
 }
 
 // Options returns the default exploration options (per-step certification
@@ -91,6 +87,15 @@ func Options() explore.Options { return explore.DefaultOptions() }
 func OptionsWithTimeout(d time.Duration) explore.Options {
 	o := explore.DefaultOptions()
 	o.Deadline = time.Now().Add(d)
+	return o
+}
+
+// OptionsWithContext returns default options bound to ctx: exploration
+// aborts promptly (Result.TimedOut) when ctx is canceled or its deadline
+// passes. All four backends honor the cancellation mid-exploration.
+func OptionsWithContext(ctx context.Context) explore.Options {
+	o := explore.DefaultOptions()
+	o.Ctx = ctx
 	return o
 }
 
@@ -152,3 +157,51 @@ func Catalog() []*Test { return litmus.Catalog() }
 func FormatOutcomes(v *Verdict) string {
 	return litmus.FormatOutcomes(v.Spec, v.Result, v.Test.Prog)
 }
+
+// ---------------------------------------------------------------------
+// The model-checking service (internal/server, daemon: cmd/promised).
+
+// Re-exported service types. TestReport is the JSON verdict shape shared
+// by the HTTP API and cmd/litmus -json.
+type (
+	// ServerConfig tunes the model-checking service.
+	ServerConfig = server.Config
+	// Server is the model-checking service itself.
+	Server = server.Server
+	// Client is an HTTP client for a running service.
+	Client = server.Client
+	// CheckRequest is the body of POST /v1/check.
+	CheckRequest = server.CheckRequest
+	// CheckOptions tunes one exploration over the wire.
+	CheckOptions = server.CheckOptions
+	// BatchRequest is the body of POST /v1/batch.
+	BatchRequest = server.BatchRequest
+	// TestSpec names one test of a batch: inline source or catalog name.
+	TestSpec = server.TestSpec
+	// TestReport is one (test, backend) verdict in wire form.
+	TestReport = server.TestReport
+	// JobStatus is a batch job's progress snapshot.
+	JobStatus = server.JobStatus
+)
+
+// NewServer builds a model-checking service; mount Handler() yourself or
+// run ListenAndServe.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Serve runs the model-checking daemon until ctx is canceled: litmus
+// tests in, cached verdicts out. This is cmd/promised's whole body.
+func Serve(ctx context.Context, cfg ServerConfig) error {
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	return s.ListenAndServe(ctx)
+}
+
+// NewClient returns a client for the service at baseURL
+// (e.g. "http://127.0.0.1:8419").
+func NewClient(baseURL string) *Client { return server.NewClient(baseURL, nil) }
+
+// ReportJSON converts a batch cell into the service's wire form (used by
+// cmd/litmus -json so CLI and server output share one shape).
+func ReportJSON(r Report) TestReport { return server.ReportJSON(r) }
