@@ -175,6 +175,59 @@ func BenchmarkAblationNaive(b *testing.B) {
 	}
 }
 
+// BenchmarkCertCache* quantify the exploration-scoped certification cache
+// (internal/core.CertCache): On is the default configuration, Off reverts
+// every Certify call to a one-shot search with a call-local memo (the
+// pre-cache behaviour, explore.Options.CertCacheOff). TL-1 is the
+// sequential acceptance row (promise-first backend, where successor
+// memories re-tread parent certification subtrees); LB is a promise-heavy
+// catalog test under the naive backend, where the same thread/memory
+// configuration is re-certified across every global state that differs
+// only in the other threads.
+
+func benchCertCache(b *testing.B, off bool, run func(opts explore.Options) (*promising.Verdict, error)) {
+	b.Helper()
+	opts := explore.DefaultOptions()
+	opts.CertCacheOff = off
+	var stats explore.ExploreStats
+	for i := 0; i < b.N; i++ {
+		v, err := run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Result.Aborted {
+			b.Fatal("aborted")
+		}
+		stats = v.Result.Stats
+	}
+	b.ReportMetric(float64(stats.CertHits), "cert-hits")
+	b.ReportMetric(stats.CertHitRate()*100, "cert-hit-%")
+}
+
+func benchCertCacheInstance(b *testing.B, id string, off bool) {
+	in, err := workloads.ParseID(lang.ARM, id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCertCache(b, off, func(opts explore.Options) (*promising.Verdict, error) {
+		return promising.Run(in.Test, promising.BackendPromising, opts)
+	})
+}
+
+func benchCertCacheNaive(b *testing.B, name string, off bool) {
+	tst := litmus.CatalogTest(name)
+	benchCertCache(b, off, func(opts explore.Options) (*promising.Verdict, error) {
+		return litmus.Run(tst, explore.Naive, opts)
+	})
+}
+
+func BenchmarkCertCacheOnTL1(b *testing.B)      { benchCertCacheInstance(b, "TL-1", false) }
+func BenchmarkCertCacheOffTL1(b *testing.B)     { benchCertCacheInstance(b, "TL-1", true) }
+func BenchmarkCertCacheOnSLA3(b *testing.B)     { benchCertCacheInstance(b, "SLA-3", false) }
+func BenchmarkCertCacheOffSLA3(b *testing.B)    { benchCertCacheInstance(b, "SLA-3", true) }
+func BenchmarkCertCacheOnNaiveLB(b *testing.B)  { benchCertCacheNaive(b, "LB", false) }
+func BenchmarkCertCacheOffNaiveLB(b *testing.B) { benchCertCacheNaive(b, "LB", true) }
+
 // BenchmarkAblationSharedOpt measures the §7 shared-location optimisation
 // on the SLC workload (which spills thread-local temporaries): with the
 // optimisation (the default instance) vs treating every location as shared.

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"promising/internal/lang"
 )
 
@@ -13,6 +16,28 @@ import (
 // legal promise steps: the writes performed on certifying traces whose
 // pre-view ⊔ coherence view does not exceed the maximal timestamp of the
 // pre-certification memory (§B, proved correct as Theorem 6.4).
+//
+// Certification is the dominant cost of promise-aware exploration: every
+// machine step re-runs a sequential search over cloned thread/memory
+// states. CertCache makes that work shared across a whole exploration —
+// an exploration-scoped, concurrency-safe memo of search results keyed by
+// interned (thread × memory) state handles, consulted and filled by every
+// Certify call of a run, across all engine workers. Two access paths:
+//
+//   - Certify/Certified/FindAndCertify (the machine explorers): every
+//     interior search state is shared. The same thread configuration
+//     recurs across all global states differing only in the other
+//     threads, so per-step certification amortises to cache lookups.
+//   - CertifyScoped/CertifyAndComplete (the promise-first explorer):
+//     phase-1 memories are deduplicated, so certification calls are
+//     pairwise distinct and interior contexts essentially never recur
+//     across calls; interior states are memoised call-locally and only
+//     the root result is consulted and published. CertifyAndComplete
+//     additionally folds the §7 phase-2 completion search into the same
+//     walk: the completions of a thread under mem are exactly the
+//     certification search states that never perform a new write, so one
+//     tree walk yields both the candidate promises and the final register
+//     observations that the seed implementation computed in two.
 
 // CertResult is the outcome of a certification search.
 type CertResult struct {
@@ -22,102 +47,460 @@ type CertResult struct {
 	Promises []Msg
 }
 
-// Certify runs the certification search for thread th under mem. The inputs
-// are not mutated. When collectPromises is false the search stops as soon as
-// a certifying trace is found.
-func Certify(env *Env, th *Thread, mem *Memory, collectPromises bool) CertResult {
+// CertCompleteResult extends CertResult with the thread's phase-2
+// completions (CertifyAndComplete).
+type CertCompleteResult struct {
+	CertResult
+	// Finals lists the observed register values (in the caller's obs
+	// order) of every complete execution — the thread terminated with no
+	// outstanding promise — reachable without performing any new write:
+	// the §7 phase-2 completions of the thread under the given memory.
+	// Entries are not deduplicated.
+	Finals [][]lang.Val
+	// FinalsBound reports that some completion path ran past the loop
+	// bound, so Finals may be incomplete.
+	FinalsBound bool
+	// Aborted reports that the search was cut short by the visit callback
+	// returning false; all results are then unusable.
+	Aborted bool
+}
+
+// certShards is the shard count of a CertCache (a power of two).
+const certShards = 64
+
+// CertCache is an exploration-scoped certification cache. See the package
+// comment above: entries are keyed by (thread id × interned thread-state
+// handle × interned memory handle) and are exhaustive search results,
+// never budget-truncated — exploration budgets (MaxStates, deadlines)
+// never reach the certification search, so they are excluded from keys by
+// construction.
+//
+// The search tree below a (thread, memory) state is independent of the
+// pre-certification memory bound (baseTS): the step relation never
+// consults it, and the §B view condition is deferred by recording each
+// candidate write's minimal pre-view ⊔ coherence bound and filtering
+// against the querying call's baseTS at the top level. Entries are
+// therefore shared even between certifications with different
+// pre-certification memories.
+//
+// Lifetime: one exploration of one compiled program. Thread encodings
+// embed program-specific node indices, so a CertCache must not be reused
+// across different compiled programs.
+type CertCache struct {
+	in     *Interner
+	shards [certShards]certShard
+
+	hits, misses atomic.Int64
+}
+
+type certShard struct {
+	mu sync.Mutex
+	m  map[certKey]certMemo
+}
+
+type certKey struct {
+	// tid scopes the entry to one thread of the compiled program: thread
+	// encodings embed continuation node indices, which index the owning
+	// thread's code, so two threads with identical encodings (symmetric
+	// tests) are still distinct search states.
+	tid         int
+	thread, mem Handle
+	// unified separates CertifyAndComplete entries (which carry the
+	// completion payload) from plain certification entries, so a plain
+	// root entry can never satisfy a unified lookup with empty finals —
+	// and obs (the interned encoding of the observed-register projection
+	// baked into a unified entry's finals; 0 otherwise) keeps entries
+	// from explorations of the same program under different observation
+	// specs apart when a cache is shared across runs.
+	// The collect flag is deliberately NOT part of the key: a full
+	// (collecting) entry answers a reach-only query, and a reach-only
+	// entry is upgraded in place when a full search completes, so the
+	// machine explorers' Certified and FindAndCertify passes over the
+	// same configuration share one entry instead of two.
+	unified bool
+	obs     Handle
+}
+
+// NewCertCache returns an empty cache with its own interner.
+func NewCertCache() *CertCache {
+	cc := &CertCache{in: NewInterner()}
+	for i := range cc.shards {
+		cc.shards[i].m = make(map[certKey]certMemo)
+	}
+	return cc
+}
+
+// CertStats is a point-in-time snapshot of cache performance.
+type CertStats struct {
+	// Hits and Misses count shared-cache lookups by certification searches
+	// (per-call local memo hits are not counted).
+	Hits, Misses int64
+	// Entries is the number of cached search results.
+	Entries int
+}
+
+// Stats snapshots the cache counters (zero for a nil cache).
+func (cc *CertCache) Stats() CertStats {
+	if cc == nil {
+		return CertStats{}
+	}
+	s := CertStats{Hits: cc.hits.Load(), Misses: cc.misses.Load()}
+	for i := range cc.shards {
+		sh := &cc.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+func (k certKey) hash() uint64 {
+	h := uint64(k.thread)*0x9E3779B97F4A7C15 ^ uint64(k.mem)*fnvPrime64 ^ uint64(k.tid)
+	if k.unified {
+		h = ^h ^ uint64(k.obs)*fnvPrime64
+	}
+	return h
+}
+
+// get returns the entry for k usable at the given collect level: a full
+// entry serves any query, a reach-only entry (early-exited, no candidate
+// writes) only reach-only ones.
+func (cc *CertCache) get(k certKey, collect bool) (certMemo, bool) {
+	sh := &cc.shards[k.hash()&(certShards-1)]
+	sh.mu.Lock()
+	m, ok := sh.m[k]
+	sh.mu.Unlock()
+	if ok && collect && !m.full {
+		return certMemo{}, false
+	}
+	return m, ok
+}
+
+// put publishes a completed search result. Entries are immutable after
+// publication (their writes maps and finals are never mutated again), so
+// readers may iterate them without holding the shard lock; a full entry
+// replaces a reach-only one for the same key (the upgrade path), never
+// the reverse.
+func (cc *CertCache) put(k certKey, m certMemo) {
+	sh := &cc.shards[k.hash()&(certShards-1)]
+	sh.mu.Lock()
+	if old, dup := sh.m[k]; !dup || (m.full && !old.full) {
+		sh.m[k] = m
+	}
+	sh.mu.Unlock()
+}
+
+// Certify runs the certification search for thread th under mem,
+// consulting and filling the cache (which may be nil for a one-shot,
+// uncached search). The inputs are not mutated. When collectPromises is
+// false the search stops as soon as a certifying trace is found. Every
+// interior search state is shared through the cache — the machine
+// explorers' access path.
+func (cc *CertCache) Certify(env *Env, th *Thread, mem *Memory, collectPromises bool) CertResult {
+	c := &certifier{env: env, baseTS: mem.MaxTS(), collect: collectPromises, cc: cc, deep: cc != nil}
+	return c.run(th, mem).CertResult
+}
+
+// CertifyScoped is Certify with call-scoped interior memoisation: interior
+// search states hit a call-local memo, and only the root state is
+// consulted and published, so a run whose certification calls are
+// pairwise distinct (promise-first: phase-1 memories are deduplicated)
+// does not grow the shared cache with states that can never be re-read.
+func (cc *CertCache) CertifyScoped(env *Env, th *Thread, mem *Memory, collectPromises bool) CertResult {
+	c := &certifier{env: env, baseTS: mem.MaxTS(), collect: collectPromises, cc: cc}
+	return c.run(th, mem).CertResult
+}
+
+// InternMemory interns mem's canonical encoding in the cache's interner,
+// returning its handle for CertifyAndComplete: a caller certifying several
+// threads under one memory interns it once instead of per call. Nil-safe
+// (returns 0, the never-issued handle, which CertifyAndComplete treats as
+// "intern for me").
+func (cc *CertCache) InternMemory(mem *Memory) Handle {
+	if cc == nil {
+		return 0
+	}
+	buf := GetEncBuf()
+	buf = EncodeMemory(buf, mem, 0)
+	h, _ := cc.in.Intern(buf)
+	PutEncBuf(buf)
+	return h
+}
+
+// CertifyAndComplete is the promise-first explorer's unified search: one
+// call-scoped walk (see CertifyScoped) that returns both the legal promise
+// steps of th under mem and the thread's phase-2 completions — the
+// register observations (projected to obs) of every complete execution
+// reachable without new writes. hmem is mem's handle from InternMemory (0
+// to let the call intern it). visit, when non-nil, is called once per
+// newly memoised completion-relevant state (exactly the states the
+// two-pass implementation's completer counted); returning false aborts
+// the search.
+func (cc *CertCache) CertifyAndComplete(env *Env, th *Thread, mem *Memory, hmem Handle, obs []lang.Reg, visit func() bool) CertCompleteResult {
 	c := &certifier{
 		env:     env,
 		baseTS:  mem.MaxTS(),
-		collect: collectPromises,
-		memo:    make(map[string]certMemo),
+		collect: true,
+		cc:      cc,
+		unified: true,
+		obs:     obs,
+		visit:   visit,
+		hmem:    hmem,
 	}
-	res := c.search(th.Clone(), mem.Clone())
-	out := CertResult{Certified: res.reach}
-	if collectPromises {
-		for w := range res.writes {
-			out.Promises = append(out.Promises, w)
+	if cc != nil {
+		// The observed-register projection is baked into the cached
+		// finals, so it is part of the unified key.
+		buf := GetEncBuf()
+		for _, r := range obs {
+			buf = appendInt(buf, int64(r))
 		}
+		c.obsH, _ = cc.in.Intern(buf)
+		PutEncBuf(buf)
 	}
-	return out
+	return c.run(th, mem)
 }
 
 // Certified reports the declarative predicate only.
-func Certified(env *Env, th *Thread, mem *Memory) bool {
+func (cc *CertCache) Certified(env *Env, th *Thread, mem *Memory) bool {
 	if len(th.TS.Prom) == 0 {
 		return true
 	}
-	return Certify(env, th, mem, false).Certified
+	return cc.Certify(env, th, mem, false).Certified
 }
 
 // FindAndCertify returns the legal promise steps of th under mem (§B).
 // The configuration is assumed certified.
-func FindAndCertify(env *Env, th *Thread, mem *Memory) []Msg {
-	return Certify(env, th, mem, true).Promises
+func (cc *CertCache) FindAndCertify(env *Env, th *Thread, mem *Memory) []Msg {
+	return cc.Certify(env, th, mem, true).Promises
 }
 
+// FindAndCertifyScoped is FindAndCertify through CertifyScoped.
+func (cc *CertCache) FindAndCertifyScoped(env *Env, th *Thread, mem *Memory) []Msg {
+	return cc.CertifyScoped(env, th, mem, true).Promises
+}
+
+// Certify is the uncached entry point: a fresh search with a call-local
+// memo, as used by one-shot clients and tests.
+func Certify(env *Env, th *Thread, mem *Memory, collectPromises bool) CertResult {
+	return (*CertCache)(nil).Certify(env, th, mem, collectPromises)
+}
+
+// Certified reports the declarative predicate only (uncached).
+func Certified(env *Env, th *Thread, mem *Memory) bool {
+	return (*CertCache)(nil).Certified(env, th, mem)
+}
+
+// FindAndCertify returns the legal promise steps of th under mem (§B),
+// uncached.
+func FindAndCertify(env *Env, th *Thread, mem *Memory) []Msg {
+	return (*CertCache)(nil).FindAndCertify(env, th, mem)
+}
+
+// certMemo is the result of one certification search state. Once a memo is
+// complete it is immutable; the shared cache hands the same memo to every
+// worker.
 type certMemo struct {
 	reach bool
-	// writes are the candidate promises performable on certifying suffixes
-	// from this state (only tracked when collecting).
-	writes map[Msg]bool
+	// full marks an entry computed by a collecting (exhaustive) search;
+	// entries from reach-only searches stop at the first certificate and
+	// carry no writes, so they only answer reach-only queries (see
+	// CertCache.get/put).
+	full bool
+	// writes maps each write performed on some certifying suffix from this
+	// state to the minimal pre-view ⊔ coherence bound over those suffixes
+	// (only tracked when collecting). Candidacy against a particular
+	// pre-certification memory (preCoh <= baseTS, §B) is decided by the
+	// querying call, keeping memos baseTS-independent.
+	writes map[Msg]View
+	// finals/fbound are the unified search's completion results from this
+	// state (aggregated along non-write edges only).
+	finals [][]lang.Val
+	fbound bool
 }
 
 type certifier struct {
 	env     *Env
 	baseTS  Time
 	collect bool
-	memo    map[string]certMemo
+	cc      *CertCache
+	// deep shares every interior search state through the cache; without
+	// it only the root state is consulted and published, and interior
+	// states stay in the call-local memo.
+	deep bool
+	// rootDone flips once the root search state has been handled (the
+	// first state to reach the memo point is the root).
+	rootDone bool
+	// unified enables completion tracking (CertifyAndComplete); obsH is
+	// the interned obs projection (part of unified cache keys) and hmem
+	// the caller-precomputed root memory handle (0 = intern in run).
+	unified bool
+	obs     []lang.Reg
+	obsH    Handle
+	hmem    Handle
+	visit   func() bool
+	aborted bool
+	// hmemo is the deep path's call-local memo, keyed by interned handles;
+	// it doubles as the in-progress guard (states are marked before their
+	// children are searched), which must stay call-local — a shared
+	// placeholder would be read by other workers as a completed
+	// "unreachable" result.
+	hmemo map[[2]Handle]certMemo
+	// memo is the call-scoped paths' memo, keyed by the raw encoding
+	// (thread ++ memory suffix above baseTS, which is constant within a
+	// call).
+	memo map[string]certMemo
+}
+
+// run clones the inputs, runs the search and assembles the result.
+func (c *certifier) run(th *Thread, mem *Memory) CertCompleteResult {
+	hmem := c.hmem
+	if c.cc != nil && hmem == 0 {
+		hmem = c.cc.InternMemory(mem)
+	}
+	if c.deep {
+		c.hmemo = make(map[[2]Handle]certMemo)
+	} else {
+		c.memo = make(map[string]certMemo)
+	}
+	res := c.search(th.Clone(), mem.Clone(), hmem, true)
+	out := CertCompleteResult{CertResult: CertResult{Certified: res.reach}}
+	if c.aborted {
+		out.Aborted = true
+		return out
+	}
+	if c.collect {
+		for w, preCoh := range res.writes {
+			// The §B view condition, against this call's memory bound.
+			if preCoh <= c.baseTS {
+				out.Promises = append(out.Promises, w)
+			}
+		}
+	}
+	if c.unified {
+		out.Finals = res.finals
+		out.FinalsBound = res.fbound
+	}
+	return out
 }
 
 // search explores the sequential executions of th (alone) under mem. It
-// owns and mutates both arguments. It returns whether a prom = {} state is
-// reachable and, when collecting, the candidate writes on such suffixes.
-func (c *certifier) search(th *Thread, mem *Memory) certMemo {
+// owns and mutates both arguments. hmem is mem's interned handle (cached
+// runs only; non-write children reuse it, so each distinct memory is
+// interned once per branch). plane reports that no new write has been
+// performed on the path from the root, i.e. mem is still the root memory —
+// the states whose complete executions are the thread's phase-2
+// completions. It returns whether a prom = {} state is reachable, the
+// candidate writes on certifying suffixes, and (unified) the completions.
+func (c *certifier) search(th *Thread, mem *Memory, hmem Handle, plane bool) certMemo {
+	if c.aborted {
+		return certMemo{}
+	}
 	id := Advance(c.env, th)
 	if th.TS.BoundExceeded {
-		// Ran past the loop bound: cannot use this trace as a certificate.
-		return certMemo{}
+		// Ran past the loop bound: cannot use this trace as a certificate,
+		// and (on the completion plane) the completion set is incomplete.
+		return certMemo{fbound: true}
 	}
 	done := len(th.TS.Prom) == 0
 	if done && !c.collect {
 		return certMemo{reach: true}
 	}
 	if id < 0 {
-		// Program finished.
-		return certMemo{reach: done}
-	}
-
-	buf := GetEncBuf()
-	buf = EncodeMemory(EncodeThread(buf, th), mem, c.baseTS)
-	key := string(buf)
-	PutEncBuf(buf)
-	if m, ok := c.memo[key]; ok {
+		// Program finished. On the completion plane a promise-free final
+		// state is one phase-2 completion: record its observation.
+		m := certMemo{reach: done}
+		if c.unified && plane && done {
+			vals := make([]lang.Val, len(c.obs))
+			for i, r := range c.obs {
+				vals[i] = th.TS.Regs[r].Val
+			}
+			m.finals = [][]lang.Val{vals}
+		}
 		return m
 	}
-	// Mark in-progress to cut cycles (none exist: programs are finite and
-	// every step strictly consumes continuation nodes, but the guard is
-	// cheap and protects against future extensions).
-	c.memo[key] = certMemo{}
 
-	res := certMemo{reach: done}
-	if c.collect {
-		res.writes = make(map[Msg]bool)
+	var (
+		lkey  [2]Handle
+		skey  string
+		ckey  certKey
+		share bool
+	)
+	root := !c.rootDone
+	c.rootDone = true
+	if c.deep {
+		buf := GetEncBuf()
+		buf = EncodeThread(buf, th)
+		hth, _ := c.cc.in.Intern(buf)
+		PutEncBuf(buf)
+		lkey = [2]Handle{hth, hmem}
+		if m, ok := c.hmemo[lkey]; ok {
+			return m
+		}
+		share = true
+		ckey = certKey{tid: c.env.TID, thread: hth, mem: hmem, unified: c.unified, obs: c.obsH}
+		if m, ok := c.cc.get(ckey, c.collect); ok {
+			c.cc.hits.Add(1)
+			c.hmemo[lkey] = m
+			return m
+		}
+		c.cc.misses.Add(1)
+		// Mark in-progress to cut cycles (none exist: programs are finite
+		// and every step strictly consumes continuation nodes, but the
+		// guard is cheap and protects against future extensions).
+		c.hmemo[lkey] = certMemo{}
+	} else {
+		// Call-scoped runs keep interior states in a memo that dies with
+		// the call (string keys: for states that are unique across the
+		// run — the promise-first case — a call-local string map beats
+		// global interning, which would retain every encoding for the
+		// whole exploration), and consult the shared cache at the root
+		// state only.
+		buf := GetEncBuf()
+		buf = EncodeMemory(EncodeThread(buf, th), mem, c.baseTS)
+		skey = string(buf)
+		PutEncBuf(buf)
+		if m, ok := c.memo[skey]; ok {
+			return m
+		}
+		if share = root && c.cc != nil; share {
+			buf := GetEncBuf()
+			buf = EncodeThread(buf, th)
+			hth, _ := c.cc.in.Intern(buf)
+			PutEncBuf(buf)
+			ckey = certKey{tid: c.env.TID, thread: hth, mem: hmem, unified: c.unified, obs: c.obsH}
+			if m, ok := c.cc.get(ckey, c.collect); ok {
+				c.cc.hits.Add(1)
+				c.memo[skey] = m
+				return m
+			}
+			c.cc.misses.Add(1)
+		}
+		c.memo[skey] = certMemo{}
 	}
+	if c.unified && plane && c.visit != nil {
+		// One count per newly memoised completion-plane state: exactly the
+		// states the two-pass implementation's completer explored.
+		if !c.visit() {
+			c.aborted = true
+			return certMemo{}
+		}
+	}
+
+	res := certMemo{reach: done, full: c.collect}
 	n := &c.env.Code.Nodes[id]
 	switch n.Kind {
 	case lang.NLoad:
 		for _, rc := range ReadChoices(c.env, th, id, mem) {
 			child := th.Clone()
 			ApplyRead(c.env, child, id, mem, rc.TS)
-			c.merge(&res, c.search(child, mem), Msg{}, false)
+			c.merge(&res, c.search(child, mem, hmem, plane), nil, 0, plane)
 		}
 	case lang.NStore:
 		// Fulfil an outstanding promise.
 		for _, t := range FulfilChoices(c.env, th, id, mem) {
 			child := th.Clone()
 			ApplyFulfil(c.env, child, id, mem, t)
-			c.merge(&res, c.search(child, mem), Msg{}, false)
+			c.merge(&res, c.search(child, mem, hmem, plane), nil, 0, plane)
 		}
 		// Perform a fresh (normal) write.
 		{
@@ -125,27 +508,52 @@ func (c *certifier) search(th *Thread, mem *Memory) certMemo {
 			childMem := mem.Clone()
 			if t, preCoh, ok := NormalWrite(c.env, child, id, childMem); ok {
 				w := childMem.At(t)
-				candidate := preCoh <= c.baseTS
-				c.merge(&res, c.search(child, childMem), w, candidate)
+				var hchild Handle
+				if c.deep {
+					buf := GetEncBuf()
+					buf = EncodeMemory(buf, childMem, 0)
+					hchild, _ = c.cc.in.Intern(buf)
+					PutEncBuf(buf)
+				}
+				c.merge(&res, c.search(child, childMem, hchild, false), &w, preCoh, plane)
 			}
 		}
 		// An exclusive store may fail.
 		if n.Xcl {
 			child := th.Clone()
 			ApplyXclFail(c.env, child, id)
-			c.merge(&res, c.search(child, mem), Msg{}, false)
+			c.merge(&res, c.search(child, mem, hmem, plane), nil, 0, plane)
 		}
 	default:
 		panic("core: Advance stopped on a non-memory node")
 	}
-	c.memo[key] = res
+	if c.aborted {
+		return certMemo{}
+	}
+	if c.deep {
+		c.hmemo[lkey] = res
+		c.cc.put(ckey, res)
+	} else {
+		c.memo[skey] = res
+		if share {
+			c.cc.put(ckey, res)
+		}
+	}
 	return res
 }
 
 // merge folds a child result into res; when the edge into the child
-// performed write w that met the §B view condition, w becomes a candidate
-// promise provided the child certifies.
-func (c *certifier) merge(res *certMemo, child certMemo, w Msg, candidate bool) {
+// performed write w at pre-view ⊔ coherence bound preCoh, w becomes a
+// candidate promise provided the child certifies (the §B view condition
+// preCoh <= baseTS is applied by the top-level caller). Completions only
+// propagate on the completion plane and along non-write edges (w == nil):
+// a path that performed a new write is not an execution under the root
+// memory, and off-plane finals have no consumer.
+func (c *certifier) merge(res *certMemo, child certMemo, w *Msg, preCoh View, plane bool) {
+	if c.unified && plane && w == nil {
+		res.finals = append(res.finals, child.finals...)
+		res.fbound = res.fbound || child.fbound
+	}
 	if !child.reach {
 		return
 	}
@@ -153,10 +561,21 @@ func (c *certifier) merge(res *certMemo, child certMemo, w Msg, candidate bool) 
 	if !c.collect {
 		return
 	}
-	if candidate {
-		res.writes[w] = true
+	if w != nil {
+		res.addWrite(*w, preCoh)
 	}
-	for cw := range child.writes {
-		res.writes[cw] = true
+	for cw, pc := range child.writes {
+		res.addWrite(cw, pc)
 	}
+}
+
+// addWrite records w with the minimal pre-view bound seen so far (the
+// map is allocated lazily: most search states never see a candidate).
+func (m *certMemo) addWrite(w Msg, preCoh View) {
+	if m.writes == nil {
+		m.writes = make(map[Msg]View)
+	} else if old, ok := m.writes[w]; ok && old <= preCoh {
+		return
+	}
+	m.writes[w] = preCoh
 }

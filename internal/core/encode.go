@@ -5,17 +5,10 @@ import (
 	"sync"
 )
 
-// Canonical state encodings. Exploration deduplicates on these byte strings;
-// everything observable about a state must be included, in a deterministic
-// order (maps are sorted by key).
-
-// Key is a deduplication key for a canonically encoded state: a 64-bit
-// FNV-1a hash of the encoding (cheap to shard and compare) plus the encoded
-// bytes themselves (exact; hash collisions cannot merge distinct states).
-type Key struct {
-	Hash uint64
-	Enc  string
-}
+// Canonical state encodings. Exploration deduplicates on these byte
+// strings — interned to dense handles through the Interner (intern.go) —
+// and certification memoises on them; everything observable about a state
+// must be included, in a deterministic order.
 
 // FNV-1a constants.
 const (
@@ -31,12 +24,6 @@ func Hash64(b []byte) uint64 {
 		h *= fnvPrime64
 	}
 	return h
-}
-
-// KeyOf builds a Key from a canonical encoding. The bytes are copied, so
-// the caller may recycle b (see GetEncBuf/PutEncBuf).
-func KeyOf(b []byte) Key {
-	return Key{Hash: Hash64(b), Enc: string(b)}
 }
 
 // encPool recycles encode buffers: state encoding is the hottest allocation
@@ -69,14 +56,14 @@ func EncodeThread(b []byte, th *Thread) []byte {
 		b = appendInt(b, rv.Val)
 		b = appendInt(b, int64(rv.View))
 	}
-	b = appendLocViews(b, ts.Coh)
+	b = append(b, ts.cohEnc()...)
 	b = appendInt(b, int64(ts.VROld))
 	b = appendInt(b, int64(ts.VWOld))
 	b = appendInt(b, int64(ts.VRNew))
 	b = appendInt(b, int64(ts.VWNew))
 	b = appendInt(b, int64(ts.VCAP))
 	b = appendInt(b, int64(ts.VRel))
-	b = appendFwdb(b, ts.Fwdb)
+	b = append(b, ts.fwdbEnc()...)
 	if ts.Xclb != nil {
 		b = appendInt(b, 1)
 		b = appendInt(b, int64(ts.Xclb.Time))
@@ -84,7 +71,7 @@ func EncodeThread(b []byte, th *Thread) []byte {
 	} else {
 		b = appendInt(b, 0)
 	}
-	b = appendLocals(b, ts.Local)
+	b = append(b, ts.localEnc()...)
 	if ts.BoundExceeded {
 		b = appendInt(b, 1)
 	} else {
@@ -97,6 +84,47 @@ func EncodeThread(b []byte, th *Thread) []byte {
 // FwdBank, Locals keep themselves sorted by location), skipping zero
 // entries so a bank that was written and reset encodes like an untouched
 // one.
+//
+// Bank encodings are cached on the TState (the encCoh/encFwdb/encLocal
+// fields) and invalidated by the step rules that mutate each bank, so a
+// state that only changed one bank since its parent re-serialises only
+// that bank. encZeroBank is the canonical encoding of an empty (or
+// all-zero) bank, shared so untouched banks never allocate a cache.
+
+var encZeroBank = []byte{0} // varint 0: zero live entries
+
+func (ts *TState) cohEnc() []byte {
+	if ts.encCoh == nil {
+		if len(ts.Coh) == 0 {
+			ts.encCoh = encZeroBank
+		} else {
+			ts.encCoh = appendLocViews(nil, ts.Coh)
+		}
+	}
+	return ts.encCoh
+}
+
+func (ts *TState) fwdbEnc() []byte {
+	if ts.encFwdb == nil {
+		if len(ts.Fwdb) == 0 {
+			ts.encFwdb = encZeroBank
+		} else {
+			ts.encFwdb = appendFwdb(nil, ts.Fwdb)
+		}
+	}
+	return ts.encFwdb
+}
+
+func (ts *TState) localEnc() []byte {
+	if ts.encLocal == nil {
+		if len(ts.Local) == 0 {
+			ts.encLocal = encZeroBank
+		} else {
+			ts.encLocal = appendLocals(nil, ts.Local)
+		}
+	}
+	return ts.encLocal
+}
 
 func appendLocViews(b []byte, m LocViews) []byte {
 	n := 0
@@ -150,17 +178,9 @@ func appendLocals(b []byte, m Locals) []byte {
 	return b
 }
 
-// MemoryKey returns the dedup Key of a whole memory (used by promise-first
-// phase 1, where a state is fully determined by the memory contents).
-func MemoryKey(mem *Memory) Key {
-	b := GetEncBuf()
-	b = EncodeMemory(b, mem, 0)
-	k := KeyOf(b)
-	PutEncBuf(b)
-	return k
-}
-
-// EncodeMemory appends the messages with timestamp > from.
+// EncodeMemory appends the messages with timestamp > from. Promise-first
+// phase 1 interns this encoding as the whole state key (a promise-only
+// state is fully determined by the memory contents).
 func EncodeMemory(b []byte, mem *Memory, from Time) []byte {
 	msgs := mem.Msgs()
 	b = appendInt(b, int64(len(msgs)-from))

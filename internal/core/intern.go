@@ -1,0 +1,69 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The interning layer: exploration-wide state identity.
+//
+// Everything the explorers deduplicate or memoise on — machine states,
+// phase-1 memories, certification search states, phase-2 thread states —
+// starts life as a canonical byte encoding (encode.go). Interning maps each
+// distinct encoding to a dense 64-bit Handle exactly once, so the byte
+// string is copied and hashed into a map a single time per exploration
+// instead of once per lookup site, and every downstream table (the engine's
+// SeenSet, the certification cache, per-thread completion memos) keys on
+// 8-byte handles instead of variable-length strings.
+
+// Handle is a dense 64-bit identifier for an interned encoding. Handles
+// are assigned from 1 in first-sight order; 0 is never issued, so it can
+// serve as a sentinel. Two encodings interned through the same Interner
+// have equal handles iff their bytes are equal; handles from different
+// Interners (or different encoding domains) are not comparable.
+type Handle uint64
+
+// internShards is the shard count of an Interner (a power of two,
+// comfortably above any plausible worker count so stripes rarely collide).
+const internShards = 64
+
+// Interner is a sharded, concurrency-safe map from canonical encodings to
+// dense handles. The zero value is not usable; call NewInterner.
+type Interner struct {
+	next   atomic.Uint64
+	shards [internShards]internShard
+}
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[string]Handle
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	in := &Interner{}
+	for i := range in.shards {
+		in.shards[i].m = make(map[string]Handle)
+	}
+	return in
+}
+
+// Intern returns the handle of b, assigning the next dense handle when the
+// bytes are new; fresh reports first sight. The check-and-insert is atomic
+// (exactly one caller wins any race on the same bytes), and the bytes are
+// copied on insertion, so callers may recycle b (see GetEncBuf/PutEncBuf).
+func (in *Interner) Intern(b []byte) (h Handle, fresh bool) {
+	sh := &in.shards[Hash64(b)&(internShards-1)]
+	sh.mu.Lock()
+	if h, ok := sh.m[string(b)]; ok {
+		sh.mu.Unlock()
+		return h, false
+	}
+	h = Handle(in.next.Add(1))
+	sh.m[string(b)] = h
+	sh.mu.Unlock()
+	return h, true
+}
+
+// Len returns the number of distinct encodings interned so far.
+func (in *Interner) Len() int { return int(in.next.Load()) }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"promising/internal/lang"
+)
+
+// TestInternerConcurrent hammers one Interner from many goroutines over an
+// overlapping key set: every goroutine must observe the same handle per
+// key, exactly one goroutine wins first sight of each key, and handles are
+// dense 1..n.
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const keys = 2000
+	const workers = 8
+	handles := make([][]Handle, workers)
+	fresh := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			handles[w] = make([]Handle, keys)
+			for i := 0; i < keys; i++ {
+				// Interleave orders so goroutines race on the same keys.
+				k := i
+				if w%2 == 1 {
+					k = keys - 1 - i
+				}
+				h, f := in.Intern([]byte(fmt.Sprintf("key-%d", k)))
+				handles[w][k] = h
+				if f {
+					fresh[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, n := range fresh {
+		total += n
+	}
+	if total != keys {
+		t.Fatalf("%d first-sights, want %d", total, keys)
+	}
+	if in.Len() != keys {
+		t.Fatalf("Len() = %d, want %d", in.Len(), keys)
+	}
+	seen := make(map[Handle]bool, keys)
+	for i := 0; i < keys; i++ {
+		h := handles[0][i]
+		if h == 0 || uint64(h) > keys {
+			t.Fatalf("key %d: handle %d outside dense range 1..%d", i, h, keys)
+		}
+		if seen[h] {
+			t.Fatalf("handle %d assigned to two keys", h)
+		}
+		seen[h] = true
+		for w := 1; w < workers; w++ {
+			if handles[w][i] != h {
+				t.Fatalf("key %d: worker %d got handle %d, worker 0 got %d", i, w, handles[w][i], h)
+			}
+		}
+	}
+}
+
+// certStressProgram is a small program with promises worth certifying:
+// the LB shape, where each thread's store can be promised before its load.
+func certStressProgram(t *testing.T) *lang.CompiledProgram {
+	t.Helper()
+	x, y := lang.Loc(8), lang.Loc(16)
+	prog := &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(lang.Load{Dst: 0, Addr: lang.C(int64(x))}, lang.Store{Addr: lang.C(int64(y)), Data: lang.C(1)}),
+			lang.Block(lang.Load{Dst: 0, Addr: lang.C(int64(y))}, lang.Store{Addr: lang.C(int64(x)), Data: lang.C(1)}),
+		},
+	}
+	cp, err := lang.Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestCertCacheConcurrent stresses one shared CertCache from many
+// goroutines running every access path (Certified, FindAndCertify,
+// CertifyAndComplete) over the machine states of a promise-heavy program,
+// checking all goroutines agree with an uncached reference. Run under
+// -race this doubles as the interner/cache data-race test.
+func TestCertCacheConcurrent(t *testing.T) {
+	cp := certStressProgram(t)
+	m0 := NewMachine(cp)
+
+	// A few interesting configurations: the initial machine, and each
+	// thread having promised its store.
+	type config struct {
+		m *Machine
+	}
+	configs := []config{{m: m0}}
+	for _, s := range m0.Successors(true) {
+		configs = append(configs, config{m: s.M})
+		for _, s2 := range s.M.Successors(true) {
+			configs = append(configs, config{m: s2.M})
+		}
+	}
+
+	// Uncached reference results.
+	type ref struct {
+		certified []bool
+		promises  []string
+	}
+	refs := make([]ref, len(configs))
+	promKey := func(ms []Msg) string {
+		ss := make([]string, len(ms))
+		for i, w := range ms {
+			ss[i] = fmt.Sprintf("%d:%d:%d", w.Loc, w.Val, w.TID)
+		}
+		sort.Strings(ss)
+		return fmt.Sprint(ss)
+	}
+	for i, cfg := range configs {
+		for tid := range cfg.m.Threads {
+			refs[i].certified = append(refs[i].certified,
+				Certified(cfg.m.Env(tid), cfg.m.Threads[tid], cfg.m.Mem))
+			refs[i].promises = append(refs[i].promises,
+				promKey(FindAndCertify(cfg.m.Env(tid), cfg.m.Threads[tid], cfg.m.Mem)))
+		}
+	}
+
+	cc := NewCertCache()
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(configs)
+				cfg, want := configs[i], refs[i]
+				for tid := range cfg.m.Threads {
+					env, th := cfg.m.Env(tid), cfg.m.Threads[tid]
+					if got := cc.Certified(env, th, cfg.m.Mem); got != want.certified[tid] {
+						errs <- fmt.Errorf("config %d tid %d: Certified = %v, want %v", i, tid, got, want.certified[tid])
+						return
+					}
+					if got := promKey(cc.FindAndCertify(env, th, cfg.m.Mem)); got != want.promises[tid] {
+						errs <- fmt.Errorf("config %d tid %d: FindAndCertify = %v, want %v", i, tid, got, want.promises[tid])
+						return
+					}
+					if got := promKey(cc.FindAndCertifyScoped(env, th, cfg.m.Mem)); got != want.promises[tid] {
+						errs <- fmt.Errorf("config %d tid %d: FindAndCertifyScoped = %v, want %v", i, tid, got, want.promises[tid])
+						return
+					}
+					r := cc.CertifyAndComplete(env, th, cfg.m.Mem, 0, nil, nil)
+					if got := promKey(r.Promises); got != want.promises[tid] {
+						errs <- fmt.Errorf("config %d tid %d: CertifyAndComplete promises = %v, want %v", i, tid, got, want.promises[tid])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := cc.Stats(); st.Misses == 0 || st.Hits == 0 || st.Entries == 0 {
+		t.Errorf("stress run should populate and hit the cache, got %+v", st)
+	}
+}

@@ -88,20 +88,14 @@ func (m *Machine) BoundExceeded() bool {
 	return false
 }
 
-// Key returns a canonical encoding of the machine state for deduplication.
-func (m *Machine) Key() string { return m.StateKey().Enc }
-
-// StateKey returns the hashed dedup key of the machine state, encoding into
-// a pooled buffer.
-func (m *Machine) StateKey() Key {
-	b := GetEncBuf()
+// AppendState appends the canonical encoding of the machine state to b
+// (the byte string the explorers intern for deduplication).
+func (m *Machine) AppendState(b []byte) []byte {
 	b = EncodeMemory(b, m.Mem, 0)
 	for _, th := range m.Threads {
 		b = EncodeThread(b, th)
 	}
-	k := KeyOf(b)
-	PutEncBuf(b)
-	return k
+	return b
 }
 
 // Succ is one enabled machine transition.
@@ -117,21 +111,35 @@ type Succ struct {
 // Global-Promising machine of §D (unconstrained non-promise steps), used to
 // test Theorem 6.2.
 func (m *Machine) Successors(certify bool) []Succ {
+	return m.SuccessorsCached(certify, nil)
+}
+
+// SuccessorsCached is Successors with an exploration-scoped certification
+// cache (nil runs every certification as a one-shot search). The same
+// thread configuration ⟨T, M⟩ recurs across every global state that
+// differs only in the other threads, so a shared cache turns the per-step
+// certification searches of a whole exploration into lookups.
+func (m *Machine) SuccessorsCached(certify bool, cc *CertCache) []Succ {
 	var out []Succ
 	for tid := range m.Threads {
-		out = append(out, m.ThreadSuccessors(tid, certify)...)
+		out = append(out, m.ThreadSuccessorsCached(tid, certify, cc)...)
 	}
 	return out
 }
 
 // ThreadSuccessors enumerates the machine steps of thread tid.
 func (m *Machine) ThreadSuccessors(tid int, certify bool) []Succ {
+	return m.ThreadSuccessorsCached(tid, certify, nil)
+}
+
+// ThreadSuccessorsCached is ThreadSuccessors with a certification cache.
+func (m *Machine) ThreadSuccessorsCached(tid int, certify bool, cc *CertCache) []Succ {
 	th := m.Threads[tid]
 	env := m.Env(tid)
 	var out []Succ
 
 	keep := func(nth *Thread, mem *Memory, lab Label) {
-		if certify && !Certified(env, nth, mem) {
+		if certify && !cc.Certified(env, nth, mem) {
 			return
 		}
 		out = append(out, Succ{M: m.cloneWith(tid, nth, mem), Label: lab})
@@ -169,7 +177,7 @@ func (m *Machine) ThreadSuccessors(tid int, certify bool) []Succ {
 	// Promise steps (always guarded by find_and_certify, which is the
 	// machine's way of enumerating feasible promises).
 	if !th.Done() || len(th.TS.Prom) > 0 {
-		for _, w := range FindAndCertify(env, th, m.Mem) {
+		for _, w := range cc.FindAndCertify(env, th, m.Mem) {
 			mem := m.Mem.Clone()
 			nth := th.Clone()
 			t := Promise(env, nth, mem, w.Loc, w.Val)

@@ -144,7 +144,7 @@ func localLoad(ts *TState, n *lang.Node, l lang.Loc) {
 func localStore(ts *TState, n *lang.Node, l lang.Loc) {
 	_, vaddr := ts.Eval(n.Addr)
 	v, vdata := ts.Eval(n.Data)
-	ts.Local.Set(l, RegVal{Val: v, View: Join(vaddr, vdata)})
+	ts.setLocal(l, RegVal{Val: v, View: Join(vaddr, vdata)})
 	ts.VCAP = Join(ts.VCAP, vaddr)
 }
 
@@ -214,7 +214,7 @@ func ApplyRead(env *Env, th *Thread, id int32, mem *Memory, t Time) Label {
 	}
 	post := Join(pre, readView(env.Arch, n.RK, ts.Fwd(l), t))
 	ts.Regs[n.Dst] = RegVal{Val: v, View: post}
-	ts.Coh.Set(l, Join(ts.CohView(l), post))
+	ts.setCoh(l, Join(ts.CohView(l), post))
 	ts.VROld = Join(ts.VROld, post)
 	if n.RK.AtLeast(lang.ReadWeakAcq) {
 		ts.VRNew = Join(ts.VRNew, post)
@@ -292,13 +292,13 @@ func ApplyFulfil(env *Env, th *Thread, id int32, mem *Memory, t Time) Label {
 		}
 		ts.Regs[n.Dst] = RegVal{Val: lang.VSucc, View: vsucc}
 	}
-	ts.Coh.Set(l, Join(ts.CohView(l), post))
+	ts.setCoh(l, Join(ts.CohView(l), post))
 	ts.VWOld = Join(ts.VWOld, post)
 	ts.VCAP = Join(ts.VCAP, vaddr)
 	if n.WK.AtLeast(lang.WriteRel) {
 		ts.VRel = Join(ts.VRel, post)
 	}
-	ts.Fwdb.Set(l, FwdItem{Time: t, View: Join(vaddr, vdata), Xcl: n.Xcl})
+	ts.setFwd(l, FwdItem{Time: t, View: Join(vaddr, vdata), Xcl: n.Xcl})
 	if n.Xcl {
 		ts.Xclb = nil
 	}

@@ -168,6 +168,17 @@ type TState struct {
 	Local Locals
 
 	BoundExceeded bool
+
+	// encCoh/encFwdb/encLocal cache the canonical encodings of the three
+	// banks (encode.go). Encoding is the hottest loop of deduplication and
+	// certification memoisation, and most steps mutate at most one bank, so
+	// a clone inherits its parent's caches and EncodeThread re-serialises
+	// only the banks that changed since. The cached slices are immutable
+	// once built (clones share the backing arrays); the setters below clear
+	// the corresponding cache. nil = not cached. Mutating a bank directly
+	// (ts.Coh.Set) instead of through the setters leaves a populated cache
+	// stale — all step rules go through the setters.
+	encCoh, encFwdb, encLocal []byte
 }
 
 // NewTState returns the initial thread state for a register file of n
@@ -191,6 +202,9 @@ func (ts *TState) Clone() *TState {
 		Fwdb:          ts.Fwdb.Clone(),
 		Local:         ts.Local.Clone(),
 		BoundExceeded: ts.BoundExceeded,
+		encCoh:        ts.encCoh,
+		encFwdb:       ts.encFwdb,
+		encLocal:      ts.encLocal,
 	}
 	if ts.Xclb != nil {
 		x := *ts.Xclb
@@ -201,6 +215,25 @@ func (ts *TState) Clone() *TState {
 
 // CohView returns coh(l) (0 when untouched).
 func (ts *TState) CohView(l lang.Loc) View { return ts.Coh.Get(l) }
+
+// setCoh updates coh(l), invalidating the bank's cached encoding.
+func (ts *TState) setCoh(l lang.Loc, v View) {
+	ts.encCoh = nil
+	ts.Coh.Set(l, v)
+}
+
+// setFwd updates fwdb(l), invalidating the bank's cached encoding.
+func (ts *TState) setFwd(l lang.Loc, f FwdItem) {
+	ts.encFwdb = nil
+	ts.Fwdb.Set(l, f)
+}
+
+// setLocal updates the thread-private storage of l, invalidating the
+// bank's cached encoding.
+func (ts *TState) setLocal(l lang.Loc, rv RegVal) {
+	ts.encLocal = nil
+	ts.Local.Set(l, rv)
+}
 
 // Fwd returns fwdb(l) (zero item when untouched, per r15).
 func (ts *TState) Fwd(l lang.Loc) FwdItem { return ts.Fwdb.Get(l) }

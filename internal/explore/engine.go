@@ -18,9 +18,10 @@ import (
 //     stack (work nearest the root splits into the largest subtrees, the
 //     classic stealing order), so the shared lock sits off the per-state
 //     hot path.
-//   - Deduplication happens before Push via a SeenSet, a striped-lock set
-//     sharded on the 64-bit state hash (core.Key), so no state is ever
-//     processed twice and counters stay deterministic under any schedule.
+//   - Deduplication happens before Push via a SeenSet, which interns the
+//     canonical state encoding through a sharded core.Interner, so no state
+//     is ever processed twice, each encoding is stored once for the whole
+//     run, and counters stay deterministic under any schedule.
 //   - Each worker accumulates into a private Result; the results are merged
 //     after the pool drains. Outcome sets, States and DeadEnds are
 //     therefore independent of the schedule; only which witness trace is
@@ -29,54 +30,26 @@ import (
 // Options.Parallelism picks the worker count; 1 reduces to the plain
 // sequential depth-first loop the seed explorers used.
 
-// seenShards is the shard count of SeenSet (a power of two, comfortably
-// above any plausible worker count so stripes rarely collide).
-const seenShards = 64
-
-// SeenSet is a concurrent set of canonical state keys, sharded by hash so
-// parallel workers do not contend on one lock.
+// SeenSet is a concurrent set of canonical state encodings backed by a
+// core.Interner: adding a state interns its encoding, so the set's keys
+// are dense 64-bit handles, each distinct encoding is copied exactly once
+// per run, and the handle identifies the state to any other per-run table
+// (sharding inside the interner keeps parallel workers off one lock).
 type SeenSet struct {
-	shards [seenShards]seenShard
-}
-
-type seenShard struct {
-	mu sync.Mutex
-	m  map[string]struct{}
+	in *core.Interner
 }
 
 // NewSeenSet returns an empty set.
-func NewSeenSet() *SeenSet {
-	s := &SeenSet{}
-	for i := range s.shards {
-		s.shards[i].m = make(map[string]struct{})
-	}
-	return s
-}
+func NewSeenSet() *SeenSet { return &SeenSet{in: core.NewInterner()} }
 
-// Add inserts k and reports whether it was absent. The check-and-insert is
-// atomic: exactly one caller wins any race on the same key.
-func (s *SeenSet) Add(k core.Key) bool {
-	sh := &s.shards[k.Hash&(seenShards-1)]
-	sh.mu.Lock()
-	_, dup := sh.m[k.Enc]
-	if !dup {
-		sh.m[k.Enc] = struct{}{}
-	}
-	sh.mu.Unlock()
-	return !dup
-}
+// Add interns the encoded state, reporting its handle and whether it was
+// absent. The check-and-insert is atomic: exactly one caller wins any race
+// on the same encoding. The bytes are copied on first sight, so the caller
+// may recycle b (core.GetEncBuf/PutEncBuf).
+func (s *SeenSet) Add(b []byte) (core.Handle, bool) { return s.in.Intern(b) }
 
-// Len returns the number of keys in the set.
-func (s *SeenSet) Len() int {
-	n := 0
-	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += len(sh.m)
-		sh.mu.Unlock()
-	}
-	return n
-}
+// Len returns the number of states in the set.
+func (s *SeenSet) Len() int { return s.in.Len() }
 
 // Frontier is the engine's shared work pool: per-worker LIFO stacks with
 // steal-half rebalancing and quiescence detection (the pool is drained when

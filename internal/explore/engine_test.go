@@ -7,27 +7,39 @@ import (
 	"promising/internal/core"
 )
 
-// TestSeenSetAddOnce checks that concurrent Adds of the same key admit
-// exactly one winner per key.
+// TestSeenSetAddOnce checks that concurrent Adds of the same encoding
+// admit exactly one winner per encoding, and that winners and losers agree
+// on the interned handle.
 func TestSeenSetAddOnce(t *testing.T) {
 	s := NewSeenSet()
 	const keys = 1000
 	const workers = 8
 	wins := make([]int, workers)
+	handles := make([][]core.Handle, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			handles[w] = make([]core.Handle, keys)
 			for i := 0; i < keys; i++ {
-				k := core.KeyOf([]byte{byte(i), byte(i >> 8)})
-				if s.Add(k) {
+				h, fresh := s.Add([]byte{byte(i), byte(i >> 8)})
+				handles[w][i] = h
+				if fresh {
 					wins[w]++
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < keys; i++ {
+			if handles[w][i] != handles[0][i] {
+				t.Fatalf("worker %d got handle %d for key %d, worker 0 got %d",
+					w, handles[w][i], i, handles[0][i])
+			}
+		}
+	}
 	total := 0
 	for _, n := range wins {
 		total += n
@@ -66,7 +78,7 @@ func synthEngine(fanout, depth int) (*Engine[synthState], *SeenSet) {
 			for v := child.path; v > 0; v >>= 8 {
 				b = append(b, byte(v))
 			}
-			if seen.Add(core.KeyOf(b)) {
+			if _, fresh := seen.Add(b); fresh {
 				c.Push(child)
 			}
 		}

@@ -19,11 +19,19 @@ type Session struct {
 	prog    *lang.CompiledProgram
 	history []*core.Machine
 	trace   []core.Label
+	// cc persists certification work across the session's steps: stepping
+	// and undoing revisit the same thread configurations over and over,
+	// so Enabled() amortises to cache lookups.
+	cc *core.CertCache
 }
 
 // NewSession starts an interactive session at the initial machine state.
 func NewSession(cp *lang.CompiledProgram) *Session {
-	return &Session{prog: cp, history: []*core.Machine{core.NewMachine(cp)}}
+	return &Session{
+		prog:    cp,
+		history: []*core.Machine{core.NewMachine(cp)},
+		cc:      core.NewCertCache(),
+	}
 }
 
 // Current returns the current machine state.
@@ -33,7 +41,7 @@ func (s *Session) Current() *core.Machine { return s.history[len(s.history)-1] }
 func (s *Session) Trace() []core.Label { return append([]core.Label(nil), s.trace...) }
 
 // Enabled lists the currently enabled (certified) transitions.
-func (s *Session) Enabled() []core.Succ { return s.Current().Successors(true) }
+func (s *Session) Enabled() []core.Succ { return s.Current().SuccessorsCached(true, s.cc) }
 
 // Step takes the i'th enabled transition.
 func (s *Session) Step(i int) error {
@@ -101,7 +109,7 @@ func (s *Session) Run(in io.Reader, out io.Writer) error {
 func (s *Session) show(out io.Writer) {
 	m := s.Current()
 	fmt.Fprint(out, m.String())
-	succs := m.Successors(true)
+	succs := s.Enabled()
 	if len(succs) == 0 {
 		if m.Final() {
 			fmt.Fprintln(out, "final state (all threads done, all promises fulfilled)")

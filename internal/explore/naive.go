@@ -21,11 +21,24 @@ type naiveEntry struct {
 //
 // The interleaving search parallelises over the engine directly: machine
 // states are independent work items, and the global SeenSet guarantees each
-// distinct state is expanded exactly once under any worker schedule.
+// distinct state is expanded exactly once under any worker schedule. All
+// workers share one exploration-scoped certification cache — the same
+// thread configuration ⟨T, M⟩ recurs across every global state differing
+// only in the other threads, so per-step certification amortises to cache
+// lookups across the run.
 func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 	m0 := core.NewMachine(cp)
 	seen := NewSeenSet()
-	seen.Add(m0.StateKey())
+	cc := opts.certCache()
+	ccStart := cc.Stats()
+	add := func(m *core.Machine) bool {
+		b := core.GetEncBuf()
+		b = m.AppendState(b)
+		_, fresh := seen.Add(b)
+		core.PutEncBuf(b)
+		return fresh
+	}
+	add(m0)
 
 	eng := Engine[naiveEntry]{Process: func(e naiveEntry, c *Ctx[naiveEntry]) {
 		if !c.Visit(1) {
@@ -35,7 +48,7 @@ func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 			c.Res.BoundExceeded = true
 			return
 		}
-		succs := e.m.Successors(opts.Certify)
+		succs := e.m.SuccessorsCached(opts.Certify, cc)
 		// A final state may still have successors (e.g. further promises);
 		// record it as an outcome regardless.
 		if e.m.Final() {
@@ -49,7 +62,7 @@ func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 			return
 		}
 		for _, s := range succs {
-			if !seen.Add(s.M.StateKey()) {
+			if !add(s.M) {
 				continue
 			}
 			var trace []core.Label
@@ -59,5 +72,24 @@ func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 			c.Push(naiveEntry{m: s.M, trace: trace})
 		}
 	}}
-	return eng.Run([]naiveEntry{{m: m0}}, &opts)
+	res := eng.Run([]naiveEntry{{m: m0}}, &opts)
+	res.Stats = statsOf(seen, cc, ccStart)
+	return res
+}
+
+// statsOf assembles a run's ExploreStats from its dedup set and
+// certification cache (either may be nil). Hit/miss counters are reported
+// relative to start, so a cache shared across runs (Options.CertCache)
+// yields per-run stats rather than cache-lifetime totals; CertEntries is
+// the cache's current size.
+func statsOf(seen *SeenSet, cc *core.CertCache, start core.CertStats) ExploreStats {
+	var st ExploreStats
+	if seen != nil {
+		st.Interned = seen.Len()
+	}
+	cs := cc.Stats()
+	st.CertHits = cs.Hits - start.Hits
+	st.CertMisses = cs.Misses - start.Misses
+	st.CertEntries = cs.Entries
+	return st
 }

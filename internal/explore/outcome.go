@@ -101,10 +101,42 @@ type Options struct {
 	// The outcome set, States and DeadEnds are identical at every setting;
 	// only witness traces (any valid trace per outcome) may differ.
 	Parallelism int
+	// CertCache, when non-nil, is the exploration-scoped certification
+	// cache the certifying backends (promise-first, naive) consult and
+	// fill; nil makes each run create its own. The cache is keyed on
+	// interned thread/memory state handles of one compiled program, so a
+	// caller-supplied cache must only ever see explorations of the same
+	// compiled program. Outcome sets are identical with any cache state
+	// (entries are exhaustive search results, never budget-truncated).
+	CertCache *core.CertCache
+	// CertCacheOff disables the exploration-scoped certification cache:
+	// every certification runs as a one-shot search with a call-local
+	// memo, the pre-cache behaviour. Used by the differential suite and
+	// the ablation benchmarks.
+	CertCacheOff bool
 }
 
 // DefaultOptions returns the standard configuration (certification on).
 func DefaultOptions() Options { return Options{Certify: true} }
+
+// NewSharedCertCache returns an empty certification cache for
+// Options.CertCache, letting a caller share certification work across
+// several explorations of the same compiled program (e.g. repeated runs
+// of one test under different budgets).
+func NewSharedCertCache() *core.CertCache { return core.NewCertCache() }
+
+// certCache resolves the exploration's certification cache: the configured
+// one, a fresh per-run cache, or nil when disabled.
+func (o *Options) certCache() *core.CertCache {
+	switch {
+	case o.CertCacheOff:
+		return nil
+	case o.CertCache != nil:
+		return o.CertCache
+	default:
+		return core.NewCertCache()
+	}
+}
 
 func (o *Options) expired() bool {
 	if o.Ctx != nil && o.Ctx.Err() != nil {
@@ -142,6 +174,35 @@ type Result struct {
 	// Aborted. Batch runners use it to distinguish a timeout from a
 	// genuinely diverging outcome set.
 	TimedOut bool
+	// Stats carries the run's engine instrumentation (interned states,
+	// certification-cache performance).
+	Stats ExploreStats
+}
+
+// ExploreStats is the engine-level instrumentation of one exploration,
+// surfaced through litmus reports and the daemon's /metrics.
+type ExploreStats struct {
+	// Interned counts the distinct canonical state encodings interned by
+	// the run's dedup set: machine states for the naive and flat
+	// explorers, phase-1 memories for promise-first.
+	Interned int
+	// CertHits and CertMisses count lookups in the exploration-scoped
+	// certification cache (zero for backends that do not certify, or with
+	// CertCacheOff).
+	CertHits   int64
+	CertMisses int64
+	// CertEntries is the number of cached certification search results at
+	// the end of the run.
+	CertEntries int
+}
+
+// CertHitRate returns CertHits/(CertHits+CertMisses), or 0 when the cache
+// saw no lookups.
+func (s ExploreStats) CertHitRate() float64 {
+	if total := s.CertHits + s.CertMisses; total > 0 {
+		return float64(s.CertHits) / float64(total)
+	}
+	return 0
 }
 
 func newResult() *Result {

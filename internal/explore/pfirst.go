@@ -24,9 +24,26 @@ import (
 // states (deduplicated through a shared SeenSet), and each worker runs the
 // embarrassingly parallel phase 2 of the memories it pops, so the heavy
 // per-memory completion work scales with Options.Parallelism.
+//
+// All workers share one exploration-scoped certification cache, consulted
+// before every find_and_certify search. Because phase-1 memories are
+// deduplicated, the searches themselves are pairwise distinct — the
+// cache's real contribution here is the unified certify+complete walk
+// (core.CertifyAndComplete): a thread's phase-2 completions are exactly
+// the certification search states that never perform a new write, so one
+// walk per (memory, thread) computes both the candidate promises and the
+// completions that the seed computed in two.
 func PromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
-	e := &pfExplorer{cp: cp, spec: spec, opts: opts, seen: NewSeenSet()}
+	e := &pfExplorer{
+		cp:   cp,
+		spec: spec,
+		opts: opts,
+		seen: NewSeenSet(),
+		cc:   opts.certCache(),
+		tin:  core.NewInterner(),
+	}
 	e.envs = make([]core.Env, len(cp.Threads))
+	e.obs = make([][]lang.Reg, len(cp.Threads))
 	for tid := range cp.Threads {
 		e.envs[tid] = core.Env{
 			Arch:   cp.Arch,
@@ -34,11 +51,15 @@ func PromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result
 			TID:    tid,
 			Shared: cp.IsShared,
 		}
+		e.obs[tid] = regsOf(spec, tid)
 	}
 	m0 := core.NewMemory(cp.Init)
-	e.seen.Add(core.MemoryKey(m0))
+	e.addMem(m0)
+	ccStart := e.cc.Stats()
 	eng := Engine[memState]{Process: e.process}
-	return eng.Run([]memState{{mem: m0}}, &opts)
+	res := eng.Run([]memState{{mem: m0, hmem: e.cc.InternMemory(m0)}}, &opts)
+	res.Stats = statsOf(e.seen, e.cc, ccStart)
+	return res
 }
 
 type pfExplorer struct {
@@ -46,22 +67,112 @@ type pfExplorer struct {
 	spec *ObsSpec
 	opts Options
 	seen *SeenSet
-	envs []core.Env // immutable, shared by all workers
+	// cc is the exploration-scoped certification cache (nil with
+	// CertCacheOff); tin interns phase-2 thread encodings, so the
+	// completer memos key on dense handles and each distinct thread
+	// encoding is stored once per run rather than once per memory.
+	cc   *core.CertCache
+	tin  *core.Interner
+	envs []core.Env   // immutable, shared by all workers
+	obs  [][]lang.Reg // per-thread observed registers, in spec order
 }
 
-// memState is a phase-1 state: a memory reachable by promises only.
+// addMem interns a phase-1 memory, reporting whether it was new.
+func (e *pfExplorer) addMem(mem *core.Memory) bool {
+	b := core.GetEncBuf()
+	b = core.EncodeMemory(b, mem, 0)
+	_, fresh := e.seen.Add(b)
+	core.PutEncBuf(b)
+	return fresh
+}
+
+// memState is a phase-1 state: a memory reachable by promises only. hmem
+// is the memory's handle in the certification cache's interner, computed
+// once at push time and shared by the per-thread unified searches.
 type memState struct {
 	mem     *core.Memory
+	hmem    core.Handle
 	promise []core.Label // phase-1 trace, kept only when collecting witnesses
 }
 
 // process handles one phase-1 memory: complete it (phase 2), then expand
-// its certified promise successors.
+// its certified promise successors. The default configuration runs the
+// unified core.CertifyAndComplete walk, which computes both in one pass;
+// witness collection and CertCacheOff fall back to the seed's two-pass
+// structure (a completer per thread, then find_and_certify per thread).
 func (e *pfExplorer) process(ms memState, c *Ctx[memState]) {
 	if !c.Visit(1) {
 		return
 	}
+	if e.cc == nil || e.opts.CollectWitnesses {
+		e.processTwoPass(ms, c)
+		return
+	}
 
+	// One unified search per thread: candidates for phase 1, completions
+	// for phase 2. The visit callback counts newly memoised completion-
+	// plane states, which are exactly the states the two-pass completer
+	// counted, so States is identical in both configurations; mirroring
+	// the two-pass early return, counting stops after the first thread
+	// that cannot complete (its own search is still counted).
+	perThread := make([][]threadFinal, len(e.cp.Threads))
+	proms := make([][]core.Msg, len(e.cp.Threads))
+	complete := true
+	for tid := range e.cp.Threads {
+		th := e.initialThread(tid, ms.mem)
+		if !complete {
+			// An earlier thread cannot complete, so this memory contributes
+			// no outcomes; later threads only need their candidate promises
+			// (the two-pass structure likewise skips their completers).
+			proms[tid] = e.cc.FindAndCertifyScoped(e.env(tid), th, ms.mem)
+			continue
+		}
+		r := e.cc.CertifyAndComplete(e.env(tid), th, ms.mem, ms.hmem, e.obs[tid],
+			func() bool { return c.Visit(1) })
+		if r.Aborted {
+			return
+		}
+		proms[tid] = r.Promises
+		if r.FinalsBound {
+			c.Res.BoundExceeded = true
+		}
+		if len(r.Finals) == 0 {
+			// This thread cannot run to completion under this memory (see
+			// complete): normal for intermediate phase-1 memories.
+			complete = false
+		} else {
+			fs := make([]threadFinal, len(r.Finals))
+			for i, vals := range r.Finals {
+				fs[i] = threadFinal{vals: vals}
+			}
+			perThread[tid] = dedupFinals(fs)
+		}
+	}
+	if complete {
+		memVals := make([]lang.Val, len(e.spec.Locs))
+		for i, l := range e.spec.Locs {
+			memVals[i] = ms.mem.LastWriteTo(l)
+		}
+		e.product(ms, perThread, memVals, c)
+	}
+
+	// Expand phase 1: certified promises of each thread.
+	for tid, ws := range proms {
+		for _, w := range ws {
+			mem := ms.mem.Clone()
+			mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
+			if e.addMem(mem) {
+				c.Push(memState{mem: mem, hmem: e.cc.InternMemory(mem)})
+			}
+		}
+	}
+}
+
+// processTwoPass is the seed's two-pass structure: a phase-2 completer per
+// thread, then a separate find_and_certify search per thread. It is kept
+// as the witness-collection path (completion traces thread through the
+// completer) and as the CertCacheOff ablation baseline.
+func (e *pfExplorer) processTwoPass(ms memState, c *Ctx[memState]) {
 	// Phase 2: try to complete every thread under this memory.
 	e.complete(ms, c)
 
@@ -69,10 +180,10 @@ func (e *pfExplorer) process(ms memState, c *Ctx[memState]) {
 	for tid := range e.cp.Threads {
 		th := e.initialThread(tid, ms.mem)
 		env := e.env(tid)
-		for _, w := range core.FindAndCertify(env, th, ms.mem) {
+		for _, w := range e.cc.FindAndCertifyScoped(env, th, ms.mem) {
 			mem := ms.mem.Clone()
 			t := mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
-			if !e.seen.Add(core.MemoryKey(mem)) {
+			if !e.addMem(mem) {
 				continue
 			}
 			next := memState{mem: mem}
@@ -118,8 +229,8 @@ func (e *pfExplorer) complete(ms memState, ctx *Ctx[memState]) {
 			ctx:  ctx,
 			env:  e.env(tid),
 			mem:  ms.mem,
-			obs:  regsOf(e.spec, tid),
-			memo: make(map[string][]threadFinal),
+			obs:  e.obs[tid],
+			memo: make(map[core.Handle][]threadFinal),
 		}
 		finals := c.search(e.initialThread(tid, ms.mem))
 		if len(finals) == 0 {
@@ -209,14 +320,17 @@ func dedupFinals(fs []threadFinal) []threadFinal {
 // completer runs the per-thread phase-2 search: all complete executions of
 // one thread alone under a fixed memory, with no new promises (every write
 // must fulfil a phase-1 promise). The memo table is private to one
-// (memory, thread) completion, so workers never share it.
+// (memory, thread) completion, so workers never share it — but its keys
+// are handles from the run-wide thread-encoding interner, so the same
+// thread state recurring under sibling memories is hashed and stored once
+// for the whole run.
 type completer struct {
 	e    *pfExplorer
 	ctx  *Ctx[memState]
 	env  *core.Env
 	mem  *core.Memory
 	obs  []lang.Reg
-	memo map[string][]threadFinal
+	memo map[core.Handle][]threadFinal
 }
 
 func (c *completer) search(th *core.Thread) []threadFinal {
@@ -238,11 +352,11 @@ func (c *completer) search(th *core.Thread) []threadFinal {
 		return []threadFinal{{vals: vals}}
 	}
 	witness := c.e.opts.CollectWitnesses
-	var key string
+	var key core.Handle
 	if !witness {
 		b := core.GetEncBuf()
 		b = core.EncodeThread(b, th)
-		key = string(b)
+		key, _ = c.e.tin.Intern(b)
 		core.PutEncBuf(b)
 		if fs, ok := c.memo[key]; ok {
 			return fs

@@ -1,6 +1,7 @@
 package flat
 
 import (
+	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/lang"
 )
@@ -14,7 +15,14 @@ import (
 func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
 	m0 := newMachine(cp)
 	seen := explore.NewSeenSet()
-	seen.Add(m0.stateKey())
+	add := func(m *machine) bool {
+		b := core.GetEncBuf()
+		b = m.appendKey(b)
+		_, fresh := seen.Add(b)
+		core.PutEncBuf(b)
+		return fresh
+	}
+	add(m0)
 
 	eng := explore.Engine[*machine]{Process: func(m *machine, c *explore.Ctx[*machine]) {
 		if !c.Visit(1) {
@@ -29,7 +37,7 @@ func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Optio
 		any := false
 		m.successors(func(s *machine) {
 			any = true
-			if seen.Add(s.stateKey()) {
+			if add(s) {
 				c.Push(s)
 			}
 		})
@@ -44,7 +52,9 @@ func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Optio
 			}
 		}
 	}}
-	return eng.Run([]*machine{m0}, &opts)
+	res := eng.Run([]*machine{m0}, &opts)
+	res.Stats.Interned = seen.Len()
+	return res
 }
 
 // observe projects a completed machine onto the observation spec.

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"sort"
 
-	"promising/internal/core"
 	"promising/internal/lang"
 )
 
@@ -189,15 +188,6 @@ func newMachine(cp *lang.CompiledProgram) *machine {
 
 // key canonically encodes the machine state for deduplication.
 func (m *machine) key() string { return string(m.appendKey(nil)) }
-
-// stateKey returns the hashed dedup key, encoding into a pooled buffer.
-func (m *machine) stateKey() core.Key {
-	b := core.GetEncBuf()
-	b = m.appendKey(b)
-	k := core.KeyOf(b)
-	core.PutEncBuf(b)
-	return k
-}
 
 func (m *machine) appendKey(b []byte) []byte {
 	locs := make([]lang.Loc, 0, len(m.mem.hist))

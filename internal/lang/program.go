@@ -1,11 +1,19 @@
 package lang
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
 
 // Program is a parallel composition of threads (Fig. 1: p ::= s1 || ... || sn)
 // plus the declarations the executable tool needs: initial memory values,
 // optional shared-location information (the §7 optimisation), symbolic
 // location names, and the loop bound.
+//
+// A Program must not be copied by value after first use (it caches its
+// name-lookup tables in an atomic field); construct with a composite
+// literal and pass *Program, as every API in this module does.
 type Program struct {
 	// Name identifies the test (litmus-style).
 	Name string
@@ -26,6 +34,62 @@ type Program struct {
 	Shared map[Loc]bool
 	// LoopBound bounds while-loop unrolling; 0 means DefaultLoopBound.
 	LoopBound int
+
+	// names caches the reverse name-lookup tables for LocName/RegName.
+	// Compile builds them at preprocess time; programs that are rendered
+	// without being compiled build them on first use. Access only through
+	// nameTables (atomic, so concurrent Compile/render of a shared
+	// Program — RunAll batches do this — stays race-free).
+	names atomic.Pointer[nameTables]
+}
+
+// nameTables are the reverse lookups of Locs and RegNames: report
+// rendering resolves every observed location and register through these,
+// which turns the former per-call O(n) map scans into hash lookups (they
+// showed up in report rendering for generated batches).
+type nameTables struct {
+	locs map[Loc]string
+	regs []map[Reg]string
+}
+
+// nameTables returns the reverse tables, building them once. Concurrent
+// first calls may both build; CompareAndSwap keeps one, and the tables are
+// deterministic (ties on aliased addresses go to the smaller name), so
+// either copy is interchangeable.
+func (p *Program) nameTables() *nameTables {
+	if t := p.names.Load(); t != nil {
+		return t
+	}
+	t := &nameTables{locs: make(map[Loc]string, len(p.Locs))}
+	names := make([]string, 0, len(p.Locs))
+	for n := range p.Locs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := p.Locs[n]
+		if _, ok := t.locs[a]; !ok {
+			t.locs[a] = n
+		}
+	}
+	t.regs = make([]map[Reg]string, len(p.RegNames))
+	for tid, m := range p.RegNames {
+		rm := make(map[Reg]string, len(m))
+		rnames := make([]string, 0, len(m))
+		for n := range m {
+			rnames = append(rnames, n)
+		}
+		sort.Strings(rnames)
+		for _, n := range rnames {
+			r := m[n]
+			if _, ok := rm[r]; !ok {
+				rm[r] = n
+			}
+		}
+		t.regs[tid] = rm
+	}
+	p.names.CompareAndSwap(nil, t)
+	return p.names.Load()
 }
 
 // DefaultLoopBound is used when a program does not specify a loop bound.
@@ -36,21 +100,17 @@ func (p *Program) InitVal(l Loc) Val { return p.Init[l] }
 
 // LocName returns the symbolic name of l, or its numeric form.
 func (p *Program) LocName(l Loc) string {
-	for n, a := range p.Locs {
-		if a == l {
-			return n
-		}
+	if n, ok := p.nameTables().locs[l]; ok {
+		return n
 	}
 	return fmt.Sprintf("%d", l)
 }
 
 // RegName returns the textual name of register r of thread tid, or "r<i>".
 func (p *Program) RegName(tid int, r Reg) string {
-	if tid < len(p.RegNames) {
-		for n, i := range p.RegNames[tid] {
-			if i == r {
-				return n
-			}
+	if t := p.nameTables(); tid < len(t.regs) {
+		if n, ok := t.regs[tid][r]; ok {
+			return n
 		}
 	}
 	return fmt.Sprintf("r%d", r)
@@ -150,6 +210,7 @@ func Compile(p *Program) (*CompiledProgram, error) {
 		Shared: p.Shared,
 		Source: p,
 	}
+	p.nameTables() // build the reverse name tables at preprocess time
 	for tid, s := range p.Threads {
 		unrolled := Unroll(s, bound)
 		var c compiler

@@ -77,6 +77,15 @@ func (r *Report) Status() Status {
 // and matched the test's expectation.
 func (r *Report) OK() bool { return r.Status() == StatusPass }
 
+// Stats returns the cell's exploration instrumentation (zero when the
+// cell never ran).
+func (r *Report) Stats() explore.ExploreStats {
+	if r.Verdict == nil || r.Verdict.Result == nil {
+		return explore.ExploreStats{}
+	}
+	return r.Verdict.Result.Stats
+}
+
 // RunAllOptions tunes a batched run.
 type RunAllOptions struct {
 	// Concurrency bounds how many (test, backend) cells run at once;
@@ -112,6 +121,11 @@ func RunAll(tests []*Test, backends []NamedRunner, o RunAllOptions) []Report {
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				eo := o.Explore
+				// A certification cache is scoped to one compiled program;
+				// a batch crosses many tests, so a caller-supplied cache
+				// must not leak across cells (each exploration builds its
+				// own).
+				eo.CertCache = nil
 				if o.Timeout > 0 {
 					eo.Deadline = time.Now().Add(o.Timeout)
 				}

@@ -20,6 +20,7 @@ package server
 import (
 	"strings"
 
+	"promising/internal/explore"
 	"promising/internal/litmus"
 )
 
@@ -90,6 +91,22 @@ type TestReport struct {
 	ElapsedUS int64  `json:"elapsed_us"`
 	Cached    bool   `json:"cached,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// Stats carries the exploration's engine instrumentation (interned
+	// states, certification-cache performance); omitted when the cell
+	// never ran.
+	Stats *ExploreStatsJSON `json:"stats,omitempty"`
+}
+
+// ExploreStatsJSON is explore.ExploreStats in wire form.
+type ExploreStatsJSON struct {
+	// Interned counts distinct canonical state encodings interned by the
+	// run's dedup set.
+	Interned int `json:"interned,omitempty"`
+	// CertHits/CertMisses count exploration-scoped certification-cache
+	// lookups; CertEntries is the cache's final size.
+	CertHits    int64 `json:"cert_hits,omitempty"`
+	CertMisses  int64 `json:"cert_misses,omitempty"`
+	CertEntries int   `json:"cert_entries,omitempty"`
 }
 
 // StatusCanceled marks a batch cell whose job was canceled before the
@@ -117,6 +134,14 @@ func ReportJSON(r litmus.Report) TestReport {
 		tr.ElapsedUS = v.Elapsed.Microseconds()
 		if out := litmus.FormatOutcomes(v.Spec, v.Result, v.Test.Prog); out != "" {
 			tr.Outcomes = strings.Split(out, "\n")
+		}
+		if s := v.Result.Stats; s != (explore.ExploreStats{}) {
+			tr.Stats = &ExploreStatsJSON{
+				Interned:    s.Interned,
+				CertHits:    s.CertHits,
+				CertMisses:  s.CertMisses,
+				CertEntries: s.CertEntries,
+			}
 		}
 	}
 	return tr

@@ -100,6 +100,12 @@ type Server struct {
 	// pending counts batch cells admitted but not yet completed, bounded
 	// by Config.MaxPendingCells at admission.
 	pending atomic.Int64
+	// certHits/certMisses/interned accumulate the per-exploration
+	// ExploreStats of every cell this daemon ran (cache hits excluded:
+	// a cached verdict re-reports the original exploration's stats).
+	certHits   atomic.Int64
+	certMisses atomic.Int64
+	interned   atomic.Int64
 }
 
 // New builds a server from cfg.
@@ -291,6 +297,11 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 	eo.Deadline = time.Now().Add(timeout)
 	v, rerr := litmus.Run(t, named.Run, eo)
 	tr := ReportJSON(litmus.Report{Test: t, Backend: backend, Verdict: v, Err: rerr})
+	if st := tr.Stats; st != nil {
+		s.certHits.Add(st.CertHits)
+		s.certMisses.Add(st.CertMisses)
+		s.interned.Add(int64(st.Interned))
+	}
 	if cacheable(tr.Status) {
 		if raw, err := json.Marshal(tr); err == nil {
 			s.cache.Put(key, raw)
@@ -319,6 +330,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE promised_cache_misses_total counter\npromised_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "# TYPE promised_cache_entries gauge\npromised_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "# TYPE promised_cache_evicted_total counter\npromised_cache_evicted_total %d\n", cs.Evicted)
+	fmt.Fprintf(w, "# TYPE promised_cert_cache_hits_total counter\npromised_cert_cache_hits_total %d\n", s.certHits.Load())
+	fmt.Fprintf(w, "# TYPE promised_cert_cache_misses_total counter\npromised_cert_cache_misses_total %d\n", s.certMisses.Load())
+	fmt.Fprintf(w, "# TYPE promised_interned_states_total counter\npromised_interned_states_total %d\n", s.interned.Load())
 	fmt.Fprintf(w, "# TYPE promised_explorations_inflight gauge\npromised_explorations_inflight %d\n", s.inflight.Load())
 	fmt.Fprintf(w, "# TYPE promised_cells_pending gauge\npromised_cells_pending %d\n", s.pending.Load())
 	fmt.Fprintf(w, "# TYPE promised_jobs_active gauge\npromised_jobs_active %d\n", s.jobs.active())

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"promising/internal/backends"
+	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/lang"
 	"promising/internal/litmus"
@@ -40,6 +41,13 @@ type (
 	RunAllOptions = litmus.RunAllOptions
 	// Result is an exhaustive exploration result.
 	Result = explore.Result
+	// ExploreStats is a run's engine instrumentation (Result.Stats):
+	// interned states and certification-cache hit/miss/size counters.
+	ExploreStats = explore.ExploreStats
+	// CertCache is an exploration-scoped certification cache; see
+	// ExploreOptions.CertCache for sharing one across explorations of the
+	// same compiled program.
+	CertCache = core.CertCache
 	// Session is an interactive exploration session.
 	Session = explore.Session
 	// Program is a parallel program in the paper's calculus.
