@@ -168,3 +168,50 @@ func TestPublicAPIOptionsWithContext(t *testing.T) {
 		t.Fatalf("pre-canceled run: TimedOut=%t Aborted=%t; want both", v.Result.TimedOut, v.Result.Aborted)
 	}
 }
+
+// TestPublicAPIFuzz: a small campaign through the public API, with the
+// generator profile vocabulary and a persistent corpus + replay.
+func TestPublicAPIFuzz(t *testing.T) {
+	if got := promising.GenProfiles(); len(got) != 5 || got[4] != "full" {
+		t.Fatalf("GenProfiles() = %v", got)
+	}
+	profile, err := promising.GenProfileByName("fences")
+	if err != nil || !profile.Fences || profile.Xcl {
+		t.Fatalf("GenProfileByName(fences) = %+v, %v", profile, err)
+	}
+	gen := promising.GenerateTest(promising.GenConfig{Seed: 3, Arch: promising.ARM, Profile: profile})
+	if _, err := promising.ParseTest(promising.FormatTest(gen)); err != nil {
+		t.Fatalf("generated test does not round-trip: %v", err)
+	}
+
+	dir := t.TempDir()
+	cfg := promising.FuzzConfig{Seed: 5, Iterations: 60, CorpusDir: dir, Shrink: true}
+	if err := cfg.SetProfile("full"); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := promising.Fuzz(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed() {
+		t.Fatalf("clean campaign found findings: %+v", sum.Findings[0])
+	}
+	if sum.CorpusSize == 0 {
+		t.Fatal("campaign admitted nothing")
+	}
+
+	corpus, err := promising.OpenFuzzCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != sum.CorpusSize {
+		t.Fatalf("corpus reload: %d entries, want %d", corpus.Len(), sum.CorpusSize)
+	}
+	rep, err := promising.ReplayCorpus(context.Background(), corpus, nil, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("replay regressions: %+v", rep)
+	}
+}

@@ -112,7 +112,11 @@ func main() {
 		timeout = flag.Duration("timeout", 60*time.Second, "per-row, per-model wall budget (ooT when exceeded)")
 		noFlat  = flag.Bool("no-flat", false, "skip the flat baseline column")
 		rows    = flag.String("rows", "", "comma-separated row ids overriding the default set")
+		gen     = flag.Int("gen", 0, "append N seeded random litmus rows per architecture (RND-<arch>-<i>)")
 	)
+	flag.Int64Var(&genSeed, "seed", 1,
+		"base seed for the -gen random rows — the same seed generates byte-identical "+
+			"tests on every host, so BENCH_*.json snapshots are reproducible and comparable")
 	flag.IntVar(&engineWorkers, "j", 1, "exploration engine workers per row; 0/-1 = GOMAXPROCS")
 	flag.IntVar(&flatBudget, "flat-budget", 500_000,
 		"per-cell state budget for the flat baseline (0 = unlimited); cells that "+
@@ -124,6 +128,7 @@ func main() {
 		"also write a BENCH_<n>.json snapshot (per-cell wall time, states, "+
 			"cert-cache hit rate) for machine-readable perf trajectories")
 	flag.Parse()
+	genRows = *gen
 	if err := run(*table, *full, *timeout, *noFlat, *rows); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -134,10 +139,13 @@ func main() {
 	}
 }
 
-// flatBudget is the -flat-budget flag; jsonOut the -json flag.
+// flatBudget is the -flat-budget flag; jsonOut the -json flag; genRows and
+// genSeed the -gen/-seed random-row parameters.
 var (
 	flatBudget int
 	jsonOut    bool
+	genRows    int
+	genSeed    int64
 )
 
 // BenchCell is one (test, backend) timing in the -json snapshot.
@@ -158,10 +166,13 @@ type BenchCell struct {
 
 // BenchSnapshot is the -json output shape.
 type BenchSnapshot struct {
-	GeneratedAt string      `json:"generated_at"`
-	GoMaxProcs  int         `json:"gomaxprocs"`
-	Workers     int         `json:"workers"`
-	Cells       []BenchCell `json:"cells"`
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Workers     int    `json:"workers"`
+	// Seed is the -gen rows' base seed: snapshots taken on different hosts
+	// with the same seed time byte-identical generated tests.
+	Seed  int64       `json:"seed,omitempty"`
+	Cells []BenchCell `json:"cells"`
 }
 
 // cells accumulates every timed cell of the run for the -json snapshot.
@@ -176,6 +187,7 @@ func writeSnapshot() error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:  runtimeGOMAXPROCS(),
 		Workers:     engineWorkers,
+		Seed:        genSeed,
 		Cells:       cells,
 	}
 	raw, err := json.MarshalIndent(snap, "", "  ")
@@ -294,7 +306,7 @@ func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
 // skipped rather than mislabelled as a wall timeout). It records the cell
 // for the -json snapshot and returns the formatted seconds, "ooT" (wall
 // budget), "skip(budget)" (state budget) or "err".
-func timeOne(in *workloads.Instance, backend promising.Backend, timeout time.Duration) string {
+func timeOne(test *promising.Test, backend promising.Backend, timeout time.Duration) string {
 	opts := promising.OptionsWithTimeout(timeout)
 	opts.Parallelism = engineWorkers
 	if engineWorkers <= 0 {
@@ -303,8 +315,8 @@ func timeOne(in *workloads.Instance, backend promising.Backend, timeout time.Dur
 	if backend == promising.BackendFlat && flatBudget > 0 {
 		opts.MaxStates = flatBudget
 	}
-	cell := BenchCell{Test: in.Test.Name(), Backend: string(backend)}
-	v, err := promising.Run(in.Test, backend, opts)
+	cell := BenchCell{Test: test.Name(), Backend: string(backend)}
+	v, err := promising.Run(test, backend, opts)
 	if err != nil {
 		cell.Status = "error"
 		cells = append(cells, cell)
@@ -341,13 +353,35 @@ func timeTable(rows []string, timeout time.Duration, noFlat bool) error {
 		if err != nil {
 			return err
 		}
-		p := timeOne(in, promising.BackendPromising, timeout)
+		p := timeOne(in.Test, promising.BackendPromising, timeout)
 		f := "-"
 		if !noFlat {
-			f = timeOne(in, promising.BackendFlat, timeout)
+			f = timeOne(in.Test, promising.BackendFlat, timeout)
 		}
 		ref := paper[id]
 		fmt.Printf("%-22s %12s %12s      %12s %12s\n", id, p, f, ref.promising, ref.flat)
+	}
+	// Seeded random rows (-gen): the same -seed generates byte-identical
+	// tests on every host, so snapshot timings compare across machines.
+	if genRows > 0 {
+		profile, err := promising.GenProfileByName("full")
+		if err != nil {
+			return err
+		}
+		for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
+			for i := 0; i < genRows; i++ {
+				t := promising.GenerateTest(promising.GenConfig{
+					Seed: genSeed + int64(i), Arch: arch, Profile: profile,
+				})
+				t.Prog.Name = fmt.Sprintf("RND-%s-%d", arch, i)
+				p := timeOne(t, promising.BackendPromising, timeout)
+				f := "-"
+				if !noFlat {
+					f = timeOne(t, promising.BackendFlat, timeout)
+				}
+				fmt.Printf("%-22s %12s %12s      %12s %12s\n", t.Prog.Name, p, f, "-", "-")
+			}
+		}
 	}
 	fmt.Println("\nooT = over the per-row wall budget; skip(budget) = over the per-cell state")
 	fmt.Println("budget (-flat-budget). Absolute times are not comparable to the paper's")
@@ -371,8 +405,8 @@ func herdTable(timeout time.Duration) error {
 		if err != nil {
 			return err
 		}
-		a := timeOne(in, promising.BackendAxiomatic, timeout)
-		p := timeOne(in, promising.BackendPromising, timeout)
+		a := timeOne(in.Test, promising.BackendAxiomatic, timeout)
+		p := timeOne(in.Test, promising.BackendPromising, timeout)
 		ref := refs[id]
 		fmt.Printf("%-8s %12s %12s      %12s %12s\n", id, a, p, ref.promising, ref.flat)
 	}

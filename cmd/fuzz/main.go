@@ -1,0 +1,162 @@
+// Command fuzz runs differential fuzzing campaigns against the model
+// backends: seeded random generation plus corpus-guided mutation, every
+// candidate explored under promise-first (the oracle) and the comparison
+// backends, disagreements and crashes delta-debugged to minimal
+// reproducers and persisted to the corpus.
+//
+//	fuzz -t 30s                         time-boxed campaign, defaults
+//	fuzz -iters 10000 -seed 7           iteration-boxed, reproducible
+//	fuzz -profile fences -arch riscv    feature/arch selection
+//	fuzz -corpus ./corpus               persistent corpus + verdict cache
+//	fuzz -backends promising,naive,axiomatic,flat
+//
+// The exit status is 0 for a clean campaign, 1 when any disagreement or
+// crash was found, and 2 for campaign infrastructure errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"promising"
+	"promising/internal/lang"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "campaign base seed")
+		iters    = flag.Int("iters", 0, "iteration budget (0 = bounded by -t only; both 0 selects 1000 iterations)")
+		duration = flag.Duration("t", 0, "wall-clock budget (0 = none)")
+		profile  = flag.String("profile", "full", "generator profile: classic, fences, xcl, deps, full")
+		arch     = flag.String("arch", "both", "architectures to generate: arm, riscv, both")
+		threads  = flag.Int("threads", 0, "generated threads per test (0 = default 2)")
+		instrs   = flag.Int("instrs", 0, "max generated instructions per thread (0 = default 4)")
+		locs     = flag.Int("locs", 0, "distinct shared locations (0 = default 2)")
+		backends = flag.String("backends", "promising,naive,axiomatic", "comma-separated backends, oracle first")
+		corpus   = flag.String("corpus", "", "corpus directory (persists tests, reproducers and the verdict cache)")
+		shrink   = flag.Bool("shrink", true, "delta-debug findings to minimal reproducers")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-backend budget per candidate")
+		maxFind  = flag.Int("max-findings", 0, "stop after N findings (0 = fuzz the whole budget)")
+		workers  = flag.Int("j", 1, "concurrent campaign workers")
+		mutate   = flag.Int("mutate", 60, "percent of iterations that mutate the corpus (0 = pure seeded generation)")
+		verbose  = flag.Bool("v", false, "print progress every 100 iterations")
+	)
+	flag.Parse()
+
+	cfg := promising.FuzzConfig{
+		Seed:          *seed,
+		Iterations:    *iters,
+		Duration:      *duration,
+		Threads:       *threads,
+		MaxInstrs:     *instrs,
+		Locs:          *locs,
+		CorpusDir:     *corpus,
+		Shrink:        *shrink,
+		TestTimeout:   *timeout,
+		MaxFindings:   *maxFind,
+		Workers:       *workers,
+		MutatePercent: *mutate,
+	}
+	if *mutate == 0 {
+		// The library treats 0 as "default"; at the CLI an explicit 0
+		// means mutation off.
+		cfg.MutatePercent = -1
+	}
+	if err := cfg.SetProfile(*profile); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		os.Exit(2)
+	}
+	switch *arch {
+	case "arm":
+		cfg.Archs = []lang.Arch{lang.ARM}
+	case "riscv":
+		cfg.Archs = []lang.Arch{lang.RISCV}
+	case "both", "":
+	default:
+		fmt.Fprintf(os.Stderr, "fuzz: unknown arch %q (want arm, riscv or both)\n", *arch)
+		os.Exit(2)
+	}
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			cfg.Backends = append(cfg.Backends, b)
+		}
+	}
+	if *verbose {
+		cfg.Progress = func(p promising.FuzzProgress) {
+			fmt.Printf("fuzz: %d iters (%d dups), corpus %d, coverage %d, findings %d, cache hits %d, %0.1fs\n",
+				p.Iterations, p.Dups, p.CorpusSize, p.Coverage, p.Findings, p.CacheHits, float64(p.ElapsedMS)/1000)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	sum, err := promising.Fuzz(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fuzz:", err)
+		if sum == nil || len(sum.Findings) == 0 {
+			os.Exit(2)
+		}
+		// A mid-campaign infrastructure failure must not swallow findings
+		// already computed: print them, then exit nonzero below.
+		fmt.Fprintln(os.Stderr, "fuzz: campaign aborted; findings so far follow")
+	}
+
+	fmt.Printf("fuzz: seed %d, profile %s, backends %s\n", sum.Seed, sum.Profile, strings.Join(sum.Backends, ","))
+	fmt.Printf("fuzz: %d iterations (%d dups, %d invalid), corpus %d, coverage %d, incomplete %d, cache hits %d, %.1fs\n",
+		sum.Iterations, sum.Dups, sum.Invalid, sum.CorpusSize, sum.Coverage, sum.Incomplete, sum.CacheHits,
+		float64(sum.ElapsedMS)/1000)
+	for i, f := range sum.Findings {
+		fmt.Printf("\nFINDING %d: %s (oracle %s", i+1, f.Kind, f.Oracle)
+		if len(f.Disagree) > 0 {
+			fmt.Printf(", disagree %s", strings.Join(f.Disagree, ","))
+		}
+		if len(f.Crashed) > 0 {
+			fmt.Printf(", crashed %s", strings.Join(f.Crashed, ","))
+		}
+		fmt.Printf(") — %d threads × %d instrs\n", f.Threads, f.Instrs)
+		src := f.ShrunkSource
+		if src == "" {
+			src = f.Source
+		} else {
+			fmt.Printf("shrunk from %s in %d steps\n", f.Hash[:12], len(f.ShrinkTrace))
+		}
+		fmt.Println(indent(src, "  "))
+		if f.Details != "" {
+			fmt.Println(indent(f.Details, "  "))
+		}
+		if f.Panic != "" {
+			fmt.Println(indent(firstLines(f.Panic, 12), "  "))
+		}
+	}
+	if sum.Failed() {
+		fmt.Printf("\nfuzz: %d finding(s)\n", len(sum.Findings))
+		os.Exit(1)
+	}
+	if ctx.Err() != nil && !(cfg.Iterations > 0 && sum.Iterations >= cfg.Iterations) {
+		// An interrupted campaign is incomplete, not clean: scripts must
+		// not read a SIGINT/SIGTERM kill as a full clean run. (A signal
+		// landing after the full iteration budget ran is still clean.)
+		fmt.Println("fuzz: interrupted before the budget completed (no findings so far)")
+		os.Exit(130)
+	}
+	fmt.Println("fuzz: clean")
+}
+
+func indent(s, pad string) string {
+	return pad + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n"+pad)
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+		lines = append(lines, "...")
+	}
+	return strings.Join(lines, "\n")
+}

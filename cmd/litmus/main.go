@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,12 +39,85 @@ func main() {
 		jobs     = flag.Int("j", 0, "concurrent (test, backend) cells; 0 = GOMAXPROCS")
 		par      = flag.Int("par", 1, "exploration engine workers per test; 0/-1 = GOMAXPROCS")
 		jsonOut  = flag.Bool("json", false, "emit one JSON report array (the server's TestReport shape) instead of text")
+		replay   = flag.String("replay", "", "re-run every test in this fuzz corpus directory and report regressions")
 	)
 	flag.Parse()
+	if *replay != "" {
+		if err := runReplay(*replay, *backends, *timeout, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "litmus:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout, *backends, *jobs, *par, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(1)
 	}
+}
+
+// runReplay re-runs a persisted fuzz corpus as a regression suite: shrunk
+// counterexample reproducers must stay fixed (no disagreement), coverage
+// entries must reproduce the outcome sets recorded at admission.
+func runReplay(dir, backendList string, timeout time.Duration, verbose bool) error {
+	corpus, err := promising.OpenFuzzCorpus(dir)
+	if err != nil {
+		return err
+	}
+	if corpus.Len() == 0 {
+		return fmt.Errorf("corpus %s is empty", dir)
+	}
+	var names []string
+	for _, name := range strings.Split(backendList, ",") {
+		if name = strings.TrimSpace(name); name != "" && name != "promising" {
+			names = append(names, name)
+		}
+	}
+	// The oracle is always promise-first; -backends adds comparisons.
+	names = append([]string{"promising"}, names...)
+	if len(names) == 1 {
+		names = nil // default set: promising, naive, axiomatic
+	}
+	rep, err := promising.ReplayCorpus(context.Background(), corpus, names, timeout)
+	if err != nil {
+		return err
+	}
+	for _, e := range rep.Entries {
+		if e.Regression() || verbose {
+			status := "ok  "
+			if e.Regression() {
+				status = "FAIL"
+			}
+			fmt.Printf("%s %s %s (%s", status, shortHash(e.Hash), e.Name, e.Status)
+			if len(e.Disagree) > 0 {
+				fmt.Printf(": %s", strings.Join(e.Disagree, ","))
+			}
+			if len(e.Crashed) > 0 {
+				fmt.Printf(": panic in %s", strings.Join(e.Crashed, ","))
+			}
+			if len(e.Changed) > 0 {
+				fmt.Printf(": drift in %s", strings.Join(e.Changed, ","))
+			}
+			fmt.Println(")")
+			if e.Regression() && e.Details != "" {
+				fmt.Println("  " + strings.ReplaceAll(e.Details, "\n", "\n  "))
+			}
+		}
+	}
+	fmt.Printf("%d corpus tests, %d ok, %d incomplete, %d regressions\n",
+		rep.Total, rep.OK, rep.Incomplete, rep.Regressions)
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// shortHash abbreviates a content address for display; hand-added corpus
+// files can have arbitrarily short name stems.
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
 }
 
 func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration, backendList string, jobs, par int, jsonOut bool) error {

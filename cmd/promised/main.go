@@ -42,6 +42,8 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "persist verdicts under this directory (empty = memory only)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-test budget")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied budgets")
+		fuzzCorpus = flag.String("fuzz-corpus", "", "persist fuzz-campaign corpora under this directory (empty = memory only)")
+		maxFuzz    = flag.Int("max-fuzz-iters", 0, "cap per-campaign iteration budgets; 0 = default 50000")
 		quiet      = flag.Bool("q", false, "suppress per-request logging")
 	)
 	flag.Parse()
@@ -51,14 +53,16 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	cfg := promising.ServerConfig{
-		Addr:           *addr,
-		Workers:        *workers,
-		Parallelism:    *par,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		CacheEntries:   *cacheN,
-		CacheDir:       *cacheDir,
-		Logf:           logf,
+		Addr:              *addr,
+		Workers:           *workers,
+		Parallelism:       *par,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		CacheEntries:      *cacheN,
+		CacheDir:          *cacheDir,
+		FuzzCorpusDir:     *fuzzCorpus,
+		MaxFuzzIterations: *maxFuzz,
+		Logf:              logf,
 	}
 	if *par == 0 || *par < -1 {
 		cfg.Parallelism = -1

@@ -132,6 +132,21 @@ func (e *enumerator) atomic(c *cand) bool {
 		}
 		r := c.events[w.RMW]
 		src := c.rf[r.ID] // -1 = initial
+		if r.Loc != w.Loc && src >= 0 {
+			// Mismatched exclusive pair (load and store exclusive to
+			// different locations) reading a real write: fr relates the
+			// read only to writes on its own location and co relates the
+			// store only to writes on its, so rmw ∩ (fre; coe) is empty by
+			// construction — the pair is trivially atomic, matching the
+			// operational model's atomic(M, l, tid, tr, tw) (§A.3), which
+			// ignores the read when its message was to a different
+			// location. Comparing co positions across locations here
+			// spuriously forbade such executions. A read of the *initial*
+			// memory (src < 0) stays subject to the check: timestamp 0 is
+			// the initial write of every location, the store's included,
+			// exactly as §A.3's tr = 0 case.
+			continue
+		}
 		for _, mid := range c.writesOf[w.Loc] {
 			if mid == w.ID || mid == src {
 				continue

@@ -256,7 +256,13 @@ func (t *tracer) store(s *traceState, n *lang.Node) {
 		c := s.clone()
 		c.regs[n.Dst] = regState{val: lang.VFail}
 		c.xclb = -1
-		c.addrPO = c.addrPO.union(at)
+		// A failed store exclusive performs no write and its address need
+		// not even be resolved (ARMv8 allows spontaneous failure; the
+		// operational fail rule accordingly leaves vCAP untouched), so its
+		// address dependency must NOT feed addr;po — joining it here
+		// ordered po-later writes after the failed exclusive's address
+		// sources and forbade executions the operational model (and herd,
+		// where a failed exclusive produces no event) allow.
 		t.step(c)
 	}
 }

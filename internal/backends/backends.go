@@ -22,6 +22,16 @@ const (
 	Flat      = "flat"
 )
 
+// SemanticsEpoch versions the backends' model semantics for every
+// persisted verdict cache (the daemon's -cache-dir, the fuzzer's
+// <corpus>/verdicts): a cached verdict is only valid for the semantics
+// that computed it, so bump this whenever any backend's outcome sets can
+// change. Epoch 2 is the state after the mismatched-exclusive and
+// failed-store-exclusive axiomatic fixes. Keeping the constant here —
+// next to the registry both cache owners already resolve backends
+// through — means one bump invalidates every stale store in lockstep.
+const SemanticsEpoch = "2"
+
 // Names lists every backend name in canonical order (the promise-first
 // explorer, the paper's headline contribution, first).
 func Names() []string { return []string{Promising, Naive, Axiomatic, Flat} }

@@ -39,6 +39,29 @@ import (
 //     tree walk yields both the candidate promises and the final register
 //     observations that the seed implementation computed in two.
 
+// weakCertLeak, when set, deliberately weakens the certification check: a
+// search state with exactly one outstanding promise counts as certified
+// (and, in the unified walk, as a phase-2 completion). This is an injected
+// semantics bug — it lets a thread "promise" a write it never performs, so
+// the promise-aware backends admit out-of-thin-air outcomes the axiomatic
+// and flat models (and the naive machine's Final check) reject. It exists
+// only so the fuzz campaign's acceptance tests can prove the differential
+// harness detects and shrinks a real certification soundness hole; nothing
+// outside tests may enable it.
+var weakCertLeak atomic.Bool
+
+// SetWeakCertLeakForTesting toggles the injected certification bug and
+// returns the previous setting. Test-only; see weakCertLeak. Callers must
+// not share CertCaches (or verdict caches) across a toggle — entries
+// computed under the leak are wrong.
+func SetWeakCertLeakForTesting(on bool) bool { return weakCertLeak.Swap(on) }
+
+// promisesDischarged is the certification termination check (r24: no
+// outstanding promises), routed through the test-only leak.
+func promisesDischarged(prom PromSet) bool {
+	return len(prom) == 0 || weakCertLeak.Load() && len(prom) == 1
+}
+
 // CertResult is the outcome of a certification search.
 type CertResult struct {
 	// Certified reports whether a sequential execution fulfils all promises.
@@ -401,7 +424,7 @@ func (c *certifier) search(th *Thread, mem *Memory, hmem Handle, plane bool) cer
 		// and (on the completion plane) the completion set is incomplete.
 		return certMemo{fbound: true}
 	}
-	done := len(th.TS.Prom) == 0
+	done := promisesDischarged(th.TS.Prom)
 	if done && !c.collect {
 		return certMemo{reach: true}
 	}

@@ -1,0 +1,280 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"promising/internal/litmus"
+)
+
+// The corpus is the campaign's persistent memory: every interesting test —
+// one per distinct behaviour signature, plus every disagreement reproducer
+// and its shrunk form — lives as a pair of files in the corpus directory:
+//
+//	<hash>.litmus   the test, in the litmus text format (replayable as-is)
+//	<hash>.json     Meta: seed, mutation lineage, per-backend verdicts,
+//	                shrink trace
+//
+// where <hash> is the content address (Identity: the SHA-256 of the
+// canonicalised source with the name directive stripped, so renaming a
+// test does not duplicate it). A corpus can also live purely in memory
+// (dir == ""), which the short-lived campaign tests use.
+
+// Identity returns the content address of a litmus source: SourceHash of
+// the text minus its name directive. Campaign dedup, corpus filenames and
+// the campaign verdict cache all key on it, so cosmetic renames neither
+// duplicate corpus entries nor miss cache hits.
+func Identity(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		// Strip name *directives* only: "name MP+fences". A statement line
+		// like "name = load [x];" (a register legitimately called name)
+		// is content, and must stay part of the address.
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "name "); ok {
+			rest = strings.TrimSpace(rest)
+			if !strings.HasPrefix(rest, "=") && !strings.HasPrefix(rest, ":=") {
+				continue
+			}
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return litmus.SourceHash(b.String())
+}
+
+// BackendVerdict is one backend's recorded verdict on a corpus entry.
+type BackendVerdict struct {
+	// Status is pass, timeout, aborted, error or crash (litmus.Status plus
+	// the fuzzer's panic status).
+	Status string `json:"status"`
+	// Fingerprint is the canonical outcome-set hash (complete runs only);
+	// two backends agree exactly when their fingerprints are equal.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Outcomes and States size the exploration.
+	Outcomes int `json:"outcomes,omitempty"`
+	States   int `json:"states,omitempty"`
+}
+
+// Meta is the sidecar metadata of one corpus entry.
+type Meta struct {
+	// Seed is the generator seed (fresh generations only).
+	Seed int64 `json:"seed,omitempty"`
+	// Profile and Arch record what the entry was generated from.
+	Profile string `json:"profile,omitempty"`
+	Arch    string `json:"arch,omitempty"`
+	// Parent is the corpus entry this one was mutated from; Lineage lists
+	// the mutation operators applied, oldest first (accumulated across
+	// generations).
+	Parent  string   `json:"parent,omitempty"`
+	Lineage []string `json:"lineage,omitempty"`
+	// Verdicts records the differential run that admitted the entry;
+	// Epoch the model-semantics version (backends.SemanticsEpoch) they
+	// were computed under. Replay only checks outcome drift against
+	// verdicts from the current epoch — after a deliberate semantics fix,
+	// old fingerprints are expected to differ and must not be re-flagged
+	// as regressions.
+	Verdicts map[string]BackendVerdict `json:"verdicts,omitempty"`
+	Epoch    string                    `json:"epoch,omitempty"`
+	// Coverage is the behaviour signature the entry was admitted for.
+	Coverage string `json:"coverage,omitempty"`
+	// Kind is "" for coverage entries, "disagreement" or "crash" for
+	// findings.
+	Kind string `json:"kind,omitempty"`
+	// Disagree lists the backends whose outcome set differed from the
+	// oracle's (disagreement findings).
+	Disagree []string `json:"disagree,omitempty"`
+	// ShrunkFrom is the hash of the original (unshrunk) finding;
+	// ShrinkTrace the reduction steps that led here.
+	ShrunkFrom  string   `json:"shrunk_from,omitempty"`
+	ShrinkTrace []string `json:"shrink_trace,omitempty"`
+	// CreatedUnix is the admission time (unix seconds).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// Entry is one corpus test.
+type Entry struct {
+	Hash   string
+	Source string
+	Meta   Meta
+}
+
+// Corpus is the deduplicated test store shared by all campaign workers.
+type Corpus struct {
+	dir string
+
+	mu     sync.Mutex
+	byHash map[string]*Entry
+	order  []string // insertion order (load order for persisted corpora)
+}
+
+// OpenCorpus opens (or creates) the corpus at dir, loading every persisted
+// entry. dir == "" yields a memory-only corpus.
+func OpenCorpus(dir string) (*Corpus, error) {
+	c := &Corpus{dir: dir, byHash: map[string]*Entry{}}
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fuzz: corpus dir: %w", err)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: corpus dir: %w", err)
+	}
+	names := make([]string, 0, len(des))
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".litmus") {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus entry %s: %w", name, err)
+		}
+		e := &Entry{Hash: strings.TrimSuffix(name, ".litmus"), Source: string(raw)}
+		if mraw, err := os.ReadFile(filepath.Join(dir, e.Hash+".json")); err == nil {
+			// A missing or corrupt sidecar only loses metadata, never the
+			// test.
+			_ = json.Unmarshal(mraw, &e.Meta)
+		}
+		c.byHash[e.Hash] = e
+		c.order = append(c.order, e.Hash)
+	}
+	return c, nil
+}
+
+// Dir returns the corpus directory ("" for memory-only corpora).
+func (c *Corpus) Dir() string { return c.dir }
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byHash)
+}
+
+// Entries snapshots the corpus in insertion order. Entries are shallow
+// copies: concurrent UpdateMeta calls replace metadata fields wholesale
+// (never mutate shared maps in place), so a snapshot stays consistent.
+func (c *Corpus) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.order))
+	for _, h := range c.order {
+		out = append(out, *c.byHash[h])
+	}
+	return out
+}
+
+// Get returns a snapshot of the entry with the given hash.
+func (c *Corpus) Get(hash string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byHash[hash]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Add inserts a test (content-addressed on Identity(src)), persisting it
+// when the corpus has a directory. It reports whether the entry is new; an
+// existing entry is returned unchanged.
+func (c *Corpus) Add(src string, meta Meta) (Entry, bool, error) {
+	hash := Identity(src)
+	c.mu.Lock()
+	if e, ok := c.byHash[hash]; ok {
+		out := *e
+		c.mu.Unlock()
+		return out, false, nil
+	}
+	e := &Entry{Hash: hash, Source: src, Meta: meta}
+	c.byHash[hash] = e
+	c.order = append(c.order, hash)
+	// Persisting under the lock serialises sidecar writes with concurrent
+	// UpdateMeta calls; corpus admissions are rare relative to iterations,
+	// so the held IO does not bottleneck workers.
+	err := c.persist(e)
+	out := *e
+	c.mu.Unlock()
+	return out, true, err
+}
+
+// UpdateMeta applies fn to the entry's metadata and re-persists it.
+func (c *Corpus) UpdateMeta(hash string, fn func(*Meta)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byHash[hash]
+	if !ok {
+		return fmt.Errorf("fuzz: no corpus entry %s", hash)
+	}
+	fn(&e.Meta)
+	return c.persist(e)
+}
+
+// Pick returns a snapshot of a pseudo-random entry (ok == false when the
+// corpus is empty). The caller owns rng.
+func (c *Corpus) Pick(rng *rand.Rand) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) == 0 {
+		return Entry{}, false
+	}
+	return *c.byHash[c.order[rng.Intn(len(c.order))]], true
+}
+
+func (c *Corpus) persist(e *Entry) error {
+	if c.dir == "" {
+		return nil
+	}
+	if err := writeAtomic(filepath.Join(c.dir, e.Hash+".litmus"), []byte(e.Source)); err != nil {
+		return fmt.Errorf("fuzz: persist %s: %w", e.Hash, err)
+	}
+	raw, err := json.MarshalIndent(e.Meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fuzz: persist %s: %w", e.Hash, err)
+	}
+	if err := writeAtomic(filepath.Join(c.dir, e.Hash+".json"), append(raw, '\n')); err != nil {
+		return fmt.Errorf("fuzz: persist %s: %w", e.Hash, err)
+	}
+	return nil
+}
+
+// writeAtomic writes via temp file + rename, so a crash mid-write (or two
+// corpus instances over one directory — the daemon runs concurrent
+// campaigns against one FuzzCorpusDir) never leaves a truncated entry for
+// the next OpenCorpus to misparse as a regression.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	// CreateTemp's 0600 would make corpus files owner-only; match the
+	// 0644 the direct writes used.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

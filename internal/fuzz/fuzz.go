@@ -1,0 +1,756 @@
+// Package fuzz is the differential fuzzing subsystem: always-on campaigns
+// that generate, mutate, run, deduplicate and minimise litmus tests across
+// the exploration backends (the production-scale version of the paper's
+// §7 validation, which ran ~6,500 ARM and ~7,000 RISC-V tests
+// differentially against the axiomatic models).
+//
+// A campaign interleaves seeded generation with corpus-guided mutation,
+// runs every candidate through the backend registry differentially
+// (promise-first as the oracle), deduplicates against a content-addressed
+// verdict cache, admits behaviourally novel tests into a persistent
+// corpus, and — on any outcome-set disagreement or backend crash — runs a
+// delta-debugging shrinker that emits a locally minimal reproducer with
+// the disagreement verdict preserved at every step.
+package fuzz
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"promising/internal/backends"
+	"promising/internal/cache"
+	"promising/internal/explore"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Config tunes a campaign.
+type Config struct {
+	// Seed is the campaign's base seed: the same seed, profile and
+	// iteration budget visit the same fresh candidates.
+	Seed int64
+	// Iterations bounds the number of candidates (0 = bounded only by
+	// Duration; if both are 0, a default of 1000 applies).
+	Iterations int
+	// Duration time-boxes the campaign (0 = no wall box).
+	Duration time.Duration
+	// Archs lists the architectures to generate for (default both).
+	Archs []lang.Arch
+	// Profile is the generator feature set; ProfileName its display name
+	// (use SetProfile to set both from a preset name).
+	Profile     litmus.GenProfile
+	ProfileName string
+	// Threads, MaxInstrs and Locs are the generator size knobs
+	// (litmus.GenConfig defaults apply when 0).
+	Threads, MaxInstrs, Locs int
+	// Backends lists the backends, oracle first (default
+	// promising, naive, axiomatic).
+	Backends []string
+	// TestTimeout is the per-backend wall budget per candidate
+	// (default 10s).
+	TestTimeout time.Duration
+	// MaxStates budgets each exploration (default 500,000 states — a crash
+	// barrier for runaway candidates, not a tuning knob; budget-truncated
+	// cells count as incomplete, never as disagreements).
+	MaxStates int
+	// MutatePercent is the share of iterations that mutate a corpus entry
+	// rather than generate fresh, once the corpus is non-empty
+	// (0 = default 60; negative = mutation off, pure seeded generation).
+	MutatePercent int
+	// CorpusDir persists the corpus (and the verdict cache, under
+	// <dir>/verdicts) across campaigns; "" keeps both in memory.
+	CorpusDir string
+	// CacheEntries sizes the in-memory verdict cache (<= 0 = cache
+	// default).
+	CacheEntries int
+	// Shrink enables delta-debugging of findings (the CLI and service
+	// default it to on).
+	Shrink bool
+	// ShrinkChecks bounds predicate evaluations per shrink (<= 0 = 2000).
+	ShrinkChecks int
+	// MaxFindings stops the campaign after this many findings
+	// (0 = keep fuzzing the full budget).
+	MaxFindings int
+	// Workers is the number of concurrent campaign workers (default 1;
+	// candidates are independent, so workers scale on real cores).
+	Workers int
+	// Acquire, when non-nil, gates each candidate's differential run on an
+	// external worker pool (the daemon passes its exploration semaphore).
+	// The returned release is called when the candidate completes.
+	Acquire func(context.Context) (release func(), err error)
+	// Progress, when non-nil, receives a snapshot every ProgressEvery
+	// iterations (default 100) and once at the end.
+	Progress      func(Progress)
+	ProgressEvery int
+}
+
+// SetProfile resolves a named generator profile into the config.
+func (c *Config) SetProfile(name string) error {
+	p, err := litmus.ProfileByName(name)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		name = "full"
+	}
+	c.Profile, c.ProfileName = p, name
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Iterations == 0 && c.Duration == 0 {
+		c.Iterations = 1000
+	}
+	if len(c.Archs) == 0 {
+		c.Archs = []lang.Arch{lang.ARM, lang.RISCV}
+	}
+	if c.ProfileName == "" && c.Profile == (litmus.GenProfile{}) {
+		c.Profile, c.ProfileName = litmus.ProfileFull, "full"
+	} else if c.ProfileName == "" {
+		c.ProfileName = "custom"
+	}
+	if len(c.Backends) == 0 {
+		c.Backends = []string{backends.Promising, backends.Naive, backends.Axiomatic}
+	}
+	if c.TestTimeout <= 0 {
+		c.TestTimeout = 10 * time.Second
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 500_000
+	}
+	if c.MutatePercent == 0 {
+		c.MutatePercent = 60
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ProgressEvery <= 0 {
+		c.ProgressEvery = 100
+	}
+	return c
+}
+
+// Progress is a campaign snapshot.
+type Progress struct {
+	// Iterations counts processed candidates (duplicates included).
+	Iterations int `json:"iterations"`
+	// Dups counts candidates dropped by content-address dedup.
+	Dups int `json:"dups"`
+	// Invalid counts candidates that failed to round-trip or compile
+	// (always a fuzzer bug worth investigating; reported, never fatal).
+	Invalid int `json:"invalid,omitempty"`
+	// CorpusSize is the corpus entry count; Coverage the number of
+	// distinct behaviour signatures observed.
+	CorpusSize int `json:"corpus_size"`
+	Coverage   int `json:"coverage"`
+	// Findings counts disagreements and crashes.
+	Findings int `json:"findings"`
+	// Incomplete counts candidates with at least one budget-truncated
+	// backend run (not comparable, not findings).
+	Incomplete int `json:"incomplete,omitempty"`
+	// CacheHits counts verdict-cache hits across all cells.
+	CacheHits int `json:"cache_hits"`
+	// ElapsedMS is the campaign wall time so far.
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Finding is one detected disagreement or crash.
+type Finding struct {
+	// Kind is "disagreement" or "crash".
+	Kind string `json:"kind"`
+	// Hash and Source identify the original failing candidate.
+	Hash   string `json:"hash"`
+	Source string `json:"source"`
+	// Oracle is the reference backend; Disagree the backends whose
+	// outcome sets differed; Crashed the backends that panicked.
+	Oracle   string   `json:"oracle"`
+	Disagree []string `json:"disagree,omitempty"`
+	Crashed  []string `json:"crashed,omitempty"`
+	// Verdicts records every backend's cell.
+	Verdicts map[string]BackendVerdict `json:"verdicts,omitempty"`
+	// Details is a human-readable outcome diff.
+	Details string `json:"details,omitempty"`
+	// Panic carries the first crash's message and stack.
+	Panic string `json:"panic,omitempty"`
+	// Shrunk* describe the minimised reproducer (when shrinking ran).
+	ShrunkHash   string   `json:"shrunk_hash,omitempty"`
+	ShrunkSource string   `json:"shrunk_source,omitempty"`
+	ShrinkTrace  []string `json:"shrink_trace,omitempty"`
+	// Threads and Instrs size the (shrunk, if available) reproducer.
+	Threads int `json:"threads"`
+	Instrs  int `json:"instrs"`
+}
+
+// Summary is a finished campaign.
+type Summary struct {
+	Progress
+	Seed     int64     `json:"seed"`
+	Profile  string    `json:"profile"`
+	Backends []string  `json:"backends"`
+	Findings []Finding `json:"finding_list,omitempty"`
+}
+
+// Failed reports whether the campaign found any disagreement or crash.
+func (s *Summary) Failed() bool { return len(s.Findings) > 0 }
+
+// Run executes a campaign. The error is non-nil only for campaign
+// infrastructure failures (corpus IO, unknown backends); model
+// disagreements are reported in the summary, not as errors. When a
+// mid-campaign failure aborts the run, the summary is still returned
+// alongside the error with every finding computed so far.
+func Run(ctx context.Context, cfg Config) (*Summary, error) {
+	cfg = cfg.withDefaults()
+	named := make([]litmus.NamedRunner, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		nr, err := backends.ResolveNamed(b)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		named[i] = nr
+	}
+	corpus, err := OpenCorpus(cfg.CorpusDir)
+	if err != nil {
+		return nil, err
+	}
+	cacheDir := ""
+	if cfg.CorpusDir != "" {
+		cacheDir = cfg.CorpusDir + "/verdicts"
+	}
+	vcache, err := cache.New(cfg.CacheEntries, cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	c := &campaign{
+		cfg:    cfg,
+		corpus: corpus,
+		d: &differ{
+			backends:  named,
+			timeout:   cfg.TestTimeout,
+			maxStates: cfg.MaxStates,
+			vcache:    vcache,
+		},
+		seen:     map[string]bool{},
+		coverage: map[string]bool{},
+		sigCount: map[string]int{},
+		start:    time.Now(),
+	}
+	// A reloaded corpus seeds both dedup sets: entry hashes (identical
+	// candidates are duplicates, not re-runs) and coverage signatures —
+	// without the latter, every campaign re-run over a persistent corpus
+	// would re-admit one fresh-hash entry per already-covered behaviour
+	// and grow the corpus with behavioural duplicates.
+	for _, e := range corpus.Entries() {
+		c.seen[e.Hash] = true
+		if e.Meta.Coverage != "" {
+			c.coverage[e.Meta.Coverage] = true
+		}
+	}
+
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = c.start.Add(cfg.Duration)
+	}
+	c.deadline = deadline
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if cfg.Iterations > 0 && i >= cfg.Iterations {
+					return
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				if c.stopped() {
+					return
+				}
+				release := func() {}
+				if cfg.Acquire != nil {
+					// Bound the wait on the external worker gate by the
+					// campaign deadline: a time-boxed campaign parked
+					// behind a long batch must expire at its budget, not
+					// hold its job slot until a semaphore slot frees up.
+					actx, acancel := ctx, context.CancelFunc(func() {})
+					if !deadline.IsZero() {
+						actx, acancel = context.WithDeadline(ctx, deadline)
+					}
+					var err error
+					release, err = cfg.Acquire(actx)
+					acancel()
+					if err != nil {
+						return
+					}
+				}
+				c.process(ctx, i)
+				release()
+				c.tick()
+			}
+		}()
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum := &Summary{
+		Progress: c.progressLocked(),
+		Seed:     cfg.Seed,
+		Profile:  cfg.ProfileName,
+		Backends: cfg.Backends,
+		Findings: append([]Finding(nil), c.findings...),
+	}
+	if c.err != nil {
+		// An infrastructure failure aborts the campaign but must not
+		// swallow the findings already computed: the summary rides along
+		// with the error so callers can surface both.
+		return sum, c.err
+	}
+	if cfg.Progress != nil {
+		cfg.Progress(sum.Progress)
+	}
+	return sum, nil
+}
+
+type campaign struct {
+	cfg    Config
+	corpus *Corpus
+	d      *differ
+
+	// emitMu serialises Progress snapshot + delivery (see tick).
+	emitMu sync.Mutex
+
+	mu         sync.Mutex
+	seen       map[string]bool
+	coverage   map[string]bool
+	findings   []Finding
+	sigCount   map[string]int
+	iters      int
+	dups       int
+	invalid    int
+	incomplete int
+	cacheHits  int
+	lastEmit   int
+	stop       bool
+	err        error
+	start      time.Time
+	// deadline is the Duration wall box (zero = none); candidate runs get
+	// one TestTimeout of grace past it (see process).
+	deadline time.Time
+}
+
+func (c *campaign) stopped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stop || c.err != nil
+}
+
+func (c *campaign) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+func (c *campaign) progressLocked() Progress {
+	return Progress{
+		Iterations: c.iters,
+		Dups:       c.dups,
+		Invalid:    c.invalid,
+		CorpusSize: c.corpus.Len(),
+		Coverage:   len(c.coverage),
+		Findings:   len(c.findings),
+		Incomplete: c.incomplete,
+		CacheHits:  c.cacheHits,
+		ElapsedMS:  time.Since(c.start).Milliseconds(),
+	}
+}
+
+// tick emits a progress snapshot roughly every ProgressEvery iterations.
+// The threshold is against the last emission, not an exact modulo: with
+// concurrent workers the counter can jump past any particular multiple
+// between a worker's increment and its tick. emitMu spans snapshot and
+// delivery, so consumers (the daemon's delta-based metrics, SSE job
+// snapshots) always see monotonically increasing counters.
+func (c *campaign) tick() {
+	if c.cfg.Progress == nil {
+		return
+	}
+	c.emitMu.Lock()
+	defer c.emitMu.Unlock()
+	c.mu.Lock()
+	emit := c.iters-c.lastEmit >= c.cfg.ProgressEvery
+	var p Progress
+	if emit {
+		c.lastEmit = c.iters
+		p = c.progressLocked()
+	}
+	c.mu.Unlock()
+	if emit {
+		c.cfg.Progress(p)
+	}
+}
+
+// mix derives the per-iteration rng seed (splitmix64 over base ⊕ index).
+func mix(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// candidate builds iteration i's test: a mutation of a corpus entry, or a
+// fresh seeded generation.
+func (c *campaign) candidate(i int) (*litmus.Test, Meta, bool) {
+	rng := rand.New(rand.NewSource(mix(c.cfg.Seed, i)))
+	arch := c.cfg.Archs[i%len(c.cfg.Archs)]
+	// The mutation-gate roll and the fresh-generation seed are both drawn
+	// before any corpus-dependent rng consumption (Pick, Mutate), so the
+	// same campaign seed and iteration always generate the same fresh
+	// test — regardless of admission timing, a pre-populated corpus, or a
+	// mutation attempt that fails and falls through to generation.
+	roll := rng.Intn(100)
+	gseed := rng.Int63()
+	if c.corpus.Len() > 0 && roll < c.cfg.MutatePercent {
+		parent, pok := c.pickParent(rng)
+		donor, dok := c.pickParent(rng)
+		if pok {
+			pt, err := litmus.Parse(parent.Source)
+			if err == nil {
+				var dt *litmus.Test
+				if dok {
+					if d2, err := litmus.Parse(donor.Source); err == nil {
+						dt = d2
+					}
+				}
+				if m, names, ok := Mutate(rng, pt, dt); ok {
+					lineage := append(append([]string(nil), parent.Meta.Lineage...), names...)
+					if len(lineage) > 16 {
+						lineage = lineage[len(lineage)-16:]
+					}
+					return m, Meta{
+						Parent:  parent.Hash,
+						Lineage: lineage,
+						Profile: parent.Meta.Profile,
+						Arch:    pt.Prog.Arch.String(),
+					}, true
+				}
+			}
+		}
+	}
+	t := litmus.Generate(litmus.GenConfig{
+		Seed: gseed, Arch: arch,
+		Threads: c.cfg.Threads, MaxInstrs: c.cfg.MaxInstrs, Locs: c.cfg.Locs,
+		Profile: c.cfg.Profile,
+	})
+	return t, Meta{Seed: gseed, Profile: c.cfg.ProfileName, Arch: arch.String()}, true
+}
+
+// pickParent draws a mutation input from the corpus, preferring coverage
+// entries: mutants of a disagreement reproducer mostly still disagree, so
+// sampling reproducers floods the campaign with variants of an
+// already-known bug instead of exploring new behaviour.
+func (c *campaign) pickParent(rng *rand.Rand) (Entry, bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		e, ok := c.corpus.Pick(rng)
+		if !ok {
+			return Entry{}, false
+		}
+		if e.Meta.Kind == "" {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// coverageSig is the behaviour signature corpus admission keys on: a
+// candidate earns a corpus slot when its (arch, thread count, oracle
+// outcome set) combination has not been seen before.
+func coverageSig(arch string, threads int, oracleFP string) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d\x00%s", arch, threads, oracleFP)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// process handles one iteration end to end.
+func (c *campaign) process(ctx context.Context, i int) {
+	t, meta, ok := c.candidate(i)
+	c.mu.Lock()
+	c.iters++
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	src := litmus.Format(t)
+	id := Identity(src)
+	if t.Prog.Name == "" {
+		// Mutants are named after their content, so identical mutants from
+		// different iterations collapse to one corpus entry.
+		t.Prog.Name = "fz-" + id[:12]
+		src = litmus.Format(t)
+	}
+
+	c.mu.Lock()
+	if c.seen[id] {
+		c.dups++
+		c.mu.Unlock()
+		return
+	}
+	c.seen[id] = true
+	c.mu.Unlock()
+
+	parsed, err := litmus.Parse(src)
+	if err != nil {
+		c.mu.Lock()
+		c.invalid++
+		c.mu.Unlock()
+		return
+	}
+	// Respect the campaign's wall box: a straggler admitted right before
+	// the Duration deadline gets at most one TestTimeout of grace before
+	// its backend runs are cut (cut cells are incomplete, never findings —
+	// parent-ctx cancellation is what gates finding reporting below). A
+	// finding's shrink deliberately runs to completion regardless: the
+	// shrunk reproducer is the campaign's deliverable.
+	runCtx, cancel := ctx, context.CancelFunc(func() {})
+	if !c.deadline.IsZero() {
+		runCtx, cancel = context.WithDeadline(ctx, c.deadline.Add(c.cfg.TestTimeout))
+	}
+	defer cancel()
+	v, err := c.d.run(runCtx, parsed, id)
+	if err != nil {
+		c.mu.Lock()
+		c.invalid++
+		c.mu.Unlock()
+		return
+	}
+
+	meta.Verdicts = verdictMap(v)
+	meta.Epoch = backends.SemanticsEpoch
+	meta.CreatedUnix = time.Now().Unix()
+
+	c.mu.Lock()
+	c.cacheHits += v.CacheHits
+	if len(v.Incomplete) > 0 {
+		c.incomplete++
+	}
+	c.mu.Unlock()
+
+	if v.Failed() {
+		if ctx.Err() != nil {
+			// A cancellation can surface as a spurious "incomplete vs pass"
+			// mix; never report findings from a dying campaign.
+			return
+		}
+		c.finding(ctx, parsed, src, id, meta, v)
+		return
+	}
+
+	oracle := v.Cells[0]
+	if oracle.Status != string(litmus.StatusPass) {
+		return
+	}
+	sig := coverageSig(meta.Arch, len(parsed.Prog.Threads), oracle.Fingerprint)
+	c.mu.Lock()
+	fresh := !c.coverage[sig]
+	c.coverage[sig] = true
+	c.mu.Unlock()
+	if fresh {
+		meta.Coverage = sig
+		if _, _, err := c.corpus.Add(src, meta); err != nil {
+			c.fail(err)
+		}
+	}
+}
+
+// finding records a disagreement/crash, shrinks it and persists both the
+// original and the minimised reproducer.
+func (c *campaign) finding(ctx context.Context, t *litmus.Test, src, id string, meta Meta, v DiffVerdict) {
+	kind := "disagreement"
+	if len(v.Crashed) > 0 {
+		kind = "crash"
+	}
+	// One model bug tends to reproduce through many content-distinct
+	// candidates (especially mutants of an admitted reproducer). Only the
+	// first finding of a disagreement signature pays the shrink; repeats
+	// are recorded without shrinking and capped, so a single bug cannot
+	// consume the campaign's budget or flood the finding list.
+	const maxPerSignature = 3
+	sig := signature(v)
+	c.mu.Lock()
+	nth := c.sigCount[sig]
+	c.sigCount[sig]++
+	c.mu.Unlock()
+	if nth >= maxPerSignature {
+		return
+	}
+	shrink := c.cfg.Shrink && nth == 0
+	f := Finding{
+		Kind:     kind,
+		Hash:     id,
+		Source:   src,
+		Oracle:   c.cfg.Backends[0],
+		Disagree: v.Disagree,
+		Crashed:  v.Crashed,
+		Verdicts: verdictMap(v),
+		Details:  diffDetails(t, v),
+	}
+	for _, cell := range v.Cells {
+		if cell.Panic != "" {
+			f.Panic = cell.Panic
+			break
+		}
+	}
+	f.Threads, f.Instrs = Size(t)
+
+	meta.Kind = kind
+	meta.Disagree = v.Disagree
+	if _, _, err := c.corpus.Add(src, meta); err != nil {
+		c.fail(err)
+	}
+
+	// pd is the probe differ: same backends and budgets, but a memory-only
+	// verdict cache — repeated probes of the same candidate across shrink
+	// fixpoint rounds still memo, without flooding the persistent
+	// <corpus>/verdicts store (and the CI artifact) with one-off entries.
+	pd := *c.d
+	if mem, err := cache.New(0, ""); err == nil {
+		pd.vcache = mem
+	} else {
+		pd.vcache = nil
+	}
+	if f.Details == "" && len(v.Crashed) == 0 {
+		// A disagreement whose relevant cells were all answered from the
+		// persisted verdict cache has fingerprints but no live outcome
+		// sets: re-run once live so the finding carries a human-readable
+		// diff. (Crash findings structurally have no diff — re-running
+		// would only re-trigger the contained panic.)
+		if lv, err := pd.run(ctx, t, id); err == nil && lv.Failed() {
+			f.Details = diffDetails(t, lv)
+		}
+	}
+
+	if shrink {
+		want := sig
+		keep := func(cand *litmus.Test) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			cv, err := pd.run(ctx, cand, Identity(litmus.Format(cand)))
+			if err != nil {
+				return false
+			}
+			return signature(cv) == want
+		}
+		res := Shrink(t, keep, c.cfg.ShrinkChecks)
+		if len(res.Trace) > 0 {
+			f.ShrunkHash = res.Hash
+			f.ShrunkSource = res.Source
+			f.ShrinkTrace = res.Trace
+			f.Threads, f.Instrs = Size(res.Test)
+			smeta := Meta{
+				Kind:        kind,
+				Disagree:    v.Disagree,
+				ShrunkFrom:  id,
+				ShrinkTrace: res.Trace,
+				Arch:        meta.Arch,
+				Profile:     meta.Profile,
+				Epoch:       backends.SemanticsEpoch,
+				CreatedUnix: time.Now().Unix(),
+			}
+			if sv, err := c.d.run(ctx, res.Test, res.Hash); err == nil {
+				smeta.Verdicts = verdictMap(sv)
+			}
+			if _, _, err := c.corpus.Add(res.Source, smeta); err != nil {
+				c.fail(err)
+			}
+			// The reproducer joins the dedup set: a later mutant that
+			// reduces to the same content must not re-run, re-disagree and
+			// double-count the finding.
+			c.mu.Lock()
+			c.seen[res.Hash] = true
+			c.mu.Unlock()
+		}
+	}
+
+	c.mu.Lock()
+	c.findings = append(c.findings, f)
+	if c.cfg.MaxFindings > 0 && len(c.findings) >= c.cfg.MaxFindings {
+		c.stop = true
+	}
+	c.mu.Unlock()
+}
+
+// signature canonically identifies a differential verdict: which backends
+// disagreed and which crashed. The shrinker preserves it exactly.
+func signature(v DiffVerdict) string {
+	d := append([]string(nil), v.Disagree...)
+	cr := append([]string(nil), v.Crashed...)
+	sort.Strings(d)
+	sort.Strings(cr)
+	return "d:" + strings.Join(d, ",") + ";c:" + strings.Join(cr, ",")
+}
+
+func verdictMap(v DiffVerdict) map[string]BackendVerdict {
+	out := make(map[string]BackendVerdict, len(v.Cells))
+	for _, cell := range v.Cells {
+		out[cell.Backend] = BackendVerdict{
+			Status:      cell.Status,
+			Fingerprint: cell.Fingerprint,
+			Outcomes:    cell.Outcomes,
+			States:      cell.States,
+		}
+	}
+	return out
+}
+
+// diffDetails renders a human-readable outcome diff between the oracle and
+// the first disagreeing backend with live results.
+func diffDetails(t *litmus.Test, v DiffVerdict) string {
+	oracle := v.Cells[0]
+	if oracle.res == nil {
+		return ""
+	}
+	spec := t.Spec()
+	for _, cell := range v.Cells[1:] {
+		if cell.res == nil || cell.Fingerprint == oracle.Fingerprint || cell.Status != string(litmus.StatusPass) {
+			continue
+		}
+		extra := subtractOutcomes(cell.res, oracle.res)
+		missing := subtractOutcomes(oracle.res, cell.res)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s vs %s:", cell.Backend, oracle.Backend)
+		if lines := litmus.FormatOutcomes(spec, extra, t.Prog); lines != "" {
+			fmt.Fprintf(&b, "\n  only in %s:\n    %s", cell.Backend, strings.ReplaceAll(lines, "\n", "\n    "))
+		}
+		if lines := litmus.FormatOutcomes(spec, missing, t.Prog); lines != "" {
+			fmt.Fprintf(&b, "\n  only in %s:\n    %s", oracle.Backend, strings.ReplaceAll(lines, "\n", "\n    "))
+		}
+		return b.String()
+	}
+	return ""
+}
+
+// subtractOutcomes returns a result holding a's outcomes that b lacks.
+func subtractOutcomes(a, b *explore.Result) *explore.Result {
+	out := &explore.Result{Outcomes: map[string]explore.Outcome{}}
+	for k, o := range a.Outcomes {
+		if _, ok := b.Outcomes[k]; !ok {
+			out.Outcomes[k] = o
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package fuzz
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"promising/internal/backends"
+	"promising/internal/core"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// testConfig returns a small, fast campaign configuration.
+func testConfig(seed int64, iters int) Config {
+	return Config{
+		Seed:       seed,
+		Iterations: iters,
+		Profile:    litmus.ProfileFull,
+		Backends:   []string{backends.Promising, backends.Naive, backends.Axiomatic},
+		Shrink:     true,
+	}
+}
+
+// TestCampaignCleanFullProfile is the headline acceptance run: a seeded
+// 10k-iteration campaign over the full profile, promise-first vs naive vs
+// axiomatic, with zero backend disagreements. (-short runs a 600-iteration
+// slice of the same campaign.)
+func TestCampaignCleanFullProfile(t *testing.T) {
+	iters := 10_000
+	if raceEnabled {
+		iters = 2_000
+	}
+	if testing.Short() {
+		iters = 600
+	}
+	cfg := testConfig(1, iters)
+	// Small candidates (the full feature profile at 2-3 instructions per
+	// thread) keep 10k differential iterations inside a test-suite budget;
+	// cmd/fuzz campaigns default to the larger 4-instruction shapes.
+	cfg.MaxInstrs = 3
+	cfg.MutatePercent = 40
+	sum, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed() {
+		f := sum.Findings[0]
+		t.Fatalf("campaign found %d disagreements; first (%s, disagree %v):\n%s\ndetails:\n%s",
+			len(sum.Findings), f.Kind, f.Disagree, f.Source, f.Details)
+	}
+	if sum.Iterations != iters {
+		t.Fatalf("iterations = %d, want %d", sum.Iterations, iters)
+	}
+	if sum.CorpusSize == 0 || sum.Coverage == 0 {
+		t.Fatalf("campaign admitted nothing: corpus %d, coverage %d", sum.CorpusSize, sum.Coverage)
+	}
+	t.Logf("iters=%d dups=%d corpus=%d coverage=%d incomplete=%d cacheHits=%d elapsed=%dms",
+		sum.Iterations, sum.Dups, sum.CorpusSize, sum.Coverage, sum.Incomplete, sum.CacheHits, sum.ElapsedMS)
+}
+
+// TestCampaignCatchesInjectedBug injects the certification-weakening bug
+// (core.SetWeakCertLeakForTesting: a thread with one outstanding promise
+// counts as certified/complete, admitting out-of-thin-air outcomes into
+// the promise-aware backends) and asserts the campaign catches it and
+// shrinks it to a reproducer of at most 2 threads × 3 instructions with
+// the disagreement verdict preserved.
+func TestCampaignCatchesInjectedBug(t *testing.T) {
+	defer core.SetWeakCertLeakForTesting(core.SetWeakCertLeakForTesting(true))
+
+	cfg := testConfig(7, 4000)
+	cfg.MaxFindings = 1
+	sum, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Failed() {
+		t.Fatalf("injected certification bug not caught in %d iterations", sum.Iterations)
+	}
+	f := sum.Findings[0]
+	if f.Kind != "disagreement" || len(f.Disagree) == 0 {
+		t.Fatalf("unexpected finding kind %q (disagree %v, crashed %v)", f.Kind, f.Disagree, f.Crashed)
+	}
+	if f.ShrunkSource == "" {
+		t.Fatalf("finding was not shrunk:\n%s", f.Source)
+	}
+	if f.Threads > 2 || f.Instrs > 3 {
+		t.Fatalf("reproducer not minimal: %d threads × %d instrs (want <= 2 × <= 3)\n%s\nshrink trace: %v",
+			f.Threads, f.Instrs, f.ShrunkSource, f.ShrinkTrace)
+	}
+
+	// The shrunk reproducer preserves the disagreement verdict: re-running
+	// it differentially (bug still injected) disagrees for the same
+	// backends.
+	shrunk, err := litmus.Parse(f.ShrunkSource)
+	if err != nil {
+		t.Fatalf("shrunk reproducer does not parse: %v\n%s", err, f.ShrunkSource)
+	}
+	d := newTestDiffer(cfg)
+	v, err := d.run(context.Background(), shrunk, Identity(f.ShrunkSource))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(v.Disagree, ","), strings.Join(f.Disagree, ","); got != want {
+		t.Fatalf("shrunk reproducer disagreement changed: %q, want %q", got, want)
+	}
+	t.Logf("caught in %d iterations; reproducer %d threads × %d instrs, disagree %v, %d shrink steps:\n%s",
+		sum.Iterations, f.Threads, f.Instrs, f.Disagree, len(f.ShrinkTrace), f.ShrunkSource)
+
+	// With the bug hook off, the reproducer runs clean — the disagreement
+	// really was the injected semantics bug.
+	core.SetWeakCertLeakForTesting(false)
+	defer core.SetWeakCertLeakForTesting(true)
+	v2, err := newTestDiffer(cfg).run(context.Background(), shrunk, Identity(f.ShrunkSource))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Failed() {
+		t.Fatalf("shrunk reproducer still disagrees with the bug disabled: %v", v2.Disagree)
+	}
+}
+
+// newTestDiffer builds a cache-less differ over cfg's backends.
+func newTestDiffer(cfg Config) *differ {
+	cfg = cfg.withDefaults()
+	named := make([]litmus.NamedRunner, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		nr, err := backends.ResolveNamed(b)
+		if err != nil {
+			panic(err)
+		}
+		named[i] = nr
+	}
+	return &differ{backends: named, timeout: cfg.TestTimeout, maxStates: cfg.MaxStates}
+}
+
+// TestCampaignDeterministicGeneration: the same seed visits the same fresh
+// candidates (mutation inputs depend on corpus growth order, so full
+// campaign determinism is only guaranteed at Workers = 1).
+func TestCampaignDeterministicGeneration(t *testing.T) {
+	run := func() *Summary {
+		cfg := testConfig(99, 120)
+		cfg.Workers = 1
+		sum, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(), run()
+	if a.CorpusSize != b.CorpusSize || a.Coverage != b.Coverage || a.Dups != b.Dups {
+		t.Fatalf("campaign not deterministic at one worker: %+v vs %+v", a.Progress, b.Progress)
+	}
+}
+
+// TestCampaignConcurrentWorkers is the -race stress: several workers
+// sharing one corpus, verdict cache and coverage map.
+func TestCampaignConcurrentWorkers(t *testing.T) {
+	cfg := testConfig(3, 300)
+	cfg.Workers = 4
+	cfg.CorpusDir = t.TempDir()
+	sum, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed() {
+		t.Fatalf("clean campaign found findings: %+v", sum.Findings[0])
+	}
+	if sum.CorpusSize == 0 {
+		t.Fatal("no corpus entries admitted")
+	}
+
+	// The persisted corpus reloads with every entry intact.
+	c2, err := OpenCorpus(cfg.CorpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != sum.CorpusSize {
+		t.Fatalf("corpus reload lost entries: %d, want %d", c2.Len(), sum.CorpusSize)
+	}
+	for _, e := range c2.Entries() {
+		if _, err := litmus.Parse(e.Source); err != nil {
+			t.Fatalf("corpus entry %s does not parse: %v", e.Hash, err)
+		}
+		if Identity(e.Source) != e.Hash {
+			t.Fatalf("corpus entry %s content address mismatch", e.Hash)
+		}
+	}
+}
+
+// TestCampaignVerdictCacheAcrossRuns: re-running a campaign over the same
+// persisted corpus answers repeated candidates from the verdict cache.
+func TestCampaignVerdictCacheAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(11, 150)
+	cfg.CorpusDir = dir
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.CacheHits == 0 {
+		t.Fatal("second campaign over the same corpus dir had no verdict-cache hits")
+	}
+}
+
+// TestMutateDeterministic: the same rng state yields the same mutant.
+func TestMutateDeterministic(t *testing.T) {
+	parent := litmus.Generate(litmus.DefaultGenConfig(5, lang.ARM))
+	donor := litmus.Generate(litmus.DefaultGenConfig(6, lang.ARM))
+	gen := func() (string, []string) {
+		m, names, ok := Mutate(rand.New(rand.NewSource(42)), parent, donor)
+		if !ok {
+			t.Fatal("mutation did not apply")
+		}
+		return litmus.Format(m), names
+	}
+	s1, n1 := gen()
+	s2, n2 := gen()
+	if s1 != s2 || strings.Join(n1, ",") != strings.Join(n2, ",") {
+		t.Fatalf("mutation not deterministic:\n%s\nvs\n%s\n(%v vs %v)", s1, s2, n1, n2)
+	}
+}
+
+// TestMutantsRoundTripAndRun: mutants canonicalise and run under every
+// backend without error across many seeds.
+func TestMutantsRoundTripAndRun(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	d := newTestDiffer(testConfig(0, 0))
+	parent := litmus.Generate(litmus.DefaultGenConfig(1, lang.ARM))
+	donor := litmus.Generate(litmus.DefaultGenConfig(2, lang.RISCV))
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		m, names, ok := Mutate(rng, parent, donor)
+		if !ok {
+			continue
+		}
+		src := litmus.Format(m)
+		parsed, err := litmus.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d (%v): mutant does not parse: %v\n%s", seed, names, err, src)
+		}
+		v, err := d.run(context.Background(), parsed, Identity(src))
+		if err != nil {
+			t.Fatalf("seed %d (%v): %v\n%s", seed, names, err, src)
+		}
+		if v.Failed() {
+			t.Fatalf("seed %d (%v): mutant disagreement on a clean model\n%s\n%s", seed, names, src, diffDetails(parsed, v))
+		}
+	}
+}
+
+// TestIdentityNameInsensitive: renaming a test does not change its content
+// address.
+func TestIdentityNameInsensitive(t *testing.T) {
+	tst := litmus.Generate(litmus.DefaultGenConfig(8, lang.ARM))
+	src1 := litmus.Format(tst)
+	tst.Prog.Name = "renamed-differently"
+	src2 := litmus.Format(tst)
+	if src1 == src2 {
+		t.Fatal("rename did not change the source")
+	}
+	if Identity(src1) != Identity(src2) {
+		t.Fatal("Identity is name-sensitive")
+	}
+}

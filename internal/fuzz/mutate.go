@@ -1,0 +1,611 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// Corpus-guided mutation. Mutants are built structurally — copy the parent
+// program, edit its statement lists — and then canonicalised through
+// litmus.Format + litmus.Parse by the campaign, so every mutant the
+// backends see went through the same normalisation as a corpus reload.
+//
+// The operators cover the shapes that distinguish the memory models:
+// splicing whole threads between tests, flipping access orderings along
+// the plain/weak/strong lattices, adding and removing fences, perturbing
+// syntactic dependency chains, and the generic instruction-level edits
+// (drop, duplicate, retarget, value flips).
+
+// maxThreads bounds mutant thread counts: 3-thread tests are where the
+// interesting non-multi-copy-atomic behaviours live, and every backend
+// still explores them exhaustively in milliseconds.
+const maxThreads = 3
+
+// maxInstrsPerThread bounds mutant thread lengths. 5 keeps the naive
+// full-interleaving reference tractable on 3-thread mutants (its state
+// space is exponential in total instructions).
+const maxInstrsPerThread = 5
+
+// maxTotalInstrs bounds a mutant's total leaf instructions (branch arms
+// included). Without it, corpus-guided mutation drifts toward ever-larger
+// programs and exploration cost — exponential in program size — eats the
+// campaign's iteration budget on a handful of bloated candidates.
+const maxTotalInstrs = 10
+
+// Mutate derives a mutant of parent (and sometimes donor, for splices),
+// returning the mutant and the names of the operators applied. The same
+// rng state yields the same mutant. ok is false when no operator applied
+// (degenerate parents).
+func Mutate(rng *rand.Rand, parent, donor *litmus.Test) (*litmus.Test, []string, bool) {
+	t := copyTest(parent)
+	n := 1 + rng.Intn(2)
+	var applied []string
+	for len(applied) < n {
+		name, ok := applyOne(rng, t, donor)
+		if !ok {
+			break
+		}
+		applied = append(applied, name)
+	}
+	if len(applied) == 0 {
+		return nil, nil, false
+	}
+	if _, instrs := Size(t); instrs > maxTotalInstrs {
+		// Oversized mutants are rejected (the campaign generates fresh
+		// instead), keeping the candidate population explorable.
+		return nil, nil, false
+	}
+	t.Prog.Name = ""
+	t.Src = ""
+	rebuildObs(t)
+	return t, applied, true
+}
+
+// applyOne tries random operators until one applies (bounded attempts).
+func applyOne(rng *rand.Rand, t *litmus.Test, donor *litmus.Test) (string, bool) {
+	for attempt := 0; attempt < 8; attempt++ {
+		var ok bool
+		var name string
+		switch rng.Intn(10) {
+		case 0:
+			name, ok = "splice-thread", spliceThread(rng, t, donor)
+		case 1:
+			name, ok = "flip-order", flipOrder(rng, t)
+		case 2:
+			name, ok = "add-fence", addFence(rng, t)
+		case 3:
+			name, ok = "drop-fence", dropFence(rng, t)
+		case 4:
+			name, ok = "add-dep", addDep(rng, t)
+		case 5:
+			name, ok = "strip-dep", stripDep(rng, t)
+		case 6:
+			name, ok = "drop-instr", dropInstr(rng, t)
+		case 7:
+			name, ok = "dup-instr", dupInstr(rng, t)
+		case 8:
+			name, ok = "flip-value", flipValue(rng, t)
+		case 9:
+			name, ok = "retarget", retarget(rng, t)
+		}
+		if ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------
+// Structural helpers shared by the mutators and the shrinker.
+
+// copyTest deep-copies the parts of a test that mutation edits: the
+// program's thread list, declaration maps and register tables. Statement
+// trees are immutable by convention (every edit replaces nodes), so they
+// are shared.
+func copyTest(t *litmus.Test) *litmus.Test {
+	p := t.Prog
+	np := &lang.Program{
+		Name:      p.Name,
+		Arch:      p.Arch,
+		Threads:   append([]lang.Stmt(nil), p.Threads...),
+		Init:      map[lang.Loc]lang.Val{},
+		Locs:      map[string]lang.Loc{},
+		LoopBound: p.LoopBound,
+	}
+	for l, v := range p.Init {
+		np.Init[l] = v
+	}
+	for n, l := range p.Locs {
+		np.Locs[n] = l
+	}
+	if p.Shared != nil {
+		np.Shared = map[lang.Loc]bool{}
+		for l := range p.Shared {
+			np.Shared[l] = true
+		}
+	}
+	for _, m := range p.RegNames {
+		nm := make(map[string]lang.Reg, len(m))
+		for n, r := range m {
+			nm[n] = r
+		}
+		np.RegNames = append(np.RegNames, nm)
+	}
+	nt := &litmus.Test{Prog: np, Cond: t.Cond, Expect: t.Expect}
+	if t.Obs != nil {
+		nt.Obs = &explore.ObsSpec{
+			Regs: append([]explore.RegObs(nil), t.Obs.Regs...),
+			Locs: append([]lang.Loc(nil), t.Obs.Locs...),
+		}
+	}
+	return nt
+}
+
+// flatten splits a statement into its top-level instruction list
+// (unnesting Seq only; If and While stay whole).
+func flatten(s lang.Stmt) []lang.Stmt {
+	if seq, ok := s.(lang.Seq); ok {
+		return append(flatten(seq.S1), flatten(seq.S2)...)
+	}
+	if _, ok := s.(lang.Skip); ok {
+		return nil
+	}
+	return []lang.Stmt{s}
+}
+
+// setThread replaces thread tid with the given instruction list.
+func setThread(t *litmus.Test, tid int, ss []lang.Stmt) {
+	t.Prog.Threads[tid] = lang.Block(ss...)
+}
+
+// locAddrs returns the program's declared location addresses, sorted.
+func locAddrs(p *lang.Program) []lang.Loc {
+	seen := map[lang.Loc]bool{}
+	var out []lang.Loc
+	for _, l := range p.Locs {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mapExpr rewrites an expression bottom-up.
+func mapExpr(e lang.Expr, f func(lang.Expr) lang.Expr) lang.Expr {
+	switch e := e.(type) {
+	case lang.BinOp:
+		return f(lang.BinOp{Op: e.Op, L: mapExpr(e.L, f), R: mapExpr(e.R, f)})
+	default:
+		return f(e)
+	}
+}
+
+// mapLeaves rewrites every leaf instruction of a statement tree (descending
+// into If/While bodies), preserving structure.
+func mapLeaves(s lang.Stmt, f func(lang.Stmt) lang.Stmt) lang.Stmt {
+	switch s := s.(type) {
+	case lang.Seq:
+		return lang.Seq{S1: mapLeaves(s.S1, f), S2: mapLeaves(s.S2, f)}
+	case lang.If:
+		return lang.If{Cond: s.Cond, Then: mapLeaves(s.Then, f), Else: mapLeaves(s.Else, f)}
+	case lang.While:
+		return lang.While{Cond: s.Cond, Body: mapLeaves(s.Body, f)}
+	default:
+		return f(s)
+	}
+}
+
+// countLeaves counts leaf instructions (loads, stores, fences, assigns,
+// skips excluded) in a statement tree.
+func countLeaves(s lang.Stmt) int {
+	n := 0
+	mapLeaves(s, func(l lang.Stmt) lang.Stmt {
+		if _, ok := l.(lang.Skip); !ok {
+			n++
+		}
+		return l
+	})
+	return n
+}
+
+// definedRegs lists the registers a thread writes (load destinations,
+// store success bits, assignment targets), in program order, descending
+// into branches.
+func definedRegs(s lang.Stmt) []lang.Reg {
+	var out []lang.Reg
+	mapLeaves(s, func(l lang.Stmt) lang.Stmt {
+		switch l := l.(type) {
+		case lang.Load:
+			out = append(out, l.Dst)
+		case lang.Store:
+			out = append(out, l.Succ)
+		case lang.Assign:
+			out = append(out, l.Dst)
+		}
+		return l
+	})
+	return out
+}
+
+// rebuildObs recomputes the observation spec after a structural edit:
+// every named register the thread still defines (success bits' anonymous
+// "_t" registers excluded), in (thread, program) order, capped like the
+// generator's spec, plus the final value of every declared location.
+func rebuildObs(t *litmus.Test) {
+	const maxObsRegs = 10
+	p := t.Prog
+	spec := &explore.ObsSpec{Locs: locAddrs(p)}
+	for tid, s := range p.Threads {
+		rev := map[lang.Reg]string{}
+		if tid < len(p.RegNames) {
+			names := make([]string, 0, len(p.RegNames[tid]))
+			for n := range p.RegNames[tid] {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if _, ok := rev[p.RegNames[tid][n]]; !ok {
+					rev[p.RegNames[tid][n]] = n
+				}
+			}
+		}
+		seen := map[lang.Reg]bool{}
+		for _, r := range definedRegs(s) {
+			if seen[r] || len(spec.Regs) >= maxObsRegs {
+				continue
+			}
+			seen[r] = true
+			name, ok := rev[r]
+			if !ok || len(name) > 0 && name[0] == '_' {
+				continue
+			}
+			spec.Regs = append(spec.Regs, explore.RegObs{
+				TID: tid, Reg: r, Name: fmt.Sprintf("%d:%s", tid, name),
+			})
+		}
+	}
+	t.Obs = spec
+	t.Cond = nil
+	t.Expect = litmus.ExpectUnknown
+}
+
+// ---------------------------------------------------------------------
+// Operators.
+
+// spliceThread copies a random thread of the donor into the test,
+// replacing a random thread (or appending, below the thread cap). Donor
+// location addresses are remapped index-wise onto the test's declared
+// locations, so the mutant's footprint stays within its own vocabulary.
+func spliceThread(rng *rand.Rand, t *litmus.Test, donor *litmus.Test) bool {
+	if donor == nil || len(donor.Prog.Threads) == 0 || len(t.Prog.Locs) == 0 {
+		return false
+	}
+	dtid := rng.Intn(len(donor.Prog.Threads))
+	body := donor.Prog.Threads[dtid]
+
+	from, to := locAddrs(donor.Prog), locAddrs(t.Prog)
+	remap := map[lang.Val]lang.Val{}
+	for i, l := range from {
+		remap[l] = to[i%len(to)]
+	}
+	body = mapLeaves(body, func(l lang.Stmt) lang.Stmt {
+		re := func(e lang.Expr) lang.Expr {
+			return mapExpr(e, func(e lang.Expr) lang.Expr {
+				if c, ok := e.(lang.Const); ok {
+					if nl, ok := remap[c.V]; ok {
+						return lang.Const{V: nl}
+					}
+				}
+				return e
+			})
+		}
+		switch l := l.(type) {
+		case lang.Load:
+			l.Addr = re(l.Addr)
+			return l
+		case lang.Store:
+			l.Addr, l.Data = re(l.Addr), re(l.Data)
+			return l
+		case lang.Assign:
+			l.E = re(l.E)
+			return l
+		default:
+			return l
+		}
+	})
+
+	var regs map[string]lang.Reg
+	if dtid < len(donor.Prog.RegNames) {
+		regs = make(map[string]lang.Reg, len(donor.Prog.RegNames[dtid]))
+		for n, r := range donor.Prog.RegNames[dtid] {
+			regs[n] = r
+		}
+	} else {
+		regs = map[string]lang.Reg{}
+	}
+
+	if len(t.Prog.Threads) < maxThreads && rng.Intn(2) == 0 {
+		t.Prog.Threads = append(t.Prog.Threads, body)
+		t.Prog.RegNames = append(t.Prog.RegNames, regs)
+		return true
+	}
+	tid := rng.Intn(len(t.Prog.Threads))
+	t.Prog.Threads[tid] = body
+	for len(t.Prog.RegNames) <= tid {
+		t.Prog.RegNames = append(t.Prog.RegNames, map[string]lang.Reg{})
+	}
+	t.Prog.RegNames[tid] = regs
+	return true
+}
+
+// flipOrder cycles the ordering kind of a random access: plain → weak →
+// strong → plain for both loads and stores.
+func flipOrder(rng *rand.Rand, t *litmus.Test) bool {
+	return editRandomLeaf(rng, t, func(l lang.Stmt) (lang.Stmt, bool) {
+		switch l := l.(type) {
+		case lang.Load:
+			l.Kind = lang.ReadKind((int(l.Kind) + 1) % 3)
+			return l, true
+		case lang.Store:
+			l.Kind = lang.WriteKind((int(l.Kind) + 1) % 3)
+			return l, true
+		}
+		return l, false
+	})
+}
+
+// addFence inserts an architecture-appropriate random fence at a random
+// position of a random thread.
+func addFence(rng *rand.Rand, t *litmus.Test) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	ss := flatten(t.Prog.Threads[tid])
+	if len(ss) >= maxInstrsPerThread {
+		return false
+	}
+	var fence lang.Stmt
+	if t.Prog.Arch == lang.RISCV {
+		kinds := []lang.FenceKind{lang.FenceR, lang.FenceW, lang.FenceRW}
+		fence = lang.Fence{K1: kinds[rng.Intn(3)], K2: kinds[rng.Intn(3)]}
+	} else {
+		switch rng.Intn(4) {
+		case 0:
+			fence = lang.DmbSY()
+		case 1:
+			fence = lang.DmbLD()
+		case 2:
+			fence = lang.DmbST()
+		default:
+			fence = lang.ISB{}
+		}
+	}
+	at := rng.Intn(len(ss) + 1)
+	ss = append(ss[:at:at], append([]lang.Stmt{fence}, ss[at:]...)...)
+	setThread(t, tid, ss)
+	return true
+}
+
+// dropFence removes a random fence or ISB.
+func dropFence(rng *rand.Rand, t *litmus.Test) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	ss := flatten(t.Prog.Threads[tid])
+	var idxs []int
+	for i, s := range ss {
+		switch s.(type) {
+		case lang.Fence, lang.ISB:
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return false
+	}
+	at := idxs[rng.Intn(len(idxs))]
+	setThread(t, tid, append(ss[:at:at], ss[at+1:]...))
+	return true
+}
+
+// addDep wraps the address (or data) of a random access in the classic
+// e + (r - r) dependency idiom on an earlier load's destination.
+func addDep(rng *rand.Rand, t *litmus.Test) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	ss := flatten(t.Prog.Threads[tid])
+	var loads []int
+	for i, s := range ss {
+		if _, ok := s.(lang.Load); ok {
+			loads = append(loads, i)
+		}
+	}
+	if len(loads) == 0 {
+		return false
+	}
+	li := loads[rng.Intn(len(loads))]
+	src := ss[li].(lang.Load).Dst
+	var cands []int
+	for i := li + 1; i < len(ss); i++ {
+		switch ss[i].(type) {
+		case lang.Load, lang.Store:
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	at := cands[rng.Intn(len(cands))]
+	switch s := ss[at].(type) {
+	case lang.Load:
+		s.Addr = lang.DepOn(s.Addr, src)
+		ss[at] = s
+	case lang.Store:
+		if rng.Intn(2) == 0 {
+			s.Addr = lang.DepOn(s.Addr, src)
+		} else {
+			s.Data = lang.DepOn(s.Data, src)
+		}
+		ss[at] = s
+	}
+	setThread(t, tid, ss)
+	return true
+}
+
+// stripDepExpr removes one e + (r - r) wrapper, reporting whether it did.
+func stripDepExpr(e lang.Expr) (lang.Expr, bool) {
+	if b, ok := e.(lang.BinOp); ok && b.Op == lang.OpAdd {
+		if s, ok := b.R.(lang.BinOp); ok && s.Op == lang.OpSub {
+			lr, lok := s.L.(lang.RegRef)
+			rr, rok := s.R.(lang.RegRef)
+			if lok && rok && lr.R == rr.R {
+				return b.L, true
+			}
+		}
+	}
+	return e, false
+}
+
+// stripDep removes a random dependency wrapper.
+func stripDep(rng *rand.Rand, t *litmus.Test) bool {
+	return editRandomLeaf(rng, t, func(l lang.Stmt) (lang.Stmt, bool) {
+		switch l := l.(type) {
+		case lang.Load:
+			if a, ok := stripDepExpr(l.Addr); ok {
+				l.Addr = a
+				return l, true
+			}
+		case lang.Store:
+			if a, ok := stripDepExpr(l.Addr); ok {
+				l.Addr = a
+				return l, true
+			}
+			if d, ok := stripDepExpr(l.Data); ok {
+				l.Data = d
+				return l, true
+			}
+		}
+		return l, false
+	})
+}
+
+// dropInstr removes a random top-level instruction (threads keep at least
+// one).
+func dropInstr(rng *rand.Rand, t *litmus.Test) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	ss := flatten(t.Prog.Threads[tid])
+	if len(ss) <= 1 {
+		return false
+	}
+	at := rng.Intn(len(ss))
+	setThread(t, tid, append(ss[:at:at], ss[at+1:]...))
+	return true
+}
+
+// dupInstr duplicates a random top-level instruction.
+func dupInstr(rng *rand.Rand, t *litmus.Test) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	ss := flatten(t.Prog.Threads[tid])
+	if len(ss) == 0 || len(ss) >= maxInstrsPerThread {
+		return false
+	}
+	at := rng.Intn(len(ss))
+	ss = append(ss[:at+1:at+1], append([]lang.Stmt{ss[at]}, ss[at+1:]...)...)
+	setThread(t, tid, ss)
+	return true
+}
+
+// flipValue perturbs a random constant store value (cycling 1 → 2 → 1; 0
+// is skipped to keep values distinguishable from initial memory).
+func flipValue(rng *rand.Rand, t *litmus.Test) bool {
+	return editRandomLeaf(rng, t, func(l lang.Stmt) (lang.Stmt, bool) {
+		s, ok := l.(lang.Store)
+		if !ok {
+			return l, false
+		}
+		c, ok := s.Data.(lang.Const)
+		if !ok || c.V < 1 || c.V > 2 {
+			return l, false
+		}
+		s.Data = lang.Const{V: 3 - c.V}
+		return s, true
+	})
+}
+
+// retarget points a random access at another declared location.
+func retarget(rng *rand.Rand, t *litmus.Test) bool {
+	locs := locAddrs(t.Prog)
+	if len(locs) < 2 {
+		return false
+	}
+	return editRandomLeaf(rng, t, func(l lang.Stmt) (lang.Stmt, bool) {
+		pick := func(cur lang.Expr) (lang.Expr, bool) {
+			c, ok := cur.(lang.Const)
+			if !ok {
+				return cur, false
+			}
+			nl := locs[rng.Intn(len(locs))]
+			if nl == c.V {
+				nl = locs[(indexOf(locs, c.V)+1)%len(locs)]
+			}
+			return lang.Const{V: nl}, true
+		}
+		switch l := l.(type) {
+		case lang.Load:
+			if a, ok := pick(l.Addr); ok {
+				l.Addr = a
+				return l, true
+			}
+		case lang.Store:
+			if a, ok := pick(l.Addr); ok {
+				l.Addr = a
+				return l, true
+			}
+		}
+		return l, false
+	})
+}
+
+func indexOf(ls []lang.Loc, l lang.Loc) int {
+	for i, x := range ls {
+		if x == l {
+			return i
+		}
+	}
+	return 0
+}
+
+// editRandomLeaf applies f to the leaves of a random thread in random
+// order until one edit applies.
+func editRandomLeaf(rng *rand.Rand, t *litmus.Test, f func(lang.Stmt) (lang.Stmt, bool)) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	// Collect leaf count, pick a random eligible leaf by index.
+	var leaves []int
+	i := 0
+	mapLeaves(t.Prog.Threads[tid], func(l lang.Stmt) lang.Stmt {
+		if _, ok := f(l); ok {
+			leaves = append(leaves, i)
+		}
+		i++
+		return l
+	})
+	if len(leaves) == 0 {
+		return false
+	}
+	want := leaves[rng.Intn(len(leaves))]
+	i = 0
+	done := false
+	t.Prog.Threads[tid] = mapLeaves(t.Prog.Threads[tid], func(l lang.Stmt) lang.Stmt {
+		if i == want && !done {
+			if nl, ok := f(l); ok {
+				done = true
+				i++
+				return nl
+			}
+		}
+		i++
+		return l
+	})
+	return done
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fuzz
+
+// raceEnabled scales the campaign acceptance run down under the race
+// detector; see race_enabled_test.go.
+const raceEnabled = false

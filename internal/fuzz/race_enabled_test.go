@@ -1,0 +1,8 @@
+//go:build race
+
+package fuzz
+
+// raceEnabled scales the campaign acceptance run down under the race
+// detector (~6× slower): the full 10k-iteration campaign runs in the
+// regular suite, the race suite runs a 2k slice of the same campaign.
+const raceEnabled = true

@@ -1,0 +1,153 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"promising/internal/backends"
+	"promising/internal/litmus"
+)
+
+// Corpus replay: every stored test — coverage entries and shrunk
+// counterexample reproducers alike — re-runs differentially, turning the
+// corpus into a permanent regression suite. A replay regresses when any
+// entry disagrees across backends today, no longer parses, or (for
+// backends with a recorded complete verdict) produces a different outcome
+// set than the one recorded at admission time.
+
+// Replay statuses.
+const (
+	ReplayOK           = "ok"
+	ReplayDisagreement = "disagreement"
+	ReplayCrash        = "crash"
+	ReplayChanged      = "verdict-changed"
+	ReplayIncomplete   = "incomplete"
+	ReplayInvalid      = "invalid"
+)
+
+// ReplayEntry is one corpus entry's replay result.
+type ReplayEntry struct {
+	Hash   string `json:"hash"`
+	Name   string `json:"name,omitempty"`
+	Status string `json:"status"`
+	// Disagree lists currently disagreeing backends; Crashed the backends
+	// that panicked; Changed the backends whose outcome set drifted from
+	// the recorded verdict.
+	Disagree []string `json:"disagree,omitempty"`
+	Crashed  []string `json:"crashed,omitempty"`
+	Changed  []string `json:"changed,omitempty"`
+	Details  string   `json:"details,omitempty"`
+}
+
+// Regression reports whether the entry's status is a replay failure.
+func (e *ReplayEntry) Regression() bool {
+	switch e.Status {
+	case ReplayDisagreement, ReplayCrash, ReplayChanged, ReplayInvalid:
+		return true
+	}
+	return false
+}
+
+// ReplayReport is a whole-corpus replay.
+type ReplayReport struct {
+	Entries     []ReplayEntry `json:"entries"`
+	Total       int           `json:"total"`
+	OK          int           `json:"ok"`
+	Incomplete  int           `json:"incomplete,omitempty"`
+	Regressions int           `json:"regressions"`
+}
+
+// Replay re-runs every corpus entry under the given backends (oracle
+// first; nil selects promising, naive, axiomatic), checking for current
+// disagreements and for drift against each entry's recorded verdicts.
+func Replay(ctx context.Context, corpus *Corpus, backendNames []string, timeout time.Duration) (*ReplayReport, error) {
+	if len(backendNames) == 0 {
+		backendNames = []string{backends.Promising, backends.Naive, backends.Axiomatic}
+	}
+	named := make([]litmus.NamedRunner, len(backendNames))
+	for i, b := range backendNames {
+		nr, err := backends.ResolveNamed(b)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: %w", err)
+		}
+		named[i] = nr
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	d := &differ{backends: named, timeout: timeout, maxStates: 500_000}
+
+	rep := &ReplayReport{}
+	for _, e := range corpus.Entries() {
+		rep.Total++
+		re := ReplayEntry{Hash: e.Hash}
+		t, err := litmus.Parse(e.Source)
+		if err != nil {
+			re.Status = ReplayInvalid
+			re.Details = err.Error()
+			rep.Entries = append(rep.Entries, re)
+			rep.Regressions++
+			continue
+		}
+		re.Name = t.Name()
+		v, err := d.run(ctx, t, e.Hash)
+		if err != nil {
+			re.Status = ReplayInvalid
+			re.Details = err.Error()
+			rep.Entries = append(rep.Entries, re)
+			rep.Regressions++
+			continue
+		}
+		switch {
+		case len(v.Crashed) > 0:
+			re.Status = ReplayCrash
+			re.Crashed = v.Crashed
+			re.Disagree = v.Disagree
+		case v.Failed():
+			re.Status = ReplayDisagreement
+			re.Disagree = v.Disagree
+			re.Details = diffDetails(t, v)
+		default:
+			// Drift detection applies to coverage entries only, and only
+			// when the recorded verdicts were computed under the current
+			// model semantics: finding entries recorded their verdicts
+			// while the bug they reproduce was live, and entries from an
+			// older SemanticsEpoch are *expected* to differ after a
+			// deliberate fix — neither may be re-flagged as a regression.
+			if e.Meta.Kind == "" && e.Meta.Epoch == backends.SemanticsEpoch {
+				for _, cell := range v.Cells {
+					rec, ok := e.Meta.Verdicts[cell.Backend]
+					if !ok || rec.Fingerprint == "" || cell.Status != string(litmus.StatusPass) {
+						continue
+					}
+					if rec.Fingerprint != cell.Fingerprint {
+						re.Changed = append(re.Changed, cell.Backend)
+					}
+				}
+			}
+			switch {
+			case len(re.Changed) > 0:
+				re.Status = ReplayChanged
+				re.Details = "outcome set differs from the verdict recorded at admission"
+			case len(v.Incomplete) > 0:
+				re.Status = ReplayIncomplete
+			default:
+				re.Status = ReplayOK
+			}
+		}
+		switch re.Status {
+		case ReplayOK:
+			rep.OK++
+		case ReplayIncomplete:
+			rep.Incomplete++
+		default:
+			rep.Regressions++
+		}
+		rep.Entries = append(rep.Entries, re)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,63 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+
+	"promising/internal/core"
+)
+
+// TestReplayCleanCorpus: a clean campaign's corpus replays with zero
+// regressions, and the injected certification bug turns replay red — the
+// corpus is a working regression suite.
+func TestReplayCleanCorpus(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(21, 80)
+	cfg.CorpusDir = dir
+	sum, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed() {
+		t.Fatalf("campaign not clean: %+v", sum.Findings[0])
+	}
+
+	corpus, err := OpenCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(context.Background(), corpus, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 || rep.OK == 0 {
+		t.Fatalf("clean corpus replay: %d ok, %d regressions of %d", rep.OK, rep.Regressions, rep.Total)
+	}
+
+	// Reintroduce a semantics bug: replay must report regressions (stored
+	// tests whose backends now disagree, or whose promise-aware outcome
+	// sets drifted from the recorded verdicts). A slice of the corpus
+	// keeps the buggy-model explorations (which admit far more states)
+	// cheap.
+	sub, err := OpenCorpus("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range corpus.Entries() {
+		if i == 25 {
+			break
+		}
+		if _, _, err := sub.Add(e.Source, e.Meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer core.SetWeakCertLeakForTesting(core.SetWeakCertLeakForTesting(true))
+	rep2, err := Replay(context.Background(), sub, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Regressions == 0 {
+		t.Fatal("replay did not catch the reintroduced certification bug")
+	}
+	t.Logf("replay caught the bug: %d regressions of %d entries", rep2.Regressions, rep2.Total)
+}

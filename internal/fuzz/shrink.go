@@ -1,0 +1,362 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// The delta-debugging shrinker. Given a failing candidate and a predicate
+// ("the differential disagreement is still there"), it applies reduction
+// passes in a fixed order — drop threads, drop instructions (including
+// flattening branches into their arms), weaken orderings, merge locations,
+// strip dependency wrappers — re-checking the predicate after every
+// candidate edit and keeping only reductions that preserve it. Passes loop
+// to a fixpoint, so the result is locally minimal: no single remaining
+// reduction preserves the disagreement.
+//
+// The shrinker is deterministic (no randomness, fixed iteration orders)
+// and idempotent: shrinking a shrunk test applies no further reductions.
+
+// ShrinkResult is the outcome of a shrink run.
+type ShrinkResult struct {
+	// Test is the minimised reproducer, canonicalised (Format/Parse).
+	Test *litmus.Test
+	// Source is its formatted source; Hash its content address.
+	Source string
+	Hash   string
+	// Trace lists the accepted reductions, in order.
+	Trace []string
+	// Checks counts predicate evaluations (accepted and rejected).
+	Checks int
+	// Truncated reports that the check budget ran out before the fixpoint.
+	Truncated bool
+}
+
+// Shrink minimises t while keep(t') holds. keep must accept the original
+// test; maxChecks bounds the total predicate evaluations (<= 0 selects
+// 2000). Candidates handed to keep are canonicalised, so the predicate
+// sees exactly what a corpus reload would.
+func Shrink(t *litmus.Test, keep func(*litmus.Test) bool, maxChecks int) ShrinkResult {
+	if maxChecks <= 0 {
+		maxChecks = 2000
+	}
+	s := &shrinker{keep: keep, budget: maxChecks}
+	cur := s.canon(copyTest(t))
+	if cur == nil {
+		// The original does not survive canonicalisation — nothing to do.
+		cur = t
+	}
+	for {
+		changed := false
+		for _, p := range shrinkPasses {
+			if s.budget <= 0 {
+				break
+			}
+			if next, step, ok := s.runPass(p, cur); ok {
+				cur = next
+				s.trace = append(s.trace, step)
+				changed = true
+			}
+		}
+		if !changed || s.budget <= 0 {
+			break
+		}
+	}
+	src := litmus.Format(cur)
+	return ShrinkResult{
+		Test:      cur,
+		Source:    src,
+		Hash:      Identity(src),
+		Trace:     s.trace,
+		Checks:    s.checks,
+		Truncated: s.budget <= 0,
+	}
+}
+
+type shrinker struct {
+	keep   func(*litmus.Test) bool
+	budget int
+	checks int
+	trace  []string
+}
+
+// canon normalises a candidate through the text format; mutants that fail
+// to round-trip are rejected (nil).
+func (s *shrinker) canon(t *litmus.Test) *litmus.Test {
+	back, err := litmus.Parse(litmus.Format(t))
+	if err != nil {
+		return nil
+	}
+	return back
+}
+
+// try canonicalises and checks one reduction candidate.
+func (s *shrinker) try(t *litmus.Test) (*litmus.Test, bool) {
+	if s.budget <= 0 {
+		return nil, false
+	}
+	c := s.canon(t)
+	if c == nil {
+		return nil, false
+	}
+	s.budget--
+	s.checks++
+	if !s.keep(c) {
+		return nil, false
+	}
+	return c, true
+}
+
+// runPass applies one pass's first accepted reduction (passes are re-run
+// until the fixpoint by the caller, so one accepted edit per call keeps
+// the trace fine-grained).
+func (s *shrinker) runPass(p shrinkPass, cur *litmus.Test) (*litmus.Test, string, bool) {
+	for _, cand := range p.candidates(cur) {
+		if next, ok := s.try(cand.test); ok {
+			return next, fmt.Sprintf("%s: %s", p.name, cand.desc), true
+		}
+		if s.budget <= 0 {
+			break
+		}
+	}
+	return nil, "", false
+}
+
+// candidate is one proposed reduction.
+type candidate struct {
+	test *litmus.Test
+	desc string
+}
+
+type shrinkPass struct {
+	name       string
+	candidates func(*litmus.Test) []candidate
+}
+
+// The fixed pass order: structure first (fewer threads and instructions
+// shrink every later pass's candidate set), then orderings, then the data
+// simplifications.
+var shrinkPasses = []shrinkPass{
+	{"drop-thread", dropThreadCands},
+	{"drop-instr", dropInstrCands},
+	{"weaken-order", weakenCands},
+	{"merge-locs", mergeLocCands},
+	{"strip-dep", stripDepCands},
+}
+
+// dropThreadCands proposes removing each thread (down to one).
+func dropThreadCands(t *litmus.Test) []candidate {
+	if len(t.Prog.Threads) <= 1 {
+		return nil
+	}
+	var out []candidate
+	for tid := range t.Prog.Threads {
+		nt := copyTest(t)
+		nt.Prog.Threads = append(nt.Prog.Threads[:tid:tid], nt.Prog.Threads[tid+1:]...)
+		if tid < len(nt.Prog.RegNames) {
+			nt.Prog.RegNames = append(nt.Prog.RegNames[:tid:tid], nt.Prog.RegNames[tid+1:]...)
+		}
+		rebuildObs(nt)
+		out = append(out, candidate{nt, fmt.Sprintf("thread %d", tid)})
+	}
+	return out
+}
+
+// dropInstrCands proposes removing each top-level instruction, and
+// replacing each conditional with either of its arms.
+func dropInstrCands(t *litmus.Test) []candidate {
+	var out []candidate
+	for tid := range t.Prog.Threads {
+		ss := flatten(t.Prog.Threads[tid])
+		for i := range ss {
+			if len(ss) > 1 {
+				nt := copyTest(t)
+				setThread(nt, tid, append(ss[:i:i], ss[i+1:]...))
+				rebuildObs(nt)
+				out = append(out, candidate{nt, fmt.Sprintf("thread %d instr %d", tid, i)})
+			}
+			if iff, ok := ss[i].(lang.If); ok {
+				for which, arm := range []lang.Stmt{iff.Then, iff.Else} {
+					nt := copyTest(t)
+					nss := append(ss[:i:i], append(flatten(arm), ss[i+1:]...)...)
+					if len(nss) == 0 {
+						nss = []lang.Stmt{lang.Skip{}}
+					}
+					setThread(nt, tid, nss)
+					rebuildObs(nt)
+					name := "then"
+					if which == 1 {
+						name = "else"
+					}
+					out = append(out, candidate{nt, fmt.Sprintf("thread %d if@%d -> %s arm", tid, i, name)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// weakenCands proposes weakening one access ordering at a time: strong →
+// weak → plain for loads and stores, dropping exclusivity, and weakening
+// fence classes RW → R / W.
+func weakenCands(t *litmus.Test) []candidate {
+	var out []candidate
+	for tid := range t.Prog.Threads {
+		ss := flatten(t.Prog.Threads[tid])
+		for i, s0 := range ss {
+			emit := func(ns lang.Stmt, desc string) {
+				nt := copyTest(t)
+				nss := append(append([]lang.Stmt(nil), ss[:i]...), append([]lang.Stmt{ns}, ss[i+1:]...)...)
+				setThread(nt, tid, nss)
+				rebuildObs(nt)
+				out = append(out, candidate{nt, fmt.Sprintf("thread %d instr %d: %s", tid, i, desc)})
+			}
+			switch s := s0.(type) {
+			case lang.Load:
+				if s.Kind != lang.ReadPlain {
+					ns := s
+					ns.Kind = lang.ReadKind(int(s.Kind) - 1)
+					emit(ns, fmt.Sprintf("load %s -> %s", s.Kind, ns.Kind))
+				}
+				if s.Xcl {
+					ns := s
+					ns.Xcl = false
+					emit(ns, "drop load exclusivity")
+				}
+			case lang.Store:
+				if s.Kind != lang.WritePlain {
+					ns := s
+					ns.Kind = lang.WriteKind(int(s.Kind) - 1)
+					emit(ns, fmt.Sprintf("store %s -> %s", s.Kind, ns.Kind))
+				}
+				if s.Xcl {
+					ns := s
+					ns.Xcl = false
+					emit(ns, "drop store exclusivity")
+				}
+			case lang.Fence:
+				for _, nk := range weakerFences(s) {
+					emit(nk, fmt.Sprintf("fence %s,%s -> %s,%s", s.K1, s.K2, nk.K1, nk.K2))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func weakerFences(f lang.Fence) []lang.Fence {
+	var out []lang.Fence
+	if f.K1 == lang.FenceRW {
+		out = append(out, lang.Fence{K1: lang.FenceR, K2: f.K2}, lang.Fence{K1: lang.FenceW, K2: f.K2})
+	}
+	if f.K2 == lang.FenceRW {
+		out = append(out, lang.Fence{K1: f.K1, K2: lang.FenceR}, lang.Fence{K1: f.K1, K2: lang.FenceW})
+	}
+	return out
+}
+
+// mergeLocCands proposes merging each location into the smallest-address
+// one (every reference rewritten), shrinking the location vocabulary.
+func mergeLocCands(t *litmus.Test) []candidate {
+	locs := locAddrs(t.Prog)
+	if len(locs) < 2 {
+		return nil
+	}
+	var out []candidate
+	for _, victim := range locs[1:] {
+		target := locs[0]
+		nt := copyTest(t)
+		rewrite := func(e lang.Expr) lang.Expr {
+			return mapExpr(e, func(e lang.Expr) lang.Expr {
+				if c, ok := e.(lang.Const); ok && c.V == victim {
+					return lang.Const{V: target}
+				}
+				return e
+			})
+		}
+		for tid := range nt.Prog.Threads {
+			nt.Prog.Threads[tid] = mapLeaves(nt.Prog.Threads[tid], func(l lang.Stmt) lang.Stmt {
+				switch l := l.(type) {
+				case lang.Load:
+					l.Addr = rewrite(l.Addr)
+					return l
+				case lang.Store:
+					l.Addr, l.Data = rewrite(l.Addr), rewrite(l.Data)
+					return l
+				case lang.Assign:
+					l.E = rewrite(l.E)
+					return l
+				default:
+					return l
+				}
+			})
+		}
+		for name, l := range nt.Prog.Locs {
+			if l == victim {
+				delete(nt.Prog.Locs, name)
+			}
+		}
+		if v, ok := nt.Prog.Init[victim]; ok {
+			delete(nt.Prog.Init, victim)
+			if _, exists := nt.Prog.Init[target]; !exists {
+				nt.Prog.Init[target] = v
+			}
+		}
+		if nt.Prog.Shared != nil && nt.Prog.Shared[victim] {
+			delete(nt.Prog.Shared, victim)
+			nt.Prog.Shared[target] = true
+		}
+		rebuildObs(nt)
+		out = append(out, candidate{nt, fmt.Sprintf("loc %d -> %d", victim, target)})
+	}
+	return out
+}
+
+// stripDepCands proposes removing one dependency wrapper at a time.
+func stripDepCands(t *litmus.Test) []candidate {
+	var out []candidate
+	for tid := range t.Prog.Threads {
+		ss := flatten(t.Prog.Threads[tid])
+		for i, s0 := range ss {
+			emit := func(ns lang.Stmt, desc string) {
+				nt := copyTest(t)
+				nss := append(append([]lang.Stmt(nil), ss[:i]...), append([]lang.Stmt{ns}, ss[i+1:]...)...)
+				setThread(nt, tid, nss)
+				rebuildObs(nt)
+				out = append(out, candidate{nt, fmt.Sprintf("thread %d instr %d: %s", tid, i, desc)})
+			}
+			switch s := s0.(type) {
+			case lang.Load:
+				if a, ok := stripDepExpr(s.Addr); ok {
+					ns := s
+					ns.Addr = a
+					emit(ns, "strip addr dep")
+				}
+			case lang.Store:
+				if a, ok := stripDepExpr(s.Addr); ok {
+					ns := s
+					ns.Addr = a
+					emit(ns, "strip addr dep")
+				}
+				if d, ok := stripDepExpr(s.Data); ok {
+					ns := s
+					ns.Data = d
+					emit(ns, "strip data dep")
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Size reports a test's shape for finding summaries: thread count and
+// total leaf instructions.
+func Size(t *litmus.Test) (threads, instrs int) {
+	threads = len(t.Prog.Threads)
+	for _, s := range t.Prog.Threads {
+		instrs += countLeaves(s)
+	}
+	return threads, instrs
+}

@@ -1,0 +1,141 @@
+package fuzz
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"promising/internal/core"
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// findInjectedBug runs a small campaign under the injected certification
+// bug and returns the first finding plus the differ to re-check with (the
+// hook must still be enabled when the differ is used).
+func findInjectedBug(t *testing.T, shrink bool) (Finding, *differ) {
+	t.Helper()
+	cfg := testConfig(7, 4000)
+	cfg.MaxFindings = 1
+	cfg.Shrink = shrink
+	sum, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Failed() {
+		t.Fatal("injected bug not caught")
+	}
+	return sum.Findings[0], newTestDiffer(cfg)
+}
+
+// TestShrinkDeterministic: shrinking the same finding twice yields the
+// same reproducer and the same trace.
+func TestShrinkDeterministic(t *testing.T) {
+	defer core.SetWeakCertLeakForTesting(core.SetWeakCertLeakForTesting(true))
+	f, d := findInjectedBug(t, false)
+	orig, err := litmus.Parse(f.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := signature(DiffVerdict{Disagree: f.Disagree})
+	keep := func(c *litmus.Test) bool {
+		v, err := d.run(context.Background(), c, Identity(litmus.Format(c)))
+		return err == nil && signature(v) == want
+	}
+	r1 := Shrink(orig, keep, 0)
+	r2 := Shrink(orig, keep, 0)
+	if r1.Source != r2.Source {
+		t.Fatalf("shrinker not deterministic:\n%s\nvs\n%s", r1.Source, r2.Source)
+	}
+	if strings.Join(r1.Trace, "|") != strings.Join(r2.Trace, "|") {
+		t.Fatalf("shrink traces differ:\n%v\nvs\n%v", r1.Trace, r2.Trace)
+	}
+}
+
+// TestShrinkPreservesVerdictEveryStep: every accepted reduction (and the
+// final reproducer) still exhibits the original disagreement signature —
+// verified independently of the shrinker's own bookkeeping by re-checking
+// each candidate the predicate accepted.
+func TestShrinkPreservesVerdictEveryStep(t *testing.T) {
+	defer core.SetWeakCertLeakForTesting(core.SetWeakCertLeakForTesting(true))
+	f, d := findInjectedBug(t, false)
+	orig, err := litmus.Parse(f.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := signature(DiffVerdict{Disagree: f.Disagree})
+	var accepted []*litmus.Test
+	keep := func(c *litmus.Test) bool {
+		v, err := d.run(context.Background(), c, Identity(litmus.Format(c)))
+		ok := err == nil && signature(v) == want
+		if ok {
+			accepted = append(accepted, c)
+		}
+		return ok
+	}
+	res := Shrink(orig, keep, 0)
+	if len(res.Trace) == 0 {
+		t.Fatalf("nothing shrunk from:\n%s", f.Source)
+	}
+	if len(accepted) < len(res.Trace) {
+		t.Fatalf("%d accepted candidates < %d trace steps", len(accepted), len(res.Trace))
+	}
+	for i, c := range accepted {
+		v, err := d.run(context.Background(), c, Identity(litmus.Format(c)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if signature(v) != want {
+			t.Fatalf("accepted step %d no longer exhibits the disagreement:\n%s", i, litmus.Format(c))
+		}
+	}
+	if sig, _ := d.run(context.Background(), res.Test, res.Hash); signature(sig) != want {
+		t.Fatalf("final reproducer lost the disagreement:\n%s", res.Source)
+	}
+}
+
+// TestShrinkIdempotent: shrinking a shrunk reproducer is a no-op.
+func TestShrinkIdempotent(t *testing.T) {
+	defer core.SetWeakCertLeakForTesting(core.SetWeakCertLeakForTesting(true))
+	f, d := findInjectedBug(t, true)
+	if f.ShrunkSource == "" {
+		t.Fatal("finding was not shrunk")
+	}
+	shrunk, err := litmus.Parse(f.ShrunkSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := signature(DiffVerdict{Disagree: f.Disagree})
+	keep := func(c *litmus.Test) bool {
+		v, err := d.run(context.Background(), c, Identity(litmus.Format(c)))
+		return err == nil && signature(v) == want
+	}
+	res := Shrink(shrunk, keep, 0)
+	if len(res.Trace) != 0 {
+		t.Fatalf("shrinking a shrunk test reduced further: %v\nbefore:\n%s\nafter:\n%s",
+			res.Trace, f.ShrunkSource, res.Source)
+	}
+	if res.Source != f.ShrunkSource {
+		t.Fatalf("idempotent shrink changed the source:\n%s\nvs\n%s", f.ShrunkSource, res.Source)
+	}
+}
+
+// TestShrinkRejectAll: a predicate that rejects everything leaves the test
+// unreduced.
+func TestShrinkRejectAll(t *testing.T) {
+	orig := litmus.Generate(litmus.DefaultGenConfig(12, lang.ARM))
+	res := Shrink(orig, func(*litmus.Test) bool { return false }, 0)
+	if len(res.Trace) != 0 {
+		t.Fatalf("reject-all predicate still shrank: %v", res.Trace)
+	}
+	if res.Source != litmus.Format(orig) {
+		// The result is the canonicalised original.
+		back, err := litmus.Parse(litmus.Format(orig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Source != litmus.Format(back) {
+			t.Fatalf("reject-all predicate changed the test:\n%s", res.Source)
+		}
+	}
+}

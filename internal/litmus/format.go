@@ -1,0 +1,280 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"promising/internal/lang"
+)
+
+// Format renders a test in the text format accepted by Parse, so tests
+// built programmatically (the random generator's, the fuzzer's mutants and
+// shrunk reproducers) can be persisted to a corpus and re-run later.
+// Parse(Format(t)) yields a test with the same meaning: identical compiled
+// behaviour, condition, expectation and observation spec — register
+// *indices* may be renumbered (the parser numbers registers by first
+// textual use), but every observation and condition refers to registers by
+// name, so outcome sets are identical.
+func Format(t *Test) string {
+	p := t.Prog
+	var b strings.Builder
+	fmt.Fprintf(&b, "arch %s\n", p.Arch)
+	if p.Name != "" {
+		fmt.Fprintf(&b, "name %s\n", p.Name)
+	}
+	if p.LoopBound > 0 {
+		fmt.Fprintf(&b, "bound %d\n", p.LoopBound)
+	}
+	locNames := locsByAddr(p)
+	f := &testFormatter{prog: p, locs: make(map[lang.Loc]string, len(p.Locs))}
+	for _, n := range locNames {
+		if _, ok := f.locs[p.Locs[n]]; !ok {
+			f.locs[p.Locs[n]] = n
+		}
+	}
+	// The init, shared and observe directives refer to locations by name,
+	// so addresses that appear there without a declared name get one.
+	extra := map[string]lang.Loc{}
+	nameAddr := func(l lang.Loc) {
+		if _, ok := f.locs[l]; ok {
+			return
+		}
+		n := fmt.Sprintf("g%d", l)
+		for {
+			if _, dup := p.Locs[n]; !dup {
+				if _, dup := extra[n]; !dup {
+					break
+				}
+			}
+			n += "_"
+		}
+		extra[n] = l
+		f.locs[l] = n
+	}
+	for l := range p.Init {
+		nameAddr(l)
+	}
+	for l := range p.Shared {
+		nameAddr(l)
+	}
+	if t.Obs != nil {
+		for _, l := range t.Obs.Locs {
+			nameAddr(l)
+		}
+	}
+	extraNames := make([]string, 0, len(extra))
+	for n := range extra {
+		extraNames = append(extraNames, n)
+	}
+	sort.Slice(extraNames, func(i, j int) bool { return extra[extraNames[i]] < extra[extraNames[j]] })
+	if len(locNames)+len(extraNames) > 0 {
+		// Explicit addresses, so address arithmetic and the implicit
+		// allocation order both survive the round trip.
+		b.WriteString("locs")
+		for _, n := range locNames {
+			fmt.Fprintf(&b, " %s=%d", n, p.Locs[n])
+		}
+		for _, n := range extraNames {
+			fmt.Fprintf(&b, " %s=%d", n, extra[n])
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Init) > 0 {
+		inits := make([]lang.Loc, 0, len(p.Init))
+		for l := range p.Init {
+			inits = append(inits, l)
+		}
+		sort.Slice(inits, func(i, j int) bool { return inits[i] < inits[j] })
+		b.WriteString("init")
+		for _, l := range inits {
+			fmt.Fprintf(&b, " %s=%d", f.locRef(l), p.Init[l])
+		}
+		b.WriteByte('\n')
+	}
+	if p.Shared != nil {
+		shared := make([]lang.Loc, 0, len(p.Shared))
+		for l := range p.Shared {
+			shared = append(shared, l)
+		}
+		sort.Slice(shared, func(i, j int) bool { return shared[i] < shared[j] })
+		b.WriteString("shared")
+		for _, l := range shared {
+			fmt.Fprintf(&b, " %s", f.locRef(l))
+		}
+		b.WriteByte('\n')
+	}
+	for tid, s := range p.Threads {
+		f.regs = regNamer(p, tid)
+		fmt.Fprintf(&b, "thread %d {\n", tid)
+		f.stmt(&b, s, 1)
+		b.WriteString("}\n")
+	}
+	if t.Cond != nil {
+		// Re-render the condition through the same namers as the bodies
+		// (Cond.String falls back to raw indices when display names are
+		// missing, which would not re-resolve).
+		fmt.Fprintf(&b, "exists %s\n", f.cond(t.Cond))
+	}
+	if t.Expect != ExpectUnknown {
+		fmt.Fprintf(&b, "expect %s\n", t.Expect)
+	}
+	if t.Obs != nil {
+		b.WriteString("observe")
+		for _, ro := range t.Obs.Regs {
+			fmt.Fprintf(&b, " %d:%s", ro.TID, regNamer(p, ro.TID)(ro.Reg))
+		}
+		for _, l := range t.Obs.Locs {
+			fmt.Fprintf(&b, " [%s]", f.locRef(l))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// locsByAddr returns the program's location names ordered by address (ties
+// by name, deterministically).
+func locsByAddr(p *lang.Program) []string {
+	names := make([]string, 0, len(p.Locs))
+	for n := range p.Locs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := p.Locs[names[i]], p.Locs[names[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// regNamer returns a renderer for thread tid's registers: named registers
+// render under their (deterministically chosen) name, unnamed ones get a
+// fresh collision-free name. The parser re-allocates indices by first use,
+// so only names need to survive the round trip.
+func regNamer(p *lang.Program, tid int) func(lang.Reg) string {
+	taken := map[string]bool{}
+	rev := map[lang.Reg]string{}
+	if tid < len(p.RegNames) {
+		names := make([]string, 0, len(p.RegNames[tid]))
+		for n := range p.RegNames[tid] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			taken[n] = true
+			if _, ok := rev[p.RegNames[tid][n]]; !ok {
+				rev[p.RegNames[tid][n]] = n
+			}
+		}
+	}
+	return func(r lang.Reg) string {
+		if n, ok := rev[r]; ok {
+			return n
+		}
+		n := fmt.Sprintf("r%d", r)
+		for taken[n] {
+			n += "_"
+		}
+		rev[r] = n
+		taken[n] = true
+		return n
+	}
+}
+
+// testFormatter renders statements, expressions and conditions with the
+// program's location names and the current thread's register names.
+type testFormatter struct {
+	prog *lang.Program
+	locs map[lang.Loc]string
+	regs func(lang.Reg) string
+}
+
+// locRef renders a location: by name when declared, numerically otherwise
+// (the parser reads bare numbers as addresses).
+func (f *testFormatter) locRef(l lang.Loc) string {
+	if n, ok := f.locs[l]; ok {
+		return n
+	}
+	return fmt.Sprintf("%d", l)
+}
+
+func (f *testFormatter) expr(e lang.Expr) string {
+	switch e := e.(type) {
+	case lang.Const:
+		return f.locRef(e.V)
+	case lang.RegRef:
+		return f.regs(e.R)
+	case lang.BinOp:
+		return "(" + f.expr(e.L) + " " + e.Op.String() + " " + f.expr(e.R) + ")"
+	default:
+		panic(fmt.Sprintf("litmus: unknown expression %T", e))
+	}
+}
+
+func (f *testFormatter) stmt(b *strings.Builder, s lang.Stmt, indent int) {
+	pad := strings.Repeat("  ", indent)
+	switch s := s.(type) {
+	case lang.Skip:
+		fmt.Fprintf(b, "%sskip;\n", pad)
+	case lang.Seq:
+		f.stmt(b, s.S1, indent)
+		f.stmt(b, s.S2, indent)
+	case lang.If:
+		fmt.Fprintf(b, "%sif %s {\n", pad, f.expr(s.Cond))
+		f.stmt(b, s.Then, indent+1)
+		if _, ok := s.Else.(lang.Skip); !ok {
+			fmt.Fprintf(b, "%s} else {\n", pad)
+			f.stmt(b, s.Else, indent+1)
+		}
+		fmt.Fprintf(b, "%s}\n", pad)
+	case lang.While:
+		fmt.Fprintf(b, "%swhile %s {\n", pad, f.expr(s.Cond))
+		f.stmt(b, s.Body, indent+1)
+		fmt.Fprintf(b, "%s}\n", pad)
+	case lang.Assign:
+		fmt.Fprintf(b, "%s%s = %s;\n", pad, f.regs(s.Dst), f.expr(s.E))
+	case lang.Load:
+		fmt.Fprintf(b, "%s%s = load%s [%s];\n", pad, f.regs(s.Dst), suffix(s.Xcl, s.Kind.String()), f.expr(s.Addr))
+	case lang.Store:
+		fmt.Fprintf(b, "%s%s = store%s [%s] %s;\n", pad, f.regs(s.Succ), suffix(s.Xcl, s.Kind.String()), f.expr(s.Addr), f.expr(s.Data))
+	case lang.Fence:
+		fmt.Fprintf(b, "%sfence %s,%s;\n", pad, s.K1, s.K2)
+	case lang.ISB:
+		fmt.Fprintf(b, "%sisb;\n", pad)
+	default:
+		panic(fmt.Sprintf("litmus: unknown statement %T", s))
+	}
+}
+
+func suffix(xcl bool, kind string) string {
+	var parts []string
+	if kind != "pln" {
+		parts = append(parts, kind)
+	}
+	if xcl {
+		parts = append(parts, "x")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "." + strings.Join(parts, ".")
+}
+
+func (f *testFormatter) cond(c Cond) string {
+	switch c := c.(type) {
+	case RegEq:
+		return fmt.Sprintf("%d:%s=%d", c.TID, regNamer(f.prog, c.TID)(c.Reg), c.Val)
+	case LocEq:
+		return fmt.Sprintf("[%s]=%d", f.locRef(c.Loc), c.Val)
+	case Not:
+		return "!" + f.cond(c.C)
+	case And:
+		return "(" + f.cond(c.L) + " && " + f.cond(c.R) + ")"
+	case Or:
+		return "(" + f.cond(c.L) + " || " + f.cond(c.R) + ")"
+	default:
+		panic(fmt.Sprintf("litmus: unknown condition %T", c))
+	}
+}

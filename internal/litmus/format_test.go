@@ -1,0 +1,117 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// TestFormatRoundTripGenerated: formatting a generated test and re-parsing
+// it yields a test with identical outcome sets under the promise-first
+// explorer, and the formatted source is a fixpoint (formatting the
+// re-parsed test gives the same text — the corpus's canonical form).
+func TestFormatRoundTripGenerated(t *testing.T) {
+	n := int64(120)
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(0); seed < n; seed++ {
+		arch := lang.ARM
+		if seed%2 == 1 {
+			arch = lang.RISCV
+		}
+		orig := Generate(DefaultGenConfig(seed, arch))
+		src := Format(orig)
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\nsource:\n%s", seed, err, src)
+		}
+		if back.Obs == nil {
+			t.Fatalf("seed %d: observe directive lost", seed)
+		}
+		vo, err := Run(orig, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: run original: %v", seed, err)
+		}
+		vb, err := Run(back, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: run reparsed: %v", seed, err)
+		}
+		if !explore.SameOutcomes(vo.Result, vb.Result) {
+			t.Fatalf("seed %d: outcome sets differ after round trip\nsource:\n%s\noriginal:\n%s\n\nreparsed:\n%s",
+				seed, src,
+				FormatOutcomes(vo.Spec, vo.Result, orig.Prog),
+				FormatOutcomes(vb.Spec, vb.Result, back.Prog))
+		}
+		// The formatted outcome *lines* must agree too (names survive).
+		if a, b := FormatOutcomes(vo.Spec, vo.Result, orig.Prog), FormatOutcomes(vb.Spec, vb.Result, back.Prog); a != b {
+			t.Fatalf("seed %d: formatted outcomes differ\noriginal:\n%s\n\nreparsed:\n%s", seed, a, b)
+		}
+		if again := Format(back); again != src {
+			t.Fatalf("seed %d: Format is not a fixpoint\nfirst:\n%s\nsecond:\n%s", seed, src, again)
+		}
+	}
+}
+
+// TestFormatRoundTripCatalog: every catalog test survives a Format round
+// trip with an identical verdict and outcome set.
+func TestFormatRoundTripCatalog(t *testing.T) {
+	for _, orig := range Catalog() {
+		src := Format(orig)
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\nsource:\n%s", orig.Name(), err, src)
+		}
+		if back.Expect != orig.Expect {
+			t.Fatalf("%s: expectation changed: %v -> %v", orig.Name(), orig.Expect, back.Expect)
+		}
+		vo, err := Run(orig, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: run original: %v", orig.Name(), err)
+		}
+		vb, err := Run(back, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: run reparsed: %v\nsource:\n%s", orig.Name(), err, src)
+		}
+		if vo.Allowed != vb.Allowed {
+			t.Fatalf("%s: verdict flipped after round trip (%v -> %v)\nsource:\n%s",
+				orig.Name(), vo.Allowed, vb.Allowed, src)
+		}
+		if a, b := FormatOutcomes(vo.Spec, vo.Result, orig.Prog), FormatOutcomes(vb.Spec, vb.Result, back.Prog); a != b {
+			t.Fatalf("%s: formatted outcomes differ\noriginal:\n%s\n\nreparsed:\n%s", orig.Name(), a, b)
+		}
+	}
+}
+
+// TestObserveDirective pins the observe grammar: order defines the
+// projection, locations may be named or numeric, and a condition atom
+// outside the observe set is a parse error.
+func TestObserveDirective(t *testing.T) {
+	src := `
+arch arm
+name obs-test
+locs x y
+thread 0 { store [x] 1; }
+thread 1 { r0 = load [x]; r1 = load [y]; }
+observe 1:r1 1:r0 [y]
+`
+	tt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tt.Spec()
+	if len(spec.Regs) != 2 || spec.Regs[0].Name != "1:r1" || spec.Regs[1].Name != "1:r0" {
+		t.Fatalf("observe order not preserved: %+v", spec.Regs)
+	}
+	if len(spec.Locs) != 1 || spec.Locs[0] != tt.Prog.Locs["y"] {
+		t.Fatalf("observe locs wrong: %+v", spec.Locs)
+	}
+
+	_, err = Parse(strings.Replace(src, "observe 1:r1 1:r0 [y]",
+		"exists 1:r0=1\nobserve 1:r1 [y]", 1))
+	if err == nil || !strings.Contains(err.Error(), "observe") {
+		t.Fatalf("condition atom outside observe spec should fail, got %v", err)
+	}
+}

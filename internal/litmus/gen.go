@@ -13,6 +13,61 @@ import (
 // enough for all backends, seeded for reproducibility, and observed on
 // every load destination and success register plus the final memory.
 
+// GenProfile selects the instruction features the generator may emit. It
+// is the shared vocabulary between the differential test suites, the fuzz
+// campaigns and the CLIs: a campaign over the "fences" profile and a test
+// asserting on it generate from the same feature set.
+type GenProfile struct {
+	// RelAcq enables acquire/release (and weak-acquire/weak-release)
+	// access orderings.
+	RelAcq bool
+	// Fences enables barriers (ARM dmb/isb, RISC-V fences).
+	Fences bool
+	// Branches enables conditionals (control dependencies).
+	Branches bool
+	// Xcl enables load/store exclusive pairs.
+	Xcl bool
+	// Deps enables syntactic address/data dependency chains.
+	Deps bool
+}
+
+// Named generator profiles, from bare plain-access tests to the full
+// feature set.
+var (
+	// ProfileClassic is plain loads and stores only (MP/SB/LB shapes).
+	ProfileClassic = GenProfile{}
+	// ProfileFences adds barriers to the classic shapes.
+	ProfileFences = GenProfile{Fences: true}
+	// ProfileXcl adds load/store exclusive pairs.
+	ProfileXcl = GenProfile{Xcl: true}
+	// ProfileDeps adds address/data dependency chains and control
+	// dependencies.
+	ProfileDeps = GenProfile{Deps: true, Branches: true}
+	// ProfileFull enables every feature.
+	ProfileFull = GenProfile{RelAcq: true, Fences: true, Branches: true, Xcl: true, Deps: true}
+)
+
+// Profiles lists the named generator profiles in canonical order.
+func Profiles() []string { return []string{"classic", "fences", "xcl", "deps", "full"} }
+
+// ProfileByName resolves a named generator profile.
+func ProfileByName(name string) (GenProfile, error) {
+	switch name {
+	case "classic":
+		return ProfileClassic, nil
+	case "fences":
+		return ProfileFences, nil
+	case "xcl":
+		return ProfileXcl, nil
+	case "deps":
+		return ProfileDeps, nil
+	case "full", "":
+		return ProfileFull, nil
+	default:
+		return GenProfile{}, fmt.Errorf("litmus: unknown generator profile %q (want classic, fences, xcl, deps or full)", name)
+	}
+}
+
 // GenConfig tunes the random generator.
 type GenConfig struct {
 	Seed    int64
@@ -22,12 +77,8 @@ type GenConfig struct {
 	MaxInstrs int
 	// Locs is the number of distinct shared locations (default 2).
 	Locs int
-	// Feature toggles.
-	AllowRelAcq   bool
-	AllowFences   bool
-	AllowBranches bool
-	AllowXcl      bool
-	AllowDeps     bool
+	// Profile selects the feature set (zero value = ProfileClassic).
+	Profile GenProfile
 }
 
 // DefaultGenConfig returns a configuration exercising every feature.
@@ -35,21 +86,25 @@ func DefaultGenConfig(seed int64, arch lang.Arch) GenConfig {
 	return GenConfig{
 		Seed: seed, Arch: arch,
 		Threads: 2, MaxInstrs: 4, Locs: 2,
-		AllowRelAcq: true, AllowFences: true, AllowBranches: true,
-		AllowXcl: true, AllowDeps: true,
+		Profile: ProfileFull,
 	}
 }
 
 // Generate builds a random test. The same config always yields the same
 // test.
 func Generate(cfg GenConfig) *Test {
-	if cfg.Threads == 0 {
+	// Zero means default; out-of-range values clamp to the smallest legal
+	// configuration rather than panicking inside rand.Intn — GenConfig
+	// reaches this point from network requests (the fuzz endpoint).
+	if cfg.Threads < 1 {
 		cfg.Threads = 2
 	}
 	if cfg.MaxInstrs == 0 {
 		cfg.MaxInstrs = 4
+	} else if cfg.MaxInstrs < 2 {
+		cfg.MaxInstrs = 2 // the generator emits 2..MaxInstrs instructions
 	}
-	if cfg.Locs == 0 {
+	if cfg.Locs < 1 {
 		cfg.Locs = 2
 	}
 	g := &generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
@@ -117,7 +172,7 @@ func (g *generator) loc() lang.Loc {
 // earlier load.
 func (g *generator) addr() lang.Expr {
 	l := g.loc()
-	if g.cfg.AllowDeps && len(g.loadRegs) > 0 && g.rng.Intn(100) < 30 {
+	if g.cfg.Profile.Deps && len(g.loadRegs) > 0 && g.rng.Intn(100) < 30 {
 		r := g.loadRegs[g.rng.Intn(len(g.loadRegs))]
 		return lang.DepOn(lang.C(l), r)
 	}
@@ -128,7 +183,7 @@ func (g *generator) addr() lang.Expr {
 // data-dependent on an earlier load.
 func (g *generator) data() lang.Expr {
 	v := lang.C(lang.Val(1 + g.rng.Intn(2)))
-	if g.cfg.AllowDeps && len(g.loadRegs) > 0 && g.rng.Intn(100) < 30 {
+	if g.cfg.Profile.Deps && len(g.loadRegs) > 0 && g.rng.Intn(100) < 30 {
 		r := g.loadRegs[g.rng.Intn(len(g.loadRegs))]
 		if g.rng.Intn(2) == 0 {
 			return lang.DepOn(v, r)
@@ -162,7 +217,7 @@ func (g *generator) instr(last bool) lang.Stmt {
 		}
 	case roll < 35:
 		ld := lang.Load{Dst: g.newObsReg("r"), Addr: g.addr(), Kind: g.readKind()}
-		if g.cfg.AllowXcl && !g.xclOpen && !last && g.rng.Intn(100) < 25 {
+		if g.cfg.Profile.Xcl && !g.xclOpen && !last && g.rng.Intn(100) < 25 {
 			ld.Xcl = true
 			g.xclOpen = true
 		}
@@ -170,9 +225,9 @@ func (g *generator) instr(last bool) lang.Stmt {
 		return ld
 	case roll < 65:
 		return lang.Store{Succ: g.regs.Fresh(), Addr: g.addr(), Data: g.data(), Kind: g.writeKind()}
-	case roll < 80 && g.cfg.AllowFences:
+	case roll < 80 && g.cfg.Profile.Fences:
 		return g.fence()
-	case roll < 88 && g.cfg.AllowBranches && len(g.loadRegs) > 0:
+	case roll < 88 && g.cfg.Profile.Branches && len(g.loadRegs) > 0:
 		r := g.loadRegs[g.rng.Intn(len(g.loadRegs))]
 		cond := lang.Eq(lang.R(r), lang.C(lang.Val(g.rng.Intn(2))))
 		body := lang.Stmt(lang.Store{Succ: g.regs.Fresh(), Addr: g.addr(), Data: g.data(), Kind: lang.WritePlain})
@@ -186,7 +241,7 @@ func (g *generator) instr(last bool) lang.Stmt {
 		g.loadRegs = append(g.loadRegs, ld.Dst)
 		return ld
 	default:
-		if g.cfg.AllowFences {
+		if g.cfg.Profile.Fences {
 			return lang.ISB{}
 		}
 		return lang.Skip{}
@@ -194,7 +249,7 @@ func (g *generator) instr(last bool) lang.Stmt {
 }
 
 func (g *generator) readKind() lang.ReadKind {
-	if !g.cfg.AllowRelAcq {
+	if !g.cfg.Profile.RelAcq {
 		return lang.ReadPlain
 	}
 	switch g.rng.Intn(10) {
@@ -208,7 +263,7 @@ func (g *generator) readKind() lang.ReadKind {
 }
 
 func (g *generator) writeKind() lang.WriteKind {
-	if !g.cfg.AllowRelAcq {
+	if !g.cfg.Profile.RelAcq {
 		return lang.WritePlain
 	}
 	switch g.rng.Intn(10) {

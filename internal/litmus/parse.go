@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"promising/internal/explore"
 	"promising/internal/lang"
 )
 
@@ -28,9 +29,15 @@ import (
 //	}
 //	exists 1:r0=1 && 1:r1=0
 //	expect allowed               // optional: allowed | forbidden
+//	observe 0:r0 1:r1 [x]        // optional: explicit observation spec
 //
 // "~exists C" is shorthand for "exists C" plus "expect forbidden".
 // Comments run from "//" or "#" to end of line.
+//
+// An observe directive overrides the condition-derived observation spec
+// (Test.Obs): outcomes project exactly the listed registers and locations,
+// in the listed order. This is how generated tests — which observe
+// everything rather than one condition — survive a Format round trip.
 func Parse(src string) (*Test, error) {
 	p := &fileParser{
 		prog: &lang.Program{
@@ -53,13 +60,100 @@ func Parse(src string) (*Test, error) {
 		}
 		t.Cond = c
 	}
+	if len(p.obsSrc) > 0 {
+		spec, err := resolveObs(p.obsSrc, p.prog)
+		if err != nil {
+			return nil, err
+		}
+		if t.Cond != nil {
+			if err := condCovered(t.Cond, spec); err != nil {
+				return nil, err
+			}
+		}
+		t.Obs = spec
+	}
 	return t, nil
+}
+
+// resolveObs resolves the items of observe directives ("tid:reg" register
+// observations and "[loc]" final-memory observations) against the parsed
+// program, preserving their order — the order defines the outcome
+// projection.
+func resolveObs(items []string, prog *lang.Program) (*explore.ObsSpec, error) {
+	spec := &explore.ObsSpec{}
+	for _, it := range items {
+		if strings.HasPrefix(it, "[") {
+			name := strings.TrimSuffix(strings.TrimPrefix(it, "["), "]")
+			l, ok := prog.Locs[name]
+			if !ok {
+				v, err := strconv.ParseInt(name, 0, 64)
+				if err != nil {
+					return nil, fmt.Errorf("litmus: observe: unknown location %q", name)
+				}
+				l = v
+			}
+			spec.Locs = append(spec.Locs, l)
+			continue
+		}
+		colon := strings.Index(it, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("litmus: observe wants tid:reg or [loc], got %q", it)
+		}
+		tid, err := strconv.Atoi(it[:colon])
+		if err != nil || tid < 0 || tid >= len(prog.Threads) {
+			return nil, fmt.Errorf("litmus: observe: bad thread id in %q", it)
+		}
+		regName := it[colon+1:]
+		r, ok := prog.RegNames[tid][regName]
+		if !ok {
+			return nil, fmt.Errorf("litmus: observe: thread %d has no register %q", tid, regName)
+		}
+		spec.Regs = append(spec.Regs, explore.RegObs{TID: tid, Reg: r, Name: fmt.Sprintf("%d:%s", tid, regName)})
+	}
+	return spec, nil
+}
+
+// condCovered checks that every atom of c is observed by spec: an explicit
+// observe directive overrides the condition-derived spec, so a condition
+// atom outside it could not be evaluated.
+func condCovered(c Cond, spec *explore.ObsSpec) error {
+	switch c := c.(type) {
+	case RegEq:
+		for _, ro := range spec.Regs {
+			if ro.TID == c.TID && ro.Reg == c.Reg {
+				return nil
+			}
+		}
+		return fmt.Errorf("litmus: condition register %d:%d is not in the observe directive", c.TID, c.Reg)
+	case LocEq:
+		for _, l := range spec.Locs {
+			if l == c.Loc {
+				return nil
+			}
+		}
+		return fmt.Errorf("litmus: condition location %q is not in the observe directive", c.Name)
+	case Not:
+		return condCovered(c.C, spec)
+	case And:
+		if err := condCovered(c.L, spec); err != nil {
+			return err
+		}
+		return condCovered(c.R, spec)
+	case Or:
+		if err := condCovered(c.L, spec); err != nil {
+			return err
+		}
+		return condCovered(c.R, spec)
+	default:
+		return nil
+	}
 }
 
 type fileParser struct {
 	prog    *lang.Program
 	nextLoc lang.Loc
 	condSrc string
+	obsSrc  []string
 	expect  Expectation
 	threads map[int]string
 }
@@ -144,6 +238,8 @@ func (p *fileParser) parse(src string) error {
 		case "~exists", "forbidden":
 			p.condSrc = rest
 			p.expect = ExpectForbidden
+		case "observe":
+			p.obsSrc = append(p.obsSrc, strings.Fields(rest)...)
 		case "expect":
 			switch rest {
 			case "allowed":

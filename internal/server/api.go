@@ -9,9 +9,10 @@
 //
 //	POST   /v1/check            one test, synchronous, cache-aware
 //	POST   /v1/batch            many tests × backends → job id
+//	POST   /v1/fuzz             differential fuzzing campaign → job id
 //	GET    /v1/jobs/{id}        job status + completed cell reports
 //	DELETE /v1/jobs/{id}        cancel: aborts in-flight explorations
-//	GET    /v1/jobs/{id}/events per-cell progress as Server-Sent Events
+//	GET    /v1/jobs/{id}/events per-cell/campaign progress as SSE
 //	GET    /v1/catalog          the built-in canonical litmus tests
 //	GET    /healthz             liveness + uptime
 //	GET    /metrics             Prometheus-style counters
@@ -21,6 +22,7 @@ import (
 	"strings"
 
 	"promising/internal/explore"
+	"promising/internal/fuzz"
 	"promising/internal/litmus"
 )
 
@@ -62,7 +64,8 @@ type BatchRequest struct {
 	Options  CheckOptions `json:"options,omitzero"`
 }
 
-// BatchResponse acknowledges a batch job.
+// BatchResponse acknowledges a batch or fuzz job. For fuzz jobs Cells is
+// the iteration budget (0 = purely time-boxed).
 type BatchResponse struct {
 	JobID string `json:"job_id"`
 	Cells int    `json:"cells"`
@@ -147,6 +150,51 @@ func ReportJSON(r litmus.Report) TestReport {
 	return tr
 }
 
+// FuzzRequest is the body of POST /v1/fuzz: a time- or iteration-boxed
+// differential fuzzing campaign, run as a cancelable job on the shared
+// worker pool.
+type FuzzRequest struct {
+	// Seed is the campaign base seed (same seed, same fresh candidates).
+	Seed int64 `json:"seed,omitempty"`
+	// Iterations bounds the candidate count (default 1000, capped by the
+	// server's MaxFuzzIterations).
+	Iterations int `json:"iterations,omitempty"`
+	// TimeBudgetMS time-boxes the campaign (capped by the server's
+	// MaxTimeout).
+	TimeBudgetMS int64 `json:"time_budget_ms,omitempty"`
+	// Profile is a named generator profile: classic, fences, xcl, deps,
+	// full (default).
+	Profile string `json:"profile,omitempty"`
+	// Arch is arm, riscv or both (default).
+	Arch string `json:"arch,omitempty"`
+	// Backends lists the backends, oracle first (default
+	// promising, naive, axiomatic).
+	Backends []string `json:"backends,omitempty"`
+	// Shrink delta-debugs findings to minimal reproducers (default true).
+	Shrink *bool `json:"shrink,omitempty"`
+	// Threads/MaxInstrs/Locs are generator size knobs (clamped to 4/6/4).
+	Threads   int `json:"threads,omitempty"`
+	MaxInstrs int `json:"max_instrs,omitempty"`
+	Locs      int `json:"locs,omitempty"`
+	// MaxFindings stops the campaign early (0 = run the whole budget).
+	MaxFindings int `json:"max_findings,omitempty"`
+}
+
+// FuzzStatus is a fuzz job's progress (in JobStatus.Fuzz and streamed in
+// JobEvent.Fuzz): iteration counters, corpus size, distinct-outcome
+// coverage and disagreements, plus the findings on terminal snapshots.
+type FuzzStatus struct {
+	fuzz.Progress
+	// Findings is populated once the campaign finishes (it is the part
+	// clients act on; streaming partial findings would race the shrinker).
+	// The wire key is finding_list: "findings" is the embedded Progress's
+	// *count*, which an identically-named key here would shadow out of
+	// every serialized snapshot (fuzz.Summary makes the same split).
+	Findings []fuzz.Finding `json:"finding_list,omitempty"`
+	// Error reports a campaign infrastructure failure.
+	Error string `json:"error,omitempty"`
+}
+
 // JobState is the lifecycle of a batch job.
 type JobState string
 
@@ -159,16 +207,24 @@ const (
 
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID        string   `json:"id"`
-	State     JobState `json:"state"`
-	Total     int      `json:"total"`
-	Completed int      `json:"completed"`
-	CacheHits int      `json:"cache_hits"`
+	ID string `json:"id"`
+	// Kind is "batch" or "fuzz".
+	Kind  string   `json:"kind,omitempty"`
+	State JobState `json:"state"`
+	// Total is the cell count for batch jobs and the iteration budget for
+	// fuzz jobs — 0 for a purely time-boxed campaign (iteration count
+	// unbounded), in which case Completed alone tracks progress.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	CacheHits int `json:"cache_hits"`
 	// Reports holds one entry per cell, indexed test-major (cell
 	// i*len(backends)+j, litmus.RunAll's deterministic layout); a null
-	// entry is a cell that has not completed yet.
-	Reports   []*TestReport `json:"reports"`
-	ElapsedMS int64         `json:"elapsed_ms"`
+	// entry is a cell that has not completed yet. Nil for fuzz jobs.
+	Reports []*TestReport `json:"reports,omitempty"`
+	// Fuzz is the campaign progress (fuzz jobs only); its Findings are
+	// populated once the job is terminal.
+	Fuzz      *FuzzStatus `json:"fuzz,omitempty"`
+	ElapsedMS int64       `json:"elapsed_ms"`
 }
 
 // JobEvent is one Server-Sent Event on GET /v1/jobs/{id}/events: a cell
@@ -184,7 +240,11 @@ type JobEvent struct {
 	Completed int         `json:"completed"`
 	Total     int         `json:"total"`
 	Report    *TestReport `json:"report,omitempty"`
-	Dropped   bool        `json:"dropped,omitempty"`
+	// Fuzz carries a campaign progress snapshot (fuzz jobs; Cell is -1 on
+	// progress events, and the stream-ending summary carries the final
+	// snapshot with findings).
+	Fuzz    *FuzzStatus `json:"fuzz,omitempty"`
+	Dropped bool        `json:"dropped,omitempty"`
 }
 
 // CatalogInfo describes one catalog test in GET /v1/catalog.

@@ -82,6 +82,16 @@ func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, e
 	return &br, nil
 }
 
+// Fuzz starts a differential fuzzing campaign job; poll Job (or stream
+// /v1/jobs/{id}/events) for progress and findings.
+func (c *Client) Fuzz(ctx context.Context, req FuzzRequest) (*BatchResponse, error) {
+	var br BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/fuzz", req, &br); err != nil {
+		return nil, err
+	}
+	return &br, nil
+}
+
 // Job fetches a job's status and completed reports.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	var st JobStatus

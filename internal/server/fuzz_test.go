@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFuzzJobCompletes: a small campaign over /v1/fuzz runs to done with
+// progress counters and no findings.
+func TestFuzzJobCompletes(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	br, err := c.Fuzz(ctx, FuzzRequest{Seed: 1, Iterations: 80, Profile: "full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, c, br.JobID, 120*time.Second)
+	if st.State != JobDone {
+		t.Fatalf("job = %+v; want done", st)
+	}
+	if st.Kind != "fuzz" {
+		t.Fatalf("kind = %q; want fuzz", st.Kind)
+	}
+	if st.Fuzz == nil {
+		t.Fatal("terminal status carries no fuzz snapshot")
+	}
+	if st.Fuzz.Error != "" {
+		t.Fatalf("campaign error: %s", st.Fuzz.Error)
+	}
+	if st.Fuzz.Iterations != 80 {
+		t.Fatalf("iterations = %d; want 80", st.Fuzz.Iterations)
+	}
+	if len(st.Fuzz.Findings) != 0 {
+		t.Fatalf("clean campaign reported findings: %+v", st.Fuzz.Findings[0])
+	}
+	if st.Fuzz.CorpusSize == 0 || st.Fuzz.Coverage == 0 {
+		t.Fatalf("campaign admitted nothing: %+v", st.Fuzz.Progress)
+	}
+}
+
+// TestFuzzJobCancel: DELETE aborts a long campaign promptly through the
+// job context.
+func TestFuzzJobCancel(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2, MaxFuzzIterations: 50_000})
+	ctx := context.Background()
+	br, err := c.Fuzz(ctx, FuzzRequest{Seed: 2, Iterations: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if _, err := c.CancelJob(ctx, br.JobID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitJob(t, c, br.JobID, 30*time.Second)
+	if st.State != JobCanceled {
+		t.Fatalf("state = %s; want %s", st.State, JobCanceled)
+	}
+	if st.Fuzz == nil || st.Fuzz.Iterations >= 50_000 {
+		t.Fatalf("campaign did not stop early: %+v", st.Fuzz)
+	}
+}
+
+// TestFuzzJobEvents: the SSE stream carries campaign progress snapshots
+// and a terminal summary with the final counters.
+func TestFuzzJobEvents(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+	br, err := c.Fuzz(ctx, FuzzRequest{Seed: 3, Iterations: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + br.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var events []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+		if ev.State != JobRunning && ev.Report == nil && ev.Cell == -1 && ev.Fuzz != nil {
+			break
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no events received")
+	}
+	var sawProgress bool
+	for _, ev := range events {
+		if ev.Fuzz != nil && ev.State == JobRunning {
+			sawProgress = true
+		}
+	}
+	fin := events[len(events)-1]
+	if fin.State != JobDone || fin.Fuzz == nil || fin.Fuzz.Iterations != 120 {
+		t.Fatalf("terminal event = %+v", fin)
+	}
+	if !sawProgress && fin.Fuzz.Iterations > 100 {
+		// Progress emits every 100 iterations; a 120-iteration campaign
+		// must have streamed at least one running snapshot (either live or
+		// as the subscribe-time replay).
+		t.Fatal("no running progress snapshot streamed")
+	}
+}
+
+// TestFuzzValidationAndLimits: bad requests are rejected, and campaign
+// admission respects MaxFuzzJobs.
+func TestFuzzValidationAndLimits(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxFuzzIterations: 100, MaxFuzzJobs: 1})
+	ctx := context.Background()
+	for _, req := range []FuzzRequest{
+		{Profile: "bogus"},
+		{Arch: "sparc"},
+		{Backends: []string{"nope"}},
+		{Iterations: 101},
+	} {
+		if _, err := c.Fuzz(ctx, req); err == nil {
+			t.Fatalf("request %+v accepted; want 400", req)
+		}
+	}
+
+	// Occupy the single campaign slot, then expect 503.
+	br, err := c.Fuzz(ctx, FuzzRequest{Seed: 4, Iterations: 100, TimeBudgetMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Fuzz(ctx, FuzzRequest{Seed: 5, Iterations: 10})
+	if err == nil || !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("second campaign not rejected: %v", err)
+	}
+	if _, err := c.CancelJob(ctx, br.JobID); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, c, br.JobID, 30*time.Second)
+}
+
+// TestFuzzMetrics: campaign counters surface on /metrics.
+func TestFuzzMetrics(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	br, err := c.Fuzz(ctx, FuzzRequest{Seed: 6, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, c, br.JobID, 60*time.Second)
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"promised_fuzz_campaigns_total 1",
+		"promised_fuzz_iterations_total 30",
+		"promised_fuzz_campaigns_active 0",
+		"promised_fuzz_findings_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"promising/internal/fuzz"
 	"promising/internal/litmus"
 )
 
@@ -17,6 +18,7 @@ import (
 // not started.
 type job struct {
 	id     string
+	kind   string // "batch" or "fuzz"
 	ctx    context.Context
 	cancel context.CancelFunc
 	start  time.Time
@@ -27,8 +29,11 @@ type job struct {
 	completed int
 	cacheHits int
 	reports   []*TestReport
-	elapsed   time.Duration // fixed at the terminal transition
-	subs      map[chan JobEvent]*jobSub
+	// fz is the campaign's latest progress snapshot (fuzz jobs only);
+	// updateFuzz replaces it wholesale.
+	fz      *FuzzStatus
+	elapsed time.Duration // fixed at the terminal transition
+	subs    map[chan JobEvent]*jobSub
 }
 
 // jobSub is one event subscriber's state; dropped is set when the
@@ -57,17 +62,21 @@ func (j *job) statusLocked() JobStatus {
 	if j.state == JobRunning {
 		el = time.Since(j.start)
 	}
-	reports := make([]*TestReport, len(j.reports))
-	copy(reports, j.reports)
-	return JobStatus{
+	st := JobStatus{
 		ID:        j.id,
+		Kind:      j.kind,
 		State:     j.state,
 		Total:     j.total,
 		Completed: j.completed,
 		CacheHits: j.cacheHits,
-		Reports:   reports,
+		Fuzz:      j.fz,
 		ElapsedMS: el.Milliseconds(),
 	}
+	if j.kind != jobKindFuzz {
+		st.Reports = make([]*TestReport, len(j.reports))
+		copy(st.Reports, j.reports)
+	}
+	return st
 }
 
 // subscribe atomically snapshots progress and registers a live event
@@ -225,12 +234,115 @@ func newJobID() string {
 	return "job-" + hex.EncodeToString(b[:])
 }
 
+// Job kinds.
+const (
+	jobKindBatch = "batch"
+	jobKindFuzz  = "fuzz"
+)
+
+// updateFuzz replaces a fuzz job's progress snapshot and notifies
+// subscribers (Cell -1: a progress event, not a cell completion).
+func (j *job) updateFuzz(st FuzzStatus) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.fz = &st
+	j.completed = st.Iterations
+	j.broadcastLocked(JobEvent{
+		JobID: j.id, State: j.state, Cell: -1,
+		Completed: j.completed, Total: j.total, Fuzz: &st,
+	})
+}
+
+// startFuzzJob runs a fuzzing campaign as a job: candidates run on the
+// shared worker pool (cfg.Acquire gates each one on the exploration
+// semaphore), progress streams to subscribers, and cancellation aborts the
+// campaign through the job context.
+func (s *Server) startFuzzJob(cfg fuzz.Config) *job {
+	ctx, cancel := context.WithCancel(s.base)
+	j := &job{
+		id:     newJobID(),
+		kind:   jobKindFuzz,
+		ctx:    ctx,
+		cancel: cancel,
+		start:  time.Now(),
+		state:  JobRunning,
+		total:  cfg.Iterations,
+		subs:   map[chan JobEvent]*jobSub{},
+	}
+	s.jobs.add(j)
+
+	cfg.Acquire = func(actx context.Context) (func(), error) {
+		select {
+		case s.sem <- struct{}{}:
+			s.inflight.Add(1)
+			return func() { s.inflight.Add(-1); <-s.sem }, nil
+		case <-actx.Done():
+			return nil, actx.Err()
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Progress feeds both the job's subscribers and the daemon counters
+	// (deltas against the previous snapshot, so totals stay monotonic
+	// across concurrent campaigns).
+	var prev fuzz.Progress
+	var prevMu sync.Mutex
+	cfg.Progress = func(p fuzz.Progress) {
+		prevMu.Lock()
+		s.fuzzIters.Add(int64(p.Iterations - prev.Iterations))
+		s.fuzzFindings.Add(int64(p.Findings - prev.Findings))
+		prev = p
+		prevMu.Unlock()
+		s.fuzzCorpus.Store(int64(p.CorpusSize))
+		j.updateFuzz(FuzzStatus{Progress: p})
+	}
+	// The caller (handleFuzz) reserved the campaign slot by incrementing
+	// fuzzActive; this goroutine owns the release.
+	s.fuzzCampaigns.Add(1)
+	go func() {
+		defer s.fuzzActive.Add(-1)
+		sum, err := fuzz.Run(ctx, cfg)
+		final := FuzzStatus{}
+		if sum != nil {
+			// Mid-campaign failures still carry the summary (with any
+			// findings computed before the abort).
+			final.Progress = sum.Progress
+			final.Findings = sum.Findings
+		}
+		if err != nil {
+			if sum == nil {
+				// Startup failure: keep the last streamed counters rather
+				// than zeroing the progress the job already reported.
+				prevMu.Lock()
+				final.Progress = prev
+				prevMu.Unlock()
+			}
+			final.Error = err.Error()
+		}
+		// Apply the final counter deltas: the success path's last Progress
+		// callback makes this a no-op, but an aborted campaign skips that
+		// callback and would otherwise leave /metrics missing the tail
+		// since the last tick.
+		prevMu.Lock()
+		s.fuzzIters.Add(int64(final.Progress.Iterations - prev.Iterations))
+		s.fuzzFindings.Add(int64(final.Progress.Findings - prev.Findings))
+		prev = final.Progress
+		prevMu.Unlock()
+		j.updateFuzz(final)
+		j.finish()
+		st := j.status()
+		s.logf("promised: fuzz job %s %s (%d iterations, %d findings)", j.id, st.State, final.Iterations, len(final.Findings))
+	}()
+	return j
+}
+
 // startJob launches tests × backendNames on the worker pool and returns
 // the registered job.
 func (s *Server) startJob(tests []*litmus.Test, backendNames []string, o CheckOptions) *job {
 	ctx, cancel := context.WithCancel(s.base)
 	j := &job{
 		id:     newJobID(),
+		kind:   jobKindBatch,
 		ctx:    ctx,
 		cancel: cancel,
 		start:  time.Now(),

@@ -16,6 +16,8 @@ import (
 	"promising/internal/backends"
 	"promising/internal/cache"
 	"promising/internal/explore"
+	"promising/internal/fuzz"
+	"promising/internal/lang"
 	"promising/internal/litmus"
 )
 
@@ -50,6 +52,17 @@ type Config struct {
 	// Batches beyond the cap are rejected with 503 (default
 	// 4 × MaxBatchCells).
 	MaxPendingCells int
+	// FuzzCorpusDir persists fuzz-campaign corpora (and their verdict
+	// cache) across restarts; "" keeps campaign corpora in memory.
+	FuzzCorpusDir string
+	// MaxFuzzIterations caps one fuzz job's iteration budget
+	// (default 50000).
+	MaxFuzzIterations int
+	// MaxFuzzJobs caps concurrently running fuzz campaigns (default 1);
+	// beyond it POST /v1/fuzz returns 503. Concurrent campaigns share
+	// FuzzCorpusDir but not in-memory dedup state, so raising this when a
+	// corpus dir is set may admit behavioural duplicates.
+	MaxFuzzJobs int
 	// Logf, when non-nil, receives one line per request and job
 	// transition.
 	Logf func(format string, args ...any)
@@ -74,6 +87,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxPendingCells <= 0 {
 		out.MaxPendingCells = 4 * out.MaxBatchCells
+	}
+	if out.MaxFuzzIterations <= 0 {
+		out.MaxFuzzIterations = 50_000
+	}
+	if out.MaxFuzzJobs <= 0 {
+		out.MaxFuzzJobs = 1
 	}
 	return out
 }
@@ -106,6 +125,14 @@ type Server struct {
 	certHits   atomic.Int64
 	certMisses atomic.Int64
 	interned   atomic.Int64
+	// Fuzz-campaign counters: campaigns started, iterations and findings
+	// across all campaigns (fed by progress deltas), latest corpus size,
+	// and the number of campaigns currently running.
+	fuzzCampaigns atomic.Int64
+	fuzzIters     atomic.Int64
+	fuzzFindings  atomic.Int64
+	fuzzCorpus    atomic.Int64
+	fuzzActive    atomic.Int64
 }
 
 // New builds a server from cfg.
@@ -131,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -247,15 +275,17 @@ func (s *Server) exploreOptions(ctx context.Context, o CheckOptions) (explore.Op
 // ---------------------------------------------------------------------
 // The verdict cache.
 
-// cacheKey addresses a verdict: canonical test content × backend × the
-// options that can change a *completed* verdict. Parallelism is excluded
-// (the engine's outcome sets are identical at every worker count), and so
-// are the budgets (MaxStates, timeouts): runs they cut short are never
-// cached, and runs they did not cut short are exhaustive, hence identical
-// to the unbudgeted result.
+// cacheKey addresses a verdict: semantics epoch × canonical test content
+// × backend × the options that can change a *completed* verdict. The
+// epoch (backends.SemanticsEpoch) keeps a daemon restarted over an older
+// -cache-dir from serving verdicts computed under earlier model
+// semantics. Parallelism is excluded (the engine's outcome sets are
+// identical at every worker count), and so are the budgets (MaxStates,
+// timeouts): runs they cut short are never cached, and runs they did not
+// cut short are exhaustive, hence identical to the unbudgeted result.
 func cacheKey(t *litmus.Test, backend string, o CheckOptions) string {
 	certify := o.Certify == nil || *o.Certify
-	sum := sha256.Sum256([]byte(t.Hash() + "\x00" + backend + "\x00" + fmt.Sprintf("certify=%t", certify)))
+	sum := sha256.Sum256([]byte(backends.SemanticsEpoch + "\x00" + t.Hash() + "\x00" + backend + "\x00" + fmt.Sprintf("certify=%t", certify)))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -337,6 +367,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE promised_cells_pending gauge\npromised_cells_pending %d\n", s.pending.Load())
 	fmt.Fprintf(w, "# TYPE promised_jobs_active gauge\npromised_jobs_active %d\n", s.jobs.active())
 	fmt.Fprintf(w, "# TYPE promised_jobs_total counter\npromised_jobs_total %d\n", s.jobs.created())
+	fmt.Fprintf(w, "# TYPE promised_fuzz_campaigns_total counter\npromised_fuzz_campaigns_total %d\n", s.fuzzCampaigns.Load())
+	fmt.Fprintf(w, "# TYPE promised_fuzz_campaigns_active gauge\npromised_fuzz_campaigns_active %d\n", s.fuzzActive.Load())
+	fmt.Fprintf(w, "# TYPE promised_fuzz_iterations_total counter\npromised_fuzz_iterations_total %d\n", s.fuzzIters.Load())
+	fmt.Fprintf(w, "# TYPE promised_fuzz_findings_total counter\npromised_fuzz_findings_total %d\n", s.fuzzFindings.Load())
+	fmt.Fprintf(w, "# TYPE promised_fuzz_corpus_entries gauge\npromised_fuzz_corpus_entries %d\n", s.fuzzCorpus.Load())
 	fmt.Fprintf(w, "# TYPE promised_uptime_seconds gauge\npromised_uptime_seconds %d\n", int64(time.Since(s.started).Seconds()))
 }
 
@@ -432,6 +467,97 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, BatchResponse{JobID: j.id, Cells: j.total})
 }
 
+// handleFuzz starts a differential fuzzing campaign as a cancelable job.
+func (s *Server) handleFuzz(w http.ResponseWriter, r *http.Request) {
+	var req FuzzRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	cfg := fuzz.Config{
+		Seed:        req.Seed,
+		Iterations:  req.Iterations,
+		MaxFindings: req.MaxFindings,
+		Shrink:      req.Shrink == nil || *req.Shrink,
+		CorpusDir:   s.cfg.FuzzCorpusDir,
+		// Campaign workers park on the exploration semaphore (Acquire),
+		// so the daemon-wide concurrency bound holds across checks,
+		// batches and campaigns.
+		Workers: s.cfg.Workers,
+	}
+	if err := cfg.SetProfile(req.Profile); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	switch req.Arch {
+	case "", "both":
+	case "arm":
+		cfg.Archs = []lang.Arch{lang.ARM}
+	case "riscv":
+		cfg.Archs = []lang.Arch{lang.RISCV}
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown arch %q (want arm, riscv or both)", req.Arch)
+		return
+	}
+	for _, b := range req.Backends {
+		if _, err := backends.Resolve(b); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	cfg.Backends = req.Backends
+	// Resolve the iteration default *before* the cap check, so an empty
+	// request cannot sidestep MaxFuzzIterations via fuzz.Run's own
+	// defaulting, and the job's Total reflects what will actually run. A
+	// time-boxed request may leave iterations unbounded (0): the wall box
+	// is its budget.
+	if cfg.Iterations == 0 && req.TimeBudgetMS <= 0 {
+		cfg.Iterations = 1000
+		if cfg.Iterations > s.cfg.MaxFuzzIterations {
+			cfg.Iterations = s.cfg.MaxFuzzIterations
+		}
+	}
+	if cfg.Iterations < 0 || cfg.Iterations > s.cfg.MaxFuzzIterations {
+		writeErr(w, http.StatusBadRequest, "iterations %d out of range [0, %d]", cfg.Iterations, s.cfg.MaxFuzzIterations)
+		return
+	}
+	if req.TimeBudgetMS > 0 {
+		d := time.Duration(req.TimeBudgetMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		cfg.Duration = d
+	}
+	// Clamp the generator size knobs: exploration cost is exponential in
+	// program size, and campaign cells share the daemon's worker pool.
+	cfg.Threads = clamp(req.Threads, 0, 4)
+	cfg.MaxInstrs = clamp(req.MaxInstrs, 0, 6)
+	cfg.Locs = clamp(req.Locs, 0, 4)
+
+	// Reserve the campaign slot atomically (increment, then roll back on
+	// over-cap) so concurrent requests cannot both pass a load-then-start
+	// check; startFuzzJob's goroutine owns the release.
+	if n := s.fuzzActive.Add(1); n > int64(s.cfg.MaxFuzzJobs) {
+		s.fuzzActive.Add(-1)
+		writeErr(w, http.StatusServiceUnavailable,
+			"server busy: %d fuzz campaigns already running (limit %d); retry later",
+			n-1, s.cfg.MaxFuzzJobs)
+		return
+	}
+	j := s.startFuzzJob(cfg)
+	s.logf("promised: fuzz job %s started (seed=%d iterations=%d profile=%s)", j.id, cfg.Seed, cfg.Iterations, cfg.ProfileName)
+	writeJSON(w, http.StatusAccepted, BatchResponse{JobID: j.id, Cells: cfg.Iterations})
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
@@ -483,11 +609,17 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// Replay the cells completed before we subscribed (the snapshot and
 	// the subscription are atomic, so the live stream continues with no
 	// gap and no duplicates), then follow until the job's terminal state.
+	// Fuzz jobs have no cells; their snapshot is the latest progress.
 	for i, tr := range st.Reports {
 		if tr != nil {
 			if !enc(JobEvent{JobID: j.id, State: st.State, Cell: i, Completed: st.Completed, Total: st.Total, Report: tr}) {
 				return
 			}
+		}
+	}
+	if st.Fuzz != nil {
+		if !enc(JobEvent{JobID: j.id, State: st.State, Cell: -1, Completed: st.Completed, Total: st.Total, Fuzz: st.Fuzz}) {
+			return
 		}
 	}
 	for {
@@ -502,7 +634,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				// stream as complete.
 				fin := j.status()
 				enc(JobEvent{JobID: j.id, State: fin.State, Cell: -1, Completed: fin.Completed,
-					Total: fin.Total, Dropped: dropped()})
+					Total: fin.Total, Fuzz: fin.Fuzz, Dropped: dropped()})
 				return
 			}
 			if !enc(ev) {

@@ -24,6 +24,7 @@ import (
 	"promising/internal/backends"
 	"promising/internal/core"
 	"promising/internal/explore"
+	"promising/internal/fuzz"
 	"promising/internal/lang"
 	"promising/internal/litmus"
 	"promising/internal/server"
@@ -160,6 +161,70 @@ func Interactive(t *Test) (*Session, error) {
 // Catalog returns the built-in canonical litmus tests with architectural
 // verdicts.
 func Catalog() []*Test { return litmus.Catalog() }
+
+// ---------------------------------------------------------------------
+// Test generation and the differential fuzzing subsystem (internal/fuzz;
+// CLI: cmd/fuzz, service endpoint: POST /v1/fuzz).
+
+// Re-exported generation and fuzzing types.
+type (
+	// GenConfig tunes the seeded random test generator.
+	GenConfig = litmus.GenConfig
+	// GenProfile selects the generator's instruction features; named
+	// presets (classic, fences, xcl, deps, full) come from GenProfileByName.
+	GenProfile = litmus.GenProfile
+	// FuzzConfig tunes a differential fuzzing campaign.
+	FuzzConfig = fuzz.Config
+	// FuzzSummary is a finished campaign: progress counters and findings.
+	FuzzSummary = fuzz.Summary
+	// FuzzFinding is one detected backend disagreement or crash, with its
+	// shrunk reproducer.
+	FuzzFinding = fuzz.Finding
+	// FuzzProgress is a campaign progress snapshot.
+	FuzzProgress = fuzz.Progress
+	// FuzzCorpus is the persistent, content-addressed campaign corpus.
+	FuzzCorpus = fuzz.Corpus
+)
+
+// GenProfiles lists the named generator profiles in canonical order.
+func GenProfiles() []string { return litmus.Profiles() }
+
+// GenProfileByName resolves a named generator profile (classic, fences,
+// xcl, deps, full).
+func GenProfileByName(name string) (GenProfile, error) { return litmus.ProfileByName(name) }
+
+// GenerateTest builds a seeded random litmus test; the same config always
+// yields the same test.
+func GenerateTest(cfg GenConfig) *Test { return litmus.Generate(cfg) }
+
+// FormatTest renders a test in the litmus text format accepted by
+// ParseTest (including an observe directive for generated tests), the
+// corpus persistence format.
+func FormatTest(t *Test) string { return litmus.Format(t) }
+
+// Fuzz runs a differential fuzzing campaign: seeded generation plus
+// corpus-guided mutation, every candidate run through the backends with
+// promise-first as the oracle, disagreements delta-debugged to minimal
+// reproducers. The error covers campaign infrastructure only; model
+// disagreements are Findings in the summary.
+func Fuzz(ctx context.Context, cfg FuzzConfig) (*FuzzSummary, error) { return fuzz.Run(ctx, cfg) }
+
+// OpenFuzzCorpus opens (or creates) a fuzz corpus directory ("" for a
+// memory-only corpus).
+func OpenFuzzCorpus(dir string) (*FuzzCorpus, error) { return fuzz.OpenCorpus(dir) }
+
+// ReplayReport is a whole-corpus replay: every stored test re-run
+// differentially, regressions flagged.
+type ReplayReport = fuzz.ReplayReport
+
+// ReplayCorpus re-runs every corpus entry under the named backends
+// (oracle first; nil selects promising, naive, axiomatic), reporting
+// current disagreements and outcome drift against recorded verdicts. This
+// is cmd/litmus -replay: shrunk counterexamples become permanent
+// regression tests.
+func ReplayCorpus(ctx context.Context, corpus *FuzzCorpus, backends []string, timeout time.Duration) (*ReplayReport, error) {
+	return fuzz.Replay(ctx, corpus, backends, timeout)
+}
 
 // FormatOutcomes renders a verdict's outcome set, one final state per line.
 func FormatOutcomes(v *Verdict) string {
