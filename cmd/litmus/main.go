@@ -40,19 +40,143 @@ func main() {
 		par      = flag.Int("par", 1, "exploration engine workers per test; 0/-1 = GOMAXPROCS")
 		jsonOut  = flag.Bool("json", false, "emit one JSON report array (the server's TestReport shape) instead of text")
 		replay   = flag.String("replay", "", "re-run every test in this fuzz corpus directory and report regressions")
+		testName = flag.String("test", "", "run only this catalog test")
+		ckptFile = flag.String("checkpoint", "", "checkpoint the exploration of -test to this file once -checkpoint-after states have been explored")
+		ckptN    = flag.Int("checkpoint-after", 100000, "state budget before the -checkpoint snapshot is taken")
+		resume   = flag.String("resume", "", "resume a checkpointed exploration from this snapshot file and run it to a verdict")
+		shards   = flag.Int("shards", 0, "explore each test by frontier sharding N ways (split + merge, in-process); 0 = off")
 	)
 	flag.Parse()
-	if *replay != "" {
-		if err := runReplay(*replay, *backends, *timeout, *verbose); err != nil {
-			fmt.Fprintln(os.Stderr, "litmus:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout, *backends, *jobs, *par, *jsonOut); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(1)
 	}
+	switch {
+	case *replay != "":
+		if err := runReplay(*replay, *backends, *timeout, *verbose); err != nil {
+			fail(err)
+		}
+	case *resume != "":
+		if err := runResume(*resume, *ckptFile, *ckptN, *timeout, *par); err != nil {
+			fail(err)
+		}
+	case *ckptFile != "":
+		if err := runCheckpoint(*testName, *backends, *ckptFile, *ckptN, *timeout, *par); err != nil {
+			fail(err)
+		}
+	default:
+		if err := run(*diff, *useFlat, *random, *seed, *verbose, *timeout, *backends, *jobs, *par, *jsonOut, *testName, *shards); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// cliOptions assembles the exploration options shared by the offline
+// checkpoint/resume paths.
+func cliOptions(timeout time.Duration, par int) explore.Options {
+	opts := explore.DefaultOptions()
+	opts.Parallelism = par
+	if par <= 0 {
+		opts.Parallelism = -1
+	}
+	if timeout > 0 {
+		opts.Deadline = time.Now().Add(timeout)
+	}
+	return opts
+}
+
+// runCheckpoint runs one catalog test under the first -backends entry
+// with a cooperative checkpoint at the -checkpoint-after state budget,
+// writing the snapshot to file. If the exploration completes inside the
+// budget there is nothing to checkpoint and the verdict prints instead.
+func runCheckpoint(testName, backendList, file string, after int, timeout time.Duration, par int) error {
+	if testName == "" {
+		return fmt.Errorf("-checkpoint needs -test <catalog name>")
+	}
+	tst := litmus.CatalogTest(testName)
+	if tst == nil {
+		return fmt.Errorf("no catalog test named %q", testName)
+	}
+	backend := strings.TrimSpace(strings.Split(backendList, ",")[0])
+	runner, err := promising.Backend(backend).Runner()
+	if err != nil {
+		return err
+	}
+	opts := cliOptions(timeout, par)
+	opts.Checkpoint = explore.NewCheckpointAfter(after)
+	v, err := litmus.Run(tst, runner, opts)
+	if err != nil {
+		return err
+	}
+	snap := v.Result.Snapshot
+	if snap == nil {
+		fmt.Printf("completed inside the checkpoint budget, nothing to snapshot\n%s\n", v.String())
+		return nil
+	}
+	raw, err := snap.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("checkpointed %s/%s after %d states (%d pending, %d outcomes so far) -> %s\n",
+		tst.Name(), backend, v.Result.States, len(snap.Frontier), len(v.Result.Outcomes), file)
+	return nil
+}
+
+// runResume continues a checkpointed exploration from its snapshot file.
+// The test is found in the catalog by the snapshot's embedded content
+// hash; with -checkpoint set the resumed leg itself re-checkpoints at the
+// next -checkpoint-after budget (so very long explorations can hop).
+func runResume(file, ckptFile string, after int, timeout time.Duration, par int) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	snap, err := explore.UnmarshalSnapshot(raw)
+	if err != nil {
+		return err
+	}
+	var tst *promising.Test
+	for _, t := range litmus.Catalog() {
+		if t.Hash() == snap.Test {
+			tst = t
+			break
+		}
+	}
+	if tst == nil {
+		return fmt.Errorf("snapshot's test (hash %s) is not in the catalog", snap.Test)
+	}
+	resumer, err := promising.Backend(snap.Backend).Resumer()
+	if err != nil {
+		return err
+	}
+	opts := cliOptions(timeout, par)
+	if ckptFile != "" {
+		opts.Checkpoint = explore.NewCheckpointAfter(snap.States + after)
+	}
+	v, err := litmus.RunFrom(tst, resumer, snap, opts)
+	if err != nil {
+		return err
+	}
+	if next := v.Result.Snapshot; next != nil {
+		raw, err := next.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(ckptFile, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("re-checkpointed %s/%s at %d states (%d pending) -> %s\n",
+			tst.Name(), snap.Backend, v.Result.States, len(next.Frontier), ckptFile)
+		return nil
+	}
+	fmt.Printf("resumed %s/%s from %s\n%s\n", tst.Name(), snap.Backend, file, v.String())
+	if !v.OK() {
+		os.Exit(1)
+	}
+	return nil
 }
 
 // runReplay re-runs a persisted fuzz corpus as a regression suite: shrunk
@@ -120,7 +244,7 @@ func shortHash(h string) string {
 	return h
 }
 
-func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration, backendList string, jobs, par int, jsonOut bool) error {
+func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.Duration, backendList string, jobs, par int, jsonOut bool, testName string, shards int) error {
 	// Assemble the backend set: the first is the primary (checked against
 	// the expectation); -diff pulls in the comparison backends.
 	var backends []promising.Backend
@@ -140,6 +264,13 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 	}
 
 	tests := promising.Catalog()
+	if testName != "" {
+		tst := litmus.CatalogTest(testName)
+		if tst == nil {
+			return fmt.Errorf("no catalog test named %q", testName)
+		}
+		tests = []*promising.Test{tst}
+	}
 	if random > 0 {
 		for _, arch := range []lang.Arch{lang.ARM, lang.RISCV} {
 			for i := 0; i < random; i++ {
@@ -153,11 +284,17 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 	if par <= 0 {
 		opts.Parallelism = -1 // 0 means GOMAXPROCS at the CLI
 	}
-	reports, err := promising.RunAll(tests, backends, promising.RunAllOptions{
-		Concurrency: jobs,
-		Explore:     opts,
-		Timeout:     timeout,
-	})
+	var reports []promising.Report
+	var err error
+	if shards > 0 {
+		reports, err = runShardedAll(tests, backends, shards, opts, timeout)
+	} else {
+		reports, err = promising.RunAll(tests, backends, promising.RunAllOptions{
+			Concurrency: jobs,
+			Explore:     opts,
+			Timeout:     timeout,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -260,6 +397,33 @@ func classifyRow(cells []promising.Report) (bool, []string) {
 		}
 	}
 	return ok, notes
+}
+
+// runShardedAll is the -shards mode: every (test, backend) cell explored
+// by frontier sharding (litmus.RunSharded — widen, Split(n), explore the
+// shards concurrently, merge deterministically), in the same test-major
+// report layout RunAll produces.
+func runShardedAll(tests []*promising.Test, bs []promising.Backend, shards int, opts explore.Options, timeout time.Duration) ([]promising.Report, error) {
+	reports := make([]promising.Report, len(tests)*len(bs))
+	for i, t := range tests {
+		for j, b := range bs {
+			runner, err := b.Runner()
+			if err != nil {
+				return nil, err
+			}
+			resumer, err := b.Resumer()
+			if err != nil {
+				return nil, err
+			}
+			eo := opts
+			if timeout > 0 {
+				eo.Deadline = time.Now().Add(timeout)
+			}
+			v, rerr := litmus.RunSharded(t, runner, resumer, shards, eo)
+			reports[i*len(bs)+j] = promising.Report{Test: t, Backend: string(b), Verdict: v, Err: rerr}
+		}
+	}
+	return reports, nil
 }
 
 func ensureBackend(bs []promising.Backend, b promising.Backend) []promising.Backend {

@@ -7,6 +7,13 @@
 //
 //	promised [-addr :8419] [-workers N] [-par N] [-cache-entries N]
 //	         [-cache-dir DIR] [-timeout D] [-max-timeout D]
+//	         [-state-dir DIR] [-checkpoint-interval D]
+//
+// With -state-dir, batch jobs are durable: every running exploration is
+// checkpointed there on the -checkpoint-interval cadence, and a restarted
+// daemon re-enqueues unfinished jobs from their latest snapshots (a
+// kill -9 loses at most one interval of progress). GET /v1/jobs/{id}
+// reports resumed_from_checkpoint and the checkpoint's age.
 //
 // Quickstart against the built-in catalog:
 //
@@ -42,6 +49,8 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "persist verdicts under this directory (empty = memory only)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-test budget")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied budgets")
+		stateDir   = flag.String("state-dir", "", "persist batch-job checkpoints under this directory; a restarted daemon resumes unfinished jobs from it")
+		ckptEvery  = flag.Duration("checkpoint-interval", 10*time.Second, "how often running explorations checkpoint to -state-dir")
 		fuzzCorpus = flag.String("fuzz-corpus", "", "persist fuzz-campaign corpora under this directory (empty = memory only)")
 		maxFuzz    = flag.Int("max-fuzz-iters", 0, "cap per-campaign iteration budgets; 0 = default 50000")
 		quiet      = flag.Bool("q", false, "suppress per-request logging")
@@ -53,16 +62,18 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 	cfg := promising.ServerConfig{
-		Addr:              *addr,
-		Workers:           *workers,
-		Parallelism:       *par,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTimeout,
-		CacheEntries:      *cacheN,
-		CacheDir:          *cacheDir,
-		FuzzCorpusDir:     *fuzzCorpus,
-		MaxFuzzIterations: *maxFuzz,
-		Logf:              logf,
+		Addr:               *addr,
+		Workers:            *workers,
+		Parallelism:        *par,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		CacheEntries:       *cacheN,
+		CacheDir:           *cacheDir,
+		StateDir:           *stateDir,
+		CheckpointInterval: *ckptEvery,
+		FuzzCorpusDir:      *fuzzCorpus,
+		MaxFuzzIterations:  *maxFuzz,
+		Logf:               logf,
 	}
 	if *par == 0 || *par < -1 {
 		cfg.Parallelism = -1

@@ -1,6 +1,9 @@
 package axiomatic
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/lang"
@@ -15,6 +18,9 @@ import (
 // inputs from exhausting memory; hitting the cap marks the result Aborted.
 const DefaultMaxTraces = 200000
 
+// snapBackend is the registry name this backend stamps into snapshots.
+const snapBackend = "axiomatic"
+
 // Explore runs the axiomatic model exhaustively. It satisfies the
 // litmus.Runner signature. Options: Deadline, MaxStates and Parallelism are
 // honoured (MaxStates bounds the number of checked candidates); Certify and
@@ -24,8 +30,26 @@ const DefaultMaxTraces = 200000
 // Parallelisation splits the joint trace choice: prefixes of per-thread
 // trace assignments are expanded breadth-first until there is enough
 // fan-out for the engine's workers, and each prefix's candidate subtree is
-// enumerated independently on a worker-local result.
+// enumerated independently on a worker-local result. Prefixes are
+// represented as per-thread trace indices, which is also the snapshot
+// frontier encoding: trace enumeration is deterministic (sorted domains),
+// so indices stay valid across processes.
 func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
+	res, _ := run(cp, spec, opts, nil)
+	return res
+}
+
+// Resume continues a checkpointed axiomatic exploration from its
+// snapshot: per-thread traces are re-enumerated (deterministically) and
+// the pending joint-trace prefixes are re-seeded by index.
+func Resume(cp *lang.CompiledProgram, spec *explore.ObsSpec, snap *explore.Snapshot, opts explore.Options) (*explore.Result, error) {
+	if err := snap.Validate(snapBackend, &opts); err != nil {
+		return nil, err
+	}
+	return run(cp, spec, opts, snap)
+}
+
+func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, snap *explore.Snapshot) (*explore.Result, error) {
 	traces, truncated := enumerateTraces(cp, DefaultMaxTraces)
 	if truncated {
 		// Trace enumeration blew the cap: the candidate space is unusable,
@@ -35,38 +59,98 @@ func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Optio
 			Outcomes:  make(map[string]explore.Outcome),
 			Witnesses: map[string]explore.Witness{},
 			Aborted:   true,
-		}
+		}, nil
 	}
 	mem := core.NewMemory(cp.Init)
 
-	// Expand joint-trace prefixes until there is work for every worker (or
-	// the prefixes are complete assignments). Bound-exceeded traces are
-	// pruned here exactly as the sequential recursion pruned them.
 	boundExceeded := false
-	prefixes := [][]*Trace{nil}
-	for depth := 0; depth < len(traces) && len(prefixes) < 4*opts.Workers(); depth++ {
-		next := make([][]*Trace, 0, len(prefixes)*len(traces[depth]))
-		for _, p := range prefixes {
-			for _, tr := range traces[depth] {
-				if tr.BoundExceeded {
-					boundExceeded = true
-					continue
+	var prefixes [][]int32
+	visited := 0
+	if snap == nil {
+		// Expand joint-trace prefixes until there is work for every worker
+		// (or the prefixes are complete assignments). Bound-exceeded traces
+		// are pruned here exactly as the sequential recursion pruned them.
+		prefixes = [][]int32{nil}
+		for depth := 0; depth < len(traces) && len(prefixes) < 4*opts.Workers(); depth++ {
+			next := make([][]int32, 0, len(prefixes)*len(traces[depth]))
+			for _, p := range prefixes {
+				for ti, tr := range traces[depth] {
+					if tr.BoundExceeded {
+						boundExceeded = true
+						continue
+					}
+					np := make([]int32, 0, len(p)+1)
+					np = append(append(np, p...), int32(ti))
+					next = append(next, np)
 				}
-				np := make([]*Trace, 0, len(p)+1)
-				np = append(append(np, p...), tr)
-				next = append(next, np)
 			}
+			prefixes = next
 		}
-		prefixes = next
+	} else {
+		for _, fb := range snap.Frontier {
+			p, err := decodePrefix(fb, traces)
+			if err != nil {
+				return nil, err
+			}
+			prefixes = append(prefixes, p)
+		}
+		visited = snap.States
 	}
 
-	eng := explore.Engine[[]*Trace]{Process: func(prefix []*Trace, c *explore.Ctx[[]*Trace]) {
+	eng := explore.Engine[[]int32]{Process: func(prefix []int32, c *explore.Ctx[[]int32]) {
+		picked := make([]*Trace, len(prefix))
+		for i, ti := range prefix {
+			picked[i] = traces[i][ti]
+		}
 		e := &enumerator{cp: cp, spec: spec, opts: &opts, res: c.Res, ctx: c, mem: mem}
-		e.joint(traces, prefix)
+		e.joint(traces, picked)
 	}}
-	res := eng.Run(prefixes, &opts)
+	res, pending := eng.ResumeRun(prefixes, &opts, visited)
 	res.BoundExceeded = res.BoundExceeded || boundExceeded
-	return res
+	if snap != nil {
+		explore.MergeSnapshotInto(snap, res)
+	}
+	if len(pending) > 0 {
+		frontier := make([][]byte, len(pending))
+		for i, p := range pending {
+			frontier[i] = encodePrefix(p)
+		}
+		res.Snapshot = explore.NewSnapshotFor(snapBackend, opts.Certify, res, frontier, nil)
+	}
+	return res, nil
+}
+
+// encodePrefix serializes a joint-trace index prefix (varint count, then
+// one varint index per thread).
+func encodePrefix(p []int32) []byte {
+	b := binary.AppendVarint(nil, int64(len(p)))
+	for _, ti := range p {
+		b = binary.AppendVarint(b, int64(ti))
+	}
+	return b
+}
+
+// decodePrefix parses a prefix and validates every index against the
+// re-enumerated trace sets.
+func decodePrefix(b []byte, traces [][]*Trace) ([]int32, error) {
+	n, sz := binary.Varint(b)
+	if sz <= 0 || n < 0 || n > int64(len(traces)) {
+		return nil, fmt.Errorf("axiomatic: bad prefix length in snapshot")
+	}
+	b = b[sz:]
+	p := make([]int32, n)
+	for i := range p {
+		ti, sz := binary.Varint(b)
+		if sz <= 0 || ti < 0 || ti >= int64(len(traces[i])) {
+			return nil, fmt.Errorf("axiomatic: trace index out of range in snapshot (thread %d)", i)
+		}
+		b = b[sz:]
+		p[i] = int32(ti)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("axiomatic: %d trailing bytes in snapshot prefix", len(b))
+	}
+	return p, nil
 }
 
 type enumerator struct {
@@ -74,7 +158,7 @@ type enumerator struct {
 	spec *explore.ObsSpec
 	opts *explore.Options
 	res  *explore.Result
-	ctx  *explore.Ctx[[]*Trace]
+	ctx  *explore.Ctx[[]int32]
 	mem  *core.Memory // for initial values only
 }
 
@@ -120,7 +204,7 @@ func (e *enumerator) candidate(picked []*Trace) {
 	}
 	// Renumber events globally (copying, since traces are shared across
 	// candidates).
-	for tid, tr := range picked {
+	for _, tr := range picked {
 		off := len(c.events)
 		var ids []int
 		for _, ev := range tr.Events {
@@ -143,7 +227,6 @@ func (e *enumerator) candidate(picked []*Trace) {
 			}
 		}
 		c.po = append(c.po, ids)
-		_ = tid
 	}
 	c.rf = make([]int, len(c.events))
 	c.co = make([]int, len(c.events))

@@ -2,6 +2,7 @@ package axiomatic
 
 import (
 	"fmt"
+	"sort"
 
 	"promising/internal/core"
 	"promising/internal/lang"
@@ -195,12 +196,18 @@ func (t *tracer) load(s *traceState, n *lang.Node) {
 		return
 	}
 	// Candidate values: the initial value plus everything writable here.
+	// The domain portion is sorted so trace enumeration is deterministic
+	// across processes — checkpoint snapshots address traces by index, so
+	// a resumed run must enumerate them in the same order.
 	vals := []lang.Val{t.init(l)}
+	doms := make([]lang.Val, 0, len(t.dom[l]))
 	for v := range t.dom[l] {
 		if v != t.init(l) {
-			vals = append(vals, v)
+			doms = append(doms, v)
 		}
 	}
+	sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
+	vals = append(vals, doms...)
 	for _, v := range vals {
 		c := s.clone()
 		ev := t.pushEvent(c, &Event{Kind: EvRead, Loc: l, Val: v, RK: n.RK, Xcl: n.Xcl, RMW: -1})

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"promising/internal/axiomatic"
+	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/flat"
 	"promising/internal/litmus"
@@ -24,13 +25,12 @@ const (
 
 // SemanticsEpoch versions the backends' model semantics for every
 // persisted verdict cache (the daemon's -cache-dir, the fuzzer's
-// <corpus>/verdicts): a cached verdict is only valid for the semantics
-// that computed it, so bump this whenever any backend's outcome sets can
-// change. Epoch 2 is the state after the mismatched-exclusive and
-// failed-store-exclusive axiomatic fixes. Keeping the constant here —
-// next to the registry both cache owners already resolve backends
-// through — means one bump invalidates every stale store in lockstep.
-const SemanticsEpoch = "2"
+// <corpus>/verdicts) and for exploration snapshots: a cached verdict or
+// checkpoint is only valid for the semantics that computed it. The
+// constant itself lives in core (the bottom of the dependency tree) so
+// explore can stamp it into snapshots; bumping core.SemanticsEpoch
+// invalidates every stale store in lockstep.
+const SemanticsEpoch = core.SemanticsEpoch
 
 // Names lists every backend name in canonical order (the promise-first
 // explorer, the paper's headline contribution, first).
@@ -59,4 +59,22 @@ func ResolveNamed(name string) (litmus.NamedRunner, error) {
 		return litmus.NamedRunner{}, err
 	}
 	return litmus.NamedRunner{Name: name, Run: r}, nil
+}
+
+// ResolveResumer returns the Resumer that continues a checkpointed
+// exploration of the named backend (see explore.Snapshot). All four
+// backends support checkpoint/resume.
+func ResolveResumer(name string) (litmus.Resumer, error) {
+	switch name {
+	case Promising:
+		return explore.ResumePromiseFirst, nil
+	case Naive:
+		return explore.ResumeNaive, nil
+	case Axiomatic:
+		return axiomatic.Resume, nil
+	case Flat:
+		return flat.Resume, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want promising, naive, axiomatic or flat)", name)
+	}
 }

@@ -1,1 +1,14 @@
 package core
+
+// SemanticsEpoch versions the model semantics for every persisted
+// artifact that outlives a process: the daemon's verdict cache
+// (-cache-dir), the fuzzer's corpus verdict store, and exploration
+// snapshots (explore.Snapshot). A persisted verdict or checkpoint is only
+// valid for the semantics that computed it, so bump this whenever any
+// backend's outcome sets can change. Epoch 2 is the state after the
+// mismatched-exclusive and failed-store-exclusive axiomatic fixes.
+//
+// The constant lives here, at the bottom of the dependency tree, so both
+// internal/backends (which re-exports it for the caches) and
+// internal/explore (which stamps it into snapshots) read one source.
+const SemanticsEpoch = "2"

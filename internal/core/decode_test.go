@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"promising/internal/lang"
+)
+
+// decodeProg is a 2-thread program exercising every encoded TState bank:
+// exclusives (Xclb, Fwdb.Xcl), forwarding, locals (location 64 is not
+// shared), fences and a conditional.
+func decodeProg(t *testing.T) *lang.CompiledProgram {
+	t.Helper()
+	cp, err := lang.Compile(&lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.Store{Succ: -1, Addr: lang.C(8), Data: lang.C(1)},
+				lang.Store{Succ: -1, Addr: lang.C(64), Data: lang.C(5)},
+				lang.Load{Dst: 0, Addr: lang.C(16)},
+				lang.Load{Dst: 1, Addr: lang.C(64)},
+			),
+			lang.Block(
+				lang.Load{Dst: 0, Addr: lang.C(16), Xcl: true},
+				lang.Store{Succ: 1, Addr: lang.C(16), Data: lang.C(2), Xcl: true},
+				lang.If{Cond: lang.R(1), Then: lang.Load{Dst: 2, Addr: lang.C(8)}, Else: lang.Skip{}},
+			),
+		},
+		Shared: map[lang.Loc]bool{8: true, 16: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// TestDecodeMachineRoundTrip walks a bounded BFS of the machine's state
+// space and checks, for every reachable state, that decoding its
+// canonical encoding yields a machine that (a) re-encodes byte-
+// identically and (b) has successors with exactly the same encodings —
+// the property checkpoint/resume depends on.
+func TestDecodeMachineRoundTrip(t *testing.T) {
+	cp := decodeProg(t)
+	seen := map[string]bool{}
+	frontier := []*Machine{NewMachine(cp)}
+	seen[string(frontier[0].AppendState(nil))] = true
+	checked := 0
+	for len(frontier) > 0 && checked < 500 {
+		m := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		enc := m.AppendState(nil)
+
+		dm, err := DecodeMachine(cp, enc)
+		if err != nil {
+			t.Fatalf("decode state %d: %v", checked, err)
+		}
+		re := dm.AppendState(nil)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("state %d: re-encode differs\n  in  %x\n  out %x", checked, enc, re)
+		}
+		succ := m.Successors(true)
+		dsucc := dm.Successors(true)
+		if len(succ) != len(dsucc) {
+			t.Fatalf("state %d: %d successors, decoded machine has %d", checked, len(succ), len(dsucc))
+		}
+		for i := range succ {
+			if !bytes.Equal(succ[i].M.AppendState(nil), dsucc[i].M.AppendState(nil)) {
+				t.Fatalf("state %d: successor %d differs after decode", checked, i)
+			}
+		}
+		checked++
+		for _, sc := range succ {
+			k := string(sc.M.AppendState(nil))
+			if !seen[k] {
+				seen[k] = true
+				frontier = append(frontier, sc.M)
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d states checked; program too small to exercise decoding", checked)
+	}
+}
+
+// TestDecodeMachineRejectsGarbage pins the error paths: truncation and
+// trailing bytes must not panic or silently succeed.
+func TestDecodeMachineRejectsGarbage(t *testing.T) {
+	cp := decodeProg(t)
+	enc := NewMachine(cp).AppendState(nil)
+	if _, err := DecodeMachine(cp, enc[:len(enc)/2]); err == nil {
+		t.Error("truncated encoding decoded without error")
+	}
+	if _, err := DecodeMachine(cp, append(append([]byte(nil), enc...), 0x7)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+	if _, err := DecodeMemory(nil, []byte{0x80}); err == nil {
+		t.Error("truncated memory encoding decoded without error")
+	}
+}
+
+// TestInternerExportImport checks that an exported set re-imports to the
+// same membership (handles are reassigned; only membership matters).
+func TestInternerExportImport(t *testing.T) {
+	in := NewInterner()
+	var keys [][]byte
+	for i := 0; i < 100; i++ {
+		keys = append(keys, []byte{byte(i), byte(i * 7)})
+		in.Intern(keys[i])
+	}
+	out := NewInterner()
+	out.Import(in.Export())
+	if out.Len() != in.Len() {
+		t.Fatalf("imported %d entries, want %d", out.Len(), in.Len())
+	}
+	for _, k := range keys {
+		if _, fresh := out.Intern(k); fresh {
+			t.Fatalf("key %x missing after export/import", k)
+		}
+	}
+}

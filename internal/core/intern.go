@@ -67,3 +67,30 @@ func (in *Interner) Intern(b []byte) (h Handle, fresh bool) {
 
 // Len returns the number of distinct encodings interned so far.
 func (in *Interner) Len() int { return int(in.next.Load()) }
+
+// Export returns a copy of every interned encoding. The order is
+// unspecified (callers that need a canonical order — snapshots — sort the
+// byte strings); handles are deliberately not exported, because nothing
+// may depend on handle values across interner lifetimes. Export must not
+// race with Intern calls that the caller wants included.
+func (in *Interner) Export() [][]byte {
+	out := make([][]byte, 0, in.Len())
+	for i := range in.shards {
+		sh := &in.shards[i]
+		sh.mu.Lock()
+		for k := range sh.m {
+			out = append(out, []byte(k))
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Import interns every encoding in entries (duplicates are harmless),
+// rebuilding a set exported from another interner. Handles are reassigned
+// in iteration order; only membership survives an export/import cycle.
+func (in *Interner) Import(entries [][]byte) {
+	for _, b := range entries {
+		in.Intern(b)
+	}
+}

@@ -20,21 +20,28 @@ type Machine struct {
 	envs []Env
 }
 
+// newEnvs builds the immutable per-thread step environments of a program
+// (shared by every machine over it, including decoded ones).
+func newEnvs(cp *lang.CompiledProgram) []Env {
+	envs := make([]Env, len(cp.Threads))
+	for tid := range cp.Threads {
+		envs[tid] = Env{
+			Arch:   cp.Arch,
+			Code:   &cp.Threads[tid],
+			TID:    tid,
+			Shared: cp.IsShared,
+		}
+	}
+	return envs
+}
+
 // NewMachine returns the initial machine for a compiled program, with all
 // threads advanced past their leading silent steps.
 func NewMachine(cp *lang.CompiledProgram) *Machine {
 	m := &Machine{
 		Prog: cp,
 		Mem:  NewMemory(cp.Init),
-		envs: make([]Env, len(cp.Threads)),
-	}
-	for tid := range cp.Threads {
-		m.envs[tid] = Env{
-			Arch:   cp.Arch,
-			Code:   &cp.Threads[tid],
-			TID:    tid,
-			Shared: cp.IsShared,
-		}
+		envs: newEnvs(cp),
 	}
 	for tid := range cp.Threads {
 		th := NewThread(&cp.Threads[tid])

@@ -51,6 +51,50 @@ func (s *SeenSet) Add(b []byte) (core.Handle, bool) { return s.in.Intern(b) }
 // Len returns the number of states in the set.
 func (s *SeenSet) Len() int { return s.in.Len() }
 
+// Export returns a copy of every encoding in the set (for snapshots); the
+// order is unspecified, Snapshot.Marshal canonicalizes.
+func (s *SeenSet) Export() [][]byte { return s.in.Export() }
+
+// Import adds every encoding in entries to the set, rebuilding a set
+// exported from a snapshot.
+func (s *SeenSet) Import(entries [][]byte) { s.in.Import(entries) }
+
+// Checkpoint is the cooperative-checkpoint controller of one engine run.
+// Request makes every worker stop at its next safe point (the boundary
+// between two Process calls), return its private unprocessed work to the
+// shared frontier, and exit; Run then returns the drained frontier as the
+// pending state set alongside the partial Result. Unlike an abort, no
+// pending work is dropped — the pending states plus the partial result are
+// exactly an exploration paused mid-flight, which Resume continues
+// byte-identically.
+//
+// The zero latency cost rides on the checks the work loop already does
+// per state (one extra atomic load next to the existing abort check); a
+// worker deep inside one Process call finishes that state first, so
+// checkpoint latency is bounded by the cost of a single state.
+type Checkpoint struct {
+	// afterStates, when positive, auto-requests the checkpoint once the
+	// run's global distinct-state count reaches it (the widening trigger
+	// snapshot sharding uses). Checked on the Visit path.
+	afterStates int64
+	requested   atomic.Bool
+}
+
+// NewCheckpoint returns a controller that fires only on Request.
+func NewCheckpoint() *Checkpoint { return &Checkpoint{} }
+
+// NewCheckpointAfter returns a controller that fires automatically once
+// the exploration has counted n states (and still honours an earlier
+// explicit Request).
+func NewCheckpointAfter(n int) *Checkpoint { return &Checkpoint{afterStates: int64(n)} }
+
+// Request asks the running exploration to checkpoint at its next safe
+// point. Idempotent and safe from any goroutine.
+func (c *Checkpoint) Request() { c.requested.Store(true) }
+
+// Requested reports whether the checkpoint has fired.
+func (c *Checkpoint) Requested() bool { return c.requested.Load() }
+
 // Frontier is the engine's shared work pool: per-worker LIFO stacks with
 // steal-half rebalancing and quiescence detection (the pool is drained when
 // every stack is empty and no worker is mid-Process). Workers mostly run on
@@ -63,6 +107,10 @@ type Frontier[S any] struct {
 	busy    int
 	waiting int
 	stopped bool
+	// draining makes Pop return false while leaving the stacks intact, so
+	// a checkpoint can collect them after the workers exit (Stop, by
+	// contrast, abandons pending work).
+	draining bool
 }
 
 // NewFrontier returns a frontier for the given worker count.
@@ -92,7 +140,7 @@ func (f *Frontier[S]) Pop(w int) (S, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for {
-		if f.stopped {
+		if f.stopped || f.draining {
 			break
 		}
 		if s, ok := f.take(w); ok {
@@ -131,6 +179,15 @@ func (f *Frontier[S]) Stop() {
 	f.cond.Broadcast()
 }
 
+// Drain makes workers exit at their next Pop while keeping the pending
+// stacks intact for checkpoint collection.
+func (f *Frontier[S]) Drain() {
+	f.mu.Lock()
+	f.draining = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
 // take pops from w's own stack, stealing half of the richest victim first
 // when it is empty. Callers hold f.mu.
 func (f *Frontier[S]) take(w int) (S, bool) {
@@ -164,6 +221,19 @@ type Engine[S any] struct {
 	// budget-check with c.Visit, and push newly discovered (deduplicated)
 	// states with c.Push.
 	Process func(s S, c *Ctx[S])
+
+	// ck is the in-flight run's checkpoint controller (Options.Checkpoint,
+	// or a private one), published so Engine.Checkpoint works mid-run.
+	ck atomic.Pointer[Checkpoint]
+}
+
+// Checkpoint requests a cooperative checkpoint of the in-flight Run: at
+// the next safe point the workers drain their pending work and Run
+// returns it (see Checkpoint the type). A no-op when no Run is active.
+func (e *Engine[S]) Checkpoint() {
+	if c := e.ck.Load(); c != nil {
+		c.Request()
+	}
 }
 
 // pollStride is how many Alive checks a worker skips between budget
@@ -193,11 +263,16 @@ type Ctx[S any] struct {
 // engineRun is the state shared by all workers of one Run.
 type engineRun struct {
 	opts     *Options
+	ck       *Checkpoint
 	states   atomic.Int64
 	aborted  atomic.Bool
 	timedOut atomic.Bool
 	stop     func()
 }
+
+// ckptNow reports that a checkpoint has been requested; checked per state
+// in the work loop, next to the abort check.
+func (r *engineRun) ckptNow() bool { return r.ck.requested.Load() }
 
 // Push schedules a newly discovered state on the worker's private stack.
 func (c *Ctx[S]) Push(s S) { c.local = append(c.local, s) }
@@ -232,8 +307,11 @@ func (c *Ctx[S]) Visit(n int) bool {
 		c.Abort()
 		return false
 	}
-	c.run.states.Add(int64(n))
+	total := c.run.states.Add(int64(n))
 	c.Res.States += n
+	if after := c.run.ck.afterStates; after > 0 && total >= after {
+		c.run.ck.Request()
+	}
 	return true
 }
 
@@ -244,14 +322,37 @@ func (c *Ctx[S]) Abort() {
 }
 
 // Run processes roots and everything they transitively Push, then returns
-// the merged result.
-func (e *Engine[S]) Run(roots []S, opts *Options) *Result {
+// the merged result. The second return value is the pending frontier when
+// a checkpoint stopped the run at a safe point (Options.Checkpoint or
+// Engine.Checkpoint): the unprocessed states, in worker-stack order, that
+// together with the partial Result continue the exploration byte-
+// identically. It is nil when the run completed or was aborted (an abort
+// drops pending work, exactly as before).
+func (e *Engine[S]) Run(roots []S, opts *Options) (*Result, []S) {
+	return e.run(roots, opts, 0)
+}
+
+// ResumeRun is Run with the global distinct-state counter seeded at
+// visited, so a resumed exploration enforces Options.MaxStates against
+// the whole logical run rather than the current leg.
+func (e *Engine[S]) ResumeRun(roots []S, opts *Options, visited int) (*Result, []S) {
+	return e.run(roots, opts, int64(visited))
+}
+
+func (e *Engine[S]) run(roots []S, opts *Options, visited int64) (*Result, []S) {
 	workers := opts.Workers()
 	f := NewFrontier[S](workers)
 	for i, s := range roots {
 		f.stacks[i%workers] = append(f.stacks[i%workers], s)
 	}
-	run := &engineRun{opts: opts, stop: func() { f.Stop() }}
+	ck := opts.Checkpoint
+	if ck == nil {
+		ck = NewCheckpoint()
+	}
+	run := &engineRun{opts: opts, ck: ck, stop: func() { f.Stop() }}
+	run.states.Store(visited)
+	e.ck.Store(ck)
+	defer e.ck.Store(nil)
 
 	// spillChunk is the batch size for publishing private work to the
 	// shared frontier: large enough that the shared lock is off the per-
@@ -268,7 +369,7 @@ func (e *Engine[S]) Run(roots []S, opts *Options) *Result {
 				return
 			}
 			c.local = append(c.local[:0], s)
-			for len(c.local) > 0 && !run.aborted.Load() {
+			for len(c.local) > 0 && !run.aborted.Load() && !run.ckptNow() {
 				n := len(c.local) - 1
 				s := c.local[n]
 				c.local = c.local[:n]
@@ -276,6 +377,16 @@ func (e *Engine[S]) Run(roots []S, opts *Options) *Result {
 				if c.spill && len(c.local) > 2*spillChunk {
 					f.Spill(w, c.local[:spillChunk])
 					c.local = append(c.local[:0], c.local[spillChunk:]...)
+				}
+			}
+			if run.ckptNow() && !run.aborted.Load() {
+				// Safe point: the popped state either completed (its
+				// successors sit on the private stack) or never started;
+				// hand everything back to the frontier for collection.
+				f.Drain()
+				if len(c.local) > 0 {
+					f.Spill(w, c.local)
+					c.local = c.local[:0]
 				}
 			}
 			f.Done()
@@ -305,7 +416,16 @@ func (e *Engine[S]) Run(roots []S, opts *Options) *Result {
 	if run.timedOut.Load() {
 		res.TimedOut = true
 	}
-	return res
+	// Collect the drained frontier. An aborted run keeps the pre-existing
+	// semantics (pending work is dropped); a completed run has an empty
+	// frontier, which callers read as "no snapshot needed".
+	var pending []S
+	if run.ckptNow() && !run.aborted.Load() {
+		for _, st := range f.stacks {
+			pending = append(pending, st...)
+		}
+	}
+	return res, pending
 }
 
 // Workers resolves Options.Parallelism to a worker count: 0 and 1 run

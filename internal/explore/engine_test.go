@@ -103,7 +103,7 @@ func TestEngineDeterministicAcrossParallelism(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Parallelism = par
 		eng, _ := synthEngine(fanout, depth)
-		res := eng.Run([]synthState{{}}, &opts)
+		res, _ := eng.Run([]synthState{{}}, &opts)
 		if res.States != wantStates {
 			t.Errorf("par=%d: States = %d, want %d", par, res.States, wantStates)
 		}
@@ -124,13 +124,96 @@ func TestEngineMaxStatesAborts(t *testing.T) {
 		opts.Parallelism = par
 		opts.MaxStates = 10
 		eng, _ := synthEngine(4, 10)
-		res := eng.Run([]synthState{{}}, &opts)
+		res, _ := eng.Run([]synthState{{}}, &opts)
 		if !res.Aborted {
 			t.Errorf("par=%d: want Aborted with MaxStates=10", par)
 		}
 		if res.States > 10+par {
 			t.Errorf("par=%d: States = %d, far over the bound", par, res.States)
 		}
+	}
+}
+
+// TestEngineCheckpointDrains checks the cooperative checkpoint at the
+// engine level: a NewCheckpointAfter trigger stops the run at a safe
+// point with the unprocessed frontier returned intact, and re-seeding the
+// engine with that frontier completes the exploration with exactly the
+// states and outcomes of an uninterrupted run.
+func TestEngineCheckpointDrains(t *testing.T) {
+	const fanout, depth = 3, 7
+	wantStates := 0
+	for d, n := 0, 1; d <= depth; d, n = d+1, n*fanout {
+		wantStates += n
+	}
+	wantOutcomes := 1
+	for i := 0; i < depth; i++ {
+		wantOutcomes *= fanout
+	}
+
+	for _, par := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Parallelism = par
+		opts.Checkpoint = NewCheckpointAfter(wantStates / 3)
+		eng, seen := synthEngine(fanout, depth)
+		res, pending := eng.Run([]synthState{{}}, &opts)
+		if res.Aborted {
+			t.Fatalf("par=%d: checkpoint must not abort", par)
+		}
+		if len(pending) == 0 {
+			t.Fatalf("par=%d: no pending frontier from a mid-run checkpoint", par)
+		}
+		if res.States >= wantStates {
+			t.Fatalf("par=%d: checkpointed run explored everything (%d states)", par, res.States)
+		}
+
+		// Resume: the same seen set (shared via synthEngine's closure)
+		// plus the drained frontier must finish the job exactly.
+		opts2 := DefaultOptions()
+		opts2.Parallelism = par
+		res2, pending2 := eng.ResumeRun(pending, &opts2, res.States)
+		if len(pending2) != 0 {
+			t.Fatalf("par=%d: resumed run left %d pending states", par, len(pending2))
+		}
+		if got := res.States + res2.States; got != wantStates {
+			t.Errorf("par=%d: checkpoint+resume States = %d, want %d", par, got, wantStates)
+		}
+		if got := len(res.Outcomes) + len(res2.Outcomes); got != wantOutcomes {
+			// Outcome sets of the two legs are disjoint (each leaf is
+			// processed exactly once thanks to the dedup set).
+			t.Errorf("par=%d: checkpoint+resume outcomes = %d, want %d", par, got, wantOutcomes)
+		}
+		_ = seen
+	}
+}
+
+// TestEngineExplicitCheckpoint checks Engine.Checkpoint (the method) from
+// a concurrent goroutine: the run stops without losing work.
+func TestEngineExplicitCheckpoint(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Parallelism = 2
+	opts.Checkpoint = NewCheckpoint()
+	eng, _ := synthEngine(4, 9)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eng.Checkpoint() // may land before, during or after the run
+	}()
+	res, pending := eng.Run([]synthState{{}}, &opts)
+	<-done
+	total := res.States
+	for len(pending) > 0 {
+		o := DefaultOptions()
+		o.Parallelism = 2
+		var r2 *Result
+		r2, pending = eng.ResumeRun(pending, &o, total)
+		total += r2.States
+	}
+	wantStates := 0
+	for d, n := 0, 1; d <= 9; d, n = d+1, n*4 {
+		wantStates += n
+	}
+	if total != wantStates {
+		t.Errorf("States after checkpoint+resume = %d, want %d", total, wantStates)
 	}
 }
 

@@ -27,7 +27,27 @@ type naiveEntry struct {
 // only in the other threads, so per-step certification amortises to cache
 // lookups across the run.
 func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
-	m0 := core.NewMachine(cp)
+	res, _ := naiveRun(cp, spec, opts, nil)
+	return res
+}
+
+// ResumeNaive continues a checkpointed naive exploration from its
+// snapshot, byte-identically: snapshot outcomes and counters merge with
+// the resumed leg's, and the imported seen-set guarantees no state is
+// processed twice across legs.
+func ResumeNaive(cp *lang.CompiledProgram, spec *ObsSpec, snap *Snapshot, opts Options) (*Result, error) {
+	if err := snap.Validate(snapNaive, &opts); err != nil {
+		return nil, err
+	}
+	return naiveRun(cp, spec, opts, snap)
+}
+
+func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot) (*Result, error) {
+	if opts.CollectWitnesses {
+		// Witness traces cannot be serialized into a snapshot; run
+		// uncheckpointable rather than produce a lossy one.
+		opts.Checkpoint = nil
+	}
 	seen := NewSeenSet()
 	cc := opts.certCache()
 	ccStart := cc.Stats()
@@ -38,7 +58,21 @@ func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 		core.PutEncBuf(b)
 		return fresh
 	}
-	add(m0)
+	var roots []naiveEntry
+	if snap == nil {
+		m0 := core.NewMachine(cp)
+		add(m0)
+		roots = []naiveEntry{{m: m0}}
+	} else {
+		seen.Import(snap.Seen)
+		for _, fb := range snap.Frontier {
+			m, err := core.DecodeMachine(cp, fb)
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, naiveEntry{m: m})
+		}
+	}
 
 	eng := Engine[naiveEntry]{Process: func(e naiveEntry, c *Ctx[naiveEntry]) {
 		if !c.Visit(1) {
@@ -72,9 +106,23 @@ func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 			c.Push(naiveEntry{m: s.M, trace: trace})
 		}
 	}}
-	res := eng.Run([]naiveEntry{{m: m0}}, &opts)
+	visited := 0
+	if snap != nil {
+		visited = snap.States
+	}
+	res, pending := eng.ResumeRun(roots, &opts, visited)
 	res.Stats = statsOf(seen, cc, ccStart)
-	return res
+	if snap != nil {
+		snap.mergeInto(res)
+	}
+	if len(pending) > 0 {
+		frontier := make([][]byte, len(pending))
+		for i, e := range pending {
+			frontier[i] = e.m.AppendState(nil)
+		}
+		res.Snapshot = newSnapshot(snapNaive, opts.Certify, res, frontier, seen.Export())
+	}
+	return res, nil
 }
 
 // statsOf assembles a run's ExploreStats from its dedup set and

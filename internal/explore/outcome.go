@@ -114,6 +114,13 @@ type Options struct {
 	// memo, the pre-cache behaviour. Used by the differential suite and
 	// the ablation benchmarks.
 	CertCacheOff bool
+	// Checkpoint, when non-nil, lets the caller stop the exploration
+	// cooperatively at a safe point (Checkpoint.Request, or automatically
+	// at NewCheckpointAfter's state budget): instead of dropping pending
+	// work like an abort, the run drains it into Result.Snapshot, from
+	// which Resume continues byte-identically. Ignored when
+	// CollectWitnesses is set (witness traces do not survive a snapshot).
+	Checkpoint *Checkpoint
 }
 
 // DefaultOptions returns the standard configuration (certification on).
@@ -177,6 +184,12 @@ type Result struct {
 	// Stats carries the run's engine instrumentation (interned states,
 	// certification-cache performance).
 	Stats ExploreStats
+	// Snapshot is set when a cooperative checkpoint (Options.Checkpoint)
+	// stopped the run with work still pending: the serialized exploration
+	// state from which Resume continues byte-identically. It is nil when
+	// the run finished, was aborted, or the backend does not support
+	// checkpointing under the given options (witness collection).
+	Snapshot *Snapshot
 }
 
 // ExploreStats is the engine-level instrumentation of one exploration,

@@ -34,6 +34,26 @@ import (
 // walk per (memory, thread) computes both the candidate promises and the
 // completions that the seed computed in two.
 func PromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
+	res, _ := pfRun(cp, spec, opts, nil)
+	return res
+}
+
+// ResumePromiseFirst continues a checkpointed promise-first exploration
+// from its snapshot, byte-identically: the frontier holds phase-1
+// memories, so each pending memory is decoded, re-interned and handed
+// back to the engine, with the imported seen-set preventing any memory
+// from being processed twice across legs.
+func ResumePromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, snap *Snapshot, opts Options) (*Result, error) {
+	if err := snap.Validate(snapPromising, &opts); err != nil {
+		return nil, err
+	}
+	return pfRun(cp, spec, opts, snap)
+}
+
+func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot) (*Result, error) {
+	if opts.CollectWitnesses {
+		opts.Checkpoint = nil // witness traces do not survive a snapshot
+	}
 	e := &pfExplorer{
 		cp:   cp,
 		spec: spec,
@@ -53,13 +73,38 @@ func PromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result
 		}
 		e.obs[tid] = regsOf(spec, tid)
 	}
-	m0 := core.NewMemory(cp.Init)
-	e.addMem(m0)
+	var roots []memState
+	visited := 0
+	if snap == nil {
+		m0 := core.NewMemory(cp.Init)
+		e.addMem(m0)
+		roots = []memState{{mem: m0, hmem: e.cc.InternMemory(m0)}}
+	} else {
+		e.seen.Import(snap.Seen)
+		for _, fb := range snap.Frontier {
+			mem, err := core.DecodeMemory(cp.Init, fb)
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, memState{mem: mem, hmem: e.cc.InternMemory(mem)})
+		}
+		visited = snap.States
+	}
 	ccStart := e.cc.Stats()
 	eng := Engine[memState]{Process: e.process}
-	res := eng.Run([]memState{{mem: m0, hmem: e.cc.InternMemory(m0)}}, &opts)
+	res, pending := eng.ResumeRun(roots, &opts, visited)
 	res.Stats = statsOf(e.seen, e.cc, ccStart)
-	return res
+	if snap != nil {
+		snap.mergeInto(res)
+	}
+	if len(pending) > 0 {
+		frontier := make([][]byte, len(pending))
+		for i, ms := range pending {
+			frontier[i] = core.EncodeMemory(nil, ms.mem, 0)
+		}
+		res.Snapshot = newSnapshot(snapPromising, opts.Certify, res, frontier, e.seen.Export())
+	}
+	return res, nil
 }
 
 type pfExplorer struct {

@@ -13,7 +13,11 @@ import (
 // Options.Certify and CollectWitnesses are ignored (the flat model has no
 // certification, and witnesses are not implemented for the baseline).
 func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
-	m0 := newMachine(cp)
+	res, _ := run(cp, spec, opts, nil)
+	return res
+}
+
+func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, snap *explore.Snapshot) (*explore.Result, error) {
 	seen := explore.NewSeenSet()
 	add := func(m *machine) bool {
 		b := core.GetEncBuf()
@@ -22,7 +26,23 @@ func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Optio
 		core.PutEncBuf(b)
 		return fresh
 	}
-	add(m0)
+	var roots []*machine
+	visited := 0
+	if snap == nil {
+		m0 := newMachine(cp)
+		add(m0)
+		roots = []*machine{m0}
+	} else {
+		seen.Import(snap.Seen)
+		for _, fb := range snap.Frontier {
+			m, err := decodeMachine(cp, fb)
+			if err != nil {
+				return nil, err
+			}
+			roots = append(roots, m)
+		}
+		visited = snap.States
+	}
 
 	eng := explore.Engine[*machine]{Process: func(m *machine, c *explore.Ctx[*machine]) {
 		if !c.Visit(1) {
@@ -52,9 +72,19 @@ func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Optio
 			}
 		}
 	}}
-	res := eng.Run([]*machine{m0}, &opts)
+	res, pending := eng.ResumeRun(roots, &opts, visited)
 	res.Stats.Interned = seen.Len()
-	return res
+	if snap != nil {
+		explore.MergeSnapshotInto(snap, res)
+	}
+	if len(pending) > 0 {
+		frontier := make([][]byte, len(pending))
+		for i, m := range pending {
+			frontier[i] = m.appendKey(nil)
+		}
+		res.Snapshot = explore.NewSnapshotFor(snapBackend, opts.Certify, res, frontier, seen.Export())
+	}
+	return res, nil
 }
 
 // observe projects a completed machine onto the observation spec.

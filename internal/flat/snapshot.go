@@ -1,0 +1,167 @@
+package flat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// snapBackend is the registry name this backend stamps into snapshots.
+const snapBackend = "flat"
+
+// Resume continues a checkpointed flat exploration from its snapshot,
+// byte-identically (see explore.Snapshot). Frontier entries are the flat
+// machine's canonical keys, decoded against the compiled program.
+func Resume(cp *lang.CompiledProgram, spec *explore.ObsSpec, snap *explore.Snapshot, opts explore.Options) (*explore.Result, error) {
+	if err := snap.Validate(snapBackend, &opts); err != nil {
+		return nil, err
+	}
+	return run(cp, spec, opts, snap)
+}
+
+// keyDecoder reads one canonical machine key (appendKey's format).
+type keyDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *keyDecoder) int() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = errors.New("flat: truncated machine key")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *keyDecoder) count() int {
+	n := d.int()
+	if d.err == nil && (n < 0 || n > int64(len(d.b))) {
+		d.err = fmt.Errorf("flat: invalid length %d in machine key", n)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (d *keyDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = errors.New("flat: truncated machine key")
+		return 0
+	}
+	c := d.b[0]
+	d.b = d.b[1:]
+	return c
+}
+
+func (d *keyDecoder) bool() bool { return d.byte() != 0 }
+
+// decodeMachine rebuilds a machine from appendKey output. The encoding
+// stores only the dynamic per-instruction fields; the static bookkeeping
+// (kinds, destinations, provider lists, lastWriter/lastXcl) is replayed
+// from the program exactly as autoFetch built it, in instruction order,
+// so a decoded machine re-encodes byte-identically and steps exactly like
+// the original.
+func decodeMachine(cp *lang.CompiledProgram, b []byte) (*machine, error) {
+	d := &keyDecoder{b: b}
+	m := &machine{cp: cp, mem: newMemory(cp.Init)}
+	nLocs := d.count()
+	for i := 0; i < nLocs; i++ {
+		loc := d.int()
+		nw := d.count()
+		for j := 0; j < nw; j++ {
+			val := d.int()
+			tid := int(d.int())
+			m.mem.push(loc, val, tid)
+		}
+	}
+	for tid := range cp.Threads {
+		code := &cp.Threads[tid]
+		t := &thread{lastWriter: make([]int, code.NumRegs), lastXcl: -1}
+		for i := range t.lastWriter {
+			t.lastWriter[i] = -1
+		}
+		nc := d.count()
+		t.cont = make([]int32, nc)
+		for i := range t.cont {
+			t.cont[i] = int32(d.int())
+		}
+		ni := d.count()
+		for i := 0; i < ni; i++ {
+			node := int32(d.int())
+			if d.err != nil {
+				return nil, d.err
+			}
+			if node < 0 || int(node) >= len(code.Nodes) {
+				return nil, fmt.Errorf("flat: node %d out of range in machine key", node)
+			}
+			n := &code.Nodes[node]
+			in := inst{node: node, kind: n.Kind, dst: -1}
+			// Replay the fetch-time static bookkeeping (mirrors autoFetch).
+			switch n.Kind {
+			case lang.NAssign:
+				in.dst = n.Dst
+				in.dataProv = t.exprProviders(n.E)
+				t.lastWriter[n.Dst] = i
+			case lang.NLoad:
+				in.dst = n.Dst
+				in.addrProv = t.exprProviders(n.Addr)
+				t.lastWriter[n.Dst] = i
+				if n.Xcl {
+					t.lastXcl = i
+				}
+			case lang.NStore:
+				in.addrProv = t.exprProviders(n.Addr)
+				in.dataProv = t.exprProviders(n.Data)
+				if n.Xcl {
+					in.dst = n.Dst
+					t.lastXcl = -1
+					t.lastWriter[n.Dst] = i
+				}
+			case lang.NIf:
+				in.condProv = t.exprProviders(n.Cond)
+				in.pendThen = n.Then
+				in.pendElse = n.Else
+			case lang.NFence, lang.NISB:
+			default:
+				return nil, fmt.Errorf("flat: unexpected node kind %d in machine key", n.Kind)
+			}
+			// Dynamic fields, in appendKey order.
+			in.state = istate(d.byte())
+			in.addrKnown = d.bool()
+			in.dataKnown = d.bool()
+			in.decided = d.bool()
+			in.succ = d.bool()
+			in.specTaken = d.bool()
+			in.fetchedKids = d.bool()
+			in.addr = d.int()
+			in.data = d.int()
+			in.val = d.int()
+			in.fwdFrom = int(d.int())
+			in.resIdx = int(d.int())
+			in.propIdx = int(d.int())
+			in.pair = int(d.int())
+			t.insts = append(t.insts, in)
+		}
+		t.bound = d.bool()
+		m.threads = append(m.threads, t)
+	}
+	if d.err == nil && len(d.b) != 0 {
+		d.err = fmt.Errorf("flat: %d trailing bytes in machine key", len(d.b))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}

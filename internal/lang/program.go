@@ -211,7 +211,7 @@ func Compile(p *Program) (*CompiledProgram, error) {
 		Source: p,
 	}
 	p.nameTables() // build the reverse name tables at preprocess time
-	for tid, s := range p.Threads {
+	for _, s := range p.Threads {
 		unrolled := Unroll(s, bound)
 		var c compiler
 		root := c.compile(unrolled)
@@ -226,7 +226,6 @@ func Compile(p *Program) (*CompiledProgram, error) {
 			code.NumRegs = 1
 		}
 		cp.Threads = append(cp.Threads, code)
-		_ = tid
 	}
 	return cp, nil
 }

@@ -124,8 +124,10 @@ func RunAll(tests []*Test, backends []NamedRunner, o RunAllOptions) []Report {
 				// A certification cache is scoped to one compiled program;
 				// a batch crosses many tests, so a caller-supplied cache
 				// must not leak across cells (each exploration builds its
-				// own).
+				// own). A checkpoint controller likewise: one shared
+				// controller would stop every cell at its first fire.
 				eo.CertCache = nil
+				eo.Checkpoint = nil
 				if o.Timeout > 0 {
 					eo.Deadline = time.Now().Add(o.Timeout)
 				}

@@ -91,9 +91,8 @@ func TestGenerateDeterministic(t *testing.T) {
 
 func formatProgram(p *lang.Program) string {
 	out := ""
-	for tid, s := range p.Threads {
+	for _, s := range p.Threads {
 		out += lang.FormatStmt(lang.Skip{})
-		_ = tid
 		out += lang.FormatStmt(s)
 		out += "----\n"
 	}

@@ -2,6 +2,7 @@ package litmus
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"promising/internal/explore"
@@ -53,6 +54,12 @@ func (v *Verdict) String() string {
 		v.Test.Name(), status, len(v.Result.Outcomes), v.Result.States, v.Elapsed.Round(time.Millisecond), tag)
 }
 
+// Resumer continues a checkpointed exploration from its snapshot.
+// explore.ResumePromiseFirst, explore.ResumeNaive, flat.Resume and
+// axiomatic.Resume all satisfy this signature; internal/backends routes
+// the four by name.
+type Resumer func(cp *lang.CompiledProgram, spec *explore.ObsSpec, snap *explore.Snapshot, opts explore.Options) (*explore.Result, error)
+
 // Run compiles and runs the test under the given backend.
 func Run(t *Test, run Runner, opts explore.Options) (*Verdict, error) {
 	cp, err := lang.Compile(t.Prog)
@@ -62,14 +69,100 @@ func Run(t *Test, run Runner, opts explore.Options) (*Verdict, error) {
 	spec := t.Spec()
 	start := time.Now()
 	res := run(cp, spec, opts)
+	return verdictOf(t, spec, res, time.Since(start)), nil
+}
+
+// RunFrom resumes a checkpointed run of the test under the backend's
+// Resumer. The snapshot must have been taken from the same test (content
+// hash) — resuming a frontier against a different program would step
+// garbage.
+func RunFrom(t *Test, resume Resumer, snap *explore.Snapshot, opts explore.Options) (*Verdict, error) {
+	if snap.Test != "" && snap.Test != t.Hash() {
+		return nil, fmt.Errorf("litmus: snapshot is for test %s, not %s (%s)", snap.Test, t.Hash(), t.Name())
+	}
+	cp, err := lang.Compile(t.Prog)
+	if err != nil {
+		return nil, err
+	}
+	spec := t.Spec()
+	start := time.Now()
+	res, err := resume(cp, spec, snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	return verdictOf(t, spec, res, time.Since(start)), nil
+}
+
+// verdictOf assembles a verdict and stamps any checkpoint snapshot with
+// the test's content hash, so a later resume refuses the wrong test.
+func verdictOf(t *Test, spec *explore.ObsSpec, res *explore.Result, elapsed time.Duration) *Verdict {
+	if res.Snapshot != nil {
+		res.Snapshot.Test = t.Hash()
+	}
 	v := &Verdict{
 		Test:    t,
 		Result:  res,
 		Spec:    spec,
-		Elapsed: time.Since(start),
+		Elapsed: elapsed,
 	}
 	if t.Cond != nil {
 		v.Allowed = Satisfiable(t.Cond, spec, res)
 	}
-	return v, nil
+	return v
+}
+
+// RunSharded explores a test by frontier sharding: a short widening run
+// checkpoints once the frontier has grown past a few states per shard,
+// the snapshot's frontier is split into `shards` disjoint shards, each
+// shard is explored independently (concurrently, in-process), and the
+// shard results are merged with the engine's deterministic merge rules.
+// The merged outcome set equals the unsharded one; only the work counters
+// can exceed it (cross-shard revisits — see explore.Snapshot). A test
+// whose exploration finishes inside the widening budget returns the
+// complete verdict directly.
+func RunSharded(t *Test, run Runner, resume Resumer, shards int, opts explore.Options) (*Verdict, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	widen := opts
+	// Aim well past the fan-out needed: a few dozen pending states per
+	// shard keeps every shard busy without re-exploring much.
+	widen.Checkpoint = explore.NewCheckpointAfter(32 * shards)
+	start := time.Now()
+	v, err := Run(t, run, widen)
+	if err != nil {
+		return nil, err
+	}
+	snap := v.Result.Snapshot
+	if snap == nil {
+		return v, nil // completed inside the widening budget
+	}
+
+	parts := snap.Split(shards)
+	results := make([]*explore.Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *explore.Snapshot) {
+			defer wg.Done()
+			cp, err := lang.Compile(t.Prog)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			so := opts
+			so.Checkpoint = nil
+			so.CertCache = nil // cache sharing across goroutines is fine, but keep shards independent
+			results[i], errs[i] = resume(cp, t.Spec(), part, so)
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := explore.MergeShards(snap, results)
+	return verdictOf(t, t.Spec(), merged, time.Since(start)), nil
 }

@@ -9,6 +9,7 @@
 //
 //	POST   /v1/check            one test, synchronous, cache-aware
 //	POST   /v1/batch            many tests × backends → job id
+//	POST   /v1/shards           explore one frontier shard of a snapshot
 //	POST   /v1/fuzz             differential fuzzing campaign → job id
 //	GET    /v1/jobs/{id}        job status + completed cell reports
 //	DELETE /v1/jobs/{id}        cancel: aborts in-flight explorations
@@ -19,6 +20,8 @@
 package server
 
 import (
+	"encoding/json"
+	"sort"
 	"strings"
 
 	"promising/internal/explore"
@@ -150,6 +153,97 @@ func ReportJSON(r litmus.Report) TestReport {
 	return tr
 }
 
+// ShardRequest is the body of POST /v1/shards: one frontier shard of a
+// checkpointed exploration (explore.Snapshot.Split), explored to
+// completion on this daemon. The coordinator — another daemon, a client,
+// or cmd/litmus — splits a snapshot, posts one shard per peer, and merges
+// the reports with explore.MergeShards.
+type ShardRequest struct {
+	// TestSpec names the test the snapshot belongs to; the snapshot's
+	// embedded content hash is verified against it.
+	TestSpec
+	// Backend defaults to the snapshot's own backend tag.
+	Backend string `json:"backend,omitempty"`
+	// Snapshot is the shard (a Snapshot whose frontier is this shard's
+	// share and whose seen-set is the full split-time set).
+	Snapshot json.RawMessage `json:"snapshot"`
+	Options  CheckOptions    `json:"options,omitzero"`
+}
+
+// ShardReport is a shard exploration's result in mergeable form: raw
+// outcome values rather than formatted lines, so the coordinator can
+// union them losslessly across shards.
+type ShardReport struct {
+	Outcomes      []explore.SnapOutcome `json:"outcomes"`
+	States        int                   `json:"states"`
+	DeadEnds      int                   `json:"dead_ends,omitempty"`
+	BoundExceeded bool                  `json:"bound_exceeded,omitempty"`
+	// TimedOut/Aborted mark an incomplete shard: the merged outcome set
+	// is then a lower bound, not the exhaustive set.
+	TimedOut  bool              `json:"timed_out,omitempty"`
+	Aborted   bool              `json:"aborted,omitempty"`
+	ElapsedUS int64             `json:"elapsed_us"`
+	Stats     *ExploreStatsJSON `json:"stats,omitempty"`
+}
+
+// Result converts the report back into an explore.Result for
+// explore.MergeShards.
+func (sr *ShardReport) Result() *explore.Result {
+	res := &explore.Result{
+		Outcomes:      make(map[string]explore.Outcome, len(sr.Outcomes)),
+		Witnesses:     map[string]explore.Witness{},
+		States:        sr.States,
+		DeadEnds:      sr.DeadEnds,
+		BoundExceeded: sr.BoundExceeded,
+		TimedOut:      sr.TimedOut,
+		Aborted:       sr.Aborted,
+	}
+	for _, so := range sr.Outcomes {
+		o := explore.Outcome{Regs: so.Regs, Mem: so.Mem}
+		res.Outcomes[o.Key()] = o
+	}
+	if sr.Stats != nil {
+		res.Stats = explore.ExploreStats{
+			Interned:    sr.Stats.Interned,
+			CertHits:    sr.Stats.CertHits,
+			CertMisses:  sr.Stats.CertMisses,
+			CertEntries: sr.Stats.CertEntries,
+		}
+	}
+	return res
+}
+
+// shardReportOf projects a shard verdict onto the wire, outcomes in
+// deterministic (key) order.
+func shardReportOf(res *explore.Result, elapsedUS int64) ShardReport {
+	sr := ShardReport{
+		States:        res.States,
+		DeadEnds:      res.DeadEnds,
+		BoundExceeded: res.BoundExceeded,
+		TimedOut:      res.TimedOut,
+		Aborted:       res.Aborted,
+		ElapsedUS:     elapsedUS,
+	}
+	keys := make([]string, 0, len(res.Outcomes))
+	for k := range res.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		o := res.Outcomes[k]
+		sr.Outcomes = append(sr.Outcomes, explore.SnapOutcome{Regs: o.Regs, Mem: o.Mem})
+	}
+	if st := res.Stats; st != (explore.ExploreStats{}) {
+		sr.Stats = &ExploreStatsJSON{
+			Interned:    st.Interned,
+			CertHits:    st.CertHits,
+			CertMisses:  st.CertMisses,
+			CertEntries: st.CertEntries,
+		}
+	}
+	return sr
+}
+
 // FuzzRequest is the body of POST /v1/fuzz: a time- or iteration-boxed
 // differential fuzzing campaign, run as a cancelable job on the shared
 // worker pool.
@@ -225,6 +319,12 @@ type JobStatus struct {
 	// populated once the job is terminal.
 	Fuzz      *FuzzStatus `json:"fuzz,omitempty"`
 	ElapsedMS int64       `json:"elapsed_ms"`
+	// ResumedFromCheckpoint marks a job the daemon re-enqueued from its
+	// state dir after a restart; CheckpointAgeMS is how old the newest
+	// recovered cell checkpoint was at that moment (0 when the job was
+	// recovered before any cell had checkpointed).
+	ResumedFromCheckpoint bool  `json:"resumed_from_checkpoint,omitempty"`
+	CheckpointAgeMS       int64 `json:"checkpoint_age_ms,omitempty"`
 }
 
 // JobEvent is one Server-Sent Event on GET /v1/jobs/{id}/events: a cell

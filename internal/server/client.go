@@ -9,6 +9,9 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
+
+	"promising/internal/explore"
 )
 
 // Client talks to a running model-checking service (cmd/promised). It is
@@ -90,6 +93,60 @@ func (c *Client) Fuzz(ctx context.Context, req FuzzRequest) (*BatchResponse, err
 		return nil, err
 	}
 	return &br, nil
+}
+
+// Shard explores one frontier shard of a checkpointed exploration on the
+// remote daemon, returning the mergeable-form report (see ShardRequest).
+func (c *Client) Shard(ctx context.Context, req ShardRequest) (*ShardReport, error) {
+	var sr ShardReport
+	if err := c.do(ctx, http.MethodPost, "/v1/shards", req, &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
+}
+
+// CheckSharded distributes a snapshot's frontier across peer daemons:
+// Split(len(peers)) shards, one POST /v1/shards per peer (concurrently),
+// merged with explore.MergeShards. The spec must name the test the
+// snapshot was taken from. Every peer must answer; a failed peer fails
+// the whole call (its shard's outcomes would be missing from the union).
+func CheckSharded(ctx context.Context, peers []*Client, spec TestSpec, snap *explore.Snapshot, o CheckOptions) (*explore.Result, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("promised: no peers to shard across")
+	}
+	parts := snap.Split(len(peers))
+	results := make([]*explore.Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *explore.Snapshot) {
+			defer wg.Done()
+			raw, err := part.Marshal()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sr, err := peers[i].Shard(ctx, ShardRequest{
+				TestSpec: spec,
+				Backend:  snap.Backend,
+				Snapshot: raw,
+				Options:  o,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = sr.Result()
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return explore.MergeShards(snap, results), nil
 }
 
 // Job fetches a job's status and completed reports.

@@ -5,8 +5,10 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"promising/internal/explore"
 	"promising/internal/fuzz"
 	"promising/internal/litmus"
 )
@@ -22,6 +24,16 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	start  time.Time
+
+	// resumed marks a job re-enqueued from the state store after a
+	// restart; ckptAge is how old its newest cell checkpoint was at
+	// recovery time.
+	resumed bool
+	ckptAge time.Duration
+	// userCanceled distinguishes DELETE /v1/jobs/{id} from a server-
+	// shutdown cancellation: only the former deletes the job's durable
+	// state (a shutdown must leave it resumable).
+	userCanceled atomic.Bool
 
 	mu        sync.Mutex
 	state     JobState
@@ -63,14 +75,16 @@ func (j *job) statusLocked() JobStatus {
 		el = time.Since(j.start)
 	}
 	st := JobStatus{
-		ID:        j.id,
-		Kind:      j.kind,
-		State:     j.state,
-		Total:     j.total,
-		Completed: j.completed,
-		CacheHits: j.cacheHits,
-		Fuzz:      j.fz,
-		ElapsedMS: el.Milliseconds(),
+		ID:                    j.id,
+		Kind:                  j.kind,
+		State:                 j.state,
+		Total:                 j.total,
+		Completed:             j.completed,
+		CacheHits:             j.cacheHits,
+		Fuzz:                  j.fz,
+		ElapsedMS:             el.Milliseconds(),
+		ResumedFromCheckpoint: j.resumed,
+		CheckpointAgeMS:       j.ckptAge.Milliseconds(),
 	}
 	if j.kind != jobKindFuzz {
 		st.Reports = make([]*TestReport, len(j.reports))
@@ -337,11 +351,20 @@ func (s *Server) startFuzzJob(cfg fuzz.Config) *job {
 }
 
 // startJob launches tests × backendNames on the worker pool and returns
-// the registered job.
-func (s *Server) startJob(tests []*litmus.Test, backendNames []string, o CheckOptions) *job {
+// the registered job. specs are the wire-form test specs, persisted in
+// the job manifest when a state store is configured.
+func (s *Server) startJob(tests []*litmus.Test, specs []TestSpec, backendNames []string, o CheckOptions) *job {
+	return s.launchJob(newJobID(), tests, specs, backendNames, o, nil)
+}
+
+// launchJob is startJob plus the recovery path: rc, when non-nil, holds
+// the per-cell state loaded from the state store (completed reports are
+// replayed without re-running; checkpointed cells resume from their
+// snapshots).
+func (s *Server) launchJob(id string, tests []*litmus.Test, specs []TestSpec, backendNames []string, o CheckOptions, rc *recoveredCells) *job {
 	ctx, cancel := context.WithCancel(s.base)
 	j := &job{
-		id:     newJobID(),
+		id:     id,
 		kind:   jobKindBatch,
 		ctx:    ctx,
 		cancel: cancel,
@@ -350,8 +373,21 @@ func (s *Server) startJob(tests []*litmus.Test, backendNames []string, o CheckOp
 		total:  len(tests) * len(backendNames),
 		subs:   map[chan JobEvent]*jobSub{},
 	}
+	if rc != nil {
+		j.resumed = rc.any
+		j.ckptAge = rc.ckptAge
+	}
 	j.reports = make([]*TestReport, j.total)
 	s.jobs.add(j)
+	if rc == nil {
+		// Fresh job: persist the manifest before any cell runs, so a crash
+		// at any later point finds a resumable record.
+		if err := s.store.putManifest(jobManifest{
+			ID: id, Tests: specs, Backends: backendNames, Options: o, Created: time.Now(),
+		}); err != nil {
+			s.logf("promised: job %s: persist manifest: %v", id, err)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for i, t := range tests {
@@ -360,13 +396,37 @@ func (s *Server) startJob(tests []*litmus.Test, backendNames []string, o CheckOp
 			go func(cell int, t *litmus.Test, b string) {
 				defer wg.Done()
 				defer s.pending.Add(-1)
-				j.record(cell, s.runCell(ctx, t, b, o))
+				var snap *explore.Snapshot
+				if rc != nil {
+					if tr := rc.dones[cell]; tr != nil {
+						// Completed before the restart: replay the stored
+						// report without re-exploring.
+						j.record(cell, *tr)
+						return
+					}
+					snap = rc.snaps[cell]
+				}
+				tr := s.runJobCell(ctx, j.id, cell, t, b, o, snap)
+				j.record(cell, tr)
+				// A cell abandoned by a shutdown (or user cancel) reports
+				// timeout/canceled as an artifact of the abort; persisting
+				// that verdict would freeze it into the restarted job. Its
+				// latest checkpoint stays on disk instead.
+				if ctx.Err() == nil || litmus.Status(tr.Status).Complete() {
+					s.store.putDone(j.id, cell, &tr)
+					s.store.dropSnap(j.id, cell)
+				}
 			}(i*len(backendNames)+bi, t, b)
 		}
 	}
 	go func() {
 		wg.Wait()
 		j.finish()
+		// Terminal jobs release their durable state — except jobs ended by
+		// a server shutdown, which must stay resumable on restart.
+		if j.stateNow() == JobDone || j.userCanceled.Load() {
+			s.store.remove(j.id)
+		}
 		st := j.status()
 		s.logf("promised: job %s %s (%d cells, %d cache hits)", j.id, st.State, j.total, st.CacheHits)
 	}()

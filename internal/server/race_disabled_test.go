@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// raceEnabled scales the restart-resume test's workload down under the
+// race detector; see race_enabled_test.go.
+const raceEnabled = false

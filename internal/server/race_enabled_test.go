@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled scales the restart-resume test's workload down under the
+// race detector (which slows exploration roughly an order of magnitude
+// on one core); see state_test.go.
+const raceEnabled = true

@@ -43,6 +43,16 @@ type Config struct {
 	// CacheDir, when non-empty, persists verdicts to disk so a restarted
 	// daemon starts warm.
 	CacheDir string
+	// StateDir, when non-empty, makes batch jobs durable: the daemon
+	// periodically checkpoints every running cell's exploration there
+	// (explore.Snapshot, atomic-rename write-through) and, on restart,
+	// re-enqueues unfinished jobs from their latest snapshots under their
+	// original ids instead of dropping them. A kill -9 loses at most the
+	// progress since the last checkpoint interval.
+	StateDir string
+	// CheckpointInterval is how often a running cell's exploration is
+	// checkpointed to StateDir (default 10s; ignored without StateDir).
+	CheckpointInterval time.Duration
 	// MaxBatchCells caps Tests × Backends of one batch job (default 4096).
 	MaxBatchCells int
 	// MaxPendingCells caps batch cells admitted but not yet completed
@@ -85,6 +95,9 @@ func (c *Config) withDefaults() Config {
 	if out.MaxBatchCells <= 0 {
 		out.MaxBatchCells = 4096
 	}
+	if out.CheckpointInterval <= 0 {
+		out.CheckpointInterval = 10 * time.Second
+	}
 	if out.MaxPendingCells <= 0 {
 		out.MaxPendingCells = 4 * out.MaxBatchCells
 	}
@@ -102,6 +115,9 @@ func (c *Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	cache *cache.Cache
+	// store persists batch-job state when Config.StateDir is set (nil
+	// otherwise; every method is nil-safe).
+	store *jobStore
 	// sem is the worker pool: one slot per concurrently running
 	// exploration, shared by synchronous checks and batch-job cells.
 	sem  chan struct{}
@@ -119,6 +135,10 @@ type Server struct {
 	// pending counts batch cells admitted but not yet completed, bounded
 	// by Config.MaxPendingCells at admission.
 	pending atomic.Int64
+	// recovered counts jobs re-enqueued from StateDir at startup; shards
+	// counts POST /v1/shards explorations served.
+	recovered atomic.Int64
+	shards    atomic.Int64
 	// certHits/certMisses/interned accumulate the per-exploration
 	// ExploreStats of every cell this daemon ran (cache hits excluded:
 	// a cached verdict re-reports the original exploration's stats).
@@ -158,11 +178,50 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
 	s.mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	if cfg.StateDir != "" {
+		s.store, err = openJobStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		s.recoverJobs()
+	}
 	return s, nil
+}
+
+// recoverJobs re-enqueues every unfinished batch job persisted in the
+// state store, from its cells' latest checkpoints.
+func (s *Server) recoverJobs() {
+	for _, m := range s.store.manifests() {
+		tests := make([]*litmus.Test, 0, len(m.Tests))
+		bad := false
+		for _, spec := range m.Tests {
+			t, err := resolveTest(spec)
+			if err != nil {
+				bad = true
+				break
+			}
+			tests = append(tests, t)
+		}
+		if bad || len(tests) == 0 || len(m.Backends) == 0 {
+			// A manifest this daemon can no longer resolve (e.g. a catalog
+			// test renamed across versions) cannot be resumed; drop it
+			// rather than re-parse it forever.
+			s.logf("promised: dropping unresolvable persisted job %s", m.ID)
+			s.store.remove(m.ID)
+			continue
+		}
+		rc := s.store.loadCells(m.ID, len(tests)*len(m.Backends))
+		s.pending.Add(int64(len(tests) * len(m.Backends)))
+		s.recovered.Add(1)
+		j := s.launchJob(m.ID, tests, m.Tests, m.Backends, m.Options, &rc)
+		s.logf("promised: recovered job %s from %s (%d cells, resumed=%t, checkpoint age %s)",
+			j.id, s.cfg.StateDir, j.total, rc.any, rc.ckptAge.Round(time.Millisecond))
+	}
 }
 
 // Handler returns the service's HTTP handler (for tests and embedding).
@@ -213,7 +272,14 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	return decodeBodyLimit(w, r, v, 4<<20)
+}
+
+// decodeBodyLimit is decodeBody with a caller-chosen size cap: shard
+// requests carry a snapshot (frontier + seen-set), which outgrows the
+// 4 MiB default on workload-scale explorations.
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -340,6 +406,100 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 	return tr
 }
 
+// runJobCell checks one batch-job cell. Without a state store it is
+// exactly runCell; with one, the exploration runs in checkpoint legs: a
+// timer requests a cooperative checkpoint every CheckpointInterval, the
+// snapshot is persisted (atomic rename), and the exploration resumes
+// in-process — byte-identically, sharing one certification cache across
+// legs — until it completes or its budget expires. A killed daemon
+// restarts the cell from the latest persisted snapshot. snap, when
+// non-nil, is the checkpoint recovered for this cell at startup.
+func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litmus.Test, backend string, o CheckOptions, snap *explore.Snapshot) TestReport {
+	if s.store == nil {
+		return s.runCell(ctx, t, backend, o)
+	}
+	s.checks.Add(1)
+	key := cacheKey(t, backend, o)
+	if snap == nil {
+		// A cell already mid-exploration is resumed, not served from the
+		// verdict cache: its snapshot is the authoritative progress.
+		if raw, ok := s.cache.Get(key); ok {
+			var tr TestReport
+			if err := json.Unmarshal(raw, &tr); err == nil {
+				s.cacheHits.Add(1)
+				tr.Cached = true
+				return tr
+			}
+		}
+	}
+
+	named, err := backends.ResolveNamed(backend)
+	if err != nil {
+		return ReportJSON(litmus.Report{Test: t, Backend: backend, Err: err})
+	}
+	resume, err := backends.ResolveResumer(backend)
+	if err != nil {
+		return ReportJSON(litmus.Report{Test: t, Backend: backend, Err: err})
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return TestReport{Test: t.Name(), Arch: t.Prog.Arch.String(), Expect: t.Expect.String(),
+			Backend: backend, Status: StatusCanceled, Error: ctx.Err().Error()}
+	}
+	s.inflight.Add(1)
+	defer func() { s.inflight.Add(-1); <-s.sem }()
+
+	eo, timeout := s.exploreOptions(ctx, o)
+	// One wall budget for the whole logical run (a cell recovered after a
+	// restart gets a fresh budget — the daemon cannot know how much the
+	// previous process spent). The certification cache is scoped to this
+	// one test, so legs share it.
+	eo.Deadline = time.Now().Add(timeout)
+	eo.CertCache = explore.NewSharedCertCache()
+	var (
+		v       *litmus.Verdict
+		rerr    error
+		elapsed time.Duration
+	)
+	for {
+		ck := explore.NewCheckpoint()
+		eo.Checkpoint = ck
+		timer := time.AfterFunc(s.cfg.CheckpointInterval, ck.Request)
+		if snap == nil {
+			v, rerr = litmus.Run(t, named.Run, eo)
+		} else {
+			v, rerr = litmus.RunFrom(t, resume, snap, eo)
+		}
+		timer.Stop()
+		if rerr != nil {
+			break
+		}
+		elapsed += v.Elapsed
+		if v.Result.Snapshot == nil {
+			break // completed, timed out or aborted
+		}
+		snap = v.Result.Snapshot
+		s.store.putSnap(jobID, cell, snap)
+	}
+	if v != nil {
+		v.Elapsed = elapsed
+	}
+	tr := ReportJSON(litmus.Report{Test: t, Backend: backend, Verdict: v, Err: rerr})
+	if st := tr.Stats; st != nil {
+		s.certHits.Add(st.CertHits)
+		s.certMisses.Add(st.CertMisses)
+		s.interned.Add(int64(st.Interned))
+	}
+	if cacheable(tr.Status) {
+		if raw, err := json.Marshal(tr); err == nil {
+			s.cache.Put(key, raw)
+		}
+	}
+	return tr
+}
+
 // ---------------------------------------------------------------------
 // Handlers.
 
@@ -367,6 +527,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE promised_cells_pending gauge\npromised_cells_pending %d\n", s.pending.Load())
 	fmt.Fprintf(w, "# TYPE promised_jobs_active gauge\npromised_jobs_active %d\n", s.jobs.active())
 	fmt.Fprintf(w, "# TYPE promised_jobs_total counter\npromised_jobs_total %d\n", s.jobs.created())
+	fmt.Fprintf(w, "# TYPE promised_jobs_recovered_total counter\npromised_jobs_recovered_total %d\n", s.recovered.Load())
+	fmt.Fprintf(w, "# TYPE promised_shards_total counter\npromised_shards_total %d\n", s.shards.Load())
 	fmt.Fprintf(w, "# TYPE promised_fuzz_campaigns_total counter\npromised_fuzz_campaigns_total %d\n", s.fuzzCampaigns.Load())
 	fmt.Fprintf(w, "# TYPE promised_fuzz_campaigns_active gauge\npromised_fuzz_campaigns_active %d\n", s.fuzzActive.Load())
 	fmt.Fprintf(w, "# TYPE promised_fuzz_iterations_total counter\npromised_fuzz_iterations_total %d\n", s.fuzzIters.Load())
@@ -462,9 +624,70 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			"server busy: %d cells already queued (limit %d); retry later", n-int64(cells), s.cfg.MaxPendingCells)
 		return
 	}
-	j := s.startJob(tests, req.Backends, req.Options)
+	j := s.startJob(tests, req.Tests, req.Backends, req.Options)
 	s.logf("promised: job %s started (%d cells)", j.id, j.total)
 	writeJSON(w, http.StatusAccepted, BatchResponse{JobID: j.id, Cells: j.total})
+}
+
+// handleShard explores one frontier shard of a checkpointed exploration
+// synchronously on the worker pool — the scale-out primitive: a
+// coordinator splits a snapshot (explore.Snapshot.Split) and posts one
+// shard per peer daemon, then merges the mergeable-form reports. Shard
+// soundness: every shard carries the split-time seen-set, so the merged
+// outcome set equals the unsharded exploration's; only work (cross-shard
+// revisits) depends on the shard-local seen-sets diverging.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if !decodeBodyLimit(w, r, &req, 256<<20) {
+		return
+	}
+	t, err := resolveTest(req.TestSpec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, err := explore.UnmarshalSnapshot(req.Snapshot)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	backend := req.Backend
+	if backend == "" {
+		backend = snap.Backend
+	}
+	resume, err := backends.ResolveResumer(backend)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.base, cancel)()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		writeErr(w, http.StatusServiceUnavailable, "canceled while queued: %v", ctx.Err())
+		return
+	}
+	s.inflight.Add(1)
+	defer func() { s.inflight.Add(-1); <-s.sem }()
+
+	eo, timeout := s.exploreOptions(ctx, req.Options)
+	eo.Deadline = time.Now().Add(timeout)
+	v, rerr := litmus.RunFrom(t, resume, snap, eo)
+	if rerr != nil {
+		writeErr(w, http.StatusBadRequest, "%v", rerr)
+		return
+	}
+	s.shards.Add(1)
+	if st := v.Result.Stats; st != (explore.ExploreStats{}) {
+		s.certHits.Add(st.CertHits)
+		s.certMisses.Add(st.CertMisses)
+		s.interned.Add(int64(st.Interned))
+	}
+	s.logf("promised: shard %s backend=%s frontier=%d states=%d", t.Name(), backend, len(snap.Frontier), v.Result.States)
+	writeJSON(w, http.StatusOK, shardReportOf(v.Result, v.Elapsed.Microseconds()))
 }
 
 // handleFuzz starts a differential fuzzing campaign as a cancelable job.
@@ -573,6 +796,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
+	j.userCanceled.Store(true)
 	j.cancel()
 	s.logf("promised: job %s canceled", j.id)
 	writeJSON(w, http.StatusOK, j.status())

@@ -88,6 +88,17 @@ func (b Backend) Runner() (litmus.Runner, error) {
 	return r, nil
 }
 
+// Resumer returns the backend's litmus.Resumer, which continues a
+// checkpointed exploration from its Snapshot. All four backends support
+// checkpoint/resume.
+func (b Backend) Resumer() (litmus.Resumer, error) {
+	r, err := backends.ResolveResumer(string(b))
+	if err != nil {
+		return nil, fmt.Errorf("promising: %v", err)
+	}
+	return r, nil
+}
+
 // Options returns the default exploration options (per-step certification
 // enabled, no witness collection, no limits).
 func Options() explore.Options { return explore.DefaultOptions() }
@@ -131,6 +142,66 @@ func Run(t *Test, backend Backend, opts explore.Options) (*Verdict, error) {
 		return nil, err
 	}
 	return litmus.Run(t, r, opts)
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/resume and shard scale-out (explore.Snapshot).
+
+// Re-exported checkpoint types.
+type (
+	// Snapshot is a versioned, deterministic serialization of an
+	// in-progress exploration: pending frontier, dedup set, accumulated
+	// outcomes, semantics epoch. Resume continues it byte-identically;
+	// Split(n) deals its frontier into shards for scale-out.
+	Snapshot = explore.Snapshot
+	// CheckpointController requests a cooperative checkpoint of a running
+	// exploration (ExploreOptions.Checkpoint).
+	CheckpointController = explore.Checkpoint
+)
+
+// NewCheckpoint returns a controller that checkpoints a running
+// exploration when Request is called; set it as Options.Checkpoint.
+func NewCheckpoint() *CheckpointController { return explore.NewCheckpoint() }
+
+// NewCheckpointAfter returns a controller that checkpoints automatically
+// once the exploration has counted n states.
+func NewCheckpointAfter(n int) *CheckpointController { return explore.NewCheckpointAfter(n) }
+
+// UnmarshalSnapshot parses a serialized Snapshot, validating its format
+// version and semantics epoch.
+func UnmarshalSnapshot(raw []byte) (*Snapshot, error) { return explore.UnmarshalSnapshot(raw) }
+
+// RunFrom resumes a checkpointed exploration of a test (the verdict's
+// Result.Snapshot, or one read back with UnmarshalSnapshot) and runs it
+// to a verdict. The combined run is byte-identical to an uninterrupted
+// one: same outcome set, same state count.
+func RunFrom(t *Test, backend Backend, snap *Snapshot, opts explore.Options) (*Verdict, error) {
+	r, err := backend.Resumer()
+	if err != nil {
+		return nil, err
+	}
+	return litmus.RunFrom(t, r, snap, opts)
+}
+
+// RunSharded explores a test by frontier sharding: widen, checkpoint,
+// Split(shards), explore every shard concurrently in-process, and merge
+// deterministically. The merged outcome set equals the unsharded one.
+func RunSharded(t *Test, backend Backend, shards int, opts explore.Options) (*Verdict, error) {
+	run, err := backend.Runner()
+	if err != nil {
+		return nil, err
+	}
+	resume, err := backend.Resumer()
+	if err != nil {
+		return nil, err
+	}
+	return litmus.RunSharded(t, run, resume, shards, opts)
+}
+
+// MergeShards merges independently explored shard results with the
+// parent snapshot's accumulated partial result.
+func MergeShards(parent *Snapshot, shardResults []*Result) *Result {
+	return explore.MergeShards(parent, shardResults)
 }
 
 // RunAll runs every test under every backend with bounded concurrency
@@ -255,7 +326,19 @@ type (
 	TestReport = server.TestReport
 	// JobStatus is a batch job's progress snapshot.
 	JobStatus = server.JobStatus
+	// ShardRequest is the body of POST /v1/shards: one frontier shard of
+	// a checkpointed exploration, explored to completion on a peer daemon.
+	ShardRequest = server.ShardRequest
+	// ShardReport is a shard exploration's result in mergeable form.
+	ShardReport = server.ShardReport
 )
+
+// CheckSharded distributes a snapshot's frontier across peer daemons
+// (one POST /v1/shards per peer) and merges the results; see
+// server.CheckSharded.
+func CheckSharded(ctx context.Context, peers []*Client, spec TestSpec, snap *Snapshot, o CheckOptions) (*Result, error) {
+	return server.CheckSharded(ctx, peers, spec, snap, o)
+}
 
 // NewServer builds a model-checking service; mount Handler() yourself or
 // run ListenAndServe.
