@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"promising"
+	"promising/internal/explore"
 	"promising/internal/lang"
 	"promising/internal/workloads"
 )
@@ -127,8 +128,19 @@ func main() {
 	flag.BoolVar(&jsonOut, "json", false,
 		"also write a BENCH_<n>.json snapshot (per-cell wall time, states, "+
 			"cert-cache hit rate) for machine-readable perf trajectories")
+	reductions := flag.String("reductions", "on",
+		"certified state-space reductions for every timed cell: on, off, symmetry or pruning")
+	flag.BoolVar(&ablate, "ablate", false,
+		"time every cell twice — reductions on and off — verifying the outcome "+
+			"sets are byte-identical (exit 1 on divergence); both cells land in "+
+			"the -json snapshot with their reduction counters")
 	flag.Parse()
 	genRows = *gen
+	var err error
+	if redMode, err = promising.ParseReductionMode(*reductions); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 	if err := run(*table, *full, *timeout, *noFlat, *rows); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
@@ -137,15 +149,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+	if ablateMismatch {
+		fmt.Fprintln(os.Stderr, "bench: reductions ablation found diverging outcome sets (see mismatch cells above)")
+		os.Exit(1)
+	}
 }
 
 // flatBudget is the -flat-budget flag; jsonOut the -json flag; genRows and
-// genSeed the -gen/-seed random-row parameters.
+// genSeed the -gen/-seed random-row parameters; redMode the -reductions
+// mode; ablate the -ablate switch and ablateMismatch its failure latch.
 var (
-	flatBudget int
-	jsonOut    bool
-	genRows    int
-	genSeed    int64
+	flatBudget     int
+	jsonOut        bool
+	genRows        int
+	genSeed        int64
+	redMode        promising.ReductionMode
+	ablate         bool
+	ablateMismatch bool
 )
 
 // BenchCell is one (test, backend) timing in the -json snapshot.
@@ -162,6 +182,13 @@ type BenchCell struct {
 	CertMisses  int64   `json:"cert_misses,omitempty"`
 	CertHitRate float64 `json:"cert_hit_rate,omitempty"`
 	Interned    int     `json:"interned,omitempty"`
+	// Reductions is the mode the cell ran under ("on"/"off"/... — set on
+	// -ablate cells and whenever -reductions is not the default);
+	// SymmetryClasses/SymmetryHits/PrunedStates are its reduction counters.
+	Reductions      string `json:"reductions,omitempty"`
+	SymmetryClasses int    `json:"symmetry_classes,omitempty"`
+	SymmetryHits    int64  `json:"symmetry_hits,omitempty"`
+	PrunedStates    int64  `json:"pruned_states,omitempty"`
 }
 
 // BenchSnapshot is the -json output shape.
@@ -305,9 +332,36 @@ func runtimeGOMAXPROCS() int { return runtime.GOMAXPROCS(0) }
 // rows explodes combinatorially — the paper's claim — and is budget-
 // skipped rather than mislabelled as a wall timeout). It records the cell
 // for the -json snapshot and returns the formatted seconds, "ooT" (wall
-// budget), "skip(budget)" (state budget) or "err".
+// budget), "skip(budget)" (state budget) or "err". With -ablate the cell
+// runs twice — reductions on, then off — the outcome sets are verified
+// byte-identical, and the display shows "on/off" seconds.
 func timeOne(test *promising.Test, backend promising.Backend, timeout time.Duration) string {
+	if !ablate {
+		d, _ := timeOneMode(test, backend, timeout, redMode)
+		return d
+	}
+	dOn, vOn := timeOneMode(test, backend, timeout, promising.ReduceOn)
+	dOff, vOff := timeOneMode(test, backend, timeout, promising.ReduceOff)
+	// Only complete runs have exhaustive outcome sets to compare; budgeted
+	// or failed cells stay labelled by their own status.
+	if vOn != nil && vOff != nil &&
+		!vOn.Result.TimedOut && !vOn.Result.Aborted &&
+		!vOff.Result.TimedOut && !vOff.Result.Aborted &&
+		!explore.SameOutcomes(vOn.Result, vOff.Result) {
+		ablateMismatch = true
+		for i := len(cells) - 2; i < len(cells); i++ {
+			cells[i].Status = "mismatch"
+		}
+		return dOn + "/" + dOff + "!"
+	}
+	return dOn + "/" + dOff
+}
+
+// timeOneMode times one cell under an explicit reduction mode, recording
+// it in the -json snapshot.
+func timeOneMode(test *promising.Test, backend promising.Backend, timeout time.Duration, mode promising.ReductionMode) (string, *promising.Verdict) {
 	opts := promising.OptionsWithTimeout(timeout)
+	opts.Reductions = mode
 	opts.Parallelism = engineWorkers
 	if engineWorkers <= 0 {
 		opts.Parallelism = -1 // 0 means GOMAXPROCS at the CLI
@@ -316,11 +370,14 @@ func timeOne(test *promising.Test, backend promising.Backend, timeout time.Durat
 		opts.MaxStates = flatBudget
 	}
 	cell := BenchCell{Test: test.Name(), Backend: string(backend)}
+	if ablate || mode != promising.ReduceOn {
+		cell.Reductions = mode.String()
+	}
 	v, err := promising.Run(test, backend, opts)
 	if err != nil {
 		cell.Status = "error"
 		cells = append(cells, cell)
-		return "err"
+		return "err", nil
 	}
 	cell.Seconds = v.Elapsed.Seconds()
 	cell.States = v.Result.States
@@ -328,6 +385,9 @@ func timeOne(test *promising.Test, backend promising.Backend, timeout time.Durat
 	cell.CertHits, cell.CertMisses = st.CertHits, st.CertMisses
 	cell.CertHitRate = st.CertHitRate()
 	cell.Interned = st.Interned
+	cell.SymmetryClasses = st.SymmetryClasses
+	cell.SymmetryHits = st.SymmetryHits
+	cell.PrunedStates = st.PrunedStates
 	display := ""
 	switch {
 	case v.Result.TimedOut:
@@ -342,7 +402,7 @@ func timeOne(test *promising.Test, backend promising.Backend, timeout time.Durat
 		display = fmt.Sprintf("%.2f", v.Elapsed.Seconds())
 	}
 	cells = append(cells, cell)
-	return display
+	return display, v
 }
 
 // timeTable prints Table 2/3 style rows.

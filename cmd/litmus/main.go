@@ -45,11 +45,16 @@ func main() {
 		ckptN    = flag.Int("checkpoint-after", 100000, "state budget before the -checkpoint snapshot is taken")
 		resume   = flag.String("resume", "", "resume a checkpointed exploration from this snapshot file and run it to a verdict")
 		shards   = flag.Int("shards", 0, "explore each test by frontier sharding N ways (split + merge, in-process); 0 = off")
+		reduce   = flag.String("reductions", "on", "certified state-space reductions: on, off, symmetry or pruning")
 	)
 	flag.Parse()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(1)
+	}
+	var err error
+	if redMode, err = explore.ParseReductionMode(*reduce); err != nil {
+		fail(err)
 	}
 	switch {
 	case *replay != "":
@@ -71,10 +76,16 @@ func main() {
 	}
 }
 
+// redMode is the -reductions flag, applied to every exploration the CLI
+// starts (resumes must match the snapshot's stamp; explore.Validate
+// rejects a cross-configuration resume).
+var redMode explore.ReductionMode
+
 // cliOptions assembles the exploration options shared by the offline
 // checkpoint/resume paths.
 func cliOptions(timeout time.Duration, par int) explore.Options {
 	opts := explore.DefaultOptions()
+	opts.Reductions = redMode
 	opts.Parallelism = par
 	if par <= 0 {
 		opts.Parallelism = -1
@@ -280,6 +291,7 @@ func run(diff, useFlat bool, random int, seed int64, verbose bool, timeout time.
 	}
 
 	opts := explore.DefaultOptions()
+	opts.Reductions = redMode
 	opts.Parallelism = par
 	if par <= 0 {
 		opts.Parallelism = -1 // 0 means GOMAXPROCS at the CLI

@@ -115,7 +115,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 		for i, p := range pending {
 			frontier[i] = encodePrefix(p)
 		}
-		res.Snapshot = explore.NewSnapshotFor(snapBackend, opts.Certify, res, frontier, nil)
+		res.Snapshot = explore.NewSnapshotFor(snapBackend, &opts, res, frontier, nil, nil)
 	}
 	return res, nil
 }

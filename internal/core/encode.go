@@ -191,3 +191,21 @@ func EncodeMemory(b []byte, mem *Memory, from Time) []byte {
 	}
 	return b
 }
+
+// EncodeMemoryMapped is EncodeMemory with every message's thread id
+// remapped through tidMap (tidMap[old] = new). The thread-symmetry
+// reduction canonicalizes states by reordering interchangeable threads;
+// a message's TID is the only thread-indexed datum in a memory, so the
+// canonical memory encoding relabels it consistently with the chosen
+// thread order. The message sequence itself is not reordered: timestamps
+// (positions) are thread-neutral and must survive canonicalization.
+func EncodeMemoryMapped(b []byte, mem *Memory, from Time, tidMap []int) []byte {
+	msgs := mem.Msgs()
+	b = appendInt(b, int64(len(msgs)-from))
+	for _, w := range msgs[from:] {
+		b = appendInt(b, w.Loc)
+		b = appendInt(b, w.Val)
+		b = appendInt(b, int64(tidMap[w.TID]))
+	}
+	return b
+}

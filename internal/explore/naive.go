@@ -1,16 +1,29 @@
 package explore
 
 import (
+	"sync/atomic"
+
 	"promising/internal/core"
 	"promising/internal/lang"
 )
 
 // naiveEntry is one frontier state of the naive explorer: a machine plus
 // the transition trace that reached it (traces are only materialised when
-// collecting witnesses).
+// collecting witnesses) and, under independence pruning, the entry's
+// reduction state.
 type naiveEntry struct {
 	m     *core.Machine
 	trace []core.Label
+	// sleep is the arrival sleep set: thread families whose every step
+	// from this state is covered by a sibling ordering (reduce.go). Only
+	// enabled, promise-free families are ever slept.
+	sleep uint32
+	// todo is the set of families this entry expands — the newly claimed
+	// bits from the canonical state's claim table.
+	todo uint32
+	// fresh marks the first-ever arrival at the canonical state (the one
+	// that counts it in States and may count a dead end).
+	fresh bool
 }
 
 // Naive explores all interleavings of all machine transitions (reads,
@@ -26,6 +39,17 @@ type naiveEntry struct {
 // thread configuration ⟨T, M⟩ recurs across every global state differing
 // only in the other threads, so per-step certification amortises to cache
 // lookups across the run.
+//
+// Both reductions of reduce.go apply here (unless configured off): states
+// are deduplicated on their thread-symmetry-canonical encoding, and
+// independence pruning sleeps thread families across commuting steps. A
+// non-promise step only mutates the acting thread (memory is shared
+// untouched), so any two non-promise steps of different threads commute
+// — same child state either order, and neither changes what the other
+// thread can do (certification included: it depends only on the thread
+// and the unchanged memory). Promise steps append to memory and are
+// conservatively dependent on everything: a family with any promise step
+// is never slept, and a promise child wakes all families.
 func Naive(cp *lang.CompiledProgram, spec *ObsSpec, opts Options) *Result {
 	res, _ := naiveRun(cp, spec, opts, nil)
 	return res
@@ -48,41 +72,104 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 		// uncheckpointable rather than produce a lossy one.
 		opts.Checkpoint = nil
 	}
+	nThreads := len(cp.Threads)
+	var sym *Symmetry
+	if opts.Reductions.Symmetry() && !opts.CollectWitnesses {
+		sym = NewSymmetry(cp, spec)
+	}
+	var claims *ClaimTable
+	var allMask uint32
+	if opts.Reductions.Pruning() && !opts.CollectWitnesses && nThreads <= MaxReductionThreads {
+		claims = NewClaimTable()
+		allMask = uint32(1)<<nThreads - 1
+	}
+	var symHits, pruned atomic.Int64
+
 	seen := NewSeenSet()
 	cc := opts.certCache()
 	ccStart := cc.Stats()
-	add := func(m *core.Machine) bool {
+	// addState interns the state's canonical encoding (symmetry-reduced
+	// when a symmetry structure exists) and returns its handle, freshness
+	// and the canonicalizing thread order (nil = identity).
+	addState := func(m *core.Machine) (core.Handle, bool, []int) {
 		b := core.GetEncBuf()
-		b = m.AppendState(b)
-		_, fresh := seen.Add(b)
+		var order []int
+		if sym != nil {
+			encs := make([][]byte, nThreads)
+			for t, th := range m.Threads {
+				encs[t] = core.EncodeThread(nil, th)
+			}
+			var hit bool
+			b, order, hit = sym.CanonicalState(b, encs, func(bb []byte, tidMap []int) []byte {
+				return core.EncodeMemoryMapped(bb, m.Mem, 0, tidMap)
+			})
+			if hit {
+				symHits.Add(1)
+			}
+		} else {
+			b = m.AppendState(b)
+		}
+		h, fresh := seen.Add(b)
 		core.PutEncBuf(b)
-		return fresh
+		return h, fresh, order
 	}
+	// claimFor claims the entry's awake families in the canonical state's
+	// claim table and returns the concrete to-expand set (zero: nothing
+	// new, do not push).
+	claimFor := func(h core.Handle, sleep uint32, order []int) uint32 {
+		newly := claims.Claim(h, CanonMask(allMask&^sleep, order))
+		return ConcreteMask(newly, order)
+	}
+
 	var roots []naiveEntry
 	if snap == nil {
 		m0 := core.NewMachine(cp)
-		add(m0)
-		roots = []naiveEntry{{m: m0}}
+		h, _, order := addState(m0)
+		root := naiveEntry{m: m0, fresh: true}
+		if claims != nil {
+			root.todo = claimFor(h, 0, order)
+		}
+		roots = []naiveEntry{root}
 	} else {
 		seen.Import(snap.Seen)
-		for _, fb := range snap.Frontier {
+		useAux := len(snap.FrontierAux) == len(snap.Frontier)
+		for i, fb := range snap.Frontier {
 			m, err := core.DecodeMachine(cp, fb)
 			if err != nil {
 				return nil, err
 			}
-			roots = append(roots, naiveEntry{m: m})
+			e := naiveEntry{m: m, fresh: true}
+			if useAux {
+				e.sleep, e.todo, e.fresh = UnpackAux(snap.FrontierAux[i])
+			}
+			if claims != nil {
+				// Pre-claim the entry's families (the claim table does not
+				// survive a snapshot) so this leg's re-arrivals at the same
+				// state do not re-expand them.
+				h, _, order := addState(m)
+				if !useAux {
+					e.todo = allMask
+				}
+				claims.Claim(h, CanonMask(e.todo, order))
+			}
+			roots = append(roots, e)
 		}
 	}
 
 	eng := Engine[naiveEntry]{Process: func(e naiveEntry, c *Ctx[naiveEntry]) {
-		if !c.Visit(1) {
+		// Only the first-ever arrival at a state counts it; re-claimed
+		// arrivals (pruning expanding newly awake families) visit for free.
+		n := 0
+		if e.fresh {
+			n = 1
+		}
+		if !c.Visit(n) {
 			return
 		}
 		if e.m.BoundExceeded() {
 			c.Res.BoundExceeded = true
 			return
 		}
-		succs := e.m.SuccessorsCached(opts.Certify, cc)
 		// A final state may still have successors (e.g. further promises);
 		// record it as an outcome regardless.
 		if e.m.Final() {
@@ -91,19 +178,63 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				w = &Witness{Labels: e.trace}
 			}
 			c.Res.add(observe(spec, e.m), w)
-		} else if len(succs) == 0 {
-			c.Res.DeadEnds++
-			return
 		}
-		for _, s := range succs {
-			if !add(s.M) {
+		// sleepable accumulates the families iterated before the current
+		// one that a child of a commuting (non-promise) step may sleep:
+		// enabled here and promise-free here, so every one of their steps
+		// commutes with the taken step and remains covered by expanding
+		// them from this state.
+		var sleepable uint32
+		anySucc := false
+		for tid := 0; tid < nThreads; tid++ {
+			bit := uint32(1) << tid
+			if claims != nil && e.todo&bit == 0 {
+				if e.sleep&bit != 0 {
+					pruned.Add(1)
+				}
 				continue
 			}
-			var trace []core.Label
-			if opts.CollectWitnesses {
-				trace = append(append([]core.Label(nil), e.trace...), s.Label)
+			succs := e.m.ThreadSuccessorsCached(tid, opts.Certify, cc)
+			if len(succs) > 0 {
+				anySucc = true
 			}
-			c.Push(naiveEntry{m: s.M, trace: trace})
+			quiet := true
+			for _, s := range succs {
+				if s.Label.Kind == core.StepPromise {
+					quiet = false
+					break
+				}
+			}
+			for _, s := range succs {
+				var childSleep uint32
+				if claims != nil && s.Label.Kind != core.StepPromise {
+					childSleep = (e.sleep | sleepable) &^ bit
+				}
+				var trace []core.Label
+				if opts.CollectWitnesses {
+					trace = append(append([]core.Label(nil), e.trace...), s.Label)
+				}
+				h, fresh, order := addState(s.M)
+				todo := uint32(0)
+				if claims != nil {
+					if todo = claimFor(h, childSleep, order); todo == 0 {
+						continue
+					}
+				} else if !fresh {
+					continue
+				}
+				c.Push(naiveEntry{m: s.M, trace: trace, sleep: childSleep, todo: todo, fresh: fresh})
+			}
+			if claims != nil && quiet && len(succs) > 0 {
+				sleepable |= bit
+			}
+		}
+		// Dead ends are counted once per state (the fresh arrival) and
+		// only when the state truly has no successors: a slept family is
+		// always enabled, so an entry with a non-empty sleep set is never
+		// at a dead end.
+		if !e.m.Final() && !anySucc && e.fresh && e.sleep == 0 {
+			c.Res.DeadEnds++
 		}
 	}}
 	visited := 0
@@ -112,15 +243,30 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	}
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	res.Stats = statsOf(seen, cc, ccStart)
+	res.Stats.SymmetryClasses = sym.Classes()
+	res.Stats.SymmetryHits = symHits.Load()
+	res.Stats.PrunedStates = pruned.Load()
 	if snap != nil {
 		snap.mergeInto(res)
 	}
+	// Close the outcome set under the class permutations (reduce.go) so
+	// the reduced run reports exactly the unreduced outcome set; closing
+	// before snapshotting keeps persisted outcomes closed too (closure is
+	// idempotent, so the next leg's re-close is a no-op).
+	sym.CloseOutcomes(res)
 	if len(pending) > 0 {
 		frontier := make([][]byte, len(pending))
+		var aux []uint64
+		if claims != nil {
+			aux = make([]uint64, len(pending))
+		}
 		for i, e := range pending {
 			frontier[i] = e.m.AppendState(nil)
+			if aux != nil {
+				aux[i] = PackAux(e.sleep, e.todo, e.fresh)
+			}
 		}
-		res.Snapshot = newSnapshot(snapNaive, opts.Certify, res, frontier, seen.Export())
+		res.Snapshot = newSnapshot(snapNaive, &opts, res, frontier, seen.Export(), aux)
 	}
 	return res, nil
 }

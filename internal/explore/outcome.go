@@ -121,6 +121,13 @@ type Options struct {
 	// which Resume continues byte-identically. Ignored when
 	// CollectWitnesses is set (witness traces do not survive a snapshot).
 	Checkpoint *Checkpoint
+	// Reductions selects the state-space reductions (reduce.go): the zero
+	// value ReduceOn applies thread-symmetry canonicalization and
+	// independence pruning wherever the backend supports them.
+	// CollectWitnesses forces reductions off so every interleaving stays
+	// reachable for trace collection. Outcome sets, States and DeadEnds
+	// are identical at every setting.
+	Reductions ReductionMode
 }
 
 // DefaultOptions returns the standard configuration (certification on).
@@ -207,6 +214,18 @@ type ExploreStats struct {
 	// CertEntries is the number of cached certification search results at
 	// the end of the run.
 	CertEntries int
+	// SymmetryClasses counts the nontrivial thread-symmetry classes of the
+	// explored program (zero when symmetry reduction was off or the
+	// program has no interchangeable threads).
+	SymmetryClasses int
+	// SymmetryHits counts state encodings whose canonical form differed
+	// from the concrete one — each hit is a symmetric permutation
+	// collapsed into an already-known orbit representative.
+	SymmetryHits int64
+	// PrunedStates counts thread-family expansions suppressed by
+	// independence pruning (sleep sets). Pruning skips redundant
+	// transition orderings, not states, so States is unaffected.
+	PrunedStates int64
 }
 
 // CertHitRate returns CertHits/(CertHits+CertMisses), or 0 when the cache

@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"sync/atomic"
+
 	"promising/internal/core"
 	"promising/internal/lang"
 )
@@ -62,6 +64,16 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 		cc:   opts.certCache(),
 		tin:  core.NewInterner(),
 	}
+	if opts.Reductions.Symmetry() && !opts.CollectWitnesses {
+		// Thread-symmetry reduction: phase-1 memories are deduplicated on
+		// their canonical (lexicographically least permuted) encoding, so
+		// only one orbit representative per memory orbit is completed and
+		// expanded; CloseOutcomes restores the collapsed orbit images at
+		// the end. Pruning does not apply — phase 1 interleaves only
+		// promise steps, which are never independent (each appends to the
+		// shared memory).
+		e.sym = NewSymmetry(cp, spec)
+	}
 	e.envs = make([]core.Env, len(cp.Threads))
 	e.obs = make([][]lang.Reg, len(cp.Threads))
 	for tid := range cp.Threads {
@@ -94,15 +106,18 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 	eng := Engine[memState]{Process: e.process}
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	res.Stats = statsOf(e.seen, e.cc, ccStart)
+	res.Stats.SymmetryClasses = e.sym.Classes()
+	res.Stats.SymmetryHits = e.symHits.Load()
 	if snap != nil {
 		snap.mergeInto(res)
 	}
+	e.sym.CloseOutcomes(res)
 	if len(pending) > 0 {
 		frontier := make([][]byte, len(pending))
 		for i, ms := range pending {
 			frontier[i] = core.EncodeMemory(nil, ms.mem, 0)
 		}
-		res.Snapshot = newSnapshot(snapPromising, opts.Certify, res, frontier, e.seen.Export())
+		res.Snapshot = newSnapshot(snapPromising, &opts, res, frontier, e.seen.Export(), nil)
 	}
 	return res, nil
 }
@@ -120,12 +135,26 @@ type pfExplorer struct {
 	tin  *core.Interner
 	envs []core.Env   // immutable, shared by all workers
 	obs  [][]lang.Reg // per-thread observed registers, in spec order
+	// sym is the thread-symmetry structure (nil when the reduction is off
+	// or the program has no interchangeable threads); symHits counts
+	// collapsed permuted memories.
+	sym     *Symmetry
+	symHits atomic.Int64
 }
 
-// addMem interns a phase-1 memory, reporting whether it was new.
+// addMem interns a phase-1 memory (on its symmetry-canonical encoding
+// when the reduction applies), reporting whether it was new.
 func (e *pfExplorer) addMem(mem *core.Memory) bool {
 	b := core.GetEncBuf()
-	b = core.EncodeMemory(b, mem, 0)
+	if e.sym != nil {
+		var hit bool
+		b, hit = e.sym.CanonicalMemory(b, mem)
+		if hit {
+			e.symHits.Add(1)
+		}
+	} else {
+		b = core.EncodeMemory(b, mem, 0)
+	}
 	_, fresh := e.seen.Add(b)
 	core.PutEncBuf(b)
 	return fresh

@@ -67,11 +67,22 @@ type Snapshot struct {
 	// Certify records Options.Certify at checkpoint time; resuming under
 	// a different setting would change the explored state space.
 	Certify bool `json:"certify"`
+	// Reductions records the effective reduction configuration of the run
+	// (Options.EffectiveReductions): "symmetry", "pruning" or
+	// "symmetry+pruning"; empty means none. A reduced and an unreduced
+	// run intern different key sets and carry different sleep state, so
+	// Validate refuses to resume across configurations.
+	Reductions string `json:"reductions,omitempty"`
 	// Frontier holds the canonical encodings of the pending states, in
 	// the backend's own frontier-state encoding (machine states for
 	// naive, phase-1 memories for promising, flat machine keys for flat,
 	// joint-trace index prefixes for axiomatic).
 	Frontier [][]byte `json:"frontier"`
+	// FrontierAux carries per-entry reduction state (PackAux: sleep set,
+	// claimed families, fresh flag) parallel to Frontier; empty when the
+	// run had no pruning. Entries with equal state encodings but
+	// different aux words are distinct pending work items.
+	FrontierAux []uint64 `json:"frontier_aux,omitempty"`
 	// Seen holds the dedup set's contents (every canonical encoding
 	// interned so far, frontier included); nil for backends without a
 	// seen-set (axiomatic).
@@ -93,20 +104,25 @@ type Snapshot struct {
 }
 
 // newSnapshot assembles a snapshot from a checkpointed run's partial
-// result. frontier and seen are the backend's canonical encodings; res
-// must already include any prior snapshot's accumulated counters (the
-// resume path merges before re-snapshotting).
-func newSnapshot(backend string, certify bool, res *Result, frontier, seen [][]byte) *Snapshot {
+// result. frontier and seen are the backend's canonical encodings; aux,
+// when non-nil, is parallel to frontier (PackAux words); res must already
+// include any prior snapshot's accumulated counters (the resume path
+// merges before re-snapshotting).
+func newSnapshot(backend string, opts *Options, res *Result, frontier, seen [][]byte, aux []uint64) *Snapshot {
 	s := &Snapshot{
 		Version:       SnapshotVersion,
 		Epoch:         core.SemanticsEpoch,
 		Backend:       backend,
-		Certify:       certify,
+		Certify:       opts.Certify,
 		Frontier:      frontier,
+		FrontierAux:   aux,
 		Seen:          seen,
 		States:        res.States,
 		DeadEnds:      res.DeadEnds,
 		BoundExceeded: res.BoundExceeded,
+	}
+	if stamp := opts.EffectiveReductions(backend); stamp != "none" {
+		s.Reductions = stamp
 	}
 	for _, o := range res.Outcomes {
 		s.Outcomes = append(s.Outcomes, SnapOutcome{Regs: o.Regs, Mem: o.Mem})
@@ -124,7 +140,36 @@ func (s *Snapshot) canonicalize() {
 	if s.canon {
 		return
 	}
-	sortBytes(s.Frontier)
+	if len(s.FrontierAux) != len(s.Frontier) {
+		// Aux words are only meaningful parallel to the frontier; a
+		// mismatched slice (hand-edited snapshot) is dropped, which resume
+		// treats as the conservative expand-everything default.
+		s.FrontierAux = nil
+	}
+	if s.FrontierAux != nil {
+		// Co-sort the frontier and its aux words, breaking ties on the aux
+		// value: duplicate state encodings with different sleep state are
+		// legitimate distinct entries and must still order deterministically.
+		idx := make([]int, len(s.Frontier))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if c := bytes.Compare(s.Frontier[idx[a]], s.Frontier[idx[b]]); c != 0 {
+				return c < 0
+			}
+			return s.FrontierAux[idx[a]] < s.FrontierAux[idx[b]]
+		})
+		nf := make([][]byte, len(idx))
+		na := make([]uint64, len(idx))
+		for i, j := range idx {
+			nf[i] = s.Frontier[j]
+			na[i] = s.FrontierAux[j]
+		}
+		s.Frontier, s.FrontierAux = nf, na
+	} else {
+		sortBytes(s.Frontier)
+	}
 	sortBytes(s.Seen)
 	sort.Slice(s.Outcomes, func(i, j int) bool {
 		return s.Outcomes[i].key() < s.Outcomes[j].key()
@@ -183,7 +228,19 @@ func (s *Snapshot) Validate(backend string, opts *Options) error {
 	if opts.CollectWitnesses {
 		return fmt.Errorf("explore: cannot resume with witness collection (traces do not survive a snapshot)")
 	}
+	if want := opts.EffectiveReductions(backend); s.reductions() != want {
+		return fmt.Errorf("explore: snapshot taken with reductions=%s, resume would apply %s", s.reductions(), want)
+	}
 	return nil
+}
+
+// reductions returns the stamped reduction configuration, mapping the
+// omitted empty value back to "none".
+func (s *Snapshot) reductions() string {
+	if s.Reductions == "" {
+		return "none"
+	}
+	return s.Reductions
 }
 
 // mergeInto folds the snapshot's accumulated partial result into res
@@ -200,9 +257,9 @@ func (s *Snapshot) mergeInto(res *Result) {
 
 // NewSnapshotFor assembles a snapshot on behalf of an out-of-package
 // backend (flat, axiomatic); in-package explorers use newSnapshot
-// directly.
-func NewSnapshotFor(backend string, certify bool, res *Result, frontier, seen [][]byte) *Snapshot {
-	return newSnapshot(backend, certify, res, frontier, seen)
+// directly. aux may be nil when the backend ran without pruning.
+func NewSnapshotFor(backend string, opts *Options, res *Result, frontier, seen [][]byte, aux []uint64) *Snapshot {
+	return newSnapshot(backend, opts, res, frontier, seen, aux)
 }
 
 // MergeSnapshotInto folds snap's accumulated partial result into res —
@@ -224,12 +281,13 @@ func (s *Snapshot) Split(n int) []*Snapshot {
 	shards := make([]*Snapshot, n)
 	for i := range shards {
 		shards[i] = &Snapshot{
-			Version: s.Version,
-			Epoch:   s.Epoch,
-			Backend: s.Backend,
-			Test:    s.Test,
-			Certify: s.Certify,
-			Seen:    s.Seen,
+			Version:    s.Version,
+			Epoch:      s.Epoch,
+			Backend:    s.Backend,
+			Test:       s.Test,
+			Certify:    s.Certify,
+			Reductions: s.Reductions,
+			Seen:       s.Seen,
 			// Canonical by construction: Seen is the parent's sorted
 			// slice (shared, and never written again thanks to canon),
 			// the round-robin deal below preserves the parent frontier's
@@ -241,6 +299,9 @@ func (s *Snapshot) Split(n int) []*Snapshot {
 	for i, fb := range s.Frontier {
 		sh := shards[i%n]
 		sh.Frontier = append(sh.Frontier, fb)
+		if s.FrontierAux != nil {
+			sh.FrontierAux = append(sh.FrontierAux, s.FrontierAux[i])
+		}
 	}
 	return shards
 }
@@ -259,6 +320,13 @@ func MergeShards(parent *Snapshot, shardResults []*Result) *Result {
 			res.Stats.CertHits += r.Stats.CertHits
 			res.Stats.CertMisses += r.Stats.CertMisses
 			res.Stats.CertEntries += r.Stats.CertEntries
+			res.Stats.SymmetryHits += r.Stats.SymmetryHits
+			res.Stats.PrunedStates += r.Stats.PrunedStates
+			// Every shard explores the same program, so the class count is
+			// a property, not an accumulator.
+			if r.Stats.SymmetryClasses > res.Stats.SymmetryClasses {
+				res.Stats.SymmetryClasses = r.Stats.SymmetryClasses
+			}
 		}
 	}
 	parent.mergeInto(res)

@@ -1,88 +1,215 @@
 package flat
 
 import (
+	"sync/atomic"
+
 	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/lang"
 )
 
+// entry is one frontier state: a machine plus its reduction state (see
+// explore/reduce.go and the matching fields of the naive explorer).
+type entry struct {
+	m     *machine
+	sleep uint32 // arrival sleep set: families covered by a sibling ordering
+	todo  uint32 // families claimed for expansion at this entry
+	fresh bool   // first-ever arrival at the canonical state
+}
+
 // Explore runs the flat model exhaustively over all micro-step
 // interleavings, deduplicating states. It satisfies the litmus.Runner
 // signature and runs on the shared parallel engine (machine states are
 // independent work items; Options.Parallelism selects the worker count).
-// Options.Certify and CollectWitnesses are ignored (the flat model has no
-// certification, and witnesses are not implemented for the baseline).
+// Options.Certify and CollectWitnesses are ignored for stepping (the flat
+// model has no certification, and witnesses are not implemented for the
+// baseline), but CollectWitnesses still forces reductions off, keeping the
+// effective-reduction stamp consistent across backends.
+//
+// Both reductions apply here: states deduplicate on their thread-symmetry
+// canonical key, and independence pruning sleeps thread families across
+// steps with disjoint memory footprints (machine.dependsOn). A flat
+// micro-step touches at most one location — loads satisfying from memory
+// read it, stores performing write it — and every other step is
+// thread-local, so the footprint test is a single-address comparison
+// against each family's pending accesses.
 func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options) *explore.Result {
 	res, _ := run(cp, spec, opts, nil)
 	return res
 }
 
 func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, snap *explore.Snapshot) (*explore.Result, error) {
-	seen := explore.NewSeenSet()
-	add := func(m *machine) bool {
-		b := core.GetEncBuf()
-		b = m.appendKey(b)
-		_, fresh := seen.Add(b)
-		core.PutEncBuf(b)
-		return fresh
+	nThreads := len(cp.Threads)
+	var sym *explore.Symmetry
+	if opts.Reductions.Symmetry() && !opts.CollectWitnesses {
+		sym = explore.NewSymmetry(cp, spec)
 	}
-	var roots []*machine
+	var claims *explore.ClaimTable
+	var allMask uint32
+	if opts.Reductions.Pruning() && !opts.CollectWitnesses && nThreads <= explore.MaxReductionThreads {
+		claims = explore.NewClaimTable()
+		allMask = uint32(1)<<nThreads - 1
+	}
+	var symHits, pruned atomic.Int64
+
+	seen := explore.NewSeenSet()
+	addState := func(m *machine) (core.Handle, bool, []int) {
+		b := core.GetEncBuf()
+		var order []int
+		if sym != nil {
+			encs := make([][]byte, nThreads)
+			for t := range m.threads {
+				encs[t] = m.appendThreadKey(nil, t)
+			}
+			var hit bool
+			b, order, hit = sym.CanonicalState(b, encs, func(bb []byte, tidMap []int) []byte {
+				return m.appendMemKey(bb, tidMap)
+			})
+			if hit {
+				symHits.Add(1)
+			}
+		} else {
+			b = m.appendKey(b)
+		}
+		h, fresh := seen.Add(b)
+		core.PutEncBuf(b)
+		return h, fresh, order
+	}
+	claimFor := func(h core.Handle, sleep uint32, order []int) uint32 {
+		newly := claims.Claim(h, explore.CanonMask(allMask&^sleep, order))
+		return explore.ConcreteMask(newly, order)
+	}
+
+	var roots []entry
 	visited := 0
 	if snap == nil {
 		m0 := newMachine(cp)
-		add(m0)
-		roots = []*machine{m0}
+		h, _, order := addState(m0)
+		root := entry{m: m0, fresh: true}
+		if claims != nil {
+			root.todo = claimFor(h, 0, order)
+		}
+		roots = []entry{root}
 	} else {
 		seen.Import(snap.Seen)
-		for _, fb := range snap.Frontier {
+		useAux := len(snap.FrontierAux) == len(snap.Frontier)
+		for i, fb := range snap.Frontier {
 			m, err := decodeMachine(cp, fb)
 			if err != nil {
 				return nil, err
 			}
-			roots = append(roots, m)
+			e := entry{m: m, fresh: true}
+			if useAux {
+				e.sleep, e.todo, e.fresh = explore.UnpackAux(snap.FrontierAux[i])
+			}
+			if claims != nil {
+				// Pre-claim the entry's families (the claim table does not
+				// survive a snapshot) so this leg's re-arrivals at the same
+				// state do not re-expand them.
+				h, _, order := addState(m)
+				if !useAux {
+					e.todo = allMask
+				}
+				claims.Claim(h, explore.CanonMask(e.todo, order))
+			}
+			roots = append(roots, e)
 		}
 		visited = snap.States
 	}
 
-	eng := explore.Engine[*machine]{Process: func(m *machine, c *explore.Ctx[*machine]) {
-		if !c.Visit(1) {
+	eng := explore.Engine[entry]{Process: func(e entry, c *explore.Ctx[entry]) {
+		n := 0
+		if e.fresh {
+			n = 1
+		}
+		if !c.Visit(n) {
 			return
 		}
-		for _, t := range m.threads {
+		for _, t := range e.m.threads {
 			if t.bound {
 				c.Res.BoundExceeded = true
 				return
 			}
 		}
+		var sleepable uint32
 		any := false
-		m.successors(func(s *machine) {
-			any = true
-			if add(s) {
-				c.Push(s)
+		for tid := 0; tid < nThreads; tid++ {
+			bit := uint32(1) << tid
+			if claims != nil && e.todo&bit == 0 {
+				if e.sleep&bit != 0 {
+					pruned.Add(1)
+				}
+				continue
 			}
-		})
+			had := false
+			e.m.threadSuccessors(tid, func(s *machine) {
+				had = true
+				var childSleep uint32
+				if claims != nil {
+					childSleep = (e.sleep | sleepable) &^ bit
+					if childSleep != 0 && (s.stepRead || s.stepWrite) {
+						for j := 0; j < nThreads; j++ {
+							if childSleep&(1<<j) != 0 && e.m.dependsOn(j, s.stepAddr, s.stepRead, s.stepWrite) {
+								childSleep &^= 1 << j
+							}
+						}
+					}
+				}
+				h, fresh, order := addState(s)
+				todo := uint32(0)
+				if claims != nil {
+					if todo = claimFor(h, childSleep, order); todo == 0 {
+						return
+					}
+				} else if !fresh {
+					return
+				}
+				c.Push(entry{m: s, sleep: childSleep, todo: todo, fresh: fresh})
+			})
+			if had {
+				any = true
+				// Only families whose every step commutes with a later
+				// sibling's taken step may sleep in that sibling's child;
+				// the per-step dependsOn filter above enforces that, so
+				// enabledness is the only insertion condition here.
+				sleepable |= bit
+			}
+		}
 		if !any {
-			if m.done() {
-				o := observe(cp, spec, m)
+			if e.m.done() {
+				o := observe(cp, spec, e.m)
 				c.Res.Outcomes[o.Key()] = o
-			} else {
+			} else if e.fresh && e.sleep == 0 {
 				// Stuck: mis-speculation residue, lost reservations, or a
-				// genuine exclusive deadlock.
+				// genuine exclusive deadlock. A slept family is always
+				// enabled, so sleep != 0 means the state has successors and
+				// is not a dead end; counted once, at the fresh arrival.
 				c.Res.DeadEnds++
 			}
 		}
 	}}
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	res.Stats.Interned = seen.Len()
+	res.Stats.SymmetryClasses = sym.Classes()
+	res.Stats.SymmetryHits = symHits.Load()
+	res.Stats.PrunedStates = pruned.Load()
 	if snap != nil {
 		explore.MergeSnapshotInto(snap, res)
 	}
+	sym.CloseOutcomes(res)
 	if len(pending) > 0 {
 		frontier := make([][]byte, len(pending))
-		for i, m := range pending {
-			frontier[i] = m.appendKey(nil)
+		var aux []uint64
+		if claims != nil {
+			aux = make([]uint64, len(pending))
 		}
-		res.Snapshot = explore.NewSnapshotFor(snapBackend, opts.Certify, res, frontier, seen.Export())
+		for i, e := range pending {
+			frontier[i] = e.m.appendKey(nil)
+			if aux != nil {
+				aux[i] = explore.PackAux(e.sleep, e.todo, e.fresh)
+			}
+		}
+		res.Snapshot = explore.NewSnapshotFor(snapBackend, &opts, res, frontier, seen.Export(), aux)
 	}
 	return res, nil
 }

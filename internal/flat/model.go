@@ -150,6 +150,15 @@ type machine struct {
 	cp      *lang.CompiledProgram
 	threads []*thread
 	mem     *memory
+
+	// Taken-step memory footprint, set on a successor by the transition
+	// that produced it (zero for thread-local steps): independence pruning
+	// compares it against the other threads' pending-access footprints.
+	// Transient — clone() starts successors from a zero footprint, and the
+	// fields are excluded from appendKey.
+	stepAddr  lang.Loc
+	stepRead  bool // the step read memory at stepAddr
+	stepWrite bool // the step wrote memory at stepAddr
 }
 
 func (m *machine) clone() *machine {
@@ -190,6 +199,19 @@ func newMachine(cp *lang.CompiledProgram) *machine {
 func (m *machine) key() string { return string(m.appendKey(nil)) }
 
 func (m *machine) appendKey(b []byte) []byte {
+	b = m.appendMemKey(b, nil)
+	for tid := range m.threads {
+		b = m.appendThreadKey(b, tid)
+	}
+	return b
+}
+
+// appendMemKey appends the memory section of the machine key. tidMap,
+// when non-nil, remaps each write's thread id (tidMap[old] = new) — the
+// thread-symmetry reduction's relabeling; a write's tid is the only
+// thread-indexed datum in the memory (propagation indices are positions
+// within a location's history, which permutations preserve).
+func (m *machine) appendMemKey(b []byte, tidMap []int) []byte {
 	locs := make([]lang.Loc, 0, len(m.mem.hist))
 	for l := range m.mem.hist {
 		locs = append(locs, l)
@@ -201,31 +223,44 @@ func (m *machine) appendKey(b []byte) []byte {
 		b = binary.AppendVarint(b, int64(len(m.mem.hist[l])))
 		for _, w := range m.mem.hist[l] {
 			b = binary.AppendVarint(b, w.val)
-			b = binary.AppendVarint(b, int64(w.tid))
+			tid := w.tid
+			if tidMap != nil {
+				tid = tidMap[tid]
+			}
+			b = binary.AppendVarint(b, int64(tid))
 		}
 	}
-	for _, th := range m.threads {
-		b = binary.AppendVarint(b, int64(len(th.cont)))
-		for _, c := range th.cont {
-			b = binary.AppendVarint(b, int64(c))
-		}
-		b = binary.AppendVarint(b, int64(len(th.insts)))
-		for i := range th.insts {
-			in := &th.insts[i]
-			b = binary.AppendVarint(b, int64(in.node))
-			b = append(b, byte(in.state), boolByte(in.addrKnown), boolByte(in.dataKnown),
-				boolByte(in.decided), boolByte(in.succ), boolByte(in.specTaken),
-				boolByte(in.fetchedKids))
-			b = binary.AppendVarint(b, in.addr)
-			b = binary.AppendVarint(b, in.data)
-			b = binary.AppendVarint(b, in.val)
-			b = binary.AppendVarint(b, int64(in.fwdFrom))
-			b = binary.AppendVarint(b, int64(in.resIdx))
-			b = binary.AppendVarint(b, int64(in.propIdx))
-			b = binary.AppendVarint(b, int64(in.pair))
-		}
-		b = append(b, boolByte(th.bound))
+	return b
+}
+
+// appendThreadKey appends one thread's section of the machine key. All
+// per-instruction indices (providers, forwarding sources, reservation and
+// propagation indices, exclusive pairs) are thread-internal or positions
+// in a location history, so the section is invariant under thread
+// permutations — which is what lets the symmetry reduction reorder whole
+// sections.
+func (m *machine) appendThreadKey(b []byte, tid int) []byte {
+	th := m.threads[tid]
+	b = binary.AppendVarint(b, int64(len(th.cont)))
+	for _, c := range th.cont {
+		b = binary.AppendVarint(b, int64(c))
 	}
+	b = binary.AppendVarint(b, int64(len(th.insts)))
+	for i := range th.insts {
+		in := &th.insts[i]
+		b = binary.AppendVarint(b, int64(in.node))
+		b = append(b, byte(in.state), boolByte(in.addrKnown), boolByte(in.dataKnown),
+			boolByte(in.decided), boolByte(in.succ), boolByte(in.specTaken),
+			boolByte(in.fetchedKids))
+		b = binary.AppendVarint(b, in.addr)
+		b = binary.AppendVarint(b, in.data)
+		b = binary.AppendVarint(b, in.val)
+		b = binary.AppendVarint(b, int64(in.fwdFrom))
+		b = binary.AppendVarint(b, int64(in.resIdx))
+		b = binary.AppendVarint(b, int64(in.propIdx))
+		b = binary.AppendVarint(b, int64(in.pair))
+	}
+	b = append(b, boolByte(th.bound))
 	return b
 }
 

@@ -307,6 +307,9 @@ func (m *machine) loadSuccessors(tid, i int, emit succFn) {
 	if n.Xcl {
 		ni.resIdx = len(m.mem.hist[in.addr]) - 1
 	}
+	// The step read the location's current write (and, for exclusives, its
+	// history length); record the footprint for independence pruning.
+	nm.stepAddr, nm.stepRead = in.addr, true
 	emit(nm)
 }
 
@@ -439,6 +442,9 @@ func (m *machine) storeSuccessors(tid, i int, emit succFn) {
 	ni := &nm.threads[tid].insts[i]
 	ni.state = iPerformed
 	ni.propIdx = len(nm.mem.hist[in.addr]) - 1
+	// The step wrote the location (and an exclusive's atomicity check read
+	// its history); record the footprint for independence pruning.
+	nm.stepAddr, nm.stepWrite, nm.stepRead = in.addr, true, n.Xcl
 	emit(nm)
 }
 
@@ -489,6 +495,42 @@ func (m *machine) storeReady(tid, i int) bool {
 		}
 	}
 	return true
+}
+
+// dependsOn reports whether some memory-touching transition thread j may
+// take from this state is dependent with a step that read (r) and/or
+// wrote (w) location a: the conservative footprint approximation of the
+// independence pruning. Thread j's future memory accesses are
+// over-approximated by its address-known unperformed loads (reads) and
+// non-failed stores (writes; an exclusive's atomicity-check read is
+// covered because a conflicting step must write the same location, which
+// already collides with the store's write). Two steps are dependent when
+// one writes a location the other reads or writes; all of a thread's
+// enabledness conditions are thread-local, so foreign steps outside this
+// footprint neither enable, disable nor retarget its transitions.
+func (m *machine) dependsOn(j int, a lang.Loc, r, w bool) bool {
+	t := m.threads[j]
+	code := &m.cp.Threads[j]
+	for i := range t.insts {
+		in := &t.insts[i]
+		if in.state == iPerformed || !in.addrKnown || in.addr != a {
+			continue
+		}
+		switch in.kind {
+		case lang.NLoad:
+			if w {
+				return true
+			}
+		case lang.NStore:
+			if t.failedSX(code, i) {
+				continue
+			}
+			if r || w {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // done reports whether the machine is a completed final state.

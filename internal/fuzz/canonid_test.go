@@ -1,0 +1,60 @@
+package fuzz
+
+import (
+	"testing"
+
+	"promising/internal/litmus"
+)
+
+// Permuting the threads of a test (condition and observations remapped to
+// follow) must not change its canonical identity, while the plain identity
+// must tell the permuted twins apart.
+func TestCanonicalIdentityPermutationInvariant(t *testing.T) {
+	for _, tc := range litmus.Catalog() {
+		n := len(tc.Prog.Threads)
+		if n < 2 || n > canonIdentityMaxThreads {
+			continue
+		}
+		want := CanonicalIdentity(litmus.Format(tc))
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		permuted := 0
+		for nextPerm(perm) {
+			psrc := litmus.Format(litmus.PermuteThreads(tc, perm))
+			if got := CanonicalIdentity(psrc); got != want {
+				t.Fatalf("%s: canonical identity of permutation %v = %s, want %s",
+					tc.Name(), perm, got, want)
+			}
+			permuted++
+		}
+		if permuted == 0 {
+			t.Fatalf("%s: no non-identity permutations enumerated", tc.Name())
+		}
+	}
+}
+
+// Distinct tests must keep distinct canonical identities.
+func TestCanonicalIdentityDistinguishes(t *testing.T) {
+	ids := map[string]string{}
+	for _, tc := range litmus.Catalog() {
+		id := CanonicalIdentity(litmus.Format(tc))
+		if prev, ok := ids[id]; ok {
+			t.Fatalf("catalog tests %s and %s share canonical identity %s", prev, tc.Name(), id)
+		}
+		ids[id] = tc.Name()
+	}
+}
+
+// Unparseable sources and single-thread tests fall back to the plain
+// identity.
+func TestCanonicalIdentityFallback(t *testing.T) {
+	if got, want := CanonicalIdentity("not a litmus test"), Identity("not a litmus test"); got != want {
+		t.Fatalf("unparseable: got %s, want %s", got, want)
+	}
+	src := litmus.Format(litmus.CatalogTest("CoWW"))
+	if got, want := CanonicalIdentity(src), Identity(src); got != want {
+		t.Fatalf("single-thread: got %s, want %s", got, want)
+	}
+}

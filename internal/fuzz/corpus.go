@@ -48,6 +48,91 @@ func Identity(src string) string {
 	return litmus.SourceHash(b.String())
 }
 
+// canonIdentityMaxThreads caps the permutation enumeration in
+// CanonicalIdentity: beyond this the orbit is left unexplored and the
+// plain Identity stands in (the orbit has n! members, each costing one
+// Format + hash; 6! = 720 is the most a single candidate may spend).
+const canonIdentityMaxThreads = 6
+
+// CanonicalIdentity returns a thread-symmetry-invariant content address:
+// the least Identity over every thread permutation of the parsed test,
+// with the condition and observation spec remapped to follow the threads
+// and the observation list sorted into a permutation-independent order.
+// Thread IDs carry no semantics beyond labelling (the same fact the
+// explorers' symmetry canonicalization rests on), so two candidates that
+// differ only by a thread renumbering share the canonical address and the
+// campaign can skip the permuted twin instead of re-running an
+// exploration that collapses to the same state space anyway. Corpus
+// filenames and verdict-cache keys deliberately stay on the plain
+// Identity — the canonical form gates duplicate work, never storage.
+//
+// Sources that fail to parse, or have fewer than two or more than
+// canonIdentityMaxThreads threads, fall back to the plain Identity.
+func CanonicalIdentity(src string) string {
+	t, err := litmus.Parse(src)
+	if err != nil {
+		return Identity(src)
+	}
+	n := len(t.Prog.Threads)
+	if n < 2 || n > canonIdentityMaxThreads {
+		return Identity(src)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := ""
+	for {
+		cand := litmus.PermuteThreads(t, perm)
+		if cand.Obs != nil {
+			sortObs(cand)
+		}
+		if id := Identity(litmus.Format(cand)); best == "" || id < best {
+			best = id
+		}
+		if !nextPerm(perm) {
+			return best
+		}
+	}
+}
+
+// sortObs orders the observed registers by (thread, register name) and
+// the observed locations by address — both permutation-independent, so a
+// reordered observation list never defeats the orbit minimisation.
+// Outcome tuples are never built from the sorted copy; it exists only to
+// be formatted and hashed.
+func sortObs(t *litmus.Test) {
+	sort.Slice(t.Obs.Regs, func(i, j int) bool {
+		a, b := t.Obs.Regs[i], t.Obs.Regs[j]
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return t.Prog.RegName(a.TID, a.Reg) < t.Prog.RegName(b.TID, b.Reg)
+	})
+	sort.Slice(t.Obs.Locs, func(i, j int) bool { return t.Obs.Locs[i] < t.Obs.Locs[j] })
+}
+
+// nextPerm advances p to its lexicographic successor, reporting false
+// once p is the last (descending) permutation.
+func nextPerm(p []int) bool {
+	i := len(p) - 2
+	for i >= 0 && p[i] >= p[i+1] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	j := len(p) - 1
+	for p[j] <= p[i] {
+		j--
+	}
+	p[i], p[j] = p[j], p[i]
+	for l, r := i+1, len(p)-1; l < r; l, r = l+1, r-1 {
+		p[l], p[r] = p[r], p[l]
+	}
+	return true
+}
+
 // BackendVerdict is one backend's recorded verdict on a corpus entry.
 type BackendVerdict struct {
 	// Status is pass, timeout, aborted, error or crash (litmus.Status plus

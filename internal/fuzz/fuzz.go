@@ -144,6 +144,9 @@ type Progress struct {
 	Iterations int `json:"iterations"`
 	// Dups counts candidates dropped by content-address dedup.
 	Dups int `json:"dups"`
+	// SymmetrySkips counts candidates dropped because a thread-permuted
+	// twin was already processed (CanonicalIdentity dedup).
+	SymmetrySkips int `json:"symmetry_skips,omitempty"`
 	// Invalid counts candidates that failed to round-trip or compile
 	// (always a fuzzer bug worth investigating; reported, never fatal).
 	Invalid int `json:"invalid,omitempty"`
@@ -237,10 +240,11 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 			maxStates: cfg.MaxStates,
 			vcache:    vcache,
 		},
-		seen:     map[string]bool{},
-		coverage: map[string]bool{},
-		sigCount: map[string]int{},
-		start:    time.Now(),
+		seen:      map[string]bool{},
+		seenCanon: map[string]bool{},
+		coverage:  map[string]bool{},
+		sigCount:  map[string]int{},
+		start:     time.Now(),
 	}
 	// A reloaded corpus seeds both dedup sets: entry hashes (identical
 	// candidates are duplicates, not re-runs) and coverage signatures —
@@ -249,6 +253,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 	// and grow the corpus with behavioural duplicates.
 	for _, e := range corpus.Entries() {
 		c.seen[e.Hash] = true
+		c.seenCanon[CanonicalIdentity(e.Source)] = true
 		if e.Meta.Coverage != "" {
 			c.coverage[e.Meta.Coverage] = true
 		}
@@ -335,11 +340,13 @@ type campaign struct {
 
 	mu         sync.Mutex
 	seen       map[string]bool
+	seenCanon  map[string]bool
 	coverage   map[string]bool
 	findings   []Finding
 	sigCount   map[string]int
 	iters      int
 	dups       int
+	symSkips   int
 	invalid    int
 	incomplete int
 	cacheHits  int
@@ -368,15 +375,16 @@ func (c *campaign) fail(err error) {
 
 func (c *campaign) progressLocked() Progress {
 	return Progress{
-		Iterations: c.iters,
-		Dups:       c.dups,
-		Invalid:    c.invalid,
-		CorpusSize: c.corpus.Len(),
-		Coverage:   len(c.coverage),
-		Findings:   len(c.findings),
-		Incomplete: c.incomplete,
-		CacheHits:  c.cacheHits,
-		ElapsedMS:  time.Since(c.start).Milliseconds(),
+		Iterations:    c.iters,
+		Dups:          c.dups,
+		SymmetrySkips: c.symSkips,
+		Invalid:       c.invalid,
+		CorpusSize:    c.corpus.Len(),
+		Coverage:      len(c.coverage),
+		Findings:      len(c.findings),
+		Incomplete:    c.incomplete,
+		CacheHits:     c.cacheHits,
+		ElapsedMS:     time.Since(c.start).Milliseconds(),
 	}
 }
 
@@ -510,6 +518,21 @@ func (c *campaign) process(ctx context.Context, i int) {
 		return
 	}
 	c.seen[id] = true
+	c.mu.Unlock()
+
+	// Thread-symmetry dedup: a candidate that is a thread permutation of an
+	// already-processed test explores (after the engines' canonicalization)
+	// the same state space and can only re-derive known verdicts. The raw
+	// identity above was fresh, so every hit here is a genuinely permuted
+	// twin, not a plain duplicate.
+	cid := CanonicalIdentity(src)
+	c.mu.Lock()
+	if c.seenCanon[cid] {
+		c.symSkips++
+		c.mu.Unlock()
+		return
+	}
+	c.seenCanon[cid] = true
 	c.mu.Unlock()
 
 	parsed, err := litmus.Parse(src)

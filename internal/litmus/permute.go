@@ -1,0 +1,79 @@
+package litmus
+
+import (
+	"fmt"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// PermuteThreads returns a copy of t with its threads renumbered so that
+// new thread i is old thread perm[i], and with every thread reference in
+// the condition and the observation spec remapped to match. perm must be
+// a permutation of 0..len(t.Prog.Threads)-1. The permuted test has the
+// same behaviour as t up to the renaming: thread IDs only select which
+// program a thread runs and how observations are labelled, so its outcome
+// set is t's with the per-thread columns relabelled. Thread-independent
+// program state (locations, init values, shared sets) is shared with t,
+// not copied; the returned test has no Src.
+func PermuteThreads(t *Test, perm []int) *Test {
+	p := t.Prog
+	n := len(p.Threads)
+	if len(perm) != n {
+		panic("litmus: PermuteThreads: perm length mismatch")
+	}
+	np := &lang.Program{
+		Name:      p.Name,
+		Arch:      p.Arch,
+		Threads:   make([]lang.Stmt, n),
+		Init:      p.Init,
+		Locs:      p.Locs,
+		RegNames:  make([]map[string]lang.Reg, n),
+		Shared:    p.Shared,
+		LoopBound: p.LoopBound,
+	}
+	inv := make([]int, n)
+	for newTID, oldTID := range perm {
+		np.Threads[newTID] = p.Threads[oldTID]
+		if oldTID < len(p.RegNames) {
+			np.RegNames[newTID] = p.RegNames[oldTID]
+		}
+		inv[oldTID] = newTID
+	}
+	nt := &Test{Prog: np, Cond: permuteCond(t.Cond, inv), Expect: t.Expect}
+	if t.Obs != nil {
+		obs := &explore.ObsSpec{
+			Regs: make([]explore.RegObs, len(t.Obs.Regs)),
+			Locs: append([]lang.Loc(nil), t.Obs.Locs...),
+		}
+		for i, ro := range t.Obs.Regs {
+			tid := inv[ro.TID]
+			obs.Regs[i] = explore.RegObs{
+				TID: tid, Reg: ro.Reg,
+				Name: fmt.Sprintf("%d:%s", tid, p.RegName(ro.TID, ro.Reg)),
+			}
+		}
+		nt.Obs = obs
+	}
+	return nt
+}
+
+func permuteCond(c Cond, inv []int) Cond {
+	switch c := c.(type) {
+	case RegEq:
+		c.TID = inv[c.TID]
+		return c
+	case LocEq:
+		return c
+	case Not:
+		return Not{C: permuteCond(c.C, inv)}
+	case And:
+		return And{L: permuteCond(c.L, inv), R: permuteCond(c.R, inv)}
+	case Or:
+		return Or{L: permuteCond(c.L, inv), R: permuteCond(c.R, inv)}
+	case nil:
+		return nil
+	default:
+		panic(fmt.Sprintf("litmus: unknown condition %T", c))
+	}
+}

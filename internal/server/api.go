@@ -43,6 +43,9 @@ type CheckOptions struct {
 	// Certify disables per-step certification when set to false
 	// (default true; see explore.Options.Certify).
 	Certify *bool `json:"certify,omitempty"`
+	// Reductions selects the certified state-space reductions: on (the
+	// default), off, symmetry or pruning (explore.ParseReductionMode).
+	Reductions string `json:"reductions,omitempty"`
 }
 
 // TestSpec names one test: inline litmus source, or a catalog test name.
@@ -113,6 +116,11 @@ type ExploreStatsJSON struct {
 	CertHits    int64 `json:"cert_hits,omitempty"`
 	CertMisses  int64 `json:"cert_misses,omitempty"`
 	CertEntries int   `json:"cert_entries,omitempty"`
+	// SymmetryClasses/SymmetryHits/PrunedStates are the state-space
+	// reduction counters (explore.ExploreStats).
+	SymmetryClasses int   `json:"symmetry_classes,omitempty"`
+	SymmetryHits    int64 `json:"symmetry_hits,omitempty"`
+	PrunedStates    int64 `json:"pruned_states,omitempty"`
 }
 
 // StatusCanceled marks a batch cell whose job was canceled before the
@@ -143,10 +151,13 @@ func ReportJSON(r litmus.Report) TestReport {
 		}
 		if s := v.Result.Stats; s != (explore.ExploreStats{}) {
 			tr.Stats = &ExploreStatsJSON{
-				Interned:    s.Interned,
-				CertHits:    s.CertHits,
-				CertMisses:  s.CertMisses,
-				CertEntries: s.CertEntries,
+				Interned:        s.Interned,
+				CertHits:        s.CertHits,
+				CertMisses:      s.CertMisses,
+				CertEntries:     s.CertEntries,
+				SymmetryClasses: s.SymmetryClasses,
+				SymmetryHits:    s.SymmetryHits,
+				PrunedStates:    s.PrunedStates,
 			}
 		}
 	}
@@ -204,10 +215,13 @@ func (sr *ShardReport) Result() *explore.Result {
 	}
 	if sr.Stats != nil {
 		res.Stats = explore.ExploreStats{
-			Interned:    sr.Stats.Interned,
-			CertHits:    sr.Stats.CertHits,
-			CertMisses:  sr.Stats.CertMisses,
-			CertEntries: sr.Stats.CertEntries,
+			Interned:        sr.Stats.Interned,
+			CertHits:        sr.Stats.CertHits,
+			CertMisses:      sr.Stats.CertMisses,
+			CertEntries:     sr.Stats.CertEntries,
+			SymmetryClasses: sr.Stats.SymmetryClasses,
+			SymmetryHits:    sr.Stats.SymmetryHits,
+			PrunedStates:    sr.Stats.PrunedStates,
 		}
 	}
 	return res
@@ -235,10 +249,13 @@ func shardReportOf(res *explore.Result, elapsedUS int64) ShardReport {
 	}
 	if st := res.Stats; st != (explore.ExploreStats{}) {
 		sr.Stats = &ExploreStatsJSON{
-			Interned:    st.Interned,
-			CertHits:    st.CertHits,
-			CertMisses:  st.CertMisses,
-			CertEntries: st.CertEntries,
+			Interned:        st.Interned,
+			CertHits:        st.CertHits,
+			CertMisses:      st.CertMisses,
+			CertEntries:     st.CertEntries,
+			SymmetryClasses: st.SymmetryClasses,
+			SymmetryHits:    st.SymmetryHits,
+			PrunedStates:    st.PrunedStates,
 		}
 	}
 	return sr

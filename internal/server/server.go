@@ -145,6 +145,10 @@ type Server struct {
 	certHits   atomic.Int64
 	certMisses atomic.Int64
 	interned   atomic.Int64
+	// symmetryHits/prunedStates accumulate the state-space reduction
+	// counters of every cell this daemon ran.
+	symmetryHits atomic.Int64
+	prunedStates atomic.Int64
 	// Fuzz-campaign counters: campaigns started, iterations and findings
 	// across all campaigns (fed by progress deltas), latest corpus size,
 	// and the number of campaigns currently running.
@@ -317,6 +321,11 @@ func (s *Server) exploreOptions(ctx context.Context, o CheckOptions) (explore.Op
 	if o.Certify != nil {
 		eo.Certify = *o.Certify
 	}
+	if m, err := explore.ParseReductionMode(o.Reductions); err == nil {
+		// Invalid values are rejected at the handlers (checkOptionsValid);
+		// here an unparsable mode just keeps the default.
+		eo.Reductions = m
+	}
 	eo.Parallelism = o.Parallelism
 	if eo.Parallelism == 0 {
 		eo.Parallelism = s.cfg.Parallelism
@@ -349,10 +358,20 @@ func (s *Server) exploreOptions(ctx context.Context, o CheckOptions) (explore.Op
 // identical at every worker count), and so are the budgets (MaxStates,
 // timeouts): runs they cut short are never cached, and runs they did not
 // cut short are exhaustive, hence identical to the unbudgeted result.
+// Reductions are included: the outcome set is reduction-invariant, but the
+// reported state counts and stats are not.
 func cacheKey(t *litmus.Test, backend string, o CheckOptions) string {
 	certify := o.Certify == nil || *o.Certify
-	sum := sha256.Sum256([]byte(backends.SemanticsEpoch + "\x00" + t.Hash() + "\x00" + backend + "\x00" + fmt.Sprintf("certify=%t", certify)))
+	reductions, _ := explore.ParseReductionMode(o.Reductions)
+	sum := sha256.Sum256([]byte(backends.SemanticsEpoch + "\x00" + t.Hash() + "\x00" + backend + "\x00" +
+		fmt.Sprintf("certify=%t\x00reductions=%s", certify, reductions)))
 	return hex.EncodeToString(sum[:])
+}
+
+// checkOptionsValid rejects malformed wire options before any work starts.
+func checkOptionsValid(o CheckOptions) error {
+	_, err := explore.ParseReductionMode(o.Reductions)
+	return err
 }
 
 // cacheable reports whether a cell may be stored: only complete
@@ -397,6 +416,8 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 		s.certHits.Add(st.CertHits)
 		s.certMisses.Add(st.CertMisses)
 		s.interned.Add(int64(st.Interned))
+		s.symmetryHits.Add(st.SymmetryHits)
+		s.prunedStates.Add(st.PrunedStates)
 	}
 	if cacheable(tr.Status) {
 		if raw, err := json.Marshal(tr); err == nil {
@@ -491,6 +512,8 @@ func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litm
 		s.certHits.Add(st.CertHits)
 		s.certMisses.Add(st.CertMisses)
 		s.interned.Add(int64(st.Interned))
+		s.symmetryHits.Add(st.SymmetryHits)
+		s.prunedStates.Add(st.PrunedStates)
 	}
 	if cacheable(tr.Status) {
 		if raw, err := json.Marshal(tr); err == nil {
@@ -523,6 +546,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE promised_cert_cache_hits_total counter\npromised_cert_cache_hits_total %d\n", s.certHits.Load())
 	fmt.Fprintf(w, "# TYPE promised_cert_cache_misses_total counter\npromised_cert_cache_misses_total %d\n", s.certMisses.Load())
 	fmt.Fprintf(w, "# TYPE promised_interned_states_total counter\npromised_interned_states_total %d\n", s.interned.Load())
+	fmt.Fprintf(w, "# TYPE promised_symmetry_hits_total counter\npromised_symmetry_hits_total %d\n", s.symmetryHits.Load())
+	fmt.Fprintf(w, "# TYPE promised_pruned_states_total counter\npromised_pruned_states_total %d\n", s.prunedStates.Load())
 	fmt.Fprintf(w, "# TYPE promised_explorations_inflight gauge\npromised_explorations_inflight %d\n", s.inflight.Load())
 	fmt.Fprintf(w, "# TYPE promised_cells_pending gauge\npromised_cells_pending %d\n", s.pending.Load())
 	fmt.Fprintf(w, "# TYPE promised_jobs_active gauge\npromised_jobs_active %d\n", s.jobs.active())
@@ -567,6 +592,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := checkOptionsValid(req.Options); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	t, err := resolveTest(req.TestSpec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -598,6 +627,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Tests) == 0 {
 		writeErr(w, http.StatusBadRequest, "empty batch: give at least one test")
+		return
+	}
+	if err := checkOptionsValid(req.Options); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	cells := len(req.Tests) * len(req.Backends)
@@ -646,6 +679,10 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if err := checkOptionsValid(req.Options); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	snap, err := explore.UnmarshalSnapshot(req.Snapshot)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -685,6 +722,8 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.certHits.Add(st.CertHits)
 		s.certMisses.Add(st.CertMisses)
 		s.interned.Add(int64(st.Interned))
+		s.symmetryHits.Add(st.SymmetryHits)
+		s.prunedStates.Add(st.PrunedStates)
 	}
 	s.logf("promised: shard %s backend=%s frontier=%d states=%d", t.Name(), backend, len(snap.Frontier), v.Result.States)
 	writeJSON(w, http.StatusOK, shardReportOf(v.Result, v.Elapsed.Microseconds()))

@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"fmt"
+
+	"promising/internal/lang"
+	"promising/internal/litmus"
+)
+
+// SYM-n is the symmetry stress row: n byte-identical claimant threads race
+// to take one shared slot, each observing the slot (r0) before publishing
+// its claim. The program is a single symmetry class of size n!, so it
+// isolates what thread-symmetry canonicalization buys on the interleaving
+// backends: the flat baseline's state count divides by (up to) n! while
+// the outcome set is certified unchanged. The safety property is the
+// "first claimant" fact: the coherence-first store comes from a thread
+// whose program-order-earlier load of the same slot can only have read the
+// initial value, so executions where every claimant sees the slot already
+// taken are forbidden.
+const symSlot = lang.Loc(0x200)
+
+func symLocs() map[string]lang.Loc { return map[string]lang.Loc{"slot": symSlot} }
+
+// symThread is one claimant: observe the slot, then publish a claim.
+func symThread() *T {
+	t := NewT(symLocs())
+	t.Load("r0", lang.C(symSlot), lang.ReadPlain)
+	t.Store(lang.C(symSlot), lang.C(1), lang.WritePlain)
+	return t
+}
+
+// SymmetricInstance builds SYM-n: n identical claimant threads.
+func SymmetricInstance(arch lang.Arch, n int) *Instance {
+	threads := make([]*T, n)
+	for i := range threads {
+		threads[i] = symThread()
+	}
+	name := fmt.Sprintf("SYM-%d", n)
+	p := prog(name, arch, symLocs(), 1, []lang.Loc{symSlot}, threads...)
+	// Forbidden: every claimant read a non-zero slot. Some thread's store is
+	// coherence-first, and its own load is po-loc before that store.
+	var all litmus.Cond
+	for i, t := range threads {
+		c := litmus.Not{C: regEq(i, t, "r0", 0)}
+		if all == nil {
+			all = c
+		} else {
+			all = litmus.And{L: all, R: c}
+		}
+	}
+	return &Instance{ID: name, Test: forbidAny(p, all)}
+}

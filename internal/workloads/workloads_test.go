@@ -121,10 +121,34 @@ func TestMSQueueRelaxedBugFound(t *testing.T) {
 	}
 }
 
+// TestSymmetric checks the SYM-n symmetry stress rows: the first-claimant
+// property must hold, and the whole program must collapse into a single
+// symmetry class (that collapse is what the row exists to measure).
+func TestSymmetric(t *testing.T) {
+	for _, n := range []int{2, 3, 4} {
+		in := SymmetricInstance(lang.ARM, n)
+		t.Run(in.ID, func(t *testing.T) {
+			checkInstance(t, in)
+			opts := explore.DefaultOptions()
+			v, err := litmus.Run(in.Test, explore.Naive, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.OK() {
+				t.Errorf("naive verdict %v, expected %s", v.Allowed, in.Test.Expect)
+			}
+			if got := v.Result.Stats.SymmetryClasses; got != 1 {
+				t.Errorf("SymmetryClasses = %d, want 1", got)
+			}
+		})
+	}
+}
+
 func TestParseID(t *testing.T) {
 	for _, id := range []string{"SLA-3", "SLC-1", "SLR-2", "TL-1", "TL/opt-2",
 		"PCS-2-2", "PCM-1-1-1", "STC-100-010-000", "STR-100-010-010",
-		"STC/opt-100-010-000", "DQ-100-1-0", "DQ/opt-110-1-1", "QU-100-010-000"} {
+		"STC/opt-100-010-000", "DQ-100-1-0", "DQ/opt-110-1-1", "QU-100-010-000",
+		"SYM-3", "SYM-5"} {
 		in, err := ParseID(lang.ARM, id)
 		if err != nil {
 			t.Errorf("ParseID(%q): %v", id, err)

@@ -131,6 +131,28 @@ func ParallelOptions(j int) explore.Options {
 	return o
 }
 
+// ReductionMode selects which certified state-space reductions an
+// exploration applies (Options.Reductions): thread-symmetry
+// canonicalization and independence pruning. Both are on by default and
+// preserve the outcome set exactly; see the explore package.
+type ReductionMode = explore.ReductionMode
+
+// Reduction modes.
+const (
+	// ReduceOn enables every reduction the backend supports (default).
+	ReduceOn = explore.ReduceOn
+	// ReduceOff disables all reductions.
+	ReduceOff = explore.ReduceOff
+	// ReduceSymmetry enables only thread-symmetry canonicalization.
+	ReduceSymmetry = explore.ReduceSymmetry
+	// ReducePruning enables only independence pruning.
+	ReducePruning = explore.ReducePruning
+)
+
+// ParseReductionMode parses a -reductions flag value (on, off, symmetry,
+// pruning).
+func ParseReductionMode(s string) (ReductionMode, error) { return explore.ParseReductionMode(s) }
+
 // ParseTest parses the litmus text format (see internal/litmus.Parse for
 // the grammar).
 func ParseTest(src string) (*Test, error) { return litmus.Parse(src) }
