@@ -16,6 +16,7 @@ package promising_test
 
 import (
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -248,6 +249,46 @@ func BenchmarkAblationSharedOptOff(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSamplerOff/On pin the observability tentpole's cost model: the
+// in-flight stats sampler hangs off the engine's existing pollStride check
+// and publishes at most once per interval, so an ACTIVE sampler (gate open,
+// subscriber attached — the daemon's state while a dashboard watches a
+// job) must stay within ~2% of no sampler at all on TL-1, the sequential
+// acceptance row. The inactive case is cheaper still (one nil check).
+
+func benchSampler(b *testing.B, sampler *promising.Sampler) {
+	b.Helper()
+	in, err := workloads.ParseID(lang.ARM, "TL-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := promising.Options()
+	opts.Sampler = sampler
+	var states int
+	for i := 0; i < b.N; i++ {
+		v, err := promising.Run(in.Test, promising.BackendPromising, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.Result.Aborted {
+			b.Fatal("TL-1: aborted")
+		}
+		states = v.Result.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkSamplerOffTL1(b *testing.B) { benchSampler(b, nil) }
+
+func BenchmarkSamplerOnTL1(b *testing.B) {
+	var published atomic.Int64
+	sm := promising.NewSampler(0) // the daemon's default cadence
+	sm.Gate(func() bool { return true })
+	sm.OnPublish(func(promising.StatsSnapshot) { published.Add(1) })
+	benchSampler(b, sm)
+	b.ReportMetric(float64(published.Load()), "samples")
 }
 
 // Parallel-engine variants. Options.Parallelism follows GOMAXPROCS, so

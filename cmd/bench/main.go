@@ -4,6 +4,7 @@
 //	bench -table 2      Table 2  (run times, Promising vs Flat, selected rows)
 //	bench -table 3      Table 3  (§E full results)
 //	bench -table herd   the §8 herd comparison (axiomatic backend rows)
+//	bench -trajectory   per-cell timing series across committed BENCH_*.json
 //
 // Default rows use scaled-down parameters that complete on a laptop; -full
 // switches to the paper's parameters with a per-row timeout (rows that
@@ -18,7 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"promising"
@@ -130,11 +134,23 @@ func main() {
 			"cert-cache hit rate) for machine-readable perf trajectories")
 	reductions := flag.String("reductions", "on",
 		"certified state-space reductions for every timed cell: on, off, symmetry or pruning")
+	trajectory := flag.Bool("trajectory", false,
+		"instead of running anything, read every committed BENCH_*.json snapshot "+
+			"(oldest first) and print each cell's timing series — the CLI twin of "+
+			"the dashboard's bench page (promised, GET /ui)")
+	trajDir := flag.String("trajectory-dir", ".", "directory -trajectory reads BENCH_*.json from")
 	flag.BoolVar(&ablate, "ablate", false,
 		"time every cell twice — reductions on and off — verifying the outcome "+
 			"sets are byte-identical (exit 1 on divergence); both cells land in "+
 			"the -json snapshot with their reduction counters")
 	flag.Parse()
+	if *trajectory {
+		if err := printTrajectory(*trajDir); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	genRows = *gen
 	var err error
 	if redMode, err = promising.ParseReductionMode(*reductions); err != nil {
@@ -448,6 +464,82 @@ func timeTable(rows []string, timeout time.Duration, noFlat bool) error {
 	fmt.Println("(different machine and substrate); the reproduced claims are the ordering")
 	fmt.Println("(Promising well below Flat) and the growth with the parameters.")
 	return nil
+}
+
+// printTrajectory reads every BENCH_*.json snapshot under dir (ordered by
+// snapshot index, i.e. chronologically) and prints each (test, backend)
+// cell's timing series side by side, so perf drift across committed
+// baselines is visible from the CLI the same way the dashboard's bench
+// page shows it.
+func printTrajectory(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json snapshots under %s (run bench -json to write one)", dir)
+	}
+	// BENCH_10.json must sort after BENCH_2.json: order by the numeric
+	// index when there is one, lexically otherwise.
+	sort.Slice(paths, func(i, j int) bool {
+		ni, oki := snapIndex(paths[i])
+		nj, okj := snapIndex(paths[j])
+		if oki && okj {
+			return ni < nj
+		}
+		return paths[i] < paths[j]
+	})
+	// Reductions is part of the key: -ablate snapshots time every cell
+	// twice (on and off), and those are distinct trajectories.
+	type key struct{ test, backend, reductions string }
+	series := map[key][]string{}
+	var order []key
+	for n, path := range paths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var snap BenchSnapshot
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		fmt.Printf("[%d] %s  (%s, j=%d, %d cells)\n",
+			n+1, filepath.Base(path), snap.GeneratedAt, snap.Workers, len(snap.Cells))
+		for _, c := range snap.Cells {
+			k := key{c.Test, c.Backend, c.Reductions}
+			if _, seen := series[k]; !seen {
+				order = append(order, k)
+			}
+			// Pad cells missing from earlier snapshots so columns align.
+			for len(series[k]) < n {
+				series[k] = append(series[k], "-")
+			}
+			val := fmt.Sprintf("%.2f", c.Seconds)
+			if c.Status != "ok" {
+				val = c.Status
+			}
+			series[k] = append(series[k], val)
+		}
+	}
+	fmt.Printf("\n%-28s %-14s  seconds per snapshot (oldest first)\n", "Test", "Backend")
+	for _, k := range order {
+		b := k.backend
+		if k.reductions != "" {
+			b += "/" + k.reductions
+		}
+		fmt.Printf("%-28s %-14s  %s\n", k.test, b, strings.Join(series[k], "  "))
+	}
+	return nil
+}
+
+// snapIndex extracts n from a BENCH_<n>.json path.
+func snapIndex(path string) (int, bool) {
+	base := filepath.Base(path)
+	var n int
+	if _, err := fmt.Sscanf(base, "BENCH_%d.json", &n); err != nil {
+		return 0, false
+	}
+	return n, true
 }
 
 // herdTable reproduces the §8 herd comparison: SLC and TL under the

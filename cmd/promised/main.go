@@ -8,12 +8,20 @@
 //	promised [-addr :8419] [-workers N] [-par N] [-cache-entries N]
 //	         [-cache-dir DIR] [-timeout D] [-max-timeout D]
 //	         [-state-dir DIR] [-checkpoint-interval D]
+//	         [-log-level LEVEL] [-log-format text|json] [-pprof]
+//	         [-bench-dir DIR]
 //
 // With -state-dir, batch jobs are durable: every running exploration is
 // checkpointed there on the -checkpoint-interval cadence, and a restarted
 // daemon re-enqueues unfinished jobs from their latest snapshots (a
 // kill -9 loses at most one interval of progress). GET /v1/jobs/{id}
 // reports resumed_from_checkpoint and the checkpoint's age.
+//
+// Logging goes through log/slog: -log-level picks the threshold (debug,
+// info, warn, error) and -log-format the handler (text or json, for log
+// shippers). -pprof mounts net/http/pprof under /debug/pprof/ on the
+// service mux. The embedded observatory dashboard is at GET /ui; its
+// bench page renders the BENCH_*.json baselines found under -bench-dir.
 //
 // Quickstart against the built-in catalog:
 //
@@ -30,7 +38,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -53,13 +61,19 @@ func main() {
 		ckptEvery  = flag.Duration("checkpoint-interval", 10*time.Second, "how often running explorations checkpoint to -state-dir")
 		fuzzCorpus = flag.String("fuzz-corpus", "", "persist fuzz-campaign corpora under this directory (empty = memory only)")
 		maxFuzz    = flag.Int("max-fuzz-iters", 0, "cap per-campaign iteration budgets; 0 = default 50000")
-		quiet      = flag.Bool("q", false, "suppress per-request logging")
+		statsEvery = flag.Duration("stats-interval", 0, "in-flight stats sampling cadence for watched jobs; 0 = default 250ms")
+		benchDir   = flag.String("bench-dir", ".", "directory the dashboard's bench page reads BENCH_*.json baselines from")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logLevel   = flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+		logFormat  = flag.String("log-format", "text", "log handler: text or json")
+		quiet      = flag.Bool("q", false, "suppress per-request logging (same as -log-level error)")
 	)
 	flag.Parse()
 
-	logf := log.Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	logger, err := newLogger(os.Stderr, *logLevel, *logFormat, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promised:", err)
+		os.Exit(2)
 	}
 	cfg := promising.ServerConfig{
 		Addr:               *addr,
@@ -73,7 +87,14 @@ func main() {
 		CheckpointInterval: *ckptEvery,
 		FuzzCorpusDir:      *fuzzCorpus,
 		MaxFuzzIterations:  *maxFuzz,
-		Logf:               logf,
+		StatsInterval:      *statsEvery,
+		BenchDir:           *benchDir,
+		Pprof:              *pprofOn,
+		// The server's line-oriented Logf maps onto slog at info level;
+		// the threshold and handler come from -log-level/-log-format.
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
 	}
 	if *par == 0 || *par < -1 {
 		cfg.Parallelism = -1
@@ -84,5 +105,27 @@ func main() {
 	if err := promising.Serve(ctx, cfg); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "promised:", err)
 		os.Exit(1)
+	}
+}
+
+// newLogger builds the daemon's slog logger from the CLI flags. -q keeps
+// its historical meaning by raising the threshold above every line the
+// daemon emits.
+func newLogger(w *os.File, level, format string, quiet bool) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	if quiet {
+		lv = slog.LevelError
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
 	}
 }

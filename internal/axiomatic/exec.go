@@ -105,7 +105,9 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 		e := &enumerator{cp: cp, spec: spec, opts: &opts, res: c.Res, ctx: c, mem: mem}
 		e.joint(traces, picked)
 	}}
+	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(prefixes, &opts, visited)
+	endSpan(fmt.Sprintf("axiomatic leg: %d candidates, %d outcomes", res.States, len(res.Outcomes)))
 	res.BoundExceeded = res.BoundExceeded || boundExceeded
 	if snap != nil {
 		explore.MergeSnapshotInto(snap, res)

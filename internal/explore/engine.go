@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"promising/internal/core"
+	"promising/internal/obs"
 )
 
 // The parallel exploration engine. Every exhaustive backend (naive,
@@ -188,6 +190,20 @@ func (f *Frontier[S]) Drain() {
 	f.cond.Broadcast()
 }
 
+// Size returns the number of states currently pending on the shared
+// stacks (private worker stacks excluded — an approximate depth, which
+// is all the stats sampler needs). Called at most once per sample
+// interval, so the lock stays off the hot path.
+func (f *Frontier[S]) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, st := range f.stacks {
+		n += len(st)
+	}
+	return n
+}
+
 // take pops from w's own stack, stealing half of the richest victim first
 // when it is empty. Callers hold f.mu.
 func (f *Frontier[S]) take(w int) (S, bool) {
@@ -268,6 +284,36 @@ type engineRun struct {
 	aborted  atomic.Bool
 	timedOut atomic.Bool
 	stop     func()
+	// frontierLen reports the shared frontier's pending depth for stats
+	// sampling (set alongside stop in run).
+	frontierLen func() int
+}
+
+// sample publishes one in-flight StatsSnapshot through opts.Sampler.
+// Called from the pollStride path while the sampler is active (rate-
+// limited by Due, which elects one publisher among concurrent workers),
+// and once unconditionally when the run ends (final), so even a run
+// faster than the sample interval yields a closing snapshot.
+func (r *engineRun) sample(sm *obs.Sampler, final bool) {
+	now := time.Now()
+	if !final && !sm.Due(now) {
+		return
+	}
+	snap := obs.StatsSnapshot{
+		States:    r.states.Load(),
+		Frontier:  r.frontierLen(),
+		MaxStates: r.opts.MaxStates,
+		Final:     final,
+	}
+	if pr := r.opts.StatsProbe; pr != nil {
+		pr(&snap)
+	}
+	if d := r.opts.Deadline; !d.IsZero() {
+		if left := d.Sub(now); left > 0 {
+			snap.BudgetMS = left.Milliseconds()
+		}
+	}
+	sm.Publish(now, snap)
 }
 
 // ckptNow reports that a checkpoint has been requested; checked per state
@@ -293,6 +339,12 @@ func (c *Ctx[S]) Alive() bool {
 		c.run.timedOut.Store(true)
 		c.Abort()
 		return false
+	}
+	// In-flight stats ride the same stride: Active is a nil check (plus
+	// one gate load when a sampler is configured), and sample itself is
+	// rate-limited to the sampler's interval.
+	if sm := c.run.opts.Sampler; sm.Active() {
+		c.run.sample(sm, false)
 	}
 	return true
 }
@@ -349,7 +401,7 @@ func (e *Engine[S]) run(roots []S, opts *Options, visited int64) (*Result, []S) 
 	if ck == nil {
 		ck = NewCheckpoint()
 	}
-	run := &engineRun{opts: opts, ck: ck, stop: func() { f.Stop() }}
+	run := &engineRun{opts: opts, ck: ck, stop: func() { f.Stop() }, frontierLen: f.Size}
 	run.states.Store(visited)
 	e.ck.Store(ck)
 	defer e.ck.Store(nil)
@@ -415,6 +467,9 @@ func (e *Engine[S]) run(roots []S, opts *Options, visited int64) (*Result, []S) 
 	}
 	if run.timedOut.Load() {
 		res.TimedOut = true
+	}
+	if sm := opts.Sampler; sm.Active() {
+		run.sample(sm, true)
 	}
 	// Collect the drained frontier. An aborted run keeps the pre-existing
 	// semantics (pending work is dropped); a completed run has an empty

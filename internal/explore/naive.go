@@ -1,10 +1,12 @@
 package explore
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"promising/internal/core"
 	"promising/internal/lang"
+	"promising/internal/obs"
 )
 
 // naiveEntry is one frontier state of the naive explorer: a machine plus
@@ -241,11 +243,15 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	if snap != nil {
 		visited = snap.States
 	}
+	opts.StatsProbe = statsProbe(seen, cc, ccStart, &symHits, &pruned)
+	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
+	endSpan(fmt.Sprintf("naive leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
 	res.Stats = statsOf(seen, cc, ccStart)
 	res.Stats.SymmetryClasses = sym.Classes()
 	res.Stats.SymmetryHits = symHits.Load()
 	res.Stats.PrunedStates = pruned.Load()
+	emitCertSummary(opts.Trace, res.Stats)
 	if snap != nil {
 		snap.mergeInto(res)
 	}
@@ -286,4 +292,37 @@ func statsOf(seen *SeenSet, cc *core.CertCache, start core.CertStats) ExploreSta
 	st.CertMisses = cs.Misses - start.Misses
 	st.CertEntries = cs.Entries
 	return st
+}
+
+// statsProbe builds the Options.StatsProbe closure for the certifying
+// machine explorers: the backend-local counters a mid-run StatsSnapshot
+// carries, read from the same structures statsOf reads at the end (all
+// concurrent-safe: the interner's length is an atomic, the cert cache
+// locks its shards, the reduction counters are atomics). symHits and
+// pruned may be nil for backends without that counter.
+func statsProbe(seen *SeenSet, cc *core.CertCache, start core.CertStats, symHits, pruned *atomic.Int64) func(*obs.StatsSnapshot) {
+	return func(snap *obs.StatsSnapshot) {
+		if seen != nil {
+			snap.Interned = seen.Len()
+		}
+		cs := cc.Stats()
+		snap.CertHits = cs.Hits - start.Hits
+		snap.CertMisses = cs.Misses - start.Misses
+		if symHits != nil {
+			snap.SymmetryHits = symHits.Load()
+		}
+		if pruned != nil {
+			snap.PrunedStates = pruned.Load()
+		}
+	}
+}
+
+// emitCertSummary emits the "certify-summary" stage event of a
+// certifying run (skipped when the run did no cache lookups).
+func emitCertSummary(tr *obs.Trace, st ExploreStats) {
+	if tr == nil || st.CertHits+st.CertMisses == 0 {
+		return
+	}
+	tr.Emit("certify-summary", fmt.Sprintf("hits=%d misses=%d entries=%d hit-rate=%.1f%%",
+		st.CertHits, st.CertMisses, st.CertEntries, 100*st.CertHitRate()))
 }

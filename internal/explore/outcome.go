@@ -18,6 +18,7 @@ import (
 
 	"promising/internal/core"
 	"promising/internal/lang"
+	"promising/internal/obs"
 )
 
 // RegObs names one observed register.
@@ -128,6 +129,22 @@ type Options struct {
 	// reachable for trace collection. Outcome sets, States and DeadEnds
 	// are identical at every setting.
 	Reductions ReductionMode
+	// Sampler, when non-nil, receives periodic in-flight StatsSnapshots
+	// of the run, published from the engine's per-state pollStride path
+	// (one nil check when unset; one gate load while nobody subscribes).
+	// Purely observational: results, snapshots and resume identity are
+	// unaffected, and the field is excluded from snapshot validation.
+	Sampler *obs.Sampler
+	// StatsProbe, when non-nil, fills the backend-local counters of a
+	// snapshot being sampled (interned states, certification-cache and
+	// reduction counters — state that lives outside the engine). Backends
+	// install it themselves before handing Options to the engine; callers
+	// leave it nil.
+	StatsProbe func(*obs.StatsSnapshot)
+	// Trace, when non-nil, receives the run's typed stage events
+	// (compile, explore legs, checkpoints, certification summaries).
+	// Purely observational, like Sampler.
+	Trace *obs.Trace
 }
 
 // DefaultOptions returns the standard configuration (certification on).

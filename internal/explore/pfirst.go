@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"promising/internal/core"
@@ -104,10 +105,14 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 	}
 	ccStart := e.cc.Stats()
 	eng := Engine[memState]{Process: e.process}
+	opts.StatsProbe = statsProbe(e.seen, e.cc, ccStart, &e.symHits, nil)
+	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
+	endSpan(fmt.Sprintf("promising leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
 	res.Stats = statsOf(e.seen, e.cc, ccStart)
 	res.Stats.SymmetryClasses = e.sym.Classes()
 	res.Stats.SymmetryHits = e.symHits.Load()
+	emitCertSummary(opts.Trace, res.Stats)
 	if snap != nil {
 		snap.mergeInto(res)
 	}

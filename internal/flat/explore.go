@@ -1,11 +1,13 @@
 package flat
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/lang"
+	"promising/internal/obs"
 )
 
 // entry is one frontier state: a machine plus its reduction state (see
@@ -188,7 +190,14 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 			}
 		}
 	}}
+	opts.StatsProbe = func(snap *obs.StatsSnapshot) {
+		snap.Interned = seen.Len()
+		snap.SymmetryHits = symHits.Load()
+		snap.PrunedStates = pruned.Load()
+	}
+	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
+	endSpan(fmt.Sprintf("flat leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
 	res.Stats.Interned = seen.Len()
 	res.Stats.SymmetryClasses = sym.Classes()
 	res.Stats.SymmetryHits = symHits.Load()

@@ -30,6 +30,7 @@ import (
 	"promising/internal/explore"
 	"promising/internal/lang"
 	"promising/internal/litmus"
+	"promising/internal/obs"
 )
 
 // Config tunes a campaign.
@@ -90,6 +91,10 @@ type Config struct {
 	// iterations (default 100) and once at the end.
 	Progress      func(Progress)
 	ProgressEvery int
+	// Trace, when non-nil, receives the campaign's stage events (the
+	// campaign span, per-finding events, shrink spans) — the daemon scopes
+	// it to the owning job's tracer. Purely observational.
+	Trace *obs.Trace
 }
 
 // SetProfile resolves a named generator profile into the config.
@@ -264,6 +269,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		deadline = c.start.Add(cfg.Duration)
 	}
 	c.deadline = deadline
+	endCampaign := cfg.Trace.Span("campaign")
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -318,6 +324,8 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 		Backends: cfg.Backends,
 		Findings: append([]Finding(nil), c.findings...),
 	}
+	endCampaign(fmt.Sprintf("seed=%d profile=%s: %d iters, %d findings, corpus %d",
+		cfg.Seed, cfg.ProfileName, sum.Iterations, len(sum.Findings), sum.CorpusSize))
 	if c.err != nil {
 		// An infrastructure failure aborts the campaign but must not
 		// swallow the findings already computed: the summary rides along
@@ -666,7 +674,9 @@ func (c *campaign) finding(ctx context.Context, t *litmus.Test, src, id string, 
 		}
 	}
 
+	c.cfg.Trace.Emit("finding", fmt.Sprintf("%s %s (%d threads, %d instrs)", kind, id[:12], f.Threads, f.Instrs))
 	if shrink {
+		endShrink := c.cfg.Trace.Span("shrink")
 		want := sig
 		keep := func(cand *litmus.Test) bool {
 			if ctx.Err() != nil {
@@ -679,6 +689,7 @@ func (c *campaign) finding(ctx context.Context, t *litmus.Test, src, id string, 
 			return signature(cv) == want
 		}
 		res := Shrink(t, keep, c.cfg.ShrinkChecks)
+		endShrink(fmt.Sprintf("%s: %d reduction steps", id[:12], len(res.Trace)))
 		if len(res.Trace) > 0 {
 			f.ShrunkHash = res.Hash
 			f.ShrunkSource = res.Source

@@ -62,10 +62,12 @@ type Resumer func(cp *lang.CompiledProgram, spec *explore.ObsSpec, snap *explore
 
 // Run compiles and runs the test under the given backend.
 func Run(t *Test, run Runner, opts explore.Options) (*Verdict, error) {
+	endCompile := opts.Trace.Span("compile")
 	cp, err := lang.Compile(t.Prog)
 	if err != nil {
 		return nil, err
 	}
+	endCompile(fmt.Sprintf("%s: %d threads", t.Name(), len(cp.Threads)))
 	spec := t.Spec()
 	start := time.Now()
 	res := run(cp, spec, opts)
@@ -80,10 +82,12 @@ func RunFrom(t *Test, resume Resumer, snap *explore.Snapshot, opts explore.Optio
 	if snap.Test != "" && snap.Test != t.Hash() {
 		return nil, fmt.Errorf("litmus: snapshot is for test %s, not %s (%s)", snap.Test, t.Hash(), t.Name())
 	}
+	endCompile := opts.Trace.Span("compile")
 	cp, err := lang.Compile(t.Prog)
 	if err != nil {
 		return nil, err
 	}
+	endCompile(fmt.Sprintf("%s: %d threads", t.Name(), len(cp.Threads)))
 	spec := t.Spec()
 	start := time.Now()
 	res, err := resume(cp, spec, snap, opts)
@@ -163,6 +167,8 @@ func RunSharded(t *Test, run Runner, resume Resumer, shards int, opts explore.Op
 			return nil, err
 		}
 	}
+	endMerge := opts.Trace.Span("merge")
 	merged := explore.MergeShards(snap, results)
+	endMerge(fmt.Sprintf("%d shards, %d outcomes", len(parts), len(merged.Outcomes)))
 	return verdictOf(t, t.Spec(), merged, time.Since(start)), nil
 }

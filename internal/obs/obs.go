@@ -1,0 +1,200 @@
+// Package obs is the observability spine of the exploration engine and
+// the model-checking daemon: lock-free in-flight stats sampling for
+// running explorations (Sampler, StatsSnapshot) and bounded stage-event
+// tracing for jobs and campaigns (Tracer, StageEvent).
+//
+// The package is a stdlib-only leaf so every layer — the engine, the four
+// backends, the litmus runner, the fuzzer and the daemon — can publish
+// through it without import cycles. All types are safe for concurrent use
+// and nil-safe where noted, so instrumentation can be threaded through
+// hot paths unconditionally and cost nothing when unconfigured.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSampleInterval is the minimum gap between two published
+// snapshots of one Sampler when the caller does not choose one.
+const DefaultSampleInterval = 250 * time.Millisecond
+
+// rateWindow is how many (time, states) points the states/sec sliding
+// window keeps; at the default interval that is ~2s of history.
+const rateWindow = 8
+
+// StatsSnapshot is one in-flight sample of a running exploration,
+// published through Sampler's atomic pointer and streamed by the daemon
+// as the "stats" SSE event kind. Within one exploration (one Sampler),
+// Seq, ElapsedMS and States are monotonically non-decreasing across
+// snapshots, including across checkpoint legs of the same cell.
+type StatsSnapshot struct {
+	// Seq orders the snapshots of one sampler (1, 2, ...).
+	Seq int64 `json:"seq"`
+	// ElapsedMS is milliseconds since the sampler was created (for a job
+	// cell: since the cell started, spanning checkpoint legs).
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// States is the engine's global distinct-state count so far.
+	States int64 `json:"states"`
+	// Frontier is the approximate number of pending states on the shared
+	// frontier (private worker stacks excluded).
+	Frontier int `json:"frontier"`
+	// Interned / CertHits / CertMisses / SymmetryHits / PrunedStates
+	// mirror explore.ExploreStats mid-run (filled by the backend's probe;
+	// zero for backends without the corresponding structure).
+	Interned     int   `json:"interned,omitempty"`
+	CertHits     int64 `json:"cert_hits,omitempty"`
+	CertMisses   int64 `json:"cert_misses,omitempty"`
+	SymmetryHits int64 `json:"symmetry_hits,omitempty"`
+	PrunedStates int64 `json:"pruned_states,omitempty"`
+	// StatesPerSec is the exploration rate over the sampler's sliding
+	// window (0 until two samples exist).
+	StatesPerSec float64 `json:"states_per_sec"`
+	// MaxStates echoes the run's state budget (0 = unlimited); ETAMS
+	// estimates milliseconds until the budget at the current window rate
+	// (0 when no budget or no rate yet).
+	MaxStates int   `json:"max_states,omitempty"`
+	ETAMS     int64 `json:"eta_ms,omitempty"`
+	// BudgetMS is the remaining wall-clock budget (0 = no deadline).
+	BudgetMS int64 `json:"budget_ms,omitempty"`
+	// Final marks the closing snapshot published when the run ends, so
+	// every sampled exploration yields at least one snapshot no matter
+	// how fast it finished.
+	Final bool `json:"final,omitempty"`
+}
+
+// Accumulate adds o's counters into s (used to aggregate the live
+// snapshots of a job's concurrently running cells): counts and rates
+// sum, Seq and ElapsedMS take the maximum.
+func (s *StatsSnapshot) Accumulate(o *StatsSnapshot) {
+	if o == nil {
+		return
+	}
+	s.States += o.States
+	s.Frontier += o.Frontier
+	s.Interned += o.Interned
+	s.CertHits += o.CertHits
+	s.CertMisses += o.CertMisses
+	s.SymmetryHits += o.SymmetryHits
+	s.PrunedStates += o.PrunedStates
+	s.StatesPerSec += o.StatesPerSec
+	s.MaxStates += o.MaxStates
+	if o.Seq > s.Seq {
+		s.Seq = o.Seq
+	}
+	if o.ElapsedMS > s.ElapsedMS {
+		s.ElapsedMS = o.ElapsedMS
+	}
+}
+
+// ratePoint is one (time, states) observation of the sliding window.
+type ratePoint struct {
+	at     time.Time
+	states int64
+}
+
+// Sampler publishes periodic StatsSnapshots of one running exploration
+// through an atomic pointer. The engine drives it from the per-state
+// pollStride path, so the costs are: one nil check when unconfigured,
+// one gate call (an atomic load) when configured but unwatched, and one
+// Due CAS per poll while watched — a snapshot is only assembled when the
+// interval has elapsed and this caller won the claim. All methods are
+// safe for concurrent use and nil-safe.
+type Sampler struct {
+	interval time.Duration
+	start    time.Time
+	// gate, when non-nil, reports whether anyone is watching; sampling is
+	// skipped entirely while it returns false (the "no subscriber" case).
+	gate func() bool
+	// nextAt is the unix-nanos timestamp the next publish is due; Due
+	// claims it with a CAS so concurrent workers elect one publisher.
+	nextAt atomic.Int64
+	cur    atomic.Pointer[StatsSnapshot]
+
+	// mu serialises Publish: the window update, the seq assignment, the
+	// pointer store and the onPublish delivery, so subscribers observe
+	// snapshots in seq order.
+	mu        sync.Mutex
+	seq       int64
+	window    []ratePoint
+	onPublish func(StatsSnapshot)
+}
+
+// NewSampler returns a sampler publishing at most once per interval
+// (<= 0 selects DefaultSampleInterval).
+func NewSampler(interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	return &Sampler{interval: interval, start: time.Now()}
+}
+
+// Gate installs the subscriber predicate: while it returns false the
+// sampler is inactive and Sample-side work is one atomic load. Install
+// before the run starts; a nil gate means always active.
+func (s *Sampler) Gate(active func() bool) { s.gate = active }
+
+// OnPublish installs a callback invoked with every published snapshot
+// (the daemon broadcasts them as SSE "stats" events). Install before the
+// run starts; callbacks are delivered in seq order.
+func (s *Sampler) OnPublish(fn func(StatsSnapshot)) { s.onPublish = fn }
+
+// Active reports whether snapshots are currently wanted. Nil-safe: the
+// engine calls this unconditionally on its poll path.
+func (s *Sampler) Active() bool {
+	if s == nil {
+		return false
+	}
+	return s.gate == nil || s.gate()
+}
+
+// Due claims the next publish slot: it returns true at most once per
+// interval, electing exactly one of any concurrently polling workers.
+func (s *Sampler) Due(now time.Time) bool {
+	next := s.nextAt.Load()
+	n := now.UnixNano()
+	if n < next {
+		return false
+	}
+	return s.nextAt.CompareAndSwap(next, n+int64(s.interval))
+}
+
+// Publish stamps and publishes a snapshot assembled by the caller (Seq,
+// ElapsedMS, StatesPerSec and ETAMS are filled in here) and delivers it
+// to the OnPublish callback.
+func (s *Sampler) Publish(now time.Time, snap StatsSnapshot) {
+	s.mu.Lock()
+	s.seq++
+	snap.Seq = s.seq
+	snap.ElapsedMS = now.Sub(s.start).Milliseconds()
+	s.window = append(s.window, ratePoint{at: now, states: snap.States})
+	if len(s.window) > rateWindow {
+		s.window = s.window[len(s.window)-rateWindow:]
+	}
+	if first := s.window[0]; len(s.window) > 1 {
+		if dt := now.Sub(first.at).Seconds(); dt > 0 {
+			snap.StatesPerSec = float64(snap.States-first.states) / dt
+		}
+	}
+	if snap.MaxStates > 0 && snap.StatesPerSec > 0 {
+		if left := int64(snap.MaxStates) - snap.States; left > 0 {
+			snap.ETAMS = int64(float64(left) / snap.StatesPerSec * 1000)
+		}
+	}
+	s.cur.Store(&snap)
+	fn := s.onPublish
+	if fn != nil {
+		fn(snap)
+	}
+	s.mu.Unlock()
+}
+
+// Latest returns the most recent snapshot, or nil before the first
+// publish. Nil-safe.
+func (s *Sampler) Latest() *StatsSnapshot {
+	if s == nil {
+		return nil
+	}
+	return s.cur.Load()
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplerDueRateLimit(t *testing.T) {
+	s := NewSampler(100 * time.Millisecond)
+	base := time.Now()
+	if !s.Due(base) {
+		t.Fatal("first Due must claim")
+	}
+	if s.Due(base.Add(10 * time.Millisecond)) {
+		t.Fatal("Due inside the interval must not claim")
+	}
+	if !s.Due(base.Add(150 * time.Millisecond)) {
+		t.Fatal("Due past the interval must claim")
+	}
+}
+
+func TestSamplerDueElectsOne(t *testing.T) {
+	s := NewSampler(time.Hour)
+	now := time.Now()
+	won := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.Due(now) {
+				mu.Lock()
+				won++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if won != 1 {
+		t.Fatalf("Due winners = %d; want exactly 1", won)
+	}
+}
+
+func TestSamplerPublishSeqAndRate(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	var got []StatsSnapshot
+	s.OnPublish(func(snap StatsSnapshot) { got = append(got, snap) })
+
+	base := time.Now()
+	s.Publish(base, StatsSnapshot{States: 0})
+	s.Publish(base.Add(time.Second), StatsSnapshot{States: 1000, MaxStates: 3000})
+	s.Publish(base.Add(2*time.Second), StatsSnapshot{States: 2000, MaxStates: 3000})
+
+	if len(got) != 3 {
+		t.Fatalf("published %d snapshots; want 3", len(got))
+	}
+	for i, snap := range got {
+		if snap.Seq != int64(i+1) {
+			t.Fatalf("snapshot %d has seq %d", i, snap.Seq)
+		}
+	}
+	// 2000 states over 2s of window → 1000/s, and 1000 states left → 1s ETA.
+	if r := got[2].StatesPerSec; r < 900 || r > 1100 {
+		t.Fatalf("window rate = %v; want ~1000", r)
+	}
+	if eta := got[2].ETAMS; eta < 900 || eta > 1100 {
+		t.Fatalf("ETA = %vms; want ~1000", eta)
+	}
+	if last := s.Latest(); last == nil || last.Seq != 3 {
+		t.Fatalf("Latest = %+v; want seq 3", last)
+	}
+}
+
+func TestSamplerGate(t *testing.T) {
+	var s *Sampler
+	if s.Active() {
+		t.Fatal("nil sampler must be inactive")
+	}
+	if s.Latest() != nil {
+		t.Fatal("nil sampler Latest must be nil")
+	}
+	s = NewSampler(0)
+	if !s.Active() {
+		t.Fatal("ungated sampler must be active")
+	}
+	watching := false
+	s.Gate(func() bool { return watching })
+	if s.Active() {
+		t.Fatal("gated-off sampler must be inactive")
+	}
+	watching = true
+	if !s.Active() {
+		t.Fatal("gated-on sampler must be active")
+	}
+}
+
+func TestSamplerConcurrentPublish(t *testing.T) {
+	s := NewSampler(time.Nanosecond)
+	s.OnPublish(func(StatsSnapshot) {})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				now := time.Now()
+				if s.Due(now) {
+					s.Publish(now, StatsSnapshot{States: int64(i)})
+				}
+				s.Latest()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTracerRingBoundAndSummary(t *testing.T) {
+	tr := NewTracer(4, nil)
+	scope := tr.Scope(0, "promising")
+	for i := 0; i < 10; i++ {
+		scope.Emit("explore", fmt.Sprintf("event %d", i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring retained %d events; want 4", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("ring holds seqs %d..%d; want 7..10", evs[0].Seq, evs[3].Seq)
+	}
+	sum := tr.Summary()
+	if len(sum) != 1 || sum[0].Stage != "explore" || sum[0].Count != 10 {
+		t.Fatalf("summary = %+v; want explore count 10 despite ring overflow", sum)
+	}
+}
+
+func TestTracerSummarySorted(t *testing.T) {
+	tr := NewTracer(0, nil)
+	scope := tr.Scope(-1, "")
+	scope.Emit("merge", "")
+	scope.Emit("compile", "")
+	scope.Emit("explore", "")
+	sum := tr.Summary()
+	if len(sum) != 3 || sum[0].Stage != "compile" || sum[1].Stage != "explore" || sum[2].Stage != "merge" {
+		t.Fatalf("summary order = %+v; want stages sorted by name", sum)
+	}
+}
+
+func TestTraceSpanDuration(t *testing.T) {
+	var emitted []StageEvent
+	tr := NewTracer(0, func(ev StageEvent) { emitted = append(emitted, ev) })
+	done := tr.Scope(2, "flat").Span("explore")
+	time.Sleep(5 * time.Millisecond)
+	done("120 states")
+	if len(emitted) != 1 {
+		t.Fatalf("emitted %d events; want 1", len(emitted))
+	}
+	ev := emitted[0]
+	if ev.Stage != "explore" || ev.Cell != 2 || ev.Backend != "flat" || ev.Detail != "120 states" {
+		t.Fatalf("span event = %+v", ev)
+	}
+	if ev.DurMS < 1 {
+		t.Fatalf("span duration = %dms; want >= 1", ev.DurMS)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tracer *Tracer
+	scope := tracer.Scope(0, "naive")
+	if scope != nil {
+		t.Fatal("nil tracer must scope to nil trace")
+	}
+	scope.Emit("explore", "ignored")
+	scope.Span("explore")("ignored")
+	if tracer.Events() != nil || tracer.Summary() != nil {
+		t.Fatal("nil tracer accessors must return nil")
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(16, func(StageEvent) {})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scope := tr.Scope(w, "promising")
+			for i := 0; i < 100; i++ {
+				scope.Emit("explore", "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sum := tr.Summary(); sum[0].Count != 400 {
+		t.Fatalf("aggregate count = %d; want 400", sum[0].Count)
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	var agg StatsSnapshot
+	agg.Accumulate(&StatsSnapshot{Seq: 2, ElapsedMS: 50, States: 100, Frontier: 3, Interned: 40, StatesPerSec: 10})
+	agg.Accumulate(&StatsSnapshot{Seq: 1, ElapsedMS: 80, States: 50, Frontier: 1, Interned: 20, StatesPerSec: 5})
+	agg.Accumulate(nil)
+	if agg.States != 150 || agg.Frontier != 4 || agg.Interned != 60 || agg.StatesPerSec != 15 {
+		t.Fatalf("sums wrong: %+v", agg)
+	}
+	if agg.Seq != 2 || agg.ElapsedMS != 80 {
+		t.Fatalf("maxes wrong: %+v", agg)
+	}
+}

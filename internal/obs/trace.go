@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StageEvent is one typed span event of a job's lifecycle: compile,
+// explore (one checkpoint leg of one backend run), checkpoint,
+// certify-summary, merge, or a fuzz-campaign stage. Events land on the
+// owning Tracer's bounded ring and are streamed by the daemon as the
+// "stage" SSE event kind.
+type StageEvent struct {
+	// Seq orders the events of one tracer (1, 2, ...).
+	Seq int64 `json:"seq"`
+	// TMS is milliseconds since the tracer (the job) started.
+	TMS int64 `json:"t_ms"`
+	// Stage names the span: "compile", "explore", "checkpoint",
+	// "certify-summary", "merge", "campaign", "shrink", ...
+	Stage string `json:"stage"`
+	// Cell is the batch cell the event belongs to (-1 for job-level and
+	// fuzz-campaign events).
+	Cell int `json:"cell"`
+	// Backend tags the emitting backend ("promising", "naive", "flat",
+	// "axiomatic", "fuzz"; empty for backend-neutral stages).
+	Backend string `json:"backend,omitempty"`
+	// Detail is a short human-readable payload ("120000 states, 4
+	// outcomes").
+	Detail string `json:"detail,omitempty"`
+	// DurMS is the span duration for events emitted at span end (0 for
+	// instantaneous events).
+	DurMS int64 `json:"dur_ms,omitempty"`
+}
+
+// StageSummary aggregates a job's events per stage name; unlike the ring
+// it never drops history, so GET /v1/jobs/{id} reports totals even for
+// jobs whose event volume overflowed the ring.
+type StageSummary struct {
+	Stage   string `json:"stage"`
+	Count   int    `json:"count"`
+	TotalMS int64  `json:"total_ms"`
+	MaxMS   int64  `json:"max_ms"`
+}
+
+type stageAgg struct {
+	count   int
+	totalMS int64
+	maxMS   int64
+}
+
+// Tracer collects the stage events of one job on a bounded ring, keeps
+// per-stage aggregates that survive ring overflow, and forwards each
+// event to an optional onEmit callback (the daemon's SSE broadcast).
+// Safe for concurrent use by all of a job's cells.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	seq    int64
+	ring   []StageEvent // ring[0] is the oldest retained event
+	cap    int
+	agg    map[string]*stageAgg
+	onEmit func(StageEvent)
+}
+
+// DefaultTraceEvents is the ring capacity when the caller does not
+// choose one.
+const DefaultTraceEvents = 512
+
+// NewTracer returns a tracer retaining the last capacity events
+// (<= 0 selects DefaultTraceEvents). onEmit, when non-nil, receives
+// every event in seq order.
+func NewTracer(capacity int, onEmit func(StageEvent)) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Tracer{start: time.Now(), cap: capacity, agg: map[string]*stageAgg{}, onEmit: onEmit}
+}
+
+// Scope returns the emission handle for one cell of the traced job.
+// Nil-safe: a nil tracer yields a nil trace, whose methods are no-ops.
+func (t *Tracer) Scope(cell int, backend string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{t: t, cell: cell, backend: backend}
+}
+
+// emit stamps and records one event.
+func (t *Tracer) emit(ev StageEvent) {
+	t.mu.Lock()
+	t.seq++
+	ev.Seq = t.seq
+	ev.TMS = time.Since(t.start).Milliseconds()
+	if len(t.ring) == t.cap {
+		copy(t.ring, t.ring[1:])
+		t.ring[len(t.ring)-1] = ev
+	} else {
+		t.ring = append(t.ring, ev)
+	}
+	a := t.agg[ev.Stage]
+	if a == nil {
+		a = &stageAgg{}
+		t.agg[ev.Stage] = a
+	}
+	a.count++
+	a.totalMS += ev.DurMS
+	if ev.DurMS > a.maxMS {
+		a.maxMS = ev.DurMS
+	}
+	fn := t.onEmit
+	if fn != nil {
+		// Deliver under mu so subscribers observe events in seq order,
+		// mirroring Sampler.Publish.
+		fn(ev)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first. Nil-safe.
+func (t *Tracer) Events() []StageEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]StageEvent(nil), t.ring...)
+}
+
+// Summary returns the per-stage aggregates, stages sorted by name so the
+// wire form is deterministic regardless of cell scheduling. Nil-safe.
+func (t *Tracer) Summary() []StageSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageSummary, 0, len(t.agg))
+	names := make([]string, 0, len(t.agg))
+	for name := range t.agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := t.agg[name]
+		out = append(out, StageSummary{Stage: name, Count: a.count, TotalMS: a.totalMS, MaxMS: a.maxMS})
+	}
+	return out
+}
+
+// Trace is one cell's (or campaign's) emission handle: a Tracer scoped
+// with the cell index and backend tag, so backends and the engine emit
+// without knowing which job they run under. All methods are nil-safe —
+// explore.Options.Trace is threaded through unconditionally.
+type Trace struct {
+	t       *Tracer
+	cell    int
+	backend string
+}
+
+// Emit records an instantaneous stage event.
+func (tr *Trace) Emit(stage, detail string) {
+	if tr == nil {
+		return
+	}
+	tr.t.emit(StageEvent{Stage: stage, Cell: tr.cell, Backend: tr.backend, Detail: detail})
+}
+
+// Span starts a timed stage; the returned func emits the event with the
+// measured duration and a detail assembled at completion. Nil-safe (the
+// returned func is callable either way).
+func (tr *Trace) Span(stage string) func(detail string) {
+	if tr == nil {
+		return func(string) {}
+	}
+	start := time.Now()
+	return func(detail string) {
+		tr.t.emit(StageEvent{
+			Stage: stage, Cell: tr.cell, Backend: tr.backend,
+			Detail: detail, DurMS: time.Since(start).Milliseconds(),
+		})
+	}
+}

@@ -15,8 +15,11 @@
 //	DELETE /v1/jobs/{id}        cancel: aborts in-flight explorations
 //	GET    /v1/jobs/{id}/events per-cell/campaign progress as SSE
 //	GET    /v1/catalog          the built-in canonical litmus tests
+//	GET    /v1/stats            the /metrics counters + job list as JSON
+//	GET    /v1/bench            committed BENCH_*.json benchmark baselines
 //	GET    /healthz             liveness + uptime
 //	GET    /metrics             Prometheus-style counters
+//	GET    /ui                  the embedded observatory dashboard
 package server
 
 import (
@@ -27,6 +30,7 @@ import (
 	"promising/internal/explore"
 	"promising/internal/fuzz"
 	"promising/internal/litmus"
+	"promising/internal/obs"
 )
 
 // CheckOptions tunes one exploration over the wire. Zero values select the
@@ -342,16 +346,42 @@ type JobStatus struct {
 	// recovered before any cell had checkpointed).
 	ResumedFromCheckpoint bool  `json:"resumed_from_checkpoint,omitempty"`
 	CheckpointAgeMS       int64 `json:"checkpoint_age_ms,omitempty"`
+	// Trace is the job's per-stage tracing summary (counts and span
+	// durations per stage name), aggregated over every event the job ever
+	// emitted — ring overflow on the live event stream never loses totals.
+	Trace []obs.StageSummary `json:"trace,omitempty"`
+	// Stats is the in-flight exploration snapshot accumulated across the
+	// job's cells (states, frontier sizes, cache counters, states/sec).
+	// Present only while at least one subscriber made the cells sample.
+	Stats *obs.StatsSnapshot `json:"stats,omitempty"`
 }
 
+// JobEvent kinds (JobEvent.Kind).
+const (
+	// EventCell is a batch-cell completion (Report set).
+	EventCell = "cell"
+	// EventFuzz is a fuzz-campaign progress snapshot (Fuzz set).
+	EventFuzz = "fuzz"
+	// EventStage is a typed stage event from the job's tracer (Stage set).
+	EventStage = "stage"
+	// EventStats is an in-flight exploration stats sample (Stats set).
+	EventStats = "stats"
+	// EventSummary is the stream-ending summary.
+	EventSummary = "summary"
+)
+
 // JobEvent is one Server-Sent Event on GET /v1/jobs/{id}/events: a cell
-// completion, or the stream-ending summary (Cell == -1, Report == nil).
+// completion, a stage event, an in-flight stats sample, a fuzz progress
+// snapshot, or the stream-ending summary (Kind "summary", Cell == -1).
 // A final event with Dropped set means the subscriber fell behind the
-// job's completion rate and per-cell events were lost — the job may still
-// be running, and the client should fall back to polling GET
-// /v1/jobs/{id} (or re-subscribing, which replays completed cells).
+// job's event rate and events were lost — the job may still be running,
+// and the client should fall back to polling GET /v1/jobs/{id} (or
+// re-subscribing, which replays completed cells).
 type JobEvent struct {
-	JobID     string      `json:"job_id"`
+	JobID string `json:"job_id"`
+	// Kind discriminates the event: cell, fuzz, stage, stats, summary
+	// (empty in pre-observatory streams = cell/fuzz by payload field).
+	Kind      string      `json:"kind,omitempty"`
 	State     JobState    `json:"state"`
 	Cell      int         `json:"cell"`
 	Completed int         `json:"completed"`
@@ -360,8 +390,45 @@ type JobEvent struct {
 	// Fuzz carries a campaign progress snapshot (fuzz jobs; Cell is -1 on
 	// progress events, and the stream-ending summary carries the final
 	// snapshot with findings).
-	Fuzz    *FuzzStatus `json:"fuzz,omitempty"`
-	Dropped bool        `json:"dropped,omitempty"`
+	Fuzz *FuzzStatus `json:"fuzz,omitempty"`
+	// Stage is the stage event payload (Kind "stage").
+	Stage *obs.StageEvent `json:"stage_event,omitempty"`
+	// Stats is the sampled in-flight snapshot payload (Kind "stats");
+	// Cell identifies the sampling cell.
+	Stats   *obs.StatsSnapshot `json:"stats,omitempty"`
+	Dropped bool               `json:"dropped,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats: the same counters and
+// gauges as GET /metrics in JSON form, plus the pool shape and the
+// current job list — the dashboard's polling endpoint.
+type StatsResponse struct {
+	// Counters maps each /metrics series name to its current value.
+	Counters map[string]int64 `json:"counters"`
+	// Workers is the exploration worker-pool capacity; Parallelism the
+	// default engine worker count per exploration.
+	Workers     int   `json:"workers"`
+	Parallelism int   `json:"parallelism"`
+	UptimeMS    int64 `json:"uptime_ms"`
+	// Jobs lists the jobs the daemon remembers, oldest first.
+	Jobs []JobSummary `json:"jobs,omitempty"`
+}
+
+// JobSummary is one row of StatsResponse.Jobs.
+type JobSummary struct {
+	ID        string   `json:"id"`
+	Kind      string   `json:"kind"`
+	State     JobState `json:"state"`
+	Total     int      `json:"total"`
+	Completed int      `json:"completed"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+}
+
+// BenchFile is one committed benchmark baseline in GET /v1/bench: the
+// file name and its raw JSON payload (cmd/bench's BENCH_*.json shape).
+type BenchFile struct {
+	Name string          `json:"name"`
+	Data json.RawMessage `json:"data"`
 }
 
 // CatalogInfo describes one catalog test in GET /v1/catalog.

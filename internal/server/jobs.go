@@ -11,6 +11,7 @@ import (
 	"promising/internal/explore"
 	"promising/internal/fuzz"
 	"promising/internal/litmus"
+	"promising/internal/obs"
 )
 
 // A batch job: Tests × Backends cells on the shared worker pool. The job
@@ -35,6 +36,15 @@ type job struct {
 	// state (a shutdown must leave it resumable).
 	userCanceled atomic.Bool
 
+	// tracer collects the job's typed stage events (compile → explore →
+	// checkpoint → certify-summary → merge, fuzz campaign stages); its
+	// onEmit broadcasts each event to SSE subscribers as Kind "stage".
+	// Immutable after construction, internally synchronized.
+	tracer *obs.Tracer
+	// watchers counts live event subscribers; the cells' stats samplers
+	// gate on it, so in-flight sampling costs nothing while nobody looks.
+	watchers atomic.Int64
+
 	mu        sync.Mutex
 	state     JobState
 	total     int
@@ -46,6 +56,46 @@ type job struct {
 	fz      *FuzzStatus
 	elapsed time.Duration // fixed at the terminal transition
 	subs    map[chan JobEvent]*jobSub
+	// samplers holds one stats sampler per cell that ever ran (keyed by
+	// cell index); status() accumulates their latest snapshots into
+	// JobStatus.Stats.
+	samplers map[int]*obs.Sampler
+}
+
+// newTracer wires the job's tracer: every stage event is broadcast live.
+// Lock order: the tracer's onEmit runs under the tracer mutex and takes
+// j.mu — so nothing may call into the tracer while holding j.mu (status()
+// reads the summary outside the lock for this reason).
+func (j *job) newTracer() *obs.Tracer {
+	return obs.NewTracer(0, func(ev obs.StageEvent) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.broadcastLocked(JobEvent{
+			JobID: j.id, Kind: EventStage, State: j.state, Cell: ev.Cell,
+			Completed: j.completed, Total: j.total, Stage: &ev,
+		})
+	})
+}
+
+// cellSampler creates (and registers) the stats sampler for one cell: it
+// publishes only while the job has event subscribers, and every published
+// snapshot is broadcast as Kind "stats". The same publication path mirrors
+// the tracer's lock order: sampler mutex, then j.mu.
+func (j *job) cellSampler(cell int, interval time.Duration) *obs.Sampler {
+	sm := obs.NewSampler(interval)
+	sm.Gate(func() bool { return j.watchers.Load() > 0 })
+	sm.OnPublish(func(snap obs.StatsSnapshot) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.broadcastLocked(JobEvent{
+			JobID: j.id, Kind: EventStats, State: j.state, Cell: cell,
+			Completed: j.completed, Total: j.total, Stats: &snap,
+		})
+	})
+	j.mu.Lock()
+	j.samplers[cell] = sm
+	j.mu.Unlock()
+	return sm
 }
 
 // jobSub is one event subscriber's state; dropped is set when the
@@ -62,11 +112,29 @@ func (j *job) stateNow() JobState {
 }
 
 // status snapshots the job. Reports aliases the live slice's backing array
-// only for completed entries, which are immutable once set.
+// only for completed entries, which are immutable once set. The tracing
+// summary and accumulated stats are read outside j.mu: the tracer and
+// samplers deliver events under their own locks *then* take j.mu, so
+// touching them while holding j.mu would invert that order.
 func (j *job) status() JobStatus {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.statusLocked()
+	st := j.statusLocked()
+	samplers := make([]*obs.Sampler, 0, len(j.samplers))
+	for _, sm := range j.samplers {
+		samplers = append(samplers, sm)
+	}
+	j.mu.Unlock()
+	st.Trace = j.tracer.Summary()
+	if len(samplers) > 0 {
+		agg := &obs.StatsSnapshot{}
+		for _, sm := range samplers {
+			agg.Accumulate(sm.Latest())
+		}
+		if agg.Seq > 0 {
+			st.Stats = agg
+		}
+	}
+	return st
 }
 
 func (j *job) statusLocked() JobStatus {
@@ -110,12 +178,15 @@ func (j *job) subscribe() (JobStatus, <-chan JobEvent, func() bool, func()) {
 	ch := make(chan JobEvent, 256)
 	sub := &jobSub{}
 	j.subs[ch] = sub
+	j.watchers.Add(1)
+	var once sync.Once
 	dropped := func() bool {
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		return sub.dropped
 	}
 	return st, ch, dropped, func() {
+		once.Do(func() { j.watchers.Add(-1) })
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		delete(j.subs, ch)
@@ -135,7 +206,7 @@ func (j *job) record(cell int, tr TestReport) {
 		j.cacheHits++
 	}
 	j.broadcastLocked(JobEvent{
-		JobID: j.id, State: j.state, Cell: cell,
+		JobID: j.id, Kind: EventCell, State: j.state, Cell: cell,
 		Completed: j.completed, Total: j.total, Report: &tr,
 	})
 }
@@ -242,6 +313,33 @@ func (t *jobTable) created() int64 {
 	return t.made
 }
 
+// list summarises every remembered job, oldest first (the /v1/stats job
+// table the dashboard renders).
+func (t *jobTable) list() []JobSummary {
+	t.mu.Lock()
+	jobs := make([]*job, 0, len(t.order))
+	for _, id := range t.order {
+		if j, ok := t.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	t.mu.Unlock()
+	out := make([]JobSummary, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		el := j.elapsed
+		if j.state == JobRunning {
+			el = time.Since(j.start)
+		}
+		out = append(out, JobSummary{
+			ID: j.id, Kind: j.kind, State: j.state,
+			Total: j.total, Completed: j.completed, ElapsedMS: el.Milliseconds(),
+		})
+		j.mu.Unlock()
+	}
+	return out
+}
+
 func newJobID() string {
 	var b [8]byte
 	rand.Read(b[:])
@@ -262,7 +360,7 @@ func (j *job) updateFuzz(st FuzzStatus) {
 	j.fz = &st
 	j.completed = st.Iterations
 	j.broadcastLocked(JobEvent{
-		JobID: j.id, State: j.state, Cell: -1,
+		JobID: j.id, Kind: EventFuzz, State: j.state, Cell: -1,
 		Completed: j.completed, Total: j.total, Fuzz: &st,
 	})
 }
@@ -274,15 +372,18 @@ func (j *job) updateFuzz(st FuzzStatus) {
 func (s *Server) startFuzzJob(cfg fuzz.Config) *job {
 	ctx, cancel := context.WithCancel(s.base)
 	j := &job{
-		id:     newJobID(),
-		kind:   jobKindFuzz,
-		ctx:    ctx,
-		cancel: cancel,
-		start:  time.Now(),
-		state:  JobRunning,
-		total:  cfg.Iterations,
-		subs:   map[chan JobEvent]*jobSub{},
+		id:       newJobID(),
+		kind:     jobKindFuzz,
+		ctx:      ctx,
+		cancel:   cancel,
+		start:    time.Now(),
+		state:    JobRunning,
+		total:    cfg.Iterations,
+		subs:     map[chan JobEvent]*jobSub{},
+		samplers: map[int]*obs.Sampler{},
 	}
+	j.tracer = j.newTracer()
+	cfg.Trace = j.tracer.Scope(-1, "fuzz")
 	s.jobs.add(j)
 
 	cfg.Acquire = func(actx context.Context) (func(), error) {
@@ -364,15 +465,17 @@ func (s *Server) startJob(tests []*litmus.Test, specs []TestSpec, backendNames [
 func (s *Server) launchJob(id string, tests []*litmus.Test, specs []TestSpec, backendNames []string, o CheckOptions, rc *recoveredCells) *job {
 	ctx, cancel := context.WithCancel(s.base)
 	j := &job{
-		id:     id,
-		kind:   jobKindBatch,
-		ctx:    ctx,
-		cancel: cancel,
-		start:  time.Now(),
-		state:  JobRunning,
-		total:  len(tests) * len(backendNames),
-		subs:   map[chan JobEvent]*jobSub{},
+		id:       id,
+		kind:     jobKindBatch,
+		ctx:      ctx,
+		cancel:   cancel,
+		start:    time.Now(),
+		state:    JobRunning,
+		total:    len(tests) * len(backendNames),
+		subs:     map[chan JobEvent]*jobSub{},
+		samplers: map[int]*obs.Sampler{},
 	}
+	j.tracer = j.newTracer()
 	if rc != nil {
 		j.resumed = rc.any
 		j.ckptAge = rc.ckptAge
@@ -406,7 +509,11 @@ func (s *Server) launchJob(id string, tests []*litmus.Test, specs []TestSpec, ba
 					}
 					snap = rc.snaps[cell]
 				}
-				tr := s.runJobCell(ctx, j.id, cell, t, b, o, snap)
+				co := cellObs{
+					trace:   j.tracer.Scope(cell, b),
+					sampler: j.cellSampler(cell, s.cfg.StatsInterval),
+				}
+				tr := s.runJobCell(ctx, j.id, cell, t, b, o, snap, co)
 				j.record(cell, tr)
 				// A cell abandoned by a shutdown (or user cancel) reports
 				// timeout/canceled as an artifact of the abort; persisting

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// metricDef is one daemon metric: a Prometheus series name, its type
+// (counter or gauge) and a getter. The single registry drives both wire
+// forms — GET /metrics renders the Prometheus text exposition, GET
+// /v1/stats the JSON counter map — so the two can never drift.
+type metricDef struct {
+	name string
+	typ  string // "counter" or "gauge"
+	get  func() int64
+}
+
+// metricDefs builds the registry. The getters close over the server's
+// atomics (and the verdict cache), so every render reads live values;
+// definition order is the /metrics emission order.
+func (s *Server) metricDefs() []metricDef {
+	return []metricDef{
+		{"promised_checks_total", "counter", s.checks.Load},
+		{"promised_cache_hits_total", "counter", s.cacheHits.Load},
+		{"promised_cache_misses_total", "counter", func() int64 { return s.cache.Stats().Misses }},
+		{"promised_cache_entries", "gauge", func() int64 { return int64(s.cache.Stats().Entries) }},
+		{"promised_cache_evicted_total", "counter", func() int64 { return s.cache.Stats().Evicted }},
+		{"promised_cert_cache_hits_total", "counter", s.certHits.Load},
+		{"promised_cert_cache_misses_total", "counter", s.certMisses.Load},
+		{"promised_interned_states_total", "counter", s.interned.Load},
+		{"promised_symmetry_hits_total", "counter", s.symmetryHits.Load},
+		{"promised_pruned_states_total", "counter", s.prunedStates.Load},
+		{"promised_explorations_inflight", "gauge", s.inflight.Load},
+		{"promised_cells_pending", "gauge", s.pending.Load},
+		{"promised_jobs_active", "gauge", func() int64 { return int64(s.jobs.active()) }},
+		{"promised_jobs_total", "counter", s.jobs.created},
+		{"promised_jobs_recovered_total", "counter", s.recovered.Load},
+		{"promised_shards_total", "counter", s.shards.Load},
+		{"promised_fuzz_campaigns_total", "counter", s.fuzzCampaigns.Load},
+		{"promised_fuzz_campaigns_active", "gauge", s.fuzzActive.Load},
+		{"promised_fuzz_iterations_total", "counter", s.fuzzIters.Load},
+		{"promised_fuzz_findings_total", "counter", s.fuzzFindings.Load},
+		{"promised_fuzz_corpus_entries", "gauge", s.fuzzCorpus.Load},
+		{"promised_uptime_seconds", "gauge", func() int64 { return int64(time.Since(s.started).Seconds()) }},
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range s.metricDefs() {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m.name, m.typ, m.name, m.get())
+	}
+}
+
+// handleStats serves GET /v1/stats: the metric registry as a JSON counter
+// map plus the worker-pool shape and the job list, for the dashboard.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	defs := s.metricDefs()
+	resp := StatsResponse{
+		Counters:    make(map[string]int64, len(defs)),
+		Workers:     s.cfg.Workers,
+		Parallelism: s.cfg.Parallelism,
+		UptimeMS:    time.Since(s.started).Milliseconds(),
+		Jobs:        s.jobs.list(),
+	}
+	for _, m := range defs {
+		resp.Counters[m.name] = m.get()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBench serves GET /v1/bench: every committed BENCH_*.json baseline
+// under Config.BenchDir, name-sorted, raw payloads passed through — the
+// dashboard's bench-trajectory page renders the series client-side. Files
+// are globbed per request, so new baselines appear without a restart;
+// unreadable or non-JSON files are skipped, not errors.
+func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
+	dir := s.cfg.BenchDir
+	if dir == "" {
+		dir = "."
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	sort.Strings(paths)
+	out := make([]BenchFile, 0, len(paths))
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil || !json.Valid(raw) {
+			continue
+		}
+		out = append(out, BenchFile{Name: filepath.Base(p), Data: raw})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,398 @@
+package server
+
+// Observatory tests: the stage/stats SSE kinds, the per-cell sampler
+// monotonicity guarantees (under -race via the ordinary test run), the
+// fall-behind drop semantics with mixed event kinds, replay determinism,
+// the /v1/stats ↔ /metrics registry, the embedded dashboard and the
+// pprof gate.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"promising/internal/obs"
+)
+
+// collectEvents reads one job's whole SSE stream into typed events,
+// stopping after the terminal summary event.
+func collectEvents(t *testing.T, base *httptest.Server, id string) []JobEvent {
+	t.Helper()
+	resp, err := http.Get(base.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events []JobEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+		if ev.Kind == EventSummary {
+			break
+		}
+	}
+	return events
+}
+
+// TestJobEventsStatsAndStages is the tentpole's end-to-end assertion: a
+// watched batch job streams typed stage events and periodic stats
+// snapshots whose per-cell counters are monotone, and its terminal status
+// carries the tracing summary. Parallelism 4 makes the engine's sampler
+// election concurrent, which the -race CI lane checks for data races.
+func TestJobEventsStatsAndStages(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2, StatsInterval: time.Millisecond})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+
+	br, err := c.Batch(ctx, BatchRequest{
+		Tests:    []TestSpec{{Source: restartSrc()}, {Catalog: "MP"}},
+		Backends: []string{"promising"},
+		Options:  CheckOptions{Parallelism: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := collectEvents(t, hs, br.JobID)
+	if len(events) == 0 {
+		t.Fatal("no events")
+	}
+	if fin := events[len(events)-1]; fin.Kind != EventSummary || fin.State != JobDone {
+		t.Fatalf("terminal event = %+v; want done summary", fin)
+	}
+
+	// Stats snapshots: at least one, and per cell the sampler guarantees
+	// Seq strictly increasing and States/Interned non-decreasing.
+	lastSeq := map[int]int64{}
+	lastStates := map[int]int64{}
+	lastInterned := map[int]int{}
+	stats, stages := 0, map[string]int{}
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventStats:
+			stats++
+			if ev.Stats == nil {
+				t.Fatalf("stats event without snapshot: %+v", ev)
+			}
+			if ev.Stats.Seq <= lastSeq[ev.Cell] {
+				t.Fatalf("cell %d: seq %d after %d", ev.Cell, ev.Stats.Seq, lastSeq[ev.Cell])
+			}
+			if ev.Stats.States < lastStates[ev.Cell] {
+				t.Fatalf("cell %d: states regressed %d -> %d", ev.Cell, lastStates[ev.Cell], ev.Stats.States)
+			}
+			if ev.Stats.Interned < lastInterned[ev.Cell] {
+				t.Fatalf("cell %d: interned regressed %d -> %d", ev.Cell, lastInterned[ev.Cell], ev.Stats.Interned)
+			}
+			lastSeq[ev.Cell] = ev.Stats.Seq
+			lastStates[ev.Cell] = ev.Stats.States
+			lastInterned[ev.Cell] = ev.Stats.Interned
+		case EventStage:
+			if ev.Stage == nil {
+				t.Fatalf("stage event without payload: %+v", ev)
+			}
+			stages[ev.Stage.Stage]++
+		}
+	}
+	if stats == 0 {
+		t.Fatal("no stats events streamed for a watched job")
+	}
+	// Stage events are live-only (cells that compiled before the SSE
+	// connection landed streamed theirs already); the long cell's explore
+	// leg always ends while we watch. The full stage history — including
+	// the raced compile events — is asserted via the status Trace below.
+	if stages["explore"] == 0 {
+		t.Fatalf("no explore stage events (saw %v)", stages)
+	}
+
+	// The terminal job status aggregates the trace and the last snapshots.
+	st, err := c.Job(ctx, br.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStage := map[string]StageSummaryAlias{}
+	for _, sum := range st.Trace {
+		byStage[sum.Stage] = StageSummaryAlias(sum)
+	}
+	if byStage["compile"].Count < 2 || byStage["explore"].Count < 2 {
+		t.Fatalf("trace summary incomplete: %+v", st.Trace)
+	}
+	if st.Stats == nil || st.Stats.Seq == 0 || st.Stats.States == 0 {
+		t.Fatalf("status stats = %+v; want accumulated snapshots", st.Stats)
+	}
+}
+
+// StageSummaryAlias keeps the test readable without importing obs at
+// every use site.
+type StageSummaryAlias = obs.StageSummary
+
+// TestJobEventReplayDeterministic: subscribing to a finished job replays
+// its cells in deterministic order — two replays are byte-identical and
+// the cell indices ascend.
+func TestJobEventReplayDeterministic(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	ctx := context.Background()
+
+	br, err := c.Batch(ctx, BatchRequest{
+		Tests:    []TestSpec{{Catalog: "MP"}, {Catalog: "SB"}},
+		Backends: []string{"promising", "naive"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, c, br.JobID, 60*time.Second)
+
+	read := func() string {
+		resp, err := http.Get(hs.URL + "/v1/jobs/" + br.JobID + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	first, second := read(), read()
+	if first != second {
+		t.Fatalf("replays differ:\n%s\n--- vs ---\n%s", first, second)
+	}
+	var cells []int
+	for _, line := range strings.Split(first, "\n") {
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev JobEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == EventCell {
+			cells = append(cells, ev.Cell)
+		}
+	}
+	if len(cells) != 4 {
+		t.Fatalf("replayed %d cells; want 4", len(cells))
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i] <= cells[i-1] {
+			t.Fatalf("replay order not ascending: %v", cells)
+		}
+	}
+}
+
+// TestSubscriberFallBehindDropped drives the broadcast path directly with
+// interleaved stage and stats events: a subscriber that stops draining is
+// flagged and closed after exactly its buffer of events, the retained
+// prefix preserves emission order across both kinds, and the job carries
+// on unaffected.
+func TestSubscriberFallBehindDropped(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j := &job{
+		id: "job-test", kind: jobKindBatch, ctx: ctx, cancel: cancel,
+		start: time.Now(), state: JobRunning,
+		total: 1, subs: map[chan JobEvent]*jobSub{}, samplers: map[int]*obs.Sampler{},
+	}
+	j.tracer = j.newTracer()
+	trace := j.tracer.Scope(0, "promising")
+	sm := j.cellSampler(0, time.Nanosecond)
+
+	if sm.Active() {
+		t.Fatal("sampler active with no subscribers")
+	}
+	_, ch, dropped, unsub := j.subscribe()
+	defer unsub()
+	if !sm.Active() {
+		t.Fatal("sampler inactive with a live subscriber")
+	}
+
+	// Emit more than the 256-event subscriber buffer without draining,
+	// alternating kinds the way a running cell does.
+	for i := 0; i < 300; i++ {
+		trace.Emit("explore", "leg")
+		sm.Publish(time.Now(), obs.StatsSnapshot{States: int64(i)})
+	}
+	if !dropped() {
+		t.Fatal("overflowed subscriber not flagged as dropped")
+	}
+
+	var got []JobEvent
+	for ev := range ch { // closed by the drop
+		got = append(got, ev)
+	}
+	if len(got) != 256 {
+		t.Fatalf("buffered %d events before the drop; want 256", len(got))
+	}
+	var stageSeq, statsSeq int64
+	for i, ev := range got {
+		switch ev.Kind {
+		case EventStage:
+			if ev.Stage.Seq <= stageSeq {
+				t.Fatalf("event %d: stage seq %d after %d", i, ev.Stage.Seq, stageSeq)
+			}
+			stageSeq = ev.Stage.Seq
+		case EventStats:
+			if ev.Stats.Seq <= statsSeq {
+				t.Fatalf("event %d: stats seq %d after %d", i, ev.Stats.Seq, statsSeq)
+			}
+			statsSeq = ev.Stats.Seq
+		default:
+			t.Fatalf("event %d: unexpected kind %q", i, ev.Kind)
+		}
+	}
+	if stageSeq == 0 || statsSeq == 0 {
+		t.Fatal("drop prefix missing one of the interleaved kinds")
+	}
+
+	// The job is still healthy: later emissions and the terminal
+	// transition must not block or panic with the subscriber gone.
+	trace.Emit("checkpoint", "after drop")
+	j.finish()
+	if st := j.status(); st.State != JobDone {
+		t.Fatalf("state = %s; want done", st.State)
+	}
+	unsub()
+	if sm.Active() {
+		t.Fatal("sampler still active after unsubscribe")
+	}
+}
+
+// TestStatsMatchesMetrics: /v1/stats and /metrics render the same
+// registry — every counter agrees (modulo the uptime gauge, which ticks
+// between the two requests).
+func TestStatsMatchesMetrics(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	if _, err := c.Check(ctx, CheckRequest{TestSpec: TestSpec{Source: sbSrc}, Backend: "promising"}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	fromMetrics := map[string]int64{}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		var name string
+		var val int64
+		if n, _ := fmtSscanf(line, &name, &val); n == 2 && !strings.HasPrefix(line, "#") {
+			fromMetrics[name] = val
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Counters) != len(fromMetrics) {
+		t.Fatalf("/v1/stats has %d counters, /metrics %d", len(stats.Counters), len(fromMetrics))
+	}
+	for name, want := range fromMetrics {
+		if name == "promised_uptime_seconds" {
+			continue
+		}
+		if got := stats.Counters[name]; got != want {
+			t.Fatalf("%s: /v1/stats %d != /metrics %d", name, got, want)
+		}
+	}
+	if stats.Counters["promised_checks_total"] != 1 {
+		t.Fatalf("checks_total = %d; want 1", stats.Counters["promised_checks_total"])
+	}
+}
+
+// fmtSscanf parses one "name value" metrics line.
+func fmtSscanf(line string, name *string, val *int64) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return 0, nil
+	}
+	*name = fields[0]
+	if err := json.Unmarshal([]byte(fields[1]), val); err != nil {
+		return 1, err
+	}
+	return 2, nil
+}
+
+// TestUIDashboardServed: the embedded observatory is mounted at /ui with
+// its assets, and /ui redirects into it.
+func TestUIDashboardServed(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+	if rec := get("/ui/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "promised observatory") {
+		t.Fatalf("GET /ui/ = %d, body %q...", rec.Code, rec.Body.String()[:min(80, rec.Body.Len())])
+	}
+	if rec := get("/ui"); rec.Code != http.StatusMovedPermanently {
+		t.Fatalf("GET /ui = %d; want 301", rec.Code)
+	}
+	if rec := get("/ui/app.js"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "EventSource") {
+		t.Fatalf("GET /ui/app.js = %d", rec.Code)
+	}
+	if rec := get("/ui/style.css"); rec.Code != http.StatusOK {
+		t.Fatalf("GET /ui/style.css = %d", rec.Code)
+	}
+}
+
+// TestBenchEndpoint: /v1/bench serves the BenchDir's valid BENCH_*.json
+// files name-sorted, skipping malformed ones.
+func TestBenchEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"BENCH_1.json": `{"cells":[{"test":"SB","seconds":0.1}]}`,
+		"BENCH_2.json": `{"cells":[{"test":"SB","seconds":0.2}]}`,
+		"BENCH_3.json": `{not json`,
+		"NOTES.txt":    "ignored",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, _ := newTestServer(t, Config{BenchDir: dir})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/bench", nil))
+	var files []BenchFile
+	if err := json.Unmarshal(rec.Body.Bytes(), &files); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0].Name != "BENCH_1.json" || files[1].Name != "BENCH_2.json" {
+		t.Fatalf("bench files = %+v; want the two valid snapshots in order", files)
+	}
+}
+
+// TestPprofGate: /debug/pprof/ exists only behind Config.Pprof.
+func TestPprofGate(t *testing.T) {
+	on, _ := newTestServer(t, Config{Pprof: true})
+	rec := httptest.NewRecorder()
+	on.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof on: GET /debug/pprof/ = %d; want 200", rec.Code)
+	}
+	off, _ := newTestServer(t, Config{})
+	rec = httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof off: GET /debug/pprof/ = %d; want 404", rec.Code)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -19,6 +20,8 @@ import (
 	"promising/internal/fuzz"
 	"promising/internal/lang"
 	"promising/internal/litmus"
+	"promising/internal/obs"
+	"promising/internal/server/ui"
 )
 
 // Config tunes the model-checking service.
@@ -73,6 +76,17 @@ type Config struct {
 	// FuzzCorpusDir but not in-memory dedup state, so raising this when a
 	// corpus dir is set may admit behavioural duplicates.
 	MaxFuzzJobs int
+	// StatsInterval is how often a watched job cell publishes an in-flight
+	// StatsSnapshot to its SSE subscribers (default 250ms). Cells sample
+	// only while the job has at least one event subscriber.
+	StatsInterval time.Duration
+	// BenchDir is where GET /v1/bench globs committed BENCH_*.json
+	// baselines from (default ".", the daemon's working directory).
+	BenchDir string
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the service mux
+	// (off by default: profiling endpoints expose stacks and heap
+	// contents, so they are opt-in via promised -pprof).
+	Pprof bool
 	// Logf, when non-nil, receives one line per request and job
 	// transition.
 	Logf func(format string, args ...any)
@@ -106,6 +120,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxFuzzJobs <= 0 {
 		out.MaxFuzzJobs = 1
+	}
+	if out.StatsInterval <= 0 {
+		out.StatsInterval = 250 * time.Millisecond
+	}
+	if out.BenchDir == "" {
+		out.BenchDir = "."
 	}
 	return out
 }
@@ -187,6 +207,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/bench", s.handleBench)
+	s.mux.Handle("GET /ui/", http.StripPrefix("/ui/", http.FileServerFS(ui.FS)))
+	s.mux.Handle("GET /ui", http.RedirectHandler("/ui/", http.StatusMovedPermanently))
+	if cfg.Pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	if cfg.StateDir != "" {
 		s.store, err = openJobStore(cfg.StateDir)
 		if err != nil {
@@ -379,9 +410,24 @@ func checkOptionsValid(o CheckOptions) error {
 // timeouts, aborts and errors depend on the budget that produced them.
 func cacheable(status string) bool { return litmus.Status(status).Complete() }
 
+// cellObs is one cell's observability wiring: the job tracer scope its
+// stage events land on and the sampler its in-flight stats publish
+// through. The zero value (synchronous /v1/check cells) observes nothing
+// — both fields are nil-safe all the way down the engine.
+type cellObs struct {
+	trace   *obs.Trace
+	sampler *obs.Sampler
+}
+
+// apply installs the wiring on a cell's engine options.
+func (co cellObs) apply(eo *explore.Options) {
+	eo.Trace = co.trace
+	eo.Sampler = co.sampler
+}
+
 // runCell checks one (test, backend) cell: cache lookup, then a
 // worker-pool slot, then the exploration itself.
-func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o CheckOptions) TestReport {
+func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o CheckOptions, co cellObs) TestReport {
 	s.checks.Add(1)
 	key := cacheKey(t, backend, o)
 	if raw, ok := s.cache.Get(key); ok {
@@ -410,6 +456,7 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 
 	eo, timeout := s.exploreOptions(ctx, o)
 	eo.Deadline = time.Now().Add(timeout)
+	co.apply(&eo)
 	v, rerr := litmus.Run(t, named.Run, eo)
 	tr := ReportJSON(litmus.Report{Test: t, Backend: backend, Verdict: v, Err: rerr})
 	if st := tr.Stats; st != nil {
@@ -435,9 +482,9 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 // legs — until it completes or its budget expires. A killed daemon
 // restarts the cell from the latest persisted snapshot. snap, when
 // non-nil, is the checkpoint recovered for this cell at startup.
-func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litmus.Test, backend string, o CheckOptions, snap *explore.Snapshot) TestReport {
+func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litmus.Test, backend string, o CheckOptions, snap *explore.Snapshot, co cellObs) TestReport {
 	if s.store == nil {
-		return s.runCell(ctx, t, backend, o)
+		return s.runCell(ctx, t, backend, o, co)
 	}
 	s.checks.Add(1)
 	key := cacheKey(t, backend, o)
@@ -479,12 +526,13 @@ func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litm
 	// one test, so legs share it.
 	eo.Deadline = time.Now().Add(timeout)
 	eo.CertCache = explore.NewSharedCertCache()
+	co.apply(&eo)
 	var (
 		v       *litmus.Verdict
 		rerr    error
 		elapsed time.Duration
 	)
-	for {
+	for leg := 1; ; leg++ {
 		ck := explore.NewCheckpoint()
 		eo.Checkpoint = ck
 		timer := time.AfterFunc(s.cfg.CheckpointInterval, ck.Request)
@@ -503,6 +551,7 @@ func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litm
 		}
 		snap = v.Result.Snapshot
 		s.store.putSnap(jobID, cell, snap)
+		co.trace.Emit("checkpoint", fmt.Sprintf("leg %d: %d pending, %d states", leg, len(snap.Frontier), snap.States))
 	}
 	if v != nil {
 		v.Elapsed = elapsed
@@ -533,33 +582,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		ActiveJobs: s.jobs.active(),
 		Backends:   strings.Join(backends.Names(), " "),
 	})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# TYPE promised_checks_total counter\npromised_checks_total %d\n", s.checks.Load())
-	fmt.Fprintf(w, "# TYPE promised_cache_hits_total counter\npromised_cache_hits_total %d\n", s.cacheHits.Load())
-	fmt.Fprintf(w, "# TYPE promised_cache_misses_total counter\npromised_cache_misses_total %d\n", cs.Misses)
-	fmt.Fprintf(w, "# TYPE promised_cache_entries gauge\npromised_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "# TYPE promised_cache_evicted_total counter\npromised_cache_evicted_total %d\n", cs.Evicted)
-	fmt.Fprintf(w, "# TYPE promised_cert_cache_hits_total counter\npromised_cert_cache_hits_total %d\n", s.certHits.Load())
-	fmt.Fprintf(w, "# TYPE promised_cert_cache_misses_total counter\npromised_cert_cache_misses_total %d\n", s.certMisses.Load())
-	fmt.Fprintf(w, "# TYPE promised_interned_states_total counter\npromised_interned_states_total %d\n", s.interned.Load())
-	fmt.Fprintf(w, "# TYPE promised_symmetry_hits_total counter\npromised_symmetry_hits_total %d\n", s.symmetryHits.Load())
-	fmt.Fprintf(w, "# TYPE promised_pruned_states_total counter\npromised_pruned_states_total %d\n", s.prunedStates.Load())
-	fmt.Fprintf(w, "# TYPE promised_explorations_inflight gauge\npromised_explorations_inflight %d\n", s.inflight.Load())
-	fmt.Fprintf(w, "# TYPE promised_cells_pending gauge\npromised_cells_pending %d\n", s.pending.Load())
-	fmt.Fprintf(w, "# TYPE promised_jobs_active gauge\npromised_jobs_active %d\n", s.jobs.active())
-	fmt.Fprintf(w, "# TYPE promised_jobs_total counter\npromised_jobs_total %d\n", s.jobs.created())
-	fmt.Fprintf(w, "# TYPE promised_jobs_recovered_total counter\npromised_jobs_recovered_total %d\n", s.recovered.Load())
-	fmt.Fprintf(w, "# TYPE promised_shards_total counter\npromised_shards_total %d\n", s.shards.Load())
-	fmt.Fprintf(w, "# TYPE promised_fuzz_campaigns_total counter\npromised_fuzz_campaigns_total %d\n", s.fuzzCampaigns.Load())
-	fmt.Fprintf(w, "# TYPE promised_fuzz_campaigns_active gauge\npromised_fuzz_campaigns_active %d\n", s.fuzzActive.Load())
-	fmt.Fprintf(w, "# TYPE promised_fuzz_iterations_total counter\npromised_fuzz_iterations_total %d\n", s.fuzzIters.Load())
-	fmt.Fprintf(w, "# TYPE promised_fuzz_findings_total counter\npromised_fuzz_findings_total %d\n", s.fuzzFindings.Load())
-	fmt.Fprintf(w, "# TYPE promised_fuzz_corpus_entries gauge\npromised_fuzz_corpus_entries %d\n", s.fuzzCorpus.Load())
-	fmt.Fprintf(w, "# TYPE promised_uptime_seconds gauge\npromised_uptime_seconds %d\n", int64(time.Since(s.started).Seconds()))
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
@@ -606,7 +628,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	defer context.AfterFunc(s.base, cancel)()
-	tr := s.runCell(ctx, t, req.Backend, req.Options)
+	tr := s.runCell(ctx, t, req.Backend, req.Options, cellObs{})
 	s.logf("promised: check %s backend=%s status=%s cached=%t", tr.Test, tr.Backend, tr.Status, tr.Cached)
 	writeJSON(w, http.StatusOK, tr)
 }
@@ -875,13 +897,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// Fuzz jobs have no cells; their snapshot is the latest progress.
 	for i, tr := range st.Reports {
 		if tr != nil {
-			if !enc(JobEvent{JobID: j.id, State: st.State, Cell: i, Completed: st.Completed, Total: st.Total, Report: tr}) {
+			if !enc(JobEvent{JobID: j.id, Kind: EventCell, State: st.State, Cell: i, Completed: st.Completed, Total: st.Total, Report: tr}) {
 				return
 			}
 		}
 	}
 	if st.Fuzz != nil {
-		if !enc(JobEvent{JobID: j.id, State: st.State, Cell: -1, Completed: st.Completed, Total: st.Total, Fuzz: st.Fuzz}) {
+		if !enc(JobEvent{JobID: j.id, Kind: EventFuzz, State: st.State, Cell: -1, Completed: st.Completed, Total: st.Total, Fuzz: st.Fuzz}) {
 			return
 		}
 	}
@@ -896,7 +918,7 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				// knows to poll or re-subscribe instead of trusting the
 				// stream as complete.
 				fin := j.status()
-				enc(JobEvent{JobID: j.id, State: fin.State, Cell: -1, Completed: fin.Completed,
+				enc(JobEvent{JobID: j.id, Kind: EventSummary, State: fin.State, Cell: -1, Completed: fin.Completed,
 					Total: fin.Total, Fuzz: fin.Fuzz, Dropped: dropped()})
 				return
 			}

@@ -1,0 +1,284 @@
+// promised observatory — dependency-free dashboard.
+// Polls /v1/stats for gauges and the job table, follows one job live over
+// its SSE event stream, and renders BENCH_*.json baselines from /v1/bench.
+"use strict";
+
+const $ = (sel) => document.querySelector(sel);
+
+// ---------------------------------------------------------------- tabs
+
+function showTab(name) {
+  $("#page-jobs").classList.toggle("hidden", name !== "jobs");
+  $("#page-bench").classList.toggle("hidden", name !== "bench");
+  $("#tab-jobs").classList.toggle("active", name === "jobs");
+  $("#tab-bench").classList.toggle("active", name === "bench");
+  if (name === "bench") loadBench();
+}
+$("#tab-jobs").addEventListener("click", () => showTab("jobs"));
+$("#tab-bench").addEventListener("click", () => showTab("bench"));
+
+// -------------------------------------------------------------- gauges
+
+const GAUGES = [
+  ["promised_explorations_inflight", "in-flight"],
+  ["promised_cells_pending", "cells pending"],
+  ["promised_jobs_active", "jobs active"],
+  ["promised_checks_total", "checks"],
+  ["promised_cache_hits_total", "verdict-cache hits"],
+  ["promised_cert_cache_hits_total", "cert-cache hits"],
+  ["promised_interned_states_total", "states interned"],
+  ["promised_symmetry_hits_total", "symmetry hits"],
+  ["promised_pruned_states_total", "pruned"],
+  ["promised_fuzz_iterations_total", "fuzz iters"],
+  ["promised_fuzz_findings_total", "fuzz findings"],
+];
+
+function fmtCount(n) {
+  if (n >= 1e9) return (n / 1e9).toFixed(1) + "G";
+  if (n >= 1e6) return (n / 1e6).toFixed(1) + "M";
+  if (n >= 1e4) return (n / 1e3).toFixed(1) + "k";
+  return String(n);
+}
+
+function gauge(label, value) {
+  const d = document.createElement("div");
+  d.className = "gauge";
+  d.innerHTML = `<span class="val"></span><span class="lbl"></span>`;
+  d.querySelector(".val").textContent = value;
+  d.querySelector(".lbl").textContent = label;
+  return d;
+}
+
+function renderGauges(stats) {
+  const box = $("#gauges");
+  box.replaceChildren();
+  box.appendChild(gauge("workers", `${stats.counters.promised_explorations_inflight}/${stats.workers}`));
+  for (const [name, label] of GAUGES.slice(1)) {
+    box.appendChild(gauge(label, fmtCount(stats.counters[name] || 0)));
+  }
+}
+
+// ------------------------------------------------------------ job table
+
+function fmtMS(ms) {
+  if (ms >= 60000) return (ms / 60000).toFixed(1) + "m";
+  if (ms >= 1000) return (ms / 1000).toFixed(1) + "s";
+  return ms + "ms";
+}
+
+function progressBar(completed, total) {
+  const pct = total > 0 ? Math.min(100, Math.round((100 * completed) / total)) : 0;
+  const wrap = document.createElement("div");
+  wrap.className = "bar";
+  const fill = document.createElement("div");
+  fill.className = "fill";
+  fill.style.width = pct + "%";
+  wrap.appendChild(fill);
+  const txt = document.createElement("span");
+  txt.textContent = total > 0 ? `${completed}/${total}` : `${completed}`;
+  wrap.appendChild(txt);
+  return wrap;
+}
+
+function renderJobs(jobs) {
+  const tbody = $("#jobs tbody");
+  tbody.replaceChildren();
+  $("#nojobs").classList.toggle("hidden", jobs.length > 0);
+  for (const j of jobs.slice().reverse()) {
+    const tr = document.createElement("tr");
+    tr.className = "job state-" + j.state;
+    const id = document.createElement("td");
+    const a = document.createElement("a");
+    a.textContent = j.id;
+    a.href = "#";
+    a.addEventListener("click", (e) => { e.preventDefault(); openJob(j.id); });
+    id.appendChild(a);
+    const kind = document.createElement("td");
+    kind.textContent = j.kind;
+    const state = document.createElement("td");
+    state.textContent = j.state;
+    const prog = document.createElement("td");
+    prog.appendChild(progressBar(j.completed, j.total));
+    const el = document.createElement("td");
+    el.textContent = fmtMS(j.elapsed_ms);
+    tr.append(id, kind, state, prog, el);
+    tbody.appendChild(tr);
+  }
+}
+
+async function poll() {
+  try {
+    const res = await fetch("/v1/stats");
+    const stats = await res.json();
+    renderGauges(stats);
+    renderJobs(stats.jobs || []);
+    $("#conn").textContent = "live";
+    $("#conn").classList.add("ok");
+  } catch (e) {
+    $("#conn").textContent = "disconnected";
+    $("#conn").classList.remove("ok");
+  }
+}
+poll();
+setInterval(poll, 2000);
+
+// ------------------------------------------------------------ job detail
+
+let es = null;
+const cellStates = new Map();
+
+function closeJob() {
+  if (es) { es.close(); es = null; }
+  $("#detail").classList.add("hidden");
+  cellStates.clear();
+}
+$("#detail-close").addEventListener("click", closeJob);
+
+function renderCellMap(total) {
+  const map = $("#cellmap");
+  map.replaceChildren();
+  for (let i = 0; i < total; i++) {
+    const c = document.createElement("span");
+    c.className = "cell " + (cellStates.get(i) || "waiting");
+    c.title = "cell " + i;
+    map.appendChild(c);
+  }
+}
+
+function renderDetailStats(stats) {
+  const box = $("#detail-stats");
+  box.replaceChildren();
+  if (!stats) return;
+  box.appendChild(gauge("states", fmtCount(stats.states || 0)));
+  box.appendChild(gauge("frontier", fmtCount(stats.frontier || 0)));
+  box.appendChild(gauge("interned", fmtCount(stats.interned || 0)));
+  box.appendChild(gauge("states/sec", fmtCount(Math.round(stats.states_per_sec || 0))));
+  if (stats.eta_ms) box.appendChild(gauge("ETA", fmtMS(stats.eta_ms)));
+  if (stats.cert_hits) box.appendChild(gauge("cert hits", fmtCount(stats.cert_hits)));
+  if (stats.symmetry_hits) box.appendChild(gauge("sym hits", fmtCount(stats.symmetry_hits)));
+  if (stats.pruned_states) box.appendChild(gauge("pruned", fmtCount(stats.pruned_states)));
+}
+
+function logEvent(text, cls) {
+  const ul = $("#events");
+  const li = document.createElement("li");
+  li.textContent = text;
+  if (cls) li.className = cls;
+  ul.prepend(li);
+  while (ul.children.length > 200) ul.removeChild(ul.lastChild);
+}
+
+function openJob(id) {
+  closeJob();
+  $("#detail").classList.remove("hidden");
+  $("#detail-id").textContent = id;
+  $("#events").replaceChildren();
+  let total = 0;
+  es = new EventSource(`/v1/jobs/${id}/events`);
+  es.onmessage = (msg) => {
+    const ev = JSON.parse(msg.data);
+    total = ev.total || total;
+    switch (ev.kind) {
+      case "cell":
+        cellStates.set(ev.cell, ev.report && ev.report.status === "pass" ? "pass"
+          : ev.report && ev.report.status === "fail" ? "fail" : "other");
+        renderCellMap(total);
+        if (ev.report) logEvent(`cell ${ev.cell}: ${ev.report.test} [${ev.report.backend}] ${ev.report.status} (${ev.report.states} states)`);
+        break;
+      case "stats":
+        if (ev.stats) renderDetailStats(ev.stats);
+        if (!cellStates.has(ev.cell)) { cellStates.set(ev.cell, "running"); renderCellMap(total); }
+        break;
+      case "stage":
+        if (ev.stage_event) {
+          const se = ev.stage_event;
+          logEvent(`[${se.stage}] cell ${se.cell}${se.backend ? " " + se.backend : ""}: ${se.detail || ""}${se.dur_ms ? " (" + fmtMS(se.dur_ms) + ")" : ""}`, "stage");
+        }
+        break;
+      case "fuzz":
+        if (ev.fuzz) logEvent(`fuzz: ${ev.fuzz.iterations} iters, ${ev.fuzz.findings} findings, corpus ${ev.fuzz.corpus_size}`);
+        break;
+      case "summary":
+        logEvent(`job ${ev.state}${ev.dropped ? " (stream fell behind — poll /v1/jobs/" + id + ")" : ""} — ${ev.completed}/${ev.total}`, "summary");
+        es.close();
+        es = null;
+        break;
+      default:
+        logEvent(msg.data);
+    }
+  };
+  es.onerror = () => logEvent("stream error (job may have finished)", "summary");
+}
+
+// ---------------------------------------------------------------- bench
+
+function sparkline(values, width, height) {
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("viewBox", `0 0 ${width} ${height}`);
+  svg.setAttribute("class", "spark");
+  if (values.length === 0) return svg;
+  const max = Math.max(...values, 1);
+  const step = values.length > 1 ? width / (values.length - 1) : width;
+  const pts = values.map((v, i) => `${(i * step).toFixed(1)},${(height - (v / max) * (height - 4) - 2).toFixed(1)}`);
+  const line = document.createElementNS("http://www.w3.org/2000/svg", "polyline");
+  line.setAttribute("points", pts.join(" "));
+  svg.appendChild(line);
+  return svg;
+}
+
+// numericSeries flattens one BENCH_*.json payload into labelled numeric
+// series, tolerating both flat {name: number} maps and nested objects.
+function numericSeries(prefix, data, out) {
+  for (const [k, v] of Object.entries(data)) {
+    const key = prefix ? prefix + "." + k : k;
+    if (typeof v === "number") {
+      (out[key] = out[key] || []).push(v);
+    } else if (v && typeof v === "object" && !Array.isArray(v)) {
+      numericSeries(key, v, out);
+    }
+  }
+}
+
+async function loadBench() {
+  const box = $("#bench");
+  box.replaceChildren();
+  let files;
+  try {
+    files = await (await fetch("/v1/bench")).json();
+  } catch (e) {
+    box.textContent = "failed to load /v1/bench";
+    return;
+  }
+  if (!files || files.length === 0) {
+    box.innerHTML = `<p class="dim">No BENCH_*.json baselines found in the daemon's bench dir.</p>`;
+    return;
+  }
+  // Collect each metric's trajectory across the files (name-sorted =
+  // chronological for date-stamped baselines).
+  const series = {};
+  const names = [];
+  for (const f of files) {
+    names.push(f.name);
+    numericSeries("", f.data, series);
+  }
+  const list = document.createElement("p");
+  list.className = "dim";
+  list.textContent = names.join(" → ");
+  box.appendChild(list);
+  const keys = Object.keys(series).sort();
+  for (const key of keys) {
+    const vals = series[key];
+    const row = document.createElement("div");
+    row.className = "benchrow";
+    const lbl = document.createElement("span");
+    lbl.className = "benchlbl";
+    lbl.textContent = key;
+    const last = document.createElement("span");
+    last.className = "benchval";
+    last.textContent = vals[vals.length - 1];
+    row.appendChild(lbl);
+    row.appendChild(sparkline(vals, 240, 32));
+    row.appendChild(last);
+    box.appendChild(row);
+  }
+}

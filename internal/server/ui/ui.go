@@ -1,0 +1,14 @@
+// Package ui embeds the observatory dashboard served under GET /ui: a
+// dependency-free HTML/JS single page that polls GET /v1/stats for the
+// daemon gauges and job table, follows running jobs live over the SSE
+// event stream (stage events, in-flight stats samples, per-cell verdicts)
+// and renders the committed BENCH_*.json baselines from GET /v1/bench.
+package ui
+
+import "embed"
+
+// FS holds the dashboard assets. The server mounts it with
+// http.FileServerFS under /ui/.
+//
+//go:embed index.html app.js style.css
+var FS embed.FS

@@ -27,6 +27,7 @@ import (
 	"promising/internal/fuzz"
 	"promising/internal/lang"
 	"promising/internal/litmus"
+	"promising/internal/obs"
 	"promising/internal/server"
 )
 
@@ -323,6 +324,39 @@ func ReplayCorpus(ctx context.Context, corpus *FuzzCorpus, backends []string, ti
 func FormatOutcomes(v *Verdict) string {
 	return litmus.FormatOutcomes(v.Spec, v.Result, v.Test.Prog)
 }
+
+// ---------------------------------------------------------------------
+// Observability (internal/obs): in-flight stats sampling and stage-event
+// tracing. The daemon streams both over SSE and renders them at GET /ui.
+
+// Re-exported observability types.
+type (
+	// StatsSnapshot is one in-flight sample of a running exploration:
+	// visited states, frontier depth, interned states, cache hit counters
+	// and a smoothed states/sec rate (ExploreOptions.Sampler publishes
+	// them on a fixed cadence with no hot-path cost when inactive).
+	StatsSnapshot = obs.StatsSnapshot
+	// StageEvent is one pipeline stage transition (compile, explore,
+	// checkpoint, certify-summary, merge, ...) on a Trace.
+	StageEvent = obs.StageEvent
+	// StageSummary aggregates a job's stage events per stage name.
+	StageSummary = obs.StageSummary
+	// Sampler publishes StatsSnapshots from a running engine; set it as
+	// ExploreOptions.Sampler.
+	Sampler = obs.Sampler
+	// Tracer collects StageEvents on a bounded ring; derive per-cell
+	// Traces with Scope and set them as ExploreOptions.Trace.
+	Tracer = obs.Tracer
+)
+
+// NewSampler returns a stats sampler publishing on the given cadence
+// (0 selects the 250ms default).
+func NewSampler(interval time.Duration) *Sampler { return obs.NewSampler(interval) }
+
+// NewTracer returns a stage-event tracer with a bounded ring of cap
+// events (0 selects the default); onEmit, if non-nil, observes every
+// event as it is recorded.
+func NewTracer(cap int, onEmit func(StageEvent)) *Tracer { return obs.NewTracer(cap, onEmit) }
 
 // ---------------------------------------------------------------------
 // The model-checking service (internal/server, daemon: cmd/promised).
