@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -143,7 +144,25 @@ func main() {
 		"time every cell twice — reductions on and off — verifying the outcome "+
 			"sets are byte-identical (exit 1 on divergence); both cells land in "+
 			"the -json snapshot with their reduction counters")
+	flag.IntVar(&shardsN, "shards", 0,
+		"also time every Promising row sharded N ways: in-process frontier "+
+			"sharding, or a coordinated cluster exploration when -peers is set")
+	peersFlag := flag.String("peers", "",
+		"comma-separated promised daemon URLs: -shards rows run as cluster "+
+			"explorations (POST /v1/cluster) across them, so the timed cell "+
+			"includes the wire and coordination cost")
+	flag.BoolVar(&snapSizes, "snapshot-sizes", false,
+		"also measure each Promising row's checkpoint sizes: a two-leg "+
+			"checkpointed run recording the marshaled bytes of the leg-2 delta "+
+			"snapshot vs the equivalent full snapshot in the -json cells")
+	flag.IntVar(&ckptStates, "ckpt-states", 5000,
+		"state budget per checkpoint leg for -snapshot-sizes")
 	flag.Parse()
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, p)
+		}
+	}
 	if *trajectory {
 		if err := printTrajectory(*trajDir); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
@@ -182,6 +201,12 @@ var (
 	redMode        promising.ReductionMode
 	ablate         bool
 	ablateMismatch bool
+	// shardsN/peerURLs select the sharded timing column; snapSizes and
+	// ckptStates the delta-vs-full checkpoint size measurement.
+	shardsN    int
+	peerURLs   []string
+	snapSizes  bool
+	ckptStates int
 )
 
 // BenchCell is one (test, backend) timing in the -json snapshot.
@@ -205,6 +230,15 @@ type BenchCell struct {
 	SymmetryClasses int    `json:"symmetry_classes,omitempty"`
 	SymmetryHits    int64  `json:"symmetry_hits,omitempty"`
 	PrunedStates    int64  `json:"pruned_states,omitempty"`
+	// Shards marks a -shards cell (frontier sharded N ways); PeerCount is
+	// how many daemons a cluster-timed cell ran across (0 = in-process).
+	Shards    int `json:"shards,omitempty"`
+	PeerCount int `json:"peer_count,omitempty"`
+	// FullSnapshotBytes/DeltaSnapshotBytes are the -snapshot-sizes
+	// measurement: the marshaled size of the run's second checkpoint leg
+	// as a full snapshot vs as a delta since leg one.
+	FullSnapshotBytes  int `json:"full_snapshot_bytes,omitempty"`
+	DeltaSnapshotBytes int `json:"delta_snapshot_bytes,omitempty"`
 }
 
 // BenchSnapshot is the -json output shape.
@@ -423,19 +457,35 @@ func timeOneMode(test *promising.Test, backend promising.Backend, timeout time.D
 
 // timeTable prints Table 2/3 style rows.
 func timeTable(rows []string, timeout time.Duration, noFlat bool) error {
-	fmt.Printf("%-22s %12s %12s      %12s %12s\n", "Test", "Promising", "Flat", "paper:Prom", "paper:Flat")
+	shardCol := ""
+	if shardsN > 0 {
+		shardCol = fmt.Sprintf("Prom×%d", shardsN)
+		if len(peerURLs) > 0 {
+			shardCol = fmt.Sprintf("Prom×%d/%dp", shardsN, len(peerURLs))
+		}
+	}
+	fmt.Printf("%-22s %12s %12s %12s      %12s %12s\n", "Test", "Promising", shardCol, "Flat", "paper:Prom", "paper:Flat")
 	for _, id := range rows {
 		in, err := workloads.ParseID(lang.ARM, id)
 		if err != nil {
 			return err
 		}
 		p := timeOne(in.Test, promising.BackendPromising, timeout)
+		ps := ""
+		if shardsN > 0 {
+			ps = timeOneSharded(in.Test, timeout)
+		}
 		f := "-"
 		if !noFlat {
 			f = timeOne(in.Test, promising.BackendFlat, timeout)
 		}
 		ref := paper[id]
-		fmt.Printf("%-22s %12s %12s      %12s %12s\n", id, p, f, ref.promising, ref.flat)
+		fmt.Printf("%-22s %12s %12s %12s      %12s %12s\n", id, p, ps, f, ref.promising, ref.flat)
+	}
+	if snapSizes {
+		if err := snapshotSizeTable(rows, timeout); err != nil {
+			return err
+		}
 	}
 	// Seeded random rows (-gen): the same -seed generates byte-identical
 	// tests on every host, so snapshot timings compare across machines.
@@ -463,6 +513,184 @@ func timeTable(rows []string, timeout time.Duration, noFlat bool) error {
 	fmt.Println("budget (-flat-budget). Absolute times are not comparable to the paper's")
 	fmt.Println("(different machine and substrate); the reproduced claims are the ordering")
 	fmt.Println("(Promising well below Flat) and the growth with the parameters.")
+	return nil
+}
+
+// timeOneSharded times one Promising row sharded -shards ways: through a
+// coordinated cluster exploration across the -peers daemons (the wire
+// and coordination cost is inside the timing — that is the comparison
+// the trajectory wants), or litmus-style in-process frontier sharding
+// without peers. The cell lands in the -json snapshot with its Shards
+// and PeerCount stamps so trajectories keep single-node and sharded
+// series apart.
+func timeOneSharded(test *promising.Test, timeout time.Duration) string {
+	cell := BenchCell{
+		Test:      test.Name(),
+		Backend:   string(promising.BackendPromising),
+		Shards:    shardsN,
+		PeerCount: len(peerURLs),
+	}
+	if ablate || redMode != promising.ReduceOn {
+		cell.Reductions = redMode.String()
+	}
+	display := ""
+	if len(peerURLs) > 0 {
+		start := time.Now()
+		tr, err := clusterTime(test, timeout)
+		cell.Seconds = time.Since(start).Seconds()
+		switch {
+		case err != nil:
+			cell.Status, display = "error", "err"
+			fmt.Fprintln(os.Stderr, "bench: cluster:", err)
+		case tr.Status != "pass":
+			cell.Status = tr.Status
+			cell.States = tr.States
+			display = tr.Status
+		default:
+			cell.Status = "ok"
+			cell.States = tr.States
+			display = fmt.Sprintf("%.2f", cell.Seconds)
+		}
+	} else {
+		opts := promising.OptionsWithTimeout(timeout)
+		opts.Reductions = redMode
+		opts.Parallelism = engineWorkers
+		if engineWorkers <= 0 {
+			opts.Parallelism = -1
+		}
+		v, err := promising.RunSharded(test, promising.BackendPromising, shardsN, opts)
+		switch {
+		case err != nil:
+			cell.Status, display = "error", "err"
+		case v.Result.TimedOut:
+			cell.Status, display = "ooT", "ooT"
+		default:
+			cell.Seconds = v.Elapsed.Seconds()
+			cell.States = v.Result.States
+			cell.Status = "ok"
+			display = fmt.Sprintf("%.2f", v.Elapsed.Seconds())
+			if !v.OK() {
+				cell.Status = "mismatch"
+				display += "!"
+			}
+		}
+	}
+	cells = append(cells, cell)
+	return display
+}
+
+// clusterTime submits one test (as inline litmus source — workload rows
+// are not in the daemon catalog) to the first -peers daemon as a cluster
+// exploration over all of them and polls the job to its report.
+func clusterTime(test *promising.Test, timeout time.Duration) (*promising.TestReport, error) {
+	coord := promising.NewClient(peerURLs[0])
+	ctx := context.Background()
+	br, err := coord.Cluster(ctx, promising.ClusterRequest{
+		TestSpec: promising.TestSpec{Source: promising.FormatTest(test)},
+		Backend:  string(promising.BackendPromising),
+		Shards:   shardsN,
+		Peers:    peerURLs,
+		Options: promising.CheckOptions{
+			TimeoutMS:   timeout.Milliseconds(),
+			Reductions:  redMode.String(),
+			Parallelism: engineWorkers,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		st, err := coord.Job(ctx, br.JobID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != promising.JobRunning {
+			if len(st.Reports) == 0 || st.Reports[0] == nil {
+				return nil, fmt.Errorf("cluster job %s ended %s with no report", br.JobID, st.State)
+			}
+			return st.Reports[0], nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// snapshotSizeTable is the -snapshot-sizes measurement: each row explored
+// under Promising with two cooperative checkpoint legs of -ckpt-states
+// states each, comparing the marshaled size of leg 2 as a delta snapshot
+// (only what changed since leg 1) against the equivalent full snapshot —
+// the checkpoint/transfer saving delta mode buys. Rows that complete
+// before the second checkpoint have nothing to measure and are skipped.
+func snapshotSizeTable(rows []string, timeout time.Duration) error {
+	fmt.Printf("\n%-22s %10s %12s %12s %8s   (checkpoint leg 2, %d states/leg)\n",
+		"Test", "states", "full bytes", "delta bytes", "ratio", ckptStates)
+	for _, id := range rows {
+		in, err := workloads.ParseID(lang.ARM, id)
+		if err != nil {
+			return err
+		}
+		if err := snapshotSizeRow(id, in.Test, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func snapshotSizeRow(id string, test *promising.Test, timeout time.Duration) error {
+	opts := promising.OptionsWithTimeout(timeout)
+	opts.Reductions = redMode
+	opts.Parallelism = engineWorkers
+	if engineWorkers <= 0 {
+		opts.Parallelism = -1
+	}
+	opts.Checkpoint = promising.NewCheckpointAfter(ckptStates)
+	v, err := promising.Run(test, promising.BackendPromising, opts)
+	if err != nil {
+		return err
+	}
+	base := v.Result.Snapshot
+	if base == nil {
+		fmt.Printf("%-22s completed in %d states before the first checkpoint, skipped\n", id, v.Result.States)
+		return nil
+	}
+	if _, err := base.Marshal(); err != nil {
+		return err
+	}
+	ro := promising.OptionsWithTimeout(timeout)
+	ro.Reductions = redMode
+	ro.Parallelism = opts.Parallelism
+	ro.DeltaSnapshot = true
+	ro.Checkpoint = promising.NewCheckpointAfter(base.States + ckptStates)
+	v2, err := promising.RunFrom(test, promising.BackendPromising, base, ro)
+	if err != nil {
+		return err
+	}
+	delta := v2.Result.Snapshot
+	if delta == nil {
+		fmt.Printf("%-22s completed in %d states before the second checkpoint, skipped\n", id, v2.Result.States)
+		return nil
+	}
+	deltaRaw, err := delta.Marshal()
+	if err != nil {
+		return err
+	}
+	full, err := promising.ApplyDelta(base, delta)
+	if err != nil {
+		return err
+	}
+	fullRaw, err := full.Marshal()
+	if err != nil {
+		return err
+	}
+	cells = append(cells, BenchCell{
+		Test:               test.Name(),
+		Backend:            string(promising.BackendPromising),
+		Status:             "ok",
+		States:             full.States,
+		FullSnapshotBytes:  len(fullRaw),
+		DeltaSnapshotBytes: len(deltaRaw),
+	})
+	fmt.Printf("%-22s %10d %12d %12d %7.1f%%\n",
+		id, full.States, len(fullRaw), len(deltaRaw), 100*float64(len(deltaRaw))/float64(len(fullRaw)))
 	return nil
 }
 
@@ -506,7 +734,19 @@ func printTrajectory(dir string) error {
 		fmt.Printf("[%d] %s  (%s, j=%d, %d cells)\n",
 			n+1, filepath.Base(path), snap.GeneratedAt, snap.Workers, len(snap.Cells))
 		for _, c := range snap.Cells {
-			k := key{c.Test, c.Backend, c.Reductions}
+			if c.FullSnapshotBytes > 0 {
+				// Checkpoint-size cells are byte measurements, not
+				// timings; they have no place in a seconds series.
+				continue
+			}
+			backend := c.Backend
+			if c.Shards > 0 {
+				backend += fmt.Sprintf("×%d", c.Shards)
+				if c.PeerCount > 0 {
+					backend += fmt.Sprintf("/%dp", c.PeerCount)
+				}
+			}
+			k := key{c.Test, backend, c.Reductions}
 			if _, seen := series[k]; !seen {
 				order = append(order, k)
 			}

@@ -45,6 +45,7 @@ func main() {
 		ckptN    = flag.Int("checkpoint-after", 100000, "state budget before the -checkpoint snapshot is taken")
 		resume   = flag.String("resume", "", "resume a checkpointed exploration from this snapshot file and run it to a verdict")
 		shards   = flag.Int("shards", 0, "explore each test by frontier sharding N ways (split + merge, in-process); 0 = off")
+		peers    = flag.String("peers", "", "comma-separated promised daemon URLs: run each test as a coordinated cluster exploration (POST /v1/cluster) across them instead of in-process; -shards sets the shard count")
 		reduce   = flag.String("reductions", "on", "certified state-space reductions: on, off, symmetry or pruning")
 	)
 	flag.Parse()
@@ -67,6 +68,10 @@ func main() {
 		}
 	case *ckptFile != "":
 		if err := runCheckpoint(*testName, *backends, *ckptFile, *ckptN, *timeout, *par); err != nil {
+			fail(err)
+		}
+	case *peers != "":
+		if err := runCluster(*peers, *testName, *backends, *shards, *reduce, *timeout, *verbose); err != nil {
 			fail(err)
 		}
 	default:
@@ -188,6 +193,98 @@ func runResume(file, ckptFile string, after int, timeout time.Duration, par int)
 		os.Exit(1)
 	}
 	return nil
+}
+
+// runCluster is the -peers mode: every selected catalog test submitted
+// to the first peer as a coordinated cluster exploration (POST
+// /v1/cluster) over the whole peer set — frontier split across the
+// daemons, cross-peer dedup, work-stealing rebalance and dead-peer
+// retry — then polled to its verdict. The merged outcome set equals an
+// in-process run's.
+func runCluster(peerList, testName, backendList string, shards int, reductions string, timeout time.Duration, verbose bool) error {
+	var peers []string
+	for _, p := range strings.Split(peerList, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-peers needs at least one daemon URL")
+	}
+	tests := promising.Catalog()
+	if testName != "" {
+		tst := litmus.CatalogTest(testName)
+		if tst == nil {
+			return fmt.Errorf("no catalog test named %q", testName)
+		}
+		tests = []*promising.Test{tst}
+	}
+	backend := strings.TrimSpace(strings.Split(backendList, ",")[0])
+	coord := promising.NewClient(peers[0])
+	ctx := context.Background()
+	fail := 0
+	for _, t := range tests {
+		tr, err := clusterCheck(ctx, coord, t.Name(), backend, peers, shards, reductions, timeout)
+		if err != nil {
+			return err
+		}
+		ok := tr.Status == "pass"
+		if !ok {
+			fail++
+		}
+		if verbose || !ok {
+			status := "ok"
+			if !ok {
+				status = "FAIL"
+			}
+			detail := ""
+			if tr.Error != "" {
+				detail = " [" + tr.Error + "]"
+			}
+			fmt.Printf("%-4s %s/%s %s: %d outcomes, %d states%s\n",
+				status, tr.Test, tr.Backend, tr.Status, len(tr.Outcomes), tr.States, detail)
+		}
+	}
+	fmt.Printf("%d tests x %d peers, %d failures\n", len(tests), len(peers), fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// clusterCheck submits one cluster exploration and polls its job to the
+// final report.
+func clusterCheck(ctx context.Context, coord *promising.Client, test, backend string, peers []string, shards int, reductions string, timeout time.Duration) (*promising.TestReport, error) {
+	br, err := coord.Cluster(ctx, promising.ClusterRequest{
+		TestSpec: promising.TestSpec{Catalog: test},
+		Backend:  backend,
+		Shards:   shards,
+		Peers:    peers,
+		Options: promising.CheckOptions{
+			TimeoutMS:  timeout.Milliseconds(),
+			Reductions: reductions,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		st, err := coord.Job(ctx, br.JobID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != promising.JobRunning {
+			if len(st.Reports) == 0 || st.Reports[0] == nil {
+				return nil, fmt.Errorf("cluster job %s ended %s with no report", br.JobID, st.State)
+			}
+			return st.Reports[0], nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
 }
 
 // runReplay re-runs a persisted fuzz corpus as a regression suite: shrunk

@@ -8,8 +8,16 @@
 //	promised [-addr :8419] [-workers N] [-par N] [-cache-entries N]
 //	         [-cache-dir DIR] [-timeout D] [-max-timeout D]
 //	         [-state-dir DIR] [-checkpoint-interval D]
+//	         [-peers URL,URL,...]
 //	         [-log-level LEVEL] [-log-format text|json] [-pprof]
 //	         [-bench-dir DIR]
+//
+// With -peers, the daemon can coordinate cluster explorations
+// (POST /v1/cluster): the test's frontier is split across the listed
+// peer daemons with batched cross-peer state dedup, live work-stealing
+// rebalance of stragglers, and re-dispatch of a dead peer's shard from
+// its last checkpoint. The request may also name its peer set
+// explicitly; -peers only sets the default.
 //
 // With -state-dir, batch jobs are durable: every running exploration is
 // checkpointed there on the -checkpoint-interval cadence, and a restarted
@@ -42,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +67,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-test budget")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on request-supplied budgets")
 		stateDir   = flag.String("state-dir", "", "persist batch-job checkpoints under this directory; a restarted daemon resumes unfinished jobs from it")
+		peers      = flag.String("peers", "", "comma-separated peer daemon URLs: the default cluster for POST /v1/cluster")
 		ckptEvery  = flag.Duration("checkpoint-interval", 10*time.Second, "how often running explorations checkpoint to -state-dir")
 		fuzzCorpus = flag.String("fuzz-corpus", "", "persist fuzz-campaign corpora under this directory (empty = memory only)")
 		maxFuzz    = flag.Int("max-fuzz-iters", 0, "cap per-campaign iteration budgets; 0 = default 50000")
@@ -85,6 +95,7 @@ func main() {
 		CacheDir:           *cacheDir,
 		StateDir:           *stateDir,
 		CheckpointInterval: *ckptEvery,
+		Peers:              splitPeers(*peers),
 		FuzzCorpusDir:      *fuzzCorpus,
 		MaxFuzzIterations:  *maxFuzz,
 		StatsInterval:      *statsEvery,
@@ -106,6 +117,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "promised:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers list, dropping empty entries so trailing
+// commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // newLogger builds the daemon's slog logger from the CLI flags. -q keeps

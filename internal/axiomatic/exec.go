@@ -118,6 +118,12 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 			frontier[i] = encodePrefix(p)
 		}
 		res.Snapshot = explore.NewSnapshotFor(snapBackend, &opts, res, frontier, nil, nil)
+		if snap != nil {
+			// No seen-set means nothing to delta — axiomatic checkpoints
+			// are O(frontier) already — but the leg chain is still stamped
+			// so multi-leg runs line up with the other backends'.
+			res.Snapshot.Leg = snap.Leg + 1
+		}
 	}
 	return res, nil
 }

@@ -37,6 +37,18 @@ type Interner struct {
 type internShard struct {
 	mu sync.Mutex
 	m  map[string]Handle
+	// log records insertions in shard-local order. Handles are assigned
+	// under the shard lock, so within one shard the logged handles are
+	// strictly increasing — which is what lets ExportSince walk each log
+	// backwards and stop at the cursor instead of scanning the whole map.
+	// The strings share backing bytes with the map keys, so the log costs
+	// one slice header per entry, not a second copy of the encoding.
+	log []internEntry
+}
+
+type internEntry struct {
+	h Handle
+	k string
 }
 
 // NewInterner returns an empty interner.
@@ -60,7 +72,9 @@ func (in *Interner) Intern(b []byte) (h Handle, fresh bool) {
 		return h, false
 	}
 	h = Handle(in.next.Add(1))
-	sh.m[string(b)] = h
+	k := string(b)
+	sh.m[k] = h
+	sh.log = append(sh.log, internEntry{h: h, k: k})
 	sh.mu.Unlock()
 	return h, true
 }
@@ -80,6 +94,27 @@ func (in *Interner) Export() [][]byte {
 		sh.mu.Lock()
 		for k := range sh.m {
 			out = append(out, []byte(k))
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ExportSince returns a copy of every encoding interned after the first
+// cursor insertions — the high-water-cursor form of Export that makes
+// delta snapshots O(new states) instead of O(states). cursor is a Len()
+// value observed earlier; ExportSince(0) is Export. The order is
+// unspecified, like Export's, and the same no-racing caveat applies.
+func (in *Interner) ExportSince(cursor int) [][]byte {
+	if cursor <= 0 {
+		return in.Export()
+	}
+	var out [][]byte
+	for i := range in.shards {
+		sh := &in.shards[i]
+		sh.mu.Lock()
+		for j := len(sh.log) - 1; j >= 0 && sh.log[j].h > Handle(cursor); j-- {
+			out = append(out, []byte(sh.log[j].k))
 		}
 		sh.mu.Unlock()
 	}

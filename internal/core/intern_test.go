@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -66,6 +67,75 @@ func TestInternerConcurrent(t *testing.T) {
 				t.Fatalf("key %d: worker %d got handle %d, worker 0 got %d", i, w, handles[w][i], h)
 			}
 		}
+	}
+}
+
+// TestInternerExportSince checks the delta-export cursor: ExportSince(n)
+// returns exactly the encodings interned after a Len() = n observation,
+// even when the inserts raced across goroutines, and an export taken at
+// the cursor plus the delta re-imports to an equivalent interner.
+func TestInternerExportSince(t *testing.T) {
+	in := NewInterner()
+	for i := 0; i < 100; i++ {
+		in.Intern([]byte(fmt.Sprintf("base-%d", i)))
+	}
+	cursor := in.Len()
+	base := in.Export()
+	if got := in.ExportSince(cursor); len(got) != 0 {
+		t.Fatalf("ExportSince(Len()) returned %d entries, want 0", len(got))
+	}
+
+	// Concurrent second wave, racing on an overlapping key set.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				in.Intern([]byte(fmt.Sprintf("delta-%d", (i+13*w)%50)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	delta := in.ExportSince(cursor)
+	if len(delta) != 50 {
+		t.Fatalf("ExportSince(%d) returned %d entries, want 50", cursor, len(delta))
+	}
+	seen := map[string]bool{}
+	for _, e := range delta {
+		s := string(e)
+		if !strings.HasPrefix(s, "delta-") {
+			t.Fatalf("delta export contains pre-cursor entry %q", s)
+		}
+		if seen[s] {
+			t.Fatalf("delta export contains %q twice", s)
+		}
+		seen[s] = true
+	}
+
+	// The cursor-time export plus the delta covers the full set: importing
+	// the two halves reproduces every key.
+	full := in.Export()
+	if len(full) != cursor+len(delta) {
+		t.Fatalf("Export() has %d entries, want %d", len(full), cursor+len(delta))
+	}
+	re := NewInterner()
+	re.Import(base)
+	re.Import(delta)
+	if re.Len() != in.Len() {
+		t.Fatalf("re-imported interner has %d entries, want %d", re.Len(), in.Len())
+	}
+	for _, e := range full {
+		if _, fresh := re.Intern(e); fresh {
+			t.Fatalf("key %q missing after split import", e)
+		}
+	}
+
+	// ExportSince(0) must equal Export.
+	since0 := in.ExportSince(0)
+	if len(since0) != len(full) {
+		t.Fatalf("ExportSince(0) has %d entries, want %d", len(since0), len(full))
 	}
 }
 

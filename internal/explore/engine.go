@@ -39,6 +39,11 @@ import (
 // (sharding inside the interner keeps parallel workers off one lock).
 type SeenSet struct {
 	in *core.Interner
+	// base is the import high-water cursor: the set size right after
+	// Import rebuilt the previous leg's contents. ExportDelta exports only
+	// the entries interned past it, which is what makes delta snapshots
+	// O(new states).
+	base int
 }
 
 // NewSeenSet returns an empty set.
@@ -58,8 +63,21 @@ func (s *SeenSet) Len() int { return s.in.Len() }
 func (s *SeenSet) Export() [][]byte { return s.in.Export() }
 
 // Import adds every encoding in entries to the set, rebuilding a set
-// exported from a snapshot.
-func (s *SeenSet) Import(entries [][]byte) { s.in.Import(entries) }
+// exported from a snapshot, and records the import high-water cursor for
+// ExportDelta.
+func (s *SeenSet) Import(entries [][]byte) {
+	s.in.Import(entries)
+	s.base = s.in.Len()
+}
+
+// Base returns the number of entries the set held right after Import —
+// the cursor a delta snapshot's BaseSeen field records.
+func (s *SeenSet) Base() int { return s.base }
+
+// ExportDelta returns a copy of only the encodings added since Import
+// (all of them when the set was never imported into). Order is
+// unspecified, like Export's.
+func (s *SeenSet) ExportDelta() [][]byte { return s.in.ExportSince(s.base) }
 
 // Checkpoint is the cooperative-checkpoint controller of one engine run.
 // Request makes every worker stop at its next safe point (the boundary

@@ -26,6 +26,10 @@ type naiveEntry struct {
 	// fresh marks the first-ever arrival at the canonical state (the one
 	// that counts it in States and may count a dead end).
 	fresh bool
+	// h is the canonical state's seen-set handle, consulted against
+	// Options.Remote at process time; 0 (never issued by the interner)
+	// marks a root entry, which is never remote-dropped.
+	h core.Handle
 }
 
 // Naive explores all interleavings of all machine transitions (reads,
@@ -92,8 +96,11 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	ccStart := cc.Stats()
 	// addState interns the state's canonical encoding (symmetry-reduced
 	// when a symmetry structure exists) and returns its handle, freshness
-	// and the canonicalizing thread order (nil = identity).
-	addState := func(m *core.Machine) (core.Handle, bool, []int) {
+	// and the canonicalizing thread order (nil = identity). child marks
+	// states discovered as successors (as opposed to roots, which are
+	// never remote-deduplicated); the last result reports that the remote
+	// hook already knows the state is claimed elsewhere — drop it.
+	addState := func(m *core.Machine, child bool) (core.Handle, bool, []int, bool) {
 		b := core.GetEncBuf()
 		var order []int
 		if sym != nil {
@@ -112,8 +119,12 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 			b = m.AppendState(b)
 		}
 		h, fresh := seen.Add(b)
+		drop := false
+		if child && fresh && opts.Remote != nil {
+			drop = opts.Remote.Discovered(b, h)
+		}
 		core.PutEncBuf(b)
-		return h, fresh, order
+		return h, fresh, order, drop
 	}
 	// claimFor claims the entry's awake families in the canonical state's
 	// claim table and returns the concrete to-expand set (zero: nothing
@@ -126,7 +137,7 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	var roots []naiveEntry
 	if snap == nil {
 		m0 := core.NewMachine(cp)
-		h, _, order := addState(m0)
+		h, _, order, _ := addState(m0, false)
 		root := naiveEntry{m: m0, fresh: true}
 		if claims != nil {
 			root.todo = claimFor(h, 0, order)
@@ -148,7 +159,7 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				// Pre-claim the entry's families (the claim table does not
 				// survive a snapshot) so this leg's re-arrivals at the same
 				// state do not re-expand them.
-				h, _, order := addState(m)
+				h, _, order, _ := addState(m, false)
 				if !useAux {
 					e.todo = allMask
 				}
@@ -159,6 +170,12 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	}
 
 	eng := Engine[naiveEntry]{Process: func(e naiveEntry, c *Ctx[naiveEntry]) {
+		// A late cross-shard claim verdict drops the entry unprocessed:
+		// the claiming shard explores the state instead (roots carry h=0
+		// and are never dropped).
+		if e.h != 0 && opts.Remote != nil && opts.Remote.ShouldDrop(e.h) {
+			return
+		}
 		// Only the first-ever arrival at a state counts it; re-claimed
 		// arrivals (pruning expanding newly awake families) visit for free.
 		n := 0
@@ -216,7 +233,10 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				if opts.CollectWitnesses {
 					trace = append(append([]core.Label(nil), e.trace...), s.Label)
 				}
-				h, fresh, order := addState(s.M)
+				h, fresh, order, rdrop := addState(s.M, true)
+				if rdrop {
+					continue
+				}
 				todo := uint32(0)
 				if claims != nil {
 					if todo = claimFor(h, childSleep, order); todo == 0 {
@@ -225,7 +245,7 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				} else if !fresh {
 					continue
 				}
-				c.Push(naiveEntry{m: s.M, trace: trace, sleep: childSleep, todo: todo, fresh: fresh})
+				c.Push(naiveEntry{m: s.M, trace: trace, sleep: childSleep, todo: todo, fresh: fresh, h: h})
 			}
 			if claims != nil && quiet && len(succs) > 0 {
 				sleepable |= bit
@@ -243,7 +263,7 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	if snap != nil {
 		visited = snap.States
 	}
-	opts.StatsProbe = statsProbe(seen, cc, ccStart, &symHits, &pruned)
+	opts.StatsProbe = statsProbe(opts.StatsProbe, seen, cc, ccStart, &symHits, &pruned)
 	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	endSpan(fmt.Sprintf("naive leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
@@ -272,7 +292,14 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				aux[i] = PackAux(e.sleep, e.todo, e.fresh)
 			}
 		}
-		res.Snapshot = newSnapshot(snapNaive, &opts, res, frontier, seen.Export(), aux)
+		if opts.DeltaSnapshot && snap != nil {
+			res.Snapshot = newDeltaSnapshot(snapNaive, &opts, res, frontier, seen, aux, snap)
+		} else {
+			res.Snapshot = newSnapshot(snapNaive, &opts, res, frontier, seen.Export(), aux)
+			if snap != nil {
+				res.Snapshot.Leg = snap.Leg + 1
+			}
+		}
 	}
 	return res, nil
 }
@@ -299,9 +326,14 @@ func statsOf(seen *SeenSet, cc *core.CertCache, start core.CertStats) ExploreSta
 // carries, read from the same structures statsOf reads at the end (all
 // concurrent-safe: the interner's length is an atomic, the cert cache
 // locks its shards, the reduction counters are atomics). symHits and
-// pruned may be nil for backends without that counter.
-func statsProbe(seen *SeenSet, cc *core.CertCache, start core.CertStats, symHits, pruned *atomic.Int64) func(*obs.StatsSnapshot) {
+// pruned may be nil for backends without that counter. prev, when
+// non-nil, is a caller-installed probe (the server's shard-job dedup
+// counters) chained in front of the backend's own.
+func statsProbe(prev func(*obs.StatsSnapshot), seen *SeenSet, cc *core.CertCache, start core.CertStats, symHits, pruned *atomic.Int64) func(*obs.StatsSnapshot) {
 	return func(snap *obs.StatsSnapshot) {
+		if prev != nil {
+			prev(snap)
+		}
 		if seen != nil {
 			snap.Interned = seen.Len()
 		}

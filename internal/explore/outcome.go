@@ -145,6 +145,43 @@ type Options struct {
 	// (compile, explore legs, checkpoints, certification summaries).
 	// Purely observational, like Sampler.
 	Trace *obs.Trace
+	// DeltaSnapshot makes a resumed run emit its checkpoint in delta form
+	// (Snapshot.Delta: only the seen-set entries added this leg, against
+	// the resumed snapshot as base) instead of a full snapshot — O(new
+	// states) instead of O(states). Callers that set it own re-assembling
+	// the full snapshot with ApplyDelta before the next resume. Fresh
+	// (non-resumed) runs and backends without a seen-set ignore the flag
+	// and emit full snapshots. Purely a serialization choice: resuming
+	// from the applied delta is byte-identical to resuming from the full
+	// snapshot the leg would otherwise have emitted.
+	DeltaSnapshot bool
+	// Remote, when non-nil, is the cross-shard deduplication hook
+	// (distributed exploration): backends with a seen-set report each
+	// locally fresh state at its child-push site and may drop states
+	// another shard has claimed. Resume-path frontier roots are never
+	// reported or dropped — a shard always explores the work it was
+	// dealt. Dedup through this hook is a pure work-saving: a missed or
+	// late verdict costs re-exploration, never outcomes (see the server
+	// package's claim protocol for the liveness argument).
+	Remote RemoteSeen
+}
+
+// RemoteSeen is the cross-shard deduplication hook of a distributed
+// exploration (Options.Remote). Both methods are called from engine
+// workers concurrently and must not block on the network — the intended
+// implementation batches Discovered keys to the owning peer and answers
+// ShouldDrop from asynchronously arriving verdicts.
+type RemoteSeen interface {
+	// Discovered reports a locally fresh state: key is its canonical
+	// encoding (valid only for the duration of the call — copy to
+	// retain), h its handle in the local seen-set. A true return means
+	// the state is already known to be claimed by another shard, and the
+	// caller drops it without pushing.
+	Discovered(key []byte, h core.Handle) bool
+	// ShouldDrop reports whether an asynchronous claim verdict has since
+	// arrived for h: true means another shard owns the state's expansion
+	// and the popped entry is dropped unprocessed.
+	ShouldDrop(h core.Handle) bool
 }
 
 // DefaultOptions returns the standard configuration (certification on).

@@ -90,7 +90,7 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 	visited := 0
 	if snap == nil {
 		m0 := core.NewMemory(cp.Init)
-		e.addMem(m0)
+		e.addMem(m0, false)
 		roots = []memState{{mem: m0, hmem: e.cc.InternMemory(m0)}}
 	} else {
 		e.seen.Import(snap.Seen)
@@ -105,7 +105,7 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 	}
 	ccStart := e.cc.Stats()
 	eng := Engine[memState]{Process: e.process}
-	opts.StatsProbe = statsProbe(e.seen, e.cc, ccStart, &e.symHits, nil)
+	opts.StatsProbe = statsProbe(opts.StatsProbe, e.seen, e.cc, ccStart, &e.symHits, nil)
 	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	endSpan(fmt.Sprintf("promising leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
@@ -122,7 +122,14 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 		for i, ms := range pending {
 			frontier[i] = core.EncodeMemory(nil, ms.mem, 0)
 		}
-		res.Snapshot = newSnapshot(snapPromising, &opts, res, frontier, e.seen.Export(), nil)
+		if opts.DeltaSnapshot && snap != nil {
+			res.Snapshot = newDeltaSnapshot(snapPromising, &opts, res, frontier, e.seen, nil, snap)
+		} else {
+			res.Snapshot = newSnapshot(snapPromising, &opts, res, frontier, e.seen.Export(), nil)
+			if snap != nil {
+				res.Snapshot.Leg = snap.Leg + 1
+			}
+		}
 	}
 	return res, nil
 }
@@ -148,8 +155,12 @@ type pfExplorer struct {
 }
 
 // addMem interns a phase-1 memory (on its symmetry-canonical encoding
-// when the reduction applies), reporting whether it was new.
-func (e *pfExplorer) addMem(mem *core.Memory) bool {
+// when the reduction applies), reporting its seen-set handle and whether
+// it was new. child marks memories discovered as promise successors; a
+// fresh child is reported to Options.Remote, whose true return (already
+// claimed by another shard) makes addMem report not-fresh so the caller
+// skips the push.
+func (e *pfExplorer) addMem(mem *core.Memory, child bool) (core.Handle, bool) {
 	b := core.GetEncBuf()
 	if e.sym != nil {
 		var hit bool
@@ -160,9 +171,12 @@ func (e *pfExplorer) addMem(mem *core.Memory) bool {
 	} else {
 		b = core.EncodeMemory(b, mem, 0)
 	}
-	_, fresh := e.seen.Add(b)
+	h, fresh := e.seen.Add(b)
+	if child && fresh && e.opts.Remote != nil && e.opts.Remote.Discovered(b, h) {
+		fresh = false
+	}
 	core.PutEncBuf(b)
-	return fresh
+	return h, fresh
 }
 
 // memState is a phase-1 state: a memory reachable by promises only. hmem
@@ -172,6 +186,9 @@ type memState struct {
 	mem     *core.Memory
 	hmem    core.Handle
 	promise []core.Label // phase-1 trace, kept only when collecting witnesses
+	// hseen is the memory's seen-set handle, consulted against
+	// Options.Remote at process time; 0 marks a root (never dropped).
+	hseen core.Handle
 }
 
 // process handles one phase-1 memory: complete it (phase 2), then expand
@@ -180,6 +197,11 @@ type memState struct {
 // witness collection and CertCacheOff fall back to the seed's two-pass
 // structure (a completer per thread, then find_and_certify per thread).
 func (e *pfExplorer) process(ms memState, c *Ctx[memState]) {
+	// A late cross-shard claim verdict drops the memory unprocessed: the
+	// claiming shard completes and expands it instead.
+	if ms.hseen != 0 && e.opts.Remote != nil && e.opts.Remote.ShouldDrop(ms.hseen) {
+		return
+	}
 	if !c.Visit(1) {
 		return
 	}
@@ -240,8 +262,8 @@ func (e *pfExplorer) process(ms memState, c *Ctx[memState]) {
 		for _, w := range ws {
 			mem := ms.mem.Clone()
 			mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
-			if e.addMem(mem) {
-				c.Push(memState{mem: mem, hmem: e.cc.InternMemory(mem)})
+			if h, fresh := e.addMem(mem, true); fresh {
+				c.Push(memState{mem: mem, hmem: e.cc.InternMemory(mem), hseen: h})
 			}
 		}
 	}
@@ -262,10 +284,11 @@ func (e *pfExplorer) processTwoPass(ms memState, c *Ctx[memState]) {
 		for _, w := range e.cc.FindAndCertifyScoped(env, th, ms.mem) {
 			mem := ms.mem.Clone()
 			t := mem.Append(core.Msg{Loc: w.Loc, Val: w.Val, TID: tid})
-			if !e.addMem(mem) {
+			h, fresh := e.addMem(mem, true)
+			if !fresh {
 				continue
 			}
-			next := memState{mem: mem}
+			next := memState{mem: mem, hseen: h}
 			if e.opts.CollectWitnesses {
 				next.promise = append(append([]core.Label(nil), ms.promise...),
 					core.Label{Kind: core.StepPromise, TID: tid, Loc: w.Loc, Val: w.Val, TS: t})

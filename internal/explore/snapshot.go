@@ -94,6 +94,25 @@ type Snapshot struct {
 	DeadEnds      int           `json:"dead_ends,omitempty"`
 	BoundExceeded bool          `json:"bound_exceeded,omitempty"`
 
+	// Delta marks the snapshot as a delta leg: Seen holds only the
+	// entries added since the base snapshot (the one this leg resumed
+	// from), while Frontier, FrontierAux, Outcomes and the counters are
+	// complete as always — they are the leg's full current state, not
+	// increments. A delta cannot be resumed directly; ApplyDelta folds it
+	// onto its base to reconstruct the full snapshot. Emitted only under
+	// Options.DeltaSnapshot.
+	Delta bool `json:"delta,omitempty"`
+	// Leg numbers the checkpoint legs of a delta-mode run (the initial
+	// full snapshot is leg 0, each resumed checkpoint increments it);
+	// ApplyDelta requires delta.Leg == base.Leg+1, so out-of-order or
+	// skipped deltas are refused instead of silently corrupting the seen
+	// set. Zero outside delta mode.
+	Leg int `json:"leg,omitempty"`
+	// BaseSeen is the base snapshot's seen-set size at the moment the
+	// delta leg resumed — the high-water cursor its Seen entries start
+	// after. ApplyDelta cross-checks it against len(base.Seen).
+	BaseSeen int `json:"base_seen,omitempty"`
+
 	// canon records that the byte-sets and outcomes are already in
 	// canonical (sorted) order, so canonicalize is a one-shot: Marshal on
 	// an already-canonical snapshot performs no writes, which lets Split
@@ -231,6 +250,9 @@ func (s *Snapshot) Validate(backend string, opts *Options) error {
 	if want := opts.EffectiveReductions(backend); s.reductions() != want {
 		return fmt.Errorf("explore: snapshot taken with reductions=%s, resume would apply %s", s.reductions(), want)
 	}
+	if s.Delta {
+		return fmt.Errorf("explore: cannot resume from a delta snapshot (leg %d); ApplyDelta it onto its base first", s.Leg)
+	}
 	return nil
 }
 
@@ -260,6 +282,80 @@ func (s *Snapshot) mergeInto(res *Result) {
 // directly. aux may be nil when the backend ran without pruning.
 func NewSnapshotFor(backend string, opts *Options, res *Result, frontier, seen [][]byte, aux []uint64) *Snapshot {
 	return newSnapshot(backend, opts, res, frontier, seen, aux)
+}
+
+// newDeltaSnapshot assembles the delta form of a resumed leg's checkpoint:
+// identical to newSnapshot except that Seen carries only the entries the
+// leg added past the imported base (ss.ExportDelta) and the delta header
+// fields chain it to prev, the snapshot the leg resumed from.
+func newDeltaSnapshot(backend string, opts *Options, res *Result, frontier [][]byte, ss *SeenSet, aux []uint64, prev *Snapshot) *Snapshot {
+	s := newSnapshot(backend, opts, res, frontier, ss.ExportDelta(), aux)
+	s.Test = prev.Test
+	s.Delta = true
+	s.Leg = prev.Leg + 1
+	s.BaseSeen = ss.Base()
+	return s
+}
+
+// NewDeltaSnapshotFor is newDeltaSnapshot for the out-of-package backends
+// (flat); see NewSnapshotFor.
+func NewDeltaSnapshotFor(backend string, opts *Options, res *Result, frontier [][]byte, ss *SeenSet, aux []uint64, prev *Snapshot) *Snapshot {
+	return newDeltaSnapshot(backend, opts, res, frontier, ss, aux, prev)
+}
+
+// ApplyDelta reconstructs the full snapshot a delta leg stands for:
+// base's seen-set extended with the delta's new entries, under the
+// delta's frontier, outcomes and counters. The result equals, byte for
+// byte once marshaled, the full snapshot the leg would have emitted
+// without Options.DeltaSnapshot. base is not mutated. Header identity
+// (backend, epoch, test, certify, reductions) must match, the legs must
+// chain (delta.Leg == base.Leg+1) and the delta's recorded cursor must
+// equal the base's seen-set size; any mismatch is an error rather than a
+// silently corrupted seen set.
+func ApplyDelta(base, delta *Snapshot) (*Snapshot, error) {
+	if base == nil || delta == nil {
+		return nil, fmt.Errorf("explore: ApplyDelta on nil snapshot")
+	}
+	if base.Delta {
+		return nil, fmt.Errorf("explore: ApplyDelta base is itself a delta (leg %d)", base.Leg)
+	}
+	if !delta.Delta {
+		return nil, fmt.Errorf("explore: ApplyDelta on a non-delta snapshot")
+	}
+	if err := delta.checkHeader(); err != nil {
+		return nil, err
+	}
+	if base.Backend != delta.Backend || base.Test != delta.Test ||
+		base.Certify != delta.Certify || base.reductions() != delta.reductions() {
+		return nil, fmt.Errorf("explore: delta leg %d does not belong to its base (backend/test/certify/reductions mismatch)", delta.Leg)
+	}
+	if delta.Leg != base.Leg+1 {
+		return nil, fmt.Errorf("explore: delta leg %d cannot apply to base leg %d (want leg %d)", delta.Leg, base.Leg, base.Leg+1)
+	}
+	if delta.BaseSeen != len(base.Seen) {
+		return nil, fmt.Errorf("explore: delta cursor %d does not match base seen-set size %d", delta.BaseSeen, len(base.Seen))
+	}
+	seen := make([][]byte, 0, len(base.Seen)+len(delta.Seen))
+	seen = append(seen, base.Seen...)
+	seen = append(seen, delta.Seen...)
+	return &Snapshot{
+		Version:       delta.Version,
+		Epoch:         delta.Epoch,
+		Backend:       delta.Backend,
+		Test:          delta.Test,
+		Certify:       delta.Certify,
+		Reductions:    delta.Reductions,
+		Frontier:      delta.Frontier,
+		FrontierAux:   delta.FrontierAux,
+		Seen:          seen,
+		Outcomes:      delta.Outcomes,
+		States:        delta.States,
+		DeadEnds:      delta.DeadEnds,
+		BoundExceeded: delta.BoundExceeded,
+		Leg:           delta.Leg,
+		// Seen is base-sorted followed by delta-sorted — not globally
+		// sorted; Marshal/Resume re-canonicalize lazily.
+	}, nil
 }
 
 // MergeSnapshotInto folds snap's accumulated partial result into res —

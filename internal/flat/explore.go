@@ -17,6 +17,9 @@ type entry struct {
 	sleep uint32 // arrival sleep set: families covered by a sibling ordering
 	todo  uint32 // families claimed for expansion at this entry
 	fresh bool   // first-ever arrival at the canonical state
+	// h is the canonical state's seen-set handle, consulted against
+	// Options.Remote at process time; 0 marks a root (never dropped).
+	h core.Handle
 }
 
 // Explore runs the flat model exhaustively over all micro-step
@@ -55,7 +58,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	var symHits, pruned atomic.Int64
 
 	seen := explore.NewSeenSet()
-	addState := func(m *machine) (core.Handle, bool, []int) {
+	addState := func(m *machine, child bool) (core.Handle, bool, []int, bool) {
 		b := core.GetEncBuf()
 		var order []int
 		if sym != nil {
@@ -74,8 +77,12 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 			b = m.appendKey(b)
 		}
 		h, fresh := seen.Add(b)
+		drop := false
+		if child && fresh && opts.Remote != nil {
+			drop = opts.Remote.Discovered(b, h)
+		}
 		core.PutEncBuf(b)
-		return h, fresh, order
+		return h, fresh, order, drop
 	}
 	claimFor := func(h core.Handle, sleep uint32, order []int) uint32 {
 		newly := claims.Claim(h, explore.CanonMask(allMask&^sleep, order))
@@ -86,7 +93,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	visited := 0
 	if snap == nil {
 		m0 := newMachine(cp)
-		h, _, order := addState(m0)
+		h, _, order, _ := addState(m0, false)
 		root := entry{m: m0, fresh: true}
 		if claims != nil {
 			root.todo = claimFor(h, 0, order)
@@ -108,7 +115,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 				// Pre-claim the entry's families (the claim table does not
 				// survive a snapshot) so this leg's re-arrivals at the same
 				// state do not re-expand them.
-				h, _, order := addState(m)
+				h, _, order, _ := addState(m, false)
 				if !useAux {
 					e.todo = allMask
 				}
@@ -120,6 +127,11 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	}
 
 	eng := explore.Engine[entry]{Process: func(e entry, c *explore.Ctx[entry]) {
+		// A late cross-shard claim verdict drops the entry unprocessed:
+		// the claiming shard explores the state instead.
+		if e.h != 0 && opts.Remote != nil && opts.Remote.ShouldDrop(e.h) {
+			return
+		}
 		n := 0
 		if e.fresh {
 			n = 1
@@ -157,7 +169,10 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 						}
 					}
 				}
-				h, fresh, order := addState(s)
+				h, fresh, order, rdrop := addState(s, true)
+				if rdrop {
+					return
+				}
 				todo := uint32(0)
 				if claims != nil {
 					if todo = claimFor(h, childSleep, order); todo == 0 {
@@ -166,7 +181,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 				} else if !fresh {
 					return
 				}
-				c.Push(entry{m: s, sleep: childSleep, todo: todo, fresh: fresh})
+				c.Push(entry{m: s, sleep: childSleep, todo: todo, fresh: fresh, h: h})
 			})
 			if had {
 				any = true
@@ -190,7 +205,11 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 			}
 		}
 	}}
+	prevProbe := opts.StatsProbe
 	opts.StatsProbe = func(snap *obs.StatsSnapshot) {
+		if prevProbe != nil {
+			prevProbe(snap)
+		}
 		snap.Interned = seen.Len()
 		snap.SymmetryHits = symHits.Load()
 		snap.PrunedStates = pruned.Load()
@@ -218,7 +237,14 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 				aux[i] = explore.PackAux(e.sleep, e.todo, e.fresh)
 			}
 		}
-		res.Snapshot = explore.NewSnapshotFor(snapBackend, &opts, res, frontier, seen.Export(), aux)
+		if opts.DeltaSnapshot && snap != nil {
+			res.Snapshot = explore.NewDeltaSnapshotFor(snapBackend, &opts, res, frontier, seen, aux, snap)
+		} else {
+			res.Snapshot = explore.NewSnapshotFor(snapBackend, &opts, res, frontier, seen.Export(), aux)
+			if snap != nil {
+				res.Snapshot.Leg = snap.Leg + 1
+			}
+		}
 	}
 	return res, nil
 }

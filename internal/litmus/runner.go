@@ -115,6 +115,24 @@ func verdictOf(t *Test, spec *explore.ObsSpec, res *explore.Result, elapsed time
 	return v
 }
 
+// Widen runs the short widening leg of a sharded exploration: the test
+// runs until roughly `states` distinct states have been visited, then
+// checkpoints. The verdict's Result.Snapshot is the split-ready parent
+// (test hash stamped, so peer daemons accept its shards); a nil Snapshot
+// means the exploration completed inside the widening budget and the
+// verdict is final. Shared by the in-process RunSharded below and the
+// server package's multi-daemon coordinator.
+func Widen(t *Test, run Runner, states int, opts explore.Options) (*Verdict, error) {
+	if states < 1 {
+		states = 1
+	}
+	widen := opts
+	// Aim well past the fan-out needed: a few dozen pending states per
+	// shard keeps every shard busy without re-exploring much.
+	widen.Checkpoint = explore.NewCheckpointAfter(states)
+	return Run(t, run, widen)
+}
+
 // RunSharded explores a test by frontier sharding: a short widening run
 // checkpoints once the frontier has grown past a few states per shard,
 // the snapshot's frontier is split into `shards` disjoint shards, each
@@ -128,12 +146,8 @@ func RunSharded(t *Test, run Runner, resume Resumer, shards int, opts explore.Op
 	if shards < 1 {
 		shards = 1
 	}
-	widen := opts
-	// Aim well past the fan-out needed: a few dozen pending states per
-	// shard keeps every shard busy without re-exploring much.
-	widen.Checkpoint = explore.NewCheckpointAfter(32 * shards)
 	start := time.Now()
-	v, err := Run(t, run, widen)
+	v, err := Widen(t, run, 32*shards, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -48,6 +48,13 @@ type StatsSnapshot struct {
 	CertMisses   int64 `json:"cert_misses,omitempty"`
 	SymmetryHits int64 `json:"symmetry_hits,omitempty"`
 	PrunedStates int64 `json:"pruned_states,omitempty"`
+	// DedupHits / DedupDrops are the distributed-exploration dedup
+	// counters of one shard: states this shard was told another shard
+	// already claimed (so it skipped or dropped them), and entries it
+	// dropped at process time on a late verdict. Zero outside cluster
+	// runs.
+	DedupHits  int64 `json:"dedup_hits,omitempty"`
+	DedupDrops int64 `json:"dedup_drops,omitempty"`
 	// StatesPerSec is the exploration rate over the sampler's sliding
 	// window (0 until two samples exist).
 	StatesPerSec float64 `json:"states_per_sec"`
@@ -78,6 +85,8 @@ func (s *StatsSnapshot) Accumulate(o *StatsSnapshot) {
 	s.CertMisses += o.CertMisses
 	s.SymmetryHits += o.SymmetryHits
 	s.PrunedStates += o.PrunedStates
+	s.DedupHits += o.DedupHits
+	s.DedupDrops += o.DedupDrops
 	s.StatesPerSec += o.StatesPerSec
 	s.MaxStates += o.MaxStates
 	if o.Seq > s.Seq {

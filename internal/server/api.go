@@ -323,7 +323,7 @@ const (
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
 	ID string `json:"id"`
-	// Kind is "batch" or "fuzz".
+	// Kind is "batch", "fuzz" or "cluster".
 	Kind  string   `json:"kind,omitempty"`
 	State JobState `json:"state"`
 	// Total is the cell count for batch jobs and the iteration budget for
@@ -354,6 +354,10 @@ type JobStatus struct {
 	// job's cells (states, frontier sizes, cache counters, states/sec).
 	// Present only while at least one subscriber made the cells sample.
 	Stats *obs.StatsSnapshot `json:"stats,omitempty"`
+	// Shards is a cluster job's live shard map: one row per dispatched
+	// attempt with its peer, provenance (initial/retry/steal) and sampled
+	// throughput.
+	Shards []ShardState `json:"shards,omitempty"`
 }
 
 // JobEvent kinds (JobEvent.Kind).
@@ -366,6 +370,8 @@ const (
 	EventStage = "stage"
 	// EventStats is an in-flight exploration stats sample (Stats set).
 	EventStats = "stats"
+	// EventShards is a cluster job's shard-map update (Shards set).
+	EventShards = "shards"
 	// EventSummary is the stream-ending summary.
 	EventSummary = "summary"
 )
@@ -395,8 +401,10 @@ type JobEvent struct {
 	Stage *obs.StageEvent `json:"stage_event,omitempty"`
 	// Stats is the sampled in-flight snapshot payload (Kind "stats");
 	// Cell identifies the sampling cell.
-	Stats   *obs.StatsSnapshot `json:"stats,omitempty"`
-	Dropped bool               `json:"dropped,omitempty"`
+	Stats *obs.StatsSnapshot `json:"stats,omitempty"`
+	// Shards is the cluster shard-map payload (Kind "shards").
+	Shards  []ShardState `json:"shards,omitempty"`
+	Dropped bool         `json:"dropped,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/stats: the same counters and

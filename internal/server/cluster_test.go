@@ -1,0 +1,479 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"promising/internal/backends"
+	"promising/internal/explore"
+	"promising/internal/litmus"
+)
+
+// swapHandler lets the peer URLs exist before the daemons do: each
+// httptest server starts with an empty swapHandler, the URL set is
+// collected, and only then is each Server constructed with the full peer
+// list as its -peers default.
+type swapHandler struct {
+	mu sync.RWMutex
+	h  http.Handler
+}
+
+func (sh *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sh.mu.RLock()
+	h := sh.h
+	sh.mu.RUnlock()
+	if h == nil {
+		http.Error(w, "daemon not up yet", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// startClusterPeers brings up n in-process daemons that all know the full
+// peer list (Config.Peers), returning their URLs, Servers, and httptest
+// servers (peers[0] is the conventional coordinator).
+func startClusterPeers(t *testing.T, n int, cfg Config) ([]string, []*Server, []*httptest.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	hss := make([]*httptest.Server, n)
+	swaps := make([]*swapHandler, n)
+	for i := 0; i < n; i++ {
+		swaps[i] = &swapHandler{}
+		hss[i] = httptest.NewServer(swaps[i])
+		urls[i] = hss[i].URL
+	}
+	srvs := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Peers = urls
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		swaps[i].mu.Lock()
+		swaps[i].h = s.Handler()
+		swaps[i].mu.Unlock()
+		srvs[i] = s
+	}
+	t.Cleanup(func() {
+		for i := n - 1; i >= 0; i-- {
+			hss[i].Close()
+			srvs[i].Close()
+		}
+	})
+	return urls, srvs, hss
+}
+
+// waitCluster polls the coordinator until the job leaves JobRunning and
+// returns its single report.
+func waitCluster(ctx context.Context, c *Client, jobID string, d time.Duration) (*TestReport, error) {
+	deadline := time.Now().Add(d)
+	for {
+		st, err := c.Job(ctx, jobID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != JobRunning {
+			if len(st.Reports) == 0 || st.Reports[0] == nil {
+				return nil, context.DeadlineExceeded
+			}
+			return st.Reports[0], nil
+		}
+		if time.Now().After(deadline) {
+			c.CancelJob(ctx, jobID)
+			return nil, context.DeadlineExceeded
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// refOutcomes runs the test locally and uninterrupted on the named
+// backend, returning the TestReport.Outcomes-shaped lines.
+func refOutcomes(t *testing.T, tst *litmus.Test, backend string) []string {
+	t.Helper()
+	named, err := backends.ResolveNamed(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := litmus.Run(tst, named.Run, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(litmus.FormatOutcomes(v.Spec, v.Result, tst.Prog), "\n")
+}
+
+// fastClusterOpts keeps cluster runs snappy in tests: tight polling,
+// short checkpoint legs, and a small widening budget so even small
+// catalog tests actually fan out.
+func fastClusterOpts() ClusterOptions {
+	return ClusterOptions{PollMS: 10, CheckpointMS: 40, WidenStates: 8}
+}
+
+// TestClusterCatalogEquivalence is the acceptance gate for the
+// coordinator: the full catalog, on both machine backends, explored
+// through a 3-peer cluster with cross-peer dedup live, must produce
+// outcome sets byte-identical to uninterrupted single-daemon runs.
+func TestClusterCatalogEquivalence(t *testing.T) {
+	urls, _, _ := startClusterPeers(t, 3, Config{Workers: 4, DefaultTimeout: 2 * time.Minute})
+	coord := NewClient(urls[0], nil)
+	ctx := context.Background()
+
+	tests := litmus.Catalog()
+	if raceEnabled {
+		// The race detector slows exploration ~10×; a representative
+		// subset keeps the suite inside CI budgets.
+		var sub []*litmus.Test
+		for _, name := range []string{"MP", "SB", "LB", "IRIW", "PPOCA", "LB+addrs", "WRC+data+addr", "2+2W"} {
+			sub = append(sub, litmus.CatalogTest(name))
+		}
+		tests = sub
+	}
+
+	type cell struct {
+		tst     *litmus.Test
+		backend string
+	}
+	var cells []cell
+	for _, tst := range tests {
+		for _, b := range []string{backends.Promising, backends.Naive} {
+			cells = append(cells, cell{tst, b})
+		}
+	}
+
+	var mu sync.Mutex // serializes t.Errorf detail with its context
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for _, cl := range cells {
+		wg.Add(1)
+		go func(cl cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			br, err := coord.Cluster(ctx, ClusterRequest{
+				TestSpec: TestSpec{Catalog: cl.tst.Name()},
+				Backend:  cl.backend,
+				Cluster:  fastClusterOpts(),
+			})
+			if err != nil {
+				mu.Lock()
+				t.Errorf("%s/%s: submit: %v", cl.tst.Name(), cl.backend, err)
+				mu.Unlock()
+				return
+			}
+			tr, err := waitCluster(ctx, coord, br.JobID, 2*time.Minute)
+			if err != nil {
+				mu.Lock()
+				t.Errorf("%s/%s: %v", cl.tst.Name(), cl.backend, err)
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if tr.Error != "" || tr.Status == string(litmus.StatusError) {
+				t.Errorf("%s/%s: cluster run errored: %s", cl.tst.Name(), cl.backend, tr.Error)
+				return
+			}
+			want := refOutcomes(t, cl.tst, cl.backend)
+			if !sameLines(tr.Outcomes, want) {
+				t.Errorf("%s/%s: cluster outcomes differ from uninterrupted run:\n got: %v\nwant: %v",
+					cl.tst.Name(), cl.backend, tr.Outcomes, want)
+			}
+			if tr.Status != "pass" {
+				t.Errorf("%s/%s: cluster status %q (allowed=%v, expect=%s)",
+					cl.tst.Name(), cl.backend, tr.Status, tr.Allowed, tr.Expect)
+			}
+		}(cl)
+	}
+	wg.Wait()
+}
+
+// TestClusterOtherBackends drives the flat and axiomatic backends — one
+// with full-snapshot legs only, one resuming via spec replay — through a
+// 2-peer cluster on the classic trio.
+func TestClusterOtherBackends(t *testing.T) {
+	urls, _, _ := startClusterPeers(t, 2, Config{Workers: 4, DefaultTimeout: 2 * time.Minute})
+	coord := NewClient(urls[0], nil)
+	ctx := context.Background()
+	for _, name := range []string{"SB", "MP", "LB"} {
+		for _, b := range []string{backends.Flat, backends.Axiomatic} {
+			tst := litmus.CatalogTest(name)
+			br, err := coord.Cluster(ctx, ClusterRequest{
+				TestSpec: TestSpec{Catalog: name},
+				Backend:  b,
+				Cluster:  fastClusterOpts(),
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: submit: %v", name, b, err)
+			}
+			tr, err := waitCluster(ctx, coord, br.JobID, 2*time.Minute)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, b, err)
+			}
+			if tr.Error != "" {
+				t.Fatalf("%s/%s: cluster run errored: %s", name, b, tr.Error)
+			}
+			if want := refOutcomes(t, tst, b); !sameLines(tr.Outcomes, want) {
+				t.Errorf("%s/%s: cluster outcomes differ:\n got: %v\nwant: %v", name, b, tr.Outcomes, want)
+			}
+		}
+	}
+}
+
+// TestClusterPeerDeathRetry kills a peer daemon mid-run: the coordinator
+// must declare its attempt dead, re-dispatch the attempt's last
+// checkpoint to a survivor (promised_shard_retries_total), and still
+// finish with the uninterrupted outcome set.
+func TestClusterPeerDeathRetry(t *testing.T) {
+	src := restartSrc()
+	urls, srvs, hss := startClusterPeers(t, 3, Config{
+		Workers: 4, DefaultTimeout: 4 * time.Minute, StatsInterval: 20 * time.Millisecond,
+	})
+	coord := NewClient(urls[0], nil)
+	ctx := context.Background()
+
+	br, err := coord.Cluster(ctx, ClusterRequest{
+		TestSpec: TestSpec{Source: src},
+		Shards:   3,
+		Options:  CheckOptions{TimeoutMS: 180_000},
+		Cluster: ClusterOptions{
+			PollMS: 20, CheckpointMS: 40, WidenStates: 24,
+			FailAfter: 2, NoRebalance: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until some non-coordinator peer is running an attempt, then
+	// kill that peer's HTTP frontend (the in-process daemon lives on as a
+	// zombie — exactly the partial-kill the revocation protocol covers).
+	victim := -1
+	deadline := time.Now().Add(60 * time.Second)
+	for victim < 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no attempt landed on a killable peer before the deadline")
+		}
+		st, err := coord.Job(ctx, br.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != JobRunning {
+			t.Fatalf("cluster finished before a peer could be killed (state %s); shrink WidenStates", st.State)
+		}
+		for _, ss := range st.Shards {
+			if ss.State != ShardRunning {
+				continue
+			}
+			for i := 1; i < len(urls); i++ {
+				if ss.Peer == urls[i] {
+					victim = i
+				}
+			}
+		}
+		if victim < 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	hss[victim].Close()
+
+	tr, err := waitCluster(ctx, coord, br.JobID, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Error != "" {
+		t.Fatalf("cluster run errored after peer death: %s", tr.Error)
+	}
+	if got := srvs[0].shardRetries.Load(); got < 1 {
+		t.Errorf("promised_shard_retries_total = %d after killing a peer, want >= 1", got)
+	}
+
+	st, err := coord.Job(ctx, br.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := false
+	for _, ss := range st.Shards {
+		if ss.Source == ShardSourceRetry {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Error("final shard map records no retry-sourced attempt")
+	}
+
+	want, _ := uninterruptedOutcomes(t, src)
+	if !sameLines(tr.Outcomes, want) {
+		t.Errorf("outcomes after peer death differ from uninterrupted run:\n got: %v\nwant: %v", tr.Outcomes, want)
+	}
+}
+
+// TestClusterRebalanceSteals forces a steal: one shard on a two-peer
+// cluster with a threshold of one frontier entry means the coordinator
+// must checkpoint the straggler, split its frontier, and hand half to the
+// idle peer — without changing the outcome set.
+func TestClusterRebalanceSteals(t *testing.T) {
+	src := restartSrc()
+	urls, srvs, _ := startClusterPeers(t, 2, Config{
+		Workers: 4, DefaultTimeout: 4 * time.Minute, StatsInterval: 20 * time.Millisecond,
+	})
+	coord := NewClient(urls[0], nil)
+	ctx := context.Background()
+
+	br, err := coord.Cluster(ctx, ClusterRequest{
+		TestSpec: TestSpec{Source: src},
+		Shards:   1,
+		Options:  CheckOptions{TimeoutMS: 180_000},
+		Cluster: ClusterOptions{
+			PollMS: 20, CheckpointMS: 40, WidenStates: 24,
+			RebalanceFrontier: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := waitCluster(ctx, coord, br.JobID, 4*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Error != "" {
+		t.Fatalf("cluster run errored: %s", tr.Error)
+	}
+	if got := srvs[0].shardSteals.Load(); got < 1 {
+		t.Errorf("promised_shard_steals_total = %d with a 1-entry threshold and an idle peer, want >= 1", got)
+	}
+	st, err := coord.Job(ctx, br.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := false
+	for _, ss := range st.Shards {
+		if ss.Source == ShardSourceSteal {
+			stolen = true
+		}
+	}
+	if !stolen {
+		t.Error("final shard map records no steal-sourced attempt")
+	}
+	want, _ := uninterruptedOutcomes(t, src)
+	if !sameLines(tr.Outcomes, want) {
+		t.Errorf("outcomes after rebalance differ from uninterrupted run:\n got: %v\nwant: %v", tr.Outcomes, want)
+	}
+}
+
+// TestShardSeenClaimProtocol pins the claim table's semantics over the
+// wire: first claim wins, a second attempt sees dup, purging frees the
+// claims, and a revoked attempt is granted nothing ever again.
+func TestShardSeenClaimProtocol(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	keys := [][]byte{[]byte("k1"), []byte("k2")}
+
+	seen := func(attempt string, revoked []string) []bool {
+		t.Helper()
+		var resp SeenResponse
+		if err := c.do(ctx, http.MethodPost, "/v1/shards/g1/seen",
+			SeenRequest{Attempt: attempt, Revoked: revoked, Keys: keys}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Dup
+	}
+
+	if dup := seen("A", nil); dup[0] || dup[1] {
+		t.Fatalf("first claim answered dup: %v", dup)
+	}
+	if dup := seen("B", nil); !dup[0] || !dup[1] {
+		t.Fatalf("second attempt not deduped against A's claims: %v", dup)
+	}
+	if got := s.dedupHits.Load(); got < 2 {
+		t.Errorf("promised_shard_dedup_hits_total = %d, want >= 2", got)
+	}
+
+	// Purge A: B's next query claims the freed keys.
+	if err := c.do(ctx, http.MethodPost, "/v1/shards/g1/purge", PurgeRequest{Attempt: "A"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dup := seen("B", nil); dup[0] || dup[1] {
+		t.Fatalf("B denied the purged keys: %v", dup)
+	}
+	// A is revoked: everything it asks about is someone else's now, even
+	// keys nobody claims.
+	if dup := seen("A", nil); !dup[0] || !dup[1] {
+		t.Fatalf("revoked attempt was granted a claim: %v", dup)
+	}
+	// The Revoked list piggybacked on a query folds in like a purge.
+	if dup := seen("C", []string{"B"}); dup[0] || dup[1] {
+		t.Fatalf("C denied keys freed by piggybacked revocation: %v", dup)
+	}
+	// Group drop clears the table.
+	if err := c.do(ctx, http.MethodDelete, "/v1/shards/g1", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dup := seen("D", nil); dup[0] || dup[1] {
+		t.Fatalf("fresh group answered dup: %v", dup)
+	}
+}
+
+// TestCheckShardedRetriesFailedShard points CheckSharded at one healthy
+// daemon and one peer that five-hundreds every request: the shard that
+// lands on the broken peer must be retried on the healthy one and the
+// merged result must equal the uninterrupted run.
+func TestCheckShardedRetriesFailedShard(t *testing.T) {
+	_, good := newTestServer(t, Config{Workers: 2, DefaultTimeout: 2 * time.Minute})
+	var badHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		http.Error(w, "injected failure", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+
+	src := restartSrc()
+	tst, err := litmus.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := explore.DefaultOptions()
+	opts.Checkpoint = explore.NewCheckpointAfter(50)
+	v, err := litmus.Run(tst, explore.PromiseFirst, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := v.Result.Snapshot
+	if snap == nil || len(snap.Frontier) < 2 {
+		t.Fatalf("checkpoint did not leave a splittable frontier (snap=%v)", snap)
+	}
+
+	ctx := context.Background()
+	peers := []*Client{good, NewClient(bad.URL, nil)}
+	res, err := CheckSharded(ctx, peers, TestSpec{Source: src}, snap, CheckOptions{TimeoutMS: 120_000})
+	if err != nil {
+		t.Fatalf("CheckSharded with one broken peer: %v", err)
+	}
+	if badHits.Load() == 0 {
+		t.Fatal("no shard was ever dispatched to the broken peer")
+	}
+
+	ref, err := litmus.Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(ref.Result.Outcomes) {
+		t.Fatalf("merged outcomes = %d, uninterrupted = %d", len(res.Outcomes), len(ref.Result.Outcomes))
+	}
+	for k := range ref.Result.Outcomes {
+		if _, ok := res.Outcomes[k]; !ok {
+			t.Errorf("merged result missing outcome %q", k)
+		}
+	}
+
+	// Both peers broken: the retry budget is one hop, so the call fails.
+	peers = []*Client{NewClient(bad.URL, nil), NewClient(bad.URL, nil)}
+	if _, err := CheckSharded(ctx, peers, TestSpec{Source: src}, snap, CheckOptions{}); err == nil {
+		t.Fatal("CheckSharded succeeded with every peer broken")
+	}
+}

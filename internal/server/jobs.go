@@ -60,6 +60,9 @@ type job struct {
 	// cell index); status() accumulates their latest snapshots into
 	// JobStatus.Stats.
 	samplers map[int]*obs.Sampler
+	// shardStates is a cluster job's live shard map (which peer runs
+	// which attempt, sampled progress); replaced wholesale by setShards.
+	shardStates []ShardState
 }
 
 // newTracer wires the job's tracer: every stage event is broadcast live.
@@ -157,6 +160,9 @@ func (j *job) statusLocked() JobStatus {
 	if j.kind != jobKindFuzz {
 		st.Reports = make([]*TestReport, len(j.reports))
 		copy(st.Reports, j.reports)
+	}
+	if len(j.shardStates) > 0 {
+		st.Shards = append([]ShardState(nil), j.shardStates...)
 	}
 	return st
 }
@@ -348,9 +354,22 @@ func newJobID() string {
 
 // Job kinds.
 const (
-	jobKindBatch = "batch"
-	jobKindFuzz  = "fuzz"
+	jobKindBatch   = "batch"
+	jobKindFuzz    = "fuzz"
+	jobKindCluster = "cluster"
 )
+
+// setShards replaces a cluster job's live shard map and notifies
+// subscribers (Cell -1: a progress event, like fuzz updates).
+func (j *job) setShards(states []ShardState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.shardStates = states
+	j.broadcastLocked(JobEvent{
+		JobID: j.id, Kind: EventShards, State: j.state, Cell: -1,
+		Completed: j.completed, Total: j.total, Shards: states,
+	})
+}
 
 // updateFuzz replaces a fuzz job's progress snapshot and notifies
 // subscribers (Cell -1: a progress event, not a cell completion).

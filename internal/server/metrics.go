@@ -41,6 +41,9 @@ func (s *Server) metricDefs() []metricDef {
 		{"promised_jobs_total", "counter", s.jobs.created},
 		{"promised_jobs_recovered_total", "counter", s.recovered.Load},
 		{"promised_shards_total", "counter", s.shards.Load},
+		{"promised_shard_dedup_hits_total", "counter", s.dedupHits.Load},
+		{"promised_shard_steals_total", "counter", s.shardSteals.Load},
+		{"promised_shard_retries_total", "counter", s.shardRetries.Load},
 		{"promised_fuzz_campaigns_total", "counter", s.fuzzCampaigns.Load},
 		{"promised_fuzz_campaigns_active", "gauge", s.fuzzActive.Load},
 		{"promised_fuzz_iterations_total", "counter", s.fuzzIters.Load},

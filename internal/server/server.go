@@ -83,6 +83,10 @@ type Config struct {
 	// BenchDir is where GET /v1/bench globs committed BENCH_*.json
 	// baselines from (default ".", the daemon's working directory).
 	BenchDir string
+	// Peers is the default cluster membership for POST /v1/cluster
+	// requests that do not carry their own peer list (promised -peers):
+	// the base URLs of the daemons a cluster exploration fans out across.
+	Peers []string
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the service mux
 	// (off by default: profiling endpoints expose stacks and heap
 	// contents, so they are opt-in via promised -pprof).
@@ -156,9 +160,20 @@ type Server struct {
 	// by Config.MaxPendingCells at admission.
 	pending atomic.Int64
 	// recovered counts jobs re-enqueued from StateDir at startup; shards
-	// counts POST /v1/shards explorations served.
+	// counts shard explorations served (POST /v1/shards and completed
+	// shard jobs).
 	recovered atomic.Int64
 	shards    atomic.Int64
+	// groups holds the daemon's cross-peer dedup claim tables; shardJobs
+	// the asynchronous shard explorations (cluster.go).
+	groups    *shardGroups
+	shardJobs *shardJobTable
+	// dedupHits counts claims this daemon denied as the owning peer;
+	// shardSteals/shardRetries count the coordinator's rebalance splits
+	// and dead-shard re-dispatches.
+	dedupHits    atomic.Int64
+	shardSteals  atomic.Int64
+	shardRetries atomic.Int64
 	// certHits/certMisses/interned accumulate the per-exploration
 	// ExploreStats of every cell this daemon ran (cache hits excluded:
 	// a cached verdict re-reports the original exploration's stats).
@@ -188,13 +203,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		cache:   vc,
-		sem:     make(chan struct{}, cfg.Workers),
-		jobs:    newJobTable(),
-		base:    base,
-		stop:    stop,
-		started: time.Now(),
+		cfg:       cfg,
+		cache:     vc,
+		sem:       make(chan struct{}, cfg.Workers),
+		jobs:      newJobTable(),
+		groups:    newShardGroups(),
+		shardJobs: newShardJobTable(),
+		base:      base,
+		stop:      stop,
+		started:   time.Now(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -203,6 +220,14 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/shards", s.handleShard)
+	s.mux.HandleFunc("POST /v1/shards/{group}/seen", s.handleShardSeen)
+	s.mux.HandleFunc("POST /v1/shards/{group}/purge", s.handleShardPurge)
+	s.mux.HandleFunc("DELETE /v1/shards/{group}", s.handleShardGroupDrop)
+	s.mux.HandleFunc("POST /v1/shards/jobs", s.handleShardJobStart)
+	s.mux.HandleFunc("GET /v1/shards/jobs/{id}", s.handleShardJob)
+	s.mux.HandleFunc("GET /v1/shards/jobs/{id}/snapshot", s.handleShardJobSnapshot)
+	s.mux.HandleFunc("POST /v1/shards/jobs/{id}/stop", s.handleShardJobStop)
+	s.mux.HandleFunc("POST /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("POST /v1/fuzz", s.handleFuzz)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
@@ -526,6 +551,11 @@ func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litm
 	// one test, so legs share it.
 	eo.Deadline = time.Now().Add(timeout)
 	eo.CertCache = explore.NewSharedCertCache()
+	// Resumed legs emit delta checkpoints: the engine exports only the
+	// seen-set entries the leg added (O(new states)), and the applied full
+	// — still what the store persists, so recovery stays a single-file
+	// resume — is reassembled here from the held base.
+	eo.DeltaSnapshot = true
 	co.apply(&eo)
 	var (
 		v       *litmus.Verdict
@@ -549,7 +579,14 @@ func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litm
 		if v.Result.Snapshot == nil {
 			break // completed, timed out or aborted
 		}
-		snap = v.Result.Snapshot
+		if emitted := v.Result.Snapshot; emitted.Delta {
+			snap, rerr = explore.ApplyDelta(snap, emitted)
+			if rerr != nil {
+				break
+			}
+		} else {
+			snap = emitted
+		}
 		s.store.putSnap(jobID, cell, snap)
 		co.trace.Emit("checkpoint", fmt.Sprintf("leg %d: %d pending, %d states", leg, len(snap.Frontier), snap.States))
 	}

@@ -31,6 +31,9 @@ const GAUGES = [
   ["promised_pruned_states_total", "pruned"],
   ["promised_fuzz_iterations_total", "fuzz iters"],
   ["promised_fuzz_findings_total", "fuzz findings"],
+  ["promised_shard_dedup_hits_total", "shard dedup"],
+  ["promised_shard_steals_total", "shard steals"],
+  ["promised_shard_retries_total", "shard retries"],
 ];
 
 function fmtCount(n) {
@@ -130,7 +133,35 @@ const cellStates = new Map();
 function closeJob() {
   if (es) { es.close(); es = null; }
   $("#detail").classList.add("hidden");
+  $("#shardmap").classList.add("hidden");
+  $("#shardmap-h").classList.add("hidden");
+  $("#shardmap tbody").replaceChildren();
   cellStates.clear();
+}
+
+// renderShardMap draws a cluster job's live per-peer shard table: which
+// peer runs which attempt, how it got there (initial/steal/retry) and
+// its sampled throughput and dedup counters.
+function renderShardMap(shards) {
+  $("#shardmap").classList.remove("hidden");
+  $("#shardmap-h").classList.remove("hidden");
+  const tbody = $("#shardmap tbody");
+  tbody.replaceChildren();
+  for (const s of shards) {
+    const tr = document.createElement("tr");
+    tr.className = "shard state-" + s.state + " source-" + s.source;
+    for (const v of [
+      s.attempt, s.peer, s.source, s.state, s.leg,
+      fmtCount(s.states || 0), fmtCount(s.frontier || 0),
+      fmtCount(Math.round(s.states_per_sec || 0)),
+      fmtCount(s.dedup_hits || 0) + "/" + fmtCount(s.dedup_drops || 0),
+    ]) {
+      const td = document.createElement("td");
+      td.textContent = v;
+      tr.appendChild(td);
+    }
+    tbody.appendChild(tr);
+  }
 }
 $("#detail-close").addEventListener("click", closeJob);
 
@@ -194,6 +225,9 @@ function openJob(id) {
           const se = ev.stage_event;
           logEvent(`[${se.stage}] cell ${se.cell}${se.backend ? " " + se.backend : ""}: ${se.detail || ""}${se.dur_ms ? " (" + fmtMS(se.dur_ms) + ")" : ""}`, "stage");
         }
+        break;
+      case "shards":
+        if (ev.shards) renderShardMap(ev.shards);
         break;
       case "fuzz":
         if (ev.fuzz) logEvent(`fuzz: ${ev.fuzz.iterations} iters, ${ev.fuzz.findings} findings, corpus ${ev.fuzz.corpus_size}`);

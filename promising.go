@@ -227,6 +227,13 @@ func MergeShards(parent *Snapshot, shardResults []*Result) *Result {
 	return explore.MergeShards(parent, shardResults)
 }
 
+// ApplyDelta folds a delta snapshot (emitted by a resumed leg under
+// ExploreOptions.DeltaSnapshot) onto the full snapshot it chains from,
+// returning the equivalent full snapshot — byte-identical to the one a
+// full-snapshot resume of the same leg would have produced. Deltas make
+// checkpoint and transfer cost O(new states) instead of O(all states).
+func ApplyDelta(base, delta *Snapshot) (*Snapshot, error) { return explore.ApplyDelta(base, delta) }
+
 // RunAll runs every test under every backend with bounded concurrency
 // (litmus.RunAll): cross-test parallelism from o.Concurrency, per-test
 // parallelism from o.Explore.Parallelism. Reports come back in
@@ -382,11 +389,29 @@ type (
 	TestReport = server.TestReport
 	// JobStatus is a batch job's progress snapshot.
 	JobStatus = server.JobStatus
+	// JobState is a job's lifecycle state (running, done, canceled).
+	JobState = server.JobState
 	// ShardRequest is the body of POST /v1/shards: one frontier shard of
 	// a checkpointed exploration, explored to completion on a peer daemon.
 	ShardRequest = server.ShardRequest
 	// ShardReport is a shard exploration's result in mergeable form.
 	ShardReport = server.ShardReport
+	// ClusterRequest is the body of POST /v1/cluster: one test explored
+	// across a peer set under a coordinating daemon, with cross-peer
+	// dedup, work-stealing rebalance and dead-peer retry.
+	ClusterRequest = server.ClusterRequest
+	// ClusterOptions tunes the cluster coordinator loop.
+	ClusterOptions = server.ClusterOptions
+	// ShardState is one row of a cluster job's live shard map
+	// (JobStatus.Shards).
+	ShardState = server.ShardState
+)
+
+// Job states.
+const (
+	JobRunning  = server.JobRunning
+	JobDone     = server.JobDone
+	JobCanceled = server.JobCanceled
 )
 
 // CheckSharded distributes a snapshot's frontier across peer daemons
