@@ -23,6 +23,11 @@ type naiveEntry struct {
 	// todo is the set of families this entry expands — the newly claimed
 	// bits from the canonical state's claim table.
 	todo uint32
+	// ctodo is todo in the canonical frame (AllFamilies without a claim
+	// table), compared against Options.Remote's late denial verdicts at
+	// process time: the entry drops only when every family it would
+	// expand was granted to another shard's attempt.
+	ctodo uint32
 	// fresh marks the first-ever arrival at the canonical state (the one
 	// that counts it in States and may count a dead end).
 	fresh bool
@@ -96,13 +101,16 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	ccStart := cc.Stats()
 	// addState interns the state's canonical encoding (symmetry-reduced
 	// when a symmetry structure exists) and returns its handle, freshness
-	// and the canonicalizing thread order (nil = identity). child marks
-	// states discovered as successors (as opposed to roots, which are
-	// never remote-deduplicated); the last result reports that the remote
-	// hook already knows the state is claimed elsewhere — drop it.
-	addState := func(m *core.Machine, child bool) (core.Handle, bool, []int, bool) {
+	// and the canonicalizing thread order (nil = identity). For child
+	// states (successors, as opposed to roots, which are never
+	// remote-deduplicated) it additionally claims the arrival's awake
+	// families in the local claim table, reports the newly claimed set to
+	// the remote dedup hook — which may deny families another shard's
+	// attempt was already granted — and returns the remaining to-expand
+	// set in concrete (todo) and canonical (ctodo) form, plus whether the
+	// child is dropped instead of pushed (nothing left to expand here).
+	addState := func(m *core.Machine, child bool, sleep uint32) (h core.Handle, fresh bool, order []int, todo, ctodo uint32, drop bool) {
 		b := core.GetEncBuf()
-		var order []int
 		if sym != nil {
 			encs := make([][]byte, nThreads)
 			for t, th := range m.Threads {
@@ -118,29 +126,40 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 		} else {
 			b = m.AppendState(b)
 		}
-		h, fresh := seen.Add(b)
-		drop := false
-		if child && fresh && opts.Remote != nil {
-			drop = opts.Remote.Discovered(b, h)
+		h, fresh = seen.Add(b)
+		if child {
+			if claims != nil {
+				// Claim locally before consulting the remote hook: families
+				// the remote denies stay claimed in the local table — their
+				// expansion is delegated to the live attempt that was granted
+				// them (see the server package's claim protocol), so later
+				// local re-arrivals must not re-claim them either.
+				ctodo = claims.Claim(h, CanonMask(allMask&^sleep, order))
+				if ctodo != 0 && opts.Remote != nil {
+					ctodo &^= opts.Remote.Discovered(b, h, ctodo)
+				}
+				todo = ConcreteMask(ctodo, order)
+				drop = todo == 0
+			} else {
+				ctodo = AllFamilies
+				if !fresh {
+					drop = true
+				} else if opts.Remote != nil && opts.Remote.Discovered(b, h, AllFamilies) == AllFamilies {
+					drop = true
+				}
+			}
 		}
 		core.PutEncBuf(b)
-		return h, fresh, order, drop
-	}
-	// claimFor claims the entry's awake families in the canonical state's
-	// claim table and returns the concrete to-expand set (zero: nothing
-	// new, do not push).
-	claimFor := func(h core.Handle, sleep uint32, order []int) uint32 {
-		newly := claims.Claim(h, CanonMask(allMask&^sleep, order))
-		return ConcreteMask(newly, order)
+		return
 	}
 
 	var roots []naiveEntry
 	if snap == nil {
 		m0 := core.NewMachine(cp)
-		h, _, order, _ := addState(m0, false)
+		h, _, order, _, _, _ := addState(m0, false, 0)
 		root := naiveEntry{m: m0, fresh: true}
 		if claims != nil {
-			root.todo = claimFor(h, 0, order)
+			root.todo = ConcreteMask(claims.Claim(h, CanonMask(allMask, order)), order)
 		}
 		roots = []naiveEntry{root}
 	} else {
@@ -159,7 +178,7 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				// Pre-claim the entry's families (the claim table does not
 				// survive a snapshot) so this leg's re-arrivals at the same
 				// state do not re-expand them.
-				h, _, order, _ := addState(m, false)
+				h, _, order, _, _, _ := addState(m, false, 0)
 				if !useAux {
 					e.todo = allMask
 				}
@@ -170,10 +189,11 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	}
 
 	eng := Engine[naiveEntry]{Process: func(e naiveEntry, c *Ctx[naiveEntry]) {
-		// A late cross-shard claim verdict drops the entry unprocessed:
-		// the claiming shard explores the state instead (roots carry h=0
-		// and are never dropped).
-		if e.h != 0 && opts.Remote != nil && opts.Remote.ShouldDrop(e.h) {
+		// Late cross-shard claim verdicts covering every family this entry
+		// would expand drop it unprocessed: the attempts granted those
+		// families expand them instead (roots carry h=0 and are never
+		// dropped; a partial denial expands redundantly, which is sound).
+		if e.h != 0 && opts.Remote != nil && opts.Remote.ShouldDrop(e.h, e.ctodo) {
 			return
 		}
 		// Only the first-ever arrival at a state counts it; re-claimed
@@ -233,19 +253,11 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 				if opts.CollectWitnesses {
 					trace = append(append([]core.Label(nil), e.trace...), s.Label)
 				}
-				h, fresh, order, rdrop := addState(s.M, true)
-				if rdrop {
+				h, fresh, _, todo, ctodo, drop := addState(s.M, true, childSleep)
+				if drop {
 					continue
 				}
-				todo := uint32(0)
-				if claims != nil {
-					if todo = claimFor(h, childSleep, order); todo == 0 {
-						continue
-					}
-				} else if !fresh {
-					continue
-				}
-				c.Push(naiveEntry{m: s.M, trace: trace, sleep: childSleep, todo: todo, fresh: fresh, h: h})
+				c.Push(naiveEntry{m: s.M, trace: trace, sleep: childSleep, todo: todo, ctodo: ctodo, fresh: fresh, h: h})
 			}
 			if claims != nil && quiet && len(succs) > 0 {
 				sleepable |= bit

@@ -156,33 +156,56 @@ type Options struct {
 	// snapshot the leg would otherwise have emitted.
 	DeltaSnapshot bool
 	// Remote, when non-nil, is the cross-shard deduplication hook
-	// (distributed exploration): backends with a seen-set report each
-	// locally fresh state at its child-push site and may drop states
-	// another shard has claimed. Resume-path frontier roots are never
-	// reported or dropped — a shard always explores the work it was
-	// dealt. Dedup through this hook is a pure work-saving: a missed or
-	// late verdict costs re-exploration, never outcomes (see the server
-	// package's claim protocol for the liveness argument).
+	// (distributed exploration): backends with a seen-set report the
+	// thread families they claim at each discovered state at its
+	// child-push site and may skip expanding families another shard's
+	// attempt was granted. Resume-path frontier roots are never reported
+	// or dropped — a shard always explores the work it was dealt. Dedup
+	// through this hook is a pure work-saving: a missed or late verdict
+	// costs re-exploration, never outcomes (see the server package's
+	// claim protocol for the liveness argument).
 	Remote RemoteSeen
 }
 
 // RemoteSeen is the cross-shard deduplication hook of a distributed
 // exploration (Options.Remote). Both methods are called from engine
 // workers concurrently and must not block on the network — the intended
-// implementation batches Discovered keys to the owning peer and answers
-// ShouldDrop from asynchronously arriving verdicts.
+// implementation batches Discovered claims to the owning peer and
+// answers ShouldDrop from asynchronously arriving verdicts.
+//
+// Claims are per thread family, in the state's canonical frame
+// (CanonMask), which is what keeps cross-shard dedup sound under
+// independence pruning: a shard may skip expanding a family only when
+// another live attempt was explicitly granted that (state, family)
+// claim, and the grantee claimed the family because it was awake at one
+// of its own arrivals — so the grantee (or, after revocation, its retry
+// successor) expands it. Whole-state claims would instead delegate to a
+// claimant that may have slept the family at every one of its arrivals
+// and never expands it: the sleep-set "ignoring problem" re-introduced
+// across shards. Backends without a claim table pass AllFamilies,
+// degenerating to first-claimant-wins per state.
 type RemoteSeen interface {
-	// Discovered reports a locally fresh state: key is its canonical
-	// encoding (valid only for the duration of the call — copy to
-	// retain), h its handle in the local seen-set. A true return means
-	// the state is already known to be claimed by another shard, and the
-	// caller drops it without pushing.
-	Discovered(key []byte, h core.Handle) bool
-	// ShouldDrop reports whether an asynchronous claim verdict has since
-	// arrived for h: true means another shard owns the state's expansion
-	// and the popped entry is dropped unprocessed.
-	ShouldDrop(h core.Handle) bool
+	// Discovered reports the families newly claimed at a locally
+	// discovered state: key is the state's canonical encoding (valid
+	// only for the duration of the call — copy to retain), h its handle
+	// in the local seen-set, mask the canonical family set this arrival
+	// claimed (AllFamilies when the run has no claim table). It returns
+	// the subset of mask already granted to another live attempt: the
+	// caller must not expand those families here (their claimants do),
+	// and drops the state entirely when nothing of mask remains.
+	Discovered(key []byte, h core.Handle, mask uint32) uint32
+	// ShouldDrop reports whether asynchronous claim verdicts have since
+	// denied every family in mask (the popped entry's canonical
+	// to-expand set): true means other live attempts were granted all of
+	// the entry's families and it is dropped unprocessed. A partial
+	// denial never drops — the entry re-expands the denied families
+	// redundantly, which costs work, never outcomes.
+	ShouldDrop(h core.Handle, mask uint32) bool
 }
+
+// AllFamilies is the Discovered/ShouldDrop mask of a backend without a
+// claim table: the whole state is claimed as one unit.
+const AllFamilies = ^uint32(0)
 
 // DefaultOptions returns the standard configuration (certification on).
 func DefaultOptions() Options { return Options{Certify: true} }

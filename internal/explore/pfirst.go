@@ -157,9 +157,11 @@ type pfExplorer struct {
 // addMem interns a phase-1 memory (on its symmetry-canonical encoding
 // when the reduction applies), reporting its seen-set handle and whether
 // it was new. child marks memories discovered as promise successors; a
-// fresh child is reported to Options.Remote, whose true return (already
-// claimed by another shard) makes addMem report not-fresh so the caller
-// skips the push.
+// fresh child is reported to Options.Remote with the whole-state
+// AllFamilies claim (phase 1 has no independence pruning, so per-family
+// granularity is moot here), and a fully denied claim (already granted
+// to another shard's attempt) makes addMem report not-fresh so the
+// caller skips the push.
 func (e *pfExplorer) addMem(mem *core.Memory, child bool) (core.Handle, bool) {
 	b := core.GetEncBuf()
 	if e.sym != nil {
@@ -172,7 +174,7 @@ func (e *pfExplorer) addMem(mem *core.Memory, child bool) (core.Handle, bool) {
 		b = core.EncodeMemory(b, mem, 0)
 	}
 	h, fresh := e.seen.Add(b)
-	if child && fresh && e.opts.Remote != nil && e.opts.Remote.Discovered(b, h) {
+	if child && fresh && e.opts.Remote != nil && e.opts.Remote.Discovered(b, h, AllFamilies) == AllFamilies {
 		fresh = false
 	}
 	core.PutEncBuf(b)
@@ -199,7 +201,7 @@ type memState struct {
 func (e *pfExplorer) process(ms memState, c *Ctx[memState]) {
 	// A late cross-shard claim verdict drops the memory unprocessed: the
 	// claiming shard completes and expands it instead.
-	if ms.hseen != 0 && e.opts.Remote != nil && e.opts.Remote.ShouldDrop(ms.hseen) {
+	if ms.hseen != 0 && e.opts.Remote != nil && e.opts.Remote.ShouldDrop(ms.hseen, AllFamilies) {
 		return
 	}
 	if !c.Visit(1) {

@@ -16,7 +16,12 @@ type entry struct {
 	m     *machine
 	sleep uint32 // arrival sleep set: families covered by a sibling ordering
 	todo  uint32 // families claimed for expansion at this entry
-	fresh bool   // first-ever arrival at the canonical state
+	// ctodo is todo in the canonical frame (AllFamilies without a claim
+	// table), compared against Options.Remote's late denial verdicts: the
+	// entry drops only when every family it would expand was granted to
+	// another shard's attempt.
+	ctodo uint32
+	fresh bool // first-ever arrival at the canonical state
 	// h is the canonical state's seen-set handle, consulted against
 	// Options.Remote at process time; 0 marks a root (never dropped).
 	h core.Handle
@@ -58,9 +63,14 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	var symHits, pruned atomic.Int64
 
 	seen := explore.NewSeenSet()
-	addState := func(m *machine, child bool) (core.Handle, bool, []int, bool) {
+	// addState mirrors the naive explorer's: intern the canonical key and,
+	// for child states, claim the arrival's awake families locally, report
+	// the newly claimed set to the remote dedup hook (which may deny
+	// families another shard's attempt was already granted — denied
+	// families stay claimed locally, delegated to their live claimants)
+	// and return the remaining to-expand set plus the drop decision.
+	addState := func(m *machine, child bool, sleep uint32) (h core.Handle, fresh bool, order []int, todo, ctodo uint32, drop bool) {
 		b := core.GetEncBuf()
-		var order []int
 		if sym != nil {
 			encs := make([][]byte, nThreads)
 			for t := range m.threads {
@@ -76,27 +86,36 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 		} else {
 			b = m.appendKey(b)
 		}
-		h, fresh := seen.Add(b)
-		drop := false
-		if child && fresh && opts.Remote != nil {
-			drop = opts.Remote.Discovered(b, h)
+		h, fresh = seen.Add(b)
+		if child {
+			if claims != nil {
+				ctodo = claims.Claim(h, explore.CanonMask(allMask&^sleep, order))
+				if ctodo != 0 && opts.Remote != nil {
+					ctodo &^= opts.Remote.Discovered(b, h, ctodo)
+				}
+				todo = explore.ConcreteMask(ctodo, order)
+				drop = todo == 0
+			} else {
+				ctodo = explore.AllFamilies
+				if !fresh {
+					drop = true
+				} else if opts.Remote != nil && opts.Remote.Discovered(b, h, explore.AllFamilies) == explore.AllFamilies {
+					drop = true
+				}
+			}
 		}
 		core.PutEncBuf(b)
-		return h, fresh, order, drop
-	}
-	claimFor := func(h core.Handle, sleep uint32, order []int) uint32 {
-		newly := claims.Claim(h, explore.CanonMask(allMask&^sleep, order))
-		return explore.ConcreteMask(newly, order)
+		return
 	}
 
 	var roots []entry
 	visited := 0
 	if snap == nil {
 		m0 := newMachine(cp)
-		h, _, order, _ := addState(m0, false)
+		h, _, order, _, _, _ := addState(m0, false, 0)
 		root := entry{m: m0, fresh: true}
 		if claims != nil {
-			root.todo = claimFor(h, 0, order)
+			root.todo = explore.ConcreteMask(claims.Claim(h, explore.CanonMask(allMask, order)), order)
 		}
 		roots = []entry{root}
 	} else {
@@ -115,7 +134,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 				// Pre-claim the entry's families (the claim table does not
 				// survive a snapshot) so this leg's re-arrivals at the same
 				// state do not re-expand them.
-				h, _, order, _ := addState(m, false)
+				h, _, order, _, _, _ := addState(m, false, 0)
 				if !useAux {
 					e.todo = allMask
 				}
@@ -127,9 +146,11 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	}
 
 	eng := explore.Engine[entry]{Process: func(e entry, c *explore.Ctx[entry]) {
-		// A late cross-shard claim verdict drops the entry unprocessed:
-		// the claiming shard explores the state instead.
-		if e.h != 0 && opts.Remote != nil && opts.Remote.ShouldDrop(e.h) {
+		// Late cross-shard claim verdicts covering every family this entry
+		// would expand drop it unprocessed: the attempts granted those
+		// families expand them instead (a partial denial expands
+		// redundantly, which is sound).
+		if e.h != 0 && opts.Remote != nil && opts.Remote.ShouldDrop(e.h, e.ctodo) {
 			return
 		}
 		n := 0
@@ -169,19 +190,11 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 						}
 					}
 				}
-				h, fresh, order, rdrop := addState(s, true)
-				if rdrop {
+				h, fresh, _, todo, ctodo, drop := addState(s, true, childSleep)
+				if drop {
 					return
 				}
-				todo := uint32(0)
-				if claims != nil {
-					if todo = claimFor(h, childSleep, order); todo == 0 {
-						return
-					}
-				} else if !fresh {
-					return
-				}
-				c.Push(entry{m: s, sleep: childSleep, todo: todo, fresh: fresh, h: h})
+				c.Push(entry{m: s, sleep: childSleep, todo: todo, ctodo: ctodo, fresh: fresh, h: h})
 			})
 			if had {
 				any = true

@@ -34,12 +34,15 @@ import (
 // Three mechanisms ride on that loop:
 //
 //   - Cross-peer dedup: the cluster's state-key space is hash-partitioned
-//     across the peer list; each shard reports locally fresh keys to the
-//     owning peer (batched, asynchronous — never blocking an engine
-//     worker) and drops states another shard has already claimed. The
-//     claim protocol is attempt-scoped and revocable, so dedup is a pure
-//     work-saving: a missed, late or failed verdict costs re-exploration,
-//     never outcomes (soundness argument on shardGroup below).
+//     across the peer list; each shard reports the thread families it
+//     newly claims at locally discovered states to the owning peer
+//     (batched, asynchronous — never blocking an engine worker) and skips
+//     expanding families another live attempt was granted. Claims are per
+//     (state, family) in the state's canonical frame — the granularity
+//     that keeps dedup sound under independence pruning — and are
+//     attempt-scoped and revocable, so dedup is a pure work-saving: a
+//     missed, late or failed verdict costs re-exploration, never outcomes
+//     (soundness argument on shardGroup below).
 //   - Live rebalancing: the coordinator samples per-shard frontier and
 //     throughput; a straggler with a deep frontier is checkpointed
 //     mid-run, its frontier Split(2), and one half reassigned to the
@@ -53,8 +56,9 @@ import (
 // Wire types.
 
 // SeenRequest is the body of POST /v1/shards/{group}/seen: a batch of
-// canonical state keys one shard attempt discovered, reported to the peer
-// owning their hash partition.
+// claim requests — canonical state keys one shard attempt discovered,
+// each with the thread families the attempt claimed there — reported to
+// the peer owning their hash partition.
 type SeenRequest struct {
 	// Attempt identifies the reporting shard attempt; claims are granted
 	// to it and die with it (revocation).
@@ -66,13 +70,18 @@ type SeenRequest struct {
 	Revoked []string `json:"revoked,omitempty"`
 	// Keys are the discovered canonical state encodings.
 	Keys [][]byte `json:"keys"`
+	// Masks[i] is the canonical thread-family set the attempt newly
+	// claimed at Keys[i] (explore.AllFamilies for whole-state backends).
+	// Empty means AllFamilies for every key.
+	Masks []uint32 `json:"masks,omitempty"`
 }
 
-// SeenResponse answers a seen batch: Dup[i] is true when Keys[i] was
-// already claimed by another live attempt (the reporter should drop the
-// state — the claimant explores it).
+// SeenResponse answers a seen batch: Denied[i] is the subset of Masks[i]
+// already granted to another live attempt. The reporter must not expand
+// those families (their claimants do) and drops the state outright when
+// every family it would expand is denied.
 type SeenResponse struct {
-	Dup []bool `json:"dup"`
+	Denied []uint32 `json:"denied"`
 }
 
 // PurgeRequest is the body of POST /v1/shards/{group}/purge: revoke an
@@ -214,117 +223,255 @@ type ShardState struct {
 // ---------------------------------------------------------------------
 // Claim tables: the owner side of cross-peer dedup.
 //
-// Soundness invariant: an outcome is lost only if some reachable state is
-// dropped by every attempt that reaches it while no live attempt explores
-// it. A drop happens only against a *claim* by another attempt, and a
-// claim is honoured only while its attempt is live: when the coordinator
-// declares an attempt dead it revokes it (purge, plus the Revoked list
-// every successor query carries), which frees its claims before — or
-// atomically with — the successor's own claim queries. The successor
-// resumes the dead attempt's last checkpoint, so every state the dead
-// attempt claimed is either inside that checkpoint (seen set/outcomes) or
-// re-reachable from its frontier, where the successor re-claims it.
-// A revoked attempt is also never *granted* anything again (every query
-// answers dup), so a zombie — a process whose daemon was only partially
-// killed — can keep exploring without stealing work from the successor.
+// Claims are per (state key, thread family), in the state's canonical
+// thread frame (explore.CanonMask — a deterministic function of the
+// state, so a family bit means the same on every peer). Whole-state
+// backends (promise-first, or machine backends with pruning off) claim
+// explore.AllFamilies and degenerate to first-claimant-wins per state.
+//
+// Soundness invariant: an outcome is lost only if some (reachable state,
+// awake family) expansion is skipped by every attempt whose arrival had
+// the family awake while no live attempt expands it. An attempt skips a
+// family only against a *grant* to another attempt, and a grant is
+// issued only to an attempt that requested the family because it was
+// awake — newly claimed in its local claim table — at one of its own
+// arrivals. The grantee therefore holds a frontier entry expanding
+// exactly that family (its own grant is never denied back to it), and
+// either expands it or leaves it, todo mask included, in its
+// checkpointed frontier. This per-family granularity is what whole-state
+// claims lack under independence pruning: a whole-state claimant may
+// have slept a family at every one of its arrivals and would never
+// expand it — the sleep-set "ignoring problem" re-introduced across
+// shards, a lost-interleaving bug, not just lost work.
+//
+// Grants are honoured only while their attempt is live: when the
+// coordinator declares an attempt dead it revokes it (purge, plus the
+// Revoked list every successor query carries), which frees its grants
+// before — or atomically with — the successor's own claim queries. The
+// successor resumes the dead attempt's last checkpoint, so every
+// (state, family) the dead attempt was granted is either inside that
+// checkpoint (seen set/outcomes/frontier aux) or re-reachable from its
+// frontier, where the successor re-claims it. A revoked attempt is also
+// never *granted* anything again (every query answers fully denied), so
+// a zombie — a process whose daemon was only partially killed — can
+// keep exploring without stealing work from the successor.
 
 // shardGroup is one cluster's claim table on one owner daemon.
 type shardGroup struct {
 	mu      sync.Mutex
-	claims  map[string]string // state key → owning attempt
+	claims  map[string]*keyClaim // state key → per-attempt family grants
 	revoked map[string]bool
 }
 
-// apply answers one seen batch: fold in revocations, then claim each key
-// for the attempt. Returns the per-key dup verdicts and the dup count.
-func (g *shardGroup) apply(attempt string, revoked []string, keys [][]byte) ([]bool, int64) {
+// keyClaim records which attempt holds which families of one state key
+// (parallel slices — a key rarely has more than one claimant).
+type keyClaim struct {
+	attempts []string
+	masks    []uint32
+}
+
+func (kc *keyClaim) remove(attempt string) {
+	for j, a := range kc.attempts {
+		if a == attempt {
+			kc.attempts = append(kc.attempts[:j], kc.attempts[j+1:]...)
+			kc.masks = append(kc.masks[:j], kc.masks[j+1:]...)
+			return
+		}
+	}
+}
+
+// apply answers one seen batch: fold in revocations, then try to claim
+// each (key, mask) for the attempt. Returns the per-key denied family
+// sets and the number of keys with at least one denied family. An empty
+// masks slice means AllFamilies for every key.
+func (g *shardGroup) apply(attempt string, revoked []string, keys [][]byte, masks []uint32) ([]uint32, int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for _, a := range revoked {
 		if !g.revoked[a] {
 			g.revoked[a] = true
-			for k, owner := range g.claims {
-				if owner == a {
+			for k, kc := range g.claims {
+				kc.remove(a)
+				if len(kc.attempts) == 0 {
 					delete(g.claims, k)
 				}
 			}
 		}
 	}
-	dup := make([]bool, len(keys))
+	maskAt := func(i int) uint32 {
+		if i < len(masks) {
+			return masks[i]
+		}
+		return explore.AllFamilies
+	}
+	denied := make([]uint32, len(keys))
 	var hits int64
 	if g.revoked[attempt] {
 		// A revoked attempt is granted nothing: everything it asks about
 		// is someone else's now.
-		for i := range dup {
-			dup[i] = true
-		}
-		return dup, int64(len(dup))
-	}
-	for i, k := range keys {
-		ks := string(k)
-		if owner, ok := g.claims[ks]; ok {
-			if owner != attempt {
-				dup[i] = true
+		for i := range denied {
+			if denied[i] = maskAt(i); denied[i] != 0 {
 				hits++
 			}
+		}
+		return denied, hits
+	}
+	for i, k := range keys {
+		m := maskAt(i)
+		if m == 0 {
 			continue
 		}
-		g.claims[ks] = attempt
+		ks := string(k)
+		kc := g.claims[ks]
+		if kc == nil {
+			kc = &keyClaim{}
+			g.claims[ks] = kc
+		}
+		var others, own uint32
+		ownIdx := -1
+		for j, a := range kc.attempts {
+			if a == attempt {
+				own, ownIdx = kc.masks[j], j
+			} else {
+				others |= kc.masks[j]
+			}
+		}
+		if denied[i] = m & others; denied[i] != 0 {
+			hits++
+		}
+		if grant := m &^ (others | own); grant != 0 {
+			if ownIdx >= 0 {
+				kc.masks[ownIdx] |= grant
+			} else {
+				kc.attempts = append(kc.attempts, attempt)
+				kc.masks = append(kc.masks, grant)
+			}
+		}
 	}
-	return dup, hits
+	return denied, hits
 }
 
-// shardGroups is a daemon's group registry, bounded so abandoned clusters
-// (a coordinator that died before DELETE) cannot grow memory forever.
+// shardGroups is a daemon's group registry. Abandoned groups (a
+// coordinator that died before DELETE) are collected by idleness, never
+// by insertion order: an active cluster's claim table — revocation list
+// included — must not vanish mid-run, or a revoked zombie could re-claim
+// states that live attempts then drop. If the hard cap ever forces an
+// eviction anyway, the evicted group's revocation list is parked by name
+// so a recreated group still grants a revoked zombie nothing.
 type shardGroups struct {
-	mu    sync.Mutex
-	m     map[string]*shardGroup
-	order []string
+	mu      sync.Mutex
+	m       map[string]*shardGroup
+	lastUse map[string]time.Time
+	// evictedRevoked parks evicted groups' revocation lists (bounded
+	// FIFO over evOrder).
+	evictedRevoked map[string]map[string]bool
+	evOrder        []string
 }
 
-const keepGroups = 64
+const (
+	keepGroups             = 64             // idle-collection threshold
+	hardMaxGroups          = 8 * keepGroups // forced-eviction cap
+	groupIdleTTL           = 15 * time.Minute
+	keepEvictedRevocations = 256
+)
 
 func newShardGroups() *shardGroups {
-	return &shardGroups{m: make(map[string]*shardGroup)}
+	return &shardGroups{
+		m:              make(map[string]*shardGroup),
+		lastUse:        make(map[string]time.Time),
+		evictedRevoked: make(map[string]map[string]bool),
+	}
 }
 
 func (s *shardGroups) get(name string) *shardGroup {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	g, ok := s.m[name]
 	if !ok {
-		g = &shardGroup{claims: map[string]string{}, revoked: map[string]bool{}}
+		g = &shardGroup{claims: map[string]*keyClaim{}, revoked: map[string]bool{}}
+		if rv, ok := s.evictedRevoked[name]; ok {
+			g.revoked = rv
+			s.unparkLocked(name)
+		}
 		s.m[name] = g
-		s.order = append(s.order, name)
-		for len(s.m) > keepGroups {
-			delete(s.m, s.order[0])
-			s.order = s.order[1:]
+		s.evictLocked(now)
+	}
+	s.lastUse[name] = now
+	return g
+}
+
+// evictLocked collects idle groups past the soft cap and, only if the
+// hard cap is still exceeded (which would take keepGroups*8 clusters
+// active inside one TTL), the least recently used groups regardless —
+// parking their revocation lists for recreation.
+func (s *shardGroups) evictLocked(now time.Time) {
+	if len(s.m) <= keepGroups {
+		return
+	}
+	for name, last := range s.lastUse {
+		if now.Sub(last) > groupIdleTTL {
+			s.evictOneLocked(name)
 		}
 	}
-	return g
+	for len(s.m) > hardMaxGroups {
+		oldest, oldestT := "", now.Add(time.Second)
+		for name, last := range s.lastUse {
+			if last.Before(oldestT) {
+				oldest, oldestT = name, last
+			}
+		}
+		if oldest == "" {
+			return
+		}
+		s.evictOneLocked(oldest)
+	}
+}
+
+func (s *shardGroups) evictOneLocked(name string) {
+	g := s.m[name]
+	delete(s.m, name)
+	delete(s.lastUse, name)
+	if g == nil || len(g.revoked) == 0 {
+		return
+	}
+	if _, ok := s.evictedRevoked[name]; !ok {
+		s.evOrder = append(s.evOrder, name)
+		for len(s.evOrder) > keepEvictedRevocations {
+			delete(s.evictedRevoked, s.evOrder[0])
+			s.evOrder = s.evOrder[1:]
+		}
+	}
+	s.evictedRevoked[name] = g.revoked
+}
+
+func (s *shardGroups) unparkLocked(name string) {
+	delete(s.evictedRevoked, name)
+	for i, n := range s.evOrder {
+		if n == name {
+			s.evOrder = append(s.evOrder[:i], s.evOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 func (s *shardGroups) drop(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.m, name)
-	for i, n := range s.order {
-		if n == name {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
+	delete(s.lastUse, name)
+	s.unparkLocked(name)
 }
 
 // applySeen is the one claim entry point (HTTP handler and the local
 // short-circuit of remoteDedup), so the owner-side dedup counter cannot
 // drift between the two paths.
-func (s *Server) applySeen(group, attempt string, revoked []string, keys [][]byte) []bool {
-	dup, hits := s.groups.get(group).apply(attempt, revoked, keys)
+func (s *Server) applySeen(group, attempt string, revoked []string, keys [][]byte, masks []uint32) []uint32 {
+	denied, hits := s.groups.get(group).apply(attempt, revoked, keys, masks)
 	if hits > 0 {
 		s.dedupHits.Add(hits)
 	}
-	return dup
+	return denied
 }
 
 func (s *Server) handleShardSeen(w http.ResponseWriter, r *http.Request) {
@@ -336,8 +483,12 @@ func (s *Server) handleShardSeen(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "seen batch without attempt id")
 		return
 	}
+	if len(req.Masks) != 0 && len(req.Masks) != len(req.Keys) {
+		writeErr(w, http.StatusBadRequest, "seen batch with %d masks for %d keys", len(req.Masks), len(req.Keys))
+		return
+	}
 	writeJSON(w, http.StatusOK, SeenResponse{
-		Dup: s.applySeen(r.PathValue("group"), req.Attempt, req.Revoked, req.Keys),
+		Denied: s.applySeen(r.PathValue("group"), req.Attempt, req.Revoked, req.Keys, req.Masks),
 	})
 }
 
@@ -350,7 +501,7 @@ func (s *Server) handleShardPurge(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "purge without attempt id")
 		return
 	}
-	s.groups.get(r.PathValue("group")).apply("", []string{req.Attempt}, nil)
+	s.groups.get(r.PathValue("group")).apply("", []string{req.Attempt}, nil, nil)
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
@@ -363,24 +514,30 @@ func (s *Server) handleShardGroupDrop(w http.ResponseWriter, r *http.Request) {
 // remoteDedup: the reporter side, implementing explore.RemoteSeen.
 
 // dedupBatchSize is how many pending keys trigger an early flush;
-// dedupFlushInterval is the time-based flush.
+// dedupFlushInterval is the time-based flush. dedupMaxPend bounds the
+// pending buffer: past it, Discovered answers optimistically (claim
+// granted locally, nothing reported) instead of queueing — a dedup miss,
+// re-exploration at worst, so a slow peer cannot grow memory unboundedly.
 const (
 	dedupBatchSize     = 256
 	dedupFlushInterval = 25 * time.Millisecond
+	dedupMaxPend       = 1 << 16
 )
 
 type pendKey struct {
-	k string
-	h core.Handle
+	k    string
+	h    core.Handle
+	mask uint32
 }
 
-// remoteDedup batches locally fresh state keys to their owning peers and
-// answers ShouldDrop from the asynchronously arriving verdicts. Engine
-// workers only ever touch in-memory structures: self-owned keys claim
-// synchronously on the local daemon's table, remote-owned keys append to
-// a per-owner batch drained by one background flusher. Any network
-// failure degrades to "not a duplicate" — re-exploration, never lost
-// outcomes.
+// remoteDedup batches locally claimed (state key, family mask) pairs to
+// their owning peers and answers ShouldDrop from the asynchronously
+// arriving denial verdicts. Engine workers only ever touch in-memory
+// structures: self-owned keys claim synchronously on the local daemon's
+// table, remote-owned keys append to a per-owner batch drained by
+// per-owner flush goroutines (one in flight per owner, so a slow peer
+// delays only its own verdicts). Any network failure degrades to
+// "nothing denied" — re-exploration, never lost outcomes.
 type remoteDedup struct {
 	srv            *Server
 	group, attempt string
@@ -393,13 +550,14 @@ type remoteDedup struct {
 	hits  atomic.Int64 // claims denied (synchronous + async verdicts)
 	drops atomic.Int64 // entries dropped at process time
 
-	mu    sync.Mutex
-	pend  map[int][]pendKey
-	pendN int
-	kick  chan struct{}
+	mu       sync.Mutex
+	pend     map[int][]pendKey
+	pendN    int
+	inflight map[int]bool // owners with a send in progress
+	kick     chan struct{}
 
 	dmu     sync.RWMutex
-	dropSet map[core.Handle]struct{}
+	dropSet map[core.Handle]uint32 // handle → denied canonical families
 }
 
 // newRemoteDedup wires the hook for one shard job. peerURLs is the stable
@@ -408,16 +566,17 @@ type remoteDedup struct {
 func newRemoteDedup(srv *Server, group, attempt string, revoked []string, peerURLs []string, self int) *remoteDedup {
 	ctx, cancel := context.WithCancel(srv.base)
 	rd := &remoteDedup{
-		srv:     srv,
-		group:   group,
-		attempt: attempt,
-		revoked: append([]string(nil), revoked...),
-		self:    self,
-		ctx:     ctx,
-		cancel:  cancel,
-		pend:    map[int][]pendKey{},
-		kick:    make(chan struct{}, 1),
-		dropSet: map[core.Handle]struct{}{},
+		srv:      srv,
+		group:    group,
+		attempt:  attempt,
+		revoked:  append([]string(nil), revoked...),
+		self:     self,
+		ctx:      ctx,
+		cancel:   cancel,
+		pend:     map[int][]pendKey{},
+		inflight: map[int]bool{},
+		kick:     make(chan struct{}, 1),
+		dropSet:  map[core.Handle]uint32{},
 	}
 	rd.peers = make([]*Client, len(peerURLs))
 	hc := &http.Client{Timeout: 10 * time.Second}
@@ -437,20 +596,24 @@ func (rd *remoteDedup) owner(key []byte) int {
 }
 
 // Discovered implements explore.RemoteSeen: self-owned keys claim
-// synchronously (map insert under the group lock), remote-owned keys are
-// batched. Never blocks on the network.
-func (rd *remoteDedup) Discovered(key []byte, h core.Handle) bool {
+// synchronously (map work under the group lock), remote-owned keys are
+// batched and answered optimistically (nothing denied yet; a later
+// verdict lands in the drop set). Never blocks on the network.
+func (rd *remoteDedup) Discovered(key []byte, h core.Handle, mask uint32) uint32 {
 	o := rd.owner(key)
 	if o == rd.self {
-		dup := rd.srv.applySeen(rd.group, rd.attempt, rd.revoked, [][]byte{key})
-		if dup[0] {
+		denied := rd.srv.applySeen(rd.group, rd.attempt, rd.revoked, [][]byte{key}, []uint32{mask})
+		if denied[0] != 0 {
 			rd.hits.Add(1)
-			return true
 		}
-		return false
+		return denied[0]
 	}
 	rd.mu.Lock()
-	rd.pend[o] = append(rd.pend[o], pendKey{k: string(key), h: h})
+	if rd.pendN >= dedupMaxPend {
+		rd.mu.Unlock()
+		return 0 // buffer full: dedup miss, explore locally (sound)
+	}
+	rd.pend[o] = append(rd.pend[o], pendKey{k: string(key), h: h, mask: mask})
 	rd.pendN++
 	full := rd.pendN >= dedupBatchSize
 	rd.mu.Unlock()
@@ -460,19 +623,22 @@ func (rd *remoteDedup) Discovered(key []byte, h core.Handle) bool {
 		default:
 		}
 	}
-	return false
+	return 0
 }
 
-// ShouldDrop implements explore.RemoteSeen: true once an async verdict
-// marked h as another attempt's.
-func (rd *remoteDedup) ShouldDrop(h core.Handle) bool {
+// ShouldDrop implements explore.RemoteSeen: true once async verdicts
+// denied every family in mask (a partial denial keeps the entry — it
+// expands its still-granted families; redundant work is sound, a missed
+// family is not).
+func (rd *remoteDedup) ShouldDrop(h core.Handle, mask uint32) bool {
 	rd.dmu.RLock()
-	_, ok := rd.dropSet[h]
+	den := rd.dropSet[h]
 	rd.dmu.RUnlock()
-	if ok {
-		rd.drops.Add(1)
+	if mask == 0 || den == 0 || mask&^den != 0 {
+		return false
 	}
-	return ok
+	rd.drops.Add(1)
+	return true
 }
 
 func (rd *remoteDedup) flusher() {
@@ -489,41 +655,53 @@ func (rd *remoteDedup) flusher() {
 	}
 }
 
+// flush hands each owner's batch to its own send goroutine, skipping
+// owners with a send already in flight (their batch keeps accumulating
+// and goes out with the next flush): one slow peer stalls only its own
+// verdicts, never the other owners' or the flusher loop.
 func (rd *remoteDedup) flush() {
 	rd.mu.Lock()
-	pend := rd.pend
-	rd.pend = map[int][]pendKey{}
-	rd.pendN = 0
-	rd.mu.Unlock()
-	for o, batch := range pend {
-		c := rd.peers[o]
-		if c == nil || len(batch) == 0 {
+	for o, batch := range rd.pend {
+		if rd.peers[o] == nil || len(batch) == 0 || rd.inflight[o] {
 			continue
 		}
-		keys := make([][]byte, len(batch))
-		for i, pk := range batch {
-			keys[i] = []byte(pk.k)
+		delete(rd.pend, o)
+		rd.pendN -= len(batch)
+		rd.inflight[o] = true
+		go rd.send(o, batch)
+	}
+	rd.mu.Unlock()
+}
+
+func (rd *remoteDedup) send(o int, batch []pendKey) {
+	defer func() {
+		rd.mu.Lock()
+		delete(rd.inflight, o)
+		rd.mu.Unlock()
+	}()
+	keys := make([][]byte, len(batch))
+	masks := make([]uint32, len(batch))
+	for i, pk := range batch {
+		keys[i] = []byte(pk.k)
+		masks[i] = pk.mask
+	}
+	var resp SeenResponse
+	err := rd.peers[o].do(rd.ctx, http.MethodPost, "/v1/shards/"+rd.group+"/seen",
+		SeenRequest{Attempt: rd.attempt, Revoked: rd.revoked, Keys: keys, Masks: masks}, &resp)
+	if err != nil || len(resp.Denied) != len(batch) {
+		return // unreachable owner: explore locally (sound)
+	}
+	var hits int64
+	rd.dmu.Lock()
+	for i, den := range resp.Denied {
+		if den != 0 {
+			rd.dropSet[batch[i].h] |= den
+			hits++
 		}
-		var resp SeenResponse
-		err := c.do(rd.ctx, http.MethodPost, "/v1/shards/"+rd.group+"/seen",
-			SeenRequest{Attempt: rd.attempt, Revoked: rd.revoked, Keys: keys}, &resp)
-		if err != nil || len(resp.Dup) != len(batch) {
-			continue // unreachable owner: explore locally (sound)
-		}
-		var marked []core.Handle
-		for i, d := range resp.Dup {
-			if d {
-				marked = append(marked, batch[i].h)
-			}
-		}
-		if len(marked) > 0 {
-			rd.hits.Add(int64(len(marked)))
-			rd.dmu.Lock()
-			for _, h := range marked {
-				rd.dropSet[h] = struct{}{}
-			}
-			rd.dmu.Unlock()
-		}
+	}
+	rd.dmu.Unlock()
+	if hits > 0 {
+		rd.hits.Add(hits)
 	}
 }
 
@@ -1064,7 +1242,12 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 		defer cancel()
 		return fn(ctx)
 	}
-	dispatch := func(snap *explore.Snapshot, peer int, source string) error {
+	// dispatch returns the attempt id even on error so the caller can
+	// revoke a failed dispatch: a request that timed out after reaching
+	// the peer (lost response) leaves an orphan attempt running there,
+	// and an unrevoked orphan would keep claiming states its retried
+	// sibling then never expands.
+	dispatch := func(snap *explore.Snapshot, peer int, source string) (string, error) {
 		nAttempt++
 		a := &clusterAttempt{
 			id: newAttemptID(nAttempt), peer: peer, source: source,
@@ -1072,7 +1255,7 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 		}
 		raw, err := snap.Marshal()
 		if err != nil {
-			return err
+			return a.id, err
 		}
 		err = call(func(ctx context.Context) error {
 			var resp ShardJobResponse
@@ -1085,12 +1268,27 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 			return err
 		})
 		if err != nil {
-			return err
+			return a.id, err
 		}
 		attempts = append(attempts, a)
 		j.tracer.Scope(0, backend).Emit("dispatch",
 			fmt.Sprintf("%s → %s (%s, frontier=%d)", a.id, peerURLs[peer], source, len(snap.Frontier)))
-		return nil
+		return a.id, nil
+	}
+	// revoke appends the attempt to the revocation list every later seen
+	// query carries and best-effort purges it from every reachable owner
+	// (skipPeer excludes a peer already known dead).
+	revoke := func(attempt string, skipPeer int) {
+		revoked = append(revoked, attempt)
+		for i, c := range clients {
+			if i == skipPeer {
+				continue
+			}
+			c := c
+			call(func(ctx context.Context) error {
+				return c.do(ctx, http.MethodPost, "/v1/shards/"+group+"/purge", PurgeRequest{Attempt: attempt}, nil)
+			})
+		}
 	}
 	publishShards := func() {
 		states := make([]ShardState, 0, len(attempts))
@@ -1150,16 +1348,11 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 	// to a surviving peer.
 	declareDead := func(a *clusterAttempt, peerDead bool) error {
 		a.state = "dead"
-		revoked = append(revoked, a.id)
-		for i, c := range clients {
-			if peerDead && i == a.peer {
-				continue
-			}
-			c := c
-			call(func(ctx context.Context) error {
-				return c.do(ctx, http.MethodPost, "/v1/shards/"+group+"/purge", PurgeRequest{Attempt: a.id}, nil)
-			})
+		skip := -1
+		if peerDead {
+			skip = a.peer
 		}
+		revoke(a.id, skip)
 		if retries >= maxRetries {
 			return fmt.Errorf("promised: shard attempt %s died and the retry budget (%d) is spent", a.id, maxRetries)
 		}
@@ -1173,7 +1366,8 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 				peer = (peer + 1) % len(peerURLs)
 			}
 		}
-		return dispatch(a.full, peer, ShardSourceRetry)
+		_, err := dispatch(a.full, peer, ShardSourceRetry)
+		return err
 	}
 
 	// Initial dispatch: one attempt per non-empty Split part, peers
@@ -1182,15 +1376,18 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 		if len(part.Frontier) == 0 {
 			continue
 		}
-		if err := dispatch(part, i%len(peerURLs), ShardSourceInitial); err != nil {
+		if id, err := dispatch(part, i%len(peerURLs), ShardSourceInitial); err != nil {
 			// A peer down at dispatch time consumes a retry immediately.
+			// The failed attempt is revoked first: a lost response (not a
+			// lost request) means the attempt may be running as an orphan.
 			if retries >= maxRetries {
 				failJob(err)
 				return
 			}
 			retries++
 			s.shardRetries.Add(1)
-			if err := dispatch(part, (i+1)%len(peerURLs), ShardSourceRetry); err != nil {
+			revoke(id, -1)
+			if _, err := dispatch(part, (i+1)%len(peerURLs), ShardSourceRetry); err != nil {
 				failJob(err)
 				return
 			}
@@ -1291,7 +1488,7 @@ func (s *Server) runCluster(j *job, t *litmus.Test, spec TestSpec, backend strin
 					if len(half.Frontier) == 0 {
 						continue
 					}
-					if err := dispatch(half, targets[hi], ShardSourceSteal); err != nil {
+					if _, err := dispatch(half, targets[hi], ShardSourceSteal); err != nil {
 						failJob(err)
 						return
 					}

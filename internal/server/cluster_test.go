@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -367,28 +368,30 @@ func TestClusterRebalanceSteals(t *testing.T) {
 }
 
 // TestShardSeenClaimProtocol pins the claim table's semantics over the
-// wire: first claim wins, a second attempt sees dup, purging frees the
-// claims, and a revoked attempt is granted nothing ever again.
+// wire: whole-state claims (no masks) are first-claimant-wins, purging
+// frees the claims, a revoked attempt is granted nothing ever again, and
+// per-family masks deny exactly the families other attempts hold.
 func TestShardSeenClaimProtocol(t *testing.T) {
 	s, c := newTestServer(t, Config{Workers: 1})
 	ctx := context.Background()
 	keys := [][]byte{[]byte("k1"), []byte("k2")}
 
-	seen := func(attempt string, revoked []string) []bool {
+	seen := func(group, attempt string, revoked []string, masks []uint32) []uint32 {
 		t.Helper()
 		var resp SeenResponse
-		if err := c.do(ctx, http.MethodPost, "/v1/shards/g1/seen",
-			SeenRequest{Attempt: attempt, Revoked: revoked, Keys: keys}, &resp); err != nil {
+		if err := c.do(ctx, http.MethodPost, "/v1/shards/"+group+"/seen",
+			SeenRequest{Attempt: attempt, Revoked: revoked, Keys: keys, Masks: masks}, &resp); err != nil {
 			t.Fatal(err)
 		}
-		return resp.Dup
+		return resp.Denied
 	}
+	all := explore.AllFamilies
 
-	if dup := seen("A", nil); dup[0] || dup[1] {
-		t.Fatalf("first claim answered dup: %v", dup)
+	if den := seen("g1", "A", nil, nil); den[0] != 0 || den[1] != 0 {
+		t.Fatalf("first claim denied: %v", den)
 	}
-	if dup := seen("B", nil); !dup[0] || !dup[1] {
-		t.Fatalf("second attempt not deduped against A's claims: %v", dup)
+	if den := seen("g1", "B", nil, nil); den[0] != all || den[1] != all {
+		t.Fatalf("second attempt not fully denied against A's claims: %v", den)
 	}
 	if got := s.dedupHits.Load(); got < 2 {
 		t.Errorf("promised_shard_dedup_hits_total = %d, want >= 2", got)
@@ -398,24 +401,77 @@ func TestShardSeenClaimProtocol(t *testing.T) {
 	if err := c.do(ctx, http.MethodPost, "/v1/shards/g1/purge", PurgeRequest{Attempt: "A"}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if dup := seen("B", nil); dup[0] || dup[1] {
-		t.Fatalf("B denied the purged keys: %v", dup)
+	if den := seen("g1", "B", nil, nil); den[0] != 0 || den[1] != 0 {
+		t.Fatalf("B denied the purged keys: %v", den)
 	}
 	// A is revoked: everything it asks about is someone else's now, even
 	// keys nobody claims.
-	if dup := seen("A", nil); !dup[0] || !dup[1] {
-		t.Fatalf("revoked attempt was granted a claim: %v", dup)
+	if den := seen("g1", "A", nil, nil); den[0] != all || den[1] != all {
+		t.Fatalf("revoked attempt was granted a claim: %v", den)
 	}
 	// The Revoked list piggybacked on a query folds in like a purge.
-	if dup := seen("C", []string{"B"}); dup[0] || dup[1] {
-		t.Fatalf("C denied keys freed by piggybacked revocation: %v", dup)
+	if den := seen("g1", "C", []string{"B"}, nil); den[0] != 0 || den[1] != 0 {
+		t.Fatalf("C denied keys freed by piggybacked revocation: %v", den)
 	}
 	// Group drop clears the table.
 	if err := c.do(ctx, http.MethodDelete, "/v1/shards/g1", nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if dup := seen("D", nil); dup[0] || dup[1] {
-		t.Fatalf("fresh group answered dup: %v", dup)
+	if den := seen("g1", "D", nil, nil); den[0] != 0 || den[1] != 0 {
+		t.Fatalf("fresh group answered denials: %v", den)
+	}
+
+	// Per-family grants: distinct attempts hold disjoint family sets of
+	// the same state, and only the overlap is denied.
+	if den := seen("g2", "C", nil, []uint32{1, 1}); den[0] != 0 || den[1] != 0 {
+		t.Fatalf("C's family-0 claim denied on fresh keys: %v", den)
+	}
+	if den := seen("g2", "D", nil, []uint32{3, 3}); den[0] != 1 || den[1] != 1 {
+		t.Fatalf("D claiming families {0,1} should be denied exactly family 0: %v", den)
+	}
+	// C's own grant is never denied back to it; D's family-1 grant is.
+	if den := seen("g2", "C", nil, []uint32{3, 3}); den[0] != 2 || den[1] != 2 {
+		t.Fatalf("C re-claiming families {0,1} should be denied exactly family 1: %v", den)
+	}
+}
+
+// TestShardGroupsRetainRevocationsAcrossEviction pins the registry's
+// eviction semantics: groups are collected by idleness, not insertion
+// order, and an evicted group's revocation list survives recreation so a
+// revoked zombie is still granted nothing.
+func TestShardGroupsRetainRevocationsAcrossEviction(t *testing.T) {
+	sg := newShardGroups()
+	sg.get("cluster").apply("", []string{"zombie"}, nil, nil)
+
+	// Recently used groups are never evicted, regardless of how many
+	// newer groups arrive.
+	for i := 0; i < 2*keepGroups; i++ {
+		sg.get(fmt.Sprintf("fresh-%d", i))
+	}
+	sg.mu.Lock()
+	_, live := sg.m["cluster"]
+	sg.mu.Unlock()
+	if !live {
+		t.Fatal("active group evicted by insertion order")
+	}
+
+	// Backdate the group past the idle TTL: the next registry growth
+	// collects it, parking its revocation list.
+	sg.mu.Lock()
+	sg.lastUse["cluster"] = time.Now().Add(-2 * groupIdleTTL)
+	sg.mu.Unlock()
+	sg.get("trigger")
+	sg.mu.Lock()
+	_, live = sg.m["cluster"]
+	sg.mu.Unlock()
+	if live {
+		t.Fatal("idle group not evicted")
+	}
+
+	// Recreating the group restores the parked revocations.
+	den, _ := sg.get("cluster").apply("zombie", nil, [][]byte{[]byte("k")}, nil)
+	if den[0] != explore.AllFamilies {
+		t.Fatalf("revoked attempt granted a claim after group eviction+recreation: %v", den)
 	}
 }
 
