@@ -45,6 +45,7 @@ func main() {
 		ckptN    = flag.Int("checkpoint-after", 100000, "state budget before the -checkpoint snapshot is taken")
 		resume   = flag.String("resume", "", "resume a checkpointed exploration from this snapshot file and run it to a verdict")
 		shards   = flag.Int("shards", 0, "explore each test by frontier sharding N ways (split + merge, in-process); 0 = off")
+		explain  = flag.String("explain", "", "print the minimized, replay-validated witness trace for this outcome of -test (first -backends entry)")
 		peers    = flag.String("peers", "", "comma-separated promised daemon URLs: run each test as a coordinated cluster exploration (POST /v1/cluster) across them instead of in-process; -shards sets the shard count")
 		reduce   = flag.String("reductions", "on", "certified state-space reductions: on, off, symmetry or pruning")
 	)
@@ -68,6 +69,10 @@ func main() {
 		}
 	case *ckptFile != "":
 		if err := runCheckpoint(*testName, *backends, *ckptFile, *ckptN, *timeout, *par); err != nil {
+			fail(err)
+		}
+	case *explain != "":
+		if err := runExplain(*testName, *backends, *explain, *timeout, *par); err != nil {
 			fail(err)
 		}
 	case *peers != "":
@@ -193,6 +198,89 @@ func runResume(file, ckptFile string, after int, timeout time.Duration, par int)
 		os.Exit(1)
 	}
 	return nil
+}
+
+// runExplain is the -explain mode: run one catalog test under the first
+// -backends entry with witness collection, pick the requested outcome's
+// witness and print its trace step by step. Machine-backend traces are
+// minimized and must replay-validate — a witness that fails validation is
+// a hard error (this is the CI pipeline's replay check); flat/axiomatic
+// traces print their native interleaving/execution as an unminimized
+// fallback.
+func runExplain(testName, backendList, outcome string, timeout time.Duration, par int) error {
+	if testName == "" {
+		return fmt.Errorf("-explain needs -test <catalog name>")
+	}
+	tst := litmus.CatalogTest(testName)
+	if tst == nil {
+		return fmt.Errorf("no catalog test named %q", testName)
+	}
+	backend := strings.TrimSpace(strings.Split(backendList, ",")[0])
+	runner, err := promising.Backend(backend).Runner()
+	if err != nil {
+		return err
+	}
+	traces, err := litmus.Explain(tst, backend, runner, cliOptions(timeout, par), 0)
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("%s/%s produced no witnesses", tst.Name(), backend)
+	}
+	var hit *litmus.WitnessTrace
+	for i := range traces {
+		if traces[i].Outcome == outcome {
+			hit = &traces[i]
+		}
+	}
+	if hit == nil {
+		lines := make([]string, len(traces))
+		for i, tr := range traces {
+			lines[i] = "  " + tr.Outcome
+		}
+		return fmt.Errorf("no witness for outcome %q; allowed outcomes of %s/%s:\n%s",
+			outcome, tst.Name(), backend, strings.Join(lines, "\n"))
+	}
+	printWitness(hit)
+	if len(hit.Steps) > 0 && !hit.Validated {
+		return fmt.Errorf("witness for %q failed replay validation", outcome)
+	}
+	return nil
+}
+
+// printWitness renders one witness trace: a header line, then each step
+// in execution order with its promise (◇) / fulfil (◆) marker and the
+// acting thread's view after the step.
+func printWitness(tr *litmus.WitnessTrace) {
+	state := "unminimized"
+	if tr.Minimized {
+		state = fmt.Sprintf("minimized, %d shrink steps", tr.ShrinkSteps)
+	}
+	valid := ""
+	if tr.Validated {
+		valid = ", replay-validated"
+	}
+	fmt.Printf("%s [%s] %s (%s%s)\n", tr.Test, tr.Backend, tr.Outcome, state, valid)
+	if len(tr.Steps) == 0 {
+		for _, line := range tr.Native {
+			fmt.Printf("  %s\n", line)
+		}
+		return
+	}
+	for _, st := range tr.Steps {
+		marker := "  "
+		switch st.Kind {
+		case "promise":
+			marker = "◇ "
+		case "fulfil":
+			marker = "◆ "
+		}
+		fmt.Printf("%3d %s%-42s", st.Index, marker, st.Text)
+		if st.Post != "" {
+			fmt.Printf(" | %s", st.Post)
+		}
+		fmt.Println()
+	}
 }
 
 // runCluster is the -peers mode: every selected catalog test submitted

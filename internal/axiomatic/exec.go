@@ -23,9 +23,13 @@ const snapBackend = "axiomatic"
 
 // Explore runs the axiomatic model exhaustively. It satisfies the
 // litmus.Runner signature. Options: Deadline, MaxStates and Parallelism are
-// honoured (MaxStates bounds the number of checked candidates); Certify and
-// CollectWitnesses are ignored (the axiomatic model has no notion of
-// either).
+// honoured (MaxStates bounds the number of checked candidates); Certify is
+// ignored (the axiomatic model has no notion of it). CollectWitnesses
+// records, per outcome, a rendering of the first axiom-satisfying
+// candidate execution that produced it (events in program order with
+// their reads-from sources and coherence positions) as a native witness
+// fallback — axiomatic executions are partial orders, not machine traces,
+// so they bypass the minimizer and the replay validator.
 //
 // Parallelisation splits the joint trace choice: prefixes of per-thread
 // trace assignments are expanded breadth-first until there is enough
@@ -320,10 +324,45 @@ func (e *enumerator) check(c *cand, picked []*Trace) {
 	for _, l := range e.spec.Locs {
 		o.Mem = append(o.Mem, e.finalVal(c, l))
 	}
+	if e.opts.CollectWitnesses {
+		e.res.Add(o, &explore.Witness{Native: renderCand(c)})
+		return
+	}
 	k := o.Key()
 	if _, ok := e.res.Outcomes[k]; !ok {
 		e.res.Outcomes[k] = o
 	}
+}
+
+// renderCand renders a surviving candidate execution as one line per
+// event, in program order per thread, annotating reads with their
+// reads-from source and writes with their coherence position.
+func renderCand(c *cand) []string {
+	var out []string
+	for tid, ids := range c.po {
+		for _, id := range ids {
+			ev := c.events[id]
+			switch {
+			case ev.IsR():
+				src := "init"
+				if w := c.rf[ev.ID]; w >= 0 {
+					src = fmt.Sprintf("W e%d", w)
+				}
+				out = append(out, fmt.Sprintf("T%d e%d: R [%d]=%d (rf: %s)", tid, ev.ID, ev.Loc, ev.Val, src))
+			case ev.IsW():
+				line := fmt.Sprintf("T%d e%d: W [%d]=%d (co#%d)", tid, ev.ID, ev.Loc, ev.Val, c.co[ev.ID])
+				if ev.RMW >= 0 {
+					line += fmt.Sprintf(" (rmw with e%d)", ev.RMW)
+				}
+				out = append(out, line)
+			case ev.Kind == EvFence:
+				out = append(out, fmt.Sprintf("T%d e%d: fence", tid, ev.ID))
+			case ev.Kind == EvISB:
+				out = append(out, fmt.Sprintf("T%d e%d: isb", tid, ev.ID))
+			}
+		}
+	}
+	return out
 }
 
 // finalVal returns the co-maximal write's value at l (or the initial value).

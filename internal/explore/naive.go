@@ -78,9 +78,11 @@ func ResumeNaive(cp *lang.CompiledProgram, spec *ObsSpec, snap *Snapshot, opts O
 }
 
 func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot) (*Result, error) {
+	refusedCkpt := opts.CollectWitnesses && opts.Checkpoint != nil
 	if opts.CollectWitnesses {
 		// Witness traces cannot be serialized into a snapshot; run
-		// uncheckpointable rather than produce a lossy one.
+		// uncheckpointable rather than produce a lossy one. The refusal is
+		// surfaced through Result.CheckpointRefused.
 		opts.Checkpoint = nil
 	}
 	nThreads := len(cp.Threads)
@@ -279,6 +281,7 @@ func naiveRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snaps
 	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	endSpan(fmt.Sprintf("naive leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
+	res.CheckpointRefused = refusedCkpt
 	res.Stats = statsOf(seen, cc, ccStart)
 	res.Stats.SymmetryClasses = sym.Classes()
 	res.Stats.SymmetryHits = symHits.Load()

@@ -71,9 +71,15 @@ func observe(spec *ObsSpec, m *core.Machine) Outcome {
 	return o
 }
 
-// Witness is a transition sequence leading to an outcome.
+// Witness is a transition sequence leading to an outcome. Machine
+// backends (promise-first, naive) fill Labels with typed machine steps,
+// which the witness layer (witness.go) minimizes and replay-validates;
+// backends without a machine trace (flat, axiomatic) fill Native with
+// their own rendering of the reaching interleaving/execution, served as
+// an unminimized, unvalidated fallback.
 type Witness struct {
 	Labels []core.Label
+	Native []string
 }
 
 // Options tunes exploration.
@@ -119,8 +125,9 @@ type Options struct {
 	// cooperatively at a safe point (Checkpoint.Request, or automatically
 	// at NewCheckpointAfter's state budget): instead of dropping pending
 	// work like an abort, the run drains it into Result.Snapshot, from
-	// which Resume continues byte-identically. Ignored when
-	// CollectWitnesses is set (witness traces do not survive a snapshot).
+	// which Resume continues byte-identically. Refused when
+	// CollectWitnesses is set (witness traces do not survive a snapshot);
+	// the refusal is reported through Result.CheckpointRefused.
 	Checkpoint *Checkpoint
 	// Reductions selects the state-space reductions (reduce.go): the zero
 	// value ReduceOn applies thread-symmetry canonicalization and
@@ -274,6 +281,12 @@ type Result struct {
 	// the run finished, was aborted, or the backend does not support
 	// checkpointing under the given options (witness collection).
 	Snapshot *Snapshot
+	// CheckpointRefused reports that the caller supplied a Checkpoint but
+	// the run could not honour it (witness collection: traces do not
+	// survive a snapshot), so the exploration ran uncheckpointable.
+	// Surfaced through litmus reports and job JSON so users see why a
+	// witness job has no snapshots.
+	CheckpointRefused bool
 }
 
 // ExploreStats is the engine-level instrumentation of one exploration,
@@ -323,6 +336,11 @@ func (r *Result) Has(o Outcome) bool {
 	_, ok := r.Outcomes[o.Key()]
 	return ok
 }
+
+// Add records an outcome with an optional witness; the first witness per
+// outcome wins. Exported for backends outside this package (flat,
+// axiomatic) recording their native fallback witnesses.
+func (r *Result) Add(o Outcome, w *Witness) { r.add(o, w) }
 
 // add records an outcome with an optional witness.
 func (r *Result) add(o Outcome, w *Witness) {

@@ -54,6 +54,7 @@ func ResumePromiseFirst(cp *lang.CompiledProgram, spec *ObsSpec, snap *Snapshot,
 }
 
 func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot) (*Result, error) {
+	refusedCkpt := opts.CollectWitnesses && opts.Checkpoint != nil
 	if opts.CollectWitnesses {
 		opts.Checkpoint = nil // witness traces do not survive a snapshot
 	}
@@ -109,6 +110,7 @@ func pfRun(cp *lang.CompiledProgram, spec *ObsSpec, opts Options, snap *Snapshot
 	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	endSpan(fmt.Sprintf("promising leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
+	res.CheckpointRefused = refusedCkpt
 	res.Stats = statsOf(e.seen, e.cc, ccStart)
 	res.Stats.SymmetryClasses = e.sym.Classes()
 	res.Stats.SymmetryHits = e.symHits.Load()

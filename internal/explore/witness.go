@@ -1,0 +1,283 @@
+package explore
+
+// Witness explanation: the replay validator and the greedy trace
+// minimizer behind the service's witness endpoints and cmd/litmus
+// -explain.
+//
+// Soundness anchor. A witness is only ever emitted after ReplayWitness
+// re-executes it from the initial machine using nothing but the machine's
+// own step rules (read, fulfil, exclusive-fail, promise) and reaches a
+// Final() state — every thread done, every promise fulfilled — observing
+// exactly the claimed outcome. Replay deliberately skips per-step
+// certification: certification is an in-flight guarantee that outstanding
+// promises *can* still be fulfilled, and a completed execution carries
+// the a-posteriori proof (all promises are fulfilled), so the replayed
+// run is a valid promising execution (the §D argument behind the
+// Global-Promising machine, Theorem 6.2).
+
+import (
+	"fmt"
+
+	"promising/internal/core"
+	"promising/internal/lang"
+)
+
+// DefaultShrinkBudget is the minimizer's replay budget when the caller
+// passes none, matching the fuzz shrinker's default check budget.
+const DefaultShrinkBudget = 2000
+
+// StepViews summarises the acting thread's ordering state around one
+// replayed step, for annotated trace rendering: the six view registers of
+// Fig. 4 plus the coherence view of the step's location.
+type StepViews struct {
+	VROld, VWOld, VRNew, VWNew, VCAP, VRel core.View
+	Coh                                    core.View
+}
+
+func (v StepViews) String() string {
+	return fmt.Sprintf("vrOld=%d vwOld=%d vrNew=%d vwNew=%d vCAP=%d vRel=%d coh=%d",
+		v.VROld, v.VWOld, v.VRNew, v.VWNew, v.VCAP, v.VRel, v.Coh)
+}
+
+func viewsOf(ts *core.TState, loc lang.Loc) StepViews {
+	return StepViews{
+		VROld: ts.VROld, VWOld: ts.VWOld,
+		VRNew: ts.VRNew, VWNew: ts.VWNew,
+		VCAP: ts.VCAP, VRel: ts.VRel,
+		Coh: ts.CohView(loc),
+	}
+}
+
+// ReplayWitness deterministically re-executes a recorded witness trace on
+// a fresh machine and returns the outcome it reaches. It errors when any
+// step is not enabled exactly as labelled (wrong node kind, read choice or
+// fulfilment not offered, promise landing at a different timestamp) or
+// when the trace does not end in a valid final state.
+func ReplayWitness(cp *lang.CompiledProgram, spec *ObsSpec, labels []core.Label) (Outcome, error) {
+	return ReplayWitnessObserved(cp, spec, labels, nil)
+}
+
+// ReplayWitnessObserved is ReplayWitness with a per-step observer: on,
+// when non-nil, receives each step's index and label together with the
+// acting thread's view summary immediately before and after the step
+// (annotated trace rendering reads them; pass nil for plain validation).
+func ReplayWitnessObserved(cp *lang.CompiledProgram, spec *ObsSpec, labels []core.Label,
+	on func(i int, lab core.Label, pre, post StepViews)) (Outcome, error) {
+	m := core.NewMachine(cp)
+	for i, lab := range labels {
+		if lab.TID < 0 || lab.TID >= len(m.Threads) {
+			return Outcome{}, fmt.Errorf("step %d: thread %d out of range", i, lab.TID)
+		}
+		th := m.Threads[lab.TID]
+		env := m.Env(lab.TID)
+		var pre StepViews
+		if on != nil {
+			pre = viewsOf(th.TS, lab.Loc)
+		}
+		switch lab.Kind {
+		case core.StepPromise:
+			if t := core.Promise(env, th, m.Mem, lab.Loc, lab.Val); t != lab.TS {
+				return Outcome{}, fmt.Errorf("step %d (%s): promise landed at t=%d", i, lab, t)
+			}
+		case core.StepFinish:
+			if !th.Done() {
+				return Outcome{}, fmt.Errorf("step %d (%s): thread has steps left", i, lab)
+			}
+		case core.StepRead, core.StepFulfil, core.StepXclFail:
+			if th.Done() {
+				return Outcome{}, fmt.Errorf("step %d (%s): thread already finished", i, lab)
+			}
+			id := th.Cont[len(th.Cont)-1]
+			n := &env.Code.Nodes[id]
+			switch lab.Kind {
+			case core.StepRead:
+				if n.Kind != lang.NLoad {
+					return Outcome{}, fmt.Errorf("step %d (%s): pending node is not a load", i, lab)
+				}
+				enabled := false
+				for _, rc := range core.ReadChoices(env, th, id, m.Mem) {
+					if rc.TS == lab.TS && rc.Val == lab.Val {
+						enabled = true
+						break
+					}
+				}
+				if !enabled {
+					return Outcome{}, fmt.Errorf("step %d (%s): read not enabled", i, lab)
+				}
+				core.ApplyRead(env, th, id, m.Mem, lab.TS)
+			case core.StepFulfil:
+				if n.Kind != lang.NStore {
+					return Outcome{}, fmt.Errorf("step %d (%s): pending node is not a store", i, lab)
+				}
+				if !core.CanFulfil(env, th, id, m.Mem, lab.TS) {
+					return Outcome{}, fmt.Errorf("step %d (%s): fulfil not enabled", i, lab)
+				}
+				core.ApplyFulfil(env, th, id, m.Mem, lab.TS)
+			case core.StepXclFail:
+				if n.Kind != lang.NStore || !n.Xcl {
+					return Outcome{}, fmt.Errorf("step %d (%s): pending node is not an exclusive store", i, lab)
+				}
+				core.ApplyXclFail(env, th, id)
+			}
+			core.Advance(env, th)
+		default:
+			return Outcome{}, fmt.Errorf("step %d: unknown step kind %d", i, int(lab.Kind))
+		}
+		if on != nil {
+			on(i, lab, pre, viewsOf(th.TS, lab.Loc))
+		}
+	}
+	if m.BoundExceeded() {
+		return Outcome{}, fmt.Errorf("replayed execution exceeded the loop bound")
+	}
+	if !m.Final() {
+		return Outcome{}, fmt.Errorf("replayed execution is not final (unfinished thread or outstanding promise)")
+	}
+	return observe(spec, m), nil
+}
+
+// MinimizeWitness greedily shortens a witness trace while replay still
+// reaches the claimed outcome, reusing the fuzz shrinker's re-check
+// discipline: fixed pass order, first accepted reduction per attempt,
+// passes looped to a fixpoint, all under one replay budget (maxChecks,
+// <= 0 selects DefaultShrinkBudget). Pass 1 drops one non-promise step —
+// replay re-resolves the remaining labels against whatever node each
+// thread is then at, so redundant spin-loop reads and exclusive failures
+// fall away. Pass 2 drops a promise together with the fulfilment of the
+// same write, renumbering later timestamps. Every accepted candidate has
+// replayed to exactly the claimed outcome, so the result inherits the
+// input's validity. Returns the minimized trace and the number of
+// accepted reductions (the shrink-step metric).
+func MinimizeWitness(cp *lang.CompiledProgram, spec *ObsSpec, claimed Outcome, labels []core.Label, maxChecks int) ([]core.Label, int) {
+	if maxChecks <= 0 {
+		maxChecks = DefaultShrinkBudget
+	}
+	key := claimed.Key()
+	checks, accepted := 0, 0
+	ok := func(cand []core.Label) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		o, err := ReplayWitness(cp, spec, cand)
+		return err == nil && o.Key() == key
+	}
+	cur := append([]core.Label(nil), labels...)
+	for changed := true; changed && checks < maxChecks; {
+		changed = false
+		// Pass 1: drop one non-promise step.
+		for i := 0; i < len(cur) && checks < maxChecks; {
+			if cur[i].Kind == core.StepPromise {
+				i++
+				continue
+			}
+			cand := append(append([]core.Label(nil), cur[:i]...), cur[i+1:]...)
+			if ok(cand) {
+				cur = cand
+				accepted++
+				changed = true
+			} else {
+				i++
+			}
+		}
+		// Pass 2: drop a whole write (promise + fulfil pair).
+		for i := 0; i < len(cur) && checks < maxChecks; {
+			if cur[i].Kind != core.StepPromise {
+				i++
+				continue
+			}
+			if cand := dropWrite(cur, i); cand != nil && ok(cand) {
+				cur = cand
+				accepted++
+				changed = true
+			} else {
+				i++
+			}
+		}
+	}
+	return cur, accepted
+}
+
+// dropWrite removes the promise at index i and the fulfilment of the same
+// timestamp, decrementing every later timestamp (removing one message
+// shifts the tail of the memory down by one). It returns nil when the
+// pair is incomplete or some remaining read targets the dropped write —
+// such a candidate cannot replay.
+func dropWrite(labels []core.Label, i int) []core.Label {
+	t := labels[i].TS
+	out := make([]core.Label, 0, len(labels)-2)
+	found := false
+	for j, lab := range labels {
+		if j == i {
+			continue
+		}
+		if lab.Kind == core.StepFulfil && lab.TS == t {
+			found = true
+			continue
+		}
+		if lab.Kind == core.StepRead && lab.TS == t {
+			return nil
+		}
+		if lab.TS > t {
+			lab.TS--
+		}
+		out = append(out, lab)
+	}
+	if !found {
+		return nil
+	}
+	return out
+}
+
+// WitnessRecorder turns the raw per-outcome traces of a witness-collecting
+// run into minimized, replay-validated witnesses.
+type WitnessRecorder struct {
+	CP   *lang.CompiledProgram
+	Spec *ObsSpec
+	// MaxChecks bounds the minimizer's replay budget per witness
+	// (<= 0 selects DefaultShrinkBudget).
+	MaxChecks int
+}
+
+// Explained is one processed witness.
+type Explained struct {
+	// Labels is the minimized machine trace (nil for native fallbacks).
+	Labels []core.Label
+	// Native is the backend-native rendering of flat/axiomatic witnesses,
+	// passed through unminimized and unvalidated.
+	Native []string
+	// ShrinkSteps counts the minimizer's accepted reductions.
+	ShrinkSteps int
+	// Minimized reports that the trace went through the minimizer;
+	// Validated that replay re-reached the claimed outcome.
+	Minimized bool
+	Validated bool
+}
+
+// Record processes every witness of res, keyed like Result.Witnesses:
+// machine traces are minimized and replay-validated, native traces pass
+// through as unminimized fallbacks. The error reports the first machine
+// witness whose replay failed to re-reach its claimed outcome (it should
+// never fire for traces recorded by the in-tree explorers; the map still
+// carries the failed witness with Validated false).
+func (r *WitnessRecorder) Record(res *Result) (map[string]Explained, error) {
+	out := make(map[string]Explained, len(res.Witnesses))
+	var firstErr error
+	for k, w := range res.Witnesses {
+		o, okOutcome := res.Outcomes[k]
+		switch {
+		case len(w.Labels) > 0 && okOutcome:
+			min, steps := MinimizeWitness(r.CP, r.Spec, o, w.Labels, r.MaxChecks)
+			ex := Explained{Labels: min, ShrinkSteps: steps, Minimized: true}
+			if _, err := ReplayWitness(r.CP, r.Spec, min); err == nil {
+				ex.Validated = true
+			} else if firstErr == nil {
+				firstErr = fmt.Errorf("witness replay failed: %w", err)
+			}
+			out[k] = ex
+		case len(w.Native) > 0:
+			out[k] = Explained{Native: w.Native}
+		}
+	}
+	return out, firstErr
+}

@@ -25,16 +25,24 @@ type entry struct {
 	// h is the canonical state's seen-set handle, consulted against
 	// Options.Remote at process time; 0 marks a root (never dropped).
 	h core.Handle
+	// steps is the micro-step rendering of the path that reached this
+	// entry, materialised only under CollectWitnesses: done states record
+	// it as the outcome's native witness fallback.
+	steps []string
 }
 
 // Explore runs the flat model exhaustively over all micro-step
 // interleavings, deduplicating states. It satisfies the litmus.Runner
 // signature and runs on the shared parallel engine (machine states are
 // independent work items; Options.Parallelism selects the worker count).
-// Options.Certify and CollectWitnesses are ignored for stepping (the flat
-// model has no certification, and witnesses are not implemented for the
-// baseline), but CollectWitnesses still forces reductions off, keeping the
-// effective-reduction stamp consistent across backends.
+// Options.Certify is ignored (the flat model has no certification).
+// CollectWitnesses records, per outcome, the micro-step interleaving that
+// first reached it as a native witness (explore.Witness.Native) — the
+// unminimized fallback of the witness layer, since flat steps are not
+// promising-machine labels and cannot go through the replay validator. It
+// also forces reductions off, keeping the effective-reduction stamp
+// consistent across backends, and refuses checkpoints (traces do not
+// survive a snapshot; Result.CheckpointRefused reports the refusal).
 //
 // Both reductions apply here: states deduplicate on their thread-symmetry
 // canonical key, and independence pruning sleeps thread families across
@@ -49,6 +57,10 @@ func Explore(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Optio
 }
 
 func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, snap *explore.Snapshot) (*explore.Result, error) {
+	refusedCkpt := opts.CollectWitnesses && opts.Checkpoint != nil
+	if opts.CollectWitnesses {
+		opts.Checkpoint = nil // witness traces do not survive a snapshot
+	}
 	nThreads := len(cp.Threads)
 	var sym *explore.Symmetry
 	if opts.Reductions.Symmetry() && !opts.CollectWitnesses {
@@ -112,6 +124,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	visited := 0
 	if snap == nil {
 		m0 := newMachine(cp)
+		m0.desc = opts.CollectWitnesses
 		h, _, order, _, _, _ := addState(m0, false, 0)
 		root := entry{m: m0, fresh: true}
 		if claims != nil {
@@ -194,7 +207,11 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 				if drop {
 					return
 				}
-				c.Push(entry{m: s, sleep: childSleep, todo: todo, ctodo: ctodo, fresh: fresh, h: h})
+				var steps []string
+				if opts.CollectWitnesses && s.stepDesc != "" {
+					steps = append(append([]string(nil), e.steps...), s.stepDesc)
+				}
+				c.Push(entry{m: s, sleep: childSleep, todo: todo, ctodo: ctodo, fresh: fresh, h: h, steps: steps})
 			})
 			if had {
 				any = true
@@ -208,7 +225,11 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 		if !any {
 			if e.m.done() {
 				o := observe(cp, spec, e.m)
-				c.Res.Outcomes[o.Key()] = o
+				if opts.CollectWitnesses {
+					c.Res.Add(o, &explore.Witness{Native: e.steps})
+				} else {
+					c.Res.Outcomes[o.Key()] = o
+				}
 			} else if e.fresh && e.sleep == 0 {
 				// Stuck: mis-speculation residue, lost reservations, or a
 				// genuine exclusive deadlock. A slept family is always
@@ -230,6 +251,7 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	endSpan := opts.Trace.Span("explore")
 	res, pending := eng.ResumeRun(roots, &opts, visited)
 	endSpan(fmt.Sprintf("flat leg: %d states, %d outcomes", res.States, len(res.Outcomes)))
+	res.CheckpointRefused = refusedCkpt
 	res.Stats.Interned = seen.Len()
 	res.Stats.SymmetryClasses = sym.Classes()
 	res.Stats.SymmetryHits = symHits.Load()

@@ -151,21 +151,35 @@ type machine struct {
 	threads []*thread
 	mem     *memory
 
+	// desc makes every transition stamp its successor with a one-line
+	// human rendering (stepDesc), collected into the native witness
+	// fallback. Inherited by clones; off outside witness collection.
+	desc bool
+
 	// Taken-step memory footprint, set on a successor by the transition
 	// that produced it (zero for thread-local steps): independence pruning
 	// compares it against the other threads' pending-access footprints.
 	// Transient — clone() starts successors from a zero footprint, and the
-	// fields are excluded from appendKey.
+	// fields are excluded from appendKey, as is stepDesc.
 	stepAddr  lang.Loc
 	stepRead  bool // the step read memory at stepAddr
 	stepWrite bool // the step wrote memory at stepAddr
+	stepDesc  string
 }
 
 func (m *machine) clone() *machine {
-	out := &machine{cp: m.cp, mem: m.mem}
+	out := &machine{cp: m.cp, mem: m.mem, desc: m.desc}
 	out.threads = make([]*thread, len(m.threads))
 	copy(out.threads, m.threads)
 	return out
+}
+
+// note stamps the successor with its producing step's rendering (no-op
+// unless witness collection enabled desc).
+func (m *machine) note(format string, args ...any) {
+	if m.desc {
+		m.stepDesc = fmt.Sprintf(format, args...)
+	}
 }
 
 // cloneThread returns a copy with thread tid (and optionally memory) fresh.

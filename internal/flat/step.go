@@ -115,6 +115,7 @@ func (m *machine) threadSuccessors(tid int, emit succFn) {
 				ni := &nm.threads[tid].insts[i]
 				ni.val = t.eval(n.E, in.dataProv)
 				ni.state = iPerformed
+				nm.note("T%d: i%d assign r%d = %d", tid, i, in.dst, ni.val)
 				emit(nm)
 			}
 		case lang.NIf:
@@ -123,12 +124,14 @@ func (m *machine) threadSuccessors(tid int, emit succFn) {
 			if in.state != iPerformed && m.fenceReady(tid, i) {
 				nm := m.cloneThread(tid, false)
 				nm.threads[tid].insts[i].state = iPerformed
+				nm.note("T%d: i%d fence performs", tid, i)
 				emit(nm)
 			}
 		case lang.NISB:
 			if in.state != iPerformed && m.isbReady(tid, i) {
 				nm := m.cloneThread(tid, false)
 				nm.threads[tid].insts[i].state = iPerformed
+				nm.note("T%d: i%d isb performs", tid, i)
 				emit(nm)
 			}
 		case lang.NLoad:
@@ -158,6 +161,7 @@ func (m *machine) branchSuccessors(tid, i int, emit succFn) {
 				nt.cont = append(nt.cont, in.pendElse)
 			}
 			nm.autoFetch(tid)
+			nm.note("T%d: i%d speculate branch %s", tid, i, takenStr(taken))
 			emit(nm)
 		}
 	}
@@ -169,6 +173,7 @@ func (m *machine) branchSuccessors(tid, i int, emit succFn) {
 			}
 			nm := m.cloneThread(tid, false)
 			nm.threads[tid].insts[i].state = iPerformed
+			nm.note("T%d: i%d resolve branch %s (speculation confirmed)", tid, i, takenStr(actual))
 			emit(nm)
 			return
 		}
@@ -184,8 +189,16 @@ func (m *machine) branchSuccessors(tid, i int, emit succFn) {
 			nt.cont = append(nt.cont, in.pendElse)
 		}
 		nm.autoFetch(tid)
+		nm.note("T%d: i%d resolve branch %s", tid, i, takenStr(actual))
 		emit(nm)
 	}
+}
+
+func takenStr(taken bool) string {
+	if taken {
+		return "taken"
+	}
+	return "not-taken"
 }
 
 // failedSX reports whether instruction j is a store exclusive that decided
@@ -249,6 +262,7 @@ func (m *machine) loadSuccessors(tid, i int, emit succFn) {
 			ni := &nm.threads[tid].insts[i]
 			ni.addr = t.eval(n.Addr, in.addrProv)
 			ni.addrKnown = true
+			nm.note("T%d: i%d load address resolves to [%d]", tid, i, ni.addr)
 			emit(nm)
 		}
 		return
@@ -289,6 +303,7 @@ func (m *machine) loadSuccessors(tid, i int, emit succFn) {
 			ni.val = fs.data
 			ni.fwdFrom = fwd
 			ni.state = iPerformed
+			nm.note("T%d: i%d load [%d] forwards from store i%d = %d", tid, i, in.addr, fwd, ni.val)
 			emit(nm)
 		}
 		if fs.state != iPerformed {
@@ -310,6 +325,7 @@ func (m *machine) loadSuccessors(tid, i int, emit succFn) {
 	// The step read the location's current write (and, for exclusives, its
 	// history length); record the footprint for independence pruning.
 	nm.stepAddr, nm.stepRead = in.addr, true
+	nm.note("T%d: i%d load [%d] satisfied from memory = %d", tid, i, in.addr, ni.val)
 	emit(nm)
 }
 
@@ -376,6 +392,7 @@ func (m *machine) storeSuccessors(tid, i int, emit succFn) {
 		ni := &nm.threads[tid].insts[i]
 		ni.addr = t.eval(n.Addr, in.addrProv)
 		ni.addrKnown = true
+		nm.note("T%d: i%d store address resolves to [%d]", tid, i, ni.addr)
 		emit(nm)
 	}
 	if !in.dataKnown && m.ready(t, in.dataProv) {
@@ -383,6 +400,7 @@ func (m *machine) storeSuccessors(tid, i int, emit succFn) {
 		ni := &nm.threads[tid].insts[i]
 		ni.data = t.eval(n.Data, in.dataProv)
 		ni.dataKnown = true
+		nm.note("T%d: i%d store data resolves to %d", tid, i, ni.data)
 		emit(nm)
 	}
 	if n.Xcl && !in.decided {
@@ -392,6 +410,7 @@ func (m *machine) storeSuccessors(tid, i int, emit succFn) {
 		ni.decided = true
 		ni.succ = false
 		ni.state = iPerformed
+		nm.note("T%d: i%d store-exclusive decides to fail", tid, i)
 		emit(nm)
 		// Success requires a paired, performed load exclusive.
 		if in.pair >= 0 && t.insts[in.pair].state == iPerformed {
@@ -399,6 +418,7 @@ func (m *machine) storeSuccessors(tid, i int, emit succFn) {
 			ni := &nm.threads[tid].insts[i]
 			ni.decided = true
 			ni.succ = true
+			nm.note("T%d: i%d store-exclusive decides to succeed", tid, i)
 			emit(nm)
 		}
 		return
@@ -445,6 +465,7 @@ func (m *machine) storeSuccessors(tid, i int, emit succFn) {
 	// The step wrote the location (and an exclusive's atomicity check read
 	// its history); record the footprint for independence pruning.
 	nm.stepAddr, nm.stepWrite, nm.stepRead = in.addr, true, n.Xcl
+	nm.note("T%d: i%d store [%d]=%d propagates", tid, i, in.addr, in.data)
 	emit(nm)
 }
 

@@ -77,6 +77,16 @@ func (r *Report) Status() Status {
 // and matched the test's expectation.
 func (r *Report) OK() bool { return r.Status() == StatusPass }
 
+// CheckpointRefused reports that the cell's exploration was asked to
+// checkpoint but refused (witness collection: traces do not survive a
+// snapshot) and ran uncheckpointable. Refusal does not change Status() —
+// the cell still completes — but batch consumers (-json output, the
+// daemon's job JSON) surface it so users see why a witness run has no
+// snapshots.
+func (r *Report) CheckpointRefused() bool {
+	return r.Verdict != nil && r.Verdict.Result != nil && r.Verdict.Result.CheckpointRefused
+}
+
 // Stats returns the cell's exploration instrumentation (zero when the
 // cell never ran).
 func (r *Report) Stats() explore.ExploreStats {

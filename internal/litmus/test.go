@@ -208,19 +208,26 @@ func Conj(cs ...Cond) Cond {
 	return out
 }
 
+// formatOutcome renders one outcome in terms of the spec — the line
+// format of FormatOutcomes, shared with witness traces so outcome strings
+// match across tool output, endpoints and -explain selection.
+func formatOutcome(spec *explore.ObsSpec, o explore.Outcome, prog *lang.Program) string {
+	var parts []string
+	for i, ro := range spec.Regs {
+		parts = append(parts, fmt.Sprintf("%s=%d", ro.Name, o.Regs[i]))
+	}
+	for i, l := range spec.Locs {
+		parts = append(parts, fmt.Sprintf("[%s]=%d", prog.LocName(l), o.Mem[i]))
+	}
+	return strings.Join(parts, " ")
+}
+
 // FormatOutcomes renders a result's outcomes sorted, one per line, in terms
 // of the spec (for tool output and golden tests).
 func FormatOutcomes(spec *explore.ObsSpec, res *explore.Result, prog *lang.Program) string {
 	lines := make([]string, 0, len(res.Outcomes))
 	for _, o := range res.Outcomes {
-		var parts []string
-		for i, ro := range spec.Regs {
-			parts = append(parts, fmt.Sprintf("%s=%d", ro.Name, o.Regs[i]))
-		}
-		for i, l := range spec.Locs {
-			parts = append(parts, fmt.Sprintf("[%s]=%d", prog.LocName(l), o.Mem[i]))
-		}
-		lines = append(lines, strings.Join(parts, " "))
+		lines = append(lines, formatOutcome(spec, o, prog))
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

@@ -1,0 +1,184 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+
+	"promising/internal/core"
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// Witness explanations at the litmus level: the raw per-outcome traces of
+// a witness-collecting run (explore.Result.Witnesses), already minimized
+// and replay-validated by explore.WitnessRecorder, are annotated here with
+// the test's display names and the acting thread's view summaries so tools
+// (cmd/litmus -explain, the daemon's witness endpoints, the dashboard)
+// render them in source terms.
+
+// WitnessStep is one annotated step of a machine witness trace.
+type WitnessStep struct {
+	// Index is the step's position in the minimized trace.
+	Index int `json:"index"`
+	// TID is the acting thread.
+	TID int `json:"tid"`
+	// Kind is "promise", "read", "fulfil", "xcl-fail" or "finish".
+	Kind string `json:"kind"`
+	// Loc is the display name of the accessed location ("" for steps
+	// without one: exclusive failures, thread completion).
+	Loc string `json:"loc,omitempty"`
+	// Val is the value read, promised or fulfilled.
+	Val lang.Val `json:"val"`
+	// TS is the memory timestamp the step acts at (read-from timestamp for
+	// reads, write timestamp for promises and fulfilments).
+	TS core.Time `json:"ts"`
+	// Pre and Post summarise the acting thread's view registers around the
+	// step (explore.StepViews rendering); empty when the trace was not
+	// replay-annotated.
+	Pre  string `json:"pre,omitempty"`
+	Post string `json:"post,omitempty"`
+	// Text is the human one-line rendering in source terms.
+	Text string `json:"text"`
+}
+
+// WitnessTrace is one outcome's explained witness, ready for JSON
+// transport and rendering.
+type WitnessTrace struct {
+	Test    string `json:"test"`
+	Backend string `json:"backend"`
+	// Outcome is the formatted outcome line ("1:r0=1 1:r1=0"), the same
+	// rendering FormatOutcomes uses, so it matches tool output and litmus
+	// conditions term for term.
+	Outcome string `json:"outcome"`
+	// Steps is the annotated machine trace (promise-first, naive).
+	Steps []WitnessStep `json:"steps,omitempty"`
+	// Native is the backend-native fallback rendering (flat, axiomatic),
+	// unminimized and unvalidated.
+	Native []string `json:"native,omitempty"`
+	// Minimized reports the trace went through the greedy minimizer;
+	// ShrinkSteps counts its accepted reductions.
+	Minimized   bool `json:"minimized"`
+	ShrinkSteps int  `json:"shrink_steps"`
+	// Validated reports the replay validator re-executed the trace to
+	// exactly this outcome.
+	Validated bool `json:"validated"`
+}
+
+func kindName(k core.StepKind) string {
+	switch k {
+	case core.StepPromise:
+		return "promise"
+	case core.StepRead:
+		return "read"
+	case core.StepFulfil:
+		return "fulfil"
+	case core.StepXclFail:
+		return "xcl-fail"
+	case core.StepFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("step(%d)", int(k))
+	}
+}
+
+// stepText renders one label in source terms (location display names
+// instead of raw addresses).
+func stepText(lab core.Label, locName func(lang.Loc) string) string {
+	switch lab.Kind {
+	case core.StepRead:
+		return fmt.Sprintf("T%d: read [%s]=%d @t%d", lab.TID, locName(lab.Loc), lab.Val, lab.TS)
+	case core.StepFulfil:
+		return fmt.Sprintf("T%d: fulfil [%s]:=%d @t%d", lab.TID, locName(lab.Loc), lab.Val, lab.TS)
+	case core.StepPromise:
+		return fmt.Sprintf("T%d: promise [%s]:=%d @t%d", lab.TID, locName(lab.Loc), lab.Val, lab.TS)
+	case core.StepXclFail:
+		return fmt.Sprintf("T%d: store-exclusive fails", lab.TID)
+	case core.StepFinish:
+		return fmt.Sprintf("T%d: finished", lab.TID)
+	default:
+		return lab.String()
+	}
+}
+
+// ExplainResult turns a witness-collecting run's result into annotated
+// witness traces, one per observed outcome, sorted by outcome line.
+// Machine witnesses are minimized and replay-validated (budget <= 0
+// selects explore.DefaultShrinkBudget); native witnesses pass through as
+// fallbacks. The error reports the first witness whose validation replay
+// failed — the returned traces are still complete, with Validated false
+// on the failing ones.
+func ExplainResult(t *Test, backend string, res *explore.Result, budget int) ([]WitnessTrace, error) {
+	if len(res.Witnesses) == 0 {
+		return nil, nil
+	}
+	cp, err := lang.Compile(t.Prog)
+	if err != nil {
+		return nil, err
+	}
+	spec := t.Spec()
+	rec := &explore.WitnessRecorder{CP: cp, Spec: spec, MaxChecks: budget}
+	explained, recErr := rec.Record(res)
+	locName := func(l lang.Loc) string { return t.Prog.LocName(l) }
+	traces := make([]WitnessTrace, 0, len(explained))
+	for k, ex := range explained {
+		o, ok := res.Outcomes[k]
+		if !ok {
+			continue
+		}
+		tr := WitnessTrace{
+			Test:        t.Name(),
+			Backend:     backend,
+			Outcome:     formatOutcome(spec, o, t.Prog),
+			Native:      ex.Native,
+			Minimized:   ex.Minimized,
+			ShrinkSteps: ex.ShrinkSteps,
+			Validated:   ex.Validated,
+		}
+		if len(ex.Labels) > 0 {
+			tr.Steps = annotate(cp, spec, ex.Labels, ex.Validated, locName)
+		}
+		traces = append(traces, tr)
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Outcome < traces[j].Outcome })
+	return traces, recErr
+}
+
+// annotate renders a machine trace as steps. Validated traces are
+// replayed once more with the per-step observer to capture pre/post view
+// summaries; unvalidated ones (which cannot replay) get text-only steps.
+func annotate(cp *lang.CompiledProgram, spec *explore.ObsSpec, labels []core.Label,
+	validated bool, locName func(lang.Loc) string) []WitnessStep {
+	steps := make([]WitnessStep, len(labels))
+	for i, lab := range labels {
+		steps[i] = WitnessStep{
+			Index: i,
+			TID:   lab.TID,
+			Kind:  kindName(lab.Kind),
+			Val:   lab.Val,
+			TS:    lab.TS,
+			Text:  stepText(lab, locName),
+		}
+		if lab.Kind != core.StepXclFail && lab.Kind != core.StepFinish {
+			steps[i].Loc = locName(lab.Loc)
+		}
+	}
+	if validated {
+		_, _ = explore.ReplayWitnessObserved(cp, spec, labels, func(i int, lab core.Label, pre, post explore.StepViews) {
+			steps[i].Pre = pre.String()
+			steps[i].Post = post.String()
+		})
+	}
+	return steps
+}
+
+// Explain compiles and runs the test under the backend with witness
+// collection on, then explains every observed outcome. run must be the
+// backend's Runner; backend is its display name.
+func Explain(t *Test, backend string, run Runner, opts explore.Options, budget int) ([]WitnessTrace, error) {
+	opts.CollectWitnesses = true
+	v, err := Run(t, run, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ExplainResult(t, backend, v.Result, budget)
+}

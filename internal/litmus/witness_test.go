@@ -1,0 +1,186 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// witnessBackends are the machine backends whose witnesses go through the
+// minimizer and replay validator.
+var witnessBackends = []NamedRunner{
+	{Name: "promising", Run: explore.PromiseFirst},
+	{Name: "naive", Run: explore.Naive},
+}
+
+// TestCatalogWitnessReplay is the witness layer's soundness sweep: every
+// allowed outcome of every catalog test, under both machine backends,
+// must yield a minimized witness whose replay deterministically
+// re-executes to exactly its claimed outcome.
+func TestCatalogWitnessReplay(t *testing.T) {
+	for _, tst := range Catalog() {
+		tst := tst
+		for _, b := range witnessBackends {
+			b := b
+			if b.Name == "naive" && testing.Short() {
+				continue
+			}
+			t.Run(tst.Name()+"/"+b.Name, func(t *testing.T) {
+				t.Parallel()
+				opts := explore.DefaultOptions()
+				opts.CollectWitnesses = true
+				v, err := Run(tst, b.Run, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Result.Aborted || v.Result.BoundExceeded {
+					t.Fatalf("exploration incomplete: %+v", v.Result)
+				}
+				traces, err := ExplainResult(tst, b.Name, v.Result, 0)
+				if err != nil {
+					t.Fatalf("witness validation: %v", err)
+				}
+				if len(traces) != len(v.Result.Outcomes) {
+					t.Fatalf("%d outcomes but %d witness traces", len(v.Result.Outcomes), len(traces))
+				}
+				seen := map[string]bool{}
+				for _, tr := range traces {
+					if !tr.Validated {
+						t.Errorf("outcome %q: witness did not replay-validate", tr.Outcome)
+					}
+					if !tr.Minimized {
+						t.Errorf("outcome %q: witness skipped the minimizer", tr.Outcome)
+					}
+					if len(tr.Steps) == 0 {
+						t.Errorf("outcome %q: empty step trace", tr.Outcome)
+					}
+					if seen[tr.Outcome] {
+						t.Errorf("outcome %q explained twice", tr.Outcome)
+					}
+					seen[tr.Outcome] = true
+				}
+				// Every formatted outcome line has a trace under its exact
+				// rendering (the -explain and endpoint selection key).
+				for _, line := range strings.Split(FormatOutcomes(v.Spec, v.Result, tst.Prog), "\n") {
+					if !seen[line] {
+						t.Errorf("outcome %q has no witness trace", line)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMinimizeWitnessShrinksSpinLoop checks the minimizer actually earns
+// its keep: a message-passing variant whose reader spins on the flag
+// produces raw traces with redundant failed-spin reads, which pass 1 must
+// drop — the minimized witness of the success outcome stays free of
+// flag=0 reads.
+func TestMinimizeWitnessShrinksSpinLoop(t *testing.T) {
+	src := `arch riscv
+name MP-spin
+bound 4
+locs x=0 y=1
+shared x y
+thread 0 {
+  r0 = store [x] 1;
+  r1 = store [y] 1;
+}
+thread 1 {
+  r0 = load [y];
+  while (r0 == 0) {
+    r0 = load [y];
+  }
+  r1 = load [x];
+}
+exists (1:r0=1 && 1:r1=1)
+`
+	tst, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := explore.DefaultOptions()
+	opts.CollectWitnesses = true
+	traces, err := Explain(tst, "promising", explore.PromiseFirst, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *WitnessTrace
+	for i := range traces {
+		if traces[i].Outcome == "1:r0=1 1:r1=1" {
+			hit = &traces[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no witness for the spin-success outcome; got %d traces", len(traces))
+	}
+	if !hit.Validated {
+		t.Fatal("spin-success witness did not replay-validate")
+	}
+	for _, st := range hit.Steps {
+		if st.Kind == "read" && st.Loc == "y" && st.Val == 0 {
+			t.Errorf("minimized witness still spins: %s", st.Text)
+		}
+	}
+}
+
+// TestWitnessAnnotationViews checks the annotated steps carry pre/post
+// view summaries and display-name rendering.
+func TestWitnessAnnotationViews(t *testing.T) {
+	tst := CatalogTest("MP")
+	opts := explore.DefaultOptions()
+	opts.CollectWitnesses = true
+	traces, err := Explain(tst, "promising", explore.PromiseFirst, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatal("no witness traces for MP")
+	}
+	for _, tr := range traces {
+		for _, st := range tr.Steps {
+			if st.Pre == "" || st.Post == "" {
+				t.Errorf("outcome %q step %d: missing view annotation", tr.Outcome, st.Index)
+			}
+			if st.Kind == "read" || st.Kind == "fulfil" || st.Kind == "promise" {
+				if st.Loc == "" {
+					t.Errorf("outcome %q step %d: missing location name", tr.Outcome, st.Index)
+				}
+				if n := tst.Prog.LocName(lang.Loc(0)); n != "" && strings.Contains(st.Text, "["+st.Loc+"]") == false {
+					t.Errorf("outcome %q step %d: text %q does not use display name %q", tr.Outcome, st.Index, st.Text, st.Loc)
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessCheckpointRefusal pins satellite behaviour: a
+// witness-collecting run given a checkpoint controller refuses it
+// explicitly instead of silently dropping it.
+func TestWitnessCheckpointRefusal(t *testing.T) {
+	tst := CatalogTest("MP")
+	for _, b := range witnessBackends {
+		opts := explore.DefaultOptions()
+		opts.CollectWitnesses = true
+		opts.Checkpoint = explore.NewCheckpointAfter(1)
+		v, err := Run(tst, b.Run, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Result.Snapshot != nil {
+			t.Errorf("%s: witness run still checkpointed", b.Name)
+		}
+		if !v.Result.CheckpointRefused {
+			t.Errorf("%s: checkpoint refusal not reported", b.Name)
+		}
+		rep := Report{Test: tst, Backend: b.Name, Verdict: v}
+		if !rep.CheckpointRefused() {
+			t.Errorf("%s: report does not surface the refusal", b.Name)
+		}
+		if rep.Status() != StatusPass {
+			t.Errorf("%s: refusal changed the cell status to %s", b.Name, rep.Status())
+		}
+	}
+}

@@ -14,6 +14,8 @@
 //	GET    /v1/jobs/{id}        job status + completed cell reports
 //	DELETE /v1/jobs/{id}        cancel: aborts in-flight explorations
 //	GET    /v1/jobs/{id}/events per-cell/campaign progress as SSE
+//	GET    /v1/jobs/{id}/witnesses           witness index of a witness job
+//	GET    /v1/jobs/{id}/witnesses/{outcome} one outcome's full witness trace
 //	GET    /v1/catalog          the built-in canonical litmus tests
 //	GET    /v1/stats            the /metrics counters + job list as JSON
 //	GET    /v1/bench            committed BENCH_*.json benchmark baselines
@@ -50,6 +52,12 @@ type CheckOptions struct {
 	// Reductions selects the certified state-space reductions: on (the
 	// default), off, symmetry or pruning (explore.ParseReductionMode).
 	Reductions string `json:"reductions,omitempty"`
+	// Witnesses records one minimized, replay-validated witness trace per
+	// observed outcome (explore.Options.CollectWitnesses). It forces
+	// reductions off and makes the cells refuse checkpoints
+	// (TestReport.CheckpointRefused); witnesses ride on the cell reports
+	// and are served through GET /v1/jobs/{id}/witnesses.
+	Witnesses bool `json:"witnesses,omitempty"`
 }
 
 // TestSpec names one test: inline litmus source, or a catalog test name.
@@ -108,6 +116,16 @@ type TestReport struct {
 	// states, certification-cache performance); omitted when the cell
 	// never ran.
 	Stats *ExploreStatsJSON `json:"stats,omitempty"`
+	// CheckpointRefused reports that the exploration was asked to
+	// checkpoint but refused (witness collection: traces do not survive a
+	// snapshot) — the explicit surface of why a witness cell leaves no
+	// snapshots behind.
+	CheckpointRefused bool `json:"checkpoint_refused,omitempty"`
+	// Witnesses holds one annotated witness trace per observed outcome
+	// when the cell ran with CheckOptions.Witnesses. They ride on the
+	// report (and through the verdict cache, so cached witness cells keep
+	// their traces); the witness endpoints index into them.
+	Witnesses []litmus.WitnessTrace `json:"witnesses,omitempty"`
 }
 
 // ExploreStatsJSON is explore.ExploreStats in wire form.
@@ -149,6 +167,7 @@ func ReportJSON(r litmus.Report) TestReport {
 		tr.States = v.Result.States
 		tr.DeadEnds = v.Result.DeadEnds
 		tr.BoundExceeded = v.Result.BoundExceeded
+		tr.CheckpointRefused = v.Result.CheckpointRefused
 		tr.ElapsedUS = v.Elapsed.Microseconds()
 		if out := litmus.FormatOutcomes(v.Spec, v.Result, v.Test.Prog); out != "" {
 			tr.Outcomes = strings.Split(out, "\n")
@@ -372,6 +391,10 @@ const (
 	EventStats = "stats"
 	// EventShards is a cluster job's shard-map update (Shards set).
 	EventShards = "shards"
+	// EventWitness announces the witness traces of a just-completed
+	// witness cell (Witnesses set: the cell's index entries; full traces
+	// come from GET /v1/jobs/{id}/witnesses/{outcome}).
+	EventWitness = "witness"
 	// EventSummary is the stream-ending summary.
 	EventSummary = "summary"
 )
@@ -403,8 +426,71 @@ type JobEvent struct {
 	// Cell identifies the sampling cell.
 	Stats *obs.StatsSnapshot `json:"stats,omitempty"`
 	// Shards is the cluster shard-map payload (Kind "shards").
-	Shards  []ShardState `json:"shards,omitempty"`
-	Dropped bool         `json:"dropped,omitempty"`
+	Shards []ShardState `json:"shards,omitempty"`
+	// Witnesses is the witness-announcement payload (Kind "witness"): the
+	// completing cell's witness index entries.
+	Witnesses []WitnessInfo `json:"witnesses,omitempty"`
+	Dropped   bool          `json:"dropped,omitempty"`
+}
+
+// WitnessInfo is one row of a job's witness index: which outcome of which
+// cell has a trace, and whether it went through the minimizer and the
+// replay validator.
+type WitnessInfo struct {
+	Cell    int    `json:"cell"`
+	Test    string `json:"test"`
+	Backend string `json:"backend"`
+	// Outcome is the formatted outcome line; it is also the key of
+	// GET /v1/jobs/{id}/witnesses/{outcome} (URL-escaped).
+	Outcome string `json:"outcome"`
+	// Steps is the minimized machine trace's length (0 for native
+	// fallbacks, whose Native lines are counted separately).
+	Steps  int `json:"steps"`
+	Native int `json:"native,omitempty"`
+	// Minimized/Validated mirror litmus.WitnessTrace.
+	Minimized bool `json:"minimized"`
+	Validated bool `json:"validated"`
+}
+
+// WitnessIndex is the body of GET /v1/jobs/{id}/witnesses.
+type WitnessIndex struct {
+	JobID     string        `json:"job_id"`
+	Witnesses []WitnessInfo `json:"witnesses"`
+}
+
+// WitnessDetail is the body of GET /v1/jobs/{id}/witnesses/{outcome}: one
+// outcome's full annotated trace.
+type WitnessDetail struct {
+	JobID string              `json:"job_id"`
+	Cell  int                 `json:"cell"`
+	Trace litmus.WitnessTrace `json:"trace"`
+}
+
+// witnessInfos projects one cell report's witness traces onto index rows.
+func witnessInfos(cell int, tr *TestReport) []WitnessInfo {
+	if tr == nil || len(tr.Witnesses) == 0 {
+		return nil
+	}
+	out := make([]WitnessInfo, 0, len(tr.Witnesses))
+	for _, wt := range tr.Witnesses {
+		out = append(out, WitnessInfo{
+			Cell: cell, Test: wt.Test, Backend: wt.Backend, Outcome: wt.Outcome,
+			Steps: len(wt.Steps), Native: len(wt.Native),
+			Minimized: wt.Minimized, Validated: wt.Validated,
+		})
+	}
+	return out
+}
+
+// witnessIndexOf assembles the witness index over a job's completed cell
+// reports, cells in order. The same function feeds the live endpoint and
+// the durable obs record, so the two serve identical documents.
+func witnessIndexOf(jobID string, reports []*TestReport) WitnessIndex {
+	idx := WitnessIndex{JobID: jobID, Witnesses: []WitnessInfo{}}
+	for cell, tr := range reports {
+		idx.Witnesses = append(idx.Witnesses, witnessInfos(cell, tr)...)
+	}
+	return idx
 }
 
 // StatsResponse is the body of GET /v1/stats: the same counters and

@@ -215,6 +215,12 @@ func (j *job) record(cell int, tr TestReport) {
 		JobID: j.id, Kind: EventCell, State: j.state, Cell: cell,
 		Completed: j.completed, Total: j.total, Report: &tr,
 	})
+	if infos := witnessInfos(cell, &tr); len(infos) > 0 {
+		j.broadcastLocked(JobEvent{
+			JobID: j.id, Kind: EventWitness, State: j.state, Cell: cell,
+			Completed: j.completed, Total: j.total, Witnesses: infos,
+		})
+	}
 }
 
 // finish moves the job to its terminal state and closes every subscriber.
@@ -464,6 +470,9 @@ func (s *Server) startFuzzJob(cfg fuzz.Config) *job {
 		prevMu.Unlock()
 		j.updateFuzz(final)
 		j.finish()
+		if j.stateNow() == JobDone {
+			s.persistObs(j)
+		}
 		st := j.status()
 		s.logf("promised: fuzz job %s %s (%d iterations, %d findings)", j.id, st.State, final.Iterations, len(final.Findings))
 	}()
@@ -552,6 +561,12 @@ func (s *Server) launchJob(id string, tests []*litmus.Test, specs []TestSpec, ba
 		// a server shutdown, which must stay resumable on restart.
 		if j.stateNow() == JobDone || j.userCanceled.Load() {
 			s.store.remove(j.id)
+		}
+		// Finished jobs move to the durable trace store: stage events,
+		// final status and witness traces survive a kill -9 even though
+		// the resumable job state above was just released.
+		if j.stateNow() == JobDone {
+			s.persistObs(j)
 		}
 		st := j.status()
 		s.logf("promised: job %s %s (%d cells, %d cache hits)", j.id, st.State, j.total, st.CacheHits)

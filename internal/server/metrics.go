@@ -49,6 +49,8 @@ func (s *Server) metricDefs() []metricDef {
 		{"promised_fuzz_iterations_total", "counter", s.fuzzIters.Load},
 		{"promised_fuzz_findings_total", "counter", s.fuzzFindings.Load},
 		{"promised_fuzz_corpus_entries", "gauge", s.fuzzCorpus.Load},
+		{"promised_witnesses_total", "counter", s.witnesses.Load},
+		{"promised_witness_shrink_steps_total", "counter", s.witnessShrink.Load},
 		{"promised_uptime_seconds", "gauge", func() int64 { return int64(time.Since(s.started).Seconds()) }},
 	}
 }

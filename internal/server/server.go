@@ -9,7 +9,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -142,6 +144,11 @@ type Server struct {
 	// store persists batch-job state when Config.StateDir is set (nil
 	// otherwise; every method is nil-safe).
 	store *jobStore
+	// obsStore is the durable trace store (Config.StateDir/obs): finished
+	// jobs' stage events, final status and witness traces, reloaded at
+	// startup so the job/witness endpoints survive a kill -9. Nil without
+	// a state dir; every method is nil-safe.
+	obsStore *obs.Store
 	// sem is the worker pool: one slot per concurrently running
 	// exploration, shared by synchronous checks and batch-job cells.
 	sem  chan struct{}
@@ -192,6 +199,11 @@ type Server struct {
 	fuzzFindings  atomic.Int64
 	fuzzCorpus    atomic.Int64
 	fuzzActive    atomic.Int64
+	// witnesses counts witness traces produced by witness-collecting
+	// cells; witnessShrink the minimizer reductions they accepted (cache
+	// hits excluded, like the other per-exploration counters).
+	witnesses     atomic.Int64
+	witnessShrink atomic.Int64
 }
 
 // New builds a server from cfg.
@@ -232,6 +244,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/witnesses", s.handleJobWitnesses)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/witnesses/{outcome}", s.handleJobWitness)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/bench", s.handleBench)
 	s.mux.Handle("GET /ui/", http.StripPrefix("/ui/", http.FileServerFS(ui.FS)))
@@ -245,6 +259,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.StateDir != "" {
 		s.store, err = openJobStore(cfg.StateDir)
+		if err != nil {
+			return nil, err
+		}
+		// The durable trace store opens before recovery so recovered jobs
+		// observe the same endpoints finished jobs were served from.
+		s.obsStore, err = obs.OpenStore(filepath.Join(cfg.StateDir, "obs"), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -382,6 +402,7 @@ func (s *Server) exploreOptions(ctx context.Context, o CheckOptions) (explore.Op
 		// here an unparsable mode just keeps the default.
 		eo.Reductions = m
 	}
+	eo.CollectWitnesses = o.Witnesses
 	eo.Parallelism = o.Parallelism
 	if eo.Parallelism == 0 {
 		eo.Parallelism = s.cfg.Parallelism
@@ -415,12 +436,14 @@ func (s *Server) exploreOptions(ctx context.Context, o CheckOptions) (explore.Op
 // timeouts): runs they cut short are never cached, and runs they did not
 // cut short are exhaustive, hence identical to the unbudgeted result.
 // Reductions are included: the outcome set is reduction-invariant, but the
-// reported state counts and stats are not.
+// reported state counts and stats are not. Witnesses are included: a
+// witness report carries the traces (and forced reductions off), so it
+// must not be served to — or from — a non-witness request.
 func cacheKey(t *litmus.Test, backend string, o CheckOptions) string {
 	certify := o.Certify == nil || *o.Certify
 	reductions, _ := explore.ParseReductionMode(o.Reductions)
 	sum := sha256.Sum256([]byte(backends.SemanticsEpoch + "\x00" + t.Hash() + "\x00" + backend + "\x00" +
-		fmt.Sprintf("certify=%t\x00reductions=%s", certify, reductions)))
+		fmt.Sprintf("certify=%t\x00reductions=%s\x00witnesses=%t", certify, reductions, o.Witnesses)))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -484,6 +507,9 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 	co.apply(&eo)
 	v, rerr := litmus.Run(t, named.Run, eo)
 	tr := ReportJSON(litmus.Report{Test: t, Backend: backend, Verdict: v, Err: rerr})
+	if rerr == nil {
+		s.explainWitnesses(t, backend, v, &tr)
+	}
 	if st := tr.Stats; st != nil {
 		s.certHits.Add(st.CertHits)
 		s.certMisses.Add(st.CertMisses)
@@ -497,6 +523,29 @@ func (s *Server) runCell(ctx context.Context, t *litmus.Test, backend string, o 
 		}
 	}
 	return tr
+}
+
+// explainWitnesses attaches the annotated, minimized and replay-validated
+// witness traces of a fresh witness-collecting run to its report (before
+// caching, so cached witness reports keep their traces) and feeds the
+// witness counters. A no-op for runs without collected witnesses.
+func (s *Server) explainWitnesses(t *litmus.Test, backend string, v *litmus.Verdict, tr *TestReport) {
+	if v == nil || v.Result == nil || len(v.Result.Witnesses) == 0 {
+		return
+	}
+	traces, err := litmus.ExplainResult(t, backend, v.Result, 0)
+	if err != nil {
+		// A replay-invalid witness is a model bug worth a log line; the
+		// trace is still served, flagged Validated false.
+		s.logf("promised: witness validation %s/%s: %v", t.Name(), backend, err)
+	}
+	tr.Witnesses = traces
+	s.witnesses.Add(int64(len(traces)))
+	var shrinks int64
+	for _, wt := range traces {
+		shrinks += int64(wt.ShrinkSteps)
+	}
+	s.witnessShrink.Add(shrinks)
 }
 
 // runJobCell checks one batch-job cell. Without a state store it is
@@ -594,6 +643,9 @@ func (s *Server) runJobCell(ctx context.Context, jobID string, cell int, t *litm
 		v.Elapsed = elapsed
 	}
 	tr := ReportJSON(litmus.Report{Test: t, Backend: backend, Verdict: v, Err: rerr})
+	if rerr == nil {
+		s.explainWitnesses(t, backend, v, &tr)
+	}
 	if st := tr.Stats; st != nil {
 		s.certHits.Add(st.CertHits)
 		s.certMisses.Add(st.CertMisses)
@@ -880,12 +932,130 @@ func clamp(v, lo, hi int) int {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.jobs.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	// Finished jobs are served from the durable trace store: the stored
+	// status document is the exact bytes the job finished with, so the
+	// response is byte-identical before and after a daemon restart.
+	if rec, ok := s.obsStore.Get(id); ok && len(rec.Status) > 0 {
+		writeJSON(w, http.StatusOK, rec.Status)
+		return
+	}
+	j, ok := s.jobs.get(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
+}
+
+// liveWitnessReports snapshots a live job's completed cell reports (nil
+// when the job is unknown).
+func (s *Server) liveWitnessReports(id string) ([]*TestReport, bool) {
+	j, ok := s.jobs.get(id)
+	if !ok {
+		return nil, false
+	}
+	st := j.status()
+	return st.Reports, true
+}
+
+// handleJobWitnesses serves GET /v1/jobs/{id}/witnesses: the witness
+// index over the job's completed cells. Finished jobs come from the
+// durable store (byte-identical across restarts); running jobs are
+// indexed live, so witnesses appear as their cells complete.
+func (s *Server) handleJobWitnesses(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rec, ok := s.obsStore.Get(id); ok && len(rec.Index) > 0 {
+		writeJSON(w, http.StatusOK, rec.Index)
+		return
+	}
+	reports, ok := s.liveWitnessReports(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, witnessIndexOf(id, reports))
+}
+
+// handleJobWitness serves GET /v1/jobs/{id}/witnesses/{outcome}: one
+// outcome's full annotated trace. The outcome path segment is the
+// URL-escaped formatted outcome line; ?cell=N disambiguates when several
+// cells observed the same outcome (default: first cell in order).
+func (s *Server) handleJobWitness(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	outcome := r.PathValue("outcome")
+	cell := -1
+	if c := r.URL.Query().Get("cell"); c != "" {
+		n, err := strconv.Atoi(c)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad cell %q", c)
+			return
+		}
+		cell = n
+	}
+	if rec, ok := s.obsStore.Get(id); ok && len(rec.Index) > 0 {
+		if wr, found := rec.Witness(outcome, cell); found {
+			writeJSON(w, http.StatusOK, wr.Body)
+			return
+		}
+		writeErr(w, http.StatusNotFound, "job %q has no witness for outcome %q", id, outcome)
+		return
+	}
+	reports, ok := s.liveWitnessReports(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	for ci, tr := range reports {
+		if tr == nil || (cell >= 0 && ci != cell) {
+			continue
+		}
+		for _, wt := range tr.Witnesses {
+			if wt.Outcome == outcome {
+				writeJSON(w, http.StatusOK, WitnessDetail{JobID: id, Cell: ci, Trace: wt})
+				return
+			}
+		}
+	}
+	writeErr(w, http.StatusNotFound, "job %q has no witness for outcome %q", id, outcome)
+}
+
+// persistObs writes a finished job's observability record — stage
+// events, the final status document, and every witness trace — to the
+// durable trace store. Nil-safe (no state dir: no-op).
+func (s *Server) persistObs(j *job) {
+	if s.obsStore == nil {
+		return
+	}
+	st := j.status()
+	statusRaw, err := json.Marshal(st)
+	if err != nil {
+		s.logf("promised: job %s: marshal final status: %v", j.id, err)
+		return
+	}
+	rec := &obs.JobRecord{ID: j.id, Events: j.tracer.Events(), Status: statusRaw}
+	if idx := witnessIndexOf(j.id, st.Reports); len(idx.Witnesses) > 0 {
+		if rec.Index, err = json.Marshal(idx); err != nil {
+			s.logf("promised: job %s: marshal witness index: %v", j.id, err)
+			return
+		}
+		for cell, tr := range st.Reports {
+			if tr == nil {
+				continue
+			}
+			for _, wt := range tr.Witnesses {
+				body, err := json.Marshal(WitnessDetail{JobID: j.id, Cell: cell, Trace: wt})
+				if err != nil {
+					s.logf("promised: job %s: marshal witness: %v", j.id, err)
+					return
+				}
+				rec.Witnesses = append(rec.Witnesses, obs.WitnessRecord{Cell: cell, Outcome: wt.Outcome, Body: body})
+			}
+		}
+	}
+	if err := s.obsStore.Put(rec); err != nil {
+		s.logf("promised: job %s: persist traces: %v", j.id, err)
+	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -903,6 +1073,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
+		// A finished job that only the durable trace store remembers (e.g.
+		// after a restart) replays its stored record and closes.
+		if rec, found := s.obsStore.Get(r.PathValue("id")); found {
+			s.replayObsEvents(w, rec)
+			return
+		}
 		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
@@ -964,4 +1140,58 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+}
+
+// replayObsEvents streams a finished job's stored record as a terminating
+// SSE stream: every persisted stage event, the witness announcements, and
+// a closing summary — the same event kinds a live subscriber saw.
+func (s *Server) replayObsEvents(w http.ResponseWriter, rec *obs.JobRecord) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	var st JobStatus
+	if err := json.Unmarshal(rec.Status, &st); err != nil {
+		st = JobStatus{ID: rec.ID, State: JobDone}
+	}
+	enc := func(ev JobEvent) bool {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", raw); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	for i := range rec.Events {
+		ev := rec.Events[i]
+		if !enc(JobEvent{JobID: rec.ID, Kind: EventStage, State: st.State, Cell: ev.Cell,
+			Completed: st.Completed, Total: st.Total, Stage: &ev}) {
+			return
+		}
+	}
+	if idx := witnessIndexOf(rec.ID, st.Reports); len(idx.Witnesses) > 0 {
+		byCell := map[int][]WitnessInfo{}
+		cells := []int{}
+		for _, info := range idx.Witnesses {
+			if _, seen := byCell[info.Cell]; !seen {
+				cells = append(cells, info.Cell)
+			}
+			byCell[info.Cell] = append(byCell[info.Cell], info)
+		}
+		for _, cell := range cells {
+			if !enc(JobEvent{JobID: rec.ID, Kind: EventWitness, State: st.State, Cell: cell,
+				Completed: st.Completed, Total: st.Total, Witnesses: byCell[cell]}) {
+				return
+			}
+		}
+	}
+	enc(JobEvent{JobID: rec.ID, Kind: EventSummary, State: st.State, Cell: -1,
+		Completed: st.Completed, Total: st.Total, Fuzz: st.Fuzz})
 }
