@@ -172,7 +172,7 @@ func TestPublicAPIOptionsWithContext(t *testing.T) {
 // TestPublicAPIFuzz: a small campaign through the public API, with the
 // generator profile vocabulary and a persistent corpus + replay.
 func TestPublicAPIFuzz(t *testing.T) {
-	if got := promising.GenProfiles(); len(got) != 5 || got[4] != "full" {
+	if got := promising.GenProfiles(); len(got) != 6 || got[4] != "lse" || got[5] != "full" {
 		t.Fatalf("GenProfiles() = %v", got)
 	}
 	profile, err := promising.GenProfileByName("fences")

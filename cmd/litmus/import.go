@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"promising"
+	"promising/internal/explore"
+)
+
+// runImport is cmd/litmus -import DIR: import every herd .litmus file
+// under dir (recursively), run the imported tests across the backend
+// matrix, and cross-check import health, backend agreement and — when
+// DIR/expected.json exists — drift against its pinned verdicts. Unless
+// -backends is given explicitly the sweep runs all four backends, since
+// cross-backend agreement is the point of a conformance run. Exits
+// nonzero on any gating failure (parse regression, disagreement, drift
+// or backend error); skips and budget timeouts are reported but do not
+// fail, so the nightly sweep can point this at an upstream corpus.
+func runImport(dir, backendList string, backendsSet bool, timeout time.Duration, jobs, par int, jsonOut, verbose bool) error {
+	srcs, err := loadHerdSources(dir)
+	if err != nil {
+		return err
+	}
+	if len(srcs) == 0 {
+		return fmt.Errorf("no .litmus files under %s", dir)
+	}
+	var expected map[string]string
+	if data, err := os.ReadFile(filepath.Join(dir, "expected.json")); err == nil {
+		if expected, err = promising.ExpectedVerdicts(data); err != nil {
+			return err
+		}
+	}
+	backends := []promising.Backend{
+		promising.BackendPromising, promising.BackendNaive,
+		promising.BackendAxiomatic, promising.BackendFlat,
+	}
+	if backendsSet {
+		backends = backends[:0]
+		for _, name := range strings.Split(backendList, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				backends = append(backends, promising.Backend(name))
+			}
+		}
+	}
+	opts := explore.DefaultOptions()
+	opts.Reductions = redMode
+	opts.Parallelism = par
+	if par <= 0 {
+		opts.Parallelism = -1
+	}
+	res, err := promising.RunConformance(srcs, backends, expected, promising.RunAllOptions{
+		Concurrency: jobs,
+		Explore:     opts,
+		Timeout:     timeout,
+	})
+	if err != nil {
+		return err
+	}
+	failures := res.Failures()
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		for i := range res.Tests {
+			ct := &res.Tests[i]
+			switch {
+			case ct.Skipped:
+				fmt.Printf("skip %s (%s)\n", ct.Name, ct.Reason)
+			case ct.ParseError != "":
+				fmt.Printf("FAIL %s: parse error: %s\n", ct.Name, ct.ParseError)
+			case verbose:
+				verdict := ct.Consensus()
+				if verdict == "" {
+					verdict = "incomplete"
+				}
+				note := ""
+				if ct.Disagree {
+					note = " DISAGREE"
+				} else if ct.Drift {
+					note = fmt.Sprintf(" DRIFT (expected %s)", ct.Expected)
+				}
+				fmt.Printf("ok   %s: %s%s\n", ct.Name, verdict, note)
+			}
+		}
+		for _, f := range failures {
+			fmt.Println("FAIL", f)
+		}
+		fmt.Println(res.Summary())
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// loadHerdSources collects the .litmus files under dir, named by their
+// path relative to dir, in sorted order.
+func loadHerdSources(dir string) ([]promising.HerdSource, error) {
+	var srcs []promising.HerdSource
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".litmus") {
+			return nil
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			rel = p
+		}
+		srcs = append(srcs, promising.HerdSource{Name: filepath.ToSlash(rel), Src: string(data)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Name < srcs[j].Name })
+	return srcs, nil
+}

@@ -29,27 +29,34 @@ import (
 
 func main() {
 	var (
-		diff     = flag.Bool("diff", false, "differentially test promising vs axiomatic (and flat with -flat)")
-		useFlat  = flag.Bool("flat", false, "include the flat baseline in -diff")
-		random   = flag.Int("random", 0, "also run N seeded random tests per architecture")
-		seed     = flag.Int64("seed", 0, "base seed for random tests")
-		verbose  = flag.Bool("v", false, "print every test, not only failures")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-test budget")
-		backends = flag.String("backends", "promising", "comma-separated backends to run (promising, naive, axiomatic, flat)")
-		jobs     = flag.Int("j", 0, "concurrent (test, backend) cells; 0 = GOMAXPROCS")
-		par      = flag.Int("par", 1, "exploration engine workers per test; 0/-1 = GOMAXPROCS")
-		jsonOut  = flag.Bool("json", false, "emit one JSON report array (the server's TestReport shape) instead of text")
-		replay   = flag.String("replay", "", "re-run every test in this fuzz corpus directory and report regressions")
-		testName = flag.String("test", "", "run only this catalog test")
-		ckptFile = flag.String("checkpoint", "", "checkpoint the exploration of -test to this file once -checkpoint-after states have been explored")
-		ckptN    = flag.Int("checkpoint-after", 100000, "state budget before the -checkpoint snapshot is taken")
-		resume   = flag.String("resume", "", "resume a checkpointed exploration from this snapshot file and run it to a verdict")
-		shards   = flag.Int("shards", 0, "explore each test by frontier sharding N ways (split + merge, in-process); 0 = off")
-		explain  = flag.String("explain", "", "print the minimized, replay-validated witness trace for this outcome of -test (first -backends entry)")
-		peers    = flag.String("peers", "", "comma-separated promised daemon URLs: run each test as a coordinated cluster exploration (POST /v1/cluster) across them instead of in-process; -shards sets the shard count")
-		reduce   = flag.String("reductions", "on", "certified state-space reductions: on, off, symmetry or pruning")
+		diff      = flag.Bool("diff", false, "differentially test promising vs axiomatic (and flat with -flat)")
+		useFlat   = flag.Bool("flat", false, "include the flat baseline in -diff")
+		random    = flag.Int("random", 0, "also run N seeded random tests per architecture")
+		seed      = flag.Int64("seed", 0, "base seed for random tests")
+		verbose   = flag.Bool("v", false, "print every test, not only failures")
+		timeout   = flag.Duration("timeout", 60*time.Second, "per-test budget")
+		backends  = flag.String("backends", "promising", "comma-separated backends to run (promising, naive, axiomatic, flat)")
+		jobs      = flag.Int("j", 0, "concurrent (test, backend) cells; 0 = GOMAXPROCS")
+		par       = flag.Int("par", 1, "exploration engine workers per test; 0/-1 = GOMAXPROCS")
+		jsonOut   = flag.Bool("json", false, "emit one JSON report array (the server's TestReport shape) instead of text")
+		replay    = flag.String("replay", "", "re-run every test in this fuzz corpus directory and report regressions")
+		testName  = flag.String("test", "", "run only this catalog test")
+		ckptFile  = flag.String("checkpoint", "", "checkpoint the exploration of -test to this file once -checkpoint-after states have been explored")
+		ckptN     = flag.Int("checkpoint-after", 100000, "state budget before the -checkpoint snapshot is taken")
+		resume    = flag.String("resume", "", "resume a checkpointed exploration from this snapshot file and run it to a verdict")
+		shards    = flag.Int("shards", 0, "explore each test by frontier sharding N ways (split + merge, in-process); 0 = off")
+		explain   = flag.String("explain", "", "print the minimized, replay-validated witness trace for this outcome of -test (first -backends entry)")
+		peers     = flag.String("peers", "", "comma-separated promised daemon URLs: run each test as a coordinated cluster exploration (POST /v1/cluster) across them instead of in-process; -shards sets the shard count")
+		reduce    = flag.String("reductions", "on", "certified state-space reductions: on, off, symmetry or pruning")
+		importDir = flag.String("import", "", "import the herd .litmus files under this directory (recursive) and run a cross-backend conformance sweep; reads DIR/expected.json verdict pins when present")
 	)
 	flag.Parse()
+	backendsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "backends" {
+			backendsSet = true
+		}
+	})
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "litmus:", err)
 		os.Exit(1)
@@ -77,6 +84,10 @@ func main() {
 		}
 	case *peers != "":
 		if err := runCluster(*peers, *testName, *backends, *shards, *reduce, *timeout, *verbose); err != nil {
+			fail(err)
+		}
+	case *importDir != "":
+		if err := runImport(*importDir, *backends, backendsSet, *timeout, *jobs, *par, *jsonOut, *verbose); err != nil {
 			fail(err)
 		}
 	default:

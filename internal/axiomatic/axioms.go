@@ -17,25 +17,58 @@ type graph [][]int
 
 func newGraph(n int) graph { return make(graph, n) }
 
+// newGraph returns the enumerator's scratch graph with n empty adjacency
+// lists, keeping the list capacities from earlier checks.
+func (e *enumerator) newGraph(n int) graph {
+	if cap(e.gbuf) < n {
+		e.gbuf = make(graph, n)
+	}
+	e.gbuf = e.gbuf[:n]
+	for i := range e.gbuf {
+		e.gbuf[i] = e.gbuf[i][:0]
+	}
+	return e.gbuf
+}
+
 func (g graph) edge(a, b int) { g[a] = append(g[a], b) }
+
+// acyclicScratch holds the DFS state of the cycle check so the innermost
+// axiom loop doesn't allocate it afresh per candidate.
+type acyclicScratch struct {
+	color []byte
+	stack []gframe
+}
+
+type gframe struct {
+	node int
+	next int
+}
 
 // acyclic reports whether the graph has no directed cycle.
 func (g graph) acyclic() bool {
+	var s acyclicScratch
+	return s.acyclic(g)
+}
+
+func (s *acyclicScratch) acyclic(g graph) bool {
 	const (
 		white = 0
 		grey  = 1
 		black = 2
 	)
-	color := make([]byte, len(g))
-	type frame struct {
-		node int
-		next int
+	if cap(s.color) < len(g) {
+		s.color = make([]byte, len(g))
 	}
+	color := s.color[:len(g)]
+	clear(color)
+	stack := s.stack[:0]
+	ok := true
+outer:
 	for start := range g {
 		if color[start] != white {
 			continue
 		}
-		stack := []frame{{node: start}}
+		stack = append(stack, gframe{node: start})
 		color[start] = grey
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
@@ -44,10 +77,11 @@ func (g graph) acyclic() bool {
 				f.next++
 				switch color[n] {
 				case grey:
-					return false
+					ok = false
+					break outer
 				case white:
 					color[n] = grey
-					stack = append(stack, frame{node: n})
+					stack = append(stack, gframe{node: n})
 				}
 				continue
 			}
@@ -55,7 +89,8 @@ func (g graph) acyclic() bool {
 			stack = stack[:len(stack)-1]
 		}
 	}
-	return true
+	s.stack = stack
+	return ok
 }
 
 // coSucc returns the immediate coherence successor of write wid at its
@@ -76,10 +111,14 @@ func (c *cand) coSucc(loc lang.Loc, wid int) int {
 
 // internal checks acyclic(po-loc | fr | co | rf).
 func (e *enumerator) internal(c *cand) bool {
-	g := newGraph(len(c.events))
+	g := e.newGraph(len(c.events))
+	if e.lastLoc == nil {
+		e.lastLoc = map[lang.Loc]int{}
+	}
 	// po-loc cover: consecutive same-location accesses per thread.
 	for _, ids := range c.po {
-		last := map[lang.Loc]int{}
+		last := e.lastLoc
+		clear(last)
 		for _, id := range ids {
 			ev := c.events[id]
 			if !ev.IsR() && !ev.IsW() {
@@ -92,13 +131,13 @@ func (e *enumerator) internal(c *cand) bool {
 		}
 	}
 	e.addCommunication(c, g, true)
-	return g.acyclic()
+	return e.cyc.acyclic(g)
 }
 
 // addCommunication adds rf (optional), co-cover and fr-cover edges.
 func (e *enumerator) addCommunication(c *cand, g graph, withRF bool) {
 	// co cover: consecutive in coherence order per location.
-	for loc, ws := range c.writesOf {
+	for _, loc := range c.locs {
 		prev := c.coSucc(loc, -1)
 		for prev >= 0 {
 			next := c.coSucc(loc, prev)
@@ -107,7 +146,6 @@ func (e *enumerator) addCommunication(c *cand, g graph, withRF bool) {
 			}
 			prev = next
 		}
-		_ = ws
 	}
 	for _, ev := range c.events {
 		if !ev.IsR() {
@@ -168,15 +206,108 @@ func (e *enumerator) atomic(c *cand) bool {
 	return true
 }
 
-// external checks acyclic(ob).
+// external checks acyclic(ob), plus the promise-certification side
+// condition for mismatched exclusive pairs.
 func (e *enumerator) external(c *cand) bool {
-	g := newGraph(len(c.events))
+	g := e.newGraph(len(c.events))
 	e.addOBS(c, g)
 	e.addDOB(c, g)
 	e.addAOB(c, g)
 	e.addBOB(c, g)
-	return g.acyclic()
+	if !e.cyc.acyclic(g) {
+		return false
+	}
+	return e.mismatchedCertifiable(c, g)
 }
+
+// mismatchedCertifiable implements the promise-certification constraint on
+// a successful *mismatched* exclusive pair (load and store exclusive to
+// different locations). In the operational model the store's write enters
+// memory as a promise, and every certification up to the fulfil must
+// replay the pair against the memory existing at that point. At promise
+// time the load exclusive can only read a message to its own location that
+// is already in memory; when none exists it reads the initial memory, and
+// atomic(M, l, tid, 0, tw) (§A.3) then demands that no *foreign* write to
+// the store's location sits anywhere below the promise — timestamp 0 is
+// the initial write of every location, the store's included. So the pair
+// is certifiable iff either (a) some write to the load's location can sit
+// below the store on the global timeline (then certification reads it,
+// and the cross-location case of atomic() is trivially true), or (b) no
+// foreign write to the store's location is co-before the store. A write
+// is excluded from (a) exactly when the candidate's ordering forces it
+// above the store — approximated here as ob-reachability from the store,
+// the same order the view obligations follow. Same-location pairs and
+// primitive RMWs are untouched: their certification read is at the
+// store's own location and the atomic axiom already carries the §A.3
+// window check.
+func (e *enumerator) mismatchedCertifiable(c *cand, g graph) bool {
+	for _, w := range c.events {
+		if !w.IsW() || w.RMW < 0 {
+			continue
+		}
+		r := c.events[w.RMW]
+		if r.Loc == w.Loc {
+			continue
+		}
+		// (b): a foreign write co-before the store exclusive?
+		foreign := false
+		for _, mid := range c.writesOf[w.Loc] {
+			if m := c.events[mid]; m.TID != w.TID && c.co[mid] < c.co[w.ID] {
+				foreign = true
+				break
+			}
+		}
+		if !foreign {
+			continue
+		}
+		// (a): a write to the load's location not forced above the store?
+		if len(c.writesOf[r.Loc]) == 0 {
+			return false
+		}
+		e.reach.from(g, w.ID)
+		for _, mid := range c.writesOf[r.Loc] {
+			if !e.reach.seen(mid) {
+				foreign = false // certification can read mid
+				break
+			}
+		}
+		if foreign {
+			return false
+		}
+	}
+	return true
+}
+
+// reachScratch holds the BFS state of ob-reachability queries (only taken
+// on the rare mismatched-exclusive-pair path).
+type reachScratch struct {
+	mark  []bool
+	queue []int
+}
+
+// from (re)computes the set of nodes reachable from src in g, inclusive.
+func (s *reachScratch) from(g graph, src int) {
+	if cap(s.mark) < len(g) {
+		s.mark = make([]bool, len(g))
+	}
+	s.mark = s.mark[:len(g)]
+	clear(s.mark)
+	s.queue = s.queue[:0]
+	s.mark[src] = true
+	s.queue = append(s.queue, src)
+	for len(s.queue) > 0 {
+		n := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		for _, m := range g[n] {
+			if !s.mark[m] {
+				s.mark[m] = true
+				s.queue = append(s.queue, m)
+			}
+		}
+	}
+}
+
+func (s *reachScratch) seen(n int) bool { return s.mark[n] }
 
 // addOBS adds obs = rfe | fr | co (Fig. 6 uses full fr and co; the internal
 // axiom makes this equivalent to the fre/coe formulation).
@@ -192,7 +323,7 @@ func (e *enumerator) addOBS(c *cand, g graph) {
 			g.edge(ev.ID, s) // fr cover
 		}
 	}
-	for loc := range c.writesOf {
+	for _, loc := range c.locs {
 		prev := c.coSucc(loc, -1)
 		for prev >= 0 {
 			next := c.coSucc(loc, prev)
@@ -207,8 +338,14 @@ func (e *enumerator) addOBS(c *cand, g graph) {
 // addDOB adds dob = addr | data | (addr|data);rfi
 // | (ctrl|(addr;po));[W] | (ctrl|(addr;po));[isb];po;[R].
 func (e *enumerator) addDOB(c *cand, g graph) {
-	// rfi targets per write.
-	rfi := map[int][]int{}
+	// rfi targets per write, indexed by event ID.
+	if cap(e.rfibuf) < len(c.events) {
+		e.rfibuf = make([][]int, len(c.events))
+	}
+	rfi := e.rfibuf[:len(c.events)]
+	for i := range rfi {
+		rfi[i] = rfi[i][:0]
+	}
 	for _, ev := range c.events {
 		if ev.IsR() {
 			if w := c.rf[ev.ID]; w >= 0 && c.events[w].TID == ev.TID {

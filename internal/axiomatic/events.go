@@ -105,4 +105,35 @@ type Trace struct {
 	Regs   []lang.Val
 	// BoundExceeded marks traces that ran past the loop bound.
 	BoundExceeded bool
+
+	// Reads and Writes summarize the trace's memory accesses as
+	// location/value pairs. The joint enumeration prunes a pick when some
+	// read value is neither initial nor produced by any picked write —
+	// checking that on the summaries skips candidate assembly for the
+	// (vastly more numerous) infeasible picks.
+	Reads, Writes []LocVal
+
+	// ReadIDs and WriteIDs are the same summaries as dense pair indices
+	// (assigned by run() once per exploration; reads of the initial value
+	// are dropped since they are always feasible), so the feasibility
+	// check is plain array arithmetic instead of map hashing.
+	ReadIDs, WriteIDs []int32
+}
+
+// LocVal is a location/value pair, the feasibility-summary currency.
+type LocVal struct {
+	Loc lang.Loc
+	Val lang.Val
+}
+
+// summarize fills in the Reads/Writes feasibility summaries.
+func (t *Trace) summarize() {
+	for _, ev := range t.Events {
+		switch {
+		case ev.IsR():
+			t.Reads = append(t.Reads, LocVal{ev.Loc, ev.Val})
+		case ev.IsW():
+			t.Writes = append(t.Writes, LocVal{ev.Loc, ev.Val})
+		}
+	}
 }

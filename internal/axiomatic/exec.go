@@ -67,6 +67,33 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	}
 	mem := core.NewMemory(cp.Init)
 
+	// Assign dense IDs to the (loc, val) pairs of the trace summaries and
+	// drop always-feasible initial-value reads, turning the per-pick
+	// feasibility check into counter-array arithmetic.
+	pairID := map[LocVal]int32{}
+	intern := func(lv LocVal) int32 {
+		id, ok := pairID[lv]
+		if !ok {
+			id = int32(len(pairID))
+			pairID[lv] = id
+		}
+		return id
+	}
+	for _, ths := range traces {
+		for _, tr := range ths {
+			for _, w := range tr.Writes {
+				tr.WriteIDs = append(tr.WriteIDs, intern(w))
+			}
+			for _, r := range tr.Reads {
+				if r.Val == mem.InitVal(r.Loc) {
+					continue
+				}
+				tr.ReadIDs = append(tr.ReadIDs, intern(r))
+			}
+		}
+	}
+	npairs := len(pairID)
+
 	boundExceeded := false
 	var prefixes [][]int32
 	visited := 0
@@ -102,11 +129,18 @@ func run(cp *lang.CompiledProgram, spec *explore.ObsSpec, opts explore.Options, 
 	}
 
 	eng := explore.Engine[[]int32]{Process: func(prefix []int32, c *explore.Ctx[[]int32]) {
-		picked := make([]*Trace, len(prefix))
+		e := &enumerator{cp: cp, spec: spec, opts: &opts, res: c.Res, ctx: c, mem: mem,
+			wcnt: make([]int32, npairs)}
+		// Full capacity up front: joint()'s append then extends in place
+		// (the recursion is sequential, so levels never alias), instead of
+		// reallocating the pick slice once per level per branch.
+		picked := make([]*Trace, len(prefix), len(traces))
 		for i, ti := range prefix {
 			picked[i] = traces[i][ti]
+			for _, w := range picked[i].WriteIDs {
+				e.wcnt[w]++
+			}
 		}
-		e := &enumerator{cp: cp, spec: spec, opts: &opts, res: c.Res, ctx: c, mem: mem}
 		e.joint(traces, picked)
 	}}
 	endSpan := opts.Trace.Span("explore")
@@ -172,6 +206,42 @@ type enumerator struct {
 	res  *explore.Result
 	ctx  *explore.Ctx[[]int32]
 	mem  *core.Memory // for initial values only
+
+	// Worker-local scratch, reused across every candidate of this
+	// worker's subtree. Candidate assembly and axiom checking run
+	// sequentially within a subtree and nothing retains candidate state
+	// past check(), so events, index maps, dependency slices and axiom
+	// graphs are rebuilt in place instead of reallocated per candidate —
+	// RMW-heavy programs multiply the candidate count enough that the
+	// per-candidate allocations dominated whole fuzz campaigns.
+	scratch cand
+	evbuf   []Event
+	arena   []int
+	gbuf    graph
+	cyc     acyclicScratch
+	reach   reachScratch
+	lastLoc map[lang.Loc]int
+	rfibuf  [][]int
+	// wcnt counts, per dense (loc, val) pair ID, how many writes of the
+	// partial pick produce that pair; joint() maintains it incrementally
+	// as it descends and backtracks.
+	wcnt []int32
+}
+
+// feasible reports whether every read value of the pick is the initial
+// value or produced by some picked write — the same pruning condition
+// enumRF applies per read, but computed on the per-trace summaries before
+// any candidate assembly happens. (Initial-value reads are already
+// dropped from ReadIDs.)
+func (e *enumerator) feasible(picked []*Trace) bool {
+	for _, tr := range picked {
+		for _, r := range tr.ReadIDs {
+			if e.wcnt[r] == 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // joint picks one trace per thread, then checks the candidate.
@@ -180,7 +250,9 @@ func (e *enumerator) joint(traces [][]*Trace, picked []*Trace) {
 		return
 	}
 	if len(picked) == len(traces) {
-		e.candidate(picked)
+		if e.feasible(picked) {
+			e.candidate(picked)
+		}
 		return
 	}
 	for _, tr := range traces[len(picked)] {
@@ -188,7 +260,13 @@ func (e *enumerator) joint(traces [][]*Trace, picked []*Trace) {
 			e.res.BoundExceeded = true
 			continue
 		}
+		for _, w := range tr.WriteIDs {
+			e.wcnt[w]++
+		}
 		e.joint(traces, append(picked, tr))
+		for _, w := range tr.WriteIDs {
+			e.wcnt[w]--
+		}
 	}
 }
 
@@ -196,9 +274,9 @@ func (e *enumerator) joint(traces [][]*Trace, picked []*Trace) {
 type cand struct {
 	events []*Event // globally renumbered copies
 	po     [][]int  // per thread, event IDs in program order
-	// reads and writes per location.
-	readsOf  map[lang.Loc][]int
+	// writes per location, and the written locations in sorted order.
 	writesOf map[lang.Loc][]int
+	locs     []lang.Loc
 	// rf maps read ID to write ID (-1 = initial write).
 	rf []int
 	// co maps write ID to its coherence position within its location
@@ -210,50 +288,90 @@ func (e *enumerator) candidate(picked []*Trace) {
 	if !e.ctx.Alive() {
 		return
 	}
-	c := &cand{
-		readsOf:  map[lang.Loc][]int{},
-		writesOf: map[lang.Loc][]int{},
+	c := &e.scratch
+	if c.writesOf == nil {
+		c.writesOf = map[lang.Loc][]int{}
 	}
-	// Renumber events globally (copying, since traces are shared across
-	// candidates).
+	// Truncate rather than delete: the written locations are the same for
+	// every candidate of one program, and empty leftovers are skipped when
+	// c.locs is rebuilt below.
+	for l, ws := range c.writesOf {
+		c.writesOf[l] = ws[:0]
+	}
+	n := 0
 	for _, tr := range picked {
+		n += len(tr.Events)
+	}
+	if cap(e.evbuf) < n {
+		e.evbuf = make([]Event, n)
+	}
+	e.evbuf = e.evbuf[:n]
+	e.arena = e.arena[:0]
+	c.events = c.events[:0]
+	if cap(c.po) < len(picked) {
+		po := make([][]int, len(picked))
+		copy(po, c.po)
+		c.po = po
+	}
+	c.po = c.po[:len(picked)]
+	// Renumber events globally (copying into the scratch buffer, since
+	// traces are shared across candidates).
+	for tid, tr := range picked {
 		off := len(c.events)
-		var ids []int
+		ids := c.po[tid][:0]
 		for _, ev := range tr.Events {
-			cp := *ev
+			cp := &e.evbuf[len(c.events)]
+			*cp = *ev
 			cp.ID = ev.ID + off
-			cp.AddrDep = offsetAll(ev.AddrDep, off)
-			cp.DataDep = offsetAll(ev.DataDep, off)
-			cp.CtrlDep = offsetAll(ev.CtrlDep, off)
-			cp.AddrPO = offsetAll(ev.AddrPO, off)
+			cp.AddrDep = e.offsetInto(ev.AddrDep, off)
+			cp.DataDep = e.offsetInto(ev.DataDep, off)
+			cp.CtrlDep = e.offsetInto(ev.CtrlDep, off)
+			cp.AddrPO = e.offsetInto(ev.AddrPO, off)
 			if ev.RMW >= 0 {
 				cp.RMW = ev.RMW + off
 			}
-			c.events = append(c.events, &cp)
+			c.events = append(c.events, cp)
 			ids = append(ids, cp.ID)
-			switch {
-			case cp.IsR():
-				c.readsOf[cp.Loc] = append(c.readsOf[cp.Loc], cp.ID)
-			case cp.IsW():
+			if cp.IsW() {
 				c.writesOf[cp.Loc] = append(c.writesOf[cp.Loc], cp.ID)
 			}
 		}
-		c.po = append(c.po, ids)
+		c.po[tid] = ids
 	}
-	c.rf = make([]int, len(c.events))
-	c.co = make([]int, len(c.events))
+	c.locs = c.locs[:0]
+	for l, ws := range c.writesOf {
+		if len(ws) > 0 {
+			c.locs = append(c.locs, l)
+		}
+	}
+	for i := 1; i < len(c.locs); i++ {
+		for j := i; j > 0 && c.locs[j] < c.locs[j-1]; j-- {
+			c.locs[j], c.locs[j-1] = c.locs[j-1], c.locs[j]
+		}
+	}
+	if cap(c.rf) < n {
+		c.rf = make([]int, n)
+		c.co = make([]int, n)
+	}
+	c.rf = c.rf[:n]
+	c.co = c.co[:n]
 	e.enumRF(c, picked, 0)
 }
 
-func offsetAll(ids []int, off int) []int {
+// offsetInto renumbers a thread-local dependency list by off, carving the
+// copy out of the enumerator's arena so dependency slices don't churn the
+// allocator once per event per candidate. Slices taken before an arena
+// growth stay valid (they keep the old backing array), and the cap limit
+// keeps later appends from aliasing them.
+func (e *enumerator) offsetInto(ids []int, off int) []int {
 	if len(ids) == 0 {
 		return nil
 	}
-	out := make([]int, len(ids))
-	for i, id := range ids {
-		out[i] = id + off
+	start := len(e.arena)
+	for _, id := range ids {
+		e.arena = append(e.arena, id+off)
 	}
-	return out
+	return e.arena[start:len(e.arena):len(e.arena)]
 }
 
 // enumRF assigns a source write (or the initial write, -1) to each read.
@@ -294,12 +412,11 @@ func (e *enumerator) enumCO(c *cand, picked []*Trace, li int) {
 	if !e.ctx.Alive() {
 		return
 	}
-	locs := sortedLocs(c.writesOf)
-	if li == len(locs) {
+	if li == len(c.locs) {
 		e.check(c, picked)
 		return
 	}
-	ws := c.writesOf[locs[li]]
+	ws := c.writesOf[c.locs[li]]
 	perm(ws, func(order []int) {
 		for pos, wid := range order {
 			c.co[wid] = pos
@@ -377,19 +494,6 @@ func (e *enumerator) finalVal(c *cand, l lang.Loc) lang.Val {
 		return e.mem.InitVal(l)
 	}
 	return c.events[best].Val
-}
-
-func sortedLocs(m map[lang.Loc][]int) []lang.Loc {
-	out := make([]lang.Loc, 0, len(m))
-	for l := range m {
-		out = append(out, l)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }
 
 // perm enumerates permutations of ids in place (Heap's algorithm).

@@ -160,6 +160,9 @@ func (t *tracer) step(s *traceState) {
 		case lang.NStore:
 			t.store(s, n)
 			return
+		case lang.NRMW:
+			t.rmw(s, n)
+			return
 		default:
 			panic(fmt.Sprintf("axiomatic: unknown node kind %d", n.Kind))
 		}
@@ -274,6 +277,84 @@ func (t *tracer) store(s *traceState, n *lang.Node) {
 	}
 }
 
+// rmwResult computes an rmw's written value and whether it writes at all
+// (a cas writes only when the old value matches the expected one).
+func rmwResult(n *lang.Node, old, d, exp lang.Val) (nv lang.Val, writes bool) {
+	switch {
+	case n.Exp != nil:
+		return d, old == exp
+	case n.Op != lang.RMWSwap:
+		return n.Op.Apply(old, d), true
+	}
+	return d, true
+}
+
+// rmw emits the read event of a single-instruction rmw (LSE atomic) and,
+// unless a cas fails its comparison, the paired write event, one trace per
+// candidate old value. The write's RMW field points at the read, feeding
+// the atomic axiom, aob and the RISC-V rmw edge of bob exactly as a
+// successful exclusive pair does. Its data dependencies follow the
+// operational data-view rules: a swap's written value depends only on its
+// operand, a fetch-op's also on the read, a cas's on operand, expected and
+// read.
+func (t *tracer) rmw(s *traceState, n *lang.Node) {
+	l, at := t.eval(s, n.Addr)
+	d, dt := t.eval(s, n.Data)
+	var exp lang.Val
+	var et taint
+	if n.Exp != nil {
+		exp, et = t.eval(s, n.Exp)
+	}
+	if !t.shared(l) {
+		// Thread-private location: a register-level read-modify-write.
+		old := regState{val: t.init(l)}
+		if s.local != nil {
+			if v, ok := s.local[l]; ok {
+				old = v
+			}
+		}
+		s.regs[n.Dst] = regState{val: old.val, tnt: old.tnt.union(at)}
+		if nv, writes := rmwResult(n, old.val, d, exp); writes {
+			if s.local == nil {
+				s.local = make(map[lang.Loc]regState)
+			}
+			s.local[l] = regState{val: nv, tnt: at.union(dt).union(et).union(old.tnt)}
+		}
+		s.addrPO = s.addrPO.union(at)
+		t.step(s)
+		return
+	}
+	vals := []lang.Val{t.init(l)}
+	doms := make([]lang.Val, 0, len(t.dom[l]))
+	for v := range t.dom[l] {
+		if v != t.init(l) {
+			doms = append(doms, v)
+		}
+	}
+	sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
+	vals = append(vals, doms...)
+	for _, v := range vals {
+		c := s.clone()
+		ev := t.pushEvent(c, &Event{Kind: EvRead, Loc: l, Val: v, RK: n.RK, Xcl: true, RMW: -1})
+		ev.AddrDep = at.clone()
+		c.regs[n.Dst] = regState{val: v, tnt: taint{ev.ID}}
+		c.addrPO = c.addrPO.union(at)
+		if nv, writes := rmwResult(n, v, d, exp); writes {
+			w := t.pushEvent(c, &Event{Kind: EvWrite, Loc: l, Val: nv, WK: n.WK, Xcl: true, RMW: ev.ID})
+			w.AddrDep = at.clone()
+			ddep := dt.clone()
+			switch {
+			case n.Exp != nil:
+				ddep = ddep.union(et).add(ev.ID)
+			case n.Op != lang.RMWSwap:
+				ddep = ddep.add(ev.ID)
+			}
+			w.DataDep = ddep
+		}
+		t.step(c)
+	}
+}
+
 // enumerateTraces runs the write-value-domain fixpoint and returns the
 // trace sets of all threads. truncated reports that a cap was hit.
 //
@@ -318,6 +399,11 @@ func enumerateTraces(cp *lang.CompiledProgram, maxTraces int) (traces [][]*Trace
 		}
 		if !grew {
 			break
+		}
+	}
+	for _, ths := range traces {
+		for _, tr := range ths {
+			tr.summarize()
 		}
 	}
 	return traces, truncated

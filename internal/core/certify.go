@@ -547,6 +547,36 @@ func (c *certifier) search(th *Thread, mem *Memory, hmem Handle, plane bool) cer
 			ApplyXclFail(c.env, child, id)
 			c.merge(&res, c.search(child, mem, hmem, plane), nil, 0, plane)
 		}
+	case lang.NRMW:
+		for _, rc := range ReadChoices(c.env, th, id, mem) {
+			// A CAS whose comparison fails is a read-only step.
+			if _, writes := RMWWriteVal(th.TS, n, rc.Val); !writes {
+				child := th.Clone()
+				ApplyRMWNoWrite(c.env, child, id, mem, rc.TS)
+				c.merge(&res, c.search(child, mem, hmem, plane), nil, 0, plane)
+				continue
+			}
+			// Fulfil an outstanding promise.
+			for _, tw := range RMWFulfilChoices(c.env, th, id, mem, rc.TS) {
+				child := th.Clone()
+				ApplyRMW(c.env, child, id, mem, rc.TS, tw)
+				c.merge(&res, c.search(child, mem, hmem, plane), nil, 0, plane)
+			}
+			// Perform the write as a fresh (normal) write.
+			child := th.Clone()
+			childMem := mem.Clone()
+			if t, preCoh, ok := RMWNormalWrite(c.env, child, id, childMem, rc.TS); ok {
+				w := childMem.At(t)
+				var hchild Handle
+				if c.deep {
+					buf := GetEncBuf()
+					buf = EncodeMemory(buf, childMem, 0)
+					hchild, _ = c.cc.in.Intern(buf)
+					PutEncBuf(buf)
+				}
+				c.merge(&res, c.search(child, childMem, hchild, false), &w, preCoh, plane)
+			}
+		}
 	default:
 		panic("core: Advance stopped on a non-memory node")
 	}

@@ -6,9 +6,14 @@ package core
 // snapshots (explore.Snapshot). A persisted verdict or checkpoint is only
 // valid for the semantics that computed it, so bump this whenever any
 // backend's outcome sets can change. Epoch 2 is the state after the
-// mismatched-exclusive and failed-store-exclusive axiomatic fixes.
+// mismatched-exclusive and failed-store-exclusive axiomatic fixes; epoch 3
+// adds LSE atomics (single-instruction rmw steps change the flat machine's
+// snapshot key format and the label vocabulary); epoch 4 adds the
+// axiomatic promise-certification side condition for mismatched exclusive
+// pairs (fuzz-found: the old model admitted executions the operational
+// model cannot certify).
 //
 // The constant lives here, at the bottom of the dependency tree, so both
 // internal/backends (which re-exports it for the caches) and
 // internal/explore (which stamps it into snapshots) read one source.
-const SemanticsEpoch = "2"
+const SemanticsEpoch = "4"

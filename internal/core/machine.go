@@ -176,6 +176,22 @@ func (m *Machine) ThreadSuccessorsCached(tid int, certify bool, cc *CertCache) [
 				Advance(env, nth)
 				keep(nth, m.Mem, lab)
 			}
+		case lang.NRMW:
+			for _, rc := range ReadChoices(env, th, id, m.Mem) {
+				if _, writes := RMWWriteVal(th.TS, n, rc.Val); !writes {
+					nth := th.Clone()
+					lab := ApplyRMWNoWrite(env, nth, id, m.Mem, rc.TS)
+					Advance(env, nth)
+					keep(nth, m.Mem, lab)
+					continue
+				}
+				for _, tw := range RMWFulfilChoices(env, th, id, m.Mem, rc.TS) {
+					nth := th.Clone()
+					lab := ApplyRMW(env, nth, id, m.Mem, rc.TS, tw)
+					Advance(env, nth)
+					keep(nth, m.Mem, lab)
+				}
+			}
 		default:
 			panic("core: machine thread stopped on a non-memory node")
 		}

@@ -18,6 +18,11 @@ const (
 	StepXclFail
 	StepPromise
 	StepFinish // thread ran to completion (no visible memory step)
+	// StepRMW is a single-instruction atomic read-modify-write: one visible
+	// step combining a read (Val/TS) with the fulfilment of a promised
+	// write (Val2/TS2; TS2 = 0 marks a CAS whose comparison failed and
+	// performed no write).
+	StepRMW
 )
 
 // Label describes one visible transition, for witness traces.
@@ -27,6 +32,10 @@ type Label struct {
 	Loc  lang.Loc
 	Val  lang.Val
 	TS   Time // read: timestamp read from; fulfil/promise: write timestamp
+	// Val2/TS2 are the written value and timestamp of an RMW step
+	// (TS2 = 0: the RMW read but did not write).
+	Val2 lang.Val
+	TS2  Time
 }
 
 // String renders the label in the paper's style.
@@ -42,6 +51,11 @@ func (l Label) String() string {
 		return fmt.Sprintf("T%d: promise <%d:=%d> @%d", l.TID, l.Loc, l.Val, l.TS)
 	case StepFinish:
 		return fmt.Sprintf("T%d: finished", l.TID)
+	case StepRMW:
+		if l.TS2 == 0 {
+			return fmt.Sprintf("T%d: rmw read [%d]=%d @%d (no write)", l.TID, l.Loc, l.Val, l.TS)
+		}
+		return fmt.Sprintf("T%d: rmw read [%d]=%d @%d, fulfil <%d:=%d> @%d", l.TID, l.Loc, l.Val, l.TS, l.Loc, l.Val2, l.TS2)
 	default:
 		return fmt.Sprintf("T%d: step(%d)", l.TID, int(l.Kind))
 	}
@@ -119,6 +133,13 @@ func Advance(env *Env, th *Thread) int32 {
 				return id
 			}
 			localStore(ts, n, l)
+		case lang.NRMW:
+			l, _ := ts.Eval(n.Addr)
+			if env.Shared(l) {
+				th.push(id)
+				return id
+			}
+			localRMW(ts, n, l)
 		default:
 			panic(fmt.Sprintf("core: unknown node kind %d", n.Kind))
 		}
@@ -145,6 +166,24 @@ func localStore(ts *TState, n *lang.Node, l lang.Loc) {
 	_, vaddr := ts.Eval(n.Addr)
 	v, vdata := ts.Eval(n.Data)
 	ts.setLocal(l, RegVal{Val: v, View: Join(vaddr, vdata)})
+	ts.VCAP = Join(ts.VCAP, vaddr)
+}
+
+// localRMW executes an RMW on a thread-private location as a register
+// read-modify-write (single-thread access: atomicity is trivial).
+func localRMW(ts *TState, n *lang.Node, l lang.Loc) {
+	_, vaddr := ts.Eval(n.Addr)
+	_, vdata := ts.Eval(n.Data)
+	old := RegVal{}
+	if v, ok := ts.Local.Get(l); ok {
+		old = v
+	}
+	nv, writes := RMWWriteVal(ts, n, old.Val)
+	post := Join(old.View, vaddr)
+	ts.Regs[n.Dst] = RegVal{Val: old.Val, View: post}
+	if writes {
+		ts.setLocal(l, RegVal{Val: nv, View: Join(Join(vaddr, vdata), post)})
+	}
 	ts.VCAP = Join(ts.VCAP, vaddr)
 }
 
@@ -349,5 +388,202 @@ func NormalWrite(env *Env, th *Thread, id int32, mem *Memory) (t Time, preCoh Vi
 	mem.Append(Msg{Loc: l, Val: v, TID: env.TID})
 	ts.Prom = ts.Prom.Add(t)
 	ApplyFulfil(env, th, id, mem, t)
+	return t, preCoh, true
+}
+
+// Atomic read-modify-writes (ARMv8.1 LSE / RISC-V AMO).
+//
+// An RMW instruction is one visible step combining the read rule with the
+// fulfilment of a promised write (or, in certification, a fresh write):
+// the read satisfies exactly like a load of kind RK (including forwarding,
+// via readView), the write exactly like a store of kind WK, and the §A.3
+// exclusivity check Atomic(l, tid, tr, tw) guarantees single-copy
+// atomicity — no other thread's write to l between the read and the
+// write. A CAS whose comparison fails performs the read only.
+//
+// The write's data view depends on the operation: a fetch-op's written
+// value is computed from the value read, so its data view includes the
+// read's post view; a swap's written value is just the operand; a CAS
+// write is conditional on the comparison, so its data view includes both
+// the comparison operand and the read's post view. The read's post view
+// also joins the write's pre-view directly (the write is ordered after
+// its own read), which the fulfil condition would force anyway through
+// the post-read coherence view.
+//
+// The forward-bank entry of an RMW write is marked exclusive, so
+// forwarding out of it is restricted exactly like a store-exclusive
+// (ρ13 / the axiomatic aob edge [range(rmw)];rfi).
+
+// RMWWriteVal computes the value the pending RMW at node n would write
+// after reading old, and whether it writes at all (a CAS whose comparison
+// fails performs no write). Operands are evaluated against the pre-step
+// register file.
+func RMWWriteVal(ts *TState, n *lang.Node, old lang.Val) (nv lang.Val, writes bool) {
+	d, _ := ts.Eval(n.Data)
+	if n.Op == lang.RMWCas {
+		e, _ := ts.Eval(n.Exp)
+		return d, old == e
+	}
+	return n.Op.Apply(old, d), true
+}
+
+// rmwDataView is the data view of an RMW write: the operand views plus,
+// for value- or comparison-dependent writes, the read's post view.
+func rmwDataView(ts *TState, n *lang.Node, postR View) View {
+	_, vd := ts.Eval(n.Data)
+	switch n.Op {
+	case lang.RMWSwap:
+		return vd
+	case lang.RMWCas:
+		_, vexp := ts.Eval(n.Exp)
+		return Join(Join(vd, vexp), postR)
+	default:
+		return Join(vd, postR)
+	}
+}
+
+// rmwWritePre is the write half's pre-view (r21/r23 over the post-read
+// state, assembled from pre-read views plus the read's post view, which
+// subsumes every component the read half would have joined).
+func rmwWritePre(ts *TState, n *lang.Node, vaddr, postR View) View {
+	pre := Join(Join(vaddr, rmwDataView(ts, n, postR)), Join(ts.VWNew, ts.VCAP))
+	if n.WK.AtLeast(lang.WriteWeakRel) {
+		pre = Join(pre, Join(ts.VROld, ts.VWOld))
+	}
+	return Join(pre, postR)
+}
+
+// CanRMW reports whether the pending RMW at node id, reading timestamp
+// tr, can fulfil the promise at tw (rule read + rule fulfil fused, with
+// the §A.3 atomicity check), without mutating.
+func CanRMW(env *Env, th *Thread, id int32, mem *Memory, tr, tw Time) bool {
+	ts := th.TS
+	n := &env.Code.Nodes[id]
+	if !ts.Prom.Has(tw) {
+		return false
+	}
+	l, va, preR := loadPreView(ts, n)
+	old, ok := mem.Read(l, tr)
+	if !ok {
+		return false
+	}
+	nv, writes := RMWWriteVal(ts, n, old)
+	if !writes {
+		return false
+	}
+	msg := mem.At(tw)
+	if msg.Loc != l || msg.Val != nv || msg.TID != env.TID {
+		return false
+	}
+	if !mem.Atomic(l, env.TID, tr, tw) {
+		return false
+	}
+	postR := Join(preR, readView(env.Arch, n.RK, ts.Fwd(l), tr))
+	return Join(rmwWritePre(ts, n, va, postR), ts.CohView(l)) < tw
+}
+
+// RMWFulfilChoices lists the outstanding promises the pending RMW at node
+// id can fulfil after reading timestamp tr.
+func RMWFulfilChoices(env *Env, th *Thread, id int32, mem *Memory, tr Time) []Time {
+	var out []Time
+	for _, t := range th.TS.Prom {
+		if CanRMW(env, th, id, mem, tr, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ApplyRMW executes the pending RMW at node id reading timestamp tr and
+// fulfilling the promise at tw, mutating the thread (a private copy). The
+// caller must have checked CanRMW.
+func ApplyRMW(env *Env, th *Thread, id int32, mem *Memory, tr, tw Time) Label {
+	ts := th.TS
+	n := &env.Code.Nodes[id]
+	l, va, preR := loadPreView(ts, n)
+	old, ok := mem.Read(l, tr)
+	if !ok {
+		panic("core: ApplyRMW with invalid read timestamp")
+	}
+	nv, writes := RMWWriteVal(ts, n, old)
+	if !writes {
+		panic("core: ApplyRMW on a non-writing RMW")
+	}
+	postR := Join(preR, readView(env.Arch, n.RK, ts.Fwd(l), tr))
+	vdata := rmwDataView(ts, n, postR) // before the read clobbers Dst
+	// Read half (rule read).
+	ts.Regs[n.Dst] = RegVal{Val: old, View: postR}
+	ts.setCoh(l, Join(ts.CohView(l), postR))
+	ts.VROld = Join(ts.VROld, postR)
+	if n.RK.AtLeast(lang.ReadWeakAcq) {
+		ts.VRNew = Join(ts.VRNew, postR)
+		ts.VWNew = Join(ts.VWNew, postR)
+	}
+	ts.VCAP = Join(ts.VCAP, va)
+	// Write half (rule fulfil).
+	ts.Prom = ts.Prom.Remove(tw)
+	ts.setCoh(l, Join(ts.CohView(l), tw))
+	ts.VWOld = Join(ts.VWOld, tw)
+	if n.WK.AtLeast(lang.WriteRel) {
+		ts.VRel = Join(ts.VRel, tw)
+	}
+	ts.setFwd(l, FwdItem{Time: tw, View: Join(va, vdata), Xcl: true})
+	th.pop()
+	return Label{Kind: StepRMW, TID: env.TID, Loc: l, Val: old, TS: tr, Val2: nv, TS2: tw}
+}
+
+// ApplyRMWNoWrite executes the read-only step of an RMW whose comparison
+// failed (a CAS reading a value different from its comparison operand):
+// exactly the read half, with no write, mutating the thread.
+func ApplyRMWNoWrite(env *Env, th *Thread, id int32, mem *Memory, tr Time) Label {
+	ts := th.TS
+	n := &env.Code.Nodes[id]
+	l, va, preR := loadPreView(ts, n)
+	old, ok := mem.Read(l, tr)
+	if !ok {
+		panic("core: ApplyRMWNoWrite with invalid timestamp")
+	}
+	if _, writes := RMWWriteVal(ts, n, old); writes {
+		panic("core: ApplyRMWNoWrite on a writing RMW")
+	}
+	postR := Join(preR, readView(env.Arch, n.RK, ts.Fwd(l), tr))
+	ts.Regs[n.Dst] = RegVal{Val: old, View: postR}
+	ts.setCoh(l, Join(ts.CohView(l), postR))
+	ts.VROld = Join(ts.VROld, postR)
+	if n.RK.AtLeast(lang.ReadWeakAcq) {
+		ts.VRNew = Join(ts.VRNew, postR)
+		ts.VWNew = Join(ts.VWNew, postR)
+	}
+	ts.VCAP = Join(ts.VCAP, va)
+	th.pop()
+	return Label{Kind: StepRMW, TID: env.TID, Loc: l, Val: old, TS: tr}
+}
+
+// RMWNormalWrite performs the pending RMW at node id reading timestamp tr
+// with the write as a fresh write — a promise immediately followed by its
+// fulfilment — for the certification search (the analogue of NormalWrite).
+// preCoh is the write's pre-view ⊔ coherence bound at the moment of the
+// write, for the §B candidate filter.
+func RMWNormalWrite(env *Env, th *Thread, id int32, mem *Memory, tr Time) (t Time, preCoh View, ok bool) {
+	ts := th.TS
+	n := &env.Code.Nodes[id]
+	l, va, preR := loadPreView(ts, n)
+	old, okr := mem.Read(l, tr)
+	if !okr {
+		return 0, 0, false
+	}
+	nv, writes := RMWWriteVal(ts, n, old)
+	if !writes {
+		return 0, 0, false
+	}
+	t = mem.Len() + 1
+	if !mem.Atomic(l, env.TID, tr, t) {
+		return 0, 0, false
+	}
+	postR := Join(preR, readView(env.Arch, n.RK, ts.Fwd(l), tr))
+	preCoh = Join(rmwWritePre(ts, n, va, postR), ts.CohView(l))
+	mem.Append(Msg{Loc: l, Val: nv, TID: env.TID})
+	ts.Prom = ts.Prom.Add(t)
+	ApplyRMW(env, th, id, mem, tr, t)
 	return t, preCoh, true
 }

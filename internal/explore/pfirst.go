@@ -502,6 +502,22 @@ func (c *completer) search(th *core.Thread) []threadFinal {
 			lab := core.ApplyXclFail(c.env, child, id)
 			emit(child, lab)
 		}
+	case lang.NRMW:
+		for _, rc := range core.ReadChoices(c.env, th, id, c.mem) {
+			if _, writes := core.RMWWriteVal(th.TS, n, rc.Val); !writes {
+				child := th.Clone()
+				lab := core.ApplyRMWNoWrite(c.env, child, id, c.mem, rc.TS)
+				emit(child, lab)
+				continue
+			}
+			// Phase 2 adds no fresh writes: the rmw's write must already be
+			// promised, exactly like a store's fulfilment.
+			for _, tw := range core.RMWFulfilChoices(c.env, th, id, c.mem, rc.TS) {
+				child := th.Clone()
+				lab := core.ApplyRMW(c.env, child, id, c.mem, rc.TS, tw)
+				emit(child, lab)
+			}
+		}
 	default:
 		panic("explore: thread stopped on a non-memory node")
 	}

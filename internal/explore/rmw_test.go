@@ -1,0 +1,131 @@
+package explore
+
+import (
+	"testing"
+
+	"promising/internal/lang"
+)
+
+// rmwAddProgram: two threads each ldadd 1 to x. Single-copy atomicity
+// forces the increments to serialize: the register pair must be a
+// permutation of {0, 1} and the final value of x must be 2.
+func rmwAddProgram(t *testing.T, rk lang.ReadKind, wk lang.WriteKind) *lang.CompiledProgram {
+	t.Helper()
+	const x = lang.Loc(8)
+	p := &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.RMW{Dst: 0, Addr: lang.C(x), Data: lang.C(1), Op: lang.RMWAdd, RK: rk, WK: wk},
+			lang.RMW{Dst: 0, Addr: lang.C(x), Data: lang.C(1), Op: lang.RMWAdd, RK: rk, WK: wk},
+		},
+	}
+	cp, err := lang.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func rmwSpec() *ObsSpec {
+	return &ObsSpec{
+		Regs: []RegObs{
+			{TID: 0, Reg: 0, Name: "0:r0"},
+			{TID: 1, Reg: 0, Name: "1:r0"},
+		},
+		Locs: []lang.Loc{8},
+	}
+}
+
+func TestRMWAddAtomic(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		rk   lang.ReadKind
+		wk   lang.WriteKind
+	}{
+		{"plain", lang.ReadPlain, lang.WritePlain},
+		{"acq-rel", lang.ReadAcq, lang.WriteRel},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			cp := rmwAddProgram(t, mode.rk, mode.wk)
+			spec := rmwSpec()
+			pf := PromiseFirst(cp, spec, DefaultOptions())
+			nv := Naive(cp, spec, DefaultOptions())
+			if !SameOutcomes(pf, nv) {
+				t.Fatalf("explorers disagree:\npf: %v\nnaive: %v", pf.Outcomes, nv.Outcomes)
+			}
+			if len(nv.Outcomes) != 2 {
+				t.Fatalf("want the 2 serialization orders, got %d: %v", len(nv.Outcomes), nv.Outcomes)
+			}
+			for _, o := range nv.Outcomes {
+				if o.Regs[0]+o.Regs[1] != 1 {
+					t.Errorf("increments not serialized: %v", o)
+				}
+				if o.Mem[0] != 2 {
+					t.Errorf("final x=%d, want 2", o.Mem[0])
+				}
+			}
+		})
+	}
+}
+
+// TestRMWCasOneWinner: both threads cas x from 0 to their id+1; exactly
+// one comparison can succeed.
+func TestRMWCasOneWinner(t *testing.T) {
+	const x = lang.Loc(8)
+	p := &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.RMW{Dst: 0, Addr: lang.C(x), Exp: lang.C(0), Data: lang.C(1), Op: lang.RMWCas},
+			lang.RMW{Dst: 0, Addr: lang.C(x), Exp: lang.C(0), Data: lang.C(2), Op: lang.RMWCas},
+		},
+	}
+	cp, err := lang.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := rmwSpec()
+	pf := PromiseFirst(cp, spec, DefaultOptions())
+	nv := Naive(cp, spec, DefaultOptions())
+	if !SameOutcomes(pf, nv) {
+		t.Fatalf("explorers disagree:\npf: %v\nnaive: %v", pf.Outcomes, nv.Outcomes)
+	}
+	for _, o := range nv.Outcomes {
+		// The loser reads the winner's value or the initial 0 (if it went
+		// first it would have won), so exactly one thread sees old value 0.
+		zeros := 0
+		for _, r := range o.Regs {
+			if r == 0 {
+				zeros++
+			}
+		}
+		if zeros != 1 {
+			t.Errorf("want exactly one cas winner, got outcome %v", o)
+		}
+		if o.Mem[0] != 1 && o.Mem[0] != 2 {
+			t.Errorf("final x=%d, want the winner's value", o.Mem[0])
+		}
+	}
+}
+
+// TestRMWWitnessReplay checks witness collection, minimization and replay
+// validation across an rmw step.
+func TestRMWWitnessReplay(t *testing.T) {
+	cp := rmwAddProgram(t, lang.ReadPlain, lang.WritePlain)
+	spec := rmwSpec()
+	opts := DefaultOptions()
+	opts.CollectWitnesses = true
+	res := Naive(cp, spec, opts)
+	if len(res.Witnesses) == 0 {
+		t.Fatal("no witnesses collected")
+	}
+	rec := &WitnessRecorder{CP: cp, Spec: spec}
+	explained, err := rec.Record(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, ex := range explained {
+		if !ex.Validated {
+			t.Errorf("witness %s failed replay validation", k)
+		}
+	}
+}

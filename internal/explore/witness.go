@@ -83,7 +83,7 @@ func ReplayWitnessObserved(cp *lang.CompiledProgram, spec *ObsSpec, labels []cor
 			if !th.Done() {
 				return Outcome{}, fmt.Errorf("step %d (%s): thread has steps left", i, lab)
 			}
-		case core.StepRead, core.StepFulfil, core.StepXclFail:
+		case core.StepRead, core.StepFulfil, core.StepXclFail, core.StepRMW:
 			if th.Done() {
 				return Outcome{}, fmt.Errorf("step %d (%s): thread already finished", i, lab)
 			}
@@ -118,6 +118,31 @@ func ReplayWitnessObserved(cp *lang.CompiledProgram, spec *ObsSpec, labels []cor
 					return Outcome{}, fmt.Errorf("step %d (%s): pending node is not an exclusive store", i, lab)
 				}
 				core.ApplyXclFail(env, th, id)
+			case core.StepRMW:
+				if n.Kind != lang.NRMW {
+					return Outcome{}, fmt.Errorf("step %d (%s): pending node is not an rmw", i, lab)
+				}
+				enabled := false
+				for _, rc := range core.ReadChoices(env, th, id, m.Mem) {
+					if rc.TS == lab.TS && rc.Val == lab.Val {
+						enabled = true
+						break
+					}
+				}
+				if !enabled {
+					return Outcome{}, fmt.Errorf("step %d (%s): rmw read not enabled", i, lab)
+				}
+				if lab.TS2 == 0 {
+					if _, writes := core.RMWWriteVal(th.TS, n, lab.Val); writes {
+						return Outcome{}, fmt.Errorf("step %d (%s): rmw writes but label carries no write", i, lab)
+					}
+					core.ApplyRMWNoWrite(env, th, id, m.Mem, lab.TS)
+				} else {
+					if !core.CanRMW(env, th, id, m.Mem, lab.TS, lab.TS2) {
+						return Outcome{}, fmt.Errorf("step %d (%s): rmw fulfil not enabled", i, lab)
+					}
+					core.ApplyRMW(env, th, id, m.Mem, lab.TS, lab.TS2)
+				}
 			}
 			core.Advance(env, th)
 		default:
@@ -217,6 +242,22 @@ func dropWrite(labels []core.Label, i int) []core.Label {
 		}
 		if lab.Kind == core.StepRead && lab.TS == t {
 			return nil
+		}
+		if lab.Kind == core.StepRMW {
+			// An rmw reading the dropped write cannot replay; an rmw
+			// fulfilling it would leave its node unexecuted. Renumber both
+			// timestamps otherwise.
+			if lab.TS == t || lab.TS2 == t {
+				return nil
+			}
+			if lab.TS > t {
+				lab.TS--
+			}
+			if lab.TS2 > t {
+				lab.TS2--
+			}
+			out = append(out, lab)
+			continue
 		}
 		if lab.TS > t {
 			lab.TS--

@@ -68,6 +68,10 @@ type inst struct {
 	// forwarding, the po-index of the source store (-1 = from memory).
 	val     lang.Val
 	fwdFrom int
+	// satisfied marks an rmw's read half performed (its value in val); the
+	// write half performs separately, at propagation. Loads use state
+	// instead (their single perform event is the satisfaction).
+	satisfied bool
 	// resIdx records a load exclusive's reservation when it read from
 	// memory: the history index it read (-1 = the initial write). When the
 	// load exclusive forwarded (fwdFrom >= 0) the reservation is anchored
@@ -265,7 +269,7 @@ func (m *machine) appendThreadKey(b []byte, tid int) []byte {
 		b = binary.AppendVarint(b, int64(in.node))
 		b = append(b, byte(in.state), boolByte(in.addrKnown), boolByte(in.dataKnown),
 			boolByte(in.decided), boolByte(in.succ), boolByte(in.specTaken),
-			boolByte(in.fetchedKids))
+			boolByte(in.fetchedKids), boolByte(in.satisfied))
 		b = binary.AppendVarint(b, in.addr)
 		b = binary.AppendVarint(b, in.data)
 		b = binary.AppendVarint(b, in.val)
@@ -306,6 +310,12 @@ func (m *machine) available(t *thread, p int) bool {
 	if in.state == iPerformed {
 		return true
 	}
+	if in.kind == lang.NRMW {
+		// An rmw's destination is the read's old value, final once the read
+		// half satisfies (like a performed load exclusive, with the write
+		// half still pending).
+		return in.satisfied
+	}
 	return in.kind == lang.NStore && in.decided &&
 		(m.cp.Arch == lang.ARM || !in.succ)
 }
@@ -328,7 +338,7 @@ func (t *thread) provValue(p int) lang.Val {
 	}
 	in := &t.insts[p]
 	switch in.kind {
-	case lang.NLoad, lang.NAssign:
+	case lang.NLoad, lang.NAssign, lang.NRMW:
 		return in.val
 	case lang.NStore:
 		if in.succ {

@@ -1,0 +1,127 @@
+package flat
+
+import (
+	"testing"
+
+	"promising/internal/explore"
+	"promising/internal/lang"
+)
+
+// TestRMWAtomicAdd: two competing ldadds serialize — the registers are a
+// permutation of {0, 1} and the final value is always 2.
+func TestRMWAtomicAdd(t *testing.T) {
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.RMW{Dst: 0, Addr: lang.C(x), Data: lang.C(1), Op: lang.RMWAdd},
+			lang.RMW{Dst: 0, Addr: lang.C(x), Data: lang.C(1), Op: lang.RMWAdd},
+		},
+	})
+	spec := &explore.ObsSpec{
+		Regs: []explore.RegObs{{TID: 0, Reg: 0}, {TID: 1, Reg: 0}},
+		Locs: []lang.Loc{x},
+	}
+	res := Explore(cp, spec, explore.DefaultOptions())
+	if len(res.Outcomes) != 2 {
+		t.Fatalf("outcomes = %v, want the 2 serialization orders", res.Outcomes)
+	}
+	for _, o := range res.Outcomes {
+		if o.Regs[0]+o.Regs[1] != 1 || o.Mem[0] != 2 {
+			t.Errorf("increments not atomic: %v", o)
+		}
+	}
+}
+
+// TestRMWMatchesMachine: the flat and promising machines agree on an
+// rmw-heavy shape (cas winner/loser plus a dependent plain store).
+func TestRMWMatchesMachine(t *testing.T) {
+	prog := &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.RMW{Dst: 0, Addr: lang.C(x), Exp: lang.C(0), Data: lang.C(1), Op: lang.RMWCas},
+				lang.Store{Succ: 9, Addr: lang.C(y), Data: lang.R(0)},
+			),
+			lang.Block(
+				lang.RMW{Dst: 0, Addr: lang.C(x), Exp: lang.C(0), Data: lang.C(2), Op: lang.RMWCas},
+				lang.Load{Dst: 1, Addr: lang.C(y)},
+			),
+		},
+	}
+	cp := compile(t, prog)
+	spec := &explore.ObsSpec{
+		Regs: []explore.RegObs{{TID: 0, Reg: 0}, {TID: 1, Reg: 0}, {TID: 1, Reg: 1}},
+		Locs: []lang.Loc{x},
+	}
+	fl := Explore(cp, spec, explore.DefaultOptions())
+	nv := explore.Naive(cp, spec, explore.DefaultOptions())
+	if !explore.SameOutcomes(fl, nv) {
+		t.Fatalf("flat and machine disagree:\nflat:  %v\nnaive: %v", fl.Outcomes, nv.Outcomes)
+	}
+}
+
+// TestRMWDependentNotBlockedByOperand: the swp's destination (the old
+// value) must be available to dependents as soon as the read satisfies —
+// before the data operand resolves — or the flat model would forbid
+// outcomes the promising model allows (the read view excludes the data
+// view).
+func TestRMWDependentNotBlockedByOperand(t *testing.T) {
+	const z = lang.Loc(24)
+	prog := &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.Block(
+				lang.Load{Dst: 0, Addr: lang.C(y)},
+				lang.RMW{Dst: 1, Addr: lang.C(x), Data: lang.R(0), Op: lang.RMWSwap},
+				lang.Load{Dst: 2, Addr: lang.BinOp{Op: lang.OpAdd, L: lang.C(z), R: lang.BinOp{Op: lang.OpAnd, L: lang.R(1), R: lang.C(0)}}},
+			),
+			lang.Block(
+				lang.Store{Succ: 9, Addr: lang.C(z), Data: lang.C(1)},
+				lang.DmbSY(),
+				lang.Store{Succ: 9, Addr: lang.C(y), Data: lang.C(1)},
+			),
+		},
+	}
+	cp := compile(t, prog)
+	spec := &explore.ObsSpec{Regs: []explore.RegObs{
+		{TID: 0, Reg: 0}, {TID: 0, Reg: 2},
+	}}
+	fl := Explore(cp, spec, explore.DefaultOptions())
+	nv := explore.Naive(cp, spec, explore.DefaultOptions())
+	if !explore.SameOutcomes(fl, nv) {
+		t.Fatalf("flat and machine disagree:\nflat:  %v\nnaive: %v", fl.Outcomes, nv.Outcomes)
+	}
+	// r0=1, r2=0 is the witness: no dependency orders the z-load after the
+	// y-load even though the swp's data operand depends on it.
+	if !fl.Has(explore.Outcome{Regs: []lang.Val{1, 0}}) {
+		t.Error("outcome (1,0) must be allowed: the rmw read does not carry the data dependency")
+	}
+}
+
+// TestRMWSnapshotRoundTrip: machine keys with rmw instructions decode back
+// byte-identically mid-flight.
+func TestRMWSnapshotRoundTrip(t *testing.T) {
+	cp := compile(t, &lang.Program{
+		Arch: lang.ARM,
+		Threads: []lang.Stmt{
+			lang.RMW{Dst: 0, Addr: lang.C(x), Data: lang.C(3), Op: lang.RMWEor, RK: lang.ReadAcq, WK: lang.WriteRel},
+			lang.Store{Succ: 9, Addr: lang.C(x), Data: lang.C(5)},
+		},
+	})
+	frontier := []*machine{newMachine(cp)}
+	for depth := 0; depth < 4 && len(frontier) > 0; depth++ {
+		var next []*machine
+		for _, m := range frontier {
+			key := m.appendKey(nil)
+			dec, err := decodeMachine(cp, key)
+			if err != nil {
+				t.Fatalf("depth %d: decode: %v", depth, err)
+			}
+			if got := dec.appendKey(nil); string(got) != string(key) {
+				t.Fatalf("depth %d: re-encoded key differs", depth)
+			}
+			m.successors(func(s *machine) { next = append(next, s) })
+		}
+		frontier = next
+	}
+}

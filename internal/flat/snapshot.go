@@ -129,6 +129,14 @@ func decodeMachine(cp *lang.CompiledProgram, b []byte) (*machine, error) {
 					t.lastXcl = -1
 					t.lastWriter[n.Dst] = i
 				}
+			case lang.NRMW:
+				in.dst = n.Dst
+				in.addrProv = t.exprProviders(n.Addr)
+				in.dataProv = t.exprProviders(n.Data)
+				if n.Exp != nil {
+					in.condProv = t.exprProviders(n.Exp)
+				}
+				t.lastWriter[n.Dst] = i
 			case lang.NIf:
 				in.condProv = t.exprProviders(n.Cond)
 				in.pendThen = n.Then
@@ -145,6 +153,7 @@ func decodeMachine(cp *lang.CompiledProgram, b []byte) (*machine, error) {
 			in.succ = d.bool()
 			in.specTaken = d.bool()
 			in.fetchedKids = d.bool()
+			in.satisfied = d.bool()
 			in.addr = d.int()
 			in.data = d.int()
 			in.val = d.int()

@@ -46,6 +46,18 @@ func (m *machine) autoFetch(tid int) {
 			if n.Xcl {
 				t.lastXcl = idx
 			}
+		case lang.NRMW:
+			in := inst{
+				node: id, kind: n.Kind, dst: n.Dst,
+				addrProv: t.exprProviders(n.Addr),
+				dataProv: t.exprProviders(n.Data),
+				fwdFrom:  -1, resIdx: -1, propIdx: -1, pair: -1,
+			}
+			if n.Exp != nil {
+				in.condProv = t.exprProviders(n.Exp)
+			}
+			t.insts = append(t.insts, in)
+			t.lastWriter[n.Dst] = len(t.insts) - 1
 		case lang.NStore:
 			in := inst{
 				node: id, kind: n.Kind, dst: -1,
@@ -138,6 +150,8 @@ func (m *machine) threadSuccessors(tid int, emit succFn) {
 			m.loadSuccessors(tid, i, emit)
 		case lang.NStore:
 			m.storeSuccessors(tid, i, emit)
+		case lang.NRMW:
+			m.rmwSuccessors(tid, i, emit)
 		}
 	}
 }
@@ -224,6 +238,13 @@ func (m *machine) fenceReady(tid, i int) bool {
 			if n.K1.IncludesW() && jn.state != iPerformed && !t.failedSX(code, j) {
 				return false
 			}
+		case lang.NRMW:
+			if n.K1.IncludesR() && !jn.satisfied {
+				return false
+			}
+			if n.K1.IncludesW() && jn.state != iPerformed {
+				return false
+			}
 		}
 	}
 	return true
@@ -241,7 +262,7 @@ func (m *machine) isbReady(tid, i int) bool {
 			if jn.state != iPerformed {
 				return false
 			}
-		case lang.NLoad, lang.NStore:
+		case lang.NLoad, lang.NStore, lang.NRMW:
 			if !jn.addrKnown && !t.failedSX(code, j) {
 				return false
 			}
@@ -283,21 +304,7 @@ func (m *machine) loadSuccessors(tid, i int, emit succFn) {
 		// the source store and this one must themselves have forwarded
 		// from the same store.
 		fs := &t.insts[fwd]
-		fn := &code.Nodes[fs.node]
-		canForward := fs.dataKnown &&
-			!(fn.Xcl && (m.cp.Arch == lang.RISCV || n.RK.AtLeast(lang.ReadWeakAcq))) &&
-			(!fn.Xcl || fs.decided && fs.succ)
-		if canForward {
-			for j := fwd + 1; j < i; j++ {
-				jn := &t.insts[j]
-				if jn.kind == lang.NLoad && jn.addrKnown && jn.addr == in.addr &&
-					!(jn.state == iPerformed && jn.fwdFrom == fwd) {
-					canForward = false
-					break
-				}
-			}
-		}
-		if canForward {
+		if m.canForwardFrom(tid, i, fwd) {
 			nm := m.cloneThread(tid, false)
 			ni := &nm.threads[tid].insts[i]
 			ni.val = fs.data
@@ -368,6 +375,28 @@ func (m *machine) loadBlocked(tid, i int) (fwd int, loadsInOrder, ok bool) {
 			if n.RK.AtLeast(lang.ReadAcq) && jnode.WK.AtLeast(lang.WriteRel) && jn.state != iPerformed {
 				return -1, false, false // strong release before strong acquire
 			}
+		case lang.NRMW:
+			// Both halves of an earlier rmw order this read: the read half
+			// like an earlier load (performed when satisfied), the write
+			// half like an earlier store (a forwarding source unless the
+			// cas resolved to no write).
+			if !jn.addrKnown {
+				return -1, false, false
+			}
+			if jn.addr == l {
+				if !jn.satisfied {
+					loadsInOrder = false
+				}
+				if !(jn.decided && !jn.succ) {
+					fwd = j
+				}
+			}
+			if jnode.RK.AtLeast(lang.ReadWeakAcq) && !jn.satisfied {
+				return -1, false, false
+			}
+			if n.RK.AtLeast(lang.ReadAcq) && jnode.WK.AtLeast(lang.WriteRel) && jn.state != iPerformed {
+				return -1, false, false
+			}
 		case lang.NFence:
 			if jnode.K2.IncludesR() && jn.state != iPerformed {
 				return -1, false, false
@@ -379,6 +408,52 @@ func (m *machine) loadBlocked(tid, i int) (fwd int, loadsInOrder, ok bool) {
 		}
 	}
 	return fwd, loadsInOrder, true
+}
+
+// canForwardFrom reports whether the read of instruction i (a load, or an
+// rmw's read half, with known address) may be satisfied by forwarding from
+// the same-address store or rmw write at po-index fwd: the source's data
+// must be known; exclusive-style writes (store exclusives, rmw writes)
+// forward only once their success is decided, and never to weak-acquire
+// (or stronger) reads or on RISC-V; and every access between the source
+// and the read that targets the location must itself have forwarded from
+// the same source (otherwise it read coherence-later and forwarding would
+// reorder same-address reads).
+func (m *machine) canForwardFrom(tid, i, fwd int) bool {
+	t := m.threads[tid]
+	code := &m.cp.Threads[tid]
+	in := &t.insts[i]
+	n := &code.Nodes[in.node]
+	fs := &t.insts[fwd]
+	fn := &code.Nodes[fs.node]
+	if !fs.dataKnown {
+		return false
+	}
+	if srcXcl := fn.Xcl || fs.kind == lang.NRMW; srcXcl {
+		if m.cp.Arch == lang.RISCV || n.RK.AtLeast(lang.ReadWeakAcq) {
+			return false
+		}
+		if !fs.decided || !fs.succ {
+			return false
+		}
+	}
+	for j := fwd + 1; j < i; j++ {
+		jn := &t.insts[j]
+		if !jn.addrKnown || jn.addr != in.addr {
+			continue
+		}
+		switch jn.kind {
+		case lang.NLoad:
+			if !(jn.state == iPerformed && jn.fwdFrom == fwd) {
+				return false
+			}
+		case lang.NRMW:
+			if !(jn.satisfied && jn.fwdFrom == fwd) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func (m *machine) storeSuccessors(tid, i int, emit succFn) {
@@ -503,6 +578,19 @@ func (m *machine) storeReady(tid, i int) bool {
 			if jn.state != iPerformed && (jn.addr == l || rel) {
 				return false
 			}
+		case lang.NRMW:
+			if !jn.addrKnown {
+				return false
+			}
+			// Read half: acquires (and same-location / release ordering)
+			// wait for the satisfaction; write half: same-location and
+			// release ordering wait for the propagation.
+			if !jn.satisfied && (jn.addr == l || rel || jnode.RK.AtLeast(lang.ReadWeakAcq)) {
+				return false
+			}
+			if jn.state != iPerformed && (jn.addr == l || rel) {
+				return false
+			}
 		case lang.NFence:
 			if jnode.K2.IncludesW() && jn.state != iPerformed {
 				return false
@@ -516,6 +604,124 @@ func (m *machine) storeReady(tid, i int) bool {
 		}
 	}
 	return true
+}
+
+// rmwSuccessors enumerates the micro-transitions of a single-instruction
+// rmw (LSE atomic): address resolution, read satisfaction (forwarding
+// included, like a load exclusive — the write's reservation anchors at the
+// read), write-value resolution (where a cas may fail its comparison and
+// finish without writing), and write propagation guarded by the fused
+// exclusive-pair atomicity check. The destination register carries the
+// read's old value and becomes available at satisfaction, so dependents
+// never wait on the write operands (matching the promising model, where
+// the rmw's read view excludes the data view).
+func (m *machine) rmwSuccessors(tid, i int, emit succFn) {
+	t := m.threads[tid]
+	in := &t.insts[i]
+	code := &m.cp.Threads[tid]
+	n := &code.Nodes[in.node]
+
+	if !in.addrKnown {
+		if m.ready(t, in.addrProv) {
+			nm := m.cloneThread(tid, false)
+			ni := &nm.threads[tid].insts[i]
+			ni.addr = t.eval(n.Addr, in.addrProv)
+			ni.addrKnown = true
+			nm.note("T%d: i%d rmw address resolves to [%d]", tid, i, ni.addr)
+			emit(nm)
+		}
+		return
+	}
+	if !in.satisfied {
+		fwd, loadsInOrder, ok := m.loadBlocked(tid, i)
+		if !ok {
+			return
+		}
+		if fwd >= 0 {
+			fs := &t.insts[fwd]
+			if m.canForwardFrom(tid, i, fwd) {
+				nm := m.cloneThread(tid, false)
+				ni := &nm.threads[tid].insts[i]
+				ni.val = fs.data
+				ni.fwdFrom = fwd
+				ni.satisfied = true
+				nm.note("T%d: i%d rmw read [%d] forwards from store i%d = %d", tid, i, in.addr, fwd, ni.val)
+				emit(nm)
+			}
+			if fs.state != iPerformed {
+				return // cannot read memory past an unpropagated same-address store
+			}
+		}
+		if !loadsInOrder {
+			return
+		}
+		nm := m.cloneThread(tid, false)
+		ni := &nm.threads[tid].insts[i]
+		ni.val = m.mem.current(in.addr)
+		ni.fwdFrom = -1
+		ni.satisfied = true
+		ni.resIdx = len(m.mem.hist[in.addr]) - 1
+		nm.stepAddr, nm.stepRead = in.addr, true
+		nm.note("T%d: i%d rmw read [%d] satisfied from memory = %d", tid, i, in.addr, ni.val)
+		emit(nm)
+		return
+	}
+	if !in.decided {
+		// Resolve the write half once the operand (and, for cas, expected)
+		// registers are available.
+		if !m.ready(t, in.dataProv) || (n.Exp != nil && !m.ready(t, in.condProv)) {
+			return
+		}
+		d := t.eval(n.Data, in.dataProv)
+		nv, writes := d, true
+		switch {
+		case n.Exp != nil:
+			writes = in.val == t.eval(n.Exp, in.condProv)
+		case n.Op != lang.RMWSwap:
+			nv = n.Op.Apply(in.val, d)
+		}
+		nm := m.cloneThread(tid, false)
+		ni := &nm.threads[tid].insts[i]
+		ni.decided = true
+		ni.succ = writes
+		ni.dataKnown = true
+		ni.data = nv
+		if writes {
+			nm.note("T%d: i%d rmw write resolves to %d", tid, i, nv)
+		} else {
+			ni.state = iPerformed
+			nm.note("T%d: i%d rmw cas comparison fails (no write)", tid, i)
+		}
+		emit(nm)
+		return
+	}
+	if in.state == iPerformed || !in.succ {
+		return
+	}
+	if !m.storeReady(tid, i) {
+		return
+	}
+	// Atomicity (the §A.3 check, fused): no foreign write may have reached
+	// the location since the read. A forwarded read anchors after the
+	// source store's propagation point, a memory read at the history index
+	// it read.
+	from := in.resIdx + 1
+	if in.fwdFrom >= 0 {
+		from = t.insts[in.fwdFrom].propIdx + 1
+	}
+	for _, w := range m.mem.hist[in.addr][from:] {
+		if w.tid != tid {
+			return // reservation lost: this path cannot complete
+		}
+	}
+	nm := m.cloneThread(tid, true)
+	nm.mem.push(in.addr, in.data, tid)
+	ni := &nm.threads[tid].insts[i]
+	ni.state = iPerformed
+	ni.propIdx = len(nm.mem.hist[in.addr]) - 1
+	nm.stepAddr, nm.stepWrite, nm.stepRead = in.addr, true, true
+	nm.note("T%d: i%d rmw [%d]=%d propagates", tid, i, in.addr, in.data)
+	emit(nm)
 }
 
 // dependsOn reports whether some memory-touching transition thread j may
@@ -546,6 +752,13 @@ func (m *machine) dependsOn(j int, a lang.Loc, r, w bool) bool {
 			if t.failedSX(code, i) {
 				continue
 			}
+			if r || w {
+				return true
+			}
+		case lang.NRMW:
+			// An unperformed rmw has a pending write (or one whose cas
+			// outcome is undecided), which collides with both reads and
+			// writes of the location.
 			if r || w {
 				return true
 			}

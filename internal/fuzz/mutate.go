@@ -71,7 +71,7 @@ func applyOne(rng *rand.Rand, t *litmus.Test, donor *litmus.Test) (string, bool)
 	for attempt := 0; attempt < 8; attempt++ {
 		var ok bool
 		var name string
-		switch rng.Intn(10) {
+		switch rng.Intn(11) {
 		case 0:
 			name, ok = "splice-thread", spliceThread(rng, t, donor)
 		case 1:
@@ -92,6 +92,8 @@ func applyOne(rng *rand.Rand, t *litmus.Test, donor *litmus.Test) (string, bool)
 			name, ok = "flip-value", flipValue(rng, t)
 		case 9:
 			name, ok = "retarget", retarget(rng, t)
+		case 10:
+			name, ok = "flip-rmw", flipRMW(rng, t)
 		}
 		if ok {
 			return name, true
@@ -226,6 +228,8 @@ func definedRegs(s lang.Stmt) []lang.Reg {
 			out = append(out, l.Dst)
 		case lang.Store:
 			out = append(out, l.Succ)
+		case lang.RMW:
+			out = append(out, l.Dst)
 		case lang.Assign:
 			out = append(out, l.Dst)
 		}
@@ -313,6 +317,12 @@ func spliceThread(rng *rand.Rand, t *litmus.Test, donor *litmus.Test) bool {
 		case lang.Store:
 			l.Addr, l.Data = re(l.Addr), re(l.Data)
 			return l
+		case lang.RMW:
+			l.Addr, l.Data = re(l.Addr), re(l.Data)
+			if l.Exp != nil {
+				l.Exp = re(l.Exp)
+			}
+			return l
 		case lang.Assign:
 			l.E = re(l.E)
 			return l
@@ -355,6 +365,24 @@ func flipOrder(rng *rand.Rand, t *litmus.Test) bool {
 			return l, true
 		case lang.Store:
 			l.Kind = lang.WriteKind((int(l.Kind) + 1) % 3)
+			return l, true
+		case lang.RMW:
+			// RMW orderings stay on the textual LSE lattice (plain or
+			// acquire read, plain or release write — no weak kinds, which
+			// have no single-instruction mnemonic).
+			if rng.Intn(2) == 0 {
+				if l.RK == lang.ReadPlain {
+					l.RK = lang.ReadAcq
+				} else {
+					l.RK = lang.ReadPlain
+				}
+			} else {
+				if l.WK == lang.WritePlain {
+					l.WK = lang.WriteRel
+				} else {
+					l.WK = lang.WritePlain
+				}
+			}
 			return l, true
 		}
 		return l, false
@@ -429,7 +457,7 @@ func addDep(rng *rand.Rand, t *litmus.Test) bool {
 	var cands []int
 	for i := li + 1; i < len(ss); i++ {
 		switch ss[i].(type) {
-		case lang.Load, lang.Store:
+		case lang.Load, lang.Store, lang.RMW:
 			cands = append(cands, i)
 		}
 	}
@@ -442,6 +470,13 @@ func addDep(rng *rand.Rand, t *litmus.Test) bool {
 		s.Addr = lang.DepOn(s.Addr, src)
 		ss[at] = s
 	case lang.Store:
+		if rng.Intn(2) == 0 {
+			s.Addr = lang.DepOn(s.Addr, src)
+		} else {
+			s.Data = lang.DepOn(s.Data, src)
+		}
+		ss[at] = s
+	case lang.RMW:
 		if rng.Intn(2) == 0 {
 			s.Addr = lang.DepOn(s.Addr, src)
 		} else {
@@ -562,9 +597,147 @@ func retarget(rng *rand.Rand, t *litmus.Test) bool {
 				l.Addr = a
 				return l, true
 			}
+		case lang.RMW:
+			if a, ok := pick(l.Addr); ok {
+				l.Addr = a
+				return l, true
+			}
 		}
 		return l, false
 	})
+}
+
+// flipRMW crosses the two atomic-RMW encodings in either direction: a
+// single-instruction RMW expands into an exclusive LDXR/STXR-style pair
+// (same orderings, the update lowered into the store's data expression),
+// and an exclusive load immediately followed by an exclusive store to the
+// same address collapses into a single swp. The encodings walk different
+// paths through promise certification — a pair's store can fail and other
+// threads can interleave between its halves, a single step cannot — which
+// is exactly the boundary the differential campaign wants to probe.
+func flipRMW(rng *rand.Rand, t *litmus.Test) bool {
+	tid := rng.Intn(len(t.Prog.Threads))
+	ss := flatten(t.Prog.Threads[tid])
+	type site struct {
+		i    int
+		pair bool // ss[i] is an Xcl load, ss[i+1] an Xcl store, same address
+	}
+	var sites []site
+	for i, s := range ss {
+		switch s := s.(type) {
+		case lang.RMW:
+			// CAS has a compare leg with no two-instruction counterpart
+			// here (it needs a branch), so only the fetch-ops expand.
+			if s.Op != lang.RMWCas && len(ss) < maxInstrsPerThread {
+				sites = append(sites, site{i, false})
+			}
+		case lang.Load:
+			if s.Xcl && i+1 < len(ss) {
+				if st, ok := ss[i+1].(lang.Store); ok && st.Xcl && exprEqual(s.Addr, st.Addr) {
+					sites = append(sites, site{i, true})
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return false
+	}
+	at := sites[rng.Intn(len(sites))]
+	if at.pair {
+		ld := ss[at.i].(lang.Load)
+		st := ss[at.i+1].(lang.Store)
+		rmw := lang.RMW{
+			Dst: ld.Dst, Addr: ld.Addr, Data: st.Data, Op: lang.RMWSwap,
+			RK: clampRMWRead(ld.Kind), WK: clampRMWWrite(st.Kind),
+		}
+		ss = append(ss[:at.i:at.i], append([]lang.Stmt{rmw}, ss[at.i+2:]...)...)
+		setThread(t, tid, ss)
+		return true
+	}
+	rmw := ss[at.i].(lang.RMW)
+	ld := lang.Load{Dst: rmw.Dst, Addr: rmw.Addr, Kind: rmw.RK, Xcl: true}
+	st := lang.Store{
+		Succ: maxReg(t.Prog) + 1, Addr: rmw.Addr,
+		Data: rmwUpdateExpr(rmw.Op, rmw.Dst, rmw.Data), Kind: rmw.WK, Xcl: true,
+	}
+	ss = append(ss[:at.i:at.i], append([]lang.Stmt{ld, st}, ss[at.i+1:]...)...)
+	setThread(t, tid, ss)
+	return true
+}
+
+// rmwUpdateExpr lowers a fetch-op's update into an expression over the
+// loaded old value (held in dst after the exclusive load).
+func rmwUpdateExpr(op lang.RMWOp, dst lang.Reg, data lang.Expr) lang.Expr {
+	old := lang.R(dst)
+	switch op {
+	case lang.RMWAdd:
+		return lang.BinOp{Op: lang.OpAdd, L: old, R: data}
+	case lang.RMWSet:
+		return lang.BinOp{Op: lang.OpOr, L: old, R: data}
+	case lang.RMWClr:
+		// old &^ data == old - (old & data): the cleared bits are a
+		// subset of old, so plain subtraction never borrows.
+		return lang.BinOp{Op: lang.OpSub, L: old, R: lang.BinOp{Op: lang.OpAnd, L: old, R: data}}
+	case lang.RMWEor:
+		return lang.BinOp{Op: lang.OpXor, L: old, R: data}
+	default: // RMWSwap
+		return data
+	}
+}
+
+// clampRMWRead/clampRMWWrite project an exclusive access's ordering onto
+// the LSE lattice (weak orderings have no single-instruction mnemonic, so
+// they round up to the strong form).
+func clampRMWRead(k lang.ReadKind) lang.ReadKind {
+	if k == lang.ReadPlain {
+		return lang.ReadPlain
+	}
+	return lang.ReadAcq
+}
+
+func clampRMWWrite(k lang.WriteKind) lang.WriteKind {
+	if k == lang.WritePlain {
+		return lang.WritePlain
+	}
+	return lang.WriteRel
+}
+
+// maxReg returns the largest register index mentioned in any thread's
+// register table or definitions (so fresh registers never collide).
+func maxReg(p *lang.Program) lang.Reg {
+	max := lang.Reg(0)
+	for _, m := range p.RegNames {
+		for _, r := range m {
+			if r > max {
+				max = r
+			}
+		}
+	}
+	for _, s := range p.Threads {
+		for _, r := range definedRegs(s) {
+			if r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// exprEqual compares expressions structurally.
+func exprEqual(a, b lang.Expr) bool {
+	switch a := a.(type) {
+	case lang.Const:
+		bc, ok := b.(lang.Const)
+		return ok && a.V == bc.V
+	case lang.RegRef:
+		br, ok := b.(lang.RegRef)
+		return ok && a.R == br.R
+	case lang.BinOp:
+		bb, ok := b.(lang.BinOp)
+		return ok && a.Op == bb.Op && exprEqual(a.L, bb.L) && exprEqual(a.R, bb.R)
+	default:
+		return false
+	}
 }
 
 func indexOf(ls []lang.Loc, l lang.Loc) int {

@@ -236,6 +236,22 @@ func weakenCands(t *litmus.Test) []candidate {
 					ns.Xcl = false
 					emit(ns, "drop store exclusivity")
 				}
+			case lang.RMW:
+				if s.RK != lang.ReadPlain {
+					ns := s
+					// Straight to plain: the intermediate weak kind has no
+					// single-instruction encoding.
+					ns.RK = lang.ReadPlain
+					emit(ns, fmt.Sprintf("rmw read %s -> %s", s.RK, ns.RK))
+				}
+				if s.WK != lang.WritePlain {
+					ns := s
+					ns.WK = lang.WritePlain
+					emit(ns, fmt.Sprintf("rmw write %s -> %s", s.WK, ns.WK))
+				}
+				// An RMW sometimes matters only as a read: propose the
+				// write-free form.
+				emit(lang.Load{Dst: s.Dst, Addr: s.Addr, Kind: clampRMWRead(s.RK)}, "rmw -> load")
 			case lang.Fence:
 				for _, nk := range weakerFences(s) {
 					emit(nk, fmt.Sprintf("fence %s,%s -> %s,%s", s.K1, s.K2, nk.K1, nk.K2))
@@ -284,6 +300,12 @@ func mergeLocCands(t *litmus.Test) []candidate {
 					return l
 				case lang.Store:
 					l.Addr, l.Data = rewrite(l.Addr), rewrite(l.Data)
+					return l
+				case lang.RMW:
+					l.Addr, l.Data = rewrite(l.Addr), rewrite(l.Data)
+					if l.Exp != nil {
+						l.Exp = rewrite(l.Exp)
+					}
 					return l
 				case lang.Assign:
 					l.E = rewrite(l.E)
@@ -344,6 +366,17 @@ func stripDepCands(t *litmus.Test) []candidate {
 					ns := s
 					ns.Data = d
 					emit(ns, "strip data dep")
+				}
+			case lang.RMW:
+				if a, ok := stripDepExpr(s.Addr); ok {
+					ns := s
+					ns.Addr = a
+					emit(ns, "strip rmw addr dep")
+				}
+				if d, ok := stripDepExpr(s.Data); ok {
+					ns := s
+					ns.Data = d
+					emit(ns, "strip rmw data dep")
 				}
 			}
 		}

@@ -154,6 +154,91 @@ func (k FenceKind) String() string {
 	}
 }
 
+// RMWOp selects the operation of a single-instruction atomic
+// read-modify-write (ARMv8.1 LSE / RISC-V AMO): how the written value is
+// computed from the value read and the instruction's operand.
+type RMWOp int
+
+const (
+	// RMWSwap writes the operand unconditionally (SWP / amoswap).
+	RMWSwap RMWOp = iota
+	// RMWCas writes the operand only when the value read equals the
+	// comparison operand (CAS / the amocas extension).
+	RMWCas
+	// RMWAdd writes old + operand (LDADD / amoadd).
+	RMWAdd
+	// RMWSet writes old | operand (LDSET / amoor).
+	RMWSet
+	// RMWClr writes old &^ operand (LDCLR; RISC-V encodes it via amoand).
+	RMWClr
+	// RMWEor writes old ^ operand (LDEOR / amoxor).
+	RMWEor
+)
+
+// String returns the surface mnemonic of the operation.
+func (op RMWOp) String() string {
+	switch op {
+	case RMWSwap:
+		return "swp"
+	case RMWCas:
+		return "cas"
+	case RMWAdd:
+		return "ldadd"
+	case RMWSet:
+		return "ldset"
+	case RMWClr:
+		return "ldclr"
+	case RMWEor:
+		return "ldeor"
+	default:
+		return fmt.Sprintf("RMWOp(%d)", int(op))
+	}
+}
+
+// Apply computes the value written by a fetch-op or swap from the value
+// read and the operand. It must not be called for RMWCas (whether a CAS
+// writes depends on the comparison; the written value is the operand).
+func (op RMWOp) Apply(old, operand Val) Val {
+	switch op {
+	case RMWSwap:
+		return operand
+	case RMWAdd:
+		return old + operand
+	case RMWSet:
+		return old | operand
+	case RMWClr:
+		return old &^ operand
+	case RMWEor:
+		return old ^ operand
+	default:
+		panic(fmt.Sprintf("lang: RMWOp.Apply on %v", op))
+	}
+}
+
+// RMWOps lists every operation, for generators and mutation tables.
+func RMWOps() []RMWOp {
+	return []RMWOp{RMWSwap, RMWCas, RMWAdd, RMWSet, RMWClr, RMWEor}
+}
+
+// ParseRMWOp converts a surface mnemonic to an RMWOp.
+func ParseRMWOp(s string) (RMWOp, bool) {
+	switch s {
+	case "swp":
+		return RMWSwap, true
+	case "cas":
+		return RMWCas, true
+	case "ldadd":
+		return RMWAdd, true
+	case "ldset":
+		return RMWSet, true
+	case "ldclr":
+		return RMWClr, true
+	case "ldeor":
+		return RMWEor, true
+	}
+	return 0, false
+}
+
 // Success and failure values written by store instructions to their success
 // register (§3: following the ARM ISA, 0 is success, 1 is failure).
 const (

@@ -113,7 +113,8 @@ func (p *parser) errf(format string, args ...any) error {
 
 func isKeyword(s string) bool {
 	switch s {
-	case "skip", "load", "store", "fence", "dmb", "isb", "if", "else", "while", "tso":
+	case "skip", "load", "store", "fence", "dmb", "isb", "if", "else", "while", "tso",
+		"cas", "swp", "ldadd", "ldset", "ldclr", "ldeor":
 		return true
 	}
 	return false
@@ -159,6 +160,8 @@ func (p *parser) stmt() (Stmt, error) {
 			return p.storeStmt(p.sy.Fresh())
 		case "load":
 			return nil, p.errf("load must assign to a register: r = load [addr];")
+		case "cas", "swp", "ldadd", "ldset", "ldclr", "ldeor":
+			return nil, p.errf("%s must assign its old value to a register: r = %s [addr] ...;", t.text, t.text)
 		}
 		// Assignment: reg = expr | load... | store...
 		name := p.next().text
@@ -173,6 +176,12 @@ func (p *parser) stmt() (Stmt, error) {
 		if p.at(tokIdent, "store") {
 			p.next()
 			return p.storeStmt(dst)
+		}
+		if t := p.peek(); t.kind == tokIdent {
+			if op, ok := ParseRMWOp(t.text); ok {
+				p.next()
+				return p.rmwStmt(dst, op)
+			}
 		}
 		e, err := p.expr()
 		if err != nil {
@@ -369,6 +378,53 @@ func (p *parser) storeStmt(succ Reg) (Stmt, error) {
 		return nil, err
 	}
 	return Store{Succ: succ, Addr: addr, Data: data, Xcl: xcl, Kind: wk}, p.expect(";")
+}
+
+// rmwMods parses the optional LSE ordering suffix of an RMW mnemonic:
+// ".a" (acquire read), ".l" (release write) or ".al" (both), with "acq"
+// and "rel" accepted as aliases.
+func (p *parser) rmwMods() (rk ReadKind, wk WriteKind, err error) {
+	for p.accept(".") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return 0, 0, p.errf("expected an rmw ordering suffix, found %s", t)
+		}
+		switch t.text {
+		case "a", "acq":
+			rk = ReadAcq
+		case "l", "rel":
+			wk = WriteRel
+		case "al":
+			rk, wk = ReadAcq, WriteRel
+		default:
+			return 0, 0, p.errf("unknown rmw ordering suffix %q (want a, l or al)", t.text)
+		}
+	}
+	return rk, wk, nil
+}
+
+// rmwStmt parses the tail of r = <op>[.a|.l|.al] [addr] (exp) data;
+// (the comparison operand exp is present for cas only).
+func (p *parser) rmwStmt(dst Reg, op RMWOp) (Stmt, error) {
+	rk, wk, err := p.rmwMods()
+	if err != nil {
+		return nil, err
+	}
+	addr, err := p.bracketExpr()
+	if err != nil {
+		return nil, err
+	}
+	var exp Expr
+	if op == RMWCas {
+		if exp, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	data, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return RMW{Dst: dst, Addr: addr, Exp: exp, Data: data, Op: op, RK: rk, WK: wk}, p.expect(";")
 }
 
 func (p *parser) bracketExpr() (Expr, error) {

@@ -131,6 +131,7 @@ const (
 	NFence
 	NISB
 	NBoundFail
+	NRMW
 )
 
 // Node is one compiled statement node. It is a union-style struct: the
@@ -144,14 +145,16 @@ type Node struct {
 	Then, Else int32 // NIf children
 
 	Cond Expr // NIf
-	Dst  Reg  // NAssign destination / NLoad destination / NStore success register
+	Dst  Reg  // NAssign destination / NLoad/NRMW destination / NStore success register
 	E    Expr // NAssign source
-	Addr Expr // NLoad / NStore address
-	Data Expr // NStore data
+	Addr Expr // NLoad / NStore / NRMW address
+	Data Expr // NStore / NRMW data
+	Exp  Expr // NRMW comparison operand (RMWCas only)
 
 	Xcl bool      // NLoad / NStore exclusivity
-	RK  ReadKind  // NLoad kind
-	WK  WriteKind // NStore kind
+	RK  ReadKind  // NLoad / NRMW kind
+	WK  WriteKind // NStore / NRMW kind
+	Op  RMWOp     // NRMW operation
 
 	K1, K2 FenceKind // NFence
 }
@@ -235,7 +238,7 @@ func Compile(p *Program) (*CompiledProgram, error) {
 // the bound are detected rather than silently truncated.
 func Unroll(s Stmt, bound int) Stmt {
 	switch s := s.(type) {
-	case Skip, Assign, Load, Store, Fence, ISB, boundFail:
+	case Skip, Assign, Load, Store, RMW, Fence, ISB, boundFail:
 		return s
 	case Seq:
 		return Seq{S1: Unroll(s.S1, bound), S2: Unroll(s.S2, bound)}
@@ -289,6 +292,8 @@ func (c *compiler) compile(s Stmt) int32 {
 		return c.add(Node{Kind: NLoad, Dst: s.Dst, Addr: s.Addr, Xcl: s.Xcl, RK: s.Kind})
 	case Store:
 		return c.add(Node{Kind: NStore, Dst: s.Succ, Addr: s.Addr, Data: s.Data, Xcl: s.Xcl, WK: s.Kind})
+	case RMW:
+		return c.add(Node{Kind: NRMW, Dst: s.Dst, Addr: s.Addr, Exp: s.Exp, Data: s.Data, Op: s.Op, RK: s.RK, WK: s.WK})
 	case Fence:
 		return c.add(Node{Kind: NFence, K1: s.K1, K2: s.K2})
 	case ISB:

@@ -5,11 +5,11 @@ import (
 	"strings"
 )
 
-// Stmt is a statement of the calculus (Fig. 1). The closed set of
-// implementations is Skip, Seq, If, While, Assign, Load, Store, Fence and
-// ISB. Fence covers all ARM dmb barriers and RISC-V fences via its two
-// FenceKind arguments; fence.tso is desugared by the parser/builders into
-// fence r,r ; fence rw,w (§A.3).
+// Stmt is a statement of the calculus (Fig. 1, extended with LSE-style
+// atomics). The closed set of implementations is Skip, Seq, If, While,
+// Assign, Load, Store, RMW, Fence and ISB. Fence covers all ARM dmb
+// barriers and RISC-V fences via its two FenceKind arguments; fence.tso is
+// desugared by the parser/builders into fence r,r ; fence rw,w (§A.3).
 type Stmt interface {
 	isStmt()
 }
@@ -61,6 +61,25 @@ type Store struct {
 	Kind WriteKind
 }
 
+// RMW is a single-instruction atomic read-modify-write (ARMv8.1 LSE /
+// RISC-V AMO): rold := rmw_{op,rk,wk} [Addr] (Exp,) Data. Dst receives the
+// value read; the value written is Op applied to the old value and Data
+// (for RMWCas, Data is written only when the old value equals Exp; Exp is
+// nil for every other op). Read and write are single-copy atomic: no other
+// thread's write to the location intervenes.
+type RMW struct {
+	Dst  Reg
+	Addr Expr
+	// Exp is the comparison operand (RMWCas only, nil otherwise).
+	Exp Expr
+	// Data is the operand: the value written (RMWSwap/RMWCas) or combined
+	// with the old value (fetch-ops).
+	Data Expr
+	Op   RMWOp
+	RK   ReadKind
+	WK   WriteKind
+}
+
 // Fence is fence_{K1,K2}: program-order earlier accesses of class K1 are
 // ordered before later accesses of class K2. dmb.sy = fence rw,rw;
 // dmb.ld = fence r,rw; dmb.st = fence w,w.
@@ -77,6 +96,7 @@ func (While) isStmt()  {}
 func (Assign) isStmt() {}
 func (Load) isStmt()   {}
 func (Store) isStmt()  {}
+func (RMW) isStmt()    {}
 func (Fence) isStmt()  {}
 func (ISB) isStmt()    {}
 
@@ -139,12 +159,36 @@ func writeStmt(b *strings.Builder, s Stmt, indent int) {
 		fmt.Fprintf(b, "%sr%d = load%s [%s];\n", pad, s.Dst, accessSuffix(s.Xcl, s.Kind.String()), s.Addr.String())
 	case Store:
 		fmt.Fprintf(b, "%sr%d = store%s [%s] %s;\n", pad, s.Succ, accessSuffix(s.Xcl, s.Kind.String()), s.Addr.String(), s.Data.String())
+	case RMW:
+		if s.Op == RMWCas {
+			fmt.Fprintf(b, "%sr%d = %s%s [%s] %s %s;\n", pad, s.Dst, s.Op.String(), RMWSuffix(s.RK, s.WK), s.Addr.String(), s.Exp.String(), s.Data.String())
+		} else {
+			fmt.Fprintf(b, "%sr%d = %s%s [%s] %s;\n", pad, s.Dst, s.Op.String(), RMWSuffix(s.RK, s.WK), s.Addr.String(), s.Data.String())
+		}
 	case Fence:
 		fmt.Fprintf(b, "%sfence %s,%s;\n", pad, s.K1.String(), s.K2.String())
 	case ISB:
 		fmt.Fprintf(b, "%sisb;\n", pad)
 	default:
 		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+// RMWSuffix renders the A/L ordering suffix of an RMW mnemonic: ".a" for
+// an acquire read, ".l" for a release write, ".al" for both (the LSE
+// convention, e.g. CASAL / LDADDA / SWPL).
+func RMWSuffix(rk ReadKind, wk WriteKind) string {
+	acq := rk.AtLeast(ReadAcq)
+	rel := wk.AtLeast(WriteRel)
+	switch {
+	case acq && rel:
+		return ".al"
+	case acq:
+		return ".a"
+	case rel:
+		return ".l"
+	default:
+		return ""
 	}
 }
 
@@ -174,7 +218,7 @@ func CountStmts(s Stmt) int {
 		return 1 + CountStmts(s.Then) + CountStmts(s.Else)
 	case While:
 		return 1 + CountStmts(s.Body)
-	case Assign, Load, Store, Fence, ISB:
+	case Assign, Load, Store, RMW, Fence, ISB:
 		return 1
 	case boundFail:
 		return 0
@@ -212,6 +256,13 @@ func MaxRegOfStmt(s Stmt) Reg {
 	case Store:
 		bump(s.Succ)
 		bump(MaxReg(s.Addr))
+		bump(MaxReg(s.Data))
+	case RMW:
+		bump(s.Dst)
+		bump(MaxReg(s.Addr))
+		if s.Exp != nil {
+			bump(MaxReg(s.Exp))
+		}
 		bump(MaxReg(s.Data))
 	case Fence, ISB, boundFail:
 	default:

@@ -798,6 +798,79 @@ expect forbidden
 `},
 }
 
+// catalogLSE covers the single-instruction atomics (ARMv8.1 LSE / RISC-V
+// AMO): atomicity of competing fetch-ops and cas, and the ordering the A/L
+// suffixes add over the plain encodings.
+var catalogLSE = []CatalogEntry{
+	{"LSE-ldadd-atomic", `
+arch arm
+name LSE-ldadd-atomic
+locs x
+thread 0 { r0 = ldadd [x] 1; }
+thread 1 { r0 = ldadd [x] 1; }
+exists (0:r0=0 && 1:r0=0) || !([x]=2)
+expect forbidden
+`},
+	{"LSE-cas-winner", `
+arch arm
+name LSE-cas-winner
+locs x
+thread 0 { r0 = cas [x] 0 1; }
+thread 1 { r0 = cas [x] 0 2; }
+exists 0:r0=0 && 1:r0=0
+expect forbidden
+`},
+	// The acquire read half of an LSE atomic orders later accesses, the
+	// plain encoding does not — the A-suffix pair below is the witness.
+	{"MP+rel+ldadda", `
+arch arm
+name MP+rel+ldadda
+locs x y
+thread 0 { store [x] 1; store.rel [y] 1; }
+thread 1 { r0 = ldadd.a [y] 0; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect forbidden
+`},
+	{"MP+rel+ldadd", `
+arch arm
+name MP+rel+ldadd
+locs x y
+thread 0 { store [x] 1; store.rel [y] 1; }
+thread 1 { r0 = ldadd [y] 0; r1 = load [x]; }
+exists 1:r0=1 && 1:r1=0
+expect allowed
+`},
+	// The release write half, likewise (swp.l vs swp as the MP flag write).
+	{"MP+swpl+addr", `
+arch arm
+name MP+swpl+addr
+locs x y
+thread 0 { store [x] 1; r0 = swp.l [y] 1; }
+thread 1 { r1 = load [y]; r2 = load [x + (r1 - r1)]; }
+exists 1:r1=1 && 1:r2=0
+expect forbidden
+`},
+	{"MP+swp+addr", `
+arch arm
+name MP+swp+addr
+locs x y
+thread 0 { store [x] 1; r0 = swp [y] 1; }
+thread 1 { r1 = load [y]; r2 = load [x + (r1 - r1)]; }
+exists 1:r1=1 && 1:r2=0
+expect allowed
+`},
+	{"MP+swpl+addr-RISCV", `
+arch riscv
+name MP+swpl+addr-RISCV
+locs x y
+thread 0 { store [x] 1; r0 = swp.l [y] 1; }
+thread 1 { r1 = load [y]; r2 = load [x + (r1 - r1)]; }
+exists 1:r1=1 && 1:r2=0
+expect forbidden
+`},
+}
+
 func init() {
 	catalog = append(catalog, catalogExtra...)
+	catalog = append(catalog, catalogLSE...)
 }

@@ -1,0 +1,230 @@
+package litmus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Conformance sweeps: import a directory of herd .litmus sources, run
+// each imported test under every backend, and compare three ways —
+// import health (a test that parsed yesterday must parse today),
+// cross-backend agreement (all complete cells of one test must reach the
+// same verdict), and drift against a pinned expectation file
+// (testdata/herd/expected.json in CI). The result is machine-readable so
+// the CI jobs and the nightly sweep can archive it.
+
+// HerdSource is one named .litmus source handed to RunConformance.
+type HerdSource struct {
+	Name string // usually the file name
+	Src  string
+}
+
+// ConformanceVerdict is the model's answer for one (test, backend) cell.
+type ConformanceVerdict struct {
+	Backend string `json:"backend"`
+	// Status is the batch cell status (pass/fail/timeout/aborted/error).
+	// Imported tests carry no expectation, so complete cells are always
+	// "pass"; the architectural answer is in Allowed.
+	Status Status `json:"status"`
+	// Allowed reports whether the test's exists-condition was reachable.
+	// Meaningful only when Status.Complete().
+	Allowed bool   `json:"allowed"`
+	Err     string `json:"err,omitempty"`
+}
+
+// ConformanceTest is the sweep result for one imported source.
+type ConformanceTest struct {
+	Name string `json:"name"`
+	// Skipped is set (with Reason) when the source is well-formed herd
+	// outside the supported subset. Skips are not failures, but CI pins
+	// their count: a supported test regressing to a skip is a parse
+	// regression.
+	Skipped bool `json:"skipped,omitempty"`
+	// ParseError is set when the source failed to import for any other
+	// reason; these always fail the sweep.
+	ParseError string `json:"parse_error,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	// Verdicts has one entry per backend, in backend input order.
+	Verdicts []ConformanceVerdict `json:"verdicts,omitempty"`
+	// Disagree is set when two complete cells reached different verdicts —
+	// a soundness bug in at least one backend.
+	Disagree bool `json:"disagree,omitempty"`
+	// Expected is the pinned verdict ("allowed"/"forbidden", "" when the
+	// test is not pinned); Drift is set when the consensus contradicts it.
+	Expected string `json:"expected,omitempty"`
+	Drift    bool   `json:"drift,omitempty"`
+}
+
+// Consensus returns the agreed verdict over complete cells:
+// "allowed"/"forbidden", or "" when no cell completed.
+func (ct *ConformanceTest) Consensus() string {
+	for _, v := range ct.Verdicts {
+		if v.Status.Complete() {
+			if v.Allowed {
+				return "allowed"
+			}
+			return "forbidden"
+		}
+	}
+	return ""
+}
+
+// ConformanceResult is a whole sweep, ready for JSON archival.
+type ConformanceResult struct {
+	Tests []ConformanceTest `json:"tests"`
+	// Tally of test dispositions.
+	Ran         int `json:"ran"`
+	SkippedN    int `json:"skipped"`
+	ParseErrors int `json:"parse_errors"`
+	Disagreed   int `json:"disagreed"`
+	Drifted     int `json:"drifted"`
+	Incomplete  int `json:"incomplete"` // ran, but some cell timed out/aborted
+}
+
+// Failures returns the reasons this sweep should gate a merge, in report
+// order; empty means the sweep is clean (timeouts are reported as
+// incomplete but do not fail — they depend on the budget, not the model).
+func (r *ConformanceResult) Failures() []string {
+	var out []string
+	for i := range r.Tests {
+		ct := &r.Tests[i]
+		switch {
+		case ct.ParseError != "":
+			out = append(out, fmt.Sprintf("%s: parse error: %s", ct.Name, ct.ParseError))
+		case ct.Disagree:
+			out = append(out, fmt.Sprintf("%s: backends disagree: %s", ct.Name, verdictLine(ct)))
+		case ct.Drift:
+			out = append(out, fmt.Sprintf("%s: drift: expected %s, models say %s", ct.Name, ct.Expected, ct.Consensus()))
+		}
+		for _, v := range ct.Verdicts {
+			if v.Status == StatusError {
+				out = append(out, fmt.Sprintf("%s/%s: %s", ct.Name, v.Backend, v.Err))
+			}
+		}
+	}
+	return out
+}
+
+func verdictLine(ct *ConformanceTest) string {
+	parts := make([]string, 0, len(ct.Verdicts))
+	for _, v := range ct.Verdicts {
+		s := string(v.Status)
+		if v.Status.Complete() {
+			s = "forbidden"
+			if v.Allowed {
+				s = "allowed"
+			}
+		}
+		parts = append(parts, v.Backend+"="+s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Summary renders a one-line tally.
+func (r *ConformanceResult) Summary() string {
+	return fmt.Sprintf("ran %d, skipped %d, parse errors %d, disagreements %d, drift %d, incomplete %d",
+		r.Ran, r.SkippedN, r.ParseErrors, r.Disagreed, r.Drifted, r.Incomplete)
+}
+
+// RunConformance imports every source, runs the imported tests under
+// every backend via RunAll, and cross-checks the verdicts. expected maps
+// test name to the pinned verdict ("allowed" or "forbidden"); nil or
+// missing entries disable drift checking for that test. Sources import
+// in input order and results keep that order.
+func RunConformance(srcs []HerdSource, backends []NamedRunner, expected map[string]string, o RunAllOptions) *ConformanceResult {
+	res := &ConformanceResult{Tests: make([]ConformanceTest, len(srcs))}
+	var tests []*Test
+	var idx []int // position of tests[k] in res.Tests
+	for i, s := range srcs {
+		ct := &res.Tests[i]
+		ct.Name = s.Name
+		t, err := ImportHerd(s.Src)
+		if err != nil {
+			var ue *UnsupportedError
+			if errors.As(err, &ue) {
+				ct.Skipped, ct.Reason = true, ue.Reason
+				res.SkippedN++
+			} else {
+				ct.ParseError = err.Error()
+				res.ParseErrors++
+			}
+			continue
+		}
+		tests = append(tests, t)
+		idx = append(idx, i)
+	}
+	reports := RunAll(tests, backends, o)
+	for k := range tests {
+		ct := &res.Tests[idx[k]]
+		res.Ran++
+		complete := 0
+		agree := map[bool]bool{}
+		for j, b := range backends {
+			rep := &reports[k*len(backends)+j]
+			v := ConformanceVerdict{Backend: b.Name, Status: rep.Status()}
+			if rep.Err != nil {
+				v.Err = rep.Err.Error()
+			}
+			if v.Status.Complete() {
+				v.Allowed = rep.Verdict.Allowed
+				complete++
+				agree[v.Allowed] = true
+			}
+			ct.Verdicts = append(ct.Verdicts, v)
+		}
+		if len(agree) > 1 {
+			ct.Disagree = true
+			res.Disagreed++
+		}
+		if complete < len(backends) {
+			res.Incomplete++
+		}
+		if want := expected[ct.Name]; want != "" && !ct.Disagree {
+			ct.Expected = want
+			if got := ct.Consensus(); got != "" && got != want {
+				ct.Drift = true
+				res.Drifted++
+			}
+		}
+	}
+	return res
+}
+
+// ExpectedVerdicts reads an expected.json pin file: a JSON object mapping
+// test name to "allowed" or "forbidden".
+func ExpectedVerdicts(data []byte) (map[string]string, error) {
+	m := map[string]string{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("litmus: expected verdicts: %w", err)
+	}
+	for name, v := range m {
+		if v != "allowed" && v != "forbidden" {
+			return nil, fmt.Errorf("litmus: expected verdict for %s: %q (want allowed or forbidden)", name, v)
+		}
+	}
+	return m, nil
+}
+
+// FormatExpected renders a verdict pin map as canonical expected.json
+// (sorted keys, one line per test).
+func FormatExpected(m map[string]string) []byte {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "  %q: %q%s\n", n, m[n], comma)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

@@ -239,6 +239,12 @@ func (f *testFormatter) stmt(b *strings.Builder, s lang.Stmt, indent int) {
 		fmt.Fprintf(b, "%s%s = load%s [%s];\n", pad, f.regs(s.Dst), suffix(s.Xcl, s.Kind.String()), f.expr(s.Addr))
 	case lang.Store:
 		fmt.Fprintf(b, "%s%s = store%s [%s] %s;\n", pad, f.regs(s.Succ), suffix(s.Xcl, s.Kind.String()), f.expr(s.Addr), f.expr(s.Data))
+	case lang.RMW:
+		if s.Op == lang.RMWCas {
+			fmt.Fprintf(b, "%s%s = %s%s [%s] %s %s;\n", pad, f.regs(s.Dst), s.Op, lang.RMWSuffix(s.RK, s.WK), f.expr(s.Addr), f.expr(s.Exp), f.expr(s.Data))
+		} else {
+			fmt.Fprintf(b, "%s%s = %s%s [%s] %s;\n", pad, f.regs(s.Dst), s.Op, lang.RMWSuffix(s.RK, s.WK), f.expr(s.Addr), f.expr(s.Data))
+		}
 	case lang.Fence:
 		fmt.Fprintf(b, "%sfence %s,%s;\n", pad, s.K1, s.K2)
 	case lang.ISB:

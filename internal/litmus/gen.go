@@ -29,6 +29,9 @@ type GenProfile struct {
 	Xcl bool
 	// Deps enables syntactic address/data dependency chains.
 	Deps bool
+	// RMW enables single-instruction LSE atomics (cas/swp/ldadd/ldset/
+	// ldclr/ldeor, with A/L ordering suffixes when RelAcq is also set).
+	RMW bool
 }
 
 // Named generator profiles, from bare plain-access tests to the full
@@ -43,12 +46,15 @@ var (
 	// ProfileDeps adds address/data dependency chains and control
 	// dependencies.
 	ProfileDeps = GenProfile{Deps: true, Branches: true}
+	// ProfileLSE mixes single-instruction atomics with exclusive pairs,
+	// orderings and dependency chains — the RMW-focused campaign profile.
+	ProfileLSE = GenProfile{RelAcq: true, Xcl: true, Deps: true, RMW: true}
 	// ProfileFull enables every feature.
-	ProfileFull = GenProfile{RelAcq: true, Fences: true, Branches: true, Xcl: true, Deps: true}
+	ProfileFull = GenProfile{RelAcq: true, Fences: true, Branches: true, Xcl: true, Deps: true, RMW: true}
 )
 
 // Profiles lists the named generator profiles in canonical order.
-func Profiles() []string { return []string{"classic", "fences", "xcl", "deps", "full"} }
+func Profiles() []string { return []string{"classic", "fences", "xcl", "deps", "lse", "full"} }
 
 // ProfileByName resolves a named generator profile.
 func ProfileByName(name string) (GenProfile, error) {
@@ -61,10 +67,12 @@ func ProfileByName(name string) (GenProfile, error) {
 		return ProfileXcl, nil
 	case "deps":
 		return ProfileDeps, nil
+	case "lse":
+		return ProfileLSE, nil
 	case "full", "":
 		return ProfileFull, nil
 	default:
-		return GenProfile{}, fmt.Errorf("litmus: unknown generator profile %q (want classic, fences, xcl, deps or full)", name)
+		return GenProfile{}, fmt.Errorf("litmus: unknown generator profile %q (want classic, fences, xcl, deps, lse or full)", name)
 	}
 }
 
@@ -225,6 +233,24 @@ func (g *generator) instr(last bool) lang.Stmt {
 		return ld
 	case roll < 65:
 		return lang.Store{Succ: g.regs.Fresh(), Addr: g.addr(), Data: g.data(), Kind: g.writeKind()}
+	case roll < 75 && g.cfg.Profile.RMW:
+		op := rmwOps[g.rng.Intn(len(rmwOps))]
+		// LSE mnemonics only encode plain/acquire reads and plain/release
+		// writes (no weak orderings), so the text format round-trips.
+		var rk lang.ReadKind
+		var wk lang.WriteKind
+		if g.cfg.Profile.RelAcq && g.rng.Intn(4) == 0 {
+			rk = lang.ReadAcq
+		}
+		if g.cfg.Profile.RelAcq && g.rng.Intn(4) == 0 {
+			wk = lang.WriteRel
+		}
+		st := lang.RMW{Dst: g.newObsReg("a"), Addr: g.addr(), Data: g.data(), Op: op, RK: rk, WK: wk}
+		if op == lang.RMWCas {
+			st.Exp = lang.C(lang.Val(g.rng.Intn(3)))
+		}
+		g.loadRegs = append(g.loadRegs, st.Dst)
+		return st
 	case roll < 80 && g.cfg.Profile.Fences:
 		return g.fence()
 	case roll < 88 && g.cfg.Profile.Branches && len(g.loadRegs) > 0:
@@ -247,6 +273,10 @@ func (g *generator) instr(last bool) lang.Stmt {
 		return lang.Skip{}
 	}
 }
+
+// rmwOps is the single-instruction atomic vocabulary the generator draws
+// from when the RMW profile feature is on.
+var rmwOps = []lang.RMWOp{lang.RMWSwap, lang.RMWCas, lang.RMWAdd, lang.RMWSet, lang.RMWClr, lang.RMWEor}
 
 func (g *generator) readKind() lang.ReadKind {
 	if !g.cfg.Profile.RelAcq {

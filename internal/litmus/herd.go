@@ -1,0 +1,803 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"promising/internal/lang"
+)
+
+// ImportHerd parses one herd7 .litmus source (the de-facto interchange
+// format of the litmus-tests-armv8 suites) into a Test, covering the
+// AArch64 assembly subset the models implement:
+//
+//   - MOV (immediate and register), EOR/AND/ORR/ADD/SUB (register or
+//     immediate third operand);
+//   - LDR/LDAR/LDAPR/LDXR/LDAXR and STR/STLR/STXR/STLXR, with [Xn],
+//     [Xn,#imm] and register-index ([Xn,Wm,SXTW] / [Xn,Xm]) addressing;
+//   - the LSE atomics CAS/SWP/LDADD/LDSET/LDCLR/LDEOR (and their ST*
+//     store-only forms) with A/L/AL ordering suffixes;
+//   - DMB/DSB SY|LD|ST, ISB;
+//   - forward CBZ/CBNZ (compiled to a branch-duplicated conditional, so
+//     the control dependency covers every later instruction, as in
+//     hardware);
+//   - exists/~exists/forall conditions over final registers and memory.
+//
+// A well-formed test outside this subset returns *UnsupportedError with
+// the reason (batch importers count these as skips, not failures); a
+// structurally broken file returns an ordinary error.
+//
+// The herd quantifier does not carry an architectural verdict, so the
+// imported Test's Expect is always ExpectUnknown: conformance sweeps pin
+// verdicts externally (see RunConformance). "exists C" and "~exists C"
+// both map to condition C (reachability of C); "forall C" maps to !C
+// (the universal holds iff !C is unreachable).
+func ImportHerd(src string) (*Test, error) {
+	h := &herdParser{
+		prog: &lang.Program{
+			Arch: lang.ARM,
+			Init: map[lang.Loc]lang.Val{},
+			Locs: map[string]lang.Loc{},
+		},
+		nextLoc: 0x1000,
+	}
+	if err := h.parse(src); err != nil {
+		return nil, err
+	}
+	t := &Test{Prog: h.prog, Src: src}
+	c, err := ParseCond(h.condSrc, h.prog)
+	if err != nil {
+		return nil, &UnsupportedError{Reason: fmt.Sprintf("condition: %v", err)}
+	}
+	if h.forall {
+		c = Not{C: c}
+	}
+	t.Cond = c
+	return t, nil
+}
+
+// UnsupportedError marks a well-formed herd test outside the supported
+// subset. Importers treat it as a skip with a reason, distinct from a
+// parse failure.
+type UnsupportedError struct{ Reason string }
+
+func (e *UnsupportedError) Error() string {
+	return "litmus: unsupported herd test: " + e.Reason
+}
+
+func unsupportedf(format string, args ...any) error {
+	return &UnsupportedError{Reason: fmt.Sprintf(format, args...)}
+}
+
+type herdParser struct {
+	prog    *lang.Program
+	nextLoc lang.Loc
+	condSrc string
+	forall  bool
+}
+
+// loc returns the address of a symbolic herd location, allocating on
+// first use (herd declares locations implicitly, by mention).
+func (h *herdParser) loc(name string) lang.Loc {
+	if l, ok := h.prog.Locs[name]; ok {
+		return l
+	}
+	l := h.nextLoc
+	h.nextLoc += 8
+	h.prog.Locs[name] = l
+	return l
+}
+
+// stripHerdComments removes (* ... *) comments (herd's OCaml-style
+// comment syntax, non-nested).
+func stripHerdComments(src string) string {
+	var b strings.Builder
+	for {
+		i := strings.Index(src, "(*")
+		if i < 0 {
+			b.WriteString(src)
+			return b.String()
+		}
+		b.WriteString(src[:i])
+		j := strings.Index(src[i:], "*)")
+		if j < 0 {
+			return b.String()
+		}
+		src = src[i+j+2:]
+	}
+}
+
+func (h *herdParser) parse(src string) error {
+	lines := strings.Split(stripHerdComments(src), "\n")
+	i := 0
+	skipBlank := func() {
+		for i < len(lines) && strings.TrimSpace(lines[i]) == "" {
+			i++
+		}
+	}
+
+	// Header: "<arch> <name>".
+	skipBlank()
+	if i >= len(lines) {
+		return fmt.Errorf("litmus: empty herd source")
+	}
+	arch, name := splitWord(strings.TrimSpace(lines[i]))
+	if !strings.EqualFold(arch, "AArch64") {
+		return unsupportedf("architecture %q (only AArch64)", arch)
+	}
+	h.prog.Name = strings.TrimSpace(name)
+	i++
+
+	// Skip the quoted description and Key=Value metadata until the init
+	// block's opening brace.
+	for i < len(lines) && !strings.HasPrefix(strings.TrimSpace(lines[i]), "{") {
+		i++
+	}
+	if i >= len(lines) {
+		return fmt.Errorf("litmus: herd test %s: no init block", h.prog.Name)
+	}
+
+	// Init block: everything between { and the matching }.
+	var init strings.Builder
+	depth := 0
+	for ; i < len(lines); i++ {
+		line := lines[i]
+		depth += strings.Count(line, "{") - strings.Count(line, "}")
+		init.WriteString(strings.TrimSpace(line))
+		init.WriteByte(' ')
+		if depth <= 0 {
+			i++
+			break
+		}
+	}
+	initSrc := strings.TrimSpace(init.String())
+	initSrc = strings.TrimSuffix(strings.TrimPrefix(initSrc, "{"), "}")
+	ptrs, regInit, err := h.parseInit(initSrc)
+	if err != nil {
+		return err
+	}
+
+	// Thread table: the "P0 | P1 | ..." header row, then instruction rows.
+	skipBlank()
+	if i >= len(lines) {
+		return fmt.Errorf("litmus: herd test %s: no thread table", h.prog.Name)
+	}
+	header := strings.Split(strings.TrimSuffix(strings.TrimSpace(lines[i]), ";"), "|")
+	nthreads := len(header)
+	for t, c := range header {
+		if want := fmt.Sprintf("P%d", t); strings.TrimSpace(c) != want {
+			return fmt.Errorf("litmus: herd test %s: thread header %q (want %s)", h.prog.Name, strings.TrimSpace(c), want)
+		}
+	}
+	i++
+	cells := make([][]string, nthreads)
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" {
+			continue
+		}
+		first, _ := splitWord(line)
+		if lower := strings.ToLower(first); lower == "exists" || lower == "~exists" || lower == "forall" ||
+			lower == "locations" || lower == "filter" || lower == "observed" {
+			break
+		}
+		row := strings.Split(strings.TrimSuffix(line, ";"), "|")
+		if len(row) != nthreads {
+			return fmt.Errorf("litmus: herd test %s: row %q has %d columns, want %d", h.prog.Name, line, len(row), nthreads)
+		}
+		for t, c := range row {
+			if c = strings.TrimSpace(c); c != "" {
+				cells[t] = append(cells[t], c)
+			}
+		}
+	}
+
+	// Condition: the remaining directives.
+	for ; i < len(lines); i++ {
+		line := strings.TrimSpace(lines[i])
+		if line == "" {
+			continue
+		}
+		first, rest := splitWord(line)
+		switch lower := strings.ToLower(first); lower {
+		case "locations":
+			// Observation hints only; conditions already name what they
+			// need.
+		case "filter":
+			return unsupportedf("filter directive")
+		case "exists", "~exists", "forall":
+			h.forall = lower == "forall"
+			var cond strings.Builder
+			cond.WriteString(rest)
+			for i++; i < len(lines); i++ {
+				cond.WriteByte(' ')
+				cond.WriteString(strings.TrimSpace(lines[i]))
+			}
+			h.condSrc = strings.TrimSpace(cond.String())
+		default:
+			return fmt.Errorf("litmus: herd test %s: unknown trailing directive %q", h.prog.Name, first)
+		}
+	}
+	if h.condSrc == "" {
+		return fmt.Errorf("litmus: herd test %s: no exists/forall condition", h.prog.Name)
+	}
+
+	// Translate each thread column.
+	for t := 0; t < nthreads; t++ {
+		tt := &herdThread{
+			h:    h,
+			sy:   lang.NewSymbols(h.prog.Locs),
+			ptrs: ptrs[t],
+		}
+		insts, err := tt.decode(cells[t])
+		if err != nil {
+			return err
+		}
+		var prelude []lang.Stmt
+		for _, ri := range regInit[t] {
+			prelude = append(prelude, lang.Assign{Dst: tt.sy.Reg(ri.reg), E: lang.C(ri.val)})
+		}
+		body, err := tt.translate(insts)
+		if err != nil {
+			return err
+		}
+		h.prog.Threads = append(h.prog.Threads, lang.Block(append(prelude, body)...))
+		h.prog.RegNames = append(h.prog.RegNames, tt.sy.Regs)
+	}
+	return nil
+}
+
+type herdRegInit struct {
+	reg string
+	val lang.Val
+}
+
+// parseInit reads the init block items: "T:Xn=loc" binds a thread's
+// register to a location's address, "T:Xn=imm" gives it an initial value,
+// and "loc=imm" initialises memory.
+func (h *herdParser) parseInit(src string) (ptrs []map[string]string, regInit [][]herdRegInit, err error) {
+	grow := func(t int) {
+		for len(ptrs) <= t {
+			ptrs = append(ptrs, map[string]string{})
+			regInit = append(regInit, nil)
+		}
+	}
+	for _, item := range strings.Split(src, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		eq := strings.Index(item, "=")
+		if eq < 0 {
+			return nil, nil, fmt.Errorf("litmus: herd init item %q", item)
+		}
+		lhs, rhs := strings.TrimSpace(item[:eq]), strings.TrimSpace(item[eq+1:])
+		if strings.ContainsAny(lhs, " \t") {
+			return nil, nil, unsupportedf("typed init item %q", item)
+		}
+		if colon := strings.Index(lhs, ":"); colon >= 0 {
+			t, err := strconv.Atoi(lhs[:colon])
+			if err != nil || t < 0 {
+				return nil, nil, fmt.Errorf("litmus: herd init item %q: bad thread id", item)
+			}
+			grow(t)
+			reg, ok := canonReg(lhs[colon+1:])
+			if !ok {
+				return nil, nil, unsupportedf("init register %q", lhs[colon+1:])
+			}
+			if v, err := strconv.ParseInt(rhs, 0, 64); err == nil {
+				regInit[t] = append(regInit[t], herdRegInit{reg: reg, val: v})
+			} else {
+				ptrs[t][reg] = rhs
+				h.loc(rhs)
+			}
+			continue
+		}
+		v, err := strconv.ParseInt(rhs, 0, 64)
+		if err != nil {
+			return nil, nil, unsupportedf("init item %q (pointers in memory)", item)
+		}
+		h.prog.Init[h.loc(lhs)] = v
+	}
+	return ptrs, regInit, nil
+}
+
+// canonReg canonicalises an AArch64 register name: Wn and Xn are the same
+// register, named "Xn"; WZR/XZR is the zero register (returned as "").
+func canonReg(s string) (string, bool) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	if s == "WZR" || s == "XZR" {
+		return "", true
+	}
+	if len(s) < 2 || (s[0] != 'W' && s[0] != 'X') {
+		return "", false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 30 {
+		return "", false
+	}
+	return fmt.Sprintf("X%d", n), true
+}
+
+// herdInst is one decoded cell: a label marker and/or an instruction.
+type herdInst struct {
+	label string
+	op    string
+	args  []string
+}
+
+type herdThread struct {
+	h  *herdParser
+	sy *lang.Symbols
+	// ptrs maps canonical register names to the location whose address
+	// the init block bound them to.
+	ptrs map[string]string
+}
+
+// decode splits the raw cells into labels and (opcode, operands) tuples,
+// and rejects threads that overwrite an address-bound register (the
+// pointer tracking is static).
+func (t *herdThread) decode(cells []string) ([]herdInst, error) {
+	var out []herdInst
+	for _, c := range cells {
+		for {
+			c = strings.TrimSpace(c)
+			if j := strings.Index(c, ":"); j > 0 && isLabel(c[:j]) {
+				out = append(out, herdInst{label: c[:j]})
+				c = c[j+1:]
+				continue
+			}
+			break
+		}
+		if c == "" {
+			continue
+		}
+		op, rest := splitWord(c)
+		out = append(out, herdInst{op: strings.ToUpper(op), args: splitOperands(rest)})
+	}
+	for _, in := range out {
+		for _, d := range destOperands(in) {
+			if r, ok := canonReg(d); ok && r != "" && t.ptrs[r] != "" {
+				return nil, unsupportedf("register %s is address-bound but overwritten", r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// destOperands returns the operands an instruction writes (the pointer
+// bindings from the init block are static, so overwriting a bound
+// register is out of subset).
+func destOperands(in herdInst) []string {
+	if in.op == "" || len(in.args) == 0 {
+		return nil
+	}
+	if _, _, _, stOnly, ok := rmwMnemonic(in.op); ok {
+		if stOnly {
+			return nil // ST<op> Ws,[Xn]: no register result
+		}
+		if strings.HasPrefix(in.op, "CAS") {
+			return in.args[:1] // CAS Ws,Wt,[Xn]: old value to Ws
+		}
+		return in.args[1:2] // SWP/LD<op> Ws,Wt,[Xn]: old value to Wt
+	}
+	switch in.op {
+	case "STR", "STLR", "CBZ", "CBNZ", "B":
+		return nil
+	default:
+		// MOV, arithmetic, loads, STXR/STLXR (status): first operand.
+		return in.args[:1]
+	}
+}
+
+func isLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits an operand list on top-level commas ([...] groups
+// stay together).
+func splitOperands(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if f := strings.TrimSpace(s[start:]); f != "" {
+		out = append(out, f)
+	}
+	return out
+}
+
+// reg resolves an operand that must be a register, allocating the lang
+// register on first use. The zero register reads as the constant 0 and
+// writes to a fresh scratch register.
+func (t *herdThread) reg(s string) (lang.Reg, bool, error) {
+	name, ok := canonReg(s)
+	if !ok {
+		return 0, false, unsupportedf("operand %q (want a register)", s)
+	}
+	if name == "" {
+		return 0, true, nil
+	}
+	return t.sy.Reg(name), false, nil
+}
+
+// val resolves a source operand: #imm, the zero register, an
+// address-bound register (its location's address) or a data register.
+func (t *herdThread) val(s string) (lang.Expr, error) {
+	if strings.HasPrefix(s, "#") {
+		v, err := strconv.ParseInt(strings.TrimPrefix(s, "#"), 0, 64)
+		if err != nil {
+			return nil, unsupportedf("immediate %q", s)
+		}
+		return lang.C(v), nil
+	}
+	name, ok := canonReg(s)
+	if !ok {
+		return nil, unsupportedf("operand %q", s)
+	}
+	if name == "" {
+		return lang.C(0), nil
+	}
+	if l := t.ptrs[name]; l != "" {
+		return lang.C(t.h.loc(l)), nil
+	}
+	return lang.R(t.sy.Reg(name)), nil
+}
+
+// addr resolves a bracketed address operand: [Xn], [Xn,#imm],
+// [Xn,Wm,SXTW] or [Xn,Xm], with Xn address-bound.
+func (t *herdThread) addr(s string) (lang.Expr, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, unsupportedf("address %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	base, ok := canonReg(parts[0])
+	if !ok || base == "" {
+		return nil, unsupportedf("address base %q", parts[0])
+	}
+	l := t.ptrs[base]
+	if l == "" {
+		return nil, unsupportedf("address base %s is not bound to a location", base)
+	}
+	e := lang.Expr(lang.C(t.h.loc(l)))
+	switch len(parts) {
+	case 1:
+		return e, nil
+	case 2, 3:
+		if len(parts) == 3 && !strings.EqualFold(parts[2], "SXTW") {
+			return nil, unsupportedf("address extension %q", parts[2])
+		}
+		if strings.HasPrefix(parts[1], "#") {
+			off, err := strconv.ParseInt(strings.TrimPrefix(parts[1], "#"), 0, 64)
+			if err != nil {
+				return nil, unsupportedf("address offset %q", parts[1])
+			}
+			return lang.BinOp{Op: lang.OpAdd, L: e, R: lang.C(off)}, nil
+		}
+		idx, err := t.val(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		return lang.BinOp{Op: lang.OpAdd, L: e, R: idx}, nil
+	default:
+		return nil, unsupportedf("address %q", s)
+	}
+}
+
+// rmwOp recognises an LSE mnemonic (with optional A/L/AL ordering
+// suffix), returning the operation, its orderings, and whether it is the
+// ST* store-only form.
+func rmwMnemonic(op string) (lang.RMWOp, lang.ReadKind, lang.WriteKind, bool, bool) {
+	stOnly := false
+	var base lang.RMWOp
+	var rest string
+	switch {
+	case strings.HasPrefix(op, "CAS"):
+		base, rest = lang.RMWCas, op[3:]
+	case strings.HasPrefix(op, "SWP"):
+		base, rest = lang.RMWSwap, op[3:]
+	case strings.HasPrefix(op, "LDADD"):
+		base, rest = lang.RMWAdd, op[5:]
+	case strings.HasPrefix(op, "LDSET"):
+		base, rest = lang.RMWSet, op[5:]
+	case strings.HasPrefix(op, "LDCLR"):
+		base, rest = lang.RMWClr, op[5:]
+	case strings.HasPrefix(op, "LDEOR"):
+		base, rest = lang.RMWEor, op[5:]
+	case strings.HasPrefix(op, "STADD"):
+		base, rest, stOnly = lang.RMWAdd, op[5:], true
+	case strings.HasPrefix(op, "STSET"):
+		base, rest, stOnly = lang.RMWSet, op[5:], true
+	case strings.HasPrefix(op, "STCLR"):
+		base, rest, stOnly = lang.RMWClr, op[5:], true
+	case strings.HasPrefix(op, "STEOR"):
+		base, rest, stOnly = lang.RMWEor, op[5:], true
+	default:
+		return 0, 0, 0, false, false
+	}
+	switch rest {
+	case "":
+		return base, lang.ReadPlain, lang.WritePlain, stOnly, true
+	case "A":
+		return base, lang.ReadAcq, lang.WritePlain, stOnly, true
+	case "L":
+		return base, lang.ReadPlain, lang.WriteRel, stOnly, true
+	case "AL":
+		return base, lang.ReadAcq, lang.WriteRel, stOnly, true
+	default:
+		return 0, 0, 0, false, false // byte/halfword variants etc.
+	}
+}
+
+// translate compiles a decoded instruction sequence. Forward CBZ/CBNZ
+// branch-duplicate: the fall-through path runs the skipped block plus the
+// continuation, the taken path just the continuation, so every later
+// instruction is control-dependent on the branch register — matching the
+// architectural ctrl dependency, which extends from a branch to all
+// po-later stores.
+func (t *herdThread) translate(insts []herdInst) (lang.Stmt, error) {
+	var out []lang.Stmt
+	for i := 0; i < len(insts); i++ {
+		in := insts[i]
+		if in.op == "" {
+			continue // bare label
+		}
+		if in.op == "CBZ" || in.op == "CBNZ" {
+			if len(in.args) != 2 {
+				return nil, unsupportedf("%s with %d operands", in.op, len(in.args))
+			}
+			r, zero, err := t.reg(in.args[0])
+			if err != nil {
+				return nil, err
+			}
+			target := -1
+			for j := i + 1; j < len(insts); j++ {
+				if insts[j].label == in.args[1] {
+					target = j
+					break
+				}
+			}
+			if target < 0 {
+				return nil, unsupportedf("%s to a non-forward label %q", in.op, in.args[1])
+			}
+			var cmp lang.Expr = lang.R(r)
+			if zero {
+				cmp = lang.C(0)
+			}
+			// Fall-through condition: CBZ falls through when != 0, CBNZ
+			// when == 0.
+			cond := lang.Ne(cmp, lang.C(0))
+			if in.op == "CBNZ" {
+				cond = lang.Eq(cmp, lang.C(0))
+			}
+			fall, err := t.translate(insts[i+1:])
+			if err != nil {
+				return nil, err
+			}
+			taken, err := t.translate(insts[target:])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lang.If{Cond: cond, Then: fall, Else: taken})
+			return lang.Block(out...), nil
+		}
+		s, err := t.instr(in)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return lang.Block(out...), nil
+}
+
+// dst resolves a destination register operand (the zero register maps to
+// a fresh scratch register — the write is architecturally discarded, and
+// nothing can read the scratch).
+func (t *herdThread) dst(s string) (lang.Reg, error) {
+	r, zero, err := t.reg(s)
+	if err != nil {
+		return 0, err
+	}
+	if zero {
+		return t.sy.Fresh(), nil
+	}
+	return r, nil
+}
+
+func (t *herdThread) instr(in herdInst) (lang.Stmt, error) {
+	args := in.args
+	narg := func(n int) error {
+		if len(args) != n {
+			return unsupportedf("%s with %d operands", in.op, len(args))
+		}
+		return nil
+	}
+	if op, rk, wk, stOnly, ok := rmwMnemonic(in.op); ok {
+		if stOnly {
+			if err := narg(2); err != nil {
+				return nil, err
+			}
+			data, err := t.val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			a, err := t.addr(args[1])
+			if err != nil {
+				return nil, err
+			}
+			return lang.RMW{Dst: t.sy.Fresh(), Addr: a, Data: data, Op: op, RK: rk, WK: wk}, nil
+		}
+		if err := narg(3); err != nil {
+			return nil, err
+		}
+		a, err := t.addr(args[2])
+		if err != nil {
+			return nil, err
+		}
+		if op == lang.RMWCas {
+			// CAS Ws,Wt,[Xn]: compare with Ws, write Wt, old value to Ws.
+			exp, err := t.val(args[0])
+			if err != nil {
+				return nil, err
+			}
+			data, err := t.val(args[1])
+			if err != nil {
+				return nil, err
+			}
+			d, err := t.dst(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return lang.RMW{Dst: d, Addr: a, Exp: exp, Data: data, Op: op, RK: rk, WK: wk}, nil
+		}
+		// SWP/LD<op> Ws,Wt,[Xn]: operand Ws, old value to Wt.
+		data, err := t.val(args[0])
+		if err != nil {
+			return nil, err
+		}
+		d, err := t.dst(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return lang.RMW{Dst: d, Addr: a, Data: data, Op: op, RK: rk, WK: wk}, nil
+	}
+	switch in.op {
+	case "MOV":
+		if err := narg(2); err != nil {
+			return nil, err
+		}
+		d, err := t.dst(args[0])
+		if err != nil {
+			return nil, err
+		}
+		e, err := t.val(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return lang.Assign{Dst: d, E: e}, nil
+	case "EOR", "AND", "ORR", "ADD", "SUB":
+		if err := narg(3); err != nil {
+			return nil, err
+		}
+		ops := map[string]lang.Op{"EOR": lang.OpXor, "AND": lang.OpAnd, "ORR": lang.OpOr, "ADD": lang.OpAdd, "SUB": lang.OpSub}
+		d, err := t.dst(args[0])
+		if err != nil {
+			return nil, err
+		}
+		l, err := t.val(args[1])
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.val(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return lang.Assign{Dst: d, E: lang.BinOp{Op: ops[in.op], L: l, R: r}}, nil
+	case "LDR", "LDAR", "LDAPR", "LDXR", "LDAXR":
+		if err := narg(2); err != nil {
+			return nil, err
+		}
+		d, err := t.dst(args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := t.addr(args[1])
+		if err != nil {
+			return nil, err
+		}
+		ld := lang.Load{Dst: d, Addr: a}
+		switch in.op {
+		case "LDAR":
+			ld.Kind = lang.ReadAcq
+		case "LDAPR":
+			ld.Kind = lang.ReadWeakAcq
+		case "LDXR":
+			ld.Xcl = true
+		case "LDAXR":
+			ld.Kind, ld.Xcl = lang.ReadAcq, true
+		}
+		return ld, nil
+	case "STR", "STLR":
+		if err := narg(2); err != nil {
+			return nil, err
+		}
+		data, err := t.val(args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := t.addr(args[1])
+		if err != nil {
+			return nil, err
+		}
+		st := lang.Store{Succ: t.sy.Fresh(), Addr: a, Data: data}
+		if in.op == "STLR" {
+			st.Kind = lang.WriteRel
+		}
+		return st, nil
+	case "STXR", "STLXR":
+		if err := narg(3); err != nil {
+			return nil, err
+		}
+		succ, err := t.dst(args[0])
+		if err != nil {
+			return nil, err
+		}
+		data, err := t.val(args[1])
+		if err != nil {
+			return nil, err
+		}
+		a, err := t.addr(args[2])
+		if err != nil {
+			return nil, err
+		}
+		st := lang.Store{Succ: succ, Addr: a, Data: data, Xcl: true}
+		if in.op == "STLXR" {
+			st.Kind = lang.WriteRel
+		}
+		return st, nil
+	case "DMB", "DSB":
+		if err := narg(1); err != nil {
+			return nil, err
+		}
+		switch strings.ToUpper(args[0]) {
+		case "SY":
+			return lang.DmbSY(), nil
+		case "LD":
+			return lang.DmbLD(), nil
+		case "ST":
+			return lang.DmbST(), nil
+		default:
+			return nil, unsupportedf("%s %s", in.op, args[0])
+		}
+	case "ISB":
+		if err := narg(0); err != nil {
+			return nil, err
+		}
+		return lang.ISB{}, nil
+	default:
+		return nil, unsupportedf("instruction %s", in.op)
+	}
+}

@@ -1,0 +1,106 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"promising/internal/axiomatic"
+	"promising/internal/explore"
+	"promising/internal/flat"
+)
+
+const herdDir = "../../testdata/herd"
+
+// conformanceBackends is the full backend matrix every vendored herd test
+// must agree across.
+func conformanceBackends() []NamedRunner {
+	return []NamedRunner{
+		{Name: "promising", Run: explore.PromiseFirst},
+		{Name: "naive", Run: explore.Naive},
+		{Name: "axiomatic", Run: axiomatic.Explore},
+		{Name: "flat", Run: flat.Explore},
+	}
+}
+
+func loadHerdDir(t testing.TB, dir string) []HerdSource {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.litmus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no .litmus files in %s", dir)
+	}
+	sort.Strings(names)
+	srcs := make([]HerdSource, 0, len(names))
+	for _, n := range names {
+		data, err := os.ReadFile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, HerdSource{Name: filepath.Base(n), Src: string(data)})
+	}
+	return srcs
+}
+
+// TestHerdConformance is the conformance gate: every vendored herd test
+// imports, all four backends agree, and the consensus matches the pinned
+// verdicts in expected.json. Regenerate the pin file after an intentional
+// semantics change with UPDATE_HERD_EXPECTED=1.
+func TestHerdConformance(t *testing.T) {
+	srcs := loadHerdDir(t, herdDir)
+	update := os.Getenv("UPDATE_HERD_EXPECTED") != ""
+	expected := map[string]string{}
+	expPath := filepath.Join(herdDir, "expected.json")
+	if !update {
+		data, err := os.ReadFile(expPath)
+		if err != nil {
+			t.Fatalf("reading verdict pins (set UPDATE_HERD_EXPECTED=1 to regenerate): %v", err)
+		}
+		expected, err = ExpectedVerdicts(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := RunConformance(srcs, conformanceBackends(), expected, RunAllOptions{
+		Explore: explore.DefaultOptions(),
+		Timeout: 2 * time.Minute,
+	})
+	t.Log(res.Summary())
+	for _, f := range res.Failures() {
+		t.Error(f)
+	}
+	// The vendored corpus is curated to the supported subset: a skip here
+	// means an import regression, not an out-of-scope test.
+	for _, ct := range res.Tests {
+		if ct.Skipped {
+			t.Errorf("%s: skipped: %s", ct.Name, ct.Reason)
+		}
+	}
+	if res.Incomplete > 0 {
+		t.Errorf("%d tests did not complete within budget", res.Incomplete)
+	}
+	if update {
+		pins := map[string]string{}
+		for _, ct := range res.Tests {
+			if c := ct.Consensus(); c != "" && !ct.Disagree {
+				pins[ct.Name] = c
+			}
+		}
+		if err := os.WriteFile(expPath, FormatExpected(pins), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d pins)", expPath, len(pins))
+		return
+	}
+	// Every vendored test must be pinned — an unpinned test silently
+	// stops gating drift.
+	for _, ct := range res.Tests {
+		if !ct.Skipped && ct.ParseError == "" && expected[ct.Name] == "" {
+			t.Errorf("%s: no pinned verdict in expected.json", ct.Name)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package litmus
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"promising/internal/explore"
+)
+
+// TestHerdImportRoundTrip checks that every vendored herd test survives
+// the native-format round trip: import, Format, re-Parse, and the
+// re-parsed test reaches Format fixpoint and the same outcome set.
+func TestHerdImportRoundTrip(t *testing.T) {
+	for _, s := range loadHerdDir(t, herdDir) {
+		imported, err := ImportHerd(s.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		text := Format(imported)
+		reparsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-parse of formatted import: %v\n%s", s.Name, err, text)
+		}
+		if again := Format(reparsed); again != text {
+			t.Errorf("%s: Format not a fixpoint\nfirst:\n%s\nsecond:\n%s", s.Name, text, again)
+		}
+		v1, err := Run(imported, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		v2, err := Run(reparsed, explore.PromiseFirst, explore.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: re-parsed: %v", s.Name, err)
+		}
+		if v1.Allowed != v2.Allowed {
+			t.Errorf("%s: verdict changed across round trip: %v vs %v", s.Name, v1.Allowed, v2.Allowed)
+		}
+	}
+}
+
+// TestHerdImportRejections is the malformed-input matrix: sources outside
+// the supported subset must come back as *UnsupportedError (skips), and
+// structurally broken sources as hard errors — never as silently wrong
+// tests.
+func TestHerdImportRejections(t *testing.T) {
+	const header = "AArch64 t\n{0:X1=x;}\n P0 ;\n"
+	cases := []struct {
+		name        string
+		src         string
+		unsupported bool // else: hard parse error
+	}{
+		{"empty", "", false},
+		{"wrong-arch", "X86 t\n{}\n P0 ;\n MOV EAX,$1 ;\nexists (x=1)\n", true},
+		{"no-init", "AArch64 t\n P0 ;\n MOV W0,#1 ;\nexists (x=1)\n", false},
+		{"no-cond", "AArch64 t\n{0:X1=x;}\n P0 ;\n MOV W0,#1 ;\n", false},
+		{"bad-thread-header", "AArch64 t\n{}\n Q0 ;\n MOV W0,#1 ;\nexists (x=1)\n", false},
+		{"ragged-row", "AArch64 t\n{}\n P0 | P1 ;\n MOV W0,#1 ;\nexists (x=1)\n", false},
+		{"unknown-instr", header + " LDP W0,W1,[X1] ;\nexists (0:X0=1)\n", true},
+		{"byte-atomic", header + " LDADDB W0,W2,[X1] ;\nexists (0:X2=1)\n", true},
+		{"unbound-base", header + " LDR W0,[X9] ;\nexists (0:X0=1)\n", true},
+		{"overwrite-bound-reg", header + " MOV W1,#1 ;\nexists (0:X1=1)\n", true},
+		{"rmw-overwrites-bound", "AArch64 t\n{0:X1=x; 0:X2=y;}\n P0 ;\n SWP W0,W2,[X1] ;\nexists (0:X2=1)\n", true},
+		{"backward-branch", header + " L0: ;\n CBZ W0,L0 ;\nexists (0:X0=0)\n", true},
+		{"plain-b", header + " B L0 ;\n L0: ;\nexists (0:X0=0)\n", true},
+		{"filter", header + " MOV W0,#1 ;\nfilter (0:X0=1)\nexists (0:X0=1)\n", true},
+		{"pointer-in-memory", "AArch64 t\n{x=y; 0:X1=x;}\n P0 ;\n LDR W0,[X1] ;\nexists (0:X0=0)\n", true},
+		{"typed-init", "AArch64 t\n{int x = 1; 0:X1=x;}\n P0 ;\n LDR W0,[X1] ;\nexists (0:X0=1)\n", true},
+		{"bad-cond-reg", header + " MOV W0,#1 ;\nexists (0:X9=1)\n", true},
+		{"bad-immediate", header + " MOV W0,#zz ;\nexists (0:X0=1)\n", true},
+		{"dmb-bad-domain", header + " DMB ISH ;\nexists (0:X1=1)\n", true},
+		{"cas-missing-operand", header + " CAS W0,[X1] ;\nexists (0:X0=0)\n", true},
+	}
+	for _, c := range cases {
+		_, err := ImportHerd(c.src)
+		if err == nil {
+			t.Errorf("%s: imported successfully, want rejection", c.name)
+			continue
+		}
+		var ue *UnsupportedError
+		if got := errors.As(err, &ue); got != c.unsupported {
+			t.Errorf("%s: unsupported=%v, want %v (err: %v)", c.name, got, c.unsupported, err)
+		}
+	}
+}
+
+// TestHerdImportDetails spot-checks translation decisions that the
+// conformance sweep cannot see directly.
+func TestHerdImportDetails(t *testing.T) {
+	src := `AArch64 details
+"zero register, comments, offsets"
+{
+0:X1=x;
+1:X1=x; 1:X3=y;
+}
+ P0                | P1                 ;
+ MOV W5,#1 (* w *) | LDADDA WZR,W0,[X1] ;
+ STR W5,[X1,#0]    | STR W0,[X3]        ;
+ STR WZR,[X1]      |                    ;
+exists (1:X0=1 /\ ~(x=1))
+`
+	tst, err := ImportHerd(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tst.Name() != "details" {
+		t.Errorf("name = %q", tst.Name())
+	}
+	if len(tst.Prog.Threads) != 2 {
+		t.Fatalf("threads = %d", len(tst.Prog.Threads))
+	}
+	if tst.Expect != ExpectUnknown {
+		t.Errorf("herd imports must not carry an expectation, got %v", tst.Expect)
+	}
+	// WZR as a store source writes 0: after P0 runs alone, x must be 0.
+	text := Format(tst)
+	if !strings.Contains(text, "store [x] 0;") {
+		t.Errorf("WZR store did not lower to a store of 0:\n%s", text)
+	}
+	v, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Result.TimedOut || v.Result.Aborted {
+		t.Fatal("exploration did not complete")
+	}
+}
+
+// TestHerdForall checks the forall quantifier maps to the negated
+// condition: reaching a final state violating the body makes the test
+// "allowed" (the universal fails).
+func TestHerdForall(t *testing.T) {
+	src := `AArch64 forall-fails
+{0:X1=x; 1:X1=x;}
+ P0          | P1          ;
+ MOV W0,#1   | MOV W0,#2   ;
+ STR W0,[X1] | STR W0,[X1] ;
+forall (x=2)
+`
+	tst, err := ImportHerd(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Run(tst, explore.PromiseFirst, explore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Allowed {
+		t.Error("a final state with x=1 exists, so the forall must be violated (condition reachable)")
+	}
+}

@@ -3,6 +3,7 @@ package litmus
 import (
 	"testing"
 
+	"promising/internal/axiomatic"
 	"promising/internal/core"
 	"promising/internal/explore"
 	"promising/internal/lang"
@@ -36,11 +37,17 @@ func TestTheorem62CertificationEquivalence(t *testing.T) {
 
 // TestTheorem63RISCVDeadlockFreedom checks Theorem 6.3 on random RISC-V
 // programs (including exclusives): the certified machine never reaches a
-// stuck non-final state.
+// stuck non-final state. The theorem covers the paper's fragment, where
+// the only atomic writes are store conditionals — which can always fail.
+// Single-instruction atomics (our LSE/AMO extension) reintroduce the
+// §C.1-style wedged promise, so the generator profile excludes them here;
+// TestRISCVRMWCanDeadlock documents the analogue.
 func TestTheorem63RISCVDeadlockFreedom(t *testing.T) {
 	n := genCount(t, 250, 50)
 	for seed := int64(3000); seed < int64(3000+n); seed++ {
-		tst := Generate(DefaultGenConfig(seed, lang.RISCV))
+		cfg := DefaultGenConfig(seed, lang.RISCV)
+		cfg.Profile.RMW = false
+		tst := Generate(cfg)
 		v, err := Run(tst, explore.Naive, explore.Options{Certify: true})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -69,6 +76,41 @@ func TestARMCanDeadlock(t *testing.T) {
 	}
 	if !v.OK() {
 		t.Errorf("the outcome set must still match the architecture: %s", v)
+	}
+}
+
+// TestRISCVRMWCanDeadlock documents that single-instruction atomics (the
+// LSE/AMO extension) reintroduce wedged promises even on RISC-V: unlike a
+// store conditional, an amo cannot fail, so a promise whose fulfilment
+// depends on the amo's read staying adjacent to its write deadlocks when
+// another thread's write lands in between. The outcome set must still
+// match the axiomatic model — stuck paths lose no outcomes.
+func TestRISCVRMWCanDeadlock(t *testing.T) {
+	tst, err := Parse(`
+arch riscv
+name AMO+addr-dep-RISCV
+locs x z
+thread 0 { store [x] 1; }
+thread 1 { r0 = store [x] 2; r1 = ldadd [x] 2; r2 = swp [z + (r1 - r1)] 1; }
+exists 1:r1=1 && [x]=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Run(tst, explore.Naive, explore.Options{Certify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Result.DeadEnds == 0 {
+		t.Error("expected the promised-amo example to exhibit RISC-V deadlocks")
+	}
+	ax, err := Run(tst, axiomatic.Explore, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !explore.SameOutcomes(v.Result, ax.Result) {
+		t.Errorf("machine and axiomatic disagree:\nmachine:\n%s\n\naxiomatic:\n%s",
+			FormatOutcomes(v.Spec, v.Result, tst.Prog), FormatOutcomes(ax.Spec, ax.Result, tst.Prog))
 	}
 }
 

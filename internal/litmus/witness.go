@@ -76,6 +76,8 @@ func kindName(k core.StepKind) string {
 		return "xcl-fail"
 	case core.StepFinish:
 		return "finish"
+	case core.StepRMW:
+		return "rmw"
 	default:
 		return fmt.Sprintf("step(%d)", int(k))
 	}
@@ -95,6 +97,12 @@ func stepText(lab core.Label, locName func(lang.Loc) string) string {
 		return fmt.Sprintf("T%d: store-exclusive fails", lab.TID)
 	case core.StepFinish:
 		return fmt.Sprintf("T%d: finished", lab.TID)
+	case core.StepRMW:
+		if lab.TS2 == 0 {
+			return fmt.Sprintf("T%d: rmw read [%s]=%d @t%d (no write)", lab.TID, locName(lab.Loc), lab.Val, lab.TS)
+		}
+		return fmt.Sprintf("T%d: rmw read [%s]=%d @t%d, fulfil [%s]:=%d @t%d",
+			lab.TID, locName(lab.Loc), lab.Val, lab.TS, locName(lab.Loc), lab.Val2, lab.TS2)
 	default:
 		return lab.String()
 	}

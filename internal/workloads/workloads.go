@@ -157,7 +157,7 @@ func locEq(p *lang.Program, name string, v lang.Val) litmus.Cond {
 
 // Families returns every benchmark family name in Table 2/3 order.
 func Families() []string {
-	return []string{"SLA", "SLC", "SLR", "PCS", "PCM", "TL", "STC", "STR", "DQ", "QU", "SYM"}
+	return []string{"SLA", "SLC", "SLR", "PCS", "PCM", "TL", "STC", "STR", "DQ", "QU", "SYM", "RMW"}
 }
 
 // ParseID builds the instance named by a Table 2/3 row id such as "SLA-3",
@@ -184,6 +184,11 @@ func ParseID(arch lang.Arch, id string) (*Instance, error) {
 			return nil, fmt.Errorf("workloads: bad id %q", id)
 		}
 		return SymmetricInstance(arch, a), nil
+	case "RMW":
+		if _, err := fmt.Sscanf(rest, "-%d", &a); err != nil || a < 2 {
+			return nil, fmt.Errorf("workloads: bad id %q", id)
+		}
+		return RMWInstance(arch, a), nil
 	case "SLA", "SLC", "SLR", "TL":
 		if _, err := fmt.Sscanf(rest, "-%d", &a); err != nil {
 			return nil, fmt.Errorf("workloads: bad id %q", id)

@@ -1,10 +1,15 @@
 package workloads
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"promising/internal/axiomatic"
 	"promising/internal/explore"
+	"promising/internal/flat"
 	"promising/internal/lang"
 	"promising/internal/litmus"
 )
@@ -144,11 +149,82 @@ func TestSymmetric(t *testing.T) {
 	}
 }
 
+// outcomeSetKey renders a result's outcome set canonically (sorted keys,
+// one per line) for byte-for-byte comparison across configurations.
+func outcomeSetKey(r *explore.Result) string {
+	keys := make([]string, 0, len(r.Outcomes))
+	for k := range r.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestRMWFamily checks the RMW-n counter rows across the full backend
+// matrix, parallelism settings and reductions on/off: every
+// configuration must produce a byte-identical outcome set, the lost
+// update must be forbidden, and the family must be registered with
+// ParseID. This is the workload-scale differential gate for primitive
+// RMW promise/certify handling.
+func TestRMWFamily(t *testing.T) {
+	backends := []struct {
+		name string
+		run  litmus.Runner
+	}{
+		{"promising", explore.PromiseFirst},
+		{"naive", explore.Naive},
+		{"axiomatic", axiomatic.Explore},
+		{"flat", flat.Explore},
+	}
+	cases := []struct {
+		arch lang.Arch
+		n    int
+	}{{lang.ARM, 2}, {lang.ARM, 3}, {lang.RISCV, 2}}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	for _, c := range cases {
+		in := RMWInstance(c.arch, c.n)
+		t.Run(fmt.Sprintf("%s-%v", in.ID, c.arch), func(t *testing.T) {
+			ref := ""
+			for _, b := range backends {
+				for _, par := range []int{1, 2} {
+					for _, red := range []explore.ReductionMode{explore.ReduceOn, explore.ReduceOff} {
+						opts := explore.DefaultOptions()
+						opts.Parallelism = par
+						opts.Reductions = red
+						v, err := litmus.Run(in.Test, b.run, opts)
+						if err != nil {
+							t.Fatalf("%s par=%d red=%v: %v", b.name, par, red, err)
+						}
+						if v.Result.TimedOut || v.Result.Aborted {
+							t.Fatalf("%s par=%d red=%v: exploration did not complete", b.name, par, red)
+						}
+						if !v.OK() {
+							t.Errorf("%s par=%d red=%v: lost update or missing increments:\n%s",
+								b.name, par, red, litmus.FormatOutcomes(v.Spec, v.Result, in.Test.Prog))
+						}
+						got := outcomeSetKey(v.Result)
+						if ref == "" {
+							ref = got
+							continue
+						}
+						if got != ref {
+							t.Errorf("%s par=%d red=%v: outcome set differs from reference\ngot:\n%s\nwant:\n%s",
+								b.name, par, red, got, ref)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestParseID(t *testing.T) {
 	for _, id := range []string{"SLA-3", "SLC-1", "SLR-2", "TL-1", "TL/opt-2",
 		"PCS-2-2", "PCM-1-1-1", "STC-100-010-000", "STR-100-010-010",
 		"STC/opt-100-010-000", "DQ-100-1-0", "DQ/opt-110-1-1", "QU-100-010-000",
-		"SYM-3", "SYM-5"} {
+		"SYM-3", "SYM-5", "RMW-2", "RMW-4"} {
 		in, err := ParseID(lang.ARM, id)
 		if err != nil {
 			t.Errorf("ParseID(%q): %v", id, err)

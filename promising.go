@@ -250,6 +250,49 @@ func RunAll(tests []*Test, backends []Backend, o RunAllOptions) ([]Report, error
 	return litmus.RunAll(tests, named, o), nil
 }
 
+// ---------------------------------------------------------------------
+// Herd interop: the .litmus importer and the conformance sweep
+// (cmd/litmus -import, the CI conformance gate and the nightly full
+// sweep all run through these).
+
+// Re-exported conformance types.
+type (
+	// HerdSource is one named herd .litmus source for RunConformance.
+	HerdSource = litmus.HerdSource
+	// ConformanceResult is a whole conformance sweep in archival form.
+	ConformanceResult = litmus.ConformanceResult
+	// ConformanceTest is one imported test's sweep row.
+	ConformanceTest = litmus.ConformanceTest
+	// HerdUnsupportedError marks well-formed herd sources outside the
+	// importer's AArch64 subset; ImportHerd wraps the reason.
+	HerdUnsupportedError = litmus.UnsupportedError
+)
+
+// ImportHerd translates a herd-format AArch64 .litmus source into a Test.
+// Sources outside the supported subset return a *HerdUnsupportedError
+// explaining what is missing; anything else is a hard parse error.
+func ImportHerd(src string) (*Test, error) { return litmus.ImportHerd(src) }
+
+// RunConformance imports every source and runs the imported tests under
+// every backend, cross-checking import health, cross-backend agreement
+// and drift against pinned verdicts ("allowed"/"forbidden" by test name;
+// nil disables drift checking).
+func RunConformance(srcs []HerdSource, backends []Backend, expected map[string]string, o RunAllOptions) (*ConformanceResult, error) {
+	named := make([]litmus.NamedRunner, len(backends))
+	for i, b := range backends {
+		r, err := b.Runner()
+		if err != nil {
+			return nil, err
+		}
+		named[i] = litmus.NamedRunner{Name: string(b), Run: r}
+	}
+	return litmus.RunConformance(srcs, named, expected, o), nil
+}
+
+// ExpectedVerdicts parses a verdict pin file (expected.json): a JSON
+// object mapping test name to "allowed" or "forbidden".
+func ExpectedVerdicts(data []byte) (map[string]string, error) { return litmus.ExpectedVerdicts(data) }
+
 // Interactive starts an interactive stepping session for a test's program.
 func Interactive(t *Test) (*Session, error) {
 	cp, err := lang.Compile(t.Prog)
